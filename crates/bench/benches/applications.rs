@@ -1,0 +1,70 @@
+//! Benches for the applications and the lower bound (families E8, E9,
+//! E10).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drw_congest::EngineConfig;
+use drw_lowerbound::{gn::GnGraph, path_verification::verify_path};
+use drw_mixing::{estimate_mixing_time, MixingConfig};
+use drw_spanning::{distributed_rst, RstConfig};
+use std::hint::black_box;
+
+fn bench_path_verification(c: &mut Criterion) {
+    let gn = GnGraph::build(256, GnGraph::k_for_len(256));
+    let path: Vec<usize> = (0..gn.n_prime()).collect();
+    let mut group = c.benchmark_group("e8_path_verification");
+    group.sample_size(10);
+    group.bench_function("gn_256", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(
+                verify_path(gn.graph(), &path, &EngineConfig::default(), seed)
+                    .expect("engine")
+                    .expect("path verifies"),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_rst(c: &mut Criterion) {
+    let g = drw_graph::generators::torus2d(8, 8);
+    let mut group = c.benchmark_group("e9_rst");
+    group.sample_size(10);
+    group.bench_function("distributed_torus64", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(distributed_rst(&g, 0, &RstConfig::default(), seed).expect("rst"))
+        });
+    });
+    group.bench_function("wilson_torus64", |b| {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        b.iter(|| black_box(drw_spanning::wilson(&g, 0, &mut rng)));
+    });
+    group.finish();
+}
+
+fn bench_mixing(c: &mut Criterion) {
+    let g = drw_graph::generators::cycle(33);
+    let cfg = MixingConfig {
+        samples_scale: 4.0,
+        max_len: 1 << 12,
+        refine: false,
+        ..MixingConfig::default()
+    };
+    let mut group = c.benchmark_group("e10_mixing");
+    group.sample_size(10);
+    group.bench_function("estimate_cycle33", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(estimate_mixing_time(&g, 0, &cfg, seed).expect("estimate"))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_path_verification, bench_rst, bench_mixing);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Benches for the graph substrate: generators, traversal, spectral
+//! ground truth and matrix-tree counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drw_graph::{generators, matrix_tree, spectral, traversal};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    c.bench_function("graphs/random_regular_1024_d4", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(generators::random_regular(1024, 4, &mut rng)));
+    });
+    c.bench_function("graphs/torus_32x32", |b| {
+        b.iter(|| black_box(generators::torus2d(32, 32)));
+    });
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let g = generators::torus2d(24, 24);
+    c.bench_function("graphs/diameter_exact_576", |b| {
+        b.iter(|| black_box(traversal::diameter_exact(&g)));
+    });
+    c.bench_function("graphs/bfs_576", |b| {
+        b.iter(|| black_box(traversal::bfs_distances(&g, 0)));
+    });
+}
+
+fn bench_spectral(c: &mut Criterion) {
+    let g = generators::torus2d(12, 12);
+    c.bench_function("graphs/second_eigenvalue_144", |b| {
+        b.iter(|| black_box(spectral::second_eigenvalue(&g, spectral::WalkKind::Lazy)));
+    });
+    c.bench_function("graphs/distribution_after_144x256", |b| {
+        b.iter(|| black_box(spectral::distribution_after(&g, 0, 256, spectral::WalkKind::Simple)));
+    });
+}
+
+fn bench_matrix_tree(c: &mut Criterion) {
+    let g = generators::complete(10);
+    c.bench_function("graphs/kirchhoff_k10", |b| {
+        b.iter(|| black_box(matrix_tree::spanning_tree_count(&g)));
+    });
+    let small = generators::complete(5);
+    c.bench_function("graphs/enumerate_trees_k5", |b| {
+        b.iter(|| black_box(matrix_tree::enumerate_spanning_trees(&small)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_generators,
+    bench_traversal,
+    bench_spectral,
+    bench_matrix_tree
+);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Benches for experiment family E1/E2/E3: the walk algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drw_bench::{bench_regular, bench_torus};
+use drw_core::{
+    many_random_walks, naive_walk, podc09::podc09_walk, single_random_walk, Podc09Params,
+    SingleWalkConfig,
+};
+use std::hint::black_box;
+
+fn bench_single_walk_algorithms(c: &mut Criterion) {
+    let torus = bench_torus();
+    let mut group = c.benchmark_group("e1_single_walk");
+    group.sample_size(10);
+    for len in [512u64, 2048] {
+        group.bench_with_input(BenchmarkId::new("naive", len), &len, |b, &len| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(naive_walk(&torus, 0, len, seed).expect("walk"))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("podc09", len), &len, |b, &len| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(podc09_walk(&torus, 0, len, &Podc09Params::default(), seed).expect("walk"))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("podc10", len), &len, |b, &len| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(
+                    single_random_walk(&torus, 0, len, &SingleWalkConfig::default(), seed)
+                        .expect("walk"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_many_walks(c: &mut Criterion) {
+    let g = bench_regular();
+    let mut group = c.benchmark_group("e3_many_walks");
+    group.sample_size(10);
+    for k in [4usize, 16] {
+        let sources: Vec<usize> = (0..k).map(|i| (i * 37) % g.n()).collect();
+        group.bench_with_input(BenchmarkId::new("many", k), &k, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(
+                    many_random_walks(&g, &sources, 1024, &SingleWalkConfig::default(), seed)
+                        .expect("walks"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_walk_with_regeneration(c: &mut Criterion) {
+    let g = bench_torus();
+    let cfg = SingleWalkConfig {
+        record_walk: true,
+        ..SingleWalkConfig::default()
+    };
+    let mut group = c.benchmark_group("e1_regeneration");
+    group.sample_size(10);
+    group.bench_function("podc10_record_1024", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(single_random_walk(&g, 0, 1024, &cfg, seed).expect("walk"))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_walk_algorithms,
+    bench_many_walks,
+    bench_walk_with_regeneration
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Shared fixtures for the Criterion benches.
+//!
+//! The reproduction's primary metric is CONGEST *rounds* (printed by the
+//! `drw-experiments` binaries); these benches track the simulator's
+//! wall-clock cost of the same workloads, one bench target per
+//! experiment family:
+//!
+//! - `walks` — E1/E2/E3: naive vs PODC'09 vs PODC'10, and
+//!   MANY-RANDOM-WALKS;
+//! - `primitives` — E7-adjacent: BFS trees, convergecast, upcast,
+//!   Phase 1 short walks;
+//! - `applications` — E8/E9/E10: path verification on `G_n`, random
+//!   spanning trees, mixing-time estimation;
+//! - `graphs` — substrate: generators, diameter, spectral ground truth,
+//!   matrix-tree counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use drw_graph::{generators, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The standard benchmark torus (n = 256, D = 16).
+pub fn bench_torus() -> Graph {
+    generators::torus2d(16, 16)
+}
+
+/// The standard benchmark expander (n = 256, d = 4).
+pub fn bench_regular() -> Graph {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    generators::random_regular(256, 4, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_connected() {
+        assert!(drw_graph::traversal::is_connected(&bench_torus()));
+        assert!(drw_graph::traversal::is_connected(&bench_regular()));
+    }
+}

@@ -1,0 +1,402 @@
+//! The round-based execution engine.
+
+use crate::message::{Envelope, Message};
+use crate::protocol::{Ctx, Protocol};
+use crate::rng::NodeRngs;
+use drw_graph::Graph;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Engine configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Hard cap on simulated rounds; exceeding it is an error (a protocol
+    /// bug or a parameter far outside the intended regime).
+    pub max_rounds: u64,
+    /// Messages deliverable per directed edge per round. `None` means
+    /// unbounded (used by instrumentation experiments that want to observe
+    /// raw per-round edge loads instead of queueing them out over rounds).
+    pub edge_capacity: Option<usize>,
+    /// Maximum message size in `O(log n)`-bit words. Larger messages abort
+    /// the run with [`RunError::OversizedMessage`].
+    pub max_message_words: usize,
+    /// If true, the report's `edge_load_histogram` records, for every
+    /// (edge, round) pair, how many messages were delivered (index = load,
+    /// clamped to the histogram's last bucket). Costs a little time.
+    pub record_edge_loads: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_rounds: 50_000_000,
+            edge_capacity: Some(1),
+            max_message_words: 4,
+            record_edge_loads: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Configuration with unbounded per-edge bandwidth and edge-load
+    /// recording — for congestion-observation experiments (E7).
+    pub fn observing() -> Self {
+        EngineConfig {
+            edge_capacity: None,
+            record_edge_loads: true,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+/// Why a run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The protocol did not finish within `max_rounds`.
+    MaxRoundsExceeded(
+        /// The configured cap.
+        u64,
+    ),
+    /// A staged message exceeded `max_message_words`.
+    OversizedMessage {
+        /// Measured size in words.
+        words: usize,
+        /// Configured cap in words.
+        cap: usize,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::MaxRoundsExceeded(cap) => {
+                write!(f, "protocol exceeded the configured cap of {cap} rounds")
+            }
+            RunError::OversizedMessage { words, cap } => {
+                write!(f, "message of {words} words exceeds the CONGEST cap of {cap} words")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Statistics of one protocol run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunReport {
+    /// Number of communication rounds executed. This is the paper's
+    /// complexity measure.
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Total delivered message volume in `O(log n)`-bit words.
+    pub words: u64,
+    /// Largest backlog observed on any single directed edge queue.
+    pub max_edge_backlog: usize,
+    /// Largest number of messages delivered over a single directed edge in
+    /// a single round (interesting when `edge_capacity` is `None`).
+    pub max_edge_load: usize,
+    /// If requested, `edge_load_histogram[l]` counts (edge, round) pairs
+    /// that delivered exactly `l` messages (last bucket accumulates
+    /// overflow); empty otherwise. Zero-load pairs are not counted.
+    pub edge_load_histogram: Vec<u64>,
+}
+
+const LOAD_HISTOGRAM_BUCKETS: usize = 64;
+
+/// Runs `protocol` on `graph` to completion.
+///
+/// Returns the run statistics; the protocol struct itself holds whatever
+/// results it computed.
+///
+/// # Errors
+///
+/// [`RunError::MaxRoundsExceeded`] if the protocol ran too long;
+/// [`RunError::OversizedMessage`] if it staged a message wider than the
+/// configured CONGEST bandwidth.
+pub fn run_protocol<P: Protocol>(
+    graph: &Graph,
+    cfg: &EngineConfig,
+    seed: u64,
+    protocol: &mut P,
+) -> Result<RunReport, RunError> {
+    let n = graph.n();
+    let mut rngs = NodeRngs::new(seed, n);
+    let mut queues: Vec<VecDeque<P::Msg>> = vec![VecDeque::new(); graph.dir_edge_count()];
+    let mut busy_edges: Vec<usize> = Vec::new();
+    let mut inbox: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); n];
+    let mut report = RunReport::default();
+    if cfg.record_edge_loads {
+        report.edge_load_histogram = vec![0; LOAD_HISTOGRAM_BUCKETS];
+    }
+
+    // Round 0: free local computation and initial sends.
+    let mut ctx = Ctx::new(graph, 0, &mut rngs);
+    protocol.start(&mut ctx);
+    let staged = ctx.staged;
+    stage_sends::<P>(cfg, graph, staged, &mut queues, &mut busy_edges, &mut report)?;
+
+    let mut round: u64 = 0;
+    while !busy_edges.is_empty() {
+        if protocol.is_done() {
+            break;
+        }
+        round += 1;
+        if round > cfg.max_rounds {
+            return Err(RunError::MaxRoundsExceeded(cfg.max_rounds));
+        }
+
+        // Deliver up to `edge_capacity` messages per busy edge,
+        // deterministically in edge-id order.
+        busy_edges.sort_unstable();
+        busy_edges.dedup();
+        let mut active_nodes: Vec<usize> = Vec::new();
+        let mut still_busy: Vec<usize> = Vec::new();
+        for &eid in &busy_edges {
+            let cap = cfg.edge_capacity.unwrap_or(usize::MAX);
+            let from = graph.edge_source(eid);
+            let to = graph.edge_target(eid);
+            let mut delivered_here = 0usize;
+            while delivered_here < cap {
+                let Some(msg) = queues[eid].pop_front() else {
+                    break;
+                };
+                report.messages += 1;
+                report.words += msg.size_words() as u64;
+                if inbox[to].is_empty() {
+                    active_nodes.push(to);
+                }
+                inbox[to].push(Envelope { from, to, msg });
+                delivered_here += 1;
+            }
+            report.max_edge_load = report.max_edge_load.max(delivered_here);
+            if cfg.record_edge_loads && delivered_here > 0 {
+                let bucket = delivered_here.min(LOAD_HISTOGRAM_BUCKETS - 1);
+                report.edge_load_histogram[bucket] += 1;
+            }
+            if !queues[eid].is_empty() {
+                still_busy.push(eid);
+            }
+        }
+        busy_edges = still_busy;
+
+        // Hand the round to the protocol.
+        let mut ctx = Ctx::new(graph, round, &mut rngs);
+        protocol.on_round(&mut ctx);
+        active_nodes.sort_unstable();
+        for &node in &active_nodes {
+            let msgs = std::mem::take(&mut inbox[node]);
+            protocol.on_receive(node, &msgs, &mut ctx);
+        }
+        let staged = ctx.staged;
+        stage_sends::<P>(cfg, graph, staged, &mut queues, &mut busy_edges, &mut report)?;
+    }
+
+    report.rounds = round;
+    Ok(report)
+}
+
+fn stage_sends<P: Protocol>(
+    cfg: &EngineConfig,
+    _graph: &Graph,
+    staged: Vec<(usize, P::Msg)>,
+    queues: &mut [VecDeque<P::Msg>],
+    busy_edges: &mut Vec<usize>,
+    report: &mut RunReport,
+) -> Result<(), RunError> {
+    for (eid, msg) in staged {
+        let words = msg.size_words();
+        if words > cfg.max_message_words {
+            return Err(RunError::OversizedMessage {
+                words,
+                cap: cfg.max_message_words,
+            });
+        }
+        if queues[eid].is_empty() {
+            busy_edges.push(eid);
+        }
+        queues[eid].push_back(msg);
+        report.max_edge_backlog = report.max_edge_backlog.max(queues[eid].len());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+    use drw_graph::generators;
+
+    #[derive(Clone, Debug)]
+    struct Ping(u32);
+    impl Message for Ping {}
+
+    /// Floods a counter outward; every node forwards a strictly smaller
+    /// counter to all neighbors once.
+    struct Flood {
+        seen: Vec<bool>,
+    }
+    impl Protocol for Flood {
+        type Msg = Ping;
+        fn start(&mut self, ctx: &mut Ctx<'_, Ping>) {
+            self.seen[0] = true;
+            for v in ctx.graph().neighbors(0).collect::<Vec<_>>() {
+                ctx.send(0, v, Ping(8));
+            }
+        }
+        fn on_receive(&mut self, node: usize, inbox: &[Envelope<Ping>], ctx: &mut Ctx<'_, Ping>) {
+            let best = inbox.iter().map(|e| e.msg.0).max().expect("nonempty inbox");
+            if !self.seen[node] {
+                self.seen[node] = true;
+                if best > 0 {
+                    for v in ctx.graph().neighbors(node).collect::<Vec<_>>() {
+                        ctx.send(node, v, Ping(best - 1));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flood_reaches_everyone_in_diameter_rounds() {
+        let g = generators::torus2d(4, 4);
+        let mut p = Flood {
+            seen: vec![false; g.n()],
+        };
+        let report = run_protocol(&g, &EngineConfig::default(), 1, &mut p).unwrap();
+        assert!(p.seen.iter().all(|&s| s));
+        // Flood finishes one round after the farthest node is reached.
+        let d = drw_graph::traversal::diameter_exact(&g) as u64;
+        assert!(report.rounds >= d && report.rounds <= d + 2, "rounds = {}", report.rounds);
+        assert!(report.messages > 0);
+    }
+
+    /// Sends `k` messages over one edge in round 0; with capacity 1 they
+    /// take `k` rounds to drain.
+    struct Burst {
+        k: u32,
+        received: u32,
+    }
+    impl Protocol for Burst {
+        type Msg = Ping;
+        fn start(&mut self, ctx: &mut Ctx<'_, Ping>) {
+            for i in 0..self.k {
+                ctx.send(0, 1, Ping(i));
+            }
+        }
+        fn on_receive(&mut self, _node: usize, inbox: &[Envelope<Ping>], _ctx: &mut Ctx<'_, Ping>) {
+            self.received += inbox.len() as u32;
+        }
+    }
+
+    #[test]
+    fn congestion_queues_over_rounds() {
+        let g = generators::path(2);
+        let mut p = Burst { k: 10, received: 0 };
+        let report = run_protocol(&g, &EngineConfig::default(), 1, &mut p).unwrap();
+        assert_eq!(p.received, 10);
+        assert_eq!(report.rounds, 10, "capacity 1 serializes the burst");
+        assert_eq!(report.max_edge_backlog, 10);
+    }
+
+    #[test]
+    fn unbounded_capacity_delivers_in_one_round() {
+        let g = generators::path(2);
+        let mut p = Burst { k: 10, received: 0 };
+        let report = run_protocol(&g, &EngineConfig::observing(), 1, &mut p).unwrap();
+        assert_eq!(p.received, 10);
+        assert_eq!(report.rounds, 1);
+        assert_eq!(report.max_edge_load, 10);
+        assert_eq!(report.edge_load_histogram[10], 1);
+    }
+
+    #[derive(Clone, Debug)]
+    struct Wide;
+    impl Message for Wide {
+        fn size_words(&self) -> usize {
+            9
+        }
+    }
+    struct SendsWide;
+    impl Protocol for SendsWide {
+        type Msg = Wide;
+        fn start(&mut self, ctx: &mut Ctx<'_, Wide>) {
+            ctx.send(0, 1, Wide);
+        }
+        fn on_receive(&mut self, _: usize, _: &[Envelope<Wide>], _: &mut Ctx<'_, Wide>) {}
+    }
+
+    #[test]
+    fn oversized_message_rejected() {
+        let g = generators::path(2);
+        let err = run_protocol(&g, &EngineConfig::default(), 1, &mut SendsWide).unwrap_err();
+        assert_eq!(err, RunError::OversizedMessage { words: 9, cap: 4 });
+        assert!(err.to_string().contains("9 words"));
+    }
+
+    /// Two nodes ping-pong forever.
+    struct PingPong;
+    impl Protocol for PingPong {
+        type Msg = Ping;
+        fn start(&mut self, ctx: &mut Ctx<'_, Ping>) {
+            ctx.send(0, 1, Ping(0));
+        }
+        fn on_receive(&mut self, node: usize, _: &[Envelope<Ping>], ctx: &mut Ctx<'_, Ping>) {
+            ctx.send(node, node ^ 1, Ping(0));
+        }
+    }
+
+    #[test]
+    fn runaway_protocol_hits_round_cap() {
+        let g = generators::path(2);
+        let cfg = EngineConfig {
+            max_rounds: 100,
+            ..EngineConfig::default()
+        };
+        let err = run_protocol(&g, &cfg, 1, &mut PingPong).unwrap_err();
+        assert_eq!(err, RunError::MaxRoundsExceeded(100));
+    }
+
+    struct Idle;
+    impl Protocol for Idle {
+        type Msg = Ping;
+        fn start(&mut self, _: &mut Ctx<'_, Ping>) {}
+        fn on_receive(&mut self, _: usize, _: &[Envelope<Ping>], _: &mut Ctx<'_, Ping>) {}
+    }
+
+    #[test]
+    fn quiescent_protocol_takes_zero_rounds() {
+        let g = generators::path(3);
+        let report = run_protocol(&g, &EngineConfig::default(), 1, &mut Idle).unwrap();
+        assert_eq!(report.rounds, 0);
+        assert_eq!(report.messages, 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic_in_the_seed() {
+        // The flood tie-breaks are deterministic; more importantly the
+        // engine delivers in sorted edge/node order, so reports match.
+        let g = generators::torus2d(4, 5);
+        let mut p1 = Flood { seen: vec![false; g.n()] };
+        let mut p2 = Flood { seen: vec![false; g.n()] };
+        let r1 = run_protocol(&g, &EngineConfig::default(), 9, &mut p1).unwrap();
+        let r2 = run_protocol(&g, &EngineConfig::default(), 9, &mut p2).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(p1.seen, p2.seen);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-edge")]
+    fn sending_along_non_edge_panics() {
+        struct Bad;
+        impl Protocol for Bad {
+            type Msg = Ping;
+            fn start(&mut self, ctx: &mut Ctx<'_, Ping>) {
+                ctx.send(0, 2, Ping(0)); // path(3): 0-1-2, no 0-2 edge
+            }
+            fn on_receive(&mut self, _: usize, _: &[Envelope<Ping>], _: &mut Ctx<'_, Ping>) {}
+        }
+        let g = generators::path(3);
+        let _ = run_protocol(&g, &EngineConfig::default(), 1, &mut Bad);
+    }
+}

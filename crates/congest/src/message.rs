@@ -1,0 +1,61 @@
+//! Message trait and envelope types.
+
+use drw_graph::NodeId;
+
+/// A CONGEST message.
+///
+/// Implementors report their size in `O(log n)`-bit *words* so the engine
+/// can enforce the bandwidth constraint. A word holds one node id, one
+/// counter bounded by `poly(n)`, or one walk-length — anything with
+/// `O(log n)` bits. The default of one word suits single-field messages;
+/// override for compound payloads.
+pub trait Message: Clone + std::fmt::Debug {
+    /// Size of this message in `O(log n)`-bit words.
+    fn size_words(&self) -> usize {
+        1
+    }
+}
+
+/// A delivered message with its sender and receiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// The payload.
+    pub msg: M,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    struct Unit;
+    impl Message for Unit {}
+
+    #[derive(Clone, Debug)]
+    struct Wide(#[allow(dead_code)] [u64; 3]);
+    impl Message for Wide {
+        fn size_words(&self) -> usize {
+            3
+        }
+    }
+
+    #[test]
+    fn default_size_is_one_word() {
+        assert_eq!(Unit.size_words(), 1);
+        assert_eq!(Wide([0; 3]).size_words(), 3);
+    }
+
+    #[test]
+    fn envelope_fields() {
+        let e = Envelope {
+            from: 1,
+            to: 2,
+            msg: Unit,
+        };
+        assert_eq!((e.from, e.to), (1, 2));
+    }
+}

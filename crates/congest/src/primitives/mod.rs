@@ -1,0 +1,27 @@
+//! Reusable distributed primitives, each a [`crate::Protocol`]:
+//!
+//! - [`BfsTreeProtocol`] — builds a BFS tree rooted anywhere in `O(D)`
+//!   rounds, including the child-status handshake that lets every node
+//!   learn its exact children set (needed for convergecasts without
+//!   global knowledge of `D`);
+//! - [`BroadcastProtocol`] — floods a small payload down a built tree in
+//!   `O(depth)` rounds (Sweep 3 of `SAMPLE-DESTINATION`, cover-check
+//!   announcements, ...);
+//! - [`ConvergecastProtocol`] — aggregates a `u64` per node up the tree
+//!   (sum/min/max) in `O(depth)` rounds (used for counting walk tokens,
+//!   cover checks and degree sums);
+//! - [`UpcastProtocol`] — pipelined collection of many small items at the
+//!   root in `O(depth + #items)` rounds (the "standard upcast" the paper
+//!   invokes for bucket statistics in Section 4.2).
+
+mod bfs;
+mod broadcast;
+mod convergecast;
+mod upcast;
+mod vecsum;
+
+pub use bfs::{BfsMsg, BfsTree, BfsTreeProtocol};
+pub use broadcast::{BroadcastMsg, BroadcastProtocol};
+pub use convergecast::{AggOp, ConvergecastMsg, ConvergecastProtocol};
+pub use upcast::{UpcastItem, UpcastMsg, UpcastProtocol};
+pub use vecsum::{VecSumMsg, VectorSumProtocol};

@@ -1,0 +1,149 @@
+//! Sequential composition of sub-protocols.
+//!
+//! The paper's algorithms are multi-phase: Phase 1 (short walks), then a
+//! stitching loop where every stitch runs `SAMPLE-DESTINATION` (itself a
+//! BFS plus two tree sweeps), occasionally `GET-MORE-WALKS`, and a final
+//! naive tail. Sequential composition in CONGEST simply sums the rounds of
+//! the parts; [`Runner`] does that bookkeeping and derives a fresh RNG
+//! stream per part.
+
+use crate::engine::{run_protocol, EngineConfig, RunError, RunReport};
+use crate::protocol::Protocol;
+use crate::rng::derive_seed;
+use drw_graph::Graph;
+
+/// Runs sub-protocols on a shared graph, accumulating round/message
+/// totals.
+///
+/// # Example
+///
+/// ```
+/// use drw_congest::{primitives::BfsTreeProtocol, EngineConfig, Runner};
+/// use drw_graph::generators;
+///
+/// # fn main() -> Result<(), drw_congest::RunError> {
+/// let g = generators::torus2d(4, 4);
+/// let mut runner = Runner::new(&g, EngineConfig::default(), 42);
+/// let mut bfs = BfsTreeProtocol::new(0);
+/// runner.run(&mut bfs)?;
+/// let tree = bfs.into_tree();
+/// assert_eq!(tree.dist[0], 0);
+/// assert!(runner.total_rounds() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Runner<'g> {
+    graph: &'g Graph,
+    cfg: EngineConfig,
+    seed: u64,
+    seq: u64,
+    total_rounds: u64,
+    total_messages: u64,
+    total_words: u64,
+    runs: u64,
+}
+
+impl<'g> Runner<'g> {
+    /// Creates a runner over `graph` with the given engine configuration
+    /// and master seed.
+    pub fn new(graph: &'g Graph, cfg: EngineConfig, seed: u64) -> Self {
+        Runner {
+            graph,
+            cfg,
+            seed,
+            seq: 0,
+            total_rounds: 0,
+            total_messages: 0,
+            total_words: 0,
+            runs: 0,
+        }
+    }
+
+    /// Runs one sub-protocol to completion and accumulates its statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`] from the engine.
+    pub fn run<P: Protocol>(&mut self, protocol: &mut P) -> Result<RunReport, RunError> {
+        let seed = derive_seed(self.seed, self.seq);
+        self.seq += 1;
+        let report = run_protocol(self.graph, &self.cfg, seed, protocol)?;
+        self.total_rounds += report.rounds;
+        self.total_messages += report.messages;
+        self.total_words += report.words;
+        self.runs += 1;
+        Ok(report)
+    }
+
+    /// Charges extra rounds that occur outside any sub-protocol (e.g. an
+    /// explicit synchronization barrier the paper accounts for).
+    pub fn charge_rounds(&mut self, rounds: u64) {
+        self.total_rounds += rounds;
+    }
+
+    /// The graph under simulation.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Engine configuration used for each sub-protocol.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Total rounds across all sub-protocols so far.
+    pub fn total_rounds(&self) -> u64 {
+        self.total_rounds
+    }
+
+    /// Total messages delivered across all sub-protocols so far.
+    pub fn total_messages(&self) -> u64 {
+        self.total_messages
+    }
+
+    /// Total delivered words across all sub-protocols so far.
+    pub fn total_words(&self) -> u64 {
+        self.total_words
+    }
+
+    /// Number of sub-protocols executed.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitives::BfsTreeProtocol;
+    use drw_graph::generators;
+
+    #[test]
+    fn accumulates_rounds_across_runs() {
+        let g = generators::path(6);
+        let mut runner = Runner::new(&g, EngineConfig::default(), 3);
+        let mut a = BfsTreeProtocol::new(0);
+        let ra = runner.run(&mut a).unwrap();
+        let mut b = BfsTreeProtocol::new(5);
+        let rb = runner.run(&mut b).unwrap();
+        assert_eq!(runner.total_rounds(), ra.rounds + rb.rounds);
+        assert_eq!(runner.runs(), 2);
+        assert!(runner.total_messages() >= ra.messages + rb.messages);
+    }
+
+    #[test]
+    fn charge_rounds_adds_to_total() {
+        let g = generators::path(3);
+        let mut runner = Runner::new(&g, EngineConfig::default(), 3);
+        runner.charge_rounds(17);
+        assert_eq!(runner.total_rounds(), 17);
+    }
+
+    #[test]
+    fn sub_protocols_get_distinct_seeds() {
+        // Two identical sub-protocols in sequence should *not* replay the
+        // exact same randomness: their seeds differ by sequence number.
+        assert_ne!(derive_seed(9, 0), derive_seed(9, 1));
+    }
+}

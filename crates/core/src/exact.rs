@@ -1,0 +1,85 @@
+//! Centralized ground truth for validating the distributed algorithms.
+//!
+//! The paper's claim is that `SINGLE-RANDOM-WALK` outputs a node with
+//! *exactly* the `l`-step walk distribution. These helpers compute that
+//! distribution by exact matrix-vector products and also sample walks
+//! centrally (for Lemma 2.6 statistics, where only the walk process
+//! matters, not the protocol).
+
+use drw_graph::{spectral, Graph, NodeId};
+use rand::Rng;
+
+/// Exact distribution of the simple `len`-step walk from `source`
+/// (delegates to [`drw_graph::spectral::distribution_after`]).
+pub fn exact_distribution(g: &Graph, source: NodeId, len: u64) -> Vec<f64> {
+    spectral::distribution_after(g, source, len as usize, spectral::WalkKind::Simple)
+}
+
+/// Samples one `len`-step walk centrally; returns the full trajectory
+/// (`len + 1` nodes).
+pub fn sample_walk<R: Rng + ?Sized>(g: &Graph, source: NodeId, len: u64, rng: &mut R) -> Vec<NodeId> {
+    assert!(source < g.n(), "source out of range");
+    let mut walk = Vec::with_capacity(len as usize + 1);
+    let mut at = source;
+    walk.push(at);
+    for _ in 0..len {
+        at = g.random_neighbor(at, rng);
+        walk.push(at);
+    }
+    walk
+}
+
+/// Samples only the destination of a `len`-step walk centrally.
+pub fn sample_destination<R: Rng + ?Sized>(
+    g: &Graph,
+    source: NodeId,
+    len: u64,
+    rng: &mut R,
+) -> NodeId {
+    let mut at = source;
+    for _ in 0..len {
+        at = g.random_neighbor(at, rng);
+    }
+    at
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drw_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_distribution_sums_to_one() {
+        let g = generators::torus2d(4, 4);
+        let p = exact_distribution(&g, 0, 17);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn walk_steps_are_edges() {
+        let g = generators::lollipop(5, 5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let walk = sample_walk(&g, 0, 200, &mut rng);
+        assert_eq!(walk.len(), 201);
+        for w in walk.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn sampled_destinations_match_exact_distribution() {
+        // Statistical check with a fixed seed.
+        let g = generators::complete(6);
+        let len = 3u64;
+        let probs = exact_distribution(&g, 0, len);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0u64; g.n()];
+        for _ in 0..6000 {
+            counts[sample_destination(&g, 0, len, &mut rng)] += 1;
+        }
+        let test = drw_stats::chi2::chi_square_against_probs(&counts, &probs);
+        assert!(test.passes(0.001), "{test:?}");
+    }
+}

@@ -1,0 +1,73 @@
+//! The PODC 2010 paper's primary contribution: performing random walks in
+//! a distributed network in rounds *sublinear* in the walk length.
+//!
+//! Given an undirected connected graph, a source `s` and a length `l`,
+//! [`single_random_walk`] produces a **true sample** from the `l`-step
+//! simple-random-walk distribution from `s` in `~O(sqrt(l * D))` CONGEST
+//! rounds w.h.p. (Theorem 2.5), against the naive `O(l)` token walk
+//! ([`naive::naive_walk`]) and the PODC 2009 baseline's
+//! `~O(l^{2/3} D^{1/3})` ([`podc09::podc09_walk`]).
+//! [`many_random_walks`] extends this to `k` walks in
+//! `~O(min(sqrt(k l D) + k, k + l))` rounds (Theorem 2.8).
+//!
+//! # Algorithm structure (Section 2 of the paper)
+//!
+//! - **Phase 1** ([`short_walks`]): every node `v` launches
+//!   `eta * deg(v)` short walks whose lengths are uniform in
+//!   `[lambda, 2*lambda - 1]` — the randomized length is the paper's key
+//!   idea, defeating periodic connector pile-ups (Lemma 2.7). Endpoints
+//!   remember `(source, seq, length)`; every intermediate node logs its
+//!   forwarding choice so walks can later be *regenerated*
+//!   ([`regenerate`]).
+//! - **Phase 2** ([`single_walk`]): the source stitches short walks.
+//!   Each stitch runs [`sample_destination`] (Algorithm 3: BFS tree plus
+//!   a sampling convergecast and a deletion broadcast, `O(D)` rounds) to
+//!   pick an *unused* short walk of the current connector uniformly at
+//!   random. A drained connector replenishes with [`get_more_walks`]
+//!   (Algorithm 2), whose aggregated-count diffusion plus *reservoir
+//!   sampling* realizes the random lengths congestion-free. The final
+//!   `< 2*lambda` steps are walked naively.
+//!
+//! The implementation is **Las Vegas** exactly as the paper's: any
+//! parameter choice yields an exact sample; parameters only affect the
+//! round count. Practical defaults drop the paper's polylog constants
+//! (`lambda = c * sqrt(l * D)`, `eta = 1`); see [`params`] and DESIGN.md.
+//!
+//! # Example
+//!
+//! ```
+//! use drw_core::{single_random_walk, SingleWalkConfig};
+//! use drw_graph::generators;
+//!
+//! # fn main() -> Result<(), drw_core::WalkError> {
+//! let g = generators::torus2d(8, 8);
+//! let result = single_random_walk(&g, 0, 256, &SingleWalkConfig::default(), 42)?;
+//! assert!(result.destination < g.n());
+//! // Far fewer rounds than the naive 256 for a walk this long.
+//! println!("destination {} in {} rounds", result.destination, result.rounds);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod get_more_walks;
+pub mod many_walks;
+pub mod metropolis;
+pub mod naive;
+pub mod params;
+pub mod podc09;
+pub mod regenerate;
+pub mod sample_destination;
+pub mod short_walks;
+pub mod single_walk;
+pub mod state;
+pub mod visit_stats;
+
+pub use many_walks::{many_random_walks, ManyWalksResult};
+pub use naive::naive_walk;
+pub use params::{Podc09Params, WalkParams};
+pub use single_walk::{single_random_walk, Segment, SingleWalkConfig, SingleWalkResult, WalkError};
+pub use state::{StoredWalk, Visit, WalkId, WalkState};

@@ -1,0 +1,242 @@
+//! `MANY-RANDOM-WALKS` (Section 2.3): `k` walks of length `l` from
+//! arbitrary (not necessarily distinct) sources in
+//! `~O(min(sqrt(k l D) + k, k + l))` rounds (Theorem 2.8).
+//!
+//! The driver picks between two regimes exactly as the paper does:
+//! if the scaled `lambda = c (sqrt(k l D) + k)` exceeds `l`, all `k`
+//! tokens simply walk naively *simultaneously* (edge queues absorb the
+//! congestion, giving the `k + l` branch); otherwise one Phase 1 prepares
+//! a shared short-walk store and the walks are stitched one at a time.
+
+use crate::naive::{NaiveWalkProtocol, NaiveWalkSpec};
+use crate::short_walks::ShortWalksProtocol;
+use crate::single_walk::{stitch_prefix, SingleWalkConfig, StitchSetup, WalkError};
+use crate::state::WalkState;
+use drw_congest::primitives::BfsTreeProtocol;
+use drw_congest::Runner;
+use drw_graph::{traversal, Graph, NodeId};
+
+/// Result of [`many_random_walks`].
+#[derive(Debug, Clone)]
+pub struct ManyWalksResult {
+    /// Destination of each walk, in source order.
+    pub destinations: Vec<NodeId>,
+    /// Total CONGEST rounds.
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// The `lambda` used (0 in the naive-fallback regime).
+    pub lambda: u32,
+    /// Whether the `k + l` naive branch was taken.
+    pub used_naive_fallback: bool,
+    /// Total stitches across all walks.
+    pub stitches: u64,
+    /// Total `GET-MORE-WALKS` invocations.
+    pub gmw_invocations: u64,
+    /// How many times each node served as a connector.
+    pub connector_visits: Vec<u32>,
+}
+
+/// Performs `k` random walks of `len` steps from `sources`.
+///
+/// # Errors
+///
+/// Same as [`crate::single_random_walk`].
+///
+/// # Example
+///
+/// ```
+/// use drw_core::{many_random_walks, SingleWalkConfig};
+/// use drw_graph::generators;
+///
+/// # fn main() -> Result<(), drw_core::WalkError> {
+/// let g = generators::torus2d(6, 6);
+/// let r = many_random_walks(&g, &[0, 0, 7, 20], 256, &SingleWalkConfig::default(), 5)?;
+/// assert_eq!(r.destinations.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn many_random_walks(
+    g: &Graph,
+    sources: &[NodeId],
+    len: u64,
+    cfg: &SingleWalkConfig,
+    seed: u64,
+) -> Result<ManyWalksResult, WalkError> {
+    for &s in sources {
+        if s >= g.n() {
+            return Err(WalkError::SourceOutOfRange(s));
+        }
+    }
+    if !traversal::is_connected(g) {
+        return Err(WalkError::Disconnected);
+    }
+    let k = sources.len() as u64;
+    let mut runner = Runner::new(g, cfg.engine.clone(), seed);
+    let mut connector_visits = vec![0u32; g.n()];
+    if sources.is_empty() {
+        return Ok(ManyWalksResult {
+            destinations: Vec::new(),
+            rounds: 0,
+            messages: 0,
+            lambda: 0,
+            used_naive_fallback: false,
+            stitches: 0,
+            gmw_invocations: 0,
+            connector_visits,
+        });
+    }
+
+    // Diameter estimate from the first source.
+    let mut bfs = BfsTreeProtocol::new(sources[0]);
+    runner.run(&mut bfs)?;
+    let d_est = bfs.into_tree().depth().max(1) as u64;
+
+    let lambda = cfg.params.lambda_many(k, len, d_est);
+    // Theorem 2.8: "If lambda > l then run the naive random walk
+    // algorithm, i.e., the sources find walks of length l simultaneously
+    // by sending tokens." (lambda_many clamps at l, so test >= l.)
+    if u64::from(lambda) >= len.max(1) {
+        let specs: Vec<NaiveWalkSpec> = sources
+            .iter()
+            .map(|&source| NaiveWalkSpec {
+                source,
+                len,
+                start_pos: 0,
+                record_start: false,
+            })
+            .collect();
+        let mut naive = NaiveWalkProtocol::new(specs, None);
+        runner.run(&mut naive)?;
+        return Ok(ManyWalksResult {
+            destinations: naive.destinations(),
+            rounds: runner.total_rounds(),
+            messages: runner.total_messages(),
+            lambda: 0,
+            used_naive_fallback: true,
+            stitches: 0,
+            gmw_invocations: 0,
+            connector_visits,
+        });
+    }
+
+    // Phase 1 once, shared by all k walks.
+    let mut state = WalkState::new(g.n());
+    let counts: Vec<usize> = (0..g.n())
+        .map(|v| {
+            if cfg.degree_proportional {
+                cfg.params.walks_for_degree(g.degree(v))
+            } else {
+                cfg.params.walks_for_degree(1)
+            }
+        })
+        .collect();
+    let mut p1 = ShortWalksProtocol::new(&mut state, counts, lambda, cfg.randomize_len);
+    runner.run(&mut p1)?;
+
+    // Phase 2: stitch walks one at a time (Section 2.3).
+    let setup = StitchSetup {
+        lambda,
+        randomize_len: cfg.randomize_len,
+        aggregated_gmw: cfg.aggregated_gmw,
+        gmw_count: (len / lambda as u64).max(1),
+        record: false,
+    };
+    // Stitch prefixes one walk at a time (they contend for the shared
+    // store), but batch all naive tails into ONE concurrent run: tails
+    // never touch the store, and running the k tails (each < 2*lambda
+    // steps) together costs ~2*lambda rounds instead of k * 2*lambda —
+    // without this, the tails alone would make the algorithm linear in k
+    // and void Theorem 2.8's bound.
+    let mut stitches = 0u64;
+    let mut gmw_invocations = 0u64;
+    let mut tails = Vec::with_capacity(sources.len());
+    for &source in sources {
+        let prefix = stitch_prefix(&mut runner, &mut state, source, len, &setup, &mut connector_visits)?;
+        stitches += prefix.stitches;
+        gmw_invocations += prefix.gmw_invocations;
+        tails.push(NaiveWalkSpec {
+            source: prefix.current,
+            len: len - prefix.completed,
+            start_pos: prefix.completed,
+            record_start: false,
+        });
+    }
+    let mut naive = NaiveWalkProtocol::new(tails, None);
+    runner.run(&mut naive)?;
+    let destinations = naive.destinations();
+
+    Ok(ManyWalksResult {
+        destinations,
+        rounds: runner.total_rounds(),
+        messages: runner.total_messages(),
+        lambda,
+        used_naive_fallback: false,
+        stitches,
+        gmw_invocations,
+        connector_visits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drw_graph::generators;
+
+    #[test]
+    fn returns_one_destination_per_source() {
+        let g = generators::torus2d(5, 5);
+        let sources = [0, 0, 12, 24, 7];
+        let r = many_random_walks(&g, &sources, 200, &SingleWalkConfig::default(), 1).unwrap();
+        assert_eq!(r.destinations.len(), 5);
+        assert!(r.destinations.iter().all(|&d| d < g.n()));
+    }
+
+    #[test]
+    fn empty_sources_is_trivial() {
+        let g = generators::path(4);
+        let r = many_random_walks(&g, &[], 100, &SingleWalkConfig::default(), 1).unwrap();
+        assert!(r.destinations.is_empty());
+        assert_eq!(r.rounds, 0);
+    }
+
+    #[test]
+    fn naive_fallback_for_many_short_walks() {
+        // Large k, small l: lambda_many > l, so the k + l branch runs.
+        let g = generators::torus2d(4, 4);
+        let sources: Vec<usize> = (0..16).collect();
+        let r = many_random_walks(&g, &sources, 8, &SingleWalkConfig::default(), 2).unwrap();
+        assert!(r.used_naive_fallback);
+        assert_eq!(r.stitches, 0);
+        assert_eq!(r.destinations.len(), 16);
+    }
+
+    #[test]
+    fn stitched_regime_for_long_walks() {
+        let g = generators::torus2d(6, 6);
+        let r = many_random_walks(&g, &[0, 18], 4096, &SingleWalkConfig::default(), 3).unwrap();
+        assert!(!r.used_naive_fallback);
+        assert!(r.stitches > 0);
+        // Two stitched walks should still beat 2 * naive.
+        assert!(r.rounds < 2 * 4096, "rounds = {}", r.rounds);
+    }
+
+    #[test]
+    fn parity_preserved_for_every_walk() {
+        let g = generators::torus2d(4, 4);
+        let sources = [0usize, 5, 10];
+        let r = many_random_walks(&g, &sources, 64, &SingleWalkConfig::default(), 4).unwrap();
+        for (&s, &d) in sources.iter().zip(&r.destinations) {
+            let ps = (s / 4 + s % 4) % 2;
+            let pd = (d / 4 + d % 4) % 2;
+            assert_eq!(ps, pd, "even-length walk from {s} to {d} broke parity");
+        }
+    }
+
+    #[test]
+    fn bad_source_rejected() {
+        let g = generators::path(4);
+        let err = many_random_walks(&g, &[0, 7], 10, &SingleWalkConfig::default(), 1).unwrap_err();
+        assert_eq!(err, WalkError::SourceOutOfRange(7));
+    }
+}

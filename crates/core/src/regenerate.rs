@@ -1,0 +1,230 @@
+//! Walk regeneration: replay stitched segments so every node learns its
+//! position(s) in the full `l`-step walk (end of Section 2.2).
+//!
+//! The source's stitched walk is a concatenation of short walks whose
+//! intermediate nodes logged their forwarding decisions during Phase 1.
+//! To regenerate, each connector injects a replay token into its used
+//! short walk, carrying `(walk id, step, global position)`; every node on
+//! the path records `(position, predecessor)` and forwards the token per
+//! its log. All segments replay *in parallel*, so the cost is bounded by
+//! the Phase-1 time (the paper: "sending a message through every short
+//! walk generated in Phase 1 takes time at most the time taken in
+//! Phase 1").
+//!
+//! The recorded predecessors are exactly what the random-spanning-tree
+//! application needs: each node's first-visit edge (Section 4.1).
+
+use crate::state::{WalkId, WalkState};
+use drw_congest::{Ctx, Envelope, Message, Protocol};
+use drw_graph::NodeId;
+
+/// A replay token traversing a logged short walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayMsg {
+    /// Walk source.
+    pub source: u32,
+    /// Walk sequence number.
+    pub seq: u32,
+    /// Step index of the receiving node within the short walk.
+    pub step: u32,
+    /// Global position of the receiving node within the `l`-step walk.
+    pub pos: u64,
+}
+
+impl Message for ReplayMsg {
+    fn size_words(&self) -> usize {
+        4
+    }
+}
+
+/// One segment to replay: a used short walk and where it sits in the
+/// global walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplaySegment {
+    /// The connector that launched (and now replays) the short walk.
+    pub connector: NodeId,
+    /// The walk to replay (must be replayable).
+    pub id: WalkId,
+    /// Global position of the connector at the start of this segment.
+    pub start_pos: u64,
+}
+
+/// Replays segments in parallel, recording visits into the shared
+/// [`WalkState`].
+#[derive(Debug)]
+pub struct ReplayProtocol<'s> {
+    state: &'s mut WalkState,
+    segments: Vec<ReplaySegment>,
+}
+
+impl<'s> ReplayProtocol<'s> {
+    /// Creates a replay of `segments`.
+    pub fn new(state: &'s mut WalkState, segments: Vec<ReplaySegment>) -> Self {
+        ReplayProtocol { state, segments }
+    }
+}
+
+impl Protocol for ReplayProtocol<'_> {
+    type Msg = ReplayMsg;
+
+    fn start(&mut self, ctx: &mut Ctx<'_, ReplayMsg>) {
+        for i in 0..self.segments.len() {
+            let seg = self.segments[i];
+            debug_assert_eq!(
+                seg.id.source as usize, seg.connector,
+                "stitched walks start at their connector"
+            );
+            // The connector's own position is recorded as the *endpoint*
+            // of the previous segment (or pos 0 by the driver), so replay
+            // starts at step 1.
+            let next = *self.state.forward[seg.connector]
+                .get(&(seg.id.source, seg.id.seq, 0))
+                .unwrap_or_else(|| {
+                    panic!(
+                        "walk ({}, {}) has no forwarding log at its source — not replayable",
+                        seg.id.source, seg.id.seq
+                    )
+                });
+            ctx.send(
+                seg.connector,
+                next as usize,
+                ReplayMsg {
+                    source: seg.id.source,
+                    seq: seg.id.seq,
+                    step: 1,
+                    pos: seg.start_pos + 1,
+                },
+            );
+        }
+    }
+
+    fn on_receive(&mut self, node: NodeId, inbox: &[Envelope<ReplayMsg>], ctx: &mut Ctx<'_, ReplayMsg>) {
+        for env in inbox {
+            let m = &env.msg;
+            self.state.record_visit(node, m.pos, Some(env.from));
+            if let Some(&next) = self.state.forward[node].get(&(m.source, m.seq, m.step)) {
+                ctx.send(
+                    node,
+                    next as usize,
+                    ReplayMsg {
+                        source: m.source,
+                        seq: m.seq,
+                        step: m.step + 1,
+                        pos: m.pos + 1,
+                    },
+                );
+            }
+            // No log entry: this node is the segment's endpoint; the token
+            // stops here.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::short_walks::ShortWalksProtocol;
+    use drw_congest::{run_protocol, EngineConfig};
+    use drw_graph::generators;
+
+    /// Generates phase-1 walks, then replays one stored walk and checks
+    /// that recorded positions trace a valid path of the right length.
+    #[test]
+    fn replayed_segment_is_a_valid_path() {
+        let g = generators::torus2d(4, 4);
+        let mut state = WalkState::new(g.n());
+        let mut p1 = ShortWalksProtocol::new(&mut state, vec![1; g.n()], 6, true, );
+        run_protocol(&g, &EngineConfig::default(), 3, &mut p1).unwrap();
+
+        // Pick any stored walk.
+        let (endpoint, walk) = state
+            .store
+            .iter()
+            .enumerate()
+            .find_map(|(v, s)| s.first().map(|w| (v, *w)))
+            .expect("phase 1 stored walks");
+        let seg = ReplaySegment {
+            connector: walk.id.source as usize,
+            id: walk.id,
+            start_pos: 100,
+        };
+        let mut replay = ReplayProtocol::new(&mut state, vec![seg]);
+        let report = run_protocol(&g, &EngineConfig::default(), 4, &mut replay).unwrap();
+        assert_eq!(report.rounds, walk.len as u64);
+
+        // Visits cover positions 101..=100+len and end at the endpoint.
+        let mut recorded: Vec<(u64, usize, Option<usize>)> = Vec::new();
+        for (v, vs) in state.visits.iter().enumerate() {
+            for visit in vs {
+                recorded.push((visit.pos, v, visit.pred));
+            }
+        }
+        recorded.sort_unstable();
+        assert_eq!(recorded.len(), walk.len as usize);
+        assert_eq!(recorded[0].0, 101);
+        assert_eq!(recorded.last().unwrap().0, 100 + walk.len as u64);
+        assert_eq!(recorded.last().unwrap().1, endpoint);
+        // Predecessors chain correctly.
+        let mut prev_node = walk.id.source as usize;
+        for &(_, node, pred) in &recorded {
+            assert_eq!(pred, Some(prev_node));
+            assert!(g.has_edge(prev_node, node));
+            prev_node = node;
+        }
+    }
+
+    #[test]
+    fn parallel_replays_do_not_interfere() {
+        let g = generators::complete(8);
+        let mut state = WalkState::new(g.n());
+        let mut p1 = ShortWalksProtocol::new(&mut state, vec![2; g.n()], 4, true);
+        run_protocol(&g, &EngineConfig::default(), 5, &mut p1).unwrap();
+
+        // Replay every stored walk at disjoint position ranges.
+        let mut segments = Vec::new();
+        let mut offset = 0u64;
+        let mut total_len = 0u64;
+        for store in &state.store {
+            for w in store {
+                segments.push(ReplaySegment {
+                    connector: w.id.source as usize,
+                    id: w.id,
+                    start_pos: offset,
+                });
+                offset += 1000;
+                total_len += w.len as u64;
+            }
+        }
+        let count = segments.len();
+        let mut replay = ReplayProtocol::new(&mut state, segments);
+        run_protocol(&g, &EngineConfig::default(), 6, &mut replay).unwrap();
+        let visits: u64 = state.visits.iter().map(|v| v.len() as u64).sum();
+        assert_eq!(visits, total_len, "every step of all {count} walks recorded");
+    }
+
+    #[test]
+    #[should_panic(expected = "not replayable")]
+    fn non_replayable_walk_panics() {
+        let g = generators::path(4);
+        let mut state = WalkState::new(g.n());
+        state.store_walk(
+            2,
+            WalkId {
+                source: 1,
+                seq: crate::get_more_walks::AGGREGATED_SEQ,
+            },
+            3,
+            false,
+        );
+        let seg = ReplaySegment {
+            connector: 1,
+            id: WalkId {
+                source: 1,
+                seq: crate::get_more_walks::AGGREGATED_SEQ,
+            },
+            start_pos: 0,
+        };
+        let mut replay = ReplayProtocol::new(&mut state, vec![seg]);
+        let _ = run_protocol(&g, &EngineConfig::default(), 7, &mut replay);
+    }
+}

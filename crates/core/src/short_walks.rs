@@ -1,0 +1,246 @@
+//! Phase 1: every node launches short walks of random length.
+//!
+//! Each node `v` creates `counts[v]` tokens. Token `i` carries its source,
+//! a sequence number, and a target length `lambda + r_i` with `r_i`
+//! uniform in `[0, lambda - 1]` — the randomized lengths are the paper's
+//! key device against periodic connector pile-ups (Lemma 2.7; ablation A1
+//! switches them off to show why). Tokens move one uniformly random hop
+//! per round; the engine's per-edge queues realize the congestion
+//! schedule whose length Lemma 2.1 bounds by `O(lambda * eta * log n)`
+//! w.h.p.
+//!
+//! Every forwarding decision is logged into [`WalkState::forward`] so the
+//! stitched walk can later be *regenerated* ([`crate::regenerate`]), and
+//! every finished token is stored at its endpoint — "only the destination
+//! of each of these walks is aware of its source" (Section 2.1).
+
+use crate::state::{WalkId, WalkState};
+use drw_congest::{Ctx, Envelope, Message, Protocol};
+use drw_graph::NodeId;
+use rand::Rng;
+
+/// A short-walk token in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShortWalkMsg {
+    /// Walk source.
+    pub source: u32,
+    /// Per-source sequence number.
+    pub seq: u32,
+    /// Step index of the *receiving* node (the receiver is the `step`-th
+    /// node of the walk, 0-indexed).
+    pub step: u32,
+    /// Total walk length.
+    pub total: u32,
+}
+
+impl Message for ShortWalkMsg {
+    fn size_words(&self) -> usize {
+        4
+    }
+}
+
+/// Phase-1 protocol: launches `counts[v]` short walks from every node `v`.
+///
+/// Also used (with a single nonzero count) as the *per-token* variant of
+/// `GET-MORE-WALKS`, which preserves replayability at the cost of
+/// congestion.
+#[derive(Debug)]
+pub struct ShortWalksProtocol<'s> {
+    state: &'s mut WalkState,
+    counts: Vec<usize>,
+    lambda: u32,
+    randomize_len: bool,
+}
+
+impl<'s> ShortWalksProtocol<'s> {
+    /// Creates the protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda == 0`.
+    pub fn new(state: &'s mut WalkState, counts: Vec<usize>, lambda: u32, randomize_len: bool) -> Self {
+        assert!(lambda >= 1, "lambda must be at least 1");
+        ShortWalksProtocol {
+            state,
+            counts,
+            lambda,
+            randomize_len,
+        }
+    }
+}
+
+impl Protocol for ShortWalksProtocol<'_> {
+    type Msg = ShortWalkMsg;
+
+    fn start(&mut self, ctx: &mut Ctx<'_, ShortWalkMsg>) {
+        let n = ctx.graph().n();
+        assert_eq!(self.counts.len(), n, "one count per node required");
+        for v in 0..n {
+            let count = self.counts[v];
+            if count == 0 {
+                continue;
+            }
+            assert!(ctx.graph().degree(v) > 0, "node {v} cannot walk: no neighbors");
+            let first_seq = self.state.alloc_seqs(v, count);
+            for i in 0..count {
+                let seq = first_seq + i as u32;
+                let r = if self.randomize_len {
+                    ctx.rng(v).random_range(0..self.lambda)
+                } else {
+                    0
+                };
+                let total = self.lambda + r;
+                let next = ctx.send_random_neighbor(
+                    v,
+                    ShortWalkMsg {
+                        source: v as u32,
+                        seq,
+                        step: 1,
+                        total,
+                    },
+                );
+                self.state.forward[v].insert((v as u32, seq, 0), next as u32);
+            }
+        }
+    }
+
+    fn on_receive(&mut self, node: NodeId, inbox: &[Envelope<ShortWalkMsg>], ctx: &mut Ctx<'_, ShortWalkMsg>) {
+        for env in inbox {
+            let m = &env.msg;
+            if m.step == m.total {
+                self.state.store_walk(
+                    node,
+                    WalkId {
+                        source: m.source,
+                        seq: m.seq,
+                    },
+                    m.total,
+                    true,
+                );
+            } else {
+                let next = ctx.send_random_neighbor(
+                    node,
+                    ShortWalkMsg {
+                        source: m.source,
+                        seq: m.seq,
+                        step: m.step + 1,
+                        total: m.total,
+                    },
+                );
+                self.state.forward[node].insert((m.source, m.seq, m.step), next as u32);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drw_congest::{run_protocol, EngineConfig};
+    use drw_graph::generators;
+
+    fn run_phase1(
+        g: &drw_graph::Graph,
+        counts: Vec<usize>,
+        lambda: u32,
+        randomize: bool,
+        seed: u64,
+    ) -> (WalkState, u64) {
+        let mut state = WalkState::new(g.n());
+        let mut p = ShortWalksProtocol::new(&mut state, counts, lambda, randomize);
+        let report = run_protocol(g, &EngineConfig::default(), seed, &mut p).unwrap();
+        (state, report.rounds)
+    }
+
+    #[test]
+    fn every_walk_is_stored_once() {
+        let g = generators::torus2d(5, 5);
+        let counts: Vec<usize> = (0..g.n()).map(|v| g.degree(v)).collect();
+        let total: usize = counts.iter().sum();
+        let (state, _) = run_phase1(&g, counts, 8, true, 3);
+        assert_eq!(state.total_stored(), total);
+    }
+
+    #[test]
+    fn lengths_are_in_range() {
+        let g = generators::complete(10);
+        let lambda = 5;
+        let (state, _) = run_phase1(&g, vec![4; 10], lambda, true, 5);
+        for store in &state.store {
+            for w in store {
+                assert!(w.len >= lambda && w.len < 2 * lambda, "len = {}", w.len);
+                assert!(w.replayable);
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_lengths_when_not_randomized() {
+        let g = generators::complete(8);
+        let (state, _) = run_phase1(&g, vec![3; 8], 6, false, 5);
+        for store in &state.store {
+            for w in store {
+                assert_eq!(w.len, 6);
+            }
+        }
+    }
+
+    #[test]
+    fn random_lengths_are_roughly_uniform() {
+        // Statistical check with a fixed seed: chi-square over [lambda, 2*lambda).
+        let g = generators::complete(20);
+        let lambda = 8u32;
+        let (state, _) = run_phase1(&g, vec![40; 20], lambda, true, 7);
+        let mut counts = vec![0u64; lambda as usize];
+        for store in &state.store {
+            for w in store {
+                counts[(w.len - lambda) as usize] += 1;
+            }
+        }
+        let test = drw_stats::chi_square_uniform(&counts);
+        assert!(test.passes(0.001), "{test:?}");
+    }
+
+    #[test]
+    fn forward_log_traces_every_walk_to_its_endpoint() {
+        let g = generators::torus2d(4, 4);
+        let counts = vec![2; g.n()];
+        let (state, _) = run_phase1(&g, counts, 6, true, 9);
+        // Replay each stored walk through the forward log centrally.
+        let mut replayed = 0;
+        for (endpoint, store) in state.store.iter().enumerate() {
+            for w in store {
+                let mut at = w.id.source as usize;
+                for step in 0..w.len {
+                    let next = state.forward[at]
+                        .get(&(w.id.source, w.id.seq, step))
+                        .unwrap_or_else(|| panic!("missing forward entry at {at} step {step}"));
+                    assert!(g.has_edge(at, *next as usize));
+                    at = *next as usize;
+                }
+                assert_eq!(at, endpoint, "walk must end at its storage node");
+                replayed += 1;
+            }
+        }
+        assert_eq!(replayed, 2 * g.n());
+    }
+
+    #[test]
+    fn rounds_scale_with_lambda_and_eta() {
+        let g = generators::torus2d(5, 5);
+        let (_, r1) = run_phase1(&g, vec![1; g.n()], 8, true, 1);
+        let (_, r2) = run_phase1(&g, vec![1; g.n()], 32, true, 1);
+        assert!(r2 > r1, "longer walks take more rounds ({r1} vs {r2})");
+        // With one walk per node on a regular graph congestion is mild:
+        // rounds should be O(lambda * polylog), far below lambda * n.
+        assert!(r2 < 32 * 20, "rounds = {r2}");
+    }
+
+    #[test]
+    fn zero_counts_do_nothing() {
+        let g = generators::path(4);
+        let (state, rounds) = run_phase1(&g, vec![0; 4], 4, true, 1);
+        assert_eq!(state.total_stored(), 0);
+        assert_eq!(rounds, 0);
+    }
+}

@@ -1,0 +1,612 @@
+//! `SINGLE-RANDOM-WALK` (Algorithm 1): the paper's main result.
+//!
+//! Orchestrates the phases as a sequential composition of CONGEST
+//! sub-protocols (summed rounds, per Section 2):
+//!
+//! 1. a BFS from the source estimates the diameter (needed only to *set*
+//!    `lambda`; any estimate preserves correctness) — `O(D)` rounds;
+//! 2. Phase 1 prepares `eta * deg(v)` short walks per node of length
+//!    uniform in `[lambda, 2*lambda - 1]` — `~O(lambda * eta)` rounds;
+//! 3. Phase 2 stitches: while more than `2*lambda - 1` steps remain, run
+//!    `SAMPLE-DESTINATION` at the current connector (`O(D)` rounds),
+//!    replenishing via `GET-MORE-WALKS` if it is drained, and jump to the
+//!    sampled walk's endpoint;
+//! 4. the final `< 2*lambda` steps are walked naively;
+//! 5. optionally, the whole walk is regenerated so every node knows its
+//!    position(s) and first-visit predecessor.
+//!
+//! Correctness is *exact* (Las Vegas): each stitched segment is an
+//! independent random walk of uniformly random length from the current
+//! endpoint, each used at most once, so the concatenation has precisely
+//! the `l`-step walk distribution (Theorem 2.5, first part). Experiment
+//! E6 verifies this empirically against the exact distribution.
+
+use crate::get_more_walks::GetMoreWalksProtocol;
+use crate::naive::{NaiveWalkProtocol, NaiveWalkSpec};
+use crate::params::WalkParams;
+use crate::regenerate::{ReplayProtocol, ReplaySegment};
+use crate::sample_destination::SampleDestinationProtocol;
+use crate::short_walks::ShortWalksProtocol;
+use crate::state::{WalkId, WalkState};
+use drw_congest::primitives::BfsTreeProtocol;
+use drw_congest::{EngineConfig, RunError, Runner};
+use drw_graph::{traversal, Graph, NodeId};
+use std::fmt;
+
+/// Errors from the walk drivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalkError {
+    /// The underlying engine failed (round cap or bandwidth violation).
+    Engine(RunError),
+    /// The graph is not connected — the paper's model assumes it is.
+    Disconnected,
+    /// A source node id was out of range.
+    SourceOutOfRange(
+        /// The offending source.
+        NodeId,
+    ),
+}
+
+impl fmt::Display for WalkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalkError::Engine(e) => write!(f, "engine error: {e}"),
+            WalkError::Disconnected => write!(f, "graph must be connected"),
+            WalkError::SourceOutOfRange(s) => write!(f, "source {s} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for WalkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalkError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RunError> for WalkError {
+    fn from(e: RunError) -> Self {
+        WalkError::Engine(e)
+    }
+}
+
+/// Configuration of [`single_random_walk`] (defaults reproduce the PODC
+/// 2010 algorithm; the toggles are the ablation axes of experiments
+/// A1-A3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SingleWalkConfig {
+    /// `lambda` / `eta` selection.
+    pub params: WalkParams,
+    /// Randomize short-walk lengths over `[lambda, 2*lambda - 1]`
+    /// (the 2010 paper's key idea; `false` reverts to 2009-style fixed
+    /// lengths — ablation A1).
+    pub randomize_len: bool,
+    /// Allocate Phase-1 walks proportionally to degree (`eta * deg(v)`,
+    /// matching Lemma 2.6; `false` gives every node the same count —
+    /// ablation A3).
+    pub degree_proportional: bool,
+    /// Use the paper's aggregated `GET-MORE-WALKS` (`O(lambda)` rounds,
+    /// not replayable). `false` uses per-token replenishment
+    /// (replayable, congestion-priced). Automatically forced off when
+    /// `record_walk` is set.
+    pub aggregated_gmw: bool,
+    /// Regenerate the walk at the end so every node learns its
+    /// position(s) and first-visit predecessor.
+    pub record_walk: bool,
+    /// Engine configuration (bandwidth, round caps).
+    pub engine: EngineConfig,
+}
+
+impl Default for SingleWalkConfig {
+    fn default() -> Self {
+        SingleWalkConfig {
+            params: WalkParams::default(),
+            randomize_len: true,
+            degree_proportional: true,
+            aggregated_gmw: true,
+            record_walk: false,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// One stitched segment (the trace behind the paper's Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Connector that supplied the short walk.
+    pub connector: NodeId,
+    /// Identity of the short walk used.
+    pub id: WalkId,
+    /// Segment length.
+    pub len: u32,
+    /// Global position of the connector (segment start).
+    pub start_pos: u64,
+    /// The segment's endpoint (the next connector).
+    pub owner: NodeId,
+    /// Whether the segment can be replayed for regeneration.
+    pub replayable: bool,
+}
+
+/// Result of [`single_random_walk`].
+#[derive(Debug, Clone)]
+pub struct SingleWalkResult {
+    /// The sampled destination — distributed exactly as the `l`-step walk
+    /// from the source.
+    pub destination: NodeId,
+    /// Total CONGEST rounds (the paper's complexity measure).
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Rounds spent estimating the diameter (initial BFS).
+    pub rounds_bfs: u64,
+    /// Rounds spent in Phase 1.
+    pub rounds_phase1: u64,
+    /// Rounds spent stitching (all `SAMPLE-DESTINATION` +
+    /// `GET-MORE-WALKS` invocations).
+    pub rounds_stitch: u64,
+    /// Rounds spent on the final naive tail.
+    pub rounds_tail: u64,
+    /// Rounds spent regenerating the walk (0 unless `record_walk`).
+    pub rounds_replay: u64,
+    /// Number of stitches performed.
+    pub stitches: u64,
+    /// Number of `GET-MORE-WALKS` invocations (w.h.p. zero at the
+    /// paper's parameters; Theorem 2.5).
+    pub gmw_invocations: u64,
+    /// The `lambda` used.
+    pub lambda: u32,
+    /// Diameter estimate from the initial BFS (the source's
+    /// eccentricity).
+    pub diameter_estimate: u32,
+    /// How many times each node served as a connector (Lemma 2.7's
+    /// quantity).
+    pub connector_visits: Vec<u32>,
+    /// The stitch trace.
+    pub segments: Vec<Segment>,
+    /// Final per-node state; `state.visits` holds every node's
+    /// position(s) when `record_walk` was set.
+    pub state: WalkState,
+}
+
+/// Outcome of stitching one walk (shared by the single-, many- and
+/// PODC'09 drivers).
+#[derive(Debug, Clone)]
+pub struct StitchOutcome {
+    /// The walk's destination.
+    pub destination: NodeId,
+    /// Stitch trace.
+    pub segments: Vec<Segment>,
+    /// Stitches performed.
+    pub stitches: u64,
+    /// `GET-MORE-WALKS` invocations.
+    pub gmw_invocations: u64,
+    /// Rounds in the stitching loop.
+    pub rounds_stitch: u64,
+    /// Rounds in the naive tail.
+    pub rounds_tail: u64,
+}
+
+/// Internal knobs of the stitching loop.
+#[derive(Debug, Clone, Copy)]
+pub struct StitchSetup {
+    /// Short-walk base length.
+    pub lambda: u32,
+    /// Random lengths in `[lambda, 2*lambda - 1]`?
+    pub randomize_len: bool,
+    /// Aggregated (true) or per-token (false) `GET-MORE-WALKS`.
+    pub aggregated_gmw: bool,
+    /// Walks created per `GET-MORE-WALKS` invocation.
+    pub gmw_count: u64,
+    /// Record visits during the tail walk.
+    pub record: bool,
+}
+
+/// Result of stitching one walk's prefix (everything but the naive
+/// tail).
+#[derive(Debug, Clone)]
+pub struct StitchPrefix {
+    /// Where the walk stands after the last stitch.
+    pub current: NodeId,
+    /// Steps completed so far.
+    pub completed: u64,
+    /// Stitch trace.
+    pub segments: Vec<Segment>,
+    /// Stitches performed.
+    pub stitches: u64,
+    /// `GET-MORE-WALKS` invocations.
+    pub gmw_invocations: u64,
+    /// Rounds consumed by this prefix.
+    pub rounds: u64,
+}
+
+/// Stitches one walk's prefix: short walks from `source` until fewer
+/// than `2*lambda` steps remain. The `< 2*lambda`-step naive tail is
+/// *not* walked — callers either run it immediately ([`stitch_walk`]) or
+/// batch the tails of several walks into one concurrent naive run
+/// ([`crate::many_random_walks`] does this; the tails never touch the
+/// short-walk store, so overlapping them preserves correctness and is
+/// what keeps Theorem 2.8's `sqrt(k l D) + k` bound from degrading to
+/// `k * lambda`).
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn stitch_prefix(
+    runner: &mut Runner<'_>,
+    state: &mut WalkState,
+    source: NodeId,
+    len: u64,
+    setup: &StitchSetup,
+    connector_visits: &mut [u32],
+) -> Result<StitchPrefix, WalkError> {
+    let lambda = setup.lambda.max(1);
+    let mut completed: u64 = 0;
+    let mut current = source;
+    let mut segments = Vec::new();
+    let mut stitches = 0u64;
+    let mut gmw_invocations = 0u64;
+    let stitch_start = runner.total_rounds();
+
+    while len - completed >= 2 * lambda as u64 {
+        connector_visits[current] += 1;
+        let mut sd = SampleDestinationProtocol::new(state, current);
+        runner.run(&mut sd)?;
+        let mut chosen = sd.take_chosen();
+        if chosen.is_none() {
+            // Drained connector: replenish, then sample again (Algorithm
+            // 1, lines 7-10).
+            gmw_invocations += 1;
+            if setup.aggregated_gmw {
+                let mut gmw = GetMoreWalksProtocol::new(
+                    state,
+                    current,
+                    setup.gmw_count,
+                    lambda,
+                    setup.randomize_len,
+                );
+                runner.run(&mut gmw)?;
+            } else {
+                let mut counts = vec![0usize; runner.graph().n()];
+                counts[current] = setup.gmw_count as usize;
+                let mut gmw =
+                    ShortWalksProtocol::new(state, counts, lambda, setup.randomize_len);
+                runner.run(&mut gmw)?;
+            }
+            let mut sd = SampleDestinationProtocol::new(state, current);
+            runner.run(&mut sd)?;
+            chosen = sd.take_chosen();
+        }
+        let (owner, walk) = chosen.expect("GET-MORE-WALKS must leave walks to sample");
+        segments.push(Segment {
+            connector: current,
+            id: walk.id,
+            len: walk.len,
+            start_pos: completed,
+            owner,
+            replayable: walk.replayable,
+        });
+        completed += walk.len as u64;
+        current = owner;
+        stitches += 1;
+    }
+    Ok(StitchPrefix {
+        current,
+        completed,
+        segments,
+        stitches,
+        gmw_invocations,
+        rounds: runner.total_rounds() - stitch_start,
+    })
+}
+
+/// Phase 2 + tail for one walk: stitch short walks from `source` until
+/// fewer than `2*lambda` steps remain, then walk naively.
+///
+/// Exposed so the applications (random spanning trees, mixing-time
+/// estimation) can drive several walks over one shared Phase-1 store.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn stitch_walk(
+    runner: &mut Runner<'_>,
+    state: &mut WalkState,
+    source: NodeId,
+    len: u64,
+    setup: &StitchSetup,
+    connector_visits: &mut [u32],
+) -> Result<StitchOutcome, WalkError> {
+    let prefix = stitch_prefix(runner, state, source, len, setup, connector_visits)?;
+
+    // Final naive tail (at most 2*lambda - 1 steps; Algorithm 1 line 14).
+    // The tail never records its own start: position 0 is recorded by the
+    // driver, and a nonzero start position is recorded as the endpoint of
+    // the last replayed segment.
+    let tail = len - prefix.completed;
+    let tail_start = runner.total_rounds();
+    let mut tail_state = if setup.record { Some(&mut *state) } else { None };
+    let mut naive = NaiveWalkProtocol::new(
+        vec![NaiveWalkSpec {
+            source: prefix.current,
+            len: tail,
+            start_pos: prefix.completed,
+            record_start: false,
+        }],
+        tail_state.take(),
+    );
+    runner.run(&mut naive)?;
+    let destination = naive.destination(0);
+    let rounds_tail = runner.total_rounds() - tail_start;
+
+    Ok(StitchOutcome {
+        destination,
+        segments: prefix.segments,
+        stitches: prefix.stitches,
+        gmw_invocations: prefix.gmw_invocations,
+        rounds_stitch: prefix.rounds,
+        rounds_tail,
+    })
+}
+
+/// Performs a single random walk of `len` steps from `source`, returning
+/// an exact sample of the destination in `~O(sqrt(len * D))` rounds
+/// w.h.p. (Theorem 2.5).
+///
+/// # Errors
+///
+/// [`WalkError::Disconnected`] if the graph is not connected,
+/// [`WalkError::SourceOutOfRange`] for a bad source, or an engine error.
+///
+/// # Example
+///
+/// ```
+/// use drw_core::{single_random_walk, SingleWalkConfig};
+/// use drw_graph::generators;
+///
+/// # fn main() -> Result<(), drw_core::WalkError> {
+/// let g = generators::torus2d(6, 6);
+/// let r = single_random_walk(&g, 0, 512, &SingleWalkConfig::default(), 1)?;
+/// assert!(r.rounds < 512, "sublinear in the walk length");
+/// # Ok(())
+/// # }
+/// ```
+pub fn single_random_walk(
+    g: &Graph,
+    source: NodeId,
+    len: u64,
+    cfg: &SingleWalkConfig,
+    seed: u64,
+) -> Result<SingleWalkResult, WalkError> {
+    if source >= g.n() {
+        return Err(WalkError::SourceOutOfRange(source));
+    }
+    if !traversal::is_connected(g) {
+        return Err(WalkError::Disconnected);
+    }
+    let mut runner = Runner::new(g, cfg.engine.clone(), seed);
+    let mut state = WalkState::new(g.n());
+    let mut connector_visits = vec![0u32; g.n()];
+
+    if cfg.record_walk {
+        state.record_visit(source, 0, None);
+    }
+
+    // Diameter estimate: one BFS from the source (its eccentricity is a
+    // 2-approximation of D, enough to set lambda).
+    let mut bfs = BfsTreeProtocol::new(source);
+    runner.run(&mut bfs)?;
+    let d_est = bfs.into_tree().depth().max(1);
+    let rounds_bfs = runner.total_rounds();
+
+    let lambda = cfg.params.lambda(len, d_est as u64);
+    let setup = StitchSetup {
+        lambda,
+        randomize_len: cfg.randomize_len,
+        aggregated_gmw: cfg.aggregated_gmw && !cfg.record_walk,
+        gmw_count: (len / lambda as u64).max(1),
+        record: cfg.record_walk,
+    };
+
+    // Phase 1 — skipped when no stitching can happen.
+    let phase1_start = runner.total_rounds();
+    if len >= 2 * lambda as u64 {
+        let counts: Vec<usize> = (0..g.n())
+            .map(|v| {
+                if cfg.degree_proportional {
+                    cfg.params.walks_for_degree(g.degree(v))
+                } else {
+                    cfg.params.walks_for_degree(1)
+                }
+            })
+            .collect();
+        let mut p1 = ShortWalksProtocol::new(&mut state, counts, lambda, cfg.randomize_len);
+        runner.run(&mut p1)?;
+    }
+    let rounds_phase1 = runner.total_rounds() - phase1_start;
+
+    let outcome = stitch_walk(&mut runner, &mut state, source, len, &setup, &mut connector_visits)?;
+
+    // Regeneration (Section 2.2): replay all segments in parallel.
+    let replay_start = runner.total_rounds();
+    if cfg.record_walk && !outcome.segments.is_empty() {
+        let replays: Vec<ReplaySegment> = outcome
+            .segments
+            .iter()
+            .map(|s| {
+                assert!(s.replayable, "record_walk requires replayable segments");
+                ReplaySegment {
+                    connector: s.connector,
+                    id: s.id,
+                    start_pos: s.start_pos,
+                }
+            })
+            .collect();
+        let mut replay = ReplayProtocol::new(&mut state, replays);
+        runner.run(&mut replay)?;
+    }
+    let rounds_replay = runner.total_rounds() - replay_start;
+
+    Ok(SingleWalkResult {
+        destination: outcome.destination,
+        rounds: runner.total_rounds(),
+        messages: runner.total_messages(),
+        rounds_bfs,
+        rounds_phase1,
+        rounds_stitch: outcome.rounds_stitch,
+        rounds_tail: outcome.rounds_tail,
+        rounds_replay,
+        stitches: outcome.stitches,
+        gmw_invocations: outcome.gmw_invocations,
+        lambda,
+        diameter_estimate: d_est,
+        connector_visits,
+        segments: outcome.segments,
+        state,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drw_graph::generators;
+
+    #[test]
+    fn destination_is_in_range_and_parity_correct() {
+        // On a bipartite torus with even side, even-length walks return to
+        // the source's bipartition class.
+        let g = generators::torus2d(4, 4);
+        for seed in 0..10 {
+            let r = single_random_walk(&g, 0, 64, &SingleWalkConfig::default(), seed).unwrap();
+            let (row, col) = (r.destination / 4, r.destination % 4);
+            assert_eq!((row + col) % 2, 0, "even walk must stay on even class");
+        }
+    }
+
+    #[test]
+    fn zero_length_walk_is_the_source() {
+        let g = generators::path(5);
+        let r = single_random_walk(&g, 3, 0, &SingleWalkConfig::default(), 1).unwrap();
+        assert_eq!(r.destination, 3);
+        assert_eq!(r.stitches, 0);
+    }
+
+    #[test]
+    fn short_walk_degenerates_to_naive() {
+        let g = generators::cycle(64);
+        // len = 4 << 2*lambda: no phase 1, no stitches.
+        let r = single_random_walk(&g, 0, 4, &SingleWalkConfig::default(), 2).unwrap();
+        assert_eq!(r.stitches, 0);
+        assert_eq!(r.rounds_phase1, 0);
+        assert!(r.rounds_tail >= 4);
+    }
+
+    #[test]
+    fn long_walk_is_sublinear_in_length() {
+        let g = generators::torus2d(8, 8);
+        let len = 4096u64;
+        let r = single_random_walk(&g, 0, len, &SingleWalkConfig::default(), 3).unwrap();
+        assert!(r.stitches > 0, "long walks must stitch");
+        assert!(
+            r.rounds < len,
+            "rounds {} should beat the naive {len}",
+            r.rounds
+        );
+    }
+
+    #[test]
+    fn segments_chain_and_cover_the_walk() {
+        let g = generators::torus2d(6, 6);
+        let len = 2048u64;
+        let r = single_random_walk(&g, 5, len, &SingleWalkConfig::default(), 4).unwrap();
+        let mut pos = 0u64;
+        let mut at = 5usize;
+        for seg in &r.segments {
+            assert_eq!(seg.connector, at);
+            assert_eq!(seg.start_pos, pos);
+            assert!(seg.len >= r.lambda && seg.len < 2 * r.lambda);
+            pos += seg.len as u64;
+            at = seg.owner;
+        }
+        assert!(len - pos < 2 * r.lambda as u64, "tail must be short");
+    }
+
+    #[test]
+    fn recorded_walk_is_a_valid_trajectory() {
+        let g = generators::torus2d(5, 5);
+        let len = 512u64;
+        let cfg = SingleWalkConfig {
+            record_walk: true,
+            ..SingleWalkConfig::default()
+        };
+        let r = single_random_walk(&g, 0, len, &cfg, 5).unwrap();
+        let walk = r.state.reconstruct_walk(len);
+        assert_eq!(walk[0], 0);
+        assert_eq!(*walk.last().unwrap(), r.destination);
+        for w in walk.windows(2) {
+            assert!(g.has_edge(w[0], w[1]), "non-edge {}-{}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn fixed_length_ablation_still_exact_parity() {
+        let g = generators::torus2d(4, 4);
+        let cfg = SingleWalkConfig {
+            randomize_len: false,
+            ..SingleWalkConfig::default()
+        };
+        let r = single_random_walk(&g, 0, 128, &cfg, 6).unwrap();
+        let (row, col) = (r.destination / 4, r.destination % 4);
+        assert_eq!((row + col) % 2, 0);
+        for seg in &r.segments {
+            assert_eq!(seg.len, r.lambda, "fixed mode uses length-lambda walks");
+        }
+    }
+
+    #[test]
+    fn gmw_kicks_in_when_walks_are_scarce() {
+        // Starve phase 1 (tiny eta on a star: the hub is visited
+        // constantly) to force GET-MORE-WALKS.
+        let g = generators::star(16);
+        let cfg = SingleWalkConfig {
+            params: WalkParams {
+                lambda_scale: 0.05,
+                eta: 0.01,
+            },
+            degree_proportional: false,
+            ..SingleWalkConfig::default()
+        };
+        let r = single_random_walk(&g, 0, 4096, &cfg, 7).unwrap();
+        assert!(r.gmw_invocations > 0, "starved store must trigger GMW");
+    }
+
+    #[test]
+    fn disconnected_graph_is_rejected() {
+        let g = drw_graph::Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let err = single_random_walk(&g, 0, 8, &SingleWalkConfig::default(), 1).unwrap_err();
+        assert_eq!(err, WalkError::Disconnected);
+    }
+
+    #[test]
+    fn bad_source_is_rejected() {
+        let g = generators::path(4);
+        let err = single_random_walk(&g, 9, 8, &SingleWalkConfig::default(), 1).unwrap_err();
+        assert_eq!(err, WalkError::SourceOutOfRange(9));
+    }
+
+    #[test]
+    fn deterministic_in_the_seed() {
+        let g = generators::torus2d(5, 5);
+        let a = single_random_walk(&g, 1, 777, &SingleWalkConfig::default(), 99).unwrap();
+        let b = single_random_walk(&g, 1, 777, &SingleWalkConfig::default(), 99).unwrap();
+        assert_eq!(a.destination, b.destination);
+        assert_eq!(a.rounds, b.rounds);
+        let c = single_random_walk(&g, 1, 777, &SingleWalkConfig::default(), 100).unwrap();
+        // Overwhelmingly likely to differ somewhere.
+        assert!(
+            a.destination != c.destination || a.rounds != c.rounds || a.segments != c.segments,
+            "different seeds should explore differently"
+        );
+    }
+}

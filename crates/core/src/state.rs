@@ -1,0 +1,225 @@
+//! Per-node walk state shared across protocol phases.
+//!
+//! A distributed algorithm's state is the union of its nodes' local
+//! states. The driver owns this union as indexed vectors and passes
+//! views to sequentially composed protocols; each protocol touches only
+//! the entry of the node it is acting for, preserving CONGEST locality.
+
+use drw_graph::NodeId;
+use std::collections::HashMap;
+
+/// Globally unique identity of a short walk: the node that launched it
+/// and a per-source sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WalkId {
+    /// Node that launched the walk (Phase 1 or `GET-MORE-WALKS`).
+    pub source: u32,
+    /// Sequence number, unique per source.
+    pub seq: u32,
+}
+
+/// A completed short walk stored at its endpoint, available for
+/// stitching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoredWalk {
+    /// Walk identity.
+    pub id: WalkId,
+    /// Walk length in steps (uniform in `[lambda, 2*lambda - 1]`).
+    pub len: u32,
+    /// Tag unique among the walks stored at the same endpoint, so a
+    /// deletion broadcast can name exactly one token.
+    pub tag: u32,
+    /// Whether intermediate nodes logged forwarding decisions, enabling
+    /// replay. True for Phase-1 and per-token `GET-MORE-WALKS` walks,
+    /// false for aggregated-count `GET-MORE-WALKS` walks (the paper's
+    /// congestion-free variant aggregates tokens into counts, which
+    /// erases individual trajectories).
+    pub replayable: bool,
+}
+
+/// One recorded visit of the length-`l` walk at a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Visit {
+    /// Global position in `0..=l` (position 0 is the source).
+    pub pos: u64,
+    /// The node the walk arrived from (`None` only at position 0).
+    pub pred: Option<NodeId>,
+}
+
+/// The union of all nodes' local walk state.
+#[derive(Debug, Clone, Default)]
+pub struct WalkState {
+    /// `store[v]` = unused short walks whose endpoint is `v`.
+    pub store: Vec<Vec<StoredWalk>>,
+    /// `forward[v][(source, seq, step)]` = the neighbor `v` forwarded
+    /// that walk to when it held it at `step`. Written during walk
+    /// generation, read during replay.
+    pub forward: Vec<HashMap<(u32, u32, u32), u32>>,
+    /// `visits[v]` = positions at which the stitched walk visited `v`
+    /// (filled by the tail walk and by [`crate::regenerate`]).
+    pub visits: Vec<Vec<Visit>>,
+    /// `next_tag[v]` = next unused storage tag at `v`.
+    pub next_tag: Vec<u32>,
+    /// `next_seq[v]` = next unused walk sequence number for walks
+    /// launched by `v` (so Phase-1 and `GET-MORE-WALKS` ids never clash).
+    pub next_seq: Vec<u32>,
+}
+
+impl WalkState {
+    /// Empty state for an `n`-node network.
+    pub fn new(n: usize) -> Self {
+        WalkState {
+            store: vec![Vec::new(); n],
+            forward: vec![HashMap::new(); n],
+            visits: vec![Vec::new(); n],
+            next_tag: vec![0; n],
+            next_seq: vec![0; n],
+        }
+    }
+
+    /// Allocates `count` fresh walk sequence numbers for `source`,
+    /// returning the first.
+    pub fn alloc_seqs(&mut self, source: NodeId, count: usize) -> u32 {
+        let first = self.next_seq[source];
+        self.next_seq[source] += count as u32;
+        first
+    }
+
+    /// Stores a finished short walk at `endpoint`, assigning a fresh tag.
+    pub fn store_walk(&mut self, endpoint: NodeId, id: WalkId, len: u32, replayable: bool) {
+        let tag = self.next_tag[endpoint];
+        self.next_tag[endpoint] += 1;
+        self.store[endpoint].push(StoredWalk {
+            id,
+            len,
+            tag,
+            replayable,
+        });
+    }
+
+    /// Removes the walk with `tag` stored at `owner` and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such walk exists (a protocol invariant violation).
+    pub fn take_walk(&mut self, owner: NodeId, tag: u32) -> StoredWalk {
+        let idx = self.store[owner]
+            .iter()
+            .position(|w| w.tag == tag)
+            .unwrap_or_else(|| panic!("no stored walk with tag {tag} at node {owner}"));
+        self.store[owner].swap_remove(idx)
+    }
+
+    /// Total stored (unused) walks across all nodes.
+    pub fn total_stored(&self) -> usize {
+        self.store.iter().map(|s| s.len()).sum()
+    }
+
+    /// Number of stored walks at `v` launched by `source`.
+    pub fn stored_from(&self, v: NodeId, source: NodeId) -> usize {
+        self.store[v]
+            .iter()
+            .filter(|w| w.id.source as usize == source)
+            .count()
+    }
+
+    /// Records one visit of the global walk.
+    pub fn record_visit(&mut self, v: NodeId, pos: u64, pred: Option<NodeId>) {
+        self.visits[v].push(Visit { pos, pred });
+    }
+
+    /// Reconstructs the full walk `positions -> node` from the recorded
+    /// per-node visits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recorded positions do not exactly cover `0..=l`.
+    pub fn reconstruct_walk(&self, l: u64) -> Vec<NodeId> {
+        let mut walk = vec![usize::MAX; (l + 1) as usize];
+        for (v, visits) in self.visits.iter().enumerate() {
+            for visit in visits {
+                assert!(visit.pos <= l, "visit position {} beyond walk length {l}", visit.pos);
+                assert_eq!(
+                    walk[visit.pos as usize],
+                    usize::MAX,
+                    "position {} recorded at two nodes",
+                    visit.pos
+                );
+                walk[visit.pos as usize] = v;
+            }
+        }
+        assert!(
+            walk.iter().all(|&v| v != usize::MAX),
+            "some walk positions were never recorded"
+        );
+        walk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_and_take_round_trip() {
+        let mut s = WalkState::new(3);
+        s.store_walk(1, WalkId { source: 0, seq: 5 }, 7, true);
+        s.store_walk(1, WalkId { source: 2, seq: 0 }, 9, false);
+        assert_eq!(s.total_stored(), 2);
+        assert_eq!(s.stored_from(1, 0), 1);
+        assert_eq!(s.stored_from(1, 2), 1);
+        let w = s.take_walk(1, 0);
+        assert_eq!(w.id, WalkId { source: 0, seq: 5 });
+        assert_eq!(w.len, 7);
+        assert!(w.replayable);
+        assert_eq!(s.total_stored(), 1);
+    }
+
+    #[test]
+    fn tags_are_unique_per_endpoint() {
+        let mut s = WalkState::new(2);
+        for i in 0..4 {
+            s.store_walk(0, WalkId { source: 1, seq: i }, 3, true);
+        }
+        let tags: Vec<u32> = s.store[0].iter().map(|w| w.tag).collect();
+        let mut dedup = tags.clone();
+        dedup.dedup();
+        assert_eq!(tags, dedup);
+        assert_eq!(tags, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no stored walk")]
+    fn taking_missing_walk_panics() {
+        let mut s = WalkState::new(1);
+        s.take_walk(0, 3);
+    }
+
+    #[test]
+    fn reconstruct_simple_walk() {
+        let mut s = WalkState::new(3);
+        s.record_visit(0, 0, None);
+        s.record_visit(1, 1, Some(0));
+        s.record_visit(0, 2, Some(1));
+        s.record_visit(2, 3, Some(0));
+        assert_eq!(s.reconstruct_walk(3), vec![0, 1, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "never recorded")]
+    fn reconstruct_detects_gaps() {
+        let mut s = WalkState::new(2);
+        s.record_visit(0, 0, None);
+        s.record_visit(1, 2, Some(0));
+        let _ = s.reconstruct_walk(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "two nodes")]
+    fn reconstruct_detects_duplicates() {
+        let mut s = WalkState::new(2);
+        s.record_visit(0, 0, None);
+        s.record_visit(1, 0, None);
+        let _ = s.reconstruct_walk(0);
+    }
+}

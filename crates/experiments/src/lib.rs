@@ -1,0 +1,17 @@
+//! Shared infrastructure for the experiment harness binaries.
+//!
+//! Each reproduction experiment (E1-E11, A1-A3 — see DESIGN.md section 4)
+//! is a binary in `src/bin/` that prints the paper-shaped table as
+//! aligned text and, when `DRW_CSV_DIR` is set, also writes a CSV.
+//! This library provides the table formatter, parallel trial runner and
+//! the standard workload graphs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod table;
+pub mod trials;
+pub mod workloads;
+
+pub use table::Table;
+pub use trials::parallel_trials;

@@ -1,0 +1,68 @@
+//! Parallel independent trials.
+//!
+//! Experiment trials (different seeds of the same simulation) are
+//! embarrassingly parallel; `crossbeam` scoped threads fan them out and
+//! a `parking_lot` mutex collects results in seed order.
+
+use parking_lot::Mutex;
+
+/// Runs `trials` independent evaluations of `f(seed)` for seeds
+/// `seed_base..seed_base + trials`, in parallel, returning results in
+/// seed order.
+pub fn parallel_trials<T, F>(trials: u64, seed_base: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let results: Mutex<Vec<(u64, T)>> = Mutex::new(Vec::with_capacity(trials as usize));
+    let next: Mutex<u64> = Mutex::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(trials.max(1) as usize);
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = {
+                    let mut guard = next.lock();
+                    if *guard >= trials {
+                        return;
+                    }
+                    let i = *guard;
+                    *guard += 1;
+                    i
+                };
+                let out = f(seed_base + i);
+                results.lock().push((i, out));
+            });
+        }
+    })
+    .expect("trial worker panicked");
+    let mut collected = results.into_inner();
+    collected.sort_by_key(|&(i, _)| i);
+    collected.into_iter().map(|(_, t)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_seed_order() {
+        let out = parallel_trials(32, 100, |seed| seed * 2);
+        let expected: Vec<u64> = (100..132).map(|s| s * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn zero_trials_is_empty() {
+        let out: Vec<u64> = parallel_trials(0, 0, |s| s);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_trial() {
+        let out = parallel_trials(1, 7, |s| s + 1);
+        assert_eq!(out, vec![8]);
+    }
+}

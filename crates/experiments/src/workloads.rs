@@ -1,0 +1,89 @@
+//! The standard workload graphs of the reproduction experiments.
+
+use drw_graph::{generators, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A named workload graph.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name used in tables.
+    pub name: &'static str,
+    /// The graph.
+    pub graph: Graph,
+}
+
+/// Random 4-regular graph on `n` nodes (fixed generation seed): the
+/// low-diameter expander family.
+pub fn regular(n: usize) -> Workload {
+    let mut rng = StdRng::seed_from_u64(0xE0 + n as u64);
+    Workload {
+        name: "random-regular(d=4)",
+        graph: generators::random_regular(n, 4, &mut rng),
+    }
+}
+
+/// Square torus with `side * side` nodes: the moderate-diameter family.
+pub fn torus(side: usize) -> Workload {
+    Workload {
+        name: "torus",
+        graph: generators::torus2d(side, side),
+    }
+}
+
+/// Odd cycle: the high-diameter, slow-mixing, non-bipartite family.
+pub fn odd_cycle(n: usize) -> Workload {
+    let n = if n.is_multiple_of(2) { n + 1 } else { n };
+    Workload {
+        name: "odd-cycle",
+        graph: generators::cycle(n),
+    }
+}
+
+/// Lollipop: the skewed-degree, worst-case-cover-time family.
+pub fn lollipop(k: usize, tail: usize) -> Workload {
+    Workload {
+        name: "lollipop",
+        graph: generators::lollipop(k, tail),
+    }
+}
+
+/// Path of cliques with ~`n` nodes and tunable diameter (E2's family).
+pub fn path_of_cliques(cliques: usize, size: usize) -> Workload {
+    Workload {
+        name: "path-of-cliques",
+        graph: generators::path_of_cliques(cliques, size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drw_graph::traversal;
+
+    #[test]
+    fn workloads_are_connected() {
+        for w in [
+            regular(64),
+            torus(6),
+            odd_cycle(32),
+            lollipop(6, 6),
+            path_of_cliques(4, 4),
+        ] {
+            assert!(traversal::is_connected(&w.graph), "{} disconnected", w.name);
+        }
+    }
+
+    #[test]
+    fn odd_cycle_is_odd() {
+        assert_eq!(odd_cycle(32).graph.n() % 2, 1);
+        assert_eq!(odd_cycle(33).graph.n(), 33);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = regular(64);
+        let b = regular(64);
+        assert_eq!(a.graph, b.graph);
+    }
+}

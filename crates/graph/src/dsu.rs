@@ -1,0 +1,117 @@
+//! Disjoint-set union (union-find) with path compression and union by
+//! rank. Used for spanning-tree validation and tree enumeration.
+
+/// A disjoint-set forest over elements `0..n`.
+///
+/// # Example
+///
+/// ```
+/// let mut dsu = drw_graph::dsu::DisjointSets::new(4);
+/// assert!(dsu.union(0, 1));
+/// assert!(dsu.union(2, 3));
+/// assert!(!dsu.union(1, 0)); // already joined
+/// assert_eq!(dsu.components(), 2);
+/// assert!(dsu.connected(0, 1));
+/// assert!(!dsu.connected(0, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DisjointSets {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl DisjointSets {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        DisjointSets {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Representative of the set containing `x`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] as usize != root {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`. Returns `true` if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo] = hi as u32;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_unions() {
+        let mut dsu = DisjointSets::new(5);
+        assert_eq!(dsu.components(), 5);
+        for i in 0..4 {
+            assert!(dsu.union(i, i + 1));
+        }
+        assert_eq!(dsu.components(), 1);
+        assert!(dsu.connected(0, 4));
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let mut dsu = DisjointSets::new(3);
+        assert!(dsu.union(0, 2));
+        assert!(!dsu.union(2, 0));
+        assert_eq!(dsu.components(), 2);
+    }
+
+    #[test]
+    fn detects_cycles_in_edge_sets() {
+        // A spanning-tree check: n-1 edges forming no cycle.
+        let edges = [(0, 1), (1, 2), (2, 0)];
+        let mut dsu = DisjointSets::new(3);
+        let mut acyclic = true;
+        for &(u, v) in &edges {
+            if !dsu.union(u, v) {
+                acyclic = false;
+            }
+        }
+        assert!(!acyclic);
+    }
+}

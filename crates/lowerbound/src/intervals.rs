@@ -1,0 +1,157 @@
+//! Verified-segment algebra (the model behind Figure 1).
+//!
+//! A node's knowledge is a set of *verified* segments `[lo, hi]` of the
+//! path. Two segments combine only when they **overlap** (share at least
+//! one position) — `[1,2]` and `[2,3]` merge to `[1,3]`, but `[1,2]` and
+//! `[3,4]` stay separate until someone supplies the connecting edge
+//! `[2,3]`. This is exactly the merge rule of Section 3 ("if a vertex
+//! obtains from its neighbor a segment that overlaps with one it has
+//! already verified, it can verify the larger interval").
+
+/// A set of disjoint, non-touching verified segments over `u64`
+/// positions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntervalSet {
+    // Sorted, pairwise non-overlapping.
+    segments: Vec<(u64, u64)>,
+}
+
+impl IntervalSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        IntervalSet::default()
+    }
+
+    /// Inserts `[lo, hi]`, merging transitively with every overlapping
+    /// segment. Returns the resulting containing segment if the set
+    /// changed, or `None` if `[lo, hi]` was already covered by a single
+    /// existing segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn insert(&mut self, lo: u64, hi: u64) -> Option<(u64, u64)> {
+        assert!(lo <= hi, "malformed interval [{lo}, {hi}]");
+        // Already covered?
+        if self.contains(lo, hi) {
+            return None;
+        }
+        let mut new_lo = lo;
+        let mut new_hi = hi;
+        // Keep only segments that do NOT overlap [lo, hi]; absorb the rest.
+        self.segments.retain(|&(a, b)| {
+            let overlaps = a <= new_hi && new_lo <= b;
+            if overlaps {
+                new_lo = new_lo.min(a);
+                new_hi = new_hi.max(b);
+            }
+            !overlaps
+        });
+        let pos = self
+            .segments
+            .partition_point(|&(a, _)| a < new_lo);
+        self.segments.insert(pos, (new_lo, new_hi));
+        Some((new_lo, new_hi))
+    }
+
+    /// Whether `[lo, hi]` is entirely inside one verified segment.
+    pub fn contains(&self, lo: u64, hi: u64) -> bool {
+        self.segments
+            .iter()
+            .any(|&(a, b)| a <= lo && hi <= b)
+    }
+
+    /// The verified segments, sorted.
+    pub fn segments(&self) -> &[(u64, u64)] {
+        &self.segments
+    }
+
+    /// Number of disjoint segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether nothing is verified.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+}
+
+impl std::fmt::Display for IntervalSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, (a, b)) in self.segments.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "[{a},{b}]")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 1 example: `a` verifies `[1,2]`, `c` verifies `[3,5]`,
+    /// and only the connecting `[2,3]` lets them combine into `[1,5]`.
+    #[test]
+    fn figure_1_example() {
+        let mut s = IntervalSet::new();
+        assert_eq!(s.insert(1, 2), Some((1, 2)));
+        assert_eq!(s.insert(3, 5), Some((3, 5)));
+        assert_eq!(s.len(), 2, "disjoint segments do not merge: {s}");
+        assert!(!s.contains(1, 5));
+        assert_eq!(s.insert(2, 3), Some((1, 5)));
+        assert!(s.contains(1, 5));
+        assert_eq!(s.len(), 1);
+        assert_eq!(format!("{s}"), "{[1,5]}");
+    }
+
+    #[test]
+    fn overlap_merges_adjacency_does_not() {
+        let mut s = IntervalSet::new();
+        s.insert(1, 1);
+        s.insert(2, 2);
+        assert_eq!(s.len(), 2, "[1,1] and [2,2] share no position");
+        s.insert(1, 2);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.segments(), &[(1, 2)]);
+    }
+
+    #[test]
+    fn covered_insert_is_a_no_op() {
+        let mut s = IntervalSet::new();
+        s.insert(1, 10);
+        assert_eq!(s.insert(3, 7), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn transitive_multi_merge() {
+        let mut s = IntervalSet::new();
+        s.insert(1, 3);
+        s.insert(5, 7);
+        s.insert(9, 11);
+        assert_eq!(s.len(), 3);
+        // [3,9] overlaps all three.
+        assert_eq!(s.insert(3, 9), Some((1, 11)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn segments_stay_sorted() {
+        let mut s = IntervalSet::new();
+        s.insert(10, 12);
+        s.insert(1, 2);
+        s.insert(5, 6);
+        assert_eq!(s.segments(), &[(1, 2), (5, 6), (10, 12)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed interval")]
+    fn reversed_interval_panics() {
+        IntervalSet::new().insert(5, 3);
+    }
+}

@@ -1,0 +1,48 @@
+//! The paper's lower-bound machinery (Section 3): any token-forwarding
+//! algorithm needs `Omega(sqrt(l / log l) + D)` rounds to perform (or
+//! even just *verify*) a length-`l` walk, already on graphs of diameter
+//! `O(log n)`.
+//!
+//! Components:
+//!
+//! - [`gn`] — the hard instance `G_n` (Definition 3.3): a long path `P`
+//!   glued to a complete binary tree through its leaves, plus the
+//!   *breakpoints* of Lemma 3.4 (path positions unreachable within `k`
+//!   free rounds of path-only communication);
+//! - [`intervals`] — the verified-segment algebra (Figure 1): overlapping
+//!   segments merge, disjoint ones do not;
+//! - [`path_verification`] — the PATH-VERIFICATION problem
+//!   (Definition 3.1) and a distributed interval-merging protocol in the
+//!   paper's verification model, whose measured round counts experiment
+//!   E8 compares against the `sqrt(l / log l)` bound;
+//! - [`reduction`] — the reduction to random walks (Theorem 3.7): on a
+//!   `G_n` whose path edges carry exponentially growing weights, the
+//!   walk follows `P` w.h.p., so verifying the walk is as hard as
+//!   PATH-VERIFICATION. We simulate the *induced transition
+//!   probabilities* directly (forward with probability `1 - 1/n^2`),
+//!   since weights `(2n)^{2i}` overflow every numeric type — the
+//!   behavioural substitution documented in DESIGN.md.
+//!
+//! # Example
+//!
+//! ```
+//! use drw_lowerbound::gn::GnGraph;
+//!
+//! let gn = GnGraph::build(256, 8);
+//! // Diameter stays logarithmic no matter the path length.
+//! let d = drw_graph::traversal::diameter_exact(gn.graph());
+//! assert!(d <= 2 * (gn.k_prime() as f64).log2() as usize + 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gn;
+pub mod intervals;
+pub mod path_verification;
+pub mod reduction;
+
+pub use gn::GnGraph;
+pub use intervals::IntervalSet;
+pub use path_verification::{verify_path, PathVerificationProtocol, VerificationResult};
+pub use reduction::{biased_walk, BiasedWalkOutcome};

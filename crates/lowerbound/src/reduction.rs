@@ -1,0 +1,129 @@
+//! The reduction from PATH-VERIFICATION to the random-walk problem
+//! (Theorem 3.7).
+//!
+//! The paper weights path edge `(v_i, v_{i+1})` by `(2n)^{2i}`, so the
+//! walk at `v_i` takes the forward edge with probability at least
+//! `1 - 1/n^2` and the whole `l`-step walk equals `P` with probability
+//! at least `1 - 1/n`. Any walk algorithm must verify its output path —
+//! hence inherits the PATH-VERIFICATION bound.
+//!
+//! Weights `(2n)^{2i}` overflow every numeric type long before
+//! interesting sizes, so we simulate the *induced transition
+//! probabilities* directly (the behavioural substitution documented in
+//! DESIGN.md): forward with probability `1 - 1/n^2`; the residual mass
+//! goes to the backward edge and then the leaf edge in the proportion
+//! the true weights dictate (backward dwarfs leaf by `(2n)^{2(i-1)}` to
+//! `1`, so the leaf branch receives the square of the residual).
+
+use crate::gn::GnGraph;
+use rand::Rng;
+
+/// Outcome of a biased walk attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BiasedWalkOutcome {
+    /// Whether the walk's first `l` steps were exactly the path `P`.
+    pub followed_path: bool,
+    /// Number of initial steps that followed `P` before the first
+    /// deviation (equals `l` when `followed_path`).
+    pub prefix_len: u64,
+    /// The trajectory (length `l + 1`).
+    pub trajectory: Vec<usize>,
+}
+
+/// Walks `l = n' - 1` steps from `v_1` on the weighted `G_n`, using the
+/// induced transition probabilities.
+pub fn biased_walk<R: Rng + ?Sized>(gn: &GnGraph, rng: &mut R) -> BiasedWalkOutcome {
+    let n = gn.graph().n() as f64;
+    let q = 1.0 / (n * n); // deviation probability per step
+    let l = (gn.n_prime() - 1) as u64;
+    let mut trajectory = Vec::with_capacity(l as usize + 1);
+    let mut at = gn.path_node(0);
+    trajectory.push(at);
+    let mut prefix_len = 0u64;
+    let mut on_path_prefix = true;
+    for step in 0..l {
+        let next = if gn.is_path_node(at) && at + 1 < gn.n_prime() {
+            let roll: f64 = rng.random();
+            if roll < 1.0 - q {
+                at + 1 // forward along P
+            } else if at > 0 && roll < 1.0 - q * q {
+                at - 1 // backward edge (dominates the leaf edge)
+            } else {
+                gn.leaf(at % gn.k_prime()) // the leaf edge
+            }
+        } else {
+            // Off-path (or at the path's end): unweighted neighbors.
+            gn.graph().random_neighbor(at, rng)
+        };
+        if on_path_prefix && next == gn.path_node(0) + step as usize + 1 {
+            prefix_len += 1;
+        } else {
+            on_path_prefix = false;
+        }
+        at = next;
+        trajectory.push(at);
+    }
+    BiasedWalkOutcome {
+        followed_path: prefix_len == l,
+        prefix_len,
+        trajectory,
+    }
+}
+
+/// Fraction of `trials` whose walk followed `P` entirely — Theorem 3.7
+/// predicts at least `1 - 1/n`.
+pub fn follow_probability<R: Rng + ?Sized>(gn: &GnGraph, trials: u64, rng: &mut R) -> f64 {
+    let mut ok = 0u64;
+    for _ in 0..trials {
+        if biased_walk(gn, rng).followed_path {
+            ok += 1;
+        }
+    }
+    ok as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn walk_has_correct_length_and_valid_edges() {
+        let gn = GnGraph::build(128, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = biased_walk(&gn, &mut rng);
+        assert_eq!(out.trajectory.len(), gn.n_prime());
+        for w in out.trajectory.windows(2) {
+            assert!(gn.graph().has_edge(w[0], w[1]), "non-edge {}-{}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn walk_follows_p_with_high_probability() {
+        let gn = GnGraph::build(128, 4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = follow_probability(&gn, 200, &mut rng);
+        // Theorem 3.7: >= 1 - 1/n; with n ~ 190, essentially always.
+        assert!(p >= 0.95, "follow probability {p}");
+    }
+
+    #[test]
+    fn deviations_are_detected() {
+        // With the bias removed (tiny graph, many trials), prefix_len
+        // reporting stays consistent with followed_path.
+        let gn = GnGraph::build(64, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let out = biased_walk(&gn, &mut rng);
+            let l = (gn.n_prime() - 1) as u64;
+            assert_eq!(out.followed_path, out.prefix_len == l);
+            if out.followed_path {
+                // The trajectory is literally P.
+                for (i, &v) in out.trajectory.iter().enumerate() {
+                    assert_eq!(v, gn.path_node(i));
+                }
+            }
+        }
+    }
+}

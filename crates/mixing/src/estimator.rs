@@ -1,0 +1,334 @@
+//! The decentralized mixing-time estimator (Theorem 4.6).
+//!
+//! Per probe length `l`:
+//!
+//! 1. `K = ceil(c * sqrt(n))` walks of length `l` from the source via
+//!    `MANY-RANDOM-WALKS` (`~O(sqrt(K l D) + K)` rounds);
+//! 2. endpoints ship their bucket ids to the source by pipelined upcast
+//!    over the source's BFS tree (`O(D + K)` rounds);
+//! 3. the source compares the sample's bucket histogram against the
+//!    exact bucket masses (collected once by a pipelined vector
+//!    convergecast, `O(D + B)` rounds) and outputs PASS/FAIL.
+//!
+//! `l` doubles until the first PASS; a binary search then pins the
+//! smallest passing length, leaning on the monotonicity of
+//! `||pi_x(t) - pi||_1` (Lemma 4.4).
+
+use crate::bucket_test::{BucketTest, SampleStats};
+use drw_congest::primitives::{
+    AggOp, BfsTree, BfsTreeProtocol, BroadcastProtocol, ConvergecastProtocol, UpcastProtocol,
+    VectorSumProtocol,
+};
+use drw_congest::{derive_seed, Runner};
+use drw_core::{many_random_walks, SingleWalkConfig, WalkError};
+use drw_graph::{traversal, Graph, NodeId};
+
+/// Configuration of [`estimate_mixing_time`].
+#[derive(Debug, Clone)]
+pub struct MixingConfig {
+    /// PASS threshold on the bucketed total-variation discrepancy.
+    /// Statistical noise with `K` samples is `~sqrt(B/K)`, so keep the
+    /// threshold above that.
+    pub threshold: f64,
+    /// PASS threshold on the collision statistic
+    /// `||p - pi||_2^2 / ||pi||_2^2` (the component that detects
+    /// non-stationarity on regular graphs).
+    pub l2_threshold: f64,
+    /// Samples per probe: `K = ceil(samples_scale * sqrt(n))`.
+    pub samples_scale: f64,
+    /// Geometric base of the stationary-mass buckets.
+    pub bucket_base: f64,
+    /// Walk machinery configuration.
+    pub walk: SingleWalkConfig,
+    /// Probe-length cap: estimation aborts (returning the cap) once
+    /// `l > max_len`, e.g. on bipartite graphs where the simple walk
+    /// never mixes.
+    pub max_len: u64,
+    /// Refine with binary search after the first PASS.
+    pub refine: bool,
+}
+
+impl Default for MixingConfig {
+    fn default() -> Self {
+        MixingConfig {
+            threshold: 0.20,
+            l2_threshold: 0.5,
+            samples_scale: 8.0,
+            bucket_base: 1.5,
+            walk: SingleWalkConfig::default(),
+            max_len: 1 << 20,
+            refine: true,
+        }
+    }
+}
+
+/// One probe's record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeRecord {
+    /// Probed walk length.
+    pub len: u64,
+    /// Bucketed TV discrepancy measured.
+    pub discrepancy: f64,
+    /// Collision `||p - pi||_2^2 / ||pi||_2^2` measured.
+    pub l2_ratio: f64,
+    /// PASS/FAIL.
+    pub pass: bool,
+}
+
+/// Result of [`estimate_mixing_time`].
+#[derive(Debug, Clone)]
+pub struct MixingEstimate {
+    /// Smallest probed length that PASSed (the `tau~_mix^x` estimate).
+    /// Equal to `max_len` if nothing passed (e.g. bipartite graphs).
+    pub tau_estimate: u64,
+    /// Whether any probe passed at all.
+    pub converged: bool,
+    /// Total CONGEST rounds (setup + all probes).
+    pub rounds: u64,
+    /// Samples per probe (`K`).
+    pub samples_per_probe: usize,
+    /// Number of stationary-mass buckets (`B`).
+    pub buckets: usize,
+    /// All probes, in execution order.
+    pub probes: Vec<ProbeRecord>,
+}
+
+/// Estimates `tau_mix` from `source` with the decentralized algorithm of
+/// Section 4.2.
+///
+/// # Errors
+///
+/// Same as [`drw_core::single_random_walk`].
+pub fn estimate_mixing_time(
+    g: &Graph,
+    source: NodeId,
+    cfg: &MixingConfig,
+    seed: u64,
+) -> Result<MixingEstimate, WalkError> {
+    if source >= g.n() {
+        return Err(WalkError::SourceOutOfRange(source));
+    }
+    if !traversal::is_connected(g) {
+        return Err(WalkError::Disconnected);
+    }
+    let k = ((g.n() as f64).sqrt() * cfg.samples_scale).ceil() as usize;
+    let bucket_test = BucketTest::new(g, cfg.bucket_base);
+
+    // Setup at the source: BFS tree, degree sum (2m) + max degree
+    // broadcasts (so every node knows its own bucket), then the exact
+    // bucket masses by pipelined vector convergecast — O(D + B) rounds.
+    let mut runner = Runner::new(g, cfg.walk.engine.clone(), derive_seed(seed, 0xB00));
+    let mut bfs = BfsTreeProtocol::new(source);
+    runner.run(&mut bfs)?;
+    let tree: BfsTree = bfs.into_tree();
+
+    let degrees: Vec<u64> = (0..g.n()).map(|v| g.degree(v) as u64).collect();
+    let squares: Vec<u64> = degrees.iter().map(|&d| d * d).collect();
+    let mut sum_deg = ConvergecastProtocol::new(tree.clone(), AggOp::Sum, degrees.clone());
+    runner.run(&mut sum_deg)?;
+    let mut max_deg = ConvergecastProtocol::new(tree.clone(), AggOp::Max, degrees);
+    runner.run(&mut max_deg)?;
+    let mut sq_deg = ConvergecastProtocol::new(tree.clone(), AggOp::Sum, squares);
+    runner.run(&mut sq_deg)?;
+    let two_m = sum_deg.result();
+    let sum_deg_sq = sq_deg.result();
+    let mut announce = BroadcastProtocol::new(tree.clone(), vec![two_m, max_deg.result()]);
+    runner.run(&mut announce)?;
+
+    let mut masses = VectorSumProtocol::new(tree.clone(), bucket_test.mass_numerators(g));
+    runner.run(&mut masses)?;
+    debug_assert_eq!(
+        masses.result().iter().sum::<u64>(),
+        2 * g.m() as u64,
+        "collected numerators must sum to 2m"
+    );
+
+    let mut probes = Vec::new();
+    let mut probe_seq = 0u64;
+    let mut probe = |len: u64, runner: &mut Runner<'_>| -> Result<ProbeRecord, WalkError> {
+        probe_seq += 1;
+        let walk_seed = derive_seed(seed, probe_seq);
+        let sources = vec![source; k];
+        let walks = many_random_walks(g, &sources, len, &cfg.walk, walk_seed)?;
+        runner.charge_rounds(walks.rounds);
+
+        // Each endpoint node v with c_v samples ships two node-local
+        // pairs to the source — two pipelined upcasts, O(D + K) rounds:
+        // (bucket_of(v), c_v) for the histogram, and
+        // (c_v * deg(v), c_v * (c_v - 1)) for the collision moments.
+        let mut c = vec![0u64; g.n()];
+        for &d in &walks.destinations {
+            c[d] += 1;
+        }
+        let mut hist_items: Vec<Vec<(u64, u64)>> = vec![Vec::new(); g.n()];
+        let mut moment_items: Vec<Vec<(u64, u64)>> = vec![Vec::new(); g.n()];
+        for v in 0..g.n() {
+            if c[v] == 0 {
+                continue;
+            }
+            hist_items[v].push((bucket_test.bucket_of(v) as u64, c[v]));
+            moment_items[v].push((c[v] * g.degree(v) as u64, c[v] * (c[v] - 1)));
+        }
+        let mut up_hist = UpcastProtocol::new(tree.clone(), hist_items);
+        runner.run(&mut up_hist)?;
+        let mut up_moments = UpcastProtocol::new(tree.clone(), moment_items);
+        runner.run(&mut up_moments)?;
+
+        let mut stats = SampleStats {
+            bucket_hist: vec![0u64; bucket_test.buckets()],
+            ..SampleStats::default()
+        };
+        for &(bucket, count) in up_hist.collected() {
+            stats.bucket_hist[bucket as usize] += count;
+        }
+        for &(c_deg, collisions) in up_moments.collected() {
+            stats.sum_c_deg += c_deg;
+            stats.sum_collisions += collisions;
+        }
+        let r = bucket_test.evaluate(&stats, two_m, sum_deg_sq, cfg.threshold, cfg.l2_threshold);
+        Ok(ProbeRecord {
+            len,
+            discrepancy: r.discrepancy,
+            l2_ratio: r.l2_ratio,
+            pass: r.pass,
+        })
+    };
+
+    // Doubling scan.
+    let mut len = 1u64;
+    let mut first_pass: Option<u64> = None;
+    let mut last_fail = 0u64;
+    while len <= cfg.max_len {
+        let rec = probe(len, &mut runner)?;
+        probes.push(rec);
+        if rec.pass {
+            first_pass = Some(len);
+            break;
+        }
+        last_fail = len;
+        len *= 2;
+    }
+
+    // Binary-search refinement (Lemma 4.4 monotonicity).
+    if let (Some(mut hi), true) = (first_pass, cfg.refine) {
+        let mut lo = last_fail;
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            let rec = probe(mid, &mut runner)?;
+            probes.push(rec);
+            if rec.pass {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        first_pass = Some(hi);
+    }
+
+    Ok(MixingEstimate {
+        tau_estimate: first_pass.unwrap_or(cfg.max_len),
+        converged: first_pass.is_some(),
+        rounds: runner.total_rounds(),
+        samples_per_probe: k,
+        buckets: bucket_test.buckets(),
+        probes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground_truth::{exact_tau, exact_tau_mix};
+    use drw_graph::generators;
+
+    fn small_cfg() -> MixingConfig {
+        MixingConfig {
+            samples_scale: 6.0,
+            max_len: 1 << 14,
+            ..MixingConfig::default()
+        }
+    }
+
+    #[test]
+    fn expander_mixes_fast() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let g = generators::random_regular(64, 6, &mut rng);
+        let est = estimate_mixing_time(&g, 0, &small_cfg(), 2).unwrap();
+        assert!(est.converged);
+        assert!(est.tau_estimate <= 32, "estimate = {}", est.tau_estimate);
+    }
+
+    #[test]
+    fn odd_cycle_is_slow_and_sandwiched() {
+        let g = generators::cycle(33);
+        let est = estimate_mixing_time(&g, 0, &small_cfg(), 3).unwrap();
+        assert!(est.converged);
+        // Sandwich: the estimate must be at least tau_x(generous) and at
+        // most tau_x(strict); we check the weaker ordering claims that
+        // survive sampling noise: estimate within [tau(0.9), tau(0.05)].
+        let lo = exact_tau(&g, 0, 0.9, 100_000).unwrap();
+        let hi = exact_tau(&g, 0, 0.05, 100_000).unwrap();
+        assert!(
+            est.tau_estimate >= lo && est.tau_estimate <= hi,
+            "estimate {} outside [{lo}, {hi}]",
+            est.tau_estimate
+        );
+    }
+
+    #[test]
+    fn ordering_cycle_vs_complete() {
+        let slow = estimate_mixing_time(&generators::cycle(33), 0, &small_cfg(), 4)
+            .unwrap()
+            .tau_estimate;
+        let fast = estimate_mixing_time(&generators::complete(33), 0, &small_cfg(), 5)
+            .unwrap()
+            .tau_estimate;
+        assert!(slow > 4 * fast.max(1), "slow={slow} fast={fast}");
+    }
+
+    #[test]
+    fn bipartite_hits_the_cap() {
+        let g = generators::cycle(16); // even cycle: never mixes
+        let cfg = MixingConfig {
+            max_len: 512,
+            ..small_cfg()
+        };
+        let est = estimate_mixing_time(&g, 0, &cfg, 6).unwrap();
+        assert!(!est.converged);
+        assert_eq!(est.tau_estimate, 512);
+    }
+
+    #[test]
+    fn probes_double_then_refine() {
+        let g = generators::cycle(17);
+        let est = estimate_mixing_time(&g, 0, &small_cfg(), 7).unwrap();
+        assert!(est.converged);
+        // Doubling prefix: 1, 2, 4, ... strictly increasing by factor 2.
+        let mut prev = 0u64;
+        for p in &est.probes {
+            if p.pass {
+                break;
+            }
+            assert!(p.len == 1 || p.len == prev * 2, "doubling broken at {}", p.len);
+            prev = p.len;
+        }
+        // Exact tau_mix should be within a factor-4 band of the estimate
+        // (threshold 0.2 vs eps 1/2e plus noise).
+        let exact = exact_tau_mix(&g, 0, 100_000).unwrap();
+        assert!(
+            est.tau_estimate >= exact / 4 && est.tau_estimate <= exact * 4,
+            "estimate {} vs exact {exact}",
+            est.tau_estimate
+        );
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let g = generators::path(4);
+        assert!(matches!(
+            estimate_mixing_time(&g, 9, &small_cfg(), 1),
+            Err(WalkError::SourceOutOfRange(9))
+        ));
+    }
+}

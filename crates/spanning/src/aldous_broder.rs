@@ -1,0 +1,109 @@
+//! The centralized Aldous-Broder algorithm \[1, 7\]: the reference
+//! implementation the distributed algorithm simulates, and the naive
+//! baseline of experiment E9 (a token walking for the full cover time,
+//! one round per step).
+
+use drw_graph::{matrix_tree::canonical_tree_key, matrix_tree::TreeKey, Graph, NodeId};
+use rand::Rng;
+
+/// Runs Aldous-Broder from `root`: walks until all nodes are visited and
+/// returns `(tree edges as a canonical key, cover steps)`.
+///
+/// The tree is exactly uniform over all spanning trees of `g`.
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected (the walk would never cover).
+pub fn aldous_broder<R: Rng + ?Sized>(g: &Graph, root: NodeId, rng: &mut R) -> (TreeKey, u64) {
+    assert!(root < g.n(), "root out of range");
+    let mut visited = vec![false; g.n()];
+    let mut first_edge: Vec<Option<(NodeId, NodeId)>> = vec![None; g.n()];
+    visited[root] = true;
+    let mut unvisited = g.n() - 1;
+    let mut at = root;
+    let mut steps = 0u64;
+    let cap = 10_000_000_000u64;
+    while unvisited > 0 {
+        let next = g.random_neighbor(at, rng);
+        steps += 1;
+        if !visited[next] {
+            visited[next] = true;
+            first_edge[next] = Some((at, next));
+            unvisited -= 1;
+        }
+        at = next;
+        assert!(steps < cap, "cover walk did not terminate; disconnected graph?");
+    }
+    let edges = first_edge.into_iter().flatten();
+    (canonical_tree_key(edges), steps)
+}
+
+/// Number of steps (= rounds for a naive token) Aldous-Broder needs to
+/// cover the graph — the naive-baseline round count for experiment E9.
+pub fn naive_rst_cover_steps<R: Rng + ?Sized>(g: &Graph, root: NodeId, rng: &mut R) -> u64 {
+    aldous_broder(g, root, rng).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drw_graph::{generators, matrix_tree};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_is_a_spanning_tree() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for g in [
+            generators::complete(6),
+            generators::torus2d(4, 4),
+            generators::lollipop(4, 4),
+        ] {
+            let (tree, steps) = aldous_broder(&g, 0, &mut rng);
+            assert!(matrix_tree::is_spanning_tree(&g, &tree));
+            assert!(steps as usize >= g.n() - 1);
+        }
+    }
+
+    #[test]
+    fn tree_graph_returns_itself() {
+        let g = generators::path(6);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (tree, _) = aldous_broder(&g, 3, &mut rng);
+        let expected: Vec<(usize, usize)> = (0..5).map(|i| (i, i + 1)).collect();
+        assert_eq!(tree, expected);
+    }
+
+    #[test]
+    fn cover_time_ordering_lollipop_vs_expander() {
+        // Lollipop cover time is polynomially worse than an expander's.
+        let mut rng = StdRng::seed_from_u64(3);
+        let lolli = generators::lollipop(16, 16);
+        let expander = generators::random_regular(32, 4, &mut rng);
+        let avg = |g: &drw_graph::Graph, rng: &mut StdRng| -> f64 {
+            (0..10).map(|_| aldous_broder(g, 0, rng).1 as f64).sum::<f64>() / 10.0
+        };
+        let c_l = avg(&lolli, &mut rng);
+        let c_e = avg(&expander, &mut rng);
+        assert!(c_l > 2.0 * c_e, "lollipop {c_l} vs expander {c_e}");
+    }
+
+    #[test]
+    fn uniform_over_cycle_trees() {
+        // A cycle's spanning trees are "drop one edge": n trees, each
+        // equally likely.
+        let n = 5;
+        let g = generators::cycle(n);
+        let trees = matrix_tree::enumerate_spanning_trees(&g);
+        assert_eq!(trees.len(), n);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = vec![0u64; n];
+        for _ in 0..2500 {
+            let (tree, _) = aldous_broder(&g, 0, &mut rng);
+            let idx = matrix_tree::tree_index(&trees, &tree).expect("valid tree");
+            counts[idx] += 1;
+        }
+        let t = drw_stats::chi_square_uniform(&counts);
+        assert!(t.passes(0.001), "{t:?} counts={counts:?}");
+    }
+}

@@ -1,0 +1,46 @@
+//! Random spanning trees via distributed random walks (Section 4.1 of the
+//! PODC 2010 paper).
+//!
+//! The Aldous-Broder theorem says: walk from any root until every node is
+//! visited; the set of first-entry edges is a *uniformly* random spanning
+//! tree. The paper turns this into a distributed algorithm running in
+//! `~O(sqrt(m * D))` rounds w.h.p. (Theorem 4.1) by
+//!
+//! 1. guessing the cover time with doubling lengths `l = n, 2n, 4n, ...`,
+//! 2. performing `O(log n)` fast walks of length `l` per phase with the
+//!    machinery of Section 2 (each regenerated so nodes know their
+//!    positions and first-visit predecessors),
+//! 3. checking coverage with an `O(D)` convergecast, and
+//! 4. reading the tree off the first covering walk: each non-root node
+//!    picks the edge of its earliest visit.
+//!
+//! This crate provides the distributed algorithm ([`distributed_rst`]),
+//! centralized references ([`aldous_broder()`], [`wilson()`]) and
+//! uniformity-testing helpers ([`uniformity`]) used by experiment E9.
+//!
+//! # Example
+//!
+//! ```
+//! use drw_graph::{generators, matrix_tree};
+//! use drw_spanning::{distributed_rst, RstConfig};
+//!
+//! # fn main() -> Result<(), drw_spanning::distributed::RstError> {
+//! let g = generators::torus2d(4, 4);
+//! let r = distributed_rst(&g, 0, &RstConfig::default(), 7)?;
+//! assert!(matrix_tree::is_spanning_tree(&g, &r.edges));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aldous_broder;
+pub mod distributed;
+pub mod uniformity;
+pub mod wilson;
+
+pub use aldous_broder::{aldous_broder, naive_rst_cover_steps};
+pub use distributed::{distributed_rst, RstConfig, RstResult};
+pub use uniformity::{sampled_tree_histogram, uniformity_test};
+pub use wilson::wilson;

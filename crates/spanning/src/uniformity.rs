@@ -1,0 +1,81 @@
+//! Uniformity testing for spanning-tree samplers (experiment E9).
+//!
+//! On a small graph, enumerate all spanning trees (cross-checked against
+//! the Kirchhoff count), histogram a sampler's output, and chi-square
+//! against the uniform distribution.
+
+use drw_graph::matrix_tree::{enumerate_spanning_trees, spanning_tree_count, tree_index, TreeKey};
+use drw_graph::Graph;
+use drw_stats::{chi_square_uniform, ChiSquare};
+
+/// Histograms sampled trees over the enumerated tree set of `g`.
+/// Returns `(counts, all_trees)`.
+///
+/// # Panics
+///
+/// Panics if a sampled tree is not a spanning tree of `g` (a sampler
+/// bug), or if enumeration disagrees with the Kirchhoff count (would be a
+/// `drw-graph` bug).
+pub fn sampled_tree_histogram<I: IntoIterator<Item = TreeKey>>(
+    g: &Graph,
+    samples: I,
+) -> (Vec<u64>, Vec<TreeKey>) {
+    let trees = enumerate_spanning_trees(g);
+    assert_eq!(
+        trees.len() as u128,
+        spanning_tree_count(g),
+        "enumeration must match the Kirchhoff count"
+    );
+    let mut counts = vec![0u64; trees.len()];
+    for t in samples {
+        let idx = tree_index(&trees, &t)
+            .unwrap_or_else(|| panic!("sampled tree {t:?} is not a spanning tree of the graph"));
+        counts[idx] += 1;
+    }
+    (counts, trees)
+}
+
+/// Chi-square test of sampled trees against uniformity over all spanning
+/// trees.
+pub fn uniformity_test<I: IntoIterator<Item = TreeKey>>(g: &Graph, samples: I) -> ChiSquare {
+    let (counts, _) = sampled_tree_histogram(g, samples);
+    chi_square_uniform(&counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wilson::wilson;
+    use drw_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_sampler_passes() {
+        let g = generators::complete(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<_> = (0..3200).map(|_| wilson(&g, 0, &mut rng)).collect();
+        let t = uniformity_test(&g, samples);
+        assert!(t.passes(0.001), "{t:?}");
+    }
+
+    #[test]
+    fn biased_sampler_fails() {
+        // A "sampler" that always returns the same tree is far from
+        // uniform.
+        let g = generators::cycle(6);
+        let mut rng = StdRng::seed_from_u64(2);
+        let fixed = wilson(&g, 0, &mut rng);
+        let samples: Vec<_> = (0..600).map(|_| fixed.clone()).collect();
+        let t = uniformity_test(&g, samples);
+        assert!(!t.passes(0.05), "{t:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a spanning tree")]
+    fn foreign_tree_is_rejected() {
+        let g = generators::cycle(4);
+        let bogus: TreeKey = vec![(0, 1), (1, 2), (1, 3)]; // (1,3) not an edge
+        let _ = sampled_tree_histogram(&g, [bogus]);
+    }
+}

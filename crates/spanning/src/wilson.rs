@@ -1,0 +1,107 @@
+//! Wilson's algorithm (loop-erased random walks) — a second, independent
+//! exactly-uniform sampler used to cross-validate the Aldous-Broder
+//! implementations in the uniformity experiments.
+
+use drw_graph::{matrix_tree::canonical_tree_key, matrix_tree::TreeKey, Graph, NodeId};
+use rand::Rng;
+
+/// Samples a uniform spanning tree by Wilson's algorithm: repeatedly run
+/// a loop-erased random walk from an unattached node until it hits the
+/// growing tree.
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected.
+pub fn wilson<R: Rng + ?Sized>(g: &Graph, root: NodeId, rng: &mut R) -> TreeKey {
+    assert!(root < g.n(), "root out of range");
+    let n = g.n();
+    let mut in_tree = vec![false; n];
+    in_tree[root] = true;
+    // next[v] = successor of v on the current (loop-erased) walk.
+    let mut next: Vec<Option<NodeId>> = vec![None; n];
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(n - 1);
+    let cap = 10_000_000_000u64;
+    for start in 0..n {
+        if in_tree[start] {
+            continue;
+        }
+        // Random walk from `start` until the tree is hit; cycles are
+        // erased implicitly by overwriting next pointers.
+        let mut at = start;
+        let mut steps = 0u64;
+        while !in_tree[at] {
+            let nb = g.random_neighbor(at, rng);
+            next[at] = Some(nb);
+            at = nb;
+            steps += 1;
+            assert!(steps < cap, "walk did not hit the tree; disconnected graph?");
+        }
+        // Attach the loop-erased path.
+        let mut at = start;
+        while !in_tree[at] {
+            in_tree[at] = true;
+            let nb = next[at].expect("walk recorded a successor");
+            edges.push((at, nb));
+            at = nb;
+        }
+    }
+    canonical_tree_key(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drw_graph::{generators, matrix_tree};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_is_a_spanning_tree() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for g in [
+            generators::complete(7),
+            generators::torus2d(3, 5),
+            generators::barbell(4, 3),
+        ] {
+            let tree = wilson(&g, 0, &mut rng);
+            assert!(matrix_tree::is_spanning_tree(&g, &tree));
+        }
+    }
+
+    #[test]
+    fn root_choice_does_not_matter_distributionally() {
+        // Uniformity is root-independent: chi-square both against uniform.
+        let g = generators::complete(4); // 16 trees
+        let trees = matrix_tree::enumerate_spanning_trees(&g);
+        let mut rng = StdRng::seed_from_u64(2);
+        for root in [0usize, 3] {
+            let mut counts = vec![0u64; trees.len()];
+            for _ in 0..3200 {
+                let tree = wilson(&g, root, &mut rng);
+                counts[matrix_tree::tree_index(&trees, &tree).expect("valid")] += 1;
+            }
+            let t = drw_stats::chi_square_uniform(&counts);
+            assert!(t.passes(0.001), "root {root}: {t:?}");
+        }
+    }
+
+    #[test]
+    fn wilson_and_aldous_broder_agree_on_distribution() {
+        // Both exactly uniform: their histograms over all trees of a small
+        // graph should pass a two-way chi-square against each other's
+        // expected (uniform) counts.
+        let g = generators::cycle(6);
+        let trees = matrix_tree::enumerate_spanning_trees(&g);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cw = vec![0u64; trees.len()];
+        let mut ca = vec![0u64; trees.len()];
+        for _ in 0..3000 {
+            let t1 = wilson(&g, 0, &mut rng);
+            cw[matrix_tree::tree_index(&trees, &t1).expect("valid")] += 1;
+            let (t2, _) = crate::aldous_broder::aldous_broder(&g, 0, &mut rng);
+            ca[matrix_tree::tree_index(&trees, &t2).expect("valid")] += 1;
+        }
+        assert!(drw_stats::chi_square_uniform(&cw).passes(0.001));
+        assert!(drw_stats::chi_square_uniform(&ca).passes(0.001));
+    }
+}

@@ -1,0 +1,161 @@
+//! Pearson chi-square goodness-of-fit tests.
+//!
+//! Used by the reproduction experiments to verify distributional claims:
+//! E6 (walk endpoints match the exact `l`-step distribution), E5 (short-walk
+//! lengths are uniform on `[lambda, 2*lambda-1]`), and E9 (random spanning
+//! trees are uniform over all spanning trees).
+
+use crate::special::gamma_q;
+
+/// Result of a chi-square goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquare {
+    /// The chi-square statistic `sum (obs - exp)^2 / exp`.
+    pub statistic: f64,
+    /// Degrees of freedom used for the p-value.
+    pub dof: usize,
+    /// Upper tail probability `P[X >= statistic]` under the null.
+    pub p_value: f64,
+}
+
+impl ChiSquare {
+    /// Whether the null hypothesis survives at significance level `alpha`.
+    pub fn passes(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// Survival function of the chi-square distribution with `dof` degrees of
+/// freedom evaluated at `x`: `P[X >= x] = Q(dof/2, x/2)`.
+pub fn chi2_sf(x: f64, dof: usize) -> f64 {
+    assert!(dof > 0, "chi2_sf requires dof > 0");
+    if x <= 0.0 {
+        return 1.0;
+    }
+    gamma_q(dof as f64 / 2.0, x / 2.0)
+}
+
+/// Chi-square test of observed counts against expected counts.
+///
+/// Cells with `expected < min_expected` are pooled into a single overflow
+/// cell (standard practice; the asymptotic chi-square approximation needs
+/// expected counts of at least ~5).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths, are empty, or if the
+/// expected counts are all (near) zero.
+pub fn chi_square_test(observed: &[u64], expected: &[f64]) -> ChiSquare {
+    assert_eq!(
+        observed.len(),
+        expected.len(),
+        "observed and expected must have equal length"
+    );
+    assert!(!observed.is_empty(), "chi_square_test needs at least one cell");
+    let min_expected = 5.0;
+
+    let mut statistic = 0.0;
+    let mut cells = 0usize;
+    let mut pooled_obs = 0.0;
+    let mut pooled_exp = 0.0;
+    for (&o, &e) in observed.iter().zip(expected) {
+        assert!(e >= 0.0, "expected counts must be nonnegative");
+        if e < min_expected {
+            pooled_obs += o as f64;
+            pooled_exp += e;
+        } else {
+            let d = o as f64 - e;
+            statistic += d * d / e;
+            cells += 1;
+        }
+    }
+    if pooled_exp > 0.0 {
+        let d = pooled_obs - pooled_exp;
+        statistic += d * d / pooled_exp.max(1e-12);
+        cells += 1;
+    }
+    assert!(cells >= 1, "all expected counts were zero");
+    let dof = cells.saturating_sub(1).max(1);
+    ChiSquare {
+        statistic,
+        dof,
+        p_value: chi2_sf(statistic, dof),
+    }
+}
+
+/// Chi-square test of observed counts against the uniform distribution over
+/// the same number of cells.
+pub fn chi_square_uniform(observed: &[u64]) -> ChiSquare {
+    let total: u64 = observed.iter().sum();
+    let e = total as f64 / observed.len() as f64;
+    let expected = vec![e; observed.len()];
+    chi_square_test(observed, &expected)
+}
+
+/// Chi-square test of observed counts against a probability vector `probs`
+/// (which is normalized internally).
+pub fn chi_square_against_probs(observed: &[u64], probs: &[f64]) -> ChiSquare {
+    assert_eq!(observed.len(), probs.len());
+    let total: u64 = observed.iter().sum();
+    let mass: f64 = probs.iter().sum();
+    assert!(mass > 0.0, "probability vector must have positive mass");
+    let expected: Vec<f64> = probs.iter().map(|p| p / mass * total as f64).collect();
+    chi_square_test(observed, &expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sf_known_values() {
+        // chi2 with 1 dof at x = 3.841 has p ~ 0.05.
+        let p = chi2_sf(3.841, 1);
+        assert!((p - 0.05).abs() < 2e-3, "p = {p}");
+        // chi2 with 5 dof at x = 11.07 has p ~ 0.05.
+        let p = chi2_sf(11.070, 5);
+        assert!((p - 0.05).abs() < 2e-3, "p = {p}");
+        // chi2 with 10 dof at its mean is roughly mid-tail.
+        let p = chi2_sf(10.0, 10);
+        assert!(p > 0.4 && p < 0.5, "p = {p}");
+    }
+
+    #[test]
+    fn uniform_data_passes() {
+        let obs = [100u64, 103, 98, 99, 101, 99];
+        let t = chi_square_uniform(&obs);
+        assert!(t.passes(0.05), "{t:?}");
+    }
+
+    #[test]
+    fn skewed_data_fails() {
+        let obs = [300u64, 20, 30, 25, 15, 10];
+        let t = chi_square_uniform(&obs);
+        assert!(!t.passes(0.05), "{t:?}");
+        assert!(t.p_value < 1e-6);
+    }
+
+    #[test]
+    fn against_probs_matches_uniform() {
+        let obs = [100u64, 103, 98, 99];
+        let a = chi_square_uniform(&obs);
+        let b = chi_square_against_probs(&obs, &[0.25, 0.25, 0.25, 0.25]);
+        assert!((a.statistic - b.statistic).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pooling_small_cells() {
+        // Two tiny expected cells get pooled; test still runs.
+        let obs = [50u64, 48, 1, 1];
+        let exp = [50.0, 50.0, 1.0, 1.0];
+        let t = chi_square_test(&obs, &exp);
+        assert!(t.dof >= 1);
+        assert!(t.passes(0.05), "{t:?}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        chi_square_test(&[1, 2], &[1.0]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Distances between discrete probability distributions.
+//!
+//! `||pi_x(t) - pi||_1` is the central quantity of the paper's Section 4.2
+//! (mixing-time definition 4.3); total variation is half of it.
+
+/// L1 distance `sum_i |p_i - q_i|`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn l1_distance(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must have equal length");
+    p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum()
+}
+
+/// Total variation distance `(1/2) * sum_i |p_i - q_i|`.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    0.5 * l1_distance(p, q)
+}
+
+/// Euclidean (L2) distance between two vectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn l2_distance(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must have equal length");
+    p.iter()
+        .zip(q)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Empirical distribution from counts (normalized; zeros when empty).
+pub fn normalize_counts(counts: &[u64]) -> Vec<f64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return vec![0.0; counts.len()];
+    }
+    counts.iter().map(|&c| c as f64 / total as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_have_zero_distance() {
+        let p = [0.25, 0.25, 0.5];
+        assert_eq!(l1_distance(&p, &p), 0.0);
+        assert_eq!(total_variation(&p, &p), 0.0);
+        assert_eq!(l2_distance(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn disjoint_supports_have_tv_one() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert!((total_variation(&p, &q) - 1.0).abs() < 1e-15);
+        assert!((l1_distance(&p, &q) - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn l2_pythagoras() {
+        let p = [0.0, 0.0];
+        let q = [3.0, 4.0];
+        assert!((l2_distance(&p, &q) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalize() {
+        assert_eq!(normalize_counts(&[1, 1, 2]), vec![0.25, 0.25, 0.5]);
+        assert_eq!(normalize_counts(&[0, 0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn tv_symmetry_and_triangle() {
+        let p = [0.5, 0.3, 0.2];
+        let q = [0.2, 0.5, 0.3];
+        let r = [0.1, 0.1, 0.8];
+        assert_eq!(total_variation(&p, &q), total_variation(&q, &p));
+        assert!(
+            total_variation(&p, &r) <= total_variation(&p, &q) + total_variation(&q, &r) + 1e-15
+        );
+    }
+}

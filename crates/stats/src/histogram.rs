@@ -1,0 +1,163 @@
+//! Dense integer histograms over small domains.
+//!
+//! Walk endpoints, short-walk lengths and spanning-tree indices are all
+//! small nonnegative integers, so a dense `Vec<u64>` histogram is the right
+//! tool for the reproduction's distribution tests.
+
+/// A dense histogram over the domain `0..len`.
+///
+/// # Example
+///
+/// ```
+/// let mut h = drw_stats::Histogram::new(4);
+/// h.add(1);
+/// h.add(1);
+/// h.add(3);
+/// assert_eq!(h.count(1), 2);
+/// assert_eq!(h.total(), 3);
+/// assert_eq!(h.mode(), Some(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram over `0..len`.
+    pub fn new(len: usize) -> Self {
+        Histogram {
+            counts: vec![0; len],
+        }
+    }
+
+    /// Builds a histogram over `0..len` from an iterator of observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any observation is `>= len`.
+    pub fn from_iter<I: IntoIterator<Item = usize>>(len: usize, iter: I) -> Self {
+        let mut h = Histogram::new(len);
+        for x in iter {
+            h.add(x);
+        }
+        h
+    }
+
+    /// Records one observation of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside the domain.
+    pub fn add(&mut self, value: usize) {
+        self.counts[value] += 1;
+    }
+
+    /// Records `k` observations of `value`.
+    pub fn add_n(&mut self, value: usize, k: u64) {
+        self.counts[value] += k;
+    }
+
+    /// Count in one cell.
+    pub fn count(&self, value: usize) -> u64 {
+        self.counts[value]
+    }
+
+    /// All cell counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Index of the most frequent cell (ties broken toward the smallest
+    /// index); `None` if no observations were recorded.
+    pub fn mode(&self) -> Option<usize> {
+        let (idx, &max) = self
+            .counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))?;
+        if max == 0 {
+            None
+        } else {
+            Some(idx)
+        }
+    }
+
+    /// Empirical probability vector (all zeros when empty).
+    pub fn to_probabilities(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+}
+
+impl Extend<usize> for Histogram {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_counting() {
+        let h = Histogram::from_iter(5, [0, 1, 1, 4, 4, 4]);
+        assert_eq!(h.counts(), &[1, 2, 0, 0, 3]);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.mode(), Some(4));
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let h = Histogram::from_iter(3, [0, 1, 2, 2]);
+        let p = h.to_probabilities();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((p[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new(3);
+        assert_eq!(h.mode(), None);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.to_probabilities(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn add_n_and_extend() {
+        let mut h = Histogram::new(2);
+        h.add_n(0, 10);
+        h.extend([1, 1, 1]);
+        assert_eq!(h.counts(), &[10, 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_domain_panics() {
+        let mut h = Histogram::new(2);
+        h.add(2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Kolmogorov-Smirnov tests.
+//!
+//! Used for continuous-valued checks, e.g. that the normalized positions of
+//! connector points along a walk look uniform (experiment E5).
+
+/// Result of a Kolmogorov-Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsTest {
+    /// The KS statistic: the maximum absolute difference between the
+    /// empirical CDF and the reference CDF.
+    pub statistic: f64,
+    /// Number of samples.
+    pub n: usize,
+    /// Asymptotic p-value from the Kolmogorov distribution.
+    pub p_value: f64,
+}
+
+impl KsTest {
+    /// Whether the null hypothesis survives at significance level `alpha`.
+    pub fn passes(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// Asymptotic survival function of the Kolmogorov distribution:
+/// `Q(lambda) = 2 * sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2)`.
+pub fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64) * (j as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-16 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// One-sample KS test of `samples` against a reference CDF.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn ks_test<F: Fn(f64) -> f64>(samples: &[f64], cdf: F) -> KsTest {
+    assert!(!samples.is_empty(), "ks_test needs at least one sample");
+    let mut xs: Vec<f64> = samples.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+    let n = xs.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        let f = cdf(x).clamp(0.0, 1.0);
+        let lo = i as f64 / n;
+        let hi = (i as f64 + 1.0) / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    let sqrt_n = n.sqrt();
+    // Stephens' small-sample correction.
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    KsTest {
+        statistic: d,
+        n: xs.len(),
+        p_value: kolmogorov_sf(lambda),
+    }
+}
+
+/// One-sample KS test against the uniform distribution on `[0, 1]`.
+pub fn ks_test_uniform01(samples: &[f64]) -> KsTest {
+    ks_test(samples, |x| x.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kolmogorov_sf_values() {
+        // Q(0.828) ~ 0.5 for the Kolmogorov distribution.
+        let q = kolmogorov_sf(0.8276);
+        assert!((q - 0.5).abs() < 5e-3, "q = {q}");
+        assert!(kolmogorov_sf(0.0) == 1.0);
+        assert!(kolmogorov_sf(3.0) < 1e-6);
+    }
+
+    #[test]
+    fn uniform_grid_passes() {
+        // Deterministic near-uniform data.
+        let samples: Vec<f64> = (0..1000).map(|i| (i as f64 + 0.5) / 1000.0).collect();
+        let t = ks_test_uniform01(&samples);
+        assert!(t.statistic < 0.01);
+        assert!(t.passes(0.05));
+    }
+
+    #[test]
+    fn clustered_data_fails() {
+        let samples: Vec<f64> = (0..1000).map(|i| 0.4 + 0.2 * (i as f64 / 1000.0)).collect();
+        let t = ks_test_uniform01(&samples);
+        assert!(!t.passes(0.05), "{t:?}");
+    }
+
+    #[test]
+    fn exponential_cdf_test() {
+        // Deterministic inverse-CDF samples from Exp(1) pass a KS test
+        // against the Exp(1) CDF.
+        let samples: Vec<f64> = (0..500)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / 500.0;
+                -(1.0 - u).ln()
+            })
+            .collect();
+        let t = ks_test(&samples, |x| 1.0 - (-x).exp());
+        assert!(t.passes(0.05), "{t:?}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_samples_panic() {
+        ks_test_uniform01(&[]);
+    }
+}

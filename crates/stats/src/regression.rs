@@ -1,0 +1,106 @@
+//! Least-squares linear fits, primarily for scaling-exponent estimation.
+//!
+//! Experiment E1 estimates the empirical exponent `alpha` in
+//! `rounds ~ l^alpha` by regressing `log(rounds)` on `log(l)`; the paper
+//! predicts `alpha ~ 1` (naive), `~ 2/3` (PODC 2009), `~ 1/2` (PODC 2010).
+
+/// Result of an ordinary least-squares fit `y ~ slope * x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`.
+    pub r_squared: f64,
+}
+
+/// Ordinary least-squares fit of `y` on `x`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, contain fewer than two points, or
+/// if all `x` are identical.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> LinearFit {
+    assert_eq!(x.len(), y.len(), "x and y must have equal length");
+    assert!(x.len() >= 2, "need at least two points");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let sxx: f64 = x.iter().map(|xi| (xi - mx) * (xi - mx)).sum();
+    let sxy: f64 = x.iter().zip(y).map(|(xi, yi)| (xi - mx) * (yi - my)).sum();
+    let syy: f64 = y.iter().map(|yi| (yi - my) * (yi - my)).sum();
+    assert!(sxx > 0.0, "x values must not all be identical");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// Fits `log2(y) ~ slope * log2(x) + c` and returns the fit; the slope is
+/// the empirical scaling exponent of `y` in `x`.
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive, or under the conditions of
+/// [`linear_fit`].
+pub fn log_log_slope(x: &[f64], y: &[f64]) -> LinearFit {
+    assert!(
+        x.iter().chain(y).all(|&v| v > 0.0),
+        "log-log fit requires strictly positive data"
+    );
+    let lx: Vec<f64> = x.iter().map(|v| v.log2()).collect();
+    let ly: Vec<f64> = y.iter().map(|v| v.log2()).collect();
+    linear_fit(&lx, &ly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [3.0, 5.0, 7.0, 9.0];
+        let f = linear_fit(&x, &y);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_law_exponent_recovered() {
+        // y = 7 * x^0.5
+        let x: Vec<f64> = (1..=16).map(|i| (i * i) as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 7.0 * v.sqrt()).collect();
+        let f = log_log_slope(&x, &y);
+        assert!((f.slope - 0.5).abs() < 1e-10, "slope = {}", f.slope);
+        assert!(f.r_squared > 0.999_999);
+    }
+
+    #[test]
+    fn noisy_fit_reasonable() {
+        let x: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        // slope 3 with deterministic "noise".
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + (v * 7.7).sin()).collect();
+        let f = linear_fit(&x, &y);
+        assert!((f.slope - 3.0).abs() < 0.1, "slope = {}", f.slope);
+        assert!(f.r_squared > 0.99);
+    }
+
+    #[test]
+    #[should_panic]
+    fn identical_x_panics() {
+        linear_fit(&[1.0, 1.0], &[2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nonpositive_loglog_panics() {
+        log_log_slope(&[0.0, 1.0], &[1.0, 2.0]);
+    }
+}

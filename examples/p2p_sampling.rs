@@ -1,0 +1,76 @@
+//! Peer-to-peer node sampling — the intro's motivating workload: an
+//! overlay network wants uniform-ish peer samples (for gossip partner
+//! selection, load balancing, measurement) without any central
+//! directory.
+//!
+//! A random geometric graph models the ad-hoc topology (the paper's
+//! reference [27]); `MANY-RANDOM-WALKS` draws `k` independent samples of
+//! walks long enough to pass the network's mixing time, and the sample
+//! quality is checked against the stationary (degree-proportional)
+//! distribution.
+//!
+//! Run with: `cargo run --release --example p2p_sampling`
+
+use distributed_random_walks::prelude::*;
+use drw_graph::{spectral, traversal};
+use drw_stats::chi2::chi_square_against_probs;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+
+    // An ad-hoc wireless overlay: random geometric graph at the
+    // connectivity-threshold radius.
+    let n = 100;
+    let radius = generators::geometric_connectivity_radius(n);
+    let g = generators::random_geometric(n, radius, &mut rng);
+    let (g, _) = traversal::largest_component(&g);
+    println!(
+        "overlay: {} nodes, {} links, diameter {}",
+        g.n(),
+        g.m(),
+        traversal::diameter_exact(&g)
+    );
+
+    // Walk length: past the (exact, centrally computed for the demo)
+    // mixing time, so samples are near-stationary.
+    let tau = spectral::mixing_time(&g, 0, 0.2, spectral::WalkKind::Simple, 1 << 16)
+        .unwrap_or(4 * g.n());
+    let len = (2 * tau) as u64;
+    println!("sampling walk length: {len} (2x the eps=0.2 mixing time)\n");
+
+    // k independent samples from one requesting peer.
+    let k = 400;
+    let sources = vec![0usize; k];
+    let r = many_random_walks(&g, &sources, len, &SingleWalkConfig::default(), 4)?;
+    println!(
+        "drew {k} peer samples in {} rounds ({} stitches, naive fallback: {})",
+        r.rounds, r.stitches, r.used_naive_fallback
+    );
+
+    // Quality: the samples should follow the stationary distribution.
+    let pi = spectral::stationary_distribution(&g);
+    let mut counts = vec![0u64; g.n()];
+    for &d in &r.destinations {
+        counts[d] += 1;
+    }
+    let test = chi_square_against_probs(&counts, &pi);
+    println!(
+        "sample-quality chi-square p = {:.3} -> {}",
+        test.p_value,
+        if test.passes(0.01) {
+            "indistinguishable from stationary sampling"
+        } else {
+            "biased (walk too short?)"
+        }
+    );
+
+    let top = (0..g.n()).max_by_key(|&v| counts[v]).expect("nonempty");
+    println!(
+        "most-sampled peer: {top} ({}x, degree {} of max {})",
+        counts[top],
+        g.degree(top),
+        g.max_degree()
+    );
+    Ok(())
+}

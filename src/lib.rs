@@ -1,0 +1,69 @@
+//! # distributed-random-walks
+//!
+//! A production-quality Rust reproduction of
+//!
+//! > **Efficient Distributed Random Walks with Applications**
+//! > Atish Das Sarma, Danupon Nanongkai, Gopal Pandurangan, Prasad
+//! > Tetali. *PODC 2010.*
+//!
+//! The paper shows how to obtain a **true sample** of the `l`-step
+//! random-walk distribution in a distributed network in
+//! `~O(sqrt(l * D))` CONGEST rounds — sublinear in the walk length —
+//! plus two applications: random spanning trees in `~O(sqrt(m * D))`
+//! rounds and decentralized mixing-time estimation, and an almost
+//! matching `Omega(sqrt(l / log l))` lower bound.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`graph`] | `drw-graph` | CSR graphs, generators, traversal, spectral ground truth, matrix-tree |
+//! | [`congest`] | `drw-congest` | the CONGEST simulator: engine, protocols, BFS/broadcast/convergecast/upcast |
+//! | [`core`] | `drw-core` | the paper's algorithms: naive, PODC'09, `SINGLE-RANDOM-WALK`, `MANY-RANDOM-WALKS` |
+//! | [`spanning`] | `drw-spanning` | distributed Aldous-Broder random spanning trees |
+//! | [`mixing`] | `drw-mixing` | decentralized mixing-time / spectral-gap / conductance estimation |
+//! | [`lowerbound`] | `drw-lowerbound` | `G_n`, PATH-VERIFICATION and the reduction |
+//! | [`stats`] | `drw-stats` | chi-square / KS tests, summaries, regression |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use distributed_random_walks::prelude::*;
+//!
+//! # fn main() -> Result<(), drw_core::WalkError> {
+//! // A 16x16 torus: n = 256 nodes, diameter 16.
+//! let g = drw_graph::generators::torus2d(16, 16);
+//!
+//! // One exact 4096-step walk sample, distributed, in far fewer than
+//! // 4096 rounds.
+//! let walk = single_random_walk(&g, 0, 4096, &SingleWalkConfig::default(), 42)?;
+//! assert!(walk.rounds < 4096);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and the per-experiment
+//! index, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use drw_congest as congest;
+pub use drw_core as core;
+pub use drw_graph as graph;
+pub use drw_lowerbound as lowerbound;
+pub use drw_mixing as mixing;
+pub use drw_spanning as spanning;
+pub use drw_stats as stats;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use drw_congest::{EngineConfig, Runner};
+    pub use drw_core::{
+        many_random_walks, naive_walk, single_random_walk, ManyWalksResult, SingleWalkConfig,
+        SingleWalkResult, WalkError, WalkParams,
+    };
+    pub use drw_graph::{generators, Graph, GraphBuilder};
+    pub use drw_mixing::{estimate_mixing_time, MixingConfig};
+    pub use drw_spanning::{distributed_rst, RstConfig};
+}

@@ -1,0 +1,83 @@
+//! Integration tests of the CONGEST model enforcement across the stack.
+
+use distributed_random_walks::prelude::*;
+use drw_congest::{run_protocol, RunError};
+use drw_core::short_walks::ShortWalksProtocol;
+use drw_core::WalkState;
+
+/// Naive walks cost exactly their length in rounds — the model's
+/// baseline sanity anchor.
+#[test]
+fn naive_walk_rounds_equal_length() {
+    let g = generators::torus2d(5, 5);
+    for len in [1u64, 10, 321] {
+        let (_, rounds) = naive_walk(&g, 0, len, 7).unwrap();
+        assert_eq!(rounds, len);
+    }
+}
+
+/// Bandwidth enforcement: a message wider than the configured word cap
+/// aborts any protocol, including through the high-level drivers.
+#[test]
+fn oversized_messages_abort() {
+    let g = generators::path(4);
+    let cfg = EngineConfig {
+        max_message_words: 2, // walk tokens need 4 words
+        ..EngineConfig::default()
+    };
+    let mut state = WalkState::new(g.n());
+    let mut p = ShortWalksProtocol::new(&mut state, vec![1; 4], 2, true);
+    let err = run_protocol(&g, &cfg, 1, &mut p).unwrap_err();
+    assert!(matches!(err, RunError::OversizedMessage { words: 4, cap: 2 }));
+}
+
+/// The round cap surfaces as a walk error through the driver.
+#[test]
+fn round_cap_surfaces_through_drivers() {
+    let g = generators::torus2d(4, 4);
+    let cfg = SingleWalkConfig {
+        engine: EngineConfig {
+            max_rounds: 3,
+            ..EngineConfig::default()
+        },
+        ..SingleWalkConfig::default()
+    };
+    let err = single_random_walk(&g, 0, 4096, &cfg, 1).unwrap_err();
+    assert!(matches!(err, WalkError::Engine(RunError::MaxRoundsExceeded(3))));
+}
+
+/// Congestion (many tokens over few edges) shows up as extra rounds, not
+/// as lost messages: all Phase-1 walks complete on a bottleneck graph.
+#[test]
+fn congestion_delays_but_never_drops() {
+    let g = generators::barbell(6, 1); // single bridge edge bottleneck
+    let mut state = WalkState::new(g.n());
+    let counts: Vec<usize> = (0..g.n()).map(|v| 2 * g.degree(v)).collect();
+    let total: usize = counts.iter().sum();
+    let mut p = ShortWalksProtocol::new(&mut state, counts, 12, true);
+    let report = run_protocol(&g, &EngineConfig::default(), 3, &mut p).unwrap();
+    assert_eq!(state.total_stored(), total, "every token must land");
+    // The bridge forces serialization: strictly more rounds than the
+    // maximum walk length.
+    assert!(report.rounds > 24, "rounds = {}", report.rounds);
+    assert!(report.max_edge_backlog > 1);
+}
+
+/// Message accounting is exact for a single token: one message per round.
+#[test]
+fn message_accounting_matches_rounds_for_single_token() {
+    let g = generators::cycle(12);
+    let mut p = drw_core::naive::NaiveWalkProtocol::new(
+        vec![drw_core::naive::NaiveWalkSpec {
+            source: 0,
+            len: 57,
+            start_pos: 0,
+            record_start: false,
+        }],
+        None,
+    );
+    let report = run_protocol(&g, &EngineConfig::default(), 9, &mut p).unwrap();
+    assert_eq!(report.rounds, 57);
+    assert_eq!(report.messages, 57);
+    assert_eq!(report.max_edge_backlog, 1);
+}

@@ -1,0 +1,161 @@
+//! Property-based tests of the core invariants, on arbitrary connected
+//! graphs, seeds and walk lengths.
+
+use distributed_random_walks::prelude::*;
+use drw_graph::{matrix_tree, traversal};
+use drw_lowerbound::IntervalSet;
+use proptest::prelude::*;
+
+/// An arbitrary connected graph: a random path through all nodes (for
+/// connectivity) plus arbitrary extra edges.
+fn connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n)
+        .prop_flat_map(|n| {
+            let extra = proptest::collection::vec((0..n, 0..n), 0..3 * n);
+            (Just(n), proptest::sample::subsequence((0..n).collect::<Vec<_>>(), n), extra)
+        })
+        .prop_map(|(n, order, extra)| {
+            let mut b = GraphBuilder::new(n);
+            for w in order.windows(2) {
+                b.add_edge(w[0], w[1]);
+            }
+            // `subsequence` of the full range is the identity permutation;
+            // chain consecutive ids as the guaranteed backbone.
+            for i in 1..n {
+                b.add_edge(i - 1, i);
+            }
+            for (u, v) in extra {
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+            b.build().expect("valid edges")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The recorded stitched walk is always a valid trajectory of exactly
+    /// `len` edges from the source to the reported destination.
+    #[test]
+    fn stitched_walk_is_always_a_valid_trajectory(
+        g in connected_graph(14),
+        len in 1u64..300,
+        seed in 0u64..1000,
+    ) {
+        let cfg = SingleWalkConfig { record_walk: true, ..SingleWalkConfig::default() };
+        let source = seed as usize % g.n();
+        let r = single_random_walk(&g, source, len, &cfg, seed).unwrap();
+        let walk = r.state.reconstruct_walk(len);
+        prop_assert_eq!(walk.len() as u64, len + 1);
+        prop_assert_eq!(walk[0], source);
+        prop_assert_eq!(*walk.last().unwrap(), r.destination);
+        for w in walk.windows(2) {
+            prop_assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    /// Every stitched segment length lies in [lambda, 2*lambda) and the
+    /// segments chain head-to-tail.
+    #[test]
+    fn segments_chain_with_bounded_lengths(
+        g in connected_graph(12),
+        seed in 0u64..1000,
+    ) {
+        let len = 200u64;
+        let source = seed as usize % g.n();
+        let r = single_random_walk(&g, source, len, &SingleWalkConfig::default(), seed).unwrap();
+        let mut at = source;
+        let mut pos = 0u64;
+        for seg in &r.segments {
+            prop_assert_eq!(seg.connector, at);
+            prop_assert_eq!(seg.start_pos, pos);
+            prop_assert!(seg.len >= r.lambda && seg.len < 2 * r.lambda);
+            at = seg.owner;
+            pos += seg.len as u64;
+        }
+        prop_assert!(len - pos < 2 * r.lambda as u64);
+    }
+
+    /// The distributed BFS tree always matches centralized BFS distances.
+    #[test]
+    fn distributed_bfs_matches_centralized(
+        g in connected_graph(16),
+        seed in 0u64..100,
+    ) {
+        use drw_congest::primitives::BfsTreeProtocol;
+        let root = seed as usize % g.n();
+        let mut p = BfsTreeProtocol::new(root);
+        drw_congest::run_protocol(&g, &EngineConfig::default(), seed, &mut p).unwrap();
+        let tree = p.into_tree();
+        let dist = traversal::bfs_distances(&g, root);
+        prop_assert_eq!(tree.dist, dist);
+    }
+
+    /// The distributed RST always outputs a spanning tree.
+    #[test]
+    fn rst_always_spans(
+        g in connected_graph(10),
+        seed in 0u64..200,
+    ) {
+        let r = distributed_rst(&g, 0, &RstConfig::default(), seed).unwrap();
+        prop_assert!(matrix_tree::is_spanning_tree(&g, &r.edges));
+    }
+
+    /// Interval-set inserts are idempotent and monotone in coverage.
+    #[test]
+    fn interval_set_algebra(
+        ops in proptest::collection::vec((1u64..60, 0u64..10), 1..40),
+    ) {
+        let mut s = IntervalSet::new();
+        for &(lo, width) in &ops {
+            s.insert(lo, lo + width);
+            // Idempotent: re-inserting is a no-op.
+            let before = s.segments().to_vec();
+            prop_assert!(s.insert(lo, lo + width).is_none());
+            prop_assert_eq!(s.segments(), &before[..]);
+        }
+        // Every inserted interval is covered.
+        for &(lo, width) in &ops {
+            prop_assert!(s.contains(lo, lo + width));
+        }
+        // Segments are sorted and strictly non-overlapping.
+        for w in s.segments().windows(2) {
+            prop_assert!(w[0].1 < w[1].0);
+        }
+    }
+
+    /// Graph builder round-trip: `edges()` returns exactly the
+    /// deduplicated normalized input.
+    #[test]
+    fn graph_builder_round_trip(
+        n in 2usize..20,
+        raw in proptest::collection::vec((0usize..20, 0usize..20), 0..60),
+    ) {
+        let mut expected: Vec<(usize, usize)> = raw
+            .iter()
+            .filter(|&&(u, v)| u != v && u < n && v < n)
+            .map(|&(u, v)| (u.min(v), u.max(v)))
+            .collect();
+        expected.sort_unstable();
+        expected.dedup();
+        let g = Graph::from_edges(n, expected.iter().copied()).unwrap();
+        let got: Vec<(usize, usize)> = g.edges().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Walk parity on bipartite graphs survives the full distributed
+    /// pipeline: an even-length walk on an even cycle stays on the
+    /// source's parity class.
+    #[test]
+    fn parity_preserved_on_even_cycles(
+        half in 2usize..12,
+        seed in 0u64..300,
+    ) {
+        let g = generators::cycle(2 * half);
+        let len = 2 * (seed % 100 + 10);
+        let r = single_random_walk(&g, 0, len, &SingleWalkConfig::default(), seed).unwrap();
+        prop_assert_eq!(r.destination % 2, 0);
+    }
+}
