@@ -33,7 +33,14 @@ fn bench_spectral(c: &mut Criterion) {
         b.iter(|| black_box(spectral::second_eigenvalue(&g, spectral::WalkKind::Lazy)));
     });
     c.bench_function("graphs/distribution_after_144x256", |b| {
-        b.iter(|| black_box(spectral::distribution_after(&g, 0, 256, spectral::WalkKind::Simple)));
+        b.iter(|| {
+            black_box(spectral::distribution_after(
+                &g,
+                0,
+                256,
+                spectral::WalkKind::Simple,
+            ))
+        });
     });
 }
 

@@ -3,7 +3,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use drw_bench::{bench_regular, bench_torus};
 use drw_congest::primitives::{AggOp, BfsTreeProtocol, ConvergecastProtocol, UpcastProtocol};
-use drw_congest::{run_protocol, EngineConfig};
+use drw_congest::{run_node_local, run_protocol, EngineConfig};
 use drw_core::short_walks::ShortWalksProtocol;
 use drw_core::WalkState;
 use std::hint::black_box;
@@ -40,7 +40,13 @@ fn bench_upcast(c: &mut Criterion) {
     run_protocol(&g, &EngineConfig::default(), 1, &mut p).expect("bfs");
     let tree = p.into_tree();
     let items: Vec<Vec<(u64, u64)>> = (0..g.n())
-        .map(|v| if v % 4 == 0 { vec![(v as u64, 1)] } else { vec![] })
+        .map(|v| {
+            if v % 4 == 0 {
+                vec![(v as u64, 1)]
+            } else {
+                vec![]
+            }
+        })
         .collect();
     c.bench_function("primitives/upcast_64_items", |b| {
         b.iter(|| {
@@ -62,12 +68,18 @@ fn bench_phase1(c: &mut Criterion) {
             seed += 1;
             let mut state = WalkState::new(g.n());
             let mut p = ShortWalksProtocol::new(&mut state, counts.clone(), 64, true);
-            run_protocol(&g, &EngineConfig::default(), seed, &mut p).expect("phase1");
+            run_node_local(&g, &EngineConfig::default(), seed, &mut p).expect("phase1");
             black_box(state.total_stored())
         });
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_bfs, bench_convergecast, bench_upcast, bench_phase1);
+criterion_group!(
+    benches,
+    bench_bfs,
+    bench_convergecast,
+    bench_upcast,
+    bench_phase1
+);
 criterion_main!(benches);

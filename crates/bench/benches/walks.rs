@@ -2,10 +2,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use drw_bench::{bench_regular, bench_torus};
+use drw_congest::ExecutorKind;
 use drw_core::{
     many_random_walks, naive_walk, podc09::podc09_walk, single_random_walk, Podc09Params,
     SingleWalkConfig,
 };
+use drw_graph::generators;
 use std::hint::black_box;
 
 fn bench_single_walk_algorithms(c: &mut Criterion) {
@@ -24,7 +26,9 @@ fn bench_single_walk_algorithms(c: &mut Criterion) {
             let mut seed = 0;
             b.iter(|| {
                 seed += 1;
-                black_box(podc09_walk(&torus, 0, len, &Podc09Params::default(), seed).expect("walk"))
+                black_box(
+                    podc09_walk(&torus, 0, len, &Podc09Params::default(), seed).expect("walk"),
+                )
             });
         });
         group.bench_with_input(BenchmarkId::new("podc10", len), &len, |b, &len| {
@@ -79,10 +83,39 @@ fn bench_walk_with_regeneration(c: &mut Criterion) {
     group.finish();
 }
 
+/// The tentpole acceptance workload: one long walk on a 64x64 torus
+/// (n = 4096), where Phase 1 moves ~16k tokens per round — enough
+/// receive-phase work for the parallel executor to show its worth. Both
+/// backends compute bit-identical results; only wall-clock differs.
+fn bench_executor_backends(c: &mut Criterion) {
+    let torus = generators::torus2d(64, 64);
+    let len = 8192u64;
+    let mut group = c.benchmark_group("executor_64x64_torus");
+    group.sample_size(5);
+    for (name, kind) in [
+        ("sequential", ExecutorKind::Sequential),
+        ("parallel", ExecutorKind::Parallel),
+    ] {
+        let cfg = SingleWalkConfig {
+            engine: drw_congest::EngineConfig::default().with_executor(kind),
+            ..SingleWalkConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("single_walk", name), &cfg, |b, cfg| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(single_random_walk(&torus, 0, len, cfg, seed).expect("walk"))
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_single_walk_algorithms,
     bench_many_walks,
-    bench_walk_with_regeneration
+    bench_walk_with_regeneration,
+    bench_executor_backends
 );
 criterion_main!(benches);

@@ -1,0 +1,240 @@
+//! Hermetic re-implementation of the slice of the Criterion API that the
+//! workspace benches use.
+//!
+//! The build environment is offline, so `cargo bench` runs against this
+//! minimal harness instead of the real crate: same bench source code,
+//! same target layout (`harness = false` + [`criterion_main!`]), but a
+//! simple warmup-then-measure loop reporting the median, min and max
+//! iteration time per benchmark.
+//!
+//! Environment knobs:
+//!
+//! - `DRW_BENCH_SAMPLES` overrides the per-benchmark sample count
+//!   (default: the group's `sample_size`, itself defaulting to 10).
+//! - `DRW_BENCH_FILTER` runs only benchmarks whose id contains the
+//!   given substring.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter value.
+    pub fn new<P: std::fmt::Display>(function_id: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Drives one benchmark's timed closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Measured per-iteration times, filled by [`Bencher::iter`].
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, recording one sample per call after a short warmup.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: let caches and allocators settle.
+        for _ in 0..2 {
+            std::hint::black_box(f());
+        }
+        self.times.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.times.push(start.elapsed());
+        }
+    }
+}
+
+fn env_samples(default: usize) -> usize {
+    std::env::var("DRW_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+fn filtered_out(id: &str) -> bool {
+    match std::env::var("DRW_BENCH_FILTER") {
+        Ok(f) if !f.is_empty() => !id.contains(&f),
+        _ => false,
+    }
+}
+
+fn run_one(id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    if filtered_out(id) {
+        return;
+    }
+    let mut b = Bencher {
+        samples: env_samples(samples),
+        times: Vec::new(),
+    };
+    f(&mut b);
+    if b.times.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    b.times.sort_unstable();
+    let median = b.times[b.times.len() / 2];
+    let min = b.times[0];
+    let max = *b.times.last().expect("nonempty");
+    println!(
+        "{id:<48} median {:>12} (min {:>12}, max {:>12}, n={})",
+        fmt_duration(median),
+        fmt_duration(min),
+        fmt_duration(max),
+        b.times.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs an unparameterized benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API parity; printing is immediate).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, 10, &mut f);
+        self
+    }
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            samples: 5,
+            times: Vec::new(),
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc += 1;
+            acc
+        });
+        assert_eq!(b.times.len(), 5);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("naive", 512).to_string(), "naive/512");
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert!(fmt_duration(Duration::from_nanos(50)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(50)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(50)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(50)).ends_with("s"));
+    }
+}

@@ -1,0 +1,360 @@
+//! Hermetic re-implementation of the slice of the proptest API that the
+//! workspace's property tests use.
+//!
+//! Offline build environment, so the property-testing surface is
+//! vendored: [`Strategy`] with `prop_map` / `prop_flat_map`, range and
+//! tuple strategies, [`collection::vec`], [`sample::subsequence`],
+//! [`Just`], [`ProptestConfig`], and the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Differences from the real crate, deliberate for hermeticity and
+//! reproducibility: cases are generated from a fixed per-test seed (runs
+//! are deterministic), and failing inputs are **not shrunk** — the
+//! failing case index and panic message identify the repro instead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG driving case generation.
+pub type TestRng = StdRng;
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to generate per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns
+    /// for it (dependent generation).
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(
+    /// The value to yield.
+    pub T,
+);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.random_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies over fixed collections.
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use rand::seq::SliceRandom;
+
+    /// Generates order-preserving subsequences of exactly `size` elements
+    /// of `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size > values.len()`.
+    pub fn subsequence<T: Clone>(values: Vec<T>, size: usize) -> Subsequence<T> {
+        assert!(
+            size <= values.len(),
+            "subsequence larger than the collection"
+        );
+        Subsequence { values, size }
+    }
+
+    /// See [`subsequence`].
+    #[derive(Debug, Clone)]
+    pub struct Subsequence<T: Clone> {
+        values: Vec<T>,
+        size: usize,
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let mut idx: Vec<usize> = (0..self.values.len()).collect();
+            idx.shuffle(rng);
+            idx.truncate(self.size);
+            idx.sort_unstable();
+            idx.into_iter().map(|i| self.values[i].clone()).collect()
+        }
+    }
+}
+
+/// Derives a stable 64-bit seed from a test's name, so every property
+/// test explores its own deterministic case sequence.
+pub fn seed_for(test_name: &str) -> u64 {
+    // FNV-1a.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The deterministic case RNG for a named test (used by [`proptest!`]
+/// expansions; public so the macro works without `rand` in the caller's
+/// dependency graph).
+pub fn rng_for(test_name: &str) -> TestRng {
+    TestRng::seed_from_u64(seed_for(test_name))
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+/// Declares property tests: each runs `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    (@cfg ($cfg:expr); $(
+        $(#[doc = $doc:expr])*
+        #[test]
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[doc = $doc])*
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng: $crate::TestRng = $crate::rng_for(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest case {case}/{} of `{}` failed (deterministic seed; rerun reproduces it)",
+                        config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// One-import convenience, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng: TestRng = SeedableRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (2u64..=4).generate(&mut rng);
+            assert!((2..=4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng: TestRng = SeedableRng::seed_from_u64(2);
+        let s = (1usize..5).prop_flat_map(|n| (Just(n), collection::vec(0u32..10, 0..5)));
+        let mapped = s.prop_map(|(n, v)| n + v.len());
+        for _ in 0..50 {
+            let x = mapped.generate(&mut rng);
+            assert!((1..10).contains(&x));
+        }
+    }
+
+    #[test]
+    fn subsequence_of_full_length_is_identity() {
+        let mut rng: TestRng = SeedableRng::seed_from_u64(3);
+        let s = sample::subsequence(vec![1, 2, 3, 4], 4);
+        assert_eq!(s.generate(&mut rng), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn subsequence_preserves_order() {
+        let mut rng: TestRng = SeedableRng::seed_from_u64(4);
+        let s = sample::subsequence((0..10).collect::<Vec<i32>>(), 5);
+        for _ in 0..50 {
+            let sub = s.generate(&mut rng);
+            assert_eq!(sub.len(), 5);
+            assert!(sub.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn seed_for_distinguishes_names() {
+        assert_ne!(seed_for("a"), seed_for("b"));
+        assert_eq!(seed_for("same"), seed_for("same"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro itself works end to end.
+        #[test]
+        fn macro_generates_cases(x in 0u64..100, v in collection::vec(0u32..5, 1..4)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.iter().filter(|&&e| e < 5).count(), v.len());
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Hermetic `#[derive(Serialize, Deserialize)]` for the in-repo serde
+//! shim.
+//!
+//! Supports non-generic structs with named fields — exactly the shape of
+//! the workspace's report/config types. The macro only needs field
+//! *names*: serialization calls `serde::Serialize::to_value` per field,
+//! and deserialization goes through `serde::field::<T>(..)`, letting the
+//! compiler infer each field's type from the struct definition. No
+//! `syn`/`quote` (also unavailable offline); the token stream is parsed
+//! by hand.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of a derive input: the type name and its field names.
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Extracts the struct name and named-field list from a derive input
+/// token stream, or an error message describing why the shape is
+/// unsupported.
+fn parse_struct(input: TokenStream) -> Result<StructShape, String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes (`# [...]`) and visibility / modifier keywords
+    // until the `struct` keyword.
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Consume the attribute group.
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => return Err(format!("expected struct name, got {other:?}")),
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                return Err("this serde shim derives structs with named fields only; \
+                     implement Serialize/Deserialize for enums by hand"
+                    .to_string());
+            }
+            _ => {}
+        }
+    }
+    let name = name.ok_or_else(|| "no struct found in derive input".to_string())?;
+    // Next token must be the brace-delimited field body (generics are
+    // unsupported, tuple structs are unsupported).
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err("generic structs are not supported by the serde shim".to_string());
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err("tuple structs are not supported by the serde shim".to_string());
+            }
+            Some(_) => continue,
+            None => return Err("struct has no brace-delimited body".to_string()),
+        }
+    };
+    // Within the body, fields look like: (attrs)* (vis)? NAME ':' TYPE ','
+    // Walk top-level tokens; the ident immediately preceding each
+    // top-level ':' is the field name. Type tokens contain no top-level
+    // ':' besides paths (`::`), which we skip as a unit.
+    let mut fields = Vec::new();
+    let mut last_ident: Option<String> = None;
+    let mut toks = body.into_iter().peekable();
+    while let Some(tt) = toks.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = toks.next(); // attribute body
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' => {
+                // `::` inside a path: skip both halves.
+                if let Some(TokenTree::Punct(next)) = toks.peek() {
+                    if next.as_char() == ':' {
+                        let _ = toks.next();
+                        continue;
+                    }
+                }
+                if let Some(name) = last_ident.take() {
+                    fields.push(name);
+                }
+                // Consume the type tokens until the next top-level comma.
+                let mut depth = 0i32;
+                for ty in toks.by_ref() {
+                    match ty {
+                        TokenTree::Punct(ref q) if q.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(ref q) if q.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(ref q) if q.as_char() == ',' && depth == 0 => break,
+                        _ => {}
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s != "pub" && s != "crate" && s != "r#pub" {
+                    last_ident = Some(s);
+                }
+            }
+            TokenTree::Group(_) => {
+                // `pub(crate)` visibility group — ignore.
+            }
+            _ => {}
+        }
+    }
+    Ok(StructShape { name, fields })
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("valid error tokens")
+}
+
+/// Derives `serde::Serialize` (shim) for a struct with named fields.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let mut pushes = String::new();
+    for f in &shape.fields {
+        pushes.push_str(&format!(
+            "fields.push(({f:?}.to_string(), serde::Serialize::to_value(&self.{f})));\n"
+        ));
+    }
+    let out = format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n\
+         let mut fields: Vec<(String, serde::Value)> = Vec::new();\n\
+         {pushes}\
+         serde::Value::Object(fields)\n\
+         }}\n\
+         }}",
+        name = shape.name,
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (shim) for a struct with named fields.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let mut inits = String::new();
+    for f in &shape.fields {
+        inits.push_str(&format!("{f}: serde::field(v, {f:?})?,\n"));
+    }
+    let out = format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+         Ok({name} {{\n{inits}}})\n\
+         }}\n\
+         }}",
+        name = shape.name,
+    );
+    out.parse().expect("generated Deserialize impl parses")
+}

@@ -1,14 +1,20 @@
-//! The round-based execution engine.
+//! Engine configuration, run statistics, and the executor dispatch.
+//!
+//! The round loop itself lives in [`crate::executor`]; this module owns
+//! what every backend shares — [`EngineConfig`], [`RunReport`],
+//! [`RunError`] — and the [`run_protocol`] / [`run_node_local`] entry
+//! points that dispatch to the backend selected by
+//! [`EngineConfig::executor`].
 
-use crate::message::{Envelope, Message};
-use crate::protocol::{Ctx, Protocol};
-use crate::rng::NodeRngs;
+use crate::executor::{ExecutorKind, ParallelExecutor, RoundExecutor, SequentialExecutor};
+use crate::node_local::NodeLocalProtocol;
+use crate::protocol::Protocol;
 use drw_graph::Graph;
-use std::collections::VecDeque;
 use std::fmt;
 
 /// Engine configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EngineConfig {
     /// Hard cap on simulated rounds; exceeding it is an error (a protocol
     /// bug or a parameter far outside the intended regime).
@@ -24,6 +30,9 @@ pub struct EngineConfig {
     /// (edge, round) pair, how many messages were delivered (index = load,
     /// clamped to the histogram's last bucket). Costs a little time.
     pub record_edge_loads: bool,
+    /// Which round-executor backend runs the protocol. Both backends
+    /// produce bit-identical results; this only affects wall-clock time.
+    pub executor: ExecutorKind,
 }
 
 impl Default for EngineConfig {
@@ -33,6 +42,7 @@ impl Default for EngineConfig {
             edge_capacity: Some(1),
             max_message_words: 4,
             record_edge_loads: false,
+            executor: ExecutorKind::Sequential,
         }
     }
 }
@@ -46,6 +56,20 @@ impl EngineConfig {
             record_edge_loads: true,
             ..EngineConfig::default()
         }
+    }
+
+    /// Default configuration on the parallel backend.
+    pub fn parallel() -> Self {
+        EngineConfig {
+            executor: ExecutorKind::Parallel,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// This configuration with the given executor backend.
+    pub fn with_executor(mut self, executor: ExecutorKind) -> Self {
+        self.executor = executor;
+        self
     }
 }
 
@@ -73,7 +97,10 @@ impl fmt::Display for RunError {
                 write!(f, "protocol exceeded the configured cap of {cap} rounds")
             }
             RunError::OversizedMessage { words, cap } => {
-                write!(f, "message of {words} words exceeds the CONGEST cap of {cap} words")
+                write!(
+                    f,
+                    "message of {words} words exceeds the CONGEST cap of {cap} words"
+                )
             }
         }
     }
@@ -83,6 +110,7 @@ impl std::error::Error for RunError {}
 
 /// Statistics of one protocol run.
 #[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RunReport {
     /// Number of communication rounds executed. This is the paper's
     /// complexity measure.
@@ -102,9 +130,14 @@ pub struct RunReport {
     pub edge_load_histogram: Vec<u64>,
 }
 
-const LOAD_HISTOGRAM_BUCKETS: usize = 64;
-
-/// Runs `protocol` on `graph` to completion.
+/// Runs `protocol` on `graph` to completion under the backend selected
+/// by `cfg.executor`.
+///
+/// A plain [`Protocol`]'s receive hook takes `&mut self`, which no
+/// backend may shard; under [`ExecutorKind::Parallel`] such protocols
+/// execute with the sequential receive discipline (identical results).
+/// Protocols wanting the parallel receive phase implement
+/// [`NodeLocalProtocol`] and go through [`run_node_local`].
 ///
 /// Returns the run statistics; the protocol struct itself holds whatever
 /// results it computed.
@@ -120,111 +153,38 @@ pub fn run_protocol<P: Protocol>(
     seed: u64,
     protocol: &mut P,
 ) -> Result<RunReport, RunError> {
-    let n = graph.n();
-    let mut rngs = NodeRngs::new(seed, n);
-    let mut queues: Vec<VecDeque<P::Msg>> = vec![VecDeque::new(); graph.dir_edge_count()];
-    let mut busy_edges: Vec<usize> = Vec::new();
-    let mut inbox: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); n];
-    let mut report = RunReport::default();
-    if cfg.record_edge_loads {
-        report.edge_load_histogram = vec![0; LOAD_HISTOGRAM_BUCKETS];
+    match cfg.executor {
+        ExecutorKind::Sequential => SequentialExecutor.run(graph, cfg, seed, protocol),
+        ExecutorKind::Parallel => ParallelExecutor::auto().run(graph, cfg, seed, protocol),
     }
-
-    // Round 0: free local computation and initial sends.
-    let mut ctx = Ctx::new(graph, 0, &mut rngs);
-    protocol.start(&mut ctx);
-    let staged = ctx.staged;
-    stage_sends::<P>(cfg, graph, staged, &mut queues, &mut busy_edges, &mut report)?;
-
-    let mut round: u64 = 0;
-    while !busy_edges.is_empty() {
-        if protocol.is_done() {
-            break;
-        }
-        round += 1;
-        if round > cfg.max_rounds {
-            return Err(RunError::MaxRoundsExceeded(cfg.max_rounds));
-        }
-
-        // Deliver up to `edge_capacity` messages per busy edge,
-        // deterministically in edge-id order.
-        busy_edges.sort_unstable();
-        busy_edges.dedup();
-        let mut active_nodes: Vec<usize> = Vec::new();
-        let mut still_busy: Vec<usize> = Vec::new();
-        for &eid in &busy_edges {
-            let cap = cfg.edge_capacity.unwrap_or(usize::MAX);
-            let from = graph.edge_source(eid);
-            let to = graph.edge_target(eid);
-            let mut delivered_here = 0usize;
-            while delivered_here < cap {
-                let Some(msg) = queues[eid].pop_front() else {
-                    break;
-                };
-                report.messages += 1;
-                report.words += msg.size_words() as u64;
-                if inbox[to].is_empty() {
-                    active_nodes.push(to);
-                }
-                inbox[to].push(Envelope { from, to, msg });
-                delivered_here += 1;
-            }
-            report.max_edge_load = report.max_edge_load.max(delivered_here);
-            if cfg.record_edge_loads && delivered_here > 0 {
-                let bucket = delivered_here.min(LOAD_HISTOGRAM_BUCKETS - 1);
-                report.edge_load_histogram[bucket] += 1;
-            }
-            if !queues[eid].is_empty() {
-                still_busy.push(eid);
-            }
-        }
-        busy_edges = still_busy;
-
-        // Hand the round to the protocol.
-        let mut ctx = Ctx::new(graph, round, &mut rngs);
-        protocol.on_round(&mut ctx);
-        active_nodes.sort_unstable();
-        for &node in &active_nodes {
-            let msgs = std::mem::take(&mut inbox[node]);
-            protocol.on_receive(node, &msgs, &mut ctx);
-        }
-        let staged = ctx.staged;
-        stage_sends::<P>(cfg, graph, staged, &mut queues, &mut busy_edges, &mut report)?;
-    }
-
-    report.rounds = round;
-    Ok(report)
 }
 
-fn stage_sends<P: Protocol>(
+/// Runs a [`NodeLocalProtocol`] on `graph` to completion under the
+/// backend selected by `cfg.executor`, sharding the receive phase
+/// across threads when that backend is [`ExecutorKind::Parallel`].
+///
+/// # Errors
+///
+/// Same as [`run_protocol`].
+pub fn run_node_local<P: NodeLocalProtocol>(
+    graph: &Graph,
     cfg: &EngineConfig,
-    _graph: &Graph,
-    staged: Vec<(usize, P::Msg)>,
-    queues: &mut [VecDeque<P::Msg>],
-    busy_edges: &mut Vec<usize>,
-    report: &mut RunReport,
-) -> Result<(), RunError> {
-    for (eid, msg) in staged {
-        let words = msg.size_words();
-        if words > cfg.max_message_words {
-            return Err(RunError::OversizedMessage {
-                words,
-                cap: cfg.max_message_words,
-            });
+    seed: u64,
+    protocol: &mut P,
+) -> Result<RunReport, RunError> {
+    match cfg.executor {
+        ExecutorKind::Sequential => SequentialExecutor.run_node_local(graph, cfg, seed, protocol),
+        ExecutorKind::Parallel => {
+            ParallelExecutor::auto().run_node_local(graph, cfg, seed, protocol)
         }
-        if queues[eid].is_empty() {
-            busy_edges.push(eid);
-        }
-        queues[eid].push_back(msg);
-        report.max_edge_backlog = report.max_edge_backlog.max(queues[eid].len());
     }
-    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::message::Message;
+    use crate::message::{Envelope, Message};
+    use crate::protocol::Ctx;
     use drw_graph::generators;
 
     #[derive(Clone, Debug)]
@@ -267,7 +227,11 @@ mod tests {
         assert!(p.seen.iter().all(|&s| s));
         // Flood finishes one round after the farthest node is reached.
         let d = drw_graph::traversal::diameter_exact(&g) as u64;
-        assert!(report.rounds >= d && report.rounds <= d + 2, "rounds = {}", report.rounds);
+        assert!(
+            report.rounds >= d && report.rounds <= d + 2,
+            "rounds = {}",
+            report.rounds
+        );
         assert!(report.messages > 0);
     }
 
@@ -297,6 +261,62 @@ mod tests {
         assert_eq!(p.received, 10);
         assert_eq!(report.rounds, 10, "capacity 1 serializes the burst");
         assert_eq!(report.max_edge_backlog, 10);
+    }
+
+    #[test]
+    fn edge_capacity_two_halves_the_drain_time() {
+        // Satellite edge case: a backlog of 10 over one edge drains at 2
+        // messages per round, in order.
+        let g = generators::path(2);
+        let mut p = Burst { k: 10, received: 0 };
+        let cfg = EngineConfig {
+            edge_capacity: Some(2),
+            ..EngineConfig::default()
+        };
+        let report = run_protocol(&g, &cfg, 1, &mut p).unwrap();
+        assert_eq!(p.received, 10);
+        assert_eq!(report.rounds, 5, "capacity 2 drains two per round");
+        assert_eq!(report.max_edge_backlog, 10);
+        assert_eq!(report.max_edge_load, 2);
+    }
+
+    /// Records arrival order so FIFO-across-capacity can be asserted.
+    struct OrderedBurst {
+        k: u32,
+        arrivals: Vec<u32>,
+    }
+    impl Protocol for OrderedBurst {
+        type Msg = Ping;
+        fn start(&mut self, ctx: &mut Ctx<'_, Ping>) {
+            for i in 0..self.k {
+                ctx.send(0, 1, Ping(i));
+            }
+        }
+        fn on_receive(&mut self, _node: usize, inbox: &[Envelope<Ping>], _ctx: &mut Ctx<'_, Ping>) {
+            self.arrivals.extend(inbox.iter().map(|e| e.msg.0));
+        }
+    }
+
+    #[test]
+    fn backlog_drains_in_fifo_order_at_any_capacity() {
+        for capacity in [1usize, 2, 3, 7, 100] {
+            let g = generators::path(2);
+            let mut p = OrderedBurst {
+                k: 9,
+                arrivals: Vec::new(),
+            };
+            let cfg = EngineConfig {
+                edge_capacity: Some(capacity),
+                ..EngineConfig::default()
+            };
+            let report = run_protocol(&g, &cfg, 1, &mut p).unwrap();
+            assert_eq!(
+                p.arrivals,
+                (0..9).collect::<Vec<_>>(),
+                "capacity {capacity}"
+            );
+            assert_eq!(report.rounds, (9u64).div_ceil(capacity as u64));
+        }
     }
 
     #[test]
@@ -334,6 +354,40 @@ mod tests {
         assert!(err.to_string().contains("9 words"));
     }
 
+    /// Grows its payload on every hop; aborts once it exceeds the cap.
+    #[derive(Clone, Debug)]
+    struct Growing(usize);
+    impl Message for Growing {
+        fn size_words(&self) -> usize {
+            self.0
+        }
+    }
+    struct GrowsMidRun;
+    impl Protocol for GrowsMidRun {
+        type Msg = Growing;
+        fn start(&mut self, ctx: &mut Ctx<'_, Growing>) {
+            ctx.send(0, 1, Growing(1));
+        }
+        fn on_receive(
+            &mut self,
+            node: usize,
+            inbox: &[Envelope<Growing>],
+            ctx: &mut Ctx<'_, Growing>,
+        ) {
+            let words = inbox[0].msg.0;
+            ctx.send(node, node ^ 1, Growing(words + 1));
+        }
+    }
+
+    #[test]
+    fn oversized_message_rejected_mid_run() {
+        // Satellite edge case: the violation happens in a later round,
+        // not in `start`, and reports the exact offending size.
+        let g = generators::path(2);
+        let err = run_protocol(&g, &EngineConfig::default(), 1, &mut GrowsMidRun).unwrap_err();
+        assert_eq!(err, RunError::OversizedMessage { words: 5, cap: 4 });
+    }
+
     /// Two nodes ping-pong forever.
     struct PingPong;
     impl Protocol for PingPong {
@@ -366,10 +420,15 @@ mod tests {
 
     #[test]
     fn quiescent_protocol_takes_zero_rounds() {
-        let g = generators::path(3);
-        let report = run_protocol(&g, &EngineConfig::default(), 1, &mut Idle).unwrap();
-        assert_eq!(report.rounds, 0);
-        assert_eq!(report.messages, 0);
+        // Satellite edge case: `start` stages nothing, so the run ends
+        // immediately with a pristine report — under both backends.
+        for cfg in [EngineConfig::default(), EngineConfig::parallel()] {
+            let g = generators::path(3);
+            let report = run_protocol(&g, &cfg, 1, &mut Idle).unwrap();
+            assert_eq!(report.rounds, 0);
+            assert_eq!(report.messages, 0);
+            assert_eq!(report.max_edge_backlog, 0);
+        }
     }
 
     #[test]
@@ -377,8 +436,12 @@ mod tests {
         // The flood tie-breaks are deterministic; more importantly the
         // engine delivers in sorted edge/node order, so reports match.
         let g = generators::torus2d(4, 5);
-        let mut p1 = Flood { seen: vec![false; g.n()] };
-        let mut p2 = Flood { seen: vec![false; g.n()] };
+        let mut p1 = Flood {
+            seen: vec![false; g.n()],
+        };
+        let mut p2 = Flood {
+            seen: vec![false; g.n()],
+        };
         let r1 = run_protocol(&g, &EngineConfig::default(), 9, &mut p1).unwrap();
         let r2 = run_protocol(&g, &EngineConfig::default(), 9, &mut p2).unwrap();
         assert_eq!(r1, r2);
@@ -398,5 +461,40 @@ mod tests {
         }
         let g = generators::path(3);
         let _ = run_protocol(&g, &EngineConfig::default(), 1, &mut Bad);
+    }
+
+    #[cfg(feature = "serde")]
+    mod serde_tests {
+        use super::*;
+
+        #[test]
+        fn run_report_round_trips_through_json() {
+            let report = RunReport {
+                rounds: 12,
+                messages: 340,
+                words: 900,
+                max_edge_backlog: 7,
+                max_edge_load: 3,
+                edge_load_histogram: vec![0, 5, 2],
+            };
+            let json = serde_json::to_string(&report).unwrap();
+            assert!(json.contains("\"rounds\":12"), "{json}");
+            let back: RunReport = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, report);
+        }
+
+        #[test]
+        fn engine_config_round_trips_through_json() {
+            let cfg = EngineConfig {
+                edge_capacity: None,
+                executor: crate::ExecutorKind::Parallel,
+                ..EngineConfig::default()
+            };
+            let json = serde_json::to_string(&cfg).unwrap();
+            assert!(json.contains("\"executor\":\"parallel\""), "{json}");
+            assert!(json.contains("\"edge_capacity\":null"), "{json}");
+            let back: EngineConfig = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, cfg);
+        }
     }
 }

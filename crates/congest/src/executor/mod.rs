@@ -1,0 +1,128 @@
+//! Pluggable round executors.
+//!
+//! The engine's round loop — deliver queued messages, fire the global
+//! `on_round` hook, fire per-node receive handlers, stage the resulting
+//! sends — is a *strategy*, not a hardcoded function. [`RoundExecutor`]
+//! captures it; two backends implement it:
+//!
+//! - [`SequentialExecutor`] — the reference implementation: one thread,
+//!   receiving nodes visited in ascending id order;
+//! - [`ParallelExecutor`] — shards the receive phase of
+//!   [`crate::NodeLocalProtocol`]s across OS threads with a
+//!   deterministic merge, producing bit-identical results.
+//!
+//! Callers normally do not name a backend: they set
+//! [`ExecutorKind`] on [`crate::EngineConfig`] and go through
+//! [`crate::run_protocol`] / [`crate::run_node_local`] (or
+//! [`crate::Runner`]), which dispatch here. Both backends share the
+//! [`queue::FlatQueue`] flat bucketed message queue — a CSR-style
+//! single-backing-`Vec` structure that replaced the seed engine's
+//! per-edge `VecDeque`s.
+
+pub(crate) mod queue;
+
+mod parallel;
+mod sequential;
+
+pub use parallel::ParallelExecutor;
+pub use sequential::SequentialExecutor;
+
+use crate::engine::{EngineConfig, RunError, RunReport};
+use crate::node_local::NodeLocalProtocol;
+use crate::protocol::Protocol;
+use drw_graph::Graph;
+
+/// Which round-executor backend a run uses.
+///
+/// Both backends are deterministic and produce identical results for
+/// the same graph, seed and protocol; the choice affects wall-clock
+/// time only. `Sequential` is the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutorKind {
+    /// One thread, ascending node order (the reference backend).
+    #[default]
+    Sequential,
+    /// Receive phase of node-local protocols sharded across all
+    /// available CPUs; plain protocols fall back to the sequential
+    /// discipline.
+    Parallel,
+}
+
+impl ExecutorKind {
+    /// Parses `"sequential"` / `"parallel"` (as used by experiment
+    /// harness environment variables).
+    pub fn from_name(name: &str) -> Option<ExecutorKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "sequential" | "seq" => Some(ExecutorKind::Sequential),
+            "parallel" | "par" => Some(ExecutorKind::Parallel),
+            _ => None,
+        }
+    }
+
+    /// The backend's canonical name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecutorKind::Sequential => "sequential",
+            ExecutorKind::Parallel => "parallel",
+        }
+    }
+}
+
+impl std::fmt::Display for ExecutorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for ExecutorKind {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.name().to_string())
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Deserialize for ExecutorKind {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(s) => ExecutorKind::from_name(s)
+                .ok_or_else(|| serde::Error(format!("unknown executor kind `{s}`"))),
+            other => Err(serde::Error(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+/// A strategy for driving a protocol's round loop to completion.
+///
+/// Contract: for the same `(graph, cfg, seed, protocol)` every
+/// implementation must return the same [`RunReport`] and leave the
+/// protocol in the same final state as [`SequentialExecutor`] — backends
+/// may reorganize *how* work is done, never *what* is computed.
+pub trait RoundExecutor {
+    /// Runs a plain [`Protocol`] to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::MaxRoundsExceeded`] or [`RunError::OversizedMessage`].
+    fn run<P: Protocol>(
+        &self,
+        graph: &Graph,
+        cfg: &EngineConfig,
+        seed: u64,
+        protocol: &mut P,
+    ) -> Result<RunReport, RunError>;
+
+    /// Runs a [`NodeLocalProtocol`] to completion, sharding the receive
+    /// phase if the backend supports it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RoundExecutor::run`].
+    fn run_node_local<P: NodeLocalProtocol>(
+        &self,
+        graph: &Graph,
+        cfg: &EngineConfig,
+        seed: u64,
+        protocol: &mut P,
+    ) -> Result<RunReport, RunError>;
+}

@@ -1,0 +1,195 @@
+//! The flat bucketed message queue backing the round executors.
+//!
+//! The seed engine kept one `VecDeque<Msg>` per directed edge — `2m`
+//! heap-backed deques, each paying its own allocation the first time an
+//! edge carries a message, plus a `busy_edges` side list that was sorted
+//! and deduplicated every round. This structure replaces all of that
+//! with CSR-style storage, mirroring how [`drw_graph::Graph`] stores
+//! adjacency: one backing `Vec` of messages, grouped by edge, plus a
+//! sorted bucket index `(edge id, range)`. Only *busy* edges appear in
+//! the index, so idle protocols pay `O(busy)` per round, not `O(m)`.
+//!
+//! Per round the executor calls [`FlatQueue::deliver`] (drains up to
+//! `edge_capacity` messages per bucket, compacting the leftovers) and
+//! then [`FlatQueue::stage`] (merges the round's staged sends behind the
+//! leftovers, bucket-by-bucket). Both walks are in ascending edge-id
+//! order, which is what makes runs deterministic regardless of executor
+//! backend.
+
+use crate::engine::{EngineConfig, RunError, RunReport};
+use crate::message::{Envelope, Message};
+use drw_graph::Graph;
+
+pub(crate) const LOAD_HISTOGRAM_BUCKETS: usize = 64;
+
+/// A flat, bucketed FIFO multi-queue keyed by directed edge id.
+#[derive(Debug)]
+pub(crate) struct FlatQueue<M> {
+    /// Busy edge ids, ascending.
+    eids: Vec<u32>,
+    /// `starts[i]..starts[i + 1]` is the bucket of `eids[i]` in `msgs`.
+    starts: Vec<u32>,
+    /// Backing message storage, grouped by bucket, FIFO within a bucket.
+    msgs: Vec<M>,
+    /// Leftover buffers double-buffering `deliver` → `stage`.
+    left_eids: Vec<u32>,
+    left_starts: Vec<u32>,
+    left_msgs: Vec<M>,
+}
+
+impl<M: Message> FlatQueue<M> {
+    pub(crate) fn new() -> Self {
+        FlatQueue {
+            eids: Vec::new(),
+            starts: vec![0],
+            msgs: Vec::new(),
+            left_eids: Vec::new(),
+            left_starts: vec![0],
+            left_msgs: Vec::new(),
+        }
+    }
+
+    /// Whether any message is queued.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Delivers up to `edge_capacity` messages per busy edge into
+    /// `inbox`, in ascending edge-id order, recording statistics.
+    /// Returns the number of delivered messages. Nodes that received at
+    /// least one message are appended to `active` (ascending, since
+    /// multiple edges into one node are visited in ascending order but
+    /// each node is pushed only on its first delivery — callers sort).
+    pub(crate) fn deliver(
+        &mut self,
+        graph: &Graph,
+        cfg: &EngineConfig,
+        report: &mut RunReport,
+        inbox: &mut [Vec<Envelope<M>>],
+        active: &mut Vec<usize>,
+    ) -> u64 {
+        let cap = cfg.edge_capacity.unwrap_or(usize::MAX);
+        let mut delivered_total = 0u64;
+        self.left_eids.clear();
+        self.left_starts.clear();
+        self.left_starts.push(0);
+        self.left_msgs.clear();
+        // Drain-and-restore keeps the backing allocation hot across
+        // rounds (the whole point of the flat queue).
+        let mut storage = std::mem::take(&mut self.msgs);
+        let mut stream = storage.drain(..);
+        for i in 0..self.eids.len() {
+            let eid = self.eids[i] as usize;
+            let bucket_len = (self.starts[i + 1] - self.starts[i]) as usize;
+            let take = bucket_len.min(cap);
+            let from = graph.edge_source(eid);
+            let to = graph.edge_target(eid);
+            for _ in 0..take {
+                let msg = stream.next().expect("bucket index matches storage");
+                report.messages += 1;
+                report.words += msg.size_words() as u64;
+                if inbox[to].is_empty() {
+                    active.push(to);
+                }
+                inbox[to].push(Envelope { from, to, msg });
+            }
+            delivered_total += take as u64;
+            report.max_edge_load = report.max_edge_load.max(take);
+            if cfg.record_edge_loads && take > 0 {
+                let bucket = take.min(LOAD_HISTOGRAM_BUCKETS - 1);
+                report.edge_load_histogram[bucket] += 1;
+            }
+            if bucket_len > take {
+                self.left_eids.push(eid as u32);
+                for _ in take..bucket_len {
+                    self.left_msgs
+                        .push(stream.next().expect("bucket index matches storage"));
+                }
+                self.left_starts.push(self.left_msgs.len() as u32);
+            }
+        }
+        debug_assert!(stream.next().is_none(), "all buckets drained");
+        drop(stream);
+        self.msgs = storage; // empty again, capacity retained
+        self.eids.clear();
+        self.starts.clear();
+        self.starts.push(0);
+        delivered_total
+    }
+
+    /// Enqueues the round's staged sends behind this round's leftovers,
+    /// grouped by edge. `staged` is drained in order (the caller keeps
+    /// the buffer's capacity for the next round); within one edge,
+    /// earlier stages keep their FIFO position (the sort below is
+    /// stable), so queue contents are independent of how the executor
+    /// gathered the stages — as long as it presents them in the agreed
+    /// deterministic (node, stage order) sequence.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::OversizedMessage`] for the first staged message (in
+    /// staging order) wider than `max_message_words`.
+    pub(crate) fn stage(
+        &mut self,
+        staged: &mut Vec<(usize, M)>,
+        cfg: &EngineConfig,
+        report: &mut RunReport,
+    ) -> Result<(), RunError> {
+        // Validate in staging order so the reported offender is
+        // deterministic and independent of edge grouping.
+        for (_, msg) in staged.iter() {
+            let words = msg.size_words();
+            if words > cfg.max_message_words {
+                return Err(RunError::OversizedMessage {
+                    words,
+                    cap: cfg.max_message_words,
+                });
+            }
+        }
+        if staged.is_empty() && self.left_msgs.is_empty() {
+            return Ok(());
+        }
+        staged.sort_by_key(|&(eid, _)| eid); // stable: preserves FIFO within an edge
+        debug_assert!(self.eids.is_empty(), "stage follows deliver (or round 0)");
+        // Merge the two ascending-by-eid runs (leftovers, then staged)
+        // bucket by bucket into the main storage.
+        let mut li = 0usize; // leftover bucket index
+        let mut left_storage = std::mem::take(&mut self.left_msgs);
+        let mut left_msgs = left_storage.drain(..);
+        let mut staged_it = staged.drain(..).peekable();
+        loop {
+            let next_left = self.left_eids.get(li).map(|&e| e as usize);
+            let next_staged = staged_it.peek().map(|&(e, _)| e);
+            let eid = match (next_left, next_staged) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => break,
+            };
+            let bucket_start = self.msgs.len();
+            if next_left == Some(eid) {
+                let count = (self.left_starts[li + 1] - self.left_starts[li]) as usize;
+                for _ in 0..count {
+                    self.msgs
+                        .push(left_msgs.next().expect("leftover index matches storage"));
+                }
+                li += 1;
+            }
+            while staged_it.peek().is_some_and(|&(e, _)| e == eid) {
+                let (_, msg) = staged_it.next().expect("peeked");
+                self.msgs.push(msg);
+            }
+            self.eids.push(eid as u32);
+            self.starts.push(self.msgs.len() as u32);
+            let backlog = self.msgs.len() - bucket_start;
+            report.max_edge_backlog = report.max_edge_backlog.max(backlog);
+        }
+        debug_assert!(left_msgs.next().is_none());
+        drop(left_msgs);
+        self.left_msgs = left_storage; // empty again, capacity retained
+        self.left_eids.clear();
+        self.left_starts.clear();
+        self.left_starts.push(0);
+        Ok(())
+    }
+}

@@ -1,0 +1,79 @@
+//! The sequential round executor: one thread, nodes in ascending order.
+
+use super::queue::FlatQueue;
+use super::RoundExecutor;
+use crate::engine::{EngineConfig, RunError, RunReport};
+use crate::message::Envelope;
+use crate::node_local::{NodeLocalAdapter, NodeLocalProtocol};
+use crate::protocol::{Ctx, Protocol};
+use crate::rng::NodeRngs;
+use drw_graph::Graph;
+
+/// Executes rounds on the calling thread, visiting receiving nodes in
+/// ascending node-id order — the reference semantics every other
+/// backend must reproduce bit-for-bit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialExecutor;
+
+impl RoundExecutor for SequentialExecutor {
+    fn run<P: Protocol>(
+        &self,
+        graph: &Graph,
+        cfg: &EngineConfig,
+        seed: u64,
+        protocol: &mut P,
+    ) -> Result<RunReport, RunError> {
+        let n = graph.n();
+        let mut rngs = NodeRngs::new(seed, n);
+        let mut queue: FlatQueue<P::Msg> = FlatQueue::new();
+        let mut inbox: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); n];
+        let mut active: Vec<usize> = Vec::new();
+        let mut report = RunReport::default();
+        if cfg.record_edge_loads {
+            report.edge_load_histogram = vec![0; super::queue::LOAD_HISTOGRAM_BUCKETS];
+        }
+
+        // Round 0: free local computation and initial sends.
+        let mut ctx = Ctx::new(graph, 0, &mut rngs);
+        protocol.start(&mut ctx);
+        let mut staged_buf = ctx.staged;
+        queue.stage(&mut staged_buf, cfg, &mut report)?;
+
+        let mut round: u64 = 0;
+        while !queue.is_empty() {
+            if protocol.is_done() {
+                break;
+            }
+            round += 1;
+            if round > cfg.max_rounds {
+                return Err(RunError::MaxRoundsExceeded(cfg.max_rounds));
+            }
+
+            active.clear();
+            queue.deliver(graph, cfg, &mut report, &mut inbox, &mut active);
+            active.sort_unstable();
+
+            let mut ctx = Ctx::with_staged(graph, round, &mut rngs, staged_buf);
+            protocol.on_round(&mut ctx);
+            for &node in &active {
+                protocol.on_receive(node, &inbox[node], &mut ctx);
+                inbox[node].clear(); // keep the allocation for next round
+            }
+            staged_buf = ctx.staged;
+            queue.stage(&mut staged_buf, cfg, &mut report)?;
+        }
+
+        report.rounds = round;
+        Ok(report)
+    }
+
+    fn run_node_local<P: NodeLocalProtocol>(
+        &self,
+        graph: &Graph,
+        cfg: &EngineConfig,
+        seed: u64,
+        protocol: &mut P,
+    ) -> Result<RunReport, RunError> {
+        self.run(graph, cfg, seed, &mut NodeLocalAdapter(protocol))
+    }
+}

@@ -29,6 +29,17 @@
 //! accumulates round counts across sub-protocols (standard sequential
 //! composition in CONGEST).
 //!
+//! # Execution backends
+//!
+//! The round loop is a pluggable strategy ([`RoundExecutor`]): the
+//! [`SequentialExecutor`] reference backend, and a [`ParallelExecutor`]
+//! that shards the receive phase of [`NodeLocalProtocol`]s across OS
+//! threads. Backends are **bit-identical**: same graph + seed ⇒ same
+//! [`RunReport`], same protocol results — the backend choice
+//! ([`EngineConfig::executor`]) only changes wall-clock time. Both run
+//! on a flat bucketed message queue (one backing `Vec` plus per-edge
+//! ranges, CSR-style) instead of per-edge allocations.
+//!
 //! # Example
 //!
 //! ```
@@ -69,14 +80,18 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod executor;
 mod message;
+mod node_local;
 pub mod primitives;
 mod protocol;
 mod rng;
 mod runner;
 
-pub use engine::{run_protocol, EngineConfig, RunError, RunReport};
+pub use engine::{run_node_local, run_protocol, EngineConfig, RunError, RunReport};
+pub use executor::{ExecutorKind, ParallelExecutor, RoundExecutor, SequentialExecutor};
 pub use message::{Envelope, Message};
+pub use node_local::{NodeCtx, NodeLocalAdapter, NodeLocalProtocol};
 pub use protocol::{Ctx, Protocol};
 pub use rng::{derive_seed, NodeRngs};
 pub use runner::Runner;

@@ -208,7 +208,10 @@ mod tests {
             if let Some(p) = tree.parent[v] {
                 assert!(g.has_edge(p, v));
                 assert_eq!(tree.dist[p] + 1, tree.dist[v]);
-                assert!(tree.children[p].contains(&v), "parent {p} must list child {v}");
+                assert!(
+                    tree.children[p].contains(&v),
+                    "parent {p} must list child {v}"
+                );
                 child_count += 1;
             }
         }

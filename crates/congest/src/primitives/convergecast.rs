@@ -149,7 +149,11 @@ mod tests {
 
     #[test]
     fn sum_counts_nodes() {
-        for g in [generators::path(10), generators::torus2d(4, 6), generators::star(9)] {
+        for g in [
+            generators::path(10),
+            generators::torus2d(4, 6),
+            generators::star(9),
+        ] {
             let (sum, _) = run_cc(&g, 0, AggOp::Sum, vec![1; g.n()]);
             assert_eq!(sum, g.n() as u64);
         }

@@ -64,7 +64,11 @@ impl UpcastProtocol {
     ///
     /// Panics if `items.len()` differs from the tree size.
     pub fn new(tree: BfsTree, items: Vec<Vec<UpcastItem>>) -> Self {
-        assert_eq!(items.len(), tree.dist.len(), "one item list per node required");
+        assert_eq!(
+            items.len(),
+            tree.dist.len(),
+            "one item list per node required"
+        );
         let n = items.len();
         let pending = items.into_iter().map(Into::into).collect();
         UpcastProtocol {
@@ -113,7 +117,11 @@ impl Protocol for UpcastProtocol {
     type Msg = UpcastMsg;
 
     fn start(&mut self, ctx: &mut Ctx<'_, UpcastMsg>) {
-        assert_eq!(self.tree.dist.len(), ctx.graph().n(), "tree does not match graph");
+        assert_eq!(
+            self.tree.dist.len(),
+            ctx.graph().n(),
+            "tree does not match graph"
+        );
         self.pump_all(ctx);
     }
 
@@ -121,7 +129,12 @@ impl Protocol for UpcastProtocol {
         self.pump_all(ctx);
     }
 
-    fn on_receive(&mut self, node: NodeId, inbox: &[Envelope<UpcastMsg>], ctx: &mut Ctx<'_, UpcastMsg>) {
+    fn on_receive(
+        &mut self,
+        node: NodeId,
+        inbox: &[Envelope<UpcastMsg>],
+        ctx: &mut Ctx<'_, UpcastMsg>,
+    ) {
         if self.tree.parent[node].is_none() {
             self.collected.extend(inbox.iter().map(|e| e.msg.0));
         } else {
@@ -175,7 +188,10 @@ mod tests {
         let report = run_protocol(&g, &EngineConfig::default(), 0, &mut up).unwrap();
         assert_eq!(up.collected().len(), k);
         let rounds = report.rounds as usize;
-        assert!(rounds >= d + k - 1 && rounds <= d + k + 1, "rounds = {rounds}");
+        assert!(
+            rounds >= d + k - 1 && rounds <= d + k + 1,
+            "rounds = {rounds}"
+        );
     }
 
     #[test]

@@ -72,7 +72,11 @@ impl VectorSumProtocol {
     /// Panics if `values.len()` differs from the tree size or the rows
     /// have inconsistent lengths.
     pub fn new(tree: BfsTree, values: Vec<Vec<u64>>) -> Self {
-        assert_eq!(values.len(), tree.dist.len(), "one vector per node required");
+        assert_eq!(
+            values.len(),
+            tree.dist.len(),
+            "one vector per node required"
+        );
         let buckets = values.first().map(|r| r.len()).unwrap_or(0);
         assert!(
             values.iter().all(|r| r.len() == buckets),
@@ -146,7 +150,11 @@ impl Protocol for VectorSumProtocol {
     type Msg = VecSumMsg;
 
     fn start(&mut self, ctx: &mut Ctx<'_, VecSumMsg>) {
-        assert_eq!(self.tree.dist.len(), ctx.graph().n(), "tree does not match graph");
+        assert_eq!(
+            self.tree.dist.len(),
+            ctx.graph().n(),
+            "tree does not match graph"
+        );
         self.pump_all(ctx);
     }
 
@@ -154,7 +162,12 @@ impl Protocol for VectorSumProtocol {
         self.pump_all(ctx);
     }
 
-    fn on_receive(&mut self, node: NodeId, inbox: &[Envelope<VecSumMsg>], ctx: &mut Ctx<'_, VecSumMsg>) {
+    fn on_receive(
+        &mut self,
+        node: NodeId,
+        inbox: &[Envelope<VecSumMsg>],
+        ctx: &mut Ctx<'_, VecSumMsg>,
+    ) {
         for env in inbox {
             let j = env.msg.bucket as usize;
             self.acc[node][j] += env.msg.sum;

@@ -20,10 +20,22 @@ pub struct Ctx<'a, M: Message> {
 
 impl<'a, M: Message> Ctx<'a, M> {
     pub(crate) fn new(graph: &'a Graph, round: u64, rngs: &'a mut NodeRngs) -> Self {
+        Ctx::with_staged(graph, round, rngs, Vec::new())
+    }
+
+    /// Like [`Ctx::new`] but reusing a (drained) staging buffer's
+    /// allocation — executors recycle one buffer across all rounds.
+    pub(crate) fn with_staged(
+        graph: &'a Graph,
+        round: u64,
+        rngs: &'a mut NodeRngs,
+        staged: Vec<(usize, M)>,
+    ) -> Self {
+        debug_assert!(staged.is_empty(), "staging buffer handed over non-empty");
         Ctx {
             graph,
             round,
-            staged: Vec::new(),
+            staged,
             rngs,
         }
     }
@@ -93,7 +105,12 @@ pub trait Protocol {
     fn start(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
 
     /// Handles the messages delivered to `node` this round.
-    fn on_receive(&mut self, node: NodeId, inbox: &[Envelope<Self::Msg>], ctx: &mut Ctx<'_, Self::Msg>);
+    fn on_receive(
+        &mut self,
+        node: NodeId,
+        inbox: &[Envelope<Self::Msg>],
+        ctx: &mut Ctx<'_, Self::Msg>,
+    );
 
     /// Optional global hook, called once per round before deliveries are
     /// handed to nodes. Useful for drivers and instrumentation; must not

@@ -40,6 +40,12 @@ impl NodeRngs {
         &mut self.rngs[node]
     }
 
+    /// All streams as one slice (index = node id) — how the parallel
+    /// executor carves per-node exclusive access without locks.
+    pub fn as_mut_slice(&mut self) -> &mut [StdRng] {
+        &mut self.rngs
+    }
+
     /// Number of streams.
     pub fn len(&self) -> usize {
         self.rngs.len()

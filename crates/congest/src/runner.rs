@@ -7,7 +7,8 @@
 //! the parts; [`Runner`] does that bookkeeping and derives a fresh RNG
 //! stream per part.
 
-use crate::engine::{run_protocol, EngineConfig, RunError, RunReport};
+use crate::engine::{run_node_local, run_protocol, EngineConfig, RunError, RunReport};
+use crate::node_local::NodeLocalProtocol;
 use crate::protocol::Protocol;
 use crate::rng::derive_seed;
 use drw_graph::Graph;
@@ -69,11 +70,34 @@ impl<'g> Runner<'g> {
         let seed = derive_seed(self.seed, self.seq);
         self.seq += 1;
         let report = run_protocol(self.graph, &self.cfg, seed, protocol)?;
+        self.accumulate(&report);
+        Ok(report)
+    }
+
+    /// Runs one node-local sub-protocol to completion, sharding its
+    /// receive phase when the configured executor is parallel, and
+    /// accumulates its statistics. Results are bit-identical to
+    /// [`Runner::run`] on the adapted protocol.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`] from the engine.
+    pub fn run_local<P: NodeLocalProtocol>(
+        &mut self,
+        protocol: &mut P,
+    ) -> Result<RunReport, RunError> {
+        let seed = derive_seed(self.seed, self.seq);
+        self.seq += 1;
+        let report = run_node_local(self.graph, &self.cfg, seed, protocol)?;
+        self.accumulate(&report);
+        Ok(report)
+    }
+
+    fn accumulate(&mut self, report: &RunReport) {
         self.total_rounds += report.rounds;
         self.total_messages += report.messages;
         self.total_words += report.words;
         self.runs += 1;
-        Ok(report)
     }
 
     /// Charges extra rounds that occur outside any sub-protocol (e.g. an

@@ -17,7 +17,12 @@ pub fn exact_distribution(g: &Graph, source: NodeId, len: u64) -> Vec<f64> {
 
 /// Samples one `len`-step walk centrally; returns the full trajectory
 /// (`len + 1` nodes).
-pub fn sample_walk<R: Rng + ?Sized>(g: &Graph, source: NodeId, len: u64, rng: &mut R) -> Vec<NodeId> {
+pub fn sample_walk<R: Rng + ?Sized>(
+    g: &Graph,
+    source: NodeId,
+    len: u64,
+    rng: &mut R,
+) -> Vec<NodeId> {
     assert!(source < g.n(), "source out of range");
     let mut walk = Vec::with_capacity(len as usize + 1);
     let mut at = source;

@@ -196,8 +196,8 @@ mod tests {
         let g = generators::torus2d(4, 4);
         let (state, _) = run_gmw(&g, 3, 25, 6, true, 1);
         assert_eq!(state.total_stored(), 25);
-        for store in &state.store {
-            for w in store {
+        for ns in &state.nodes {
+            for w in &ns.store {
                 assert_eq!(w.id.source, 3);
                 assert!(!w.replayable);
             }
@@ -209,8 +209,8 @@ mod tests {
         let g = generators::complete(8);
         let lambda = 7;
         let (state, _) = run_gmw(&g, 0, 50, lambda, true, 2);
-        for store in &state.store {
-            for w in store {
+        for ns in &state.nodes {
+            for w in &ns.store {
                 assert!(w.len >= lambda && w.len < 2 * lambda, "len = {}", w.len);
             }
         }
@@ -225,8 +225,8 @@ mod tests {
         let lambda = 6u32;
         let (state, _) = run_gmw(&g, 0, 6000, lambda, true, 3);
         let mut counts = vec![0u64; lambda as usize];
-        for store in &state.store {
-            for w in store {
+        for ns in &state.nodes {
+            for w in &ns.store {
                 counts[(w.len - lambda) as usize] += 1;
             }
         }
@@ -240,8 +240,8 @@ mod tests {
         let g = generators::cycle(10);
         let (state, rounds) = run_gmw(&g, 0, 30, 5, false, 4);
         assert_eq!(state.total_stored(), 30);
-        for store in &state.store {
-            for w in store {
+        for ns in &state.nodes {
+            for w in &ns.store {
                 assert_eq!(w.len, 5);
             }
         }
@@ -265,8 +265,8 @@ mod tests {
         let g = generators::cycle(5);
         let (state, rounds) = run_gmw(&g, 2, 10, 1, true, 7);
         assert_eq!(state.total_stored(), 10);
-        for store in &state.store {
-            for w in store {
+        for ns in &state.nodes {
+            for w in &ns.store {
                 assert_eq!(w.len, 1);
             }
         }

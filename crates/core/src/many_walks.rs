@@ -132,7 +132,7 @@ pub fn many_random_walks(
         })
         .collect();
     let mut p1 = ShortWalksProtocol::new(&mut state, counts, lambda, cfg.randomize_len);
-    runner.run(&mut p1)?;
+    runner.run_local(&mut p1)?;
 
     // Phase 2: stitch walks one at a time (Section 2.3).
     let setup = StitchSetup {
@@ -152,7 +152,14 @@ pub fn many_random_walks(
     let mut gmw_invocations = 0u64;
     let mut tails = Vec::with_capacity(sources.len());
     for &source in sources {
-        let prefix = stitch_prefix(&mut runner, &mut state, source, len, &setup, &mut connector_visits)?;
+        let prefix = stitch_prefix(
+            &mut runner,
+            &mut state,
+            source,
+            len,
+            &setup,
+            &mut connector_visits,
+        )?;
         stitches += prefix.stitches;
         gmw_invocations += prefix.gmw_invocations;
         tails.push(NaiveWalkSpec {

@@ -95,7 +95,14 @@ impl MetropolisWalkProtocol {
         let deg_v = ctx.graph().degree(v);
         let accept = (self.weights[v] * deg_u as f64) / (self.weights[node] * deg_v as f64);
         if accept >= 1.0 || ctx.rng(node).random_bool(accept.clamp(0.0, 1.0)) {
-            ctx.send(node, v, MhMsg::Token { walk, left: left - 1 });
+            ctx.send(
+                node,
+                v,
+                MhMsg::Token {
+                    walk,
+                    left: left - 1,
+                },
+            );
         } else {
             // Stay: the step is consumed; keep the clock alive.
             self.holding.push((node, walk, left - 1));

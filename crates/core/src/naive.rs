@@ -108,7 +108,12 @@ impl Protocol for NaiveWalkProtocol<'_> {
         }
     }
 
-    fn on_receive(&mut self, node: NodeId, inbox: &[Envelope<NaiveMsg>], ctx: &mut Ctx<'_, NaiveMsg>) {
+    fn on_receive(
+        &mut self,
+        node: NodeId,
+        inbox: &[Envelope<NaiveMsg>],
+        ctx: &mut Ctx<'_, NaiveMsg>,
+    ) {
         for env in inbox {
             let m = &env.msg;
             if let Some(state) = self.record.as_deref_mut() {
@@ -147,7 +152,12 @@ impl Protocol for NaiveWalkProtocol<'_> {
 /// assert!(dest < g.n());
 /// assert_eq!(rounds, 100);
 /// ```
-pub fn naive_walk(g: &Graph, source: NodeId, len: u64, seed: u64) -> Result<(NodeId, u64), RunError> {
+pub fn naive_walk(
+    g: &Graph,
+    source: NodeId,
+    len: u64,
+    seed: u64,
+) -> Result<(NodeId, u64), RunError> {
     let mut p = NaiveWalkProtocol::new(
         vec![NaiveWalkSpec {
             source,
@@ -249,9 +259,9 @@ mod tests {
         );
         run_protocol(&g, &EngineConfig::default(), 2, &mut p).unwrap();
         let all: Vec<u64> = state
-            .visits
+            .nodes
             .iter()
-            .flat_map(|vs| vs.iter().map(|v| v.pos))
+            .flat_map(|ns| ns.visits.iter().map(|v| v.pos))
             .collect();
         let mut sorted = all.clone();
         sorted.sort_unstable();

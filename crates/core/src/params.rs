@@ -32,7 +32,9 @@ impl WalkParams {
     /// (Theorem 2.5 with polylogs dropped).
     pub fn lambda(&self, len: u64, diameter: u64) -> u32 {
         let raw = self.lambda_scale * ((len as f64) * (diameter.max(1) as f64)).sqrt();
-        (raw.round() as u64).clamp(1, len.max(1)).min(u32::MAX as u64) as u32
+        (raw.round() as u64)
+            .clamp(1, len.max(1))
+            .min(u32::MAX as u64) as u32
     }
 
     /// The `lambda` for `k` simultaneous walks (Theorem 2.8 with polylogs
@@ -40,9 +42,11 @@ impl WalkParams {
     /// exceeds `l`, `MANY-RANDOM-WALKS` falls back to `k` parallel naive
     /// walks — the `min(..., k + l)` branch of the theorem.
     pub fn lambda_many(&self, k: u64, len: u64, diameter: u64) -> u32 {
-        let raw = self.lambda_scale
-            * (((k * len) as f64 * diameter.max(1) as f64).sqrt() + k as f64);
-        (raw.round() as u64).clamp(1, len.max(1)).min(u32::MAX as u64) as u32
+        let raw =
+            self.lambda_scale * (((k * len) as f64 * diameter.max(1) as f64).sqrt() + k as f64);
+        (raw.round() as u64)
+            .clamp(1, len.max(1))
+            .min(u32::MAX as u64) as u32
     }
 
     /// Number of short walks node `v` prepares in Phase 1:
@@ -78,9 +82,12 @@ impl Default for Podc09Params {
 impl Podc09Params {
     /// `lambda = clamp(c * l^{1/3} D^{2/3}, 1, l)`.
     pub fn lambda(&self, len: u64, diameter: u64) -> u32 {
-        let raw =
-            self.lambda_scale * (len as f64).powf(1.0 / 3.0) * (diameter.max(1) as f64).powf(2.0 / 3.0);
-        (raw.round() as u64).clamp(1, len.max(1)).min(u32::MAX as u64) as u32
+        let raw = self.lambda_scale
+            * (len as f64).powf(1.0 / 3.0)
+            * (diameter.max(1) as f64).powf(2.0 / 3.0);
+        (raw.round() as u64)
+            .clamp(1, len.max(1))
+            .min(u32::MAX as u64) as u32
     }
 
     /// `eta = max(1, c * sqrt(l / lambda))`, the uniform per-node walk
@@ -114,14 +121,20 @@ mod tests {
 
     #[test]
     fn lambda_scale_is_linear() {
-        let a = WalkParams { lambda_scale: 2.0, ..WalkParams::default() };
+        let a = WalkParams {
+            lambda_scale: 2.0,
+            ..WalkParams::default()
+        };
         let b = WalkParams::default();
         assert_eq!(a.lambda(1 << 16, 4), 2 * b.lambda(1 << 16, 4));
     }
 
     #[test]
     fn walks_for_degree_rounds_up_and_is_positive() {
-        let p = WalkParams { eta: 0.5, ..WalkParams::default() };
+        let p = WalkParams {
+            eta: 0.5,
+            ..WalkParams::default()
+        };
         assert_eq!(p.walks_for_degree(1), 1);
         assert_eq!(p.walks_for_degree(4), 2);
         assert_eq!(p.walks_for_degree(5), 3);

@@ -82,7 +82,7 @@ pub fn podc09_walk(
             lambda,
             /* randomize_len = */ false,
         );
-        runner.run(&mut p1)?;
+        runner.run_local(&mut p1)?;
     }
 
     let setup = StitchSetup {
@@ -92,7 +92,14 @@ pub fn podc09_walk(
         gmw_count: eta as u64,
         record: false,
     };
-    let outcome = stitch_walk(&mut runner, &mut state, source, len, &setup, &mut connector_visits)?;
+    let outcome = stitch_walk(
+        &mut runner,
+        &mut state,
+        source,
+        len,
+        &setup,
+        &mut connector_visits,
+    )?;
 
     Ok(Podc09Result {
         destination: outcome.destination,

@@ -13,9 +13,14 @@
 //!
 //! The recorded predecessors are exactly what the random-spanning-tree
 //! application needs: each node's first-visit edge (Section 4.1).
+//!
+//! Replay is node-local by construction — a node only consults its own
+//! forwarding log and records its own visits — so the protocol
+//! implements [`drw_congest::NodeLocalProtocol`] and shards across
+//! threads under the parallel executor.
 
-use crate::state::{WalkId, WalkState};
-use drw_congest::{Ctx, Envelope, Message, Protocol};
+use crate::state::{NodeWalkState, WalkId, WalkState};
+use drw_congest::{Ctx, Envelope, Message, NodeCtx, NodeLocalProtocol};
 use drw_graph::NodeId;
 
 /// A replay token traversing a logged short walk.
@@ -64,8 +69,10 @@ impl<'s> ReplayProtocol<'s> {
     }
 }
 
-impl Protocol for ReplayProtocol<'_> {
+impl NodeLocalProtocol for ReplayProtocol<'_> {
     type Msg = ReplayMsg;
+    type Shared = ();
+    type NodeState = NodeWalkState;
 
     fn start(&mut self, ctx: &mut Ctx<'_, ReplayMsg>) {
         for i in 0..self.segments.len() {
@@ -77,8 +84,9 @@ impl Protocol for ReplayProtocol<'_> {
             // The connector's own position is recorded as the *endpoint*
             // of the previous segment (or pos 0 by the driver), so replay
             // starts at step 1.
-            let next = *self.state.forward[seg.connector]
-                .get(&(seg.id.source, seg.id.seq, 0))
+            let next = self.state.nodes[seg.connector]
+                .forward
+                .get(seg.id.source, seg.id.seq, 0)
                 .unwrap_or_else(|| {
                     panic!(
                         "walk ({}, {}) has no forwarding log at its source — not replayable",
@@ -98,13 +106,22 @@ impl Protocol for ReplayProtocol<'_> {
         }
     }
 
-    fn on_receive(&mut self, node: NodeId, inbox: &[Envelope<ReplayMsg>], ctx: &mut Ctx<'_, ReplayMsg>) {
+    fn parts(&mut self) -> (&(), &mut [NodeWalkState]) {
+        (&(), &mut self.state.nodes)
+    }
+
+    fn on_receive_local(
+        _shared: &(),
+        state: &mut NodeWalkState,
+        _node: NodeId,
+        inbox: &[Envelope<ReplayMsg>],
+        ctx: &mut NodeCtx<'_, ReplayMsg>,
+    ) {
         for env in inbox {
             let m = &env.msg;
-            self.state.record_visit(node, m.pos, Some(env.from));
-            if let Some(&next) = self.state.forward[node].get(&(m.source, m.seq, m.step)) {
+            state.record_visit(m.pos, Some(env.from));
+            if let Some(next) = state.forward.get(m.source, m.seq, m.step) {
                 ctx.send(
-                    node,
                     next as usize,
                     ReplayMsg {
                         source: m.source,
@@ -124,7 +141,7 @@ impl Protocol for ReplayProtocol<'_> {
 mod tests {
     use super::*;
     use crate::short_walks::ShortWalksProtocol;
-    use drw_congest::{run_protocol, EngineConfig};
+    use drw_congest::{run_node_local, EngineConfig};
     use drw_graph::generators;
 
     /// Generates phase-1 walks, then replays one stored walk and checks
@@ -133,15 +150,15 @@ mod tests {
     fn replayed_segment_is_a_valid_path() {
         let g = generators::torus2d(4, 4);
         let mut state = WalkState::new(g.n());
-        let mut p1 = ShortWalksProtocol::new(&mut state, vec![1; g.n()], 6, true, );
-        run_protocol(&g, &EngineConfig::default(), 3, &mut p1).unwrap();
+        let mut p1 = ShortWalksProtocol::new(&mut state, vec![1; g.n()], 6, true);
+        run_node_local(&g, &EngineConfig::default(), 3, &mut p1).unwrap();
 
         // Pick any stored walk.
         let (endpoint, walk) = state
-            .store
+            .nodes
             .iter()
             .enumerate()
-            .find_map(|(v, s)| s.first().map(|w| (v, *w)))
+            .find_map(|(v, ns)| ns.store.first().map(|w| (v, *w)))
             .expect("phase 1 stored walks");
         let seg = ReplaySegment {
             connector: walk.id.source as usize,
@@ -149,13 +166,13 @@ mod tests {
             start_pos: 100,
         };
         let mut replay = ReplayProtocol::new(&mut state, vec![seg]);
-        let report = run_protocol(&g, &EngineConfig::default(), 4, &mut replay).unwrap();
+        let report = run_node_local(&g, &EngineConfig::default(), 4, &mut replay).unwrap();
         assert_eq!(report.rounds, walk.len as u64);
 
         // Visits cover positions 101..=100+len and end at the endpoint.
         let mut recorded: Vec<(u64, usize, Option<usize>)> = Vec::new();
-        for (v, vs) in state.visits.iter().enumerate() {
-            for visit in vs {
+        for (v, ns) in state.nodes.iter().enumerate() {
+            for visit in &ns.visits {
                 recorded.push((visit.pos, v, visit.pred));
             }
         }
@@ -178,14 +195,14 @@ mod tests {
         let g = generators::complete(8);
         let mut state = WalkState::new(g.n());
         let mut p1 = ShortWalksProtocol::new(&mut state, vec![2; g.n()], 4, true);
-        run_protocol(&g, &EngineConfig::default(), 5, &mut p1).unwrap();
+        run_node_local(&g, &EngineConfig::default(), 5, &mut p1).unwrap();
 
         // Replay every stored walk at disjoint position ranges.
         let mut segments = Vec::new();
         let mut offset = 0u64;
         let mut total_len = 0u64;
-        for store in &state.store {
-            for w in store {
+        for ns in &state.nodes {
+            for w in &ns.store {
                 segments.push(ReplaySegment {
                     connector: w.id.source as usize,
                     id: w.id,
@@ -197,9 +214,12 @@ mod tests {
         }
         let count = segments.len();
         let mut replay = ReplayProtocol::new(&mut state, segments);
-        run_protocol(&g, &EngineConfig::default(), 6, &mut replay).unwrap();
-        let visits: u64 = state.visits.iter().map(|v| v.len() as u64).sum();
-        assert_eq!(visits, total_len, "every step of all {count} walks recorded");
+        run_node_local(&g, &EngineConfig::default(), 6, &mut replay).unwrap();
+        let visits: u64 = state.nodes.iter().map(|ns| ns.visits.len() as u64).sum();
+        assert_eq!(
+            visits, total_len,
+            "every step of all {count} walks recorded"
+        );
     }
 
     #[test]
@@ -225,6 +245,6 @@ mod tests {
             start_pos: 0,
         };
         let mut replay = ReplayProtocol::new(&mut state, vec![seg]);
-        let _ = run_protocol(&g, &EngineConfig::default(), 7, &mut replay);
+        let _ = run_node_local(&g, &EngineConfig::default(), 7, &mut replay);
     }
 }

@@ -122,7 +122,8 @@ impl<'s> SampleDestinationProtocol<'s> {
 
     /// Samples one of `node`'s own tokens and initializes its reservoir.
     fn init_local_candidate(&mut self, node: NodeId, ctx: &mut Ctx<'_, SdMsg>) {
-        let tokens: Vec<(u32, u32)> = self.state.store[node]
+        let tokens: Vec<(u32, u32)> = self.state.nodes[node]
+            .store
             .iter()
             .filter(|w| w.id.source as usize == self.root)
             .map(|w| (w.tag, w.len))
@@ -238,7 +239,12 @@ impl Protocol for SampleDestinationProtocol<'_> {
                         best_wave = Some(cand);
                     }
                 }
-                SdMsg::Agg { owner, tag, len, count } => {
+                SdMsg::Agg {
+                    owner,
+                    tag,
+                    len,
+                    count,
+                } => {
                     self.aggs_received[node] += 1;
                     if count > 0 {
                         self.count[node] += count;
@@ -284,7 +290,7 @@ mod tests {
     use super::*;
     use crate::short_walks::ShortWalksProtocol;
     use crate::state::WalkId;
-    use drw_congest::{run_protocol, EngineConfig};
+    use drw_congest::{run_node_local, run_protocol, EngineConfig};
     use drw_graph::generators;
     use drw_stats::chi_square_uniform;
 
@@ -387,12 +393,12 @@ mod tests {
         let mut state = WalkState::new(g.n());
         let counts: Vec<usize> = (0..g.n()).map(|v| g.degree(v)).collect();
         let mut p1 = ShortWalksProtocol::new(&mut state, counts, 4, true);
-        run_protocol(&g, &EngineConfig::default(), 5, &mut p1).unwrap();
+        run_node_local(&g, &EngineConfig::default(), 5, &mut p1).unwrap();
         let before = state.total_stored();
         let from_seven = state
-            .store
+            .nodes
             .iter()
-            .flatten()
+            .flat_map(|ns| &ns.store)
             .filter(|w| w.id.source == 7)
             .count();
         assert!(from_seven > 0, "phase 1 must store walks for node 7");

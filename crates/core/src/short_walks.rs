@@ -9,13 +9,21 @@
 //! schedule whose length Lemma 2.1 bounds by `O(lambda * eta * log n)`
 //! w.h.p.
 //!
-//! Every forwarding decision is logged into [`WalkState::forward`] so the
-//! stitched walk can later be *regenerated* ([`crate::regenerate`]), and
-//! every finished token is stored at its endpoint — "only the destination
-//! of each of these walks is aware of its source" (Section 2.1).
+//! Every forwarding decision is logged into the receiving node's
+//! [`NodeWalkState::forward`] so the stitched walk can later be
+//! *regenerated* ([`crate::regenerate`]), and every finished token is
+//! stored at its endpoint — "only the destination of each of these walks
+//! is aware of its source" (Section 2.1).
+//!
+//! This is the simulator's hottest protocol (every token draws from its
+//! node's RNG every round), so it implements
+//! [`drw_congest::NodeLocalProtocol`]: its receive phase touches only
+//! the receiving node's [`NodeWalkState`], which lets the engine's
+//! parallel executor shard nodes across threads with bit-identical
+//! results.
 
-use crate::state::{WalkId, WalkState};
-use drw_congest::{Ctx, Envelope, Message, Protocol};
+use crate::state::{NodeWalkState, WalkId, WalkState};
+use drw_congest::{Ctx, Envelope, Message, NodeCtx, NodeLocalProtocol};
 use drw_graph::NodeId;
 use rand::Rng;
 
@@ -58,7 +66,12 @@ impl<'s> ShortWalksProtocol<'s> {
     /// # Panics
     ///
     /// Panics if `lambda == 0`.
-    pub fn new(state: &'s mut WalkState, counts: Vec<usize>, lambda: u32, randomize_len: bool) -> Self {
+    pub fn new(
+        state: &'s mut WalkState,
+        counts: Vec<usize>,
+        lambda: u32,
+        randomize_len: bool,
+    ) -> Self {
         assert!(lambda >= 1, "lambda must be at least 1");
         ShortWalksProtocol {
             state,
@@ -69,8 +82,10 @@ impl<'s> ShortWalksProtocol<'s> {
     }
 }
 
-impl Protocol for ShortWalksProtocol<'_> {
+impl NodeLocalProtocol for ShortWalksProtocol<'_> {
     type Msg = ShortWalkMsg;
+    type Shared = ();
+    type NodeState = NodeWalkState;
 
     fn start(&mut self, ctx: &mut Ctx<'_, ShortWalkMsg>) {
         let n = ctx.graph().n();
@@ -80,7 +95,10 @@ impl Protocol for ShortWalksProtocol<'_> {
             if count == 0 {
                 continue;
             }
-            assert!(ctx.graph().degree(v) > 0, "node {v} cannot walk: no neighbors");
+            assert!(
+                ctx.graph().degree(v) > 0,
+                "node {v} cannot walk: no neighbors"
+            );
             let first_seq = self.state.alloc_seqs(v, count);
             for i in 0..count {
                 let seq = first_seq + i as u32;
@@ -99,17 +117,26 @@ impl Protocol for ShortWalksProtocol<'_> {
                         total,
                     },
                 );
-                self.state.forward[v].insert((v as u32, seq, 0), next as u32);
+                self.state.nodes[v].log_forward(v as u32, seq, 0, next as u32);
             }
         }
     }
 
-    fn on_receive(&mut self, node: NodeId, inbox: &[Envelope<ShortWalkMsg>], ctx: &mut Ctx<'_, ShortWalkMsg>) {
+    fn parts(&mut self) -> (&(), &mut [NodeWalkState]) {
+        (&(), &mut self.state.nodes)
+    }
+
+    fn on_receive_local(
+        _shared: &(),
+        state: &mut NodeWalkState,
+        _node: NodeId,
+        inbox: &[Envelope<ShortWalkMsg>],
+        ctx: &mut NodeCtx<'_, ShortWalkMsg>,
+    ) {
         for env in inbox {
             let m = &env.msg;
             if m.step == m.total {
-                self.state.store_walk(
-                    node,
+                state.store_walk(
                     WalkId {
                         source: m.source,
                         seq: m.seq,
@@ -118,16 +145,13 @@ impl Protocol for ShortWalksProtocol<'_> {
                     true,
                 );
             } else {
-                let next = ctx.send_random_neighbor(
-                    node,
-                    ShortWalkMsg {
-                        source: m.source,
-                        seq: m.seq,
-                        step: m.step + 1,
-                        total: m.total,
-                    },
-                );
-                self.state.forward[node].insert((m.source, m.seq, m.step), next as u32);
+                let next = ctx.send_random_neighbor(ShortWalkMsg {
+                    source: m.source,
+                    seq: m.seq,
+                    step: m.step + 1,
+                    total: m.total,
+                });
+                state.log_forward(m.source, m.seq, m.step, next as u32);
             }
         }
     }
@@ -136,7 +160,7 @@ impl Protocol for ShortWalksProtocol<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use drw_congest::{run_protocol, EngineConfig};
+    use drw_congest::{run_node_local, EngineConfig, ExecutorKind};
     use drw_graph::generators;
 
     fn run_phase1(
@@ -148,7 +172,7 @@ mod tests {
     ) -> (WalkState, u64) {
         let mut state = WalkState::new(g.n());
         let mut p = ShortWalksProtocol::new(&mut state, counts, lambda, randomize);
-        let report = run_protocol(g, &EngineConfig::default(), seed, &mut p).unwrap();
+        let report = run_node_local(g, &EngineConfig::default(), seed, &mut p).unwrap();
         (state, report.rounds)
     }
 
@@ -166,8 +190,8 @@ mod tests {
         let g = generators::complete(10);
         let lambda = 5;
         let (state, _) = run_phase1(&g, vec![4; 10], lambda, true, 5);
-        for store in &state.store {
-            for w in store {
+        for ns in &state.nodes {
+            for w in &ns.store {
                 assert!(w.len >= lambda && w.len < 2 * lambda, "len = {}", w.len);
                 assert!(w.replayable);
             }
@@ -178,8 +202,8 @@ mod tests {
     fn fixed_lengths_when_not_randomized() {
         let g = generators::complete(8);
         let (state, _) = run_phase1(&g, vec![3; 8], 6, false, 5);
-        for store in &state.store {
-            for w in store {
+        for ns in &state.nodes {
+            for w in &ns.store {
                 assert_eq!(w.len, 6);
             }
         }
@@ -192,8 +216,8 @@ mod tests {
         let lambda = 8u32;
         let (state, _) = run_phase1(&g, vec![40; 20], lambda, true, 7);
         let mut counts = vec![0u64; lambda as usize];
-        for store in &state.store {
-            for w in store {
+        for ns in &state.nodes {
+            for w in &ns.store {
                 counts[(w.len - lambda) as usize] += 1;
             }
         }
@@ -208,15 +232,16 @@ mod tests {
         let (state, _) = run_phase1(&g, counts, 6, true, 9);
         // Replay each stored walk through the forward log centrally.
         let mut replayed = 0;
-        for (endpoint, store) in state.store.iter().enumerate() {
-            for w in store {
+        for (endpoint, ns) in state.nodes.iter().enumerate() {
+            for w in &ns.store {
                 let mut at = w.id.source as usize;
                 for step in 0..w.len {
-                    let next = state.forward[at]
-                        .get(&(w.id.source, w.id.seq, step))
+                    let next = state.nodes[at]
+                        .forward
+                        .get(w.id.source, w.id.seq, step)
                         .unwrap_or_else(|| panic!("missing forward entry at {at} step {step}"));
-                    assert!(g.has_edge(at, *next as usize));
-                    at = *next as usize;
+                    assert!(g.has_edge(at, next as usize));
+                    at = next as usize;
                 }
                 assert_eq!(at, endpoint, "walk must end at its storage node");
                 replayed += 1;
@@ -242,5 +267,33 @@ mod tests {
         let (state, rounds) = run_phase1(&g, vec![0; 4], 4, true, 1);
         assert_eq!(state.total_stored(), 0);
         assert_eq!(rounds, 0);
+    }
+
+    #[test]
+    fn sequential_and_parallel_backends_agree_exactly() {
+        // The determinism contract, exercised at the protocol level: the
+        // same seed must produce identical stores, forward logs and
+        // reports on both executors.
+        let g = generators::torus2d(6, 6);
+        let counts: Vec<usize> = (0..g.n()).map(|v| g.degree(v)).collect();
+        let mut seq_state = WalkState::new(g.n());
+        let mut par_state = WalkState::new(g.n());
+        let seq_cfg = EngineConfig::default();
+        let par_cfg = EngineConfig::default().with_executor(ExecutorKind::Parallel);
+        let mut p_seq = ShortWalksProtocol::new(&mut seq_state, counts.clone(), 16, true);
+        let r_seq = run_node_local(&g, &seq_cfg, 42, &mut p_seq).unwrap();
+        let mut p_par = ShortWalksProtocol::new(&mut par_state, counts, 16, true);
+        let r_par = run_node_local(&g, &par_cfg, 42, &mut p_par).unwrap();
+        assert_eq!(r_seq, r_par, "reports must be bit-identical");
+        for v in 0..g.n() {
+            assert_eq!(
+                seq_state.nodes[v].store, par_state.nodes[v].store,
+                "store at {v}"
+            );
+            assert_eq!(
+                seq_state.nodes[v].forward, par_state.nodes[v].forward,
+                "forward at {v}"
+            );
+        }
     }
 }

@@ -270,9 +270,8 @@ pub fn stitch_prefix(
             } else {
                 let mut counts = vec![0usize; runner.graph().n()];
                 counts[current] = setup.gmw_count as usize;
-                let mut gmw =
-                    ShortWalksProtocol::new(state, counts, lambda, setup.randomize_len);
-                runner.run(&mut gmw)?;
+                let mut gmw = ShortWalksProtocol::new(state, counts, lambda, setup.randomize_len);
+                runner.run_local(&mut gmw)?;
             }
             let mut sd = SampleDestinationProtocol::new(state, current);
             runner.run(&mut sd)?;
@@ -326,7 +325,11 @@ pub fn stitch_walk(
     // the last replayed segment.
     let tail = len - prefix.completed;
     let tail_start = runner.total_rounds();
-    let mut tail_state = if setup.record { Some(&mut *state) } else { None };
+    let mut tail_state = if setup.record {
+        Some(&mut *state)
+    } else {
+        None
+    };
     let mut naive = NaiveWalkProtocol::new(
         vec![NaiveWalkSpec {
             source: prefix.current,
@@ -422,11 +425,18 @@ pub fn single_random_walk(
             })
             .collect();
         let mut p1 = ShortWalksProtocol::new(&mut state, counts, lambda, cfg.randomize_len);
-        runner.run(&mut p1)?;
+        runner.run_local(&mut p1)?;
     }
     let rounds_phase1 = runner.total_rounds() - phase1_start;
 
-    let outcome = stitch_walk(&mut runner, &mut state, source, len, &setup, &mut connector_visits)?;
+    let outcome = stitch_walk(
+        &mut runner,
+        &mut state,
+        source,
+        len,
+        &setup,
+        &mut connector_visits,
+    )?;
 
     // Regeneration (Section 2.2): replay all segments in parallel.
     let replay_start = runner.total_rounds();
@@ -444,7 +454,7 @@ pub fn single_random_walk(
             })
             .collect();
         let mut replay = ReplayProtocol::new(&mut state, replays);
-        runner.run(&mut replay)?;
+        runner.run_local(&mut replay)?;
     }
     let rounds_replay = runner.total_rounds() - replay_start;
 

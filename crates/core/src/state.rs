@@ -1,12 +1,15 @@
 //! Per-node walk state shared across protocol phases.
 //!
 //! A distributed algorithm's state is the union of its nodes' local
-//! states. The driver owns this union as indexed vectors and passes
-//! views to sequentially composed protocols; each protocol touches only
-//! the entry of the node it is acting for, preserving CONGEST locality.
+//! states, and [`WalkState`] stores it that way: one [`NodeWalkState`]
+//! per node, indexable as a slice. That layout is what lets the
+//! walk-generation protocols implement
+//! [`drw_congest::NodeLocalProtocol`] — the engine's parallel executor
+//! hands each worker thread exclusive `&mut` access to disjoint nodes'
+//! states, and the borrow checker enforces the CONGEST locality
+//! discipline that used to be a documentation-only promise.
 
 use drw_graph::NodeId;
-use std::collections::HashMap;
 
 /// Globally unique identity of a short walk: the node that launched it
 /// and a per-source sequence number.
@@ -46,55 +49,138 @@ pub struct Visit {
     pub pred: Option<NodeId>,
 }
 
+/// One node's forwarding log: `(source, seq, step) -> next hop`.
+///
+/// Phase 1 appends one entry per token step — tens of millions on long
+/// walks — while replay reads back only the stitched segments
+/// (thousands). The log is therefore an append-only `Vec` (one cache
+/// line touched per insert) rather than a hash map (which measured ~20x
+/// slower per insert at this scale, dominated by scattered rehashing
+/// across thousands of per-node maps). Lookups scan linearly; they are
+/// off the hot path by construction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ForwardLog {
+    entries: Vec<(u32, u32, u32, u32)>, // (source, seq, step, next)
+}
+
+impl ForwardLog {
+    /// Appends the decision: this node forwarded walk `(source, seq)`
+    /// to `next` when holding it at `step`. Keys are never re-inserted
+    /// (each node holds a given walk step exactly once).
+    pub fn log(&mut self, source: u32, seq: u32, step: u32, next: u32) {
+        self.entries.push((source, seq, step, next));
+    }
+
+    /// The next hop this node forwarded walk `(source, seq)` to at
+    /// `step`, if it ever held it.
+    pub fn get(&self, source: u32, seq: u32, step: u32) -> Option<u32> {
+        self.entries
+            .iter()
+            .find(|&&(s, q, t, _)| s == source && q == seq && t == step)
+            .map(|&(_, _, _, next)| next)
+    }
+
+    /// Number of logged decisions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// One node's private walk state.
+#[derive(Debug, Clone, Default)]
+pub struct NodeWalkState {
+    /// Unused short walks whose endpoint is this node.
+    pub store: Vec<StoredWalk>,
+    /// This node's forwarding log: written once per token step during
+    /// walk generation (the hottest write in the system), read back
+    /// during replay.
+    pub forward: ForwardLog,
+    /// Positions at which the stitched walk visited this node (filled by
+    /// the tail walk and by [`crate::regenerate`]).
+    pub visits: Vec<Visit>,
+    /// Next unused storage tag at this node.
+    pub next_tag: u32,
+    /// Next unused walk sequence number for walks launched by this node
+    /// (so Phase-1 and `GET-MORE-WALKS` ids never clash).
+    pub next_seq: u32,
+}
+
+impl NodeWalkState {
+    /// Allocates `count` fresh walk sequence numbers for walks launched
+    /// by this node, returning the first.
+    pub fn alloc_seqs(&mut self, count: usize) -> u32 {
+        let first = self.next_seq;
+        self.next_seq += count as u32;
+        first
+    }
+
+    /// Stores a finished short walk at this node, assigning a fresh tag.
+    pub fn store_walk(&mut self, id: WalkId, len: u32, replayable: bool) {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.store.push(StoredWalk {
+            id,
+            len,
+            tag,
+            replayable,
+        });
+    }
+
+    /// Removes the stored walk with `tag` and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such walk exists (a protocol invariant violation).
+    pub fn take_walk(&mut self, tag: u32) -> StoredWalk {
+        let idx = self
+            .store
+            .iter()
+            .position(|w| w.tag == tag)
+            .unwrap_or_else(|| panic!("no stored walk with tag {tag} at this node"));
+        self.store.swap_remove(idx)
+    }
+
+    /// Records one visit of the global walk at this node.
+    pub fn record_visit(&mut self, pos: u64, pred: Option<NodeId>) {
+        self.visits.push(Visit { pos, pred });
+    }
+
+    /// Logs that this node forwarded walk `(source, seq)` to `next` when
+    /// holding it at `step`.
+    pub fn log_forward(&mut self, source: u32, seq: u32, step: u32, next: u32) {
+        self.forward.log(source, seq, step, next);
+    }
+}
+
 /// The union of all nodes' local walk state.
 #[derive(Debug, Clone, Default)]
 pub struct WalkState {
-    /// `store[v]` = unused short walks whose endpoint is `v`.
-    pub store: Vec<Vec<StoredWalk>>,
-    /// `forward[v][(source, seq, step)]` = the neighbor `v` forwarded
-    /// that walk to when it held it at `step`. Written during walk
-    /// generation, read during replay.
-    pub forward: Vec<HashMap<(u32, u32, u32), u32>>,
-    /// `visits[v]` = positions at which the stitched walk visited `v`
-    /// (filled by the tail walk and by [`crate::regenerate`]).
-    pub visits: Vec<Vec<Visit>>,
-    /// `next_tag[v]` = next unused storage tag at `v`.
-    pub next_tag: Vec<u32>,
-    /// `next_seq[v]` = next unused walk sequence number for walks
-    /// launched by `v` (so Phase-1 and `GET-MORE-WALKS` ids never clash).
-    pub next_seq: Vec<u32>,
+    /// Per-node state, indexed by node id.
+    pub nodes: Vec<NodeWalkState>,
 }
 
 impl WalkState {
     /// Empty state for an `n`-node network.
     pub fn new(n: usize) -> Self {
         WalkState {
-            store: vec![Vec::new(); n],
-            forward: vec![HashMap::new(); n],
-            visits: vec![Vec::new(); n],
-            next_tag: vec![0; n],
-            next_seq: vec![0; n],
+            nodes: vec![NodeWalkState::default(); n],
         }
     }
 
     /// Allocates `count` fresh walk sequence numbers for `source`,
     /// returning the first.
     pub fn alloc_seqs(&mut self, source: NodeId, count: usize) -> u32 {
-        let first = self.next_seq[source];
-        self.next_seq[source] += count as u32;
-        first
+        self.nodes[source].alloc_seqs(count)
     }
 
     /// Stores a finished short walk at `endpoint`, assigning a fresh tag.
     pub fn store_walk(&mut self, endpoint: NodeId, id: WalkId, len: u32, replayable: bool) {
-        let tag = self.next_tag[endpoint];
-        self.next_tag[endpoint] += 1;
-        self.store[endpoint].push(StoredWalk {
-            id,
-            len,
-            tag,
-            replayable,
-        });
+        self.nodes[endpoint].store_walk(id, len, replayable);
     }
 
     /// Removes the walk with `tag` stored at `owner` and returns it.
@@ -103,21 +189,18 @@ impl WalkState {
     ///
     /// Panics if no such walk exists (a protocol invariant violation).
     pub fn take_walk(&mut self, owner: NodeId, tag: u32) -> StoredWalk {
-        let idx = self.store[owner]
-            .iter()
-            .position(|w| w.tag == tag)
-            .unwrap_or_else(|| panic!("no stored walk with tag {tag} at node {owner}"));
-        self.store[owner].swap_remove(idx)
+        self.nodes[owner].take_walk(tag)
     }
 
     /// Total stored (unused) walks across all nodes.
     pub fn total_stored(&self) -> usize {
-        self.store.iter().map(|s| s.len()).sum()
+        self.nodes.iter().map(|s| s.store.len()).sum()
     }
 
     /// Number of stored walks at `v` launched by `source`.
     pub fn stored_from(&self, v: NodeId, source: NodeId) -> usize {
-        self.store[v]
+        self.nodes[v]
+            .store
             .iter()
             .filter(|w| w.id.source as usize == source)
             .count()
@@ -125,7 +208,7 @@ impl WalkState {
 
     /// Records one visit of the global walk.
     pub fn record_visit(&mut self, v: NodeId, pos: u64, pred: Option<NodeId>) {
-        self.visits[v].push(Visit { pos, pred });
+        self.nodes[v].record_visit(pos, pred);
     }
 
     /// Reconstructs the full walk `positions -> node` from the recorded
@@ -136,9 +219,13 @@ impl WalkState {
     /// Panics if the recorded positions do not exactly cover `0..=l`.
     pub fn reconstruct_walk(&self, l: u64) -> Vec<NodeId> {
         let mut walk = vec![usize::MAX; (l + 1) as usize];
-        for (v, visits) in self.visits.iter().enumerate() {
-            for visit in visits {
-                assert!(visit.pos <= l, "visit position {} beyond walk length {l}", visit.pos);
+        for (v, node) in self.nodes.iter().enumerate() {
+            for visit in &node.visits {
+                assert!(
+                    visit.pos <= l,
+                    "visit position {} beyond walk length {l}",
+                    visit.pos
+                );
                 assert_eq!(
                     walk[visit.pos as usize],
                     usize::MAX,
@@ -181,7 +268,7 @@ mod tests {
         for i in 0..4 {
             s.store_walk(0, WalkId { source: 1, seq: i }, 3, true);
         }
-        let tags: Vec<u32> = s.store[0].iter().map(|w| w.tag).collect();
+        let tags: Vec<u32> = s.nodes[0].store.iter().map(|w| w.tag).collect();
         let mut dedup = tags.clone();
         dedup.dedup();
         assert_eq!(tags, dedup);
@@ -193,6 +280,14 @@ mod tests {
     fn taking_missing_walk_panics() {
         let mut s = WalkState::new(1);
         s.take_walk(0, 3);
+    }
+
+    #[test]
+    fn seq_allocation_is_per_node() {
+        let mut s = WalkState::new(2);
+        assert_eq!(s.alloc_seqs(0, 3), 0);
+        assert_eq!(s.alloc_seqs(0, 2), 3);
+        assert_eq!(s.alloc_seqs(1, 1), 0, "nodes have independent counters");
     }
 
     #[test]

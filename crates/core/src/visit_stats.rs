@@ -106,6 +106,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let len = 1024u64;
         let counts = visit_counts(&g, &[32], len, &mut rng);
+        #[allow(clippy::needless_range_loop)]
         for y in 0..g.n() {
             let bound = lemma26_bound(g.degree(y), 1, len, g.n());
             assert!(

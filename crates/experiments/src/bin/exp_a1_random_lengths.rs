@@ -7,7 +7,7 @@
 //! keep connector load near `t / lambda` (Lemma 2.7).
 
 use drw_core::{single_random_walk, SingleWalkConfig};
-use drw_experiments::{parallel_trials, table::f3, workloads, Table};
+use drw_experiments::{parallel_trials, table::f3, walk_config_from_env, workloads, Table};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -23,7 +23,7 @@ fn main() {
         for (label, randomize) in [("random", true), ("fixed", false)] {
             let cfg = SingleWalkConfig {
                 randomize_len: randomize,
-                ..SingleWalkConfig::default()
+                ..walk_config_from_env()
             };
             let runs = parallel_trials(trials, 30, |s| {
                 let r = single_random_walk(g, 0, len, &cfg, s).expect("walk");
@@ -43,7 +43,9 @@ fn main() {
         }
     }
     t.emit();
-    println!("The paper's randomization should show fewer/equal GMW calls and lower connector maxima.");
+    println!(
+        "The paper's randomization should show fewer/equal GMW calls and lower connector maxima."
+    );
 }
 
 fn mean(xs: &[f64]) -> f64 {

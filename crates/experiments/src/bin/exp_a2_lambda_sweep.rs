@@ -6,7 +6,7 @@
 //! `sqrt(l * D)` (`c ~ 1` up to the dropped polylogs).
 
 use drw_core::{single_random_walk, SingleWalkConfig, WalkParams};
-use drw_experiments::{parallel_trials, table::f3, workloads, Table};
+use drw_experiments::{parallel_trials, table::f3, walk_config_from_env, workloads, Table};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -30,7 +30,7 @@ fn main() {
                 lambda_scale: c,
                 ..WalkParams::default()
             },
-            ..SingleWalkConfig::default()
+            ..walk_config_from_env()
         };
         let runs = parallel_trials(trials, 40, |s| {
             let r = single_random_walk(g, 0, len, &cfg, s).expect("walk");

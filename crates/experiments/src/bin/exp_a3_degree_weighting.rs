@@ -6,7 +6,7 @@
 //! star, the clique of a lollipop), forcing `GET-MORE-WALKS`.
 
 use drw_core::{single_random_walk, SingleWalkConfig};
-use drw_experiments::{parallel_trials, table::f3, Table};
+use drw_experiments::{parallel_trials, table::f3, walk_config_from_env, Table};
 use drw_graph::generators;
 
 fn main() {
@@ -25,11 +25,15 @@ fn main() {
         for (label, proportional) in [("deg-proportional", true), ("uniform", false)] {
             let cfg = SingleWalkConfig {
                 degree_proportional: proportional,
-                ..SingleWalkConfig::default()
+                ..walk_config_from_env()
             };
             let runs = parallel_trials(trials, 50, |s| {
                 let r = single_random_walk(&g, 0, len, &cfg, s).expect("walk");
-                (r.rounds as f64, r.gmw_invocations as f64, r.rounds_phase1 as f64)
+                (
+                    r.rounds as f64,
+                    r.gmw_invocations as f64,
+                    r.rounds_phase1 as f64,
+                )
             });
             t.row(&[
                 name.to_string(),

@@ -7,9 +7,7 @@
 //! prediction: the sampling estimator wins when `tau >> sqrt(n)`.
 
 use drw_experiments::{table::f3, workloads, Table};
-use drw_mixing::{
-    direct_diffusion_mixing, estimate_mixing_time, ground_truth, MixingConfig,
-};
+use drw_mixing::{direct_diffusion_mixing, estimate_mixing_time, ground_truth, MixingConfig};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -22,8 +20,15 @@ fn main() {
     let mut t = Table::new(
         "E10 mixing-time estimation vs ground truth and baseline",
         &[
-            "graph", "n", "tau~ (est)", "tau exact band", "est rounds", "baseline rounds",
-            "probes", "thm4.6 pred", "km pred",
+            "graph",
+            "n",
+            "tau~ (est)",
+            "tau exact band",
+            "est rounds",
+            "baseline rounds",
+            "probes",
+            "thm4.6 pred",
+            "km pred",
         ],
     );
     // (workload, source): the lollipop is probed from the tail end — the
@@ -31,10 +36,8 @@ fn main() {
     // tail-lollipop rows are where the paper predicts the estimator
     // beats the Theta(tau) baseline (tau >> sqrt(n) * D).
     let families: Vec<(workloads::Workload, usize)> = {
-        let mut v: Vec<(workloads::Workload, usize)> = vec![
-            (workloads::odd_cycle(33), 0),
-            (workloads::regular(64), 0),
-        ];
+        let mut v: Vec<(workloads::Workload, usize)> =
+            vec![(workloads::odd_cycle(33), 0), (workloads::regular(64), 0)];
         let lolli = workloads::lollipop(16, 16);
         let src = lolli.graph.n() - 1;
         v.push((lolli, src));
@@ -58,8 +61,7 @@ fn main() {
         let n_f = g.n() as f64;
         let d = drw_graph::traversal::diameter_exact(g) as f64;
         let tau_f = est.tau_estimate as f64;
-        let pred_est =
-            (n_f.sqrt() + n_f.powf(0.25) * (d * tau_f).sqrt()) * est.probes.len() as f64;
+        let pred_est = (n_f.sqrt() + n_f.powf(0.25) * (d * tau_f).sqrt()) * est.probes.len() as f64;
         let pred_base = tau_f;
         t.row(&[
             format!("{}(n={})", w.name, g.n()),

@@ -23,8 +23,14 @@ fn main() {
     let mut t = Table::new(
         "E11 spectral gap & conductance from tau~",
         &[
-            "graph", "tau~", "gap interval", "exact gap", "gap ok(x4)", "phi interval",
-            "phi (sweep)", "phi ok(x4)",
+            "graph",
+            "tau~",
+            "gap interval",
+            "exact gap",
+            "gap ok(x4)",
+            "phi interval",
+            "phi (sweep)",
+            "phi ok(x4)",
         ],
     );
     let families: Vec<(workloads::Workload, usize)> = {

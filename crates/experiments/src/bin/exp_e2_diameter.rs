@@ -4,8 +4,8 @@
 //! Expected shape: podc10 grows like `sqrt(D)`, podc09 like `D^{1/3}`,
 //! naive is flat in `D`.
 
-use drw_core::{naive_walk, podc09::podc09_walk, single_random_walk, Podc09Params, SingleWalkConfig};
-use drw_experiments::{parallel_trials, table::f3, workloads, Table};
+use drw_core::{naive_walk, podc09::podc09_walk, single_random_walk, Podc09Params};
+use drw_experiments::{parallel_trials, table::f3, walk_config_from_env, workloads, Table};
 use drw_stats::log_log_slope;
 
 fn main() {
@@ -33,10 +33,12 @@ fn main() {
             naive_walk(g, 0, len, s).expect("naive").1 as f64
         }));
         let r09 = mean(&parallel_trials(trials, 20, |s| {
-            podc09_walk(g, 0, len, &Podc09Params::default(), s).expect("09").rounds as f64
+            podc09_walk(g, 0, len, &Podc09Params::default(), s)
+                .expect("09")
+                .rounds as f64
         }));
         let r10 = mean(&parallel_trials(trials, 30, |s| {
-            single_random_walk(g, 0, len, &SingleWalkConfig::default(), s)
+            single_random_walk(g, 0, len, &walk_config_from_env(), s)
                 .expect("10")
                 .rounds as f64
         }));

@@ -6,8 +6,8 @@
 //! stitched branch is active, and the automatic switch to the `k + l`
 //! branch once `lambda(k) > l`.
 
-use drw_core::{many_random_walks, naive_walk, SingleWalkConfig};
-use drw_experiments::{parallel_trials, table::f3, workloads, Table};
+use drw_core::{many_random_walks, naive_walk};
+use drw_experiments::{parallel_trials, table::f3, walk_config_from_env, workloads, Table};
 use drw_stats::log_log_slope;
 
 fn main() {
@@ -24,15 +24,19 @@ fn main() {
     let g = &w.graph;
     let d = drw_graph::traversal::diameter_exact(g);
     let mut t = Table::new(
-        &format!("E3 rounds vs k at l={len} on {} (n={}, D={d})", w.name, g.n()),
+        &format!(
+            "E3 rounds vs k at l={len} on {} (n={}, D={d})",
+            w.name,
+            g.n()
+        ),
         &["k", "many", "k x naive", "fallback", "stitches"],
     );
     let (mut xs, mut ys) = (Vec::new(), Vec::new());
     for &k in &ks {
         let sources: Vec<usize> = (0..k).map(|i| (i * 37) % g.n()).collect();
+        let cfg = walk_config_from_env();
         let runs = parallel_trials(trials, 40, |s| {
-            let r = many_random_walks(g, &sources, len, &SingleWalkConfig::default(), s)
-                .expect("many walks");
+            let r = many_random_walks(g, &sources, len, &cfg, s).expect("many walks");
             (r.rounds as f64, r.used_naive_fallback, r.stitches as f64)
         });
         let many = mean(&runs.iter().map(|r| r.0).collect::<Vec<_>>());

@@ -8,12 +8,12 @@
 //!    `[lambda, 2*lambda - 1]`, both from Phase 1 and from the
 //!    reservoir-sampled `GET-MORE-WALKS` (Lemma 2.4).
 
-use drw_congest::{run_protocol, EngineConfig};
+use drw_congest::{run_node_local, run_protocol};
 use drw_core::get_more_walks::GetMoreWalksProtocol;
 use drw_core::short_walks::ShortWalksProtocol;
 use drw_core::visit_stats::connector_counts;
 use drw_core::WalkState;
-use drw_experiments::{parallel_trials, table::f3, workloads, Table};
+use drw_experiments::{engine_config_from_env, parallel_trials, table::f3, workloads, Table};
 use drw_stats::chi_square_uniform;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,7 +25,14 @@ fn main() {
     // Part 1: connector spread (Lemma 2.7).
     let mut t = Table::new(
         "E5a connector max-visits: fixed vs randomized lengths",
-        &["graph", "lambda", "l", "max fixed", "max randomized", "ratio"],
+        &[
+            "graph",
+            "lambda",
+            "l",
+            "max fixed",
+            "max randomized",
+            "ratio",
+        ],
     );
     for (w, lambda, len) in [
         (workloads::odd_cycle(64), 8u32, 1u64 << 14),
@@ -34,11 +41,17 @@ fn main() {
         let g = &w.graph;
         let fixed = parallel_trials(trials, 70, |s| {
             let mut rng = StdRng::seed_from_u64(s);
-            *connector_counts(g, 0, len, lambda, false, &mut rng).iter().max().unwrap() as f64
+            *connector_counts(g, 0, len, lambda, false, &mut rng)
+                .iter()
+                .max()
+                .unwrap() as f64
         });
         let random = parallel_trials(trials, 90, |s| {
             let mut rng = StdRng::seed_from_u64(s);
-            *connector_counts(g, 0, len, lambda, true, &mut rng).iter().max().unwrap() as f64
+            *connector_counts(g, 0, len, lambda, true, &mut rng)
+                .iter()
+                .max()
+                .unwrap() as f64
         });
         let (mf, mr) = (mean(&fixed), mean(&random));
         t.row(&[
@@ -64,16 +77,16 @@ fn main() {
         match source {
             "phase1" => {
                 let mut p = ShortWalksProtocol::new(&mut state, vec![300; g.n()], lambda, true);
-                run_protocol(&g, &EngineConfig::default(), 1, &mut p).unwrap();
+                run_node_local(&g, &engine_config_from_env(), 1, &mut p).unwrap();
             }
             _ => {
                 let mut p = GetMoreWalksProtocol::new(&mut state, 0, 4800, lambda, true);
-                run_protocol(&g, &EngineConfig::default(), 2, &mut p).unwrap();
+                run_protocol(&g, &engine_config_from_env(), 2, &mut p).unwrap();
             }
         }
         let mut counts = vec![0u64; lambda as usize];
-        for store in &state.store {
-            for wk in store {
+        for ns in &state.nodes {
+            for wk in &ns.store {
                 counts[(wk.len - lambda) as usize] += 1;
             }
         }

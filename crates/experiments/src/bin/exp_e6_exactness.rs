@@ -7,7 +7,7 @@
 //! (PODC'09-style) configuration — both are exact; only rounds differ.
 
 use drw_core::{exact::exact_distribution, single_random_walk, SingleWalkConfig};
-use drw_experiments::{parallel_trials, table::f3, workloads, Table};
+use drw_experiments::{parallel_trials, table::f3, walk_config_from_env, workloads, Table};
 use drw_stats::chi2::chi_square_against_probs;
 
 fn main() {
@@ -26,17 +26,19 @@ fn main() {
         let g = &w.graph;
         let probs = exact_distribution(g, 0, len);
         for (cfg_name, cfg) in [
-            ("default", SingleWalkConfig::default()),
+            ("default", walk_config_from_env()),
             (
                 "fixed-lengths",
                 SingleWalkConfig {
                     randomize_len: false,
-                    ..SingleWalkConfig::default()
+                    ..walk_config_from_env()
                 },
             ),
         ] {
             let dests = parallel_trials(samples, 1_000_000, |s| {
-                single_random_walk(g, 0, len, &cfg, s).expect("walk").destination
+                single_random_walk(g, 0, len, &cfg, s)
+                    .expect("walk")
+                    .destination
             });
             let mut counts = vec![0u64; g.n()];
             for d in dests {

@@ -9,8 +9,7 @@
 //! `--describe` prints the construction (Figure 3) for the smallest
 //! instance.
 
-use drw_congest::EngineConfig;
-use drw_experiments::{parallel_trials, table::f3, Table};
+use drw_experiments::{engine_config_from_env, parallel_trials, table::f3, Table};
 use drw_lowerbound::{gn::GnGraph, path_verification::verify_path, reduction::follow_probability};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -45,7 +44,14 @@ fn main() {
 
     let mut t = Table::new(
         "E8a PATH-VERIFICATION rounds on G_n",
-        &["l", "D", "rounds", "bound k=sqrt(l/log l)", "rounds/k", "naive O(l)"],
+        &[
+            "l",
+            "D",
+            "rounds",
+            "bound k=sqrt(l/log l)",
+            "rounds/k",
+            "naive O(l)",
+        ],
     );
     for &n in &sizes {
         let k = GnGraph::k_for_len(n as u64);
@@ -53,7 +59,7 @@ fn main() {
         let l = gn.n_prime() as u64;
         let path: Vec<usize> = (0..gn.n_prime()).collect();
         let d = drw_graph::traversal::diameter_exact(gn.graph());
-        let r = verify_path(gn.graph(), &path, &EngineConfig::default(), 5)
+        let r = verify_path(gn.graph(), &path, &engine_config_from_env(), 5)
             .expect("engine")
             .expect("P is a path");
         let bound = GnGraph::k_for_len(l) as f64;
@@ -71,7 +77,15 @@ fn main() {
 
     let mut t = Table::new(
         "E8b breakpoint counts (Lemma 3.4)",
-        &["n'", "k", "k'", "left", "right", "n'/k' (exact)", "Theta(n/k) band"],
+        &[
+            "n'",
+            "k",
+            "k'",
+            "left",
+            "right",
+            "n'/k' (exact)",
+            "Theta(n/k) band",
+        ],
     );
     for &n in &sizes {
         let k = GnGraph::k_for_len(n as u64);

@@ -24,7 +24,15 @@ fn main() {
 
     let mut t = Table::new(
         "E9a RST rounds: distributed fast-walk AB vs naive token AB",
-        &["graph", "n", "m", "D", "fast rounds", "naive rounds", "speedup"],
+        &[
+            "graph",
+            "n",
+            "m",
+            "D",
+            "fast rounds",
+            "naive rounds",
+            "speedup",
+        ],
     );
     // The crossover favouring the fast algorithm appears once the cover
     // time m*D dwarfs sqrt(m*D)*polylog — i.e. at larger sizes.
@@ -34,7 +42,9 @@ fn main() {
         let g = &w.graph;
         let d = drw_graph::traversal::diameter_exact(g);
         let fast = parallel_trials(trials, 10, |s| {
-            distributed_rst(g, 0, &RstConfig::default(), s).expect("rst").rounds as f64
+            distributed_rst(g, 0, &RstConfig::default(), s)
+                .expect("rst")
+                .rounds as f64
         });
         let naive = parallel_trials(trials, 20, |s| {
             let mut rng = StdRng::seed_from_u64(s);
@@ -57,7 +67,9 @@ fn main() {
     let samples: u64 = if quick { 300 } else { 1000 };
     let mut t = Table::new(
         "E9b RST uniformity (chi-square vs enumerated trees)",
-        &["graph", "trees", "mode", "samples", "chi2", "p-value", "verdict"],
+        &[
+            "graph", "trees", "mode", "samples", "chi2", "p-value", "verdict",
+        ],
     );
     for (name, g) in [
         ("K4", drw_graph::generators::complete(4)),
@@ -73,7 +85,11 @@ fn main() {
                 distributed_rst(&g, 0, &cfg, s).expect("rst").edges
             });
             let test = uniformity_test(&g, trees);
-            let verdict = if test.passes(0.001) { "uniform" } else { "BIASED" };
+            let verdict = if test.passes(0.001) {
+                "uniform"
+            } else {
+                "BIASED"
+            };
             t.row(&[
                 name.to_string(),
                 tree_count.to_string(),
@@ -86,7 +102,9 @@ fn main() {
         }
     }
     t.emit();
-    println!("ExtendWalk must be uniform; RestartPhases demonstrates the paper-literal restart bias.");
+    println!(
+        "ExtendWalk must be uniform; RestartPhases demonstrates the paper-literal restart bias."
+    );
 }
 
 fn mean(xs: &[f64]) -> f64 {

@@ -1,0 +1,63 @@
+//! Run-time configuration of the experiment binaries via environment
+//! variables.
+//!
+//! - `DRW_EXECUTOR=sequential|parallel` selects the engine's round
+//!   executor backend for every simulation an experiment runs. Results
+//!   are bit-identical between backends (the engine guarantees it);
+//!   parallel only changes how long the wall clock says it took.
+//! - `DRW_CSV_DIR=<dir>` additionally writes every emitted table as CSV.
+//! - `DRW_JSON_DIR=<dir>` additionally writes every emitted table as
+//!   JSON (machine-readable, schema: `{title, headers, rows}`).
+
+use drw_congest::{EngineConfig, ExecutorKind};
+use drw_core::SingleWalkConfig;
+
+/// The executor backend selected by `DRW_EXECUTOR` (default:
+/// sequential). Unknown values abort loudly rather than silently
+/// running the wrong experiment.
+pub fn executor_from_env() -> ExecutorKind {
+    match std::env::var("DRW_EXECUTOR") {
+        Ok(name) => ExecutorKind::from_name(&name).unwrap_or_else(|| {
+            panic!("DRW_EXECUTOR={name:?} is not a backend (try \"sequential\" or \"parallel\")")
+        }),
+        Err(_) => ExecutorKind::Sequential,
+    }
+}
+
+/// The default engine configuration with the environment-selected
+/// executor applied.
+pub fn engine_config_from_env() -> EngineConfig {
+    EngineConfig::default().with_executor(executor_from_env())
+}
+
+/// The default walk configuration with the environment-selected
+/// executor applied.
+pub fn walk_config_from_env() -> SingleWalkConfig {
+    SingleWalkConfig {
+        engine: engine_config_from_env(),
+        ..SingleWalkConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_to_sequential_without_env() {
+        // Tests must not set the variable process-wide; assert on the
+        // parser instead.
+        assert_eq!(
+            ExecutorKind::from_name("sequential"),
+            Some(ExecutorKind::Sequential)
+        );
+        assert_eq!(ExecutorKind::from_name("PAR"), Some(ExecutorKind::Parallel));
+        assert_eq!(ExecutorKind::from_name("gpu"), None);
+    }
+
+    #[test]
+    fn walk_config_carries_the_executor() {
+        let cfg = walk_config_from_env();
+        assert_eq!(cfg.engine.executor, executor_from_env());
+    }
+}

@@ -70,20 +70,29 @@ impl Table {
         out
     }
 
-    /// Prints the table to stdout and, when `DRW_CSV_DIR` is set, writes
-    /// `<dir>/<slug>.csv`.
+    fn slug(&self) -> String {
+        self.title
+            .to_lowercase()
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect()
+    }
+
+    /// Prints the table to stdout and, when `DRW_CSV_DIR` /
+    /// `DRW_JSON_DIR` are set, also writes `<dir>/<slug>.csv` /
+    /// `<dir>/<slug>.json`.
     pub fn emit(&self) {
         print!("{}", self.render());
         println!();
         if let Ok(dir) = std::env::var("DRW_CSV_DIR") {
-            let slug: String = self
-                .title
-                .to_lowercase()
-                .chars()
-                .map(|c| if c.is_alphanumeric() { c } else { '_' })
-                .collect();
-            let path = std::path::Path::new(&dir).join(format!("{slug}.csv"));
+            let path = std::path::Path::new(&dir).join(format!("{}.csv", self.slug()));
             if let Err(e) = self.write_csv(&path) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        if let Ok(dir) = std::env::var("DRW_JSON_DIR") {
+            let path = std::path::Path::new(&dir).join(format!("{}.json", self.slug()));
+            if let Err(e) = self.write_json(&path) {
                 eprintln!("warning: could not write {}: {e}", path.display());
             }
         }
@@ -104,6 +113,56 @@ impl Table {
             writeln!(f, "{}", row.join(","))?;
         }
         Ok(())
+    }
+
+    /// The table as a machine-readable JSON value:
+    /// `{"title": .., "headers": [..], "rows": [[..]]}`. Cells that
+    /// parse as numbers are emitted as numbers.
+    pub fn to_json_value(&self) -> serde::Value {
+        let cell = |c: &String| {
+            if let Ok(u) = c.parse::<u64>() {
+                serde::Value::UInt(u)
+            } else if let Ok(x) = c.parse::<f64>() {
+                serde::Value::Float(x)
+            } else {
+                serde::Value::Str(c.clone())
+            }
+        };
+        serde::Value::Object(vec![
+            ("title".to_string(), serde::Value::Str(self.title.clone())),
+            (
+                "headers".to_string(),
+                serde::Value::Array(
+                    self.headers
+                        .iter()
+                        .map(|h| serde::Value::Str(h.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "rows".to_string(),
+                serde::Value::Array(
+                    self.rows
+                        .iter()
+                        .map(|row| serde::Value::Array(row.iter().map(cell).collect()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Writes the table as pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from file creation or writing.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let json = serde_json::to_string_pretty(&self.to_json_value())
+            .expect("table JSON rendering is infallible");
+        std::fs::write(path, json + "\n")
     }
 }
 

@@ -1,10 +1,11 @@
 //! Parallel independent trials.
 //!
 //! Experiment trials (different seeds of the same simulation) are
-//! embarrassingly parallel; `crossbeam` scoped threads fan them out and
-//! a `parking_lot` mutex collects results in seed order.
+//! embarrassingly parallel; std scoped threads fan them out over a
+//! shared atomic work counter and results are returned in seed order.
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Runs `trials` independent evaluations of `f(seed)` for seeds
 /// `seed_base..seed_base + trials`, in parallel, returning results in
@@ -15,30 +16,27 @@ where
     F: Fn(u64) -> T + Sync,
 {
     let results: Mutex<Vec<(u64, T)>> = Mutex::new(Vec::with_capacity(trials as usize));
-    let next: Mutex<u64> = Mutex::new(0);
+    let next = AtomicU64::new(0);
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
         .min(trials.max(1) as usize);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
-                let i = {
-                    let mut guard = next.lock();
-                    if *guard >= trials {
-                        return;
-                    }
-                    let i = *guard;
-                    *guard += 1;
-                    i
-                };
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= trials {
+                    return;
+                }
                 let out = f(seed_base + i);
-                results.lock().push((i, out));
+                results
+                    .lock()
+                    .expect("no trial worker panicked while pushing")
+                    .push((i, out));
             });
         }
-    })
-    .expect("trial worker panicked");
-    let mut collected = results.into_inner();
+    });
+    let mut collected = results.into_inner().expect("workers joined");
     collected.sort_by_key(|&(i, _)| i);
     collected.into_iter().map(|(_, t)| t).collect()
 }
@@ -61,7 +59,7 @@ mod tests {
     }
 
     #[test]
-    fn single_trial() {
+    fn single_trial_works() {
         let out = parallel_trials(1, 7, |s| s + 1);
         assert_eq!(out, vec![8]);
     }

@@ -189,6 +189,7 @@ impl Graph {
             rev: Vec::new(),
         };
         let mut rev = vec![0u32; total];
+        #[allow(clippy::needless_range_loop)]
         for eid in 0..total {
             let u = g.src[eid] as usize;
             let v = g.adj[eid] as usize;

@@ -20,10 +20,14 @@ use crate::{Graph, NodeId};
 pub fn spanning_tree_count(g: &Graph) -> u128 {
     let n = g.n();
     assert!(n >= 2, "spanning trees need at least two nodes");
-    assert!(n <= 16, "exact count limited to n <= 16; use spanning_tree_count_f64");
+    assert!(
+        n <= 16,
+        "exact count limited to n <= 16; use spanning_tree_count_f64"
+    );
     let dim = n - 1;
     // Laplacian minor: delete last row/column.
     let mut a = vec![vec![0i128; dim]; dim];
+    #[allow(clippy::needless_range_loop)]
     for v in 0..dim {
         a[v][v] = g.degree(v) as i128;
         for u in g.neighbors(v) {
@@ -69,6 +73,7 @@ pub fn ln_spanning_tree_count(g: &Graph) -> f64 {
     assert!(n >= 2, "spanning trees need at least two nodes");
     let dim = n - 1;
     let mut a = vec![vec![0f64; dim]; dim];
+    #[allow(clippy::needless_range_loop)]
     for v in 0..dim {
         a[v][v] = g.degree(v) as f64;
         for u in g.neighbors(v) {
@@ -90,6 +95,7 @@ pub fn ln_spanning_tree_count(g: &Graph) -> f64 {
         ln_det += a[k][k].abs().ln();
         for i in (k + 1)..dim {
             let f = a[i][k] / a[k][k];
+            #[allow(clippy::needless_range_loop)]
             for j in k..dim {
                 a[i][j] -= f * a[k][j];
             }
@@ -219,7 +225,11 @@ mod tests {
 
     #[test]
     fn ln_count_matches_exact() {
-        for g in [generators::complete(6), generators::cycle(9), generators::grid2d(3, 3)] {
+        for g in [
+            generators::complete(6),
+            generators::cycle(9),
+            generators::grid2d(3, 3),
+        ] {
             let exact = spanning_tree_count(&g) as f64;
             let ln = ln_spanning_tree_count(&g);
             assert!((ln - exact.ln()).abs() < 1e-6, "exact={exact}, ln={ln}");

@@ -37,7 +37,10 @@ pub enum WalkKind {
 /// Panics if the graph has no edges.
 pub fn stationary_distribution(g: &Graph) -> Vec<f64> {
     let two_m = g.dir_edge_count() as f64;
-    assert!(two_m > 0.0, "stationary distribution needs at least one edge");
+    assert!(
+        two_m > 0.0,
+        "stationary distribution needs at least one edge"
+    );
     (0..g.n()).map(|v| g.degree(v) as f64 / two_m).collect()
 }
 
@@ -51,6 +54,7 @@ pub fn stationary_distribution(g: &Graph) -> Vec<f64> {
 pub fn step_distribution(g: &Graph, p: &[f64], kind: WalkKind) -> Vec<f64> {
     assert_eq!(p.len(), g.n(), "distribution length must equal node count");
     let mut next = vec![0.0; g.n()];
+    #[allow(clippy::needless_range_loop)]
     for v in 0..g.n() {
         let mass = p[v];
         if mass == 0.0 {
@@ -147,9 +151,7 @@ pub fn second_eigenvalue(g: &Graph, kind: WalkKind) -> f64 {
     normalize(&mut phi);
 
     // Deterministic start vector, deflated.
-    let mut x: Vec<f64> = (0..n)
-        .map(|v| 1.0 + (v as f64 * 0.734_912).sin())
-        .collect();
+    let mut x: Vec<f64> = (0..n).map(|v| 1.0 + (v as f64 * 0.734_912).sin()).collect();
     deflate(&mut x, &phi);
     normalize(&mut x);
 
@@ -259,7 +261,10 @@ pub fn cut_conductance(g: &Graph, in_set: &[bool]) -> f64 {
 /// Panics if `g.n() > 20`.
 pub fn conductance_exact_small(g: &Graph) -> f64 {
     let n = g.n();
-    assert!(n <= 20, "exhaustive conductance is exponential; n must be <= 20");
+    assert!(
+        n <= 20,
+        "exhaustive conductance is exponential; n must be <= 20"
+    );
     let mut best = f64::INFINITY;
     let mut in_set = vec![false; n];
     // Fix node 0 out of the set to halve the work (conductance is
@@ -281,9 +286,7 @@ pub fn conductance_sweep(g: &Graph) -> f64 {
     let inv_sqrt_deg: Vec<f64> = (0..n).map(|v| 1.0 / (g.degree(v) as f64).sqrt()).collect();
     let mut phi: Vec<f64> = (0..n).map(|v| (g.degree(v) as f64).sqrt()).collect();
     normalize(&mut phi);
-    let mut x: Vec<f64> = (0..n)
-        .map(|v| 1.0 + (v as f64 * 0.734_912).sin())
-        .collect();
+    let mut x: Vec<f64> = (0..n).map(|v| 1.0 + (v as f64 * 0.734_912).sin()).collect();
     deflate(&mut x, &phi);
     normalize(&mut x);
     for _ in 0..2000 {
@@ -399,7 +402,10 @@ mod tests {
         let g = generators::cycle(n);
         let expected = (1.0 + (2.0 * std::f64::consts::PI / n as f64).cos()) / 2.0;
         let l2 = second_eigenvalue(&g, WalkKind::Lazy);
-        assert!((l2 - expected).abs() < 1e-6, "l2 = {l2}, expected {expected}");
+        assert!(
+            (l2 - expected).abs() < 1e-6,
+            "l2 = {l2}, expected {expected}"
+        );
     }
 
     #[test]
@@ -438,7 +444,10 @@ mod tests {
         let sweep = conductance_sweep(&g);
         assert!(sweep >= exact - 1e-12);
         // On the barbell the sweep cut finds the bridge exactly.
-        assert!((sweep - exact).abs() < 1e-9, "sweep = {sweep}, exact = {exact}");
+        assert!(
+            (sweep - exact).abs() < 1e-9,
+            "sweep = {sweep}, exact = {exact}"
+        );
     }
 
     #[test]
@@ -447,8 +456,13 @@ mod tests {
         // on a lazy torus.
         let g = generators::torus2d(5, 5);
         let gap = spectral_gap(&g, WalkKind::Lazy);
-        let tau = mixing_time_max(&g, 1.0 / (2.0 * std::f64::consts::E), WalkKind::Lazy, 100_000)
-            .unwrap() as f64;
+        let tau = mixing_time_max(
+            &g,
+            1.0 / (2.0 * std::f64::consts::E),
+            WalkKind::Lazy,
+            100_000,
+        )
+        .unwrap() as f64;
         let n = g.n() as f64;
         assert!(tau >= 0.5 / gap - 1.0, "tau = {tau}, 1/gap = {}", 1.0 / gap);
         assert!(

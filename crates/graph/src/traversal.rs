@@ -92,7 +92,9 @@ pub fn largest_component(g: &Graph) -> (Graph, Vec<NodeId>) {
     for &l in &label {
         sizes[l] += 1;
     }
-    let best = (0..k).max_by_key(|&i| sizes[i]).expect("at least one component");
+    let best = (0..k)
+        .max_by_key(|&i| sizes[i])
+        .expect("at least one component");
     let mut old_of_new = Vec::with_capacity(sizes[best]);
     let mut new_of_old = vec![usize::MAX; g.n()];
     for v in 0..g.n() {

@@ -269,6 +269,9 @@ mod tests {
     fn k_for_len_shape() {
         let k = GnGraph::k_for_len(1 << 14);
         let expect = ((16384.0f64) / 14.0).sqrt();
-        assert!((k as f64 - expect).abs() <= 1.0, "k = {k}, expect ~{expect}");
+        assert!(
+            (k as f64 - expect).abs() <= 1.0,
+            "k = {k}, expect ~{expect}"
+        );
     }
 }

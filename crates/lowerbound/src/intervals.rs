@@ -47,18 +47,14 @@ impl IntervalSet {
             }
             !overlaps
         });
-        let pos = self
-            .segments
-            .partition_point(|&(a, _)| a < new_lo);
+        let pos = self.segments.partition_point(|&(a, _)| a < new_lo);
         self.segments.insert(pos, (new_lo, new_hi));
         Some((new_lo, new_hi))
     }
 
     /// Whether `[lo, hi]` is entirely inside one verified segment.
     pub fn contains(&self, lo: u64, hi: u64) -> bool {
-        self.segments
-            .iter()
-            .any(|&(a, b)| a <= lo && hi <= b)
+        self.segments.iter().any(|&(a, b)| a <= lo && hi <= b)
     }
 
     /// The verified segments, sorted.

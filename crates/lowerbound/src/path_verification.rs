@@ -124,7 +124,11 @@ impl Protocol for PathVerificationProtocol {
     type Msg = SegmentMsg;
 
     fn start(&mut self, ctx: &mut Ctx<'_, SegmentMsg>) {
-        assert_eq!(self.positions.len(), ctx.graph().n(), "one position slot per node");
+        assert_eq!(
+            self.positions.len(),
+            ctx.graph().n(),
+            "one position slot per node"
+        );
         // Trivial segments + direct position announcements (sent once,
         // from the holder, to all neighbors — the only messages the edge
         // rule accepts).
@@ -153,7 +157,12 @@ impl Protocol for PathVerificationProtocol {
         self.pump_all(ctx);
     }
 
-    fn on_receive(&mut self, node: NodeId, inbox: &[Envelope<SegmentMsg>], ctx: &mut Ctx<'_, SegmentMsg>) {
+    fn on_receive(
+        &mut self,
+        node: NodeId,
+        inbox: &[Envelope<SegmentMsg>],
+        ctx: &mut Ctx<'_, SegmentMsg>,
+    ) {
         for env in inbox {
             let SegmentMsg { lo, hi, announce } = env.msg;
             // Edge evidence: a direct announcement from a graph-neighbor
@@ -234,7 +243,9 @@ mod tests {
     fn verifies_a_plain_path_graph() {
         let g = generators::path(16);
         let path: Vec<usize> = (0..16).collect();
-        let r = verify_path(&g, &path, &cfg(), 1).unwrap().expect("verifiable");
+        let r = verify_path(&g, &path, &cfg(), 1)
+            .unwrap()
+            .expect("verifiable");
         assert!(r.rounds >= 1);
         assert!(r.rounds <= 64, "rounds = {}", r.rounds);
     }
@@ -291,7 +302,9 @@ mod tests {
         // in walk order starting from 5.
         let g = generators::cycle(8);
         let path: Vec<usize> = (0..8).map(|i| (5 + i) % 8).collect();
-        let r = verify_path(&g, &path, &cfg(), 2).unwrap().expect("verifiable");
+        let r = verify_path(&g, &path, &cfg(), 2)
+            .unwrap()
+            .expect("verifiable");
         assert!(r.rounds >= 1);
     }
 }

@@ -95,7 +95,12 @@ mod tests {
         let out = biased_walk(&gn, &mut rng);
         assert_eq!(out.trajectory.len(), gn.n_prime());
         for w in out.trajectory.windows(2) {
-            assert!(gn.graph().has_edge(w[0], w[1]), "non-edge {}-{}", w[0], w[1]);
+            assert!(
+                gn.graph().has_edge(w[0], w[1]),
+                "non-edge {}-{}",
+                w[0],
+                w[1]
+            );
         }
     }
 

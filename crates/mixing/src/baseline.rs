@@ -82,7 +82,12 @@ impl Protocol for DiffusionProtocol {
         }
     }
 
-    fn on_receive(&mut self, node: NodeId, inbox: &[Envelope<MassMsg>], ctx: &mut Ctx<'_, MassMsg>) {
+    fn on_receive(
+        &mut self,
+        node: NodeId,
+        inbox: &[Envelope<MassMsg>],
+        ctx: &mut Ctx<'_, MassMsg>,
+    ) {
         let received: f64 = inbox.iter().map(|e| e.msg.0 as f64 / SCALE).sum();
         self.current_round_mass[node] = received;
         self.last_update[node] = ctx.round();
@@ -199,7 +204,11 @@ mod tests {
         let tau = r.tau.unwrap();
         // Diffusion rounds dominate: rounds ~ tau + log(tau) * O(D).
         assert!(r.rounds >= tau);
-        assert!(r.rounds <= 2 * tau + 40 * g.n() as u64, "rounds = {}", r.rounds);
+        assert!(
+            r.rounds <= 2 * tau + 40 * g.n() as u64,
+            "rounds = {}",
+            r.rounds
+        );
     }
 
     #[test]

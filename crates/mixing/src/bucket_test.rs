@@ -81,6 +81,7 @@ impl BucketTest {
         let n = g.n();
         let mut bucket_of = vec![0usize; n];
         let mut max_bucket = 0usize;
+        #[allow(clippy::needless_range_loop)]
         for v in 0..n {
             let ratio = max_deg / g.degree(v) as f64;
             let j = ratio.ln() / base.ln();
@@ -145,7 +146,11 @@ impl BucketTest {
         tv_threshold: f64,
         l2_threshold: f64,
     ) -> BucketTestResult {
-        assert_eq!(stats.bucket_hist.len(), self.buckets(), "histogram/bucket mismatch");
+        assert_eq!(
+            stats.bucket_hist.len(),
+            self.buckets(),
+            "histogram/bucket mismatch"
+        );
         let total = stats.total();
         assert!(total >= 2, "collision estimator needs at least two samples");
         let k = total as f64;
@@ -189,6 +194,7 @@ impl BucketTest {
             bucket_hist: vec![0u64; self.buckets()],
             ..SampleStats::default()
         };
+        #[allow(clippy::needless_range_loop)]
         for v in 0..g.n() {
             if c[v] == 0 {
                 continue;
@@ -240,7 +246,9 @@ mod tests {
         let two_m = 2 * g.m() as u64;
         let sds = sum_deg_sq(&g);
         // Samples drawn exactly from pi.
-        let pi: Vec<f64> = (0..g.n()).map(|v| g.degree(v) as f64 / two_m as f64).collect();
+        let pi: Vec<f64> = (0..g.n())
+            .map(|v| g.degree(v) as f64 / two_m as f64)
+            .collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let endpoints: Vec<usize> = (0..4000)
             .map(|_| {

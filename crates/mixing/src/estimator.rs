@@ -310,7 +310,11 @@ mod tests {
             if p.pass {
                 break;
             }
-            assert!(p.len == 1 || p.len == prev * 2, "doubling broken at {}", p.len);
+            assert!(
+                p.len == 1 || p.len == prev * 2,
+                "doubling broken at {}",
+                p.len
+            );
             prev = p.len;
         }
         // Exact tau_mix should be within a factor-4 band of the estimate

@@ -87,7 +87,10 @@ mod tests {
             lo: i.lo / 4.0,
             hi: i.hi * 4.0,
         };
-        assert!(fudged.contains(exact_gap), "{fudged} should contain {exact_gap}");
+        assert!(
+            fudged.contains(exact_gap),
+            "{fudged} should contain {exact_gap}"
+        );
     }
 
     #[test]

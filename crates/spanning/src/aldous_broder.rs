@@ -32,7 +32,10 @@ pub fn aldous_broder<R: Rng + ?Sized>(g: &Graph, root: NodeId, rng: &mut R) -> (
             unvisited -= 1;
         }
         at = next;
-        assert!(steps < cap, "cover walk did not terminate; disconnected graph?");
+        assert!(
+            steps < cap,
+            "cover walk did not terminate; disconnected graph?"
+        );
     }
     let edges = first_edge.into_iter().flatten();
     (canonical_tree_key(edges), steps)
@@ -81,7 +84,10 @@ mod tests {
         let lolli = generators::lollipop(16, 16);
         let expander = generators::random_regular(32, 4, &mut rng);
         let avg = |g: &drw_graph::Graph, rng: &mut StdRng| -> f64 {
-            (0..10).map(|_| aldous_broder(g, 0, rng).1 as f64).sum::<f64>() / 10.0
+            (0..10)
+                .map(|_| aldous_broder(g, 0, rng).1 as f64)
+                .sum::<f64>()
+                / 10.0
         };
         let c_l = avg(&lolli, &mut rng);
         let c_e = avg(&expander, &mut rng);

@@ -129,8 +129,17 @@ pub struct RstResult {
 /// [`RstError::Walk`] on walk failures, [`RstError::NotCovered`] if the
 /// phase budget is exhausted (astronomically unlikely at the defaults on
 /// a connected graph).
-pub fn distributed_rst(g: &Graph, root: NodeId, cfg: &RstConfig, seed: u64) -> Result<RstResult, RstError> {
-    let initial_len = if cfg.initial_len == 0 { g.n() as u64 } else { cfg.initial_len };
+pub fn distributed_rst(
+    g: &Graph,
+    root: NodeId,
+    cfg: &RstConfig,
+    seed: u64,
+) -> Result<RstResult, RstError> {
+    let initial_len = if cfg.initial_len == 0 {
+        g.n() as u64
+    } else {
+        cfg.initial_len
+    };
     let walk_cfg = SingleWalkConfig {
         record_walk: true,
         ..cfg.walk.clone()
@@ -198,9 +207,10 @@ impl RstRun<'_, '_> {
             let walk_seed = derive_seed(self.seed, self.attempts);
             let r = single_random_walk(self.g, current, seg_len, &self.walk_cfg, walk_seed)?;
             self.walk_rounds += r.rounds;
+            #[allow(clippy::needless_range_loop)]
             for v in 0..n {
                 if first[v].is_none() {
-                    if let Some(visit) = r.state.visits[v].iter().min_by_key(|x| x.pos) {
+                    if let Some(visit) = r.state.nodes[v].visits.iter().min_by_key(|x| x.pos) {
                         first[v] = Some((offset + visit.pos, visit.pred));
                         covered_count += 1;
                     }
@@ -208,7 +218,8 @@ impl RstRun<'_, '_> {
             }
             offset += seg_len;
             current = r.destination;
-            let covered = self.check_cover(&first.iter().map(|f| f.is_some()).collect::<Vec<_>>())?;
+            let covered =
+                self.check_cover(&first.iter().map(|f| f.is_some()).collect::<Vec<_>>())?;
             debug_assert_eq!(covered, covered_count == n);
             if covered {
                 let edges = (0..n).filter(|&v| v != root).map(|v| {
@@ -248,16 +259,22 @@ impl RstRun<'_, '_> {
                 let walk_seed = derive_seed(self.seed, self.attempts);
                 let r = single_random_walk(self.g, root, len, &self.walk_cfg, walk_seed)?;
                 self.walk_rounds += r.rounds;
-                let visited: Vec<bool> = (0..n).map(|v| !r.state.visits[v].is_empty()).collect();
+                let visited: Vec<bool> = (0..n)
+                    .map(|v| !r.state.nodes[v].visits.is_empty())
+                    .collect();
                 if !self.check_cover(&visited)? {
                     continue;
                 }
                 let edges = (0..n).filter(|&v| v != root).map(|v| {
-                    let visit = r.state.visits[v]
+                    let visit = r.state.nodes[v]
+                        .visits
                         .iter()
                         .min_by_key(|x| x.pos)
                         .expect("covered walk visits every node");
-                    (visit.pred.expect("non-root first visits have predecessors"), v)
+                    (
+                        visit.pred.expect("non-root first visits have predecessors"),
+                        v,
+                    )
                 });
                 let key = canonical_tree_key(edges);
                 debug_assert!(is_spanning_tree(self.g, &key));
@@ -294,7 +311,10 @@ mod tests {
             .iter()
             .enumerate()
             {
-                let cfg = RstConfig { mode, ..RstConfig::default() };
+                let cfg = RstConfig {
+                    mode,
+                    ..RstConfig::default()
+                };
                 let r = distributed_rst(g, 0, &cfg, 100 + i as u64).unwrap();
                 assert!(matrix_tree::is_spanning_tree(g, &r.edges), "{mode:?}");
                 assert!(r.attempts >= 1);
@@ -330,7 +350,10 @@ mod tests {
             ..RstConfig::default()
         };
         let err = distributed_rst(&g, 0, &cfg, 1).unwrap_err();
-        assert!(matches!(err, RstError::NotCovered { phases: 1, .. }), "{err}");
+        assert!(
+            matches!(err, RstError::NotCovered { phases: 1, .. }),
+            "{err}"
+        );
     }
 
     #[test]

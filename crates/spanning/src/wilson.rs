@@ -34,7 +34,10 @@ pub fn wilson<R: Rng + ?Sized>(g: &Graph, root: NodeId, rng: &mut R) -> TreeKey 
             next[at] = Some(nb);
             at = nb;
             steps += 1;
-            assert!(steps < cap, "walk did not hit the tree; disconnected graph?");
+            assert!(
+                steps < cap,
+                "walk did not hit the tree; disconnected graph?"
+            );
         }
         // Attach the loop-erased path.
         let mut at = start;

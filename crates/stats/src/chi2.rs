@@ -51,7 +51,10 @@ pub fn chi_square_test(observed: &[u64], expected: &[f64]) -> ChiSquare {
         expected.len(),
         "observed and expected must have equal length"
     );
-    assert!(!observed.is_empty(), "chi_square_test needs at least one cell");
+    assert!(
+        !observed.is_empty(),
+        "chi_square_test needs at least one cell"
+    );
     let min_expected = 5.0;
 
     let mut statistic = 0.0;

@@ -38,8 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Verify the embedded path distributively.
     let path: Vec<usize> = (0..gn.n_prime()).collect();
-    let r = verify_path(gn.graph(), &path, &EngineConfig::default(), 3)?
-        .expect("P is a genuine path");
+    let r =
+        verify_path(gn.graph(), &path, &EngineConfig::default(), 3)?.expect("P is a genuine path");
     let k = GnGraph::k_for_len(gn.n_prime() as u64);
     println!(
         "PATH-VERIFICATION: node {} verified [1, {}] in {} rounds; \

@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ring = generators::cycle(65);
     let cfg = MixingConfig::default();
 
-    for (name, g) in [("6-regular expander (n=64)", &expander), ("cycle (n=65)", &ring)] {
+    for (name, g) in [
+        ("6-regular expander (n=64)", &expander),
+        ("cycle (n=65)", &ring),
+    ] {
         let est = estimate_mixing_time(g, 0, &cfg, 17)?;
         let exact = ground_truth::exact_tau_mix(g, 0, 1 << 18);
         let gap = spectral_gap_interval(est.tau_estimate.max(1), g.n());

@@ -34,8 +34,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Walk length: past the (exact, centrally computed for the demo)
     // mixing time, so samples are near-stationary.
-    let tau = spectral::mixing_time(&g, 0, 0.2, spectral::WalkKind::Simple, 1 << 16)
-        .unwrap_or(4 * g.n());
+    let tau =
+        spectral::mixing_time(&g, 0, 0.2, spectral::WalkKind::Simple, 1 << 16).unwrap_or(4 * g.n());
     let len = (2 * tau) as u64;
     println!("sampling walk length: {len} (2x the eps=0.2 mixing time)\n");
 

@@ -1,0 +1,25 @@
+//! Quick wall-clock probe of one long walk per executor backend (dev tool).
+
+use distributed_random_walks::prelude::*;
+use drw_congest::ExecutorKind;
+use std::time::Instant;
+
+fn main() {
+    let g = generators::torus2d(64, 64);
+    let mk = |kind| SingleWalkConfig {
+        engine: EngineConfig::default().with_executor(kind),
+        ..SingleWalkConfig::default()
+    };
+    for round in 0..2 {
+        for kind in [ExecutorKind::Parallel, ExecutorKind::Sequential] {
+            let t0 = Instant::now();
+            let r = single_random_walk(&g, 0, 8192, &mk(kind), 1).unwrap();
+            println!(
+                "pass {round} {kind:10}: {:?} (rounds {}, msgs {})",
+                t0.elapsed(),
+                r.rounds,
+                r.messages
+            );
+        }
+    }
+}

@@ -10,7 +10,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let g = generators::torus2d(16, 16);
     let source = 0;
     let len = 4096u64;
-    println!("graph: {} nodes, {} edges; walk length {len}\n", g.n(), g.m());
+    println!(
+        "graph: {} nodes, {} edges; walk length {len}\n",
+        g.n(),
+        g.m()
+    );
 
     // 1. The naive token walk: exactly `len` rounds.
     let (dest, rounds) = naive_walk(&g, source, len, 1)?;

@@ -61,7 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         test.statistic,
         test.dof,
         test.p_value,
-        if test.passes(0.01) { "uniform" } else { "NOT uniform" }
+        if test.passes(0.01) {
+            "uniform"
+        } else {
+            "NOT uniform"
+        }
     );
     Ok(())
 }

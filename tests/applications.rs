@@ -30,7 +30,11 @@ fn rst_agrees_with_centralized_uniform_samplers() {
         ab_counts[dropped_edge(&aldous_broder(&g, 0, &mut rng).0)] += 1;
         wi_counts[dropped_edge(&wilson(&g, 0, &mut rng))] += 1;
     }
-    for (name, counts) in [("distributed", &dist_counts), ("aldous-broder", &ab_counts), ("wilson", &wi_counts)] {
+    for (name, counts) in [
+        ("distributed", &dist_counts),
+        ("aldous-broder", &ab_counts),
+        ("wilson", &wi_counts),
+    ] {
         let t = drw_stats::chi_square_uniform(counts);
         assert!(t.passes(0.001), "{name}: {t:?} {counts:?}");
     }
@@ -72,7 +76,12 @@ fn lower_bound_pipeline() {
     let r = verify_path(gn.graph(), &path, &EC::default(), 1)
         .unwrap()
         .expect("P verifies");
-    assert!(r.rounds as usize > gn.k(), "rounds {} <= k {}", r.rounds, gn.k());
+    assert!(
+        r.rounds as usize > gn.k(),
+        "rounds {} <= k {}",
+        r.rounds,
+        gn.k()
+    );
     // Diameter stays logarithmic even though verification is slow.
     let d = drw_graph::traversal::diameter_exact(gn.graph());
     assert!(d <= 14, "diameter {d}");

@@ -1,7 +1,7 @@
 //! Integration tests of the CONGEST model enforcement across the stack.
 
 use distributed_random_walks::prelude::*;
-use drw_congest::{run_protocol, RunError};
+use drw_congest::{run_node_local, run_protocol, RunError};
 use drw_core::short_walks::ShortWalksProtocol;
 use drw_core::WalkState;
 
@@ -27,8 +27,11 @@ fn oversized_messages_abort() {
     };
     let mut state = WalkState::new(g.n());
     let mut p = ShortWalksProtocol::new(&mut state, vec![1; 4], 2, true);
-    let err = run_protocol(&g, &cfg, 1, &mut p).unwrap_err();
-    assert!(matches!(err, RunError::OversizedMessage { words: 4, cap: 2 }));
+    let err = run_node_local(&g, &cfg, 1, &mut p).unwrap_err();
+    assert!(matches!(
+        err,
+        RunError::OversizedMessage { words: 4, cap: 2 }
+    ));
 }
 
 /// The round cap surfaces as a walk error through the driver.
@@ -43,7 +46,10 @@ fn round_cap_surfaces_through_drivers() {
         ..SingleWalkConfig::default()
     };
     let err = single_random_walk(&g, 0, 4096, &cfg, 1).unwrap_err();
-    assert!(matches!(err, WalkError::Engine(RunError::MaxRoundsExceeded(3))));
+    assert!(matches!(
+        err,
+        WalkError::Engine(RunError::MaxRoundsExceeded(3))
+    ));
 }
 
 /// Congestion (many tokens over few edges) shows up as extra rounds, not
@@ -55,7 +61,7 @@ fn congestion_delays_but_never_drops() {
     let counts: Vec<usize> = (0..g.n()).map(|v| 2 * g.degree(v)).collect();
     let total: usize = counts.iter().sum();
     let mut p = ShortWalksProtocol::new(&mut state, counts, 12, true);
-    let report = run_protocol(&g, &EngineConfig::default(), 3, &mut p).unwrap();
+    let report = run_node_local(&g, &EngineConfig::default(), 3, &mut p).unwrap();
     assert_eq!(state.total_stored(), total, "every token must land");
     // The bridge forces serialization: strictly more rounds than the
     // maximum walk length.

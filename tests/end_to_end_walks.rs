@@ -66,7 +66,8 @@ fn many_walks_match_single_walk_distribution() {
     let k = 60;
     let mut counts = vec![0u64; g.n()];
     for seed in 0..30 {
-        let r = many_random_walks(&g, &vec![0; k], len, &SingleWalkConfig::default(), seed).unwrap();
+        let r =
+            many_random_walks(&g, &vec![0; k], len, &SingleWalkConfig::default(), seed).unwrap();
         for d in r.destinations {
             counts[d] += 1;
         }

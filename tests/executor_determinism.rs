@@ -1,0 +1,151 @@
+//! Acceptance test for the pluggable round-executor architecture: the
+//! sequential and parallel backends must produce **bit-identical**
+//! results — identical run statistics, identical walk outputs, identical
+//! per-node state — for the same graph and seed, across graph families.
+
+use distributed_random_walks::prelude::*;
+use drw_congest::ExecutorKind;
+use drw_core::WalkState;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn graph_families() -> Vec<(&'static str, Graph)> {
+    let torus = generators::torus2d(8, 8);
+    let mut rng = StdRng::seed_from_u64(0xD0D0);
+    let regular = generators::random_regular(96, 4, &mut rng);
+    // Erdős–Rényi above the connectivity threshold; retry seeds until
+    // connected (deterministic: the seed sequence is fixed).
+    let er = (0..100)
+        .find_map(|i| {
+            let mut rng = StdRng::seed_from_u64(0xE6 + i);
+            let g = generators::er_gnp(80, 0.08, &mut rng);
+            drw_graph::traversal::is_connected(&g).then_some(g)
+        })
+        .expect("some seed yields a connected G(n, p)");
+    vec![
+        ("torus 8x8", torus),
+        ("random-regular(96,4)", regular),
+        ("er_gnp(80,0.08)", er),
+    ]
+}
+
+fn config_with(executor: ExecutorKind, record: bool) -> SingleWalkConfig {
+    SingleWalkConfig {
+        record_walk: record,
+        engine: EngineConfig::default().with_executor(executor),
+        ..SingleWalkConfig::default()
+    }
+}
+
+fn assert_states_match(name: &str, a: &WalkState, b: &WalkState) {
+    assert_eq!(a.nodes.len(), b.nodes.len());
+    for v in 0..a.nodes.len() {
+        assert_eq!(
+            a.nodes[v].store, b.nodes[v].store,
+            "{name}: store at node {v}"
+        );
+        assert_eq!(
+            a.nodes[v].forward, b.nodes[v].forward,
+            "{name}: forward log at node {v}"
+        );
+        assert_eq!(
+            a.nodes[v].visits, b.nodes[v].visits,
+            "{name}: visits at node {v}"
+        );
+    }
+}
+
+/// `SINGLE-RANDOM-WALK` end to end: destination, round/message counts,
+/// stitch traces, per-node stores and forwarding logs all agree.
+#[test]
+fn single_walk_is_identical_across_backends() {
+    for (name, g) in graph_families() {
+        for seed in [1u64, 77, 4242] {
+            let seq = single_random_walk(
+                &g,
+                0,
+                2048,
+                &config_with(ExecutorKind::Sequential, false),
+                seed,
+            )
+            .expect("sequential walk");
+            let par = single_random_walk(
+                &g,
+                0,
+                2048,
+                &config_with(ExecutorKind::Parallel, false),
+                seed,
+            )
+            .expect("parallel walk");
+            assert_eq!(
+                seq.destination, par.destination,
+                "{name} seed {seed}: destination"
+            );
+            assert_eq!(seq.rounds, par.rounds, "{name} seed {seed}: rounds");
+            assert_eq!(seq.messages, par.messages, "{name} seed {seed}: messages");
+            assert_eq!(
+                seq.segments, par.segments,
+                "{name} seed {seed}: stitch trace"
+            );
+            assert_eq!(seq.stitches, par.stitches, "{name} seed {seed}: stitches");
+            assert_eq!(
+                seq.connector_visits, par.connector_visits,
+                "{name} seed {seed}: connector visits"
+            );
+            assert_states_match(name, &seq.state, &par.state);
+        }
+    }
+}
+
+/// With `record_walk`, the regenerated trajectory — every node's visit
+/// positions, i.e. the full walk — is identical step for step.
+#[test]
+fn recorded_trajectories_are_identical_across_backends() {
+    for (name, g) in graph_families() {
+        let len = 1024u64;
+        let seq = single_random_walk(&g, 1, len, &config_with(ExecutorKind::Sequential, true), 99)
+            .expect("sequential walk");
+        let par = single_random_walk(&g, 1, len, &config_with(ExecutorKind::Parallel, true), 99)
+            .expect("parallel walk");
+        let walk_seq = seq.state.reconstruct_walk(len);
+        let walk_par = par.state.reconstruct_walk(len);
+        assert_eq!(walk_seq, walk_par, "{name}: full trajectory");
+        assert_eq!(walk_seq[0], 1);
+        assert_eq!(*walk_seq.last().unwrap(), seq.destination);
+    }
+}
+
+/// `MANY-RANDOM-WALKS` agrees too (shared Phase-1 store, interleaved
+/// stitching, batched tails).
+#[test]
+fn many_walks_are_identical_across_backends() {
+    for (name, g) in graph_families() {
+        let sources: Vec<usize> = vec![0, 3, g.n() / 2, g.n() - 1];
+        let seq_cfg = config_with(ExecutorKind::Sequential, false);
+        let par_cfg = config_with(ExecutorKind::Parallel, false);
+        let seq = many_random_walks(&g, &sources, 1024, &seq_cfg, 7).expect("sequential");
+        let par = many_random_walks(&g, &sources, 1024, &par_cfg, 7).expect("parallel");
+        assert_eq!(seq.destinations, par.destinations, "{name}: destinations");
+        assert_eq!(seq.rounds, par.rounds, "{name}: rounds");
+        assert_eq!(seq.messages, par.messages, "{name}: messages");
+        assert_eq!(seq.stitches, par.stitches, "{name}: stitches");
+        assert_eq!(
+            seq.connector_visits, par.connector_visits,
+            "{name}: connector visits"
+        );
+    }
+}
+
+/// The applications on top (random spanning trees) inherit determinism.
+#[test]
+fn spanning_trees_are_identical_across_backends() {
+    let g = generators::torus2d(5, 5);
+    let mut seq_cfg = RstConfig::default();
+    seq_cfg.walk.engine = EngineConfig::default().with_executor(ExecutorKind::Sequential);
+    let mut par_cfg = RstConfig::default();
+    par_cfg.walk.engine = EngineConfig::default().with_executor(ExecutorKind::Parallel);
+    let seq = distributed_rst(&g, 0, &seq_cfg, 31).expect("sequential RST");
+    let par = distributed_rst(&g, 0, &par_cfg, 31).expect("parallel RST");
+    assert_eq!(seq.edges, par.edges, "tree edges");
+    assert_eq!(seq.rounds, par.rounds, "rounds");
+}

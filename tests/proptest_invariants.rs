@@ -12,7 +12,11 @@ fn connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
     (2..=max_n)
         .prop_flat_map(|n| {
             let extra = proptest::collection::vec((0..n, 0..n), 0..3 * n);
-            (Just(n), proptest::sample::subsequence((0..n).collect::<Vec<_>>(), n), extra)
+            (
+                Just(n),
+                proptest::sample::subsequence((0..n).collect::<Vec<_>>(), n),
+                extra,
+            )
         })
         .prop_map(|(n, order, extra)| {
             let mut b = GraphBuilder::new(n);
