@@ -33,6 +33,10 @@ pub struct EngineConfig {
     /// Which round-executor backend runs the protocol. Both backends
     /// produce bit-identical results; this only affects wall-clock time.
     pub executor: ExecutorKind,
+    /// Worker-thread count for [`ExecutorKind::Parallel`] (`0` = one per
+    /// available CPU). Results never depend on it — the determinism test
+    /// suite forces several counts and asserts bit-identical runs.
+    pub parallel_workers: usize,
 }
 
 impl Default for EngineConfig {
@@ -43,6 +47,7 @@ impl Default for EngineConfig {
             max_message_words: 4,
             record_edge_loads: false,
             executor: ExecutorKind::Sequential,
+            parallel_workers: 0,
         }
     }
 }
@@ -69,6 +74,14 @@ impl EngineConfig {
     /// This configuration with the given executor backend.
     pub fn with_executor(mut self, executor: ExecutorKind) -> Self {
         self.executor = executor;
+        self
+    }
+
+    /// This configuration with the parallel backend and a forced worker
+    /// count (`0` = one per available CPU).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.executor = ExecutorKind::Parallel;
+        self.parallel_workers = workers;
         self
     }
 }
@@ -155,7 +168,9 @@ pub fn run_protocol<P: Protocol>(
 ) -> Result<RunReport, RunError> {
     match cfg.executor {
         ExecutorKind::Sequential => SequentialExecutor.run(graph, cfg, seed, protocol),
-        ExecutorKind::Parallel => ParallelExecutor::auto().run(graph, cfg, seed, protocol),
+        ExecutorKind::Parallel => {
+            ParallelExecutor::new(cfg.parallel_workers).run(graph, cfg, seed, protocol)
+        }
     }
 }
 
@@ -175,7 +190,7 @@ pub fn run_node_local<P: NodeLocalProtocol>(
     match cfg.executor {
         ExecutorKind::Sequential => SequentialExecutor.run_node_local(graph, cfg, seed, protocol),
         ExecutorKind::Parallel => {
-            ParallelExecutor::auto().run_node_local(graph, cfg, seed, protocol)
+            ParallelExecutor::new(cfg.parallel_workers).run_node_local(graph, cfg, seed, protocol)
         }
     }
 }

@@ -1,0 +1,76 @@
+//! Lane-multiplexed messages: several logical sub-protocol instances in
+//! **one** engine run.
+//!
+//! Sequential composition through [`crate::Runner`] sums the rounds of
+//! its parts — correct, but wasteful when the parts are *independent*:
+//! `k` instances of the same `O(D)`-round tree protocol run back to back
+//! cost `k * O(D)` rounds even though most edges idle in every round.
+//! The CONGEST fix is classic multiplexing: tag every message with the
+//! *lane* (instance id) it belongs to and run all instances in a single
+//! execution. Lanes share rounds; contention for an edge surfaces as
+//! queueing, so the cost becomes `O(D + k)`-shaped instead of
+//! `k * O(D)` — exactly the interleaving that MANY-RANDOM-WALKS needs
+//! (Theorem 2.8) and that the batched Phase-2 scheduler in `drw-core`
+//! builds on.
+//!
+//! [`Mux`] is the tagged envelope payload. The lane id is accounted as
+//! one extra `O(log n)`-bit word on every message, so the CONGEST
+//! bandwidth price of multiplexing is explicit rather than hidden.
+
+use crate::message::Message;
+
+/// A message of one lane (logical sub-protocol instance) within a
+/// multiplexed run.
+///
+/// The receiving handler dispatches on [`Mux::lane`] to the per-lane
+/// state it keeps — e.g. one `SAMPLE-DESTINATION` slot per concurrent
+/// walk, keyed by walk id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mux<M> {
+    /// Which instance this message belongs to (e.g. a walk id).
+    pub lane: u32,
+    /// The instance's own payload.
+    pub msg: M,
+}
+
+impl<M> Mux<M> {
+    /// Tags `msg` with `lane`.
+    pub fn new(lane: u32, msg: M) -> Self {
+        Mux { lane, msg }
+    }
+}
+
+impl<M: Message> Message for Mux<M> {
+    /// The lane id costs one word on top of the inner payload.
+    fn size_words(&self) -> usize {
+        1 + self.msg.size_words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct Pair(u32, u32);
+    impl Message for Pair {
+        fn size_words(&self) -> usize {
+            2
+        }
+    }
+
+    #[test]
+    fn lane_costs_one_word() {
+        let m = Mux::new(7, Pair(1, 2));
+        assert_eq!(m.size_words(), 3);
+        assert_eq!(m.lane, 7);
+    }
+
+    #[test]
+    fn default_sized_inner_message() {
+        #[derive(Clone, Debug)]
+        struct Unit;
+        impl Message for Unit {}
+        assert_eq!(Mux::new(0, Unit).size_words(), 2);
+    }
+}

@@ -96,11 +96,7 @@ impl<'s> GetMoreWalksProtocol<'s> {
     /// sending one count per receiving edge.
     fn scatter(&self, node: NodeId, count: u64, ctx: &mut Ctx<'_, GmwMsg>) {
         let deg = ctx.graph().degree(node);
-        let mut per_neighbor = vec![0u64; deg];
-        for _ in 0..count {
-            let idx = ctx.rng(node).random_range(0..deg);
-            per_neighbor[idx] += 1;
-        }
+        let per_neighbor = scatter_counts(ctx.rng(node), deg, count);
         for (idx, &c) in per_neighbor.iter().enumerate() {
             if c > 0 {
                 let to = ctx.graph().edge_target(ctx.graph().nth_edge_id(node, idx));
@@ -115,6 +111,56 @@ impl<'s> GetMoreWalksProtocol<'s> {
 /// computation.
 fn binomial(rng: &mut StdRng, n: u64, p: f64) -> u64 {
     (0..n).filter(|_| rng.random_bool(p)).count() as u64
+}
+
+/// Draws one random-neighbor choice per token and returns how many of
+/// `count` indistinguishable tokens leave over each of the node's `deg`
+/// neighbor slots — the aggregated one-hop scatter of Algorithm 2,
+/// shared by [`GetMoreWalksProtocol`] and the batched Phase-2 scheduler
+/// ([`crate::StitchScheduler`]).
+pub fn scatter_counts(rng: &mut StdRng, deg: usize, count: u64) -> Vec<u64> {
+    let mut per_neighbor = vec![0u64; deg];
+    for _ in 0..count {
+        per_neighbor[rng.random_range(0..deg)] += 1;
+    }
+    per_neighbor
+}
+
+/// The on-the-fly length rule of Lemma 2.4 for a batch of `arrived`
+/// aggregated tokens whose current node is the `step`-th of their walk:
+/// returns `(stopped, moving)`.
+///
+/// Before step `lambda` every token keeps moving; at extension step
+/// `i = step - lambda` each survivor stops with probability
+/// `1 / (lambda - i)` (everything stops at `2*lambda - 1`), which makes
+/// every length in `[lambda, 2*lambda - 1]` equally likely. With
+/// `randomize_len == false` all tokens stop exactly at `lambda`
+/// (the 2009-style fixed-length ablation).
+pub fn reservoir_split(
+    rng: &mut StdRng,
+    arrived: u64,
+    step: u32,
+    lambda: u32,
+    randomize_len: bool,
+) -> (u64, u64) {
+    if !randomize_len {
+        if step == lambda {
+            (arrived, 0)
+        } else {
+            (0, arrived)
+        }
+    } else if step < lambda {
+        (0, arrived)
+    } else {
+        let i = step - lambda;
+        if i == lambda - 1 {
+            (arrived, 0)
+        } else {
+            let p = 1.0 / f64::from(lambda - i);
+            let s = binomial(rng, arrived, p);
+            (s, arrived - s)
+        }
+    }
 }
 
 impl Protocol for GetMoreWalksProtocol<'_> {
@@ -140,27 +186,13 @@ impl Protocol for GetMoreWalksProtocol<'_> {
         // because counts collapse into one message per edge), so the
         // current round *is* the step count.
         let step: u32 = ctx.round().try_into().expect("step fits u32");
-        let lambda = self.lambda;
-        let (stopped, moving) = if !self.randomize_len {
-            if step == lambda {
-                (arrived, 0)
-            } else {
-                (0, arrived)
-            }
-        } else if step < lambda {
-            (0, arrived)
-        } else {
-            // Reservoir extension step i = step - lambda: stop with
-            // probability 1 / (lambda - i).
-            let i = step - lambda;
-            if i == lambda - 1 {
-                (arrived, 0)
-            } else {
-                let p = 1.0 / f64::from(lambda - i);
-                let s = binomial(ctx.rng(node), arrived, p);
-                (s, arrived - s)
-            }
-        };
+        let (stopped, moving) = reservoir_split(
+            ctx.rng(node),
+            arrived,
+            step,
+            self.lambda,
+            self.randomize_len,
+        );
         if stopped > 0 {
             self.store_stopped(node, step, stopped);
         }
@@ -271,6 +303,38 @@ mod tests {
             }
         }
         assert_eq!(rounds, 1);
+    }
+
+    #[test]
+    fn reservoir_split_conserves_tokens() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(9);
+        let lambda = 6u32;
+        for step in 1..2 * lambda {
+            let (stopped, moving) = reservoir_split(&mut rng, 100, step, lambda, true);
+            assert_eq!(stopped + moving, 100, "step {step}");
+            if step < lambda {
+                assert_eq!(stopped, 0, "no stop before lambda");
+            }
+            if step == 2 * lambda - 1 {
+                assert_eq!(moving, 0, "everything stops at 2*lambda - 1");
+            }
+        }
+        // Fixed-length mode: the only stop is exactly at lambda.
+        assert_eq!(reservoir_split(&mut rng, 7, lambda, lambda, false), (7, 0));
+        assert_eq!(
+            reservoir_split(&mut rng, 7, lambda - 1, lambda, false),
+            (0, 7)
+        );
+    }
+
+    #[test]
+    fn scatter_counts_conserve_tokens() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let per = scatter_counts(&mut rng, 5, 200);
+        assert_eq!(per.len(), 5);
+        assert_eq!(per.iter().sum::<u64>(), 200);
     }
 
     #[test]

@@ -27,6 +27,12 @@
 //!   (Algorithm 2), whose aggregated-count diffusion plus *reservoir
 //!   sampling* realizes the random lengths congestion-free. The final
 //!   `< 2*lambda` steps are walked naively.
+//! - **Batched Phase 2** ([`stitch_scheduler`]): `MANY-RANDOM-WALKS`
+//!   advances all `k` tokens concurrently — the sampling, replenishment
+//!   and tail sub-protocols of every walk are multiplexed by walk id
+//!   into *one* engine run, so concurrent stitches share CONGEST rounds
+//!   instead of summing them (the `sqrt(k l D) + k` regime of
+//!   Theorem 2.8).
 //!
 //! The implementation is **Las Vegas** exactly as the paper's: any
 //! parameter choice yields an exact sample; parameters only affect the
@@ -64,10 +70,16 @@ pub mod sample_destination;
 pub mod short_walks;
 pub mod single_walk;
 pub mod state;
+pub mod stitch_scheduler;
 pub mod visit_stats;
 
-pub use many_walks::{many_random_walks, ManyWalksResult};
+pub use many_walks::{many_random_walks, many_random_walks_with, ManyWalksResult, StitchStrategy};
 pub use naive::naive_walk;
 pub use params::{Podc09Params, WalkParams};
-pub use single_walk::{single_random_walk, Segment, SingleWalkConfig, SingleWalkResult, WalkError};
+pub use short_walks::ShortWalksProtocol;
+pub use single_walk::{
+    single_random_walk, Segment, SingleWalkConfig, SingleWalkResult, StitchSetup, WalkAction,
+    WalkDriver, WalkError,
+};
 pub use state::{StoredWalk, Visit, WalkId, WalkState};
+pub use stitch_scheduler::{BatchedStitchOutcome, BatchedWalk, StitchScheduler, StitchSpec};

@@ -2,19 +2,46 @@
 //! arbitrary (not necessarily distinct) sources in
 //! `~O(min(sqrt(k l D) + k, k + l))` rounds (Theorem 2.8).
 //!
-//! The driver picks between two regimes exactly as the paper does:
-//! if the scaled `lambda = c (sqrt(k l D) + k)` exceeds `l`, all `k`
+//! The driver picks between two regimes exactly as the paper does: if
+//! the scaled `lambda = c (sqrt(k l D) + k)` exceeds `l`, all `k`
 //! tokens simply walk naively *simultaneously* (edge queues absorb the
-//! congestion, giving the `k + l` branch); otherwise one Phase 1 prepares
-//! a shared short-walk store and the walks are stitched one at a time.
+//! congestion, giving the `k + l` branch); otherwise one Phase 1
+//! prepares a shared short-walk store and Phase 2 stitches the walks.
+//!
+//! Phase 2 itself comes in two strategies ([`StitchStrategy`]):
+//!
+//! - [`StitchStrategy::Batched`] (the default) hands all `k` walks to
+//!   the [`crate::StitchScheduler`], which multiplexes their sampling,
+//!   replenishment and tail sub-protocols by walk id into **one**
+//!   engine run — concurrent stitches share CONGEST rounds, which is
+//!   what keeps the bound at `sqrt(k l D) + k` instead of
+//!   `k * sqrt(l D)`.
+//! - [`StitchStrategy::SequentialLoop`] stitches the walks one at a
+//!   time over the same shared store (the pre-batching driver), batching
+//!   only the naive tails. Kept as the measurable baseline the batched
+//!   scheduler is regression-tested against, and as the reference
+//!   semantics of per-walk stitching.
 
 use crate::naive::{NaiveWalkProtocol, NaiveWalkSpec};
 use crate::short_walks::ShortWalksProtocol;
-use crate::single_walk::{stitch_prefix, SingleWalkConfig, StitchSetup, WalkError};
+use crate::single_walk::{stitch_prefix, Segment, SingleWalkConfig, StitchSetup, WalkError};
 use crate::state::WalkState;
+use crate::stitch_scheduler::StitchScheduler;
 use drw_congest::primitives::BfsTreeProtocol;
 use drw_congest::Runner;
 use drw_graph::{traversal, Graph, NodeId};
+
+/// How Phase 2 advances the `k` walk tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StitchStrategy {
+    /// All walks concurrently, multiplexed into one engine run
+    /// ([`crate::StitchScheduler`]).
+    #[default]
+    Batched,
+    /// One walk at a time over the shared store (the pre-batching
+    /// baseline; naive tails still run together).
+    SequentialLoop,
+}
 
 /// Result of [`many_random_walks`].
 #[derive(Debug, Clone)]
@@ -35,9 +62,26 @@ pub struct ManyWalksResult {
     pub gmw_invocations: u64,
     /// How many times each node served as a connector.
     pub connector_visits: Vec<u32>,
+    /// Per-walk stitch traces, in source order (all empty in the
+    /// naive-fallback regime).
+    pub segments: Vec<Vec<Segment>>,
+    /// Rounds spent estimating the diameter (initial BFS).
+    pub rounds_bfs: u64,
+    /// Rounds spent preparing the shared short-walk store (Phase 1).
+    pub rounds_phase1: u64,
+    /// Rounds spent in Phase 2 — stitching and tails (or, in the
+    /// fallback regime, the simultaneous naive walks). The three phase
+    /// counters always sum to `rounds`.
+    pub rounds_phase2: u64,
+    /// The Phase-2 strategy that ran (meaningless under the fallback).
+    pub strategy: StitchStrategy,
+    /// Final walk state: the leftover short-walk store and forwarding
+    /// logs (empty in the naive-fallback regime).
+    pub state: WalkState,
 }
 
-/// Performs `k` random walks of `len` steps from `sources`.
+/// Performs `k` random walks of `len` steps from `sources` with the
+/// default (batched) Phase-2 strategy.
 ///
 /// # Errors
 ///
@@ -63,6 +107,22 @@ pub fn many_random_walks(
     cfg: &SingleWalkConfig,
     seed: u64,
 ) -> Result<ManyWalksResult, WalkError> {
+    many_random_walks_with(g, sources, len, cfg, seed, StitchStrategy::default())
+}
+
+/// [`many_random_walks`] with an explicit Phase-2 strategy.
+///
+/// # Errors
+///
+/// Same as [`crate::single_random_walk`].
+pub fn many_random_walks_with(
+    g: &Graph,
+    sources: &[NodeId],
+    len: u64,
+    cfg: &SingleWalkConfig,
+    seed: u64,
+    strategy: StitchStrategy,
+) -> Result<ManyWalksResult, WalkError> {
     for &s in sources {
         if s >= g.n() {
             return Err(WalkError::SourceOutOfRange(s));
@@ -73,7 +133,6 @@ pub fn many_random_walks(
     }
     let k = sources.len() as u64;
     let mut runner = Runner::new(g, cfg.engine.clone(), seed);
-    let mut connector_visits = vec![0u32; g.n()];
     if sources.is_empty() {
         return Ok(ManyWalksResult {
             destinations: Vec::new(),
@@ -83,7 +142,13 @@ pub fn many_random_walks(
             used_naive_fallback: false,
             stitches: 0,
             gmw_invocations: 0,
-            connector_visits,
+            connector_visits: vec![0; g.n()],
+            segments: Vec::new(),
+            rounds_bfs: 0,
+            rounds_phase1: 0,
+            rounds_phase2: 0,
+            strategy,
+            state: WalkState::new(g.n()),
         });
     }
 
@@ -91,6 +156,7 @@ pub fn many_random_walks(
     let mut bfs = BfsTreeProtocol::new(sources[0]);
     runner.run(&mut bfs)?;
     let d_est = bfs.into_tree().depth().max(1) as u64;
+    let rounds_bfs = runner.total_rounds();
 
     let lambda = cfg.params.lambda_many(k, len, d_est);
     // Theorem 2.8: "If lambda > l then run the naive random walk
@@ -116,7 +182,13 @@ pub fn many_random_walks(
             used_naive_fallback: true,
             stitches: 0,
             gmw_invocations: 0,
-            connector_visits,
+            connector_visits: vec![0; g.n()],
+            segments: vec![Vec::new(); sources.len()],
+            rounds_bfs,
+            rounds_phase1: 0,
+            rounds_phase2: runner.total_rounds() - rounds_bfs,
+            strategy,
+            state: WalkState::new(g.n()),
         });
     }
 
@@ -133,8 +205,8 @@ pub fn many_random_walks(
         .collect();
     let mut p1 = ShortWalksProtocol::new(&mut state, counts, lambda, cfg.randomize_len);
     runner.run_local(&mut p1)?;
+    let rounds_phase1 = runner.total_rounds() - rounds_bfs;
 
-    // Phase 2: stitch walks one at a time (Section 2.3).
     let setup = StitchSetup {
         lambda,
         randomize_len: cfg.randomize_len,
@@ -142,36 +214,72 @@ pub fn many_random_walks(
         gmw_count: (len / lambda as u64).max(1),
         record: false,
     };
-    // Stitch prefixes one walk at a time (they contend for the shared
-    // store), but batch all naive tails into ONE concurrent run: tails
-    // never touch the store, and running the k tails (each < 2*lambda
-    // steps) together costs ~2*lambda rounds instead of k * 2*lambda —
-    // without this, the tails alone would make the algorithm linear in k
-    // and void Theorem 2.8's bound.
-    let mut stitches = 0u64;
-    let mut gmw_invocations = 0u64;
-    let mut tails = Vec::with_capacity(sources.len());
-    for &source in sources {
-        let prefix = stitch_prefix(
-            &mut runner,
-            &mut state,
-            source,
-            len,
-            &setup,
-            &mut connector_visits,
-        )?;
-        stitches += prefix.stitches;
-        gmw_invocations += prefix.gmw_invocations;
-        tails.push(NaiveWalkSpec {
-            source: prefix.current,
-            len: len - prefix.completed,
-            start_pos: prefix.completed,
-            record_start: false,
-        });
-    }
-    let mut naive = NaiveWalkProtocol::new(tails, None);
-    runner.run(&mut naive)?;
-    let destinations = naive.destinations();
+    let phase2_start = runner.total_rounds();
+
+    let (destinations, segments, stitches, gmw_invocations, connector_visits) = match strategy {
+        StitchStrategy::Batched => {
+            // Phase 2, multiplexed: one engine run advances every walk's
+            // sampling, replenishment and tail concurrently.
+            let mut sched = StitchScheduler::new(&setup);
+            for &source in sources {
+                sched.add_walk(source, len);
+            }
+            let out = sched.run(&mut runner, &mut state)?;
+            let mut destinations = Vec::with_capacity(sources.len());
+            let mut segments = Vec::with_capacity(sources.len());
+            for walk in out.walks {
+                destinations.push(walk.destination);
+                segments.push(walk.segments);
+            }
+            (
+                destinations,
+                segments,
+                out.stitches,
+                out.gmw_invocations,
+                out.connector_visits,
+            )
+        }
+        StitchStrategy::SequentialLoop => {
+            // Stitch prefixes one walk at a time (they contend for the
+            // shared store), but batch all naive tails into ONE
+            // concurrent run: tails never touch the store, and running
+            // the k tails (each < 2*lambda steps) together costs
+            // ~2*lambda rounds instead of k * 2*lambda.
+            let mut connector_visits = vec![0u32; g.n()];
+            let mut stitches = 0u64;
+            let mut gmw_invocations = 0u64;
+            let mut segments = Vec::with_capacity(sources.len());
+            let mut tails = Vec::with_capacity(sources.len());
+            for &source in sources {
+                let prefix = stitch_prefix(
+                    &mut runner,
+                    &mut state,
+                    source,
+                    len,
+                    &setup,
+                    &mut connector_visits,
+                )?;
+                stitches += prefix.stitches;
+                gmw_invocations += prefix.gmw_invocations;
+                segments.push(prefix.segments);
+                tails.push(NaiveWalkSpec {
+                    source: prefix.current,
+                    len: len - prefix.completed,
+                    start_pos: prefix.completed,
+                    record_start: false,
+                });
+            }
+            let mut naive = NaiveWalkProtocol::new(tails, None);
+            runner.run(&mut naive)?;
+            (
+                naive.destinations(),
+                segments,
+                stitches,
+                gmw_invocations,
+                connector_visits,
+            )
+        }
+    };
 
     Ok(ManyWalksResult {
         destinations,
@@ -182,6 +290,12 @@ pub fn many_random_walks(
         stitches,
         gmw_invocations,
         connector_visits,
+        segments,
+        rounds_bfs,
+        rounds_phase1,
+        rounds_phase2: runner.total_rounds() - phase2_start,
+        strategy,
+        state,
     })
 }
 
@@ -197,6 +311,7 @@ mod tests {
         let r = many_random_walks(&g, &sources, 200, &SingleWalkConfig::default(), 1).unwrap();
         assert_eq!(r.destinations.len(), 5);
         assert!(r.destinations.iter().all(|&d| d < g.n()));
+        assert_eq!(r.segments.len(), 5);
     }
 
     #[test]
@@ -237,6 +352,48 @@ mod tests {
             let ps = (s / 4 + s % 4) % 2;
             let pd = (d / 4 + d % 4) % 2;
             assert_eq!(ps, pd, "even-length walk from {s} to {d} broke parity");
+        }
+    }
+
+    #[test]
+    fn phase_round_counters_sum_to_total() {
+        let g = generators::torus2d(6, 6);
+        for strategy in [StitchStrategy::Batched, StitchStrategy::SequentialLoop] {
+            let r = many_random_walks_with(
+                &g,
+                &[0, 9, 20],
+                1024,
+                &SingleWalkConfig::default(),
+                8,
+                strategy,
+            )
+            .unwrap();
+            assert!(!r.used_naive_fallback);
+            assert_eq!(
+                r.rounds_bfs + r.rounds_phase1 + r.rounds_phase2,
+                r.rounds,
+                "{strategy:?}"
+            );
+            assert_eq!(r.strategy, strategy);
+        }
+    }
+
+    #[test]
+    fn sequential_loop_strategy_matches_interface() {
+        let g = generators::torus2d(5, 5);
+        let r = many_random_walks_with(
+            &g,
+            &[0, 6, 13],
+            512,
+            &SingleWalkConfig::default(),
+            5,
+            StitchStrategy::SequentialLoop,
+        )
+        .unwrap();
+        assert_eq!(r.destinations.len(), 3);
+        assert!(r.stitches > 0);
+        for (w, segs) in r.segments.iter().enumerate() {
+            assert!(r.stitches >= segs.len() as u64, "walk {w} segment count");
         }
     }
 

@@ -203,6 +203,104 @@ pub struct StitchSetup {
     pub record: bool,
 }
 
+/// What a walk token does next, given its position in the Phase-2
+/// schedule (Algorithm 1, lines 4-14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkAction {
+    /// At least `2*lambda` steps remain: stitch another short walk.
+    Stitch,
+    /// Fewer than `2*lambda` but more than zero steps remain: walk them
+    /// naively.
+    Tail(
+        /// The number of remaining steps.
+        u64,
+    ),
+    /// The walk is complete.
+    Done,
+}
+
+/// The per-walk phase state machine of Phase 2, shared by the
+/// sequential stitching loop ([`stitch_prefix`]) and the batched
+/// scheduler ([`crate::StitchScheduler`]): where the token stands, how
+/// far it has come, and what it must do next.
+///
+/// The decision rule itself is [`WalkDriver::action_at`], a pure
+/// function of `(len, completed, lambda)` — the batched scheduler's
+/// node-local handlers call it directly, since there the "driver" state
+/// travels with the token rather than living in one place.
+#[derive(Debug, Clone)]
+pub struct WalkDriver {
+    /// The walk's source.
+    pub source: NodeId,
+    /// Requested walk length.
+    pub len: u64,
+    /// Where the token currently stands.
+    pub current: NodeId,
+    /// Steps completed so far.
+    pub completed: u64,
+    /// Stitch trace so far.
+    pub segments: Vec<Segment>,
+    /// `GET-MORE-WALKS` invocations so far.
+    pub gmw_invocations: u64,
+}
+
+impl WalkDriver {
+    /// A fresh driver for a `len`-step walk from `source`.
+    pub fn new(source: NodeId, len: u64) -> Self {
+        WalkDriver {
+            source,
+            len,
+            current: source,
+            completed: 0,
+            segments: Vec::new(),
+            gmw_invocations: 0,
+        }
+    }
+
+    /// The Phase-2 decision rule: what a token with `completed` of `len`
+    /// steps behind it does under short-walk base length `lambda`.
+    pub fn action_at(len: u64, completed: u64, lambda: u32) -> WalkAction {
+        let remaining = len - completed;
+        if remaining >= 2 * u64::from(lambda.max(1)) {
+            WalkAction::Stitch
+        } else if remaining > 0 {
+            WalkAction::Tail(remaining)
+        } else {
+            WalkAction::Done
+        }
+    }
+
+    /// What this walk does next.
+    pub fn next_action(&self, lambda: u32) -> WalkAction {
+        WalkDriver::action_at(self.len, self.completed, lambda)
+    }
+
+    /// Stitches performed so far.
+    pub fn stitches(&self) -> u64 {
+        self.segments.len() as u64
+    }
+
+    /// Applies one stitched segment: records it, advances the token to
+    /// the segment's endpoint and accounts its length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment does not chain onto the walk's current
+    /// position (a scheduler bug).
+    pub fn apply_segment(&mut self, seg: Segment) {
+        assert_eq!(seg.connector, self.current, "segment must start here");
+        assert_eq!(seg.start_pos, self.completed, "segment position gap");
+        self.completed += u64::from(seg.len);
+        self.current = seg.owner;
+        self.segments.push(seg);
+    }
+
+    /// Accounts one `GET-MORE-WALKS` invocation.
+    pub fn note_gmw(&mut self) {
+        self.gmw_invocations += 1;
+    }
+}
+
 /// Result of stitching one walk's prefix (everything but the naive
 /// tail).
 #[derive(Debug, Clone)]
@@ -242,26 +340,22 @@ pub fn stitch_prefix(
     connector_visits: &mut [u32],
 ) -> Result<StitchPrefix, WalkError> {
     let lambda = setup.lambda.max(1);
-    let mut completed: u64 = 0;
-    let mut current = source;
-    let mut segments = Vec::new();
-    let mut stitches = 0u64;
-    let mut gmw_invocations = 0u64;
+    let mut driver = WalkDriver::new(source, len);
     let stitch_start = runner.total_rounds();
 
-    while len - completed >= 2 * lambda as u64 {
-        connector_visits[current] += 1;
-        let mut sd = SampleDestinationProtocol::new(state, current);
+    while driver.next_action(lambda) == WalkAction::Stitch {
+        connector_visits[driver.current] += 1;
+        let mut sd = SampleDestinationProtocol::new(state, driver.current);
         runner.run(&mut sd)?;
         let mut chosen = sd.take_chosen();
         if chosen.is_none() {
             // Drained connector: replenish, then sample again (Algorithm
             // 1, lines 7-10).
-            gmw_invocations += 1;
+            driver.note_gmw();
             if setup.aggregated_gmw {
                 let mut gmw = GetMoreWalksProtocol::new(
                     state,
-                    current,
+                    driver.current,
                     setup.gmw_count,
                     lambda,
                     setup.randomize_len,
@@ -269,33 +363,30 @@ pub fn stitch_prefix(
                 runner.run(&mut gmw)?;
             } else {
                 let mut counts = vec![0usize; runner.graph().n()];
-                counts[current] = setup.gmw_count as usize;
+                counts[driver.current] = setup.gmw_count as usize;
                 let mut gmw = ShortWalksProtocol::new(state, counts, lambda, setup.randomize_len);
                 runner.run_local(&mut gmw)?;
             }
-            let mut sd = SampleDestinationProtocol::new(state, current);
+            let mut sd = SampleDestinationProtocol::new(state, driver.current);
             runner.run(&mut sd)?;
             chosen = sd.take_chosen();
         }
         let (owner, walk) = chosen.expect("GET-MORE-WALKS must leave walks to sample");
-        segments.push(Segment {
-            connector: current,
+        driver.apply_segment(Segment {
+            connector: driver.current,
             id: walk.id,
             len: walk.len,
-            start_pos: completed,
+            start_pos: driver.completed,
             owner,
             replayable: walk.replayable,
         });
-        completed += walk.len as u64;
-        current = owner;
-        stitches += 1;
     }
     Ok(StitchPrefix {
-        current,
-        completed,
-        segments,
-        stitches,
-        gmw_invocations,
+        current: driver.current,
+        completed: driver.completed,
+        stitches: driver.stitches(),
+        gmw_invocations: driver.gmw_invocations,
+        segments: driver.segments,
         rounds: runner.total_rounds() - stitch_start,
     })
 }

@@ -131,6 +131,45 @@ impl NodeWalkState {
         });
     }
 
+    /// Number of stored walks at this node launched by `source`.
+    pub fn count_from(&self, source: NodeId) -> usize {
+        self.store
+            .iter()
+            .filter(|w| w.id.source as usize == source)
+            .count()
+    }
+
+    /// Removes and returns a uniformly random stored walk launched by
+    /// `source`, or `None` if this node holds none.
+    ///
+    /// This is the per-walk cursor over the shared short-walk store used
+    /// by the batched Phase-2 scheduler: taking a walk *removes* it, so
+    /// no segment can ever be consumed by two concurrent walks, and a
+    /// `None` here is how a losing walk detects that a rival consumed
+    /// the token it had sampled (triggering a resample).
+    pub fn take_uniform_from<R: rand::Rng + ?Sized>(
+        &mut self,
+        source: NodeId,
+        rng: &mut R,
+    ) -> Option<StoredWalk> {
+        // Count, draw, then walk to the r-th match: one RNG draw and no
+        // allocation — this runs once per stitch on the contended path.
+        let count = self.count_from(source);
+        if count == 0 {
+            return None;
+        }
+        let pick = rng.random_range(0..count);
+        let idx = self
+            .store
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.id.source as usize == source)
+            .nth(pick)
+            .map(|(i, _)| i)
+            .expect("pick is within the counted matches");
+        Some(self.store.swap_remove(idx))
+    }
+
     /// Removes the stored walk with `tag` and returns it.
     ///
     /// # Panics
@@ -273,6 +312,26 @@ mod tests {
         dedup.dedup();
         assert_eq!(tags, dedup);
         assert_eq!(tags, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn take_uniform_respects_source_and_removes() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut s = WalkState::new(2);
+        for seq in 0..3 {
+            s.store_walk(0, WalkId { source: 1, seq }, 4, true);
+        }
+        s.store_walk(0, WalkId { source: 0, seq: 0 }, 4, true);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(s.nodes[0].count_from(1), 3);
+        for left in (0..3usize).rev() {
+            let w = s.nodes[0].take_uniform_from(1, &mut rng).expect("token");
+            assert_eq!(w.id.source, 1);
+            assert_eq!(s.nodes[0].count_from(1), left);
+        }
+        assert!(s.nodes[0].take_uniform_from(1, &mut rng).is_none());
+        assert_eq!(s.nodes[0].count_from(0), 1, "other source untouched");
     }
 
     #[test]

@@ -1,0 +1,1150 @@
+//! Batched Phase-2 stitching: all `k` tokens of `MANY-RANDOM-WALKS`
+//! advance concurrently in **one** multiplexed CONGEST run.
+//!
+//! The sequential driver stitches the `k` walks one after another, so
+//! Phase 2 costs the *sum* of `k` full `SAMPLE-DESTINATION` /
+//! `GET-MORE-WALKS` / naive-tail compositions — `k * ~O(D)` rounds per
+//! stitch generation, even though each composition leaves almost every
+//! edge idle. The follow-up works (the JACM version of "Distributed
+//! Random Walks", arXiv:1302.4544, and "Near-Optimal Random Walk
+//! Sampling in Distributed Networks", arXiv:1201.1363) interleave the
+//! token movements instead: concurrent stitches share rounds, and
+//! congestion for an edge surfaces as queueing — which is exactly what
+//! Theorem 2.8's `sqrt(k l D) + k` term prices in.
+//!
+//! [`StitchScheduler`] realizes that interleaving. Every sub-protocol
+//! message is tagged with its walk id ([`drw_congest::Mux`]), each node
+//! keeps one [`SdLaneSlot`] per walk, and a single engine run hosts,
+//! *simultaneously and asynchronously per walk*:
+//!
+//! - a **sampling epoch** per pending stitch: a wave floods from the
+//!   walk's current connector and builds a flood tree, a convergecast
+//!   reservoir-samples one unused short walk of that connector
+//!   (Algorithm 3 / Lemma A.2), and the choice is flooded back down;
+//!   the chosen owner deletes one token and *becomes* the connector,
+//!   immediately starting the next epoch — no global barrier;
+//! - **`GET-MORE-WALKS`** when an epoch finds the connector drained
+//!   (Algorithm 2, aggregated counts + reservoir lengths, or the
+//!   per-token replayable variant): finished tokens acknowledge up the
+//!   epoch's tree, and the root resamples once all acks arrived;
+//! - the **naive tail** once fewer than `2*lambda` steps remain.
+//!
+//! ## Why per-walk epochs are safe without global coordination
+//!
+//! A sampling epoch's root finalizes only after *every* node completed
+//! the wave handshake and sent its aggregate — so by the time a new
+//! epoch for the same walk can exist, all `Wave`/`Agg` messages of the
+//! old one have been delivered. The only messages that can straddle
+//! epochs are the tail of a `Chosen` flood (dropped by the epoch
+//! guard; the owner always receives its copy before the next epoch
+//! starts, because that next epoch starts *at* the owner) and
+//! `Retry`/ack traffic, which only exists while the walk's root is
+//! blocked waiting for it.
+//!
+//! ## Sharing the store without sharing segments
+//!
+//! Two walks whose connectors coincide sample from the same pool of
+//! short walks. Selection is optimistic: each epoch snapshots counts,
+//! picks an owner with probability proportional to its count, and the
+//! owner then removes a uniformly random *still-present* token of that
+//! root ([`crate::state::NodeWalkState::take_uniform_from`]) — removal
+//! is what makes double-consumption impossible. If a rival consumed the
+//! last token first, the take fails and the root resamples with a fresh
+//! epoch (and replenishes via `GET-MORE-WALKS` once the pool is truly
+//! dry). Exactness is preserved: every stored short walk is an
+//! independent random walk of its (uniformly random) length from the
+//! connector, so *any* unused token — however contention resolved —
+//! extends the walk with the correct distribution, just as in
+//! Theorem 2.5's argument.
+
+use crate::get_more_walks::{reservoir_split, scatter_counts, AGGREGATED_SEQ};
+use crate::sample_destination::SdLaneSlot;
+use crate::single_walk::{Segment, StitchSetup, WalkAction, WalkDriver, WalkError};
+use crate::state::{NodeWalkState, StoredWalk, WalkId, WalkState};
+use drw_congest::{Ctx, Envelope, Message, Mux, NodeCtx, NodeLocalProtocol, RunReport, Runner};
+use drw_graph::NodeId;
+
+/// One walk to stitch: `len` steps from `source`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StitchSpec {
+    /// Starting node.
+    pub source: NodeId,
+    /// Number of steps.
+    pub len: u64,
+}
+
+/// One walk's message within the multiplexed Phase-2 run. The walk id
+/// travels as the [`Mux`] lane (one extra word); every variant fits the
+/// default 4-word CONGEST budget with it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum StitchMsg {
+    /// Sampling sweep 1: the epoch's wave, flooding from the root and
+    /// building the flood tree plus the child-status handshake.
+    Wave { epoch: u32, root: u32, child: bool },
+    /// Sampling sweep 2: a subtree's aggregate — its candidate token
+    /// owner and total token count (`count == 0` means none).
+    Agg { owner: u32, count: u64 },
+    /// Sampling sweep 3: the root's choice, flooded down the tree. The
+    /// owner deletes one token of the root and takes over the walk,
+    /// which stands at `completed` steps.
+    Chosen {
+        epoch: u32,
+        owner: u32,
+        completed: u64,
+    },
+    /// Owner-side conflict (a rival walk consumed the pool): routed up
+    /// the tree to the root, which resamples with a fresh epoch.
+    Retry { epoch: u32 },
+    /// Aggregated `GET-MORE-WALKS` tokens crossing an edge; the
+    /// receiver is the `step`-th node of their walks.
+    Gmw { step: u32, count: u64 },
+    /// One per-token (replayable) `GET-MORE-WALKS` walk in flight.
+    Swk { seq: u32, step: u32, total: u32 },
+    /// `GET-MORE-WALKS` completion acknowledgements, routed and merged
+    /// up the epoch's tree toward the waiting root.
+    GmwAck { count: u64 },
+    /// The naive tail token: `left` steps remain after this hop.
+    Tail { left: u64 },
+}
+
+impl Message for StitchMsg {
+    fn size_words(&self) -> usize {
+        match self {
+            StitchMsg::Wave { .. } | StitchMsg::Chosen { .. } | StitchMsg::Swk { .. } => 3,
+            StitchMsg::Agg { .. } | StitchMsg::Gmw { .. } => 2,
+            StitchMsg::Retry { .. } | StitchMsg::GmwAck { .. } | StitchMsg::Tail { .. } => 1,
+        }
+    }
+}
+
+type BatchMsg = Mux<StitchMsg>;
+
+/// Immutable per-run configuration, readable by every node handler.
+#[derive(Debug)]
+struct SharedCfg {
+    lambda: u32,
+    randomize_len: bool,
+    aggregated_gmw: bool,
+    gmw_count: u64,
+    walks: Vec<StitchSpec>,
+}
+
+/// One node's view of one walk ("lane"): the lane's current sampling
+/// epoch and, at the connector only, the hosted token.
+#[derive(Debug, Clone, Default)]
+struct LaneState {
+    /// Current epoch at this node (0 = never participated).
+    epoch: u32,
+    /// The epoch's root (the walk's connector).
+    root: u32,
+    /// This node's sampling slot for the epoch.
+    slot: SdLaneSlot,
+    /// `Some(completed)` while this node hosts the walk token as the
+    /// epoch's root.
+    hosted: Option<u64>,
+    /// Root-side: a `GET-MORE-WALKS` is in flight for this lane.
+    gmw_active: bool,
+    /// Root-side: tokens acknowledged so far.
+    gmw_acked: u64,
+}
+
+impl LaneState {
+    /// Resets the lane for (this node's view of) a new epoch.
+    fn enter(&mut self, epoch: u32, root: u32) {
+        self.epoch = epoch;
+        self.root = root;
+        self.hosted = None;
+        self.gmw_active = false;
+        self.gmw_acked = 0;
+        self.slot.reset();
+    }
+}
+
+/// One node's private state: its walk store plus one lane per walk and
+/// the facts it accumulates for the post-run result assembly.
+#[derive(Debug, Default)]
+struct BatchNode {
+    /// The node's share of the walk state (moved in from
+    /// [`WalkState`] for the duration of the run).
+    ws: NodeWalkState,
+    /// One lane per walk.
+    lanes: Vec<LaneState>,
+    /// Walks whose final step landed here (destination = this node).
+    finished: Vec<u32>,
+    /// Segments resolved here (this node was the segment's endpoint).
+    segments: Vec<(u32, Segment)>,
+    /// Times this node served as a connector (Lemma 2.7's quantity).
+    connector_visits: u32,
+    /// `GET-MORE-WALKS` invocations launched here.
+    gmw_events: u64,
+}
+
+/// Begins a sampling epoch at `node` for the walk standing at
+/// `completed` steps: resets the lane, snapshots the local pool and
+/// floods the wave.
+#[allow(clippy::too_many_arguments)]
+fn start_epoch(
+    lane: &mut LaneState,
+    ws: &NodeWalkState,
+    node: NodeId,
+    epoch: u32,
+    completed: u64,
+    count_visit: bool,
+    connector_visits: &mut u32,
+    neighbors: &[NodeId],
+    send: &mut dyn FnMut(NodeId, StitchMsg),
+) {
+    lane.enter(epoch, node as u32);
+    lane.hosted = Some(completed);
+    lane.slot.init_root(node as u32, ws.count_from(node) as u64);
+    if count_visit {
+        *connector_visits += 1;
+    }
+    for &v in neighbors {
+        send(
+            v,
+            StitchMsg::Wave {
+                epoch,
+                root: node as u32,
+                child: false,
+            },
+        );
+    }
+}
+
+/// Restarts a lane's sampling epoch at its current connector `node`
+/// (the walk still stands at `completed` steps): the resample after a
+/// stitch, a take conflict, a remote-owner `Retry`, or a completed
+/// `GET-MORE-WALKS`.
+#[allow(clippy::too_many_arguments)]
+fn restart_epoch(
+    lane: &mut LaneState,
+    ws: &NodeWalkState,
+    node: NodeId,
+    completed: u64,
+    count_visit: bool,
+    connector_visits: &mut u32,
+    lane_idx: u32,
+    ctx: &mut NodeCtx<'_, BatchMsg>,
+) {
+    let epoch = lane.epoch + 1;
+    let neighbors: Vec<NodeId> = ctx.graph().neighbors(node).collect();
+    start_epoch(
+        lane,
+        ws,
+        node,
+        epoch,
+        completed,
+        count_visit,
+        connector_visits,
+        &neighbors,
+        &mut |to, m| ctx.send(to, Mux::new(lane_idx, m)),
+    );
+}
+
+/// One aggregated `GET-MORE-WALKS` hop: scatters `count`
+/// indistinguishable tokens of `lane_idx` from `node` to uniformly
+/// random neighbors, one count message per receiving edge, arriving at
+/// step `step`. Shared by the launch at the drained root and every
+/// subsequent diffusion hop.
+fn scatter_gmw(
+    node: NodeId,
+    lane_idx: u32,
+    step: u32,
+    count: u64,
+    ctx: &mut NodeCtx<'_, BatchMsg>,
+) {
+    let degree = ctx.graph().degree(node);
+    let per_neighbor = scatter_counts(ctx.rng(), degree, count);
+    for (idx, &c) in per_neighbor.iter().enumerate() {
+        if c > 0 {
+            let to = ctx.graph().edge_target(ctx.graph().nth_edge_id(node, idx));
+            ctx.send(to, Mux::new(lane_idx, StitchMsg::Gmw { step, count: c }));
+        }
+    }
+}
+
+/// The scheduler's one protocol: Phase 2 of all `k` walks, multiplexed.
+#[derive(Debug)]
+struct BatchedStitchProtocol {
+    shared: SharedCfg,
+    nodes: Vec<BatchNode>,
+}
+
+impl BatchedStitchProtocol {
+    fn new(shared: SharedCfg, stores: Vec<NodeWalkState>) -> Self {
+        let k = shared.walks.len();
+        let nodes = stores
+            .into_iter()
+            .map(|ws| BatchNode {
+                ws,
+                lanes: vec![LaneState::default(); k],
+                ..BatchNode::default()
+            })
+            .collect();
+        BatchedStitchProtocol { shared, nodes }
+    }
+}
+
+/// Applies a freshly taken segment at its endpoint `node` and moves the
+/// walk into its next phase: a new sampling epoch here, the naive tail,
+/// or completion.
+#[allow(clippy::too_many_arguments)]
+fn advance_walk(
+    shared: &SharedCfg,
+    lane: &mut LaneState,
+    ws: &NodeWalkState,
+    segments: &mut Vec<(u32, Segment)>,
+    finished: &mut Vec<u32>,
+    connector_visits: &mut u32,
+    node: NodeId,
+    lane_idx: u32,
+    walk: StoredWalk,
+    completed: u64,
+    ctx: &mut NodeCtx<'_, BatchMsg>,
+) {
+    let seg = Segment {
+        connector: lane.root as usize,
+        id: walk.id,
+        len: walk.len,
+        start_pos: completed,
+        owner: node,
+        replayable: walk.replayable,
+    };
+    segments.push((lane_idx, seg));
+    let completed = completed + u64::from(walk.len);
+    let spec = shared.walks[lane_idx as usize];
+    match WalkDriver::action_at(spec.len, completed, shared.lambda) {
+        WalkAction::Stitch => {
+            restart_epoch(
+                lane,
+                ws,
+                node,
+                completed,
+                true,
+                connector_visits,
+                lane_idx,
+                ctx,
+            );
+        }
+        WalkAction::Tail(steps) => {
+            lane.hosted = None;
+            ctx.send_random_neighbor(Mux::new(lane_idx, StitchMsg::Tail { left: steps - 1 }));
+        }
+        WalkAction::Done => finished.push(lane_idx),
+    }
+}
+
+impl NodeLocalProtocol for BatchedStitchProtocol {
+    type Msg = BatchMsg;
+    type Shared = SharedCfg;
+    type NodeState = BatchNode;
+
+    fn start(&mut self, ctx: &mut Ctx<'_, BatchMsg>) {
+        let n = ctx.graph().n();
+        assert_eq!(self.nodes.len(), n, "one BatchNode per graph node");
+        for w in 0..self.shared.walks.len() {
+            let spec = self.shared.walks[w];
+            assert!(spec.source < n, "walk source out of range");
+            match WalkDriver::action_at(spec.len, 0, self.shared.lambda) {
+                WalkAction::Done => self.nodes[spec.source].finished.push(w as u32),
+                WalkAction::Tail(steps) => {
+                    ctx.send_random_neighbor(
+                        spec.source,
+                        Mux::new(w as u32, StitchMsg::Tail { left: steps - 1 }),
+                    );
+                }
+                WalkAction::Stitch => {
+                    let neighbors: Vec<NodeId> = ctx.graph().neighbors(spec.source).collect();
+                    let node = &mut self.nodes[spec.source];
+                    start_epoch(
+                        &mut node.lanes[w],
+                        &node.ws,
+                        spec.source,
+                        1,
+                        0,
+                        true,
+                        &mut node.connector_visits,
+                        &neighbors,
+                        &mut |to, m| ctx.send(spec.source, to, Mux::new(w as u32, m)),
+                    );
+                }
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        let done: usize = self.nodes.iter().map(|s| s.finished.len()).sum();
+        done == self.shared.walks.len()
+    }
+
+    fn parts(&mut self) -> (&SharedCfg, &mut [BatchNode]) {
+        (&self.shared, &mut self.nodes)
+    }
+
+    fn on_receive_local(
+        shared: &SharedCfg,
+        state: &mut BatchNode,
+        node: NodeId,
+        inbox: &[Envelope<BatchMsg>],
+        ctx: &mut NodeCtx<'_, BatchMsg>,
+    ) {
+        let BatchNode {
+            ws,
+            lanes,
+            finished,
+            segments,
+            connector_visits,
+            gmw_events,
+        } = state;
+        let degree = ctx.graph().degree(node);
+        // Wave adoption is deferred past the bookkeeping pass so the
+        // parent is the minimum sender among the round's arrivals, and
+        // lanes whose handshake may have completed are re-checked after.
+        let mut adopt: Vec<(u32, u32, u32, NodeId)> = Vec::new(); // (lane, epoch, root, from)
+        let mut touched: Vec<u32> = Vec::new();
+        // GET-MORE-WALKS acknowledgements merge per lane within the
+        // round: one tally (or one upward message) per lane, however
+        // many tokens stopped here or ack envelopes arrived.
+        let mut acks: Vec<(u32, u64)> = Vec::new();
+        // Aggregated GET-MORE-WALKS arrivals merge per (lane, step)
+        // within the round — Algorithm 2's "counts collapse into one
+        // message per edge", exactly as `GetMoreWalksProtocol` sums its
+        // inbox before splitting.
+        let mut gmw_in: Vec<(u32, u32, u64)> = Vec::new();
+
+        for env in inbox {
+            let lane_idx = env.msg.lane;
+            let lane = &mut lanes[lane_idx as usize];
+            match env.msg.msg {
+                StitchMsg::Wave { epoch, root, child } => {
+                    if epoch > lane.epoch {
+                        lane.enter(epoch, root);
+                    } else if epoch < lane.epoch {
+                        continue; // stale tail of an old epoch's flood
+                    }
+                    lane.slot.statuses += 1;
+                    if child {
+                        lane.slot.children.push(env.from);
+                    }
+                    if !lane.slot.joined {
+                        match adopt.iter_mut().find(|a| a.0 == lane_idx && a.1 == epoch) {
+                            Some(a) => a.3 = a.3.min(env.from),
+                            None => adopt.push((lane_idx, epoch, root, env.from)),
+                        }
+                    }
+                    touched.push(lane_idx);
+                }
+                StitchMsg::Agg { owner, count } => {
+                    // Aggregates never straddle epochs: a root finalizes
+                    // only after every aggregate reached it (mod docs).
+                    lane.slot.absorb(owner, count, ctx.rng());
+                    touched.push(lane_idx);
+                }
+                StitchMsg::Chosen {
+                    epoch,
+                    owner,
+                    completed,
+                } => {
+                    if epoch != lane.epoch {
+                        continue; // flood tail behind the walk's progress
+                    }
+                    if owner as usize == node {
+                        let root = lane.root as usize;
+                        match ws.take_uniform_from(root, ctx.rng()) {
+                            Some(walk) => advance_walk(
+                                shared,
+                                lane,
+                                ws,
+                                segments,
+                                finished,
+                                connector_visits,
+                                node,
+                                lane_idx,
+                                walk,
+                                completed,
+                                ctx,
+                            ),
+                            None => {
+                                // A rival consumed the pool since the
+                                // snapshot; ask the root to resample.
+                                let p = lane.slot.parent.expect("chosen owner is not the root");
+                                ctx.send(p, Mux::new(lane_idx, StitchMsg::Retry { epoch }));
+                            }
+                        }
+                    } else {
+                        for c in lane.slot.children.clone() {
+                            ctx.send(
+                                c,
+                                Mux::new(
+                                    lane_idx,
+                                    StitchMsg::Chosen {
+                                        epoch,
+                                        owner,
+                                        completed,
+                                    },
+                                ),
+                            );
+                        }
+                    }
+                }
+                StitchMsg::Retry { epoch } => {
+                    if epoch != lane.epoch {
+                        continue;
+                    }
+                    if let Some(completed) = lane.hosted {
+                        // Root: resample with a fresh epoch.
+                        restart_epoch(
+                            lane,
+                            ws,
+                            node,
+                            completed,
+                            false,
+                            connector_visits,
+                            lane_idx,
+                            ctx,
+                        );
+                    } else if let Some(p) = lane.slot.parent {
+                        ctx.send(p, Mux::new(lane_idx, StitchMsg::Retry { epoch }));
+                    }
+                }
+                StitchMsg::Gmw { step, count } => {
+                    match gmw_in.iter_mut().find(|g| g.0 == lane_idx && g.1 == step) {
+                        Some(g) => g.2 += count,
+                        None => gmw_in.push((lane_idx, step, count)),
+                    }
+                }
+                StitchMsg::Swk { seq, step, total } => {
+                    if step == total {
+                        ws.store_walk(
+                            WalkId {
+                                source: lane.root,
+                                seq,
+                            },
+                            total,
+                            true,
+                        );
+                        push_ack(&mut acks, lane_idx, 1);
+                    } else {
+                        let next = ctx.send_random_neighbor(Mux::new(
+                            lane_idx,
+                            StitchMsg::Swk {
+                                seq,
+                                step: step + 1,
+                                total,
+                            },
+                        ));
+                        ws.log_forward(lane.root, seq, step, next as u32);
+                    }
+                }
+                StitchMsg::GmwAck { count } => {
+                    push_ack(&mut acks, lane_idx, count);
+                }
+                StitchMsg::Tail { left } => {
+                    if left == 0 {
+                        finished.push(lane_idx);
+                    } else {
+                        ctx.send_random_neighbor(Mux::new(
+                            lane_idx,
+                            StitchMsg::Tail { left: left - 1 },
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Flush the merged GET-MORE-WALKS arrivals: one reservoir split
+        // and one scatter per (lane, step) for the whole round, so a
+        // lane's tokens reaching this node over several edges leave as
+        // one count per outgoing edge again.
+        for (lane_idx, step, arrived) in gmw_in {
+            let lane = &mut lanes[lane_idx as usize];
+            let (stopped, moving) = reservoir_split(
+                ctx.rng(),
+                arrived,
+                step,
+                shared.lambda,
+                shared.randomize_len,
+            );
+            if stopped > 0 {
+                for _ in 0..stopped {
+                    ws.store_walk(
+                        WalkId {
+                            source: lane.root,
+                            seq: AGGREGATED_SEQ,
+                        },
+                        step,
+                        false,
+                    );
+                }
+                push_ack(&mut acks, lane_idx, stopped);
+            }
+            if moving > 0 {
+                scatter_gmw(node, lane_idx, step + 1, moving, ctx);
+            }
+        }
+
+        // Flush the merged acknowledgements: per lane, one root tally
+        // or one upward message for the whole round.
+        for (lane_idx, count) in acks {
+            let lane = &mut lanes[lane_idx as usize];
+            acknowledge_gmw(
+                shared,
+                lane,
+                ws,
+                connector_visits,
+                node,
+                lane_idx,
+                count,
+                ctx,
+            );
+        }
+
+        // Deferred wave adoption: join the tree under the minimum sender
+        // and forward the wave (exactly once per lane and epoch).
+        for (lane_idx, epoch, root, from) in adopt {
+            let lane = &mut lanes[lane_idx as usize];
+            if lane.epoch != epoch || lane.slot.joined {
+                continue; // a newer epoch arrived later in this inbox
+            }
+            lane.slot
+                .join(node as u32, from, ws.count_from(root as usize) as u64);
+            let neighbors: Vec<NodeId> = ctx.graph().neighbors(node).collect();
+            for v in neighbors {
+                ctx.send(
+                    v,
+                    Mux::new(
+                        lane_idx,
+                        StitchMsg::Wave {
+                            epoch,
+                            root,
+                            child: v == from,
+                        },
+                    ),
+                );
+            }
+            touched.push(lane_idx);
+        }
+
+        // Lanes whose handshake/aggregation may just have completed.
+        touched.sort_unstable();
+        touched.dedup();
+        for lane_idx in touched {
+            let lane = &mut lanes[lane_idx as usize];
+            if !lane.slot.ready_to_aggregate(degree) {
+                continue;
+            }
+            lane.slot.agg_sent = true;
+            match lane.slot.parent {
+                Some(p) => {
+                    ctx.send(
+                        p,
+                        Mux::new(
+                            lane_idx,
+                            StitchMsg::Agg {
+                                owner: lane.slot.cand_owner.unwrap_or(0),
+                                count: lane.slot.count,
+                            },
+                        ),
+                    );
+                }
+                None => finalize_at_root(
+                    shared,
+                    lane,
+                    ws,
+                    segments,
+                    finished,
+                    connector_visits,
+                    gmw_events,
+                    node,
+                    lane_idx,
+                    ctx,
+                ),
+            }
+        }
+    }
+}
+
+/// Root-side epilogue of a sampling epoch: launch `GET-MORE-WALKS` when
+/// the pool is dry, resolve locally when the root itself owns the
+/// sampled token, or flood the choice down the tree.
+#[allow(clippy::too_many_arguments)]
+fn finalize_at_root(
+    shared: &SharedCfg,
+    lane: &mut LaneState,
+    ws: &mut NodeWalkState,
+    segments: &mut Vec<(u32, Segment)>,
+    finished: &mut Vec<u32>,
+    connector_visits: &mut u32,
+    gmw_events: &mut u64,
+    node: NodeId,
+    lane_idx: u32,
+    ctx: &mut NodeCtx<'_, BatchMsg>,
+) {
+    let completed = lane.hosted.expect("the epoch root hosts the walk token");
+    if lane.slot.count == 0 {
+        // Drained connector: GET-MORE-WALKS (Algorithm 1, lines 7-10).
+        *gmw_events += 1;
+        lane.gmw_active = true;
+        lane.gmw_acked = 0;
+        if shared.aggregated_gmw {
+            scatter_gmw(node, lane_idx, 1, shared.gmw_count, ctx);
+        } else {
+            let first = ws.alloc_seqs(shared.gmw_count as usize);
+            for i in 0..shared.gmw_count {
+                let seq = first + i as u32;
+                let r = if shared.randomize_len {
+                    use rand::Rng;
+                    ctx.rng().random_range(0..shared.lambda)
+                } else {
+                    0
+                };
+                let total = shared.lambda + r;
+                let next = ctx.send_random_neighbor(Mux::new(
+                    lane_idx,
+                    StitchMsg::Swk {
+                        seq,
+                        step: 1,
+                        total,
+                    },
+                ));
+                ws.log_forward(node as u32, seq, 0, next as u32);
+            }
+        }
+        return;
+    }
+    let owner = lane.slot.cand_owner.expect("count > 0 implies a candidate");
+    if owner as usize == node {
+        match ws.take_uniform_from(node, ctx.rng()) {
+            Some(walk) => advance_walk(
+                shared,
+                lane,
+                ws,
+                segments,
+                finished,
+                connector_visits,
+                node,
+                lane_idx,
+                walk,
+                completed,
+                ctx,
+            ),
+            None => {
+                // A rival drained the local pool since the snapshot:
+                // resample immediately with a fresh epoch.
+                restart_epoch(
+                    lane,
+                    ws,
+                    node,
+                    completed,
+                    false,
+                    connector_visits,
+                    lane_idx,
+                    ctx,
+                );
+            }
+        }
+    } else {
+        let epoch = lane.epoch;
+        for c in lane.slot.children.clone() {
+            ctx.send(
+                c,
+                Mux::new(
+                    lane_idx,
+                    StitchMsg::Chosen {
+                        epoch,
+                        owner,
+                        completed,
+                    },
+                ),
+            );
+        }
+    }
+}
+
+/// Accounts `count` finished `GET-MORE-WALKS` tokens: at the waiting
+/// root the tally advances (resampling once complete); elsewhere the
+/// acknowledgement is forwarded up the epoch's tree.
+#[allow(clippy::too_many_arguments)]
+fn acknowledge_gmw(
+    shared: &SharedCfg,
+    lane: &mut LaneState,
+    ws: &NodeWalkState,
+    connector_visits: &mut u32,
+    node: NodeId,
+    lane_idx: u32,
+    count: u64,
+    ctx: &mut NodeCtx<'_, BatchMsg>,
+) {
+    if lane.gmw_active && lane.hosted.is_some() {
+        lane.gmw_acked += count;
+        if lane.gmw_acked >= shared.gmw_count {
+            let completed = lane.hosted.expect("checked");
+            restart_epoch(
+                lane,
+                ws,
+                node,
+                completed,
+                false,
+                connector_visits,
+                lane_idx,
+                ctx,
+            );
+        }
+    } else if let Some(p) = lane.slot.parent {
+        ctx.send(p, Mux::new(lane_idx, StitchMsg::GmwAck { count }));
+    }
+}
+
+/// Accumulates a `GET-MORE-WALKS` acknowledgement into the round's
+/// per-lane merge buffer.
+fn push_ack(acks: &mut Vec<(u32, u64)>, lane_idx: u32, count: u64) {
+    match acks.iter_mut().find(|a| a.0 == lane_idx) {
+        Some(a) => a.1 += count,
+        None => acks.push((lane_idx, count)),
+    }
+}
+
+/// Per-walk result of a batched Phase-2 run.
+#[derive(Debug, Clone)]
+pub struct BatchedWalk {
+    /// The walk's destination — an exact `len`-step walk sample.
+    pub destination: NodeId,
+    /// The walk's stitch trace, in position order.
+    pub segments: Vec<Segment>,
+}
+
+/// Result of [`StitchScheduler::run`].
+#[derive(Debug, Clone)]
+pub struct BatchedStitchOutcome {
+    /// Per-walk destinations and stitch traces, in spec order.
+    pub walks: Vec<BatchedWalk>,
+    /// Total stitches across all walks.
+    pub stitches: u64,
+    /// Total `GET-MORE-WALKS` invocations across all walks.
+    pub gmw_invocations: u64,
+    /// How many times each node served as a connector.
+    pub connector_visits: Vec<u32>,
+    /// The engine report of the single multiplexed run — Phase 2's
+    /// entire round/message bill.
+    pub report: RunReport,
+}
+
+/// The batched Phase-2 scheduler: stitches `k` walks over a shared
+/// Phase-1 store in **one** multiplexed CONGEST run.
+///
+/// # Example
+///
+/// ```
+/// use drw_congest::{EngineConfig, Runner};
+/// use drw_core::{ShortWalksProtocol, StitchScheduler, StitchSetup, WalkState};
+/// use drw_graph::generators;
+///
+/// # fn main() -> Result<(), drw_core::WalkError> {
+/// let g = generators::torus2d(5, 5);
+/// let mut runner = Runner::new(&g, EngineConfig::default(), 7);
+/// let mut state = WalkState::new(g.n());
+/// // Phase 1: a shared store of short walks.
+/// let mut p1 = ShortWalksProtocol::new(&mut state, vec![4; g.n()], 8, true);
+/// runner.run_local(&mut p1)?;
+/// // Phase 2: three walks, batched.
+/// let setup = StitchSetup {
+///     lambda: 8,
+///     randomize_len: true,
+///     aggregated_gmw: true,
+///     gmw_count: 16,
+///     record: false,
+/// };
+/// let mut sched = StitchScheduler::new(&setup);
+/// for source in [0, 7, 7] {
+///     sched.add_walk(source, 128);
+/// }
+/// let out = sched.run(&mut runner, &mut state)?;
+/// assert_eq!(out.walks.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StitchScheduler {
+    setup: StitchSetup,
+    specs: Vec<StitchSpec>,
+}
+
+impl StitchScheduler {
+    /// Creates an empty scheduler for the given stitching parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `setup.record` is set: visit recording replays walks
+    /// one at a time and belongs to the sequential driver.
+    pub fn new(setup: &StitchSetup) -> Self {
+        assert!(
+            !setup.record,
+            "the batched scheduler does not record visits"
+        );
+        StitchScheduler {
+            setup: *setup,
+            specs: Vec::new(),
+        }
+    }
+
+    /// Queues a `len`-step walk from `source`.
+    pub fn add_walk(&mut self, source: NodeId, len: u64) -> &mut Self {
+        self.specs.push(StitchSpec { source, len });
+        self
+    }
+
+    /// Number of queued walks.
+    pub fn walk_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Runs Phase 2 for every queued walk in one multiplexed engine run
+    /// over `state`'s shared short-walk store (which must have been
+    /// prepared by Phase 1 on the same `state`, or be deliberately empty
+    /// to exercise pure `GET-MORE-WALKS` stitching).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors; `state` is restored either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a queued source is out of range or if the run ends
+    /// with an unfinished walk (a protocol invariant violation).
+    pub fn run(
+        self,
+        runner: &mut Runner<'_>,
+        state: &mut WalkState,
+    ) -> Result<BatchedStitchOutcome, WalkError> {
+        let n = runner.graph().n();
+        assert_eq!(state.nodes.len(), n, "state must match the graph");
+        for spec in &self.specs {
+            assert!(spec.source < n, "source {} out of range", spec.source);
+        }
+        let shared = SharedCfg {
+            lambda: self.setup.lambda.max(1),
+            randomize_len: self.setup.randomize_len,
+            aggregated_gmw: self.setup.aggregated_gmw,
+            gmw_count: self.setup.gmw_count.max(1),
+            walks: self.specs,
+        };
+        let lambda = shared.lambda;
+        let stores: Vec<NodeWalkState> = state.nodes.iter_mut().map(std::mem::take).collect();
+        let mut protocol = BatchedStitchProtocol::new(shared, stores);
+        let result = runner.run_local(&mut protocol);
+
+        // Always hand the per-node stores back, even on engine errors.
+        let walks = std::mem::take(&mut protocol.shared.walks);
+        let mut destinations: Vec<Option<NodeId>> = vec![None; walks.len()];
+        let mut segments: Vec<Vec<Segment>> = vec![Vec::new(); walks.len()];
+        let mut connector_visits = vec![0u32; n];
+        let mut gmw_invocations = 0u64;
+        for (v, node) in protocol.nodes.iter_mut().enumerate() {
+            state.nodes[v] = std::mem::take(&mut node.ws);
+            connector_visits[v] = node.connector_visits;
+            gmw_invocations += node.gmw_events;
+            for &w in &node.finished {
+                assert!(
+                    destinations[w as usize].replace(v).is_none(),
+                    "walk {w} finished twice"
+                );
+            }
+            for (w, seg) in node.segments.drain(..) {
+                segments[w as usize].push(seg);
+            }
+        }
+        let report = result?;
+
+        let mut stitches = 0u64;
+        let mut out = Vec::with_capacity(walks.len());
+        for (w, spec) in walks.iter().enumerate() {
+            let mut segs = std::mem::take(&mut segments[w]);
+            segs.sort_unstable_by_key(|s| s.start_pos);
+            // Replay the trace through the walk's state machine: panics
+            // on any gap, overlap or broken connector chain.
+            let mut driver = WalkDriver::new(spec.source, spec.len);
+            for &seg in &segs {
+                driver.apply_segment(seg);
+            }
+            assert!(
+                !matches!(driver.next_action(lambda), WalkAction::Stitch),
+                "walk {w} stopped stitching early"
+            );
+            stitches += driver.stitches();
+            out.push(BatchedWalk {
+                destination: destinations[w].unwrap_or_else(|| panic!("walk {w} never completed")),
+                segments: segs,
+            });
+        }
+        Ok(BatchedStitchOutcome {
+            walks: out,
+            stitches,
+            gmw_invocations,
+            connector_visits,
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::short_walks::ShortWalksProtocol;
+    use drw_congest::{EngineConfig, Runner};
+    use drw_graph::generators;
+
+    fn phase1(runner: &mut Runner<'_>, state: &mut WalkState, per_node: usize, lambda: u32) {
+        let counts = vec![per_node; runner.graph().n()];
+        let mut p1 = ShortWalksProtocol::new(state, counts, lambda, true);
+        runner.run_local(&mut p1).expect("phase 1");
+    }
+
+    fn setup(lambda: u32, aggregated: bool) -> StitchSetup {
+        StitchSetup {
+            lambda,
+            randomize_len: true,
+            aggregated_gmw: aggregated,
+            gmw_count: 8,
+            record: false,
+        }
+    }
+
+    #[test]
+    fn walks_complete_with_chained_segments_and_store_conservation() {
+        let g = generators::torus2d(4, 4);
+        let mut runner = Runner::new(&g, EngineConfig::default(), 5);
+        let mut state = WalkState::new(g.n());
+        phase1(&mut runner, &mut state, 4, 8);
+        let before = state.total_stored();
+
+        let mut sched = StitchScheduler::new(&setup(8, true));
+        let len = 256u64;
+        for source in [0usize, 0, 5, 10] {
+            sched.add_walk(source, len);
+        }
+        let out = sched.run(&mut runner, &mut state).expect("batched phase 2");
+
+        assert_eq!(out.walks.len(), 4);
+        let mut consumed = 0u64;
+        for (walk, &source) in out.walks.iter().zip(&[0usize, 0, 5, 10]) {
+            assert!(walk.destination < g.n());
+            // Even-length walk on a bipartite torus: parity preserved —
+            // the stitched trajectory really has `len` edges.
+            let ps = (source / 4 + source % 4) % 2;
+            let pd = (walk.destination / 4 + walk.destination % 4) % 2;
+            assert_eq!(ps, pd, "parity broken for source {source}");
+            assert!(!walk.segments.is_empty(), "length-256 walks must stitch");
+            consumed += walk.segments.len() as u64;
+        }
+        // Every segment consumed exactly one stored token; GET-MORE-WALKS
+        // is the only other store mutation.
+        assert_eq!(
+            state.total_stored() as u64,
+            before as u64 + out.gmw_invocations * 8 - consumed,
+        );
+        assert_eq!(out.stitches, consumed);
+        assert!(out.report.rounds > 0);
+    }
+
+    #[test]
+    fn contended_source_replenishes_and_still_completes() {
+        // Eight walks from the same source over a nearly-empty store:
+        // the pool (one token per node) drains instantly, forcing
+        // GET-MORE-WALKS and the optimistic-conflict retry path.
+        let g = generators::torus2d(3, 3);
+        let mut runner = Runner::new(&g, EngineConfig::default(), 11);
+        let mut state = WalkState::new(g.n());
+        phase1(&mut runner, &mut state, 1, 6);
+
+        let mut sched = StitchScheduler::new(&setup(6, true));
+        for _ in 0..8 {
+            sched.add_walk(0, 120);
+        }
+        let out = sched.run(&mut runner, &mut state).expect("contended run");
+        assert_eq!(out.walks.len(), 8);
+        assert!(
+            out.gmw_invocations > 0,
+            "a starved shared pool must trigger GET-MORE-WALKS"
+        );
+        for walk in &out.walks {
+            assert!(!walk.segments.is_empty());
+        }
+    }
+
+    #[test]
+    fn per_token_gmw_yields_replayable_segments() {
+        // No Phase 1 at all: every stitch replenishes via the per-token
+        // GET-MORE-WALKS variant, which logs forwarding decisions.
+        let g = generators::torus2d(4, 4);
+        let mut runner = Runner::new(&g, EngineConfig::default(), 3);
+        let mut state = WalkState::new(g.n());
+        let mut sched = StitchScheduler::new(&setup(6, false));
+        sched.add_walk(2, 100).add_walk(9, 100);
+        let out = sched.run(&mut runner, &mut state).expect("per-token run");
+        assert!(out.gmw_invocations >= 2, "empty store forces GMW per walk");
+        for walk in &out.walks {
+            assert!(!walk.segments.is_empty());
+            for seg in &walk.segments {
+                assert!(seg.replayable, "per-token GMW segments are replayable");
+            }
+        }
+        // The forwarding logs really cover the stitched segments.
+        let logged: usize = state.nodes.iter().map(|ns| ns.forward.len()).sum();
+        assert!(logged > 0);
+    }
+
+    #[test]
+    fn zero_and_tail_only_walks() {
+        let g = generators::path(6);
+        let mut runner = Runner::new(&g, EngineConfig::default(), 9);
+        let mut state = WalkState::new(g.n());
+        let mut sched = StitchScheduler::new(&setup(16, true));
+        sched.add_walk(3, 0); // Done immediately
+        sched.add_walk(2, 5); // < 2*lambda: pure tail
+        let out = sched.run(&mut runner, &mut state).expect("short walks");
+        assert_eq!(out.walks[0].destination, 3);
+        assert!(out.walks[0].segments.is_empty());
+        assert!(out.walks[1].segments.is_empty());
+        assert_eq!(out.stitches, 0);
+        // Parity of the 5-step tail on a path.
+        assert_eq!((out.walks[1].destination + 2) % 2, 1);
+    }
+
+    #[test]
+    fn batched_shares_rounds_across_walks() {
+        // The whole point: k batched walks must cost far less than k
+        // times one walk. Compare against running k one-walk schedulers
+        // back to back over identical stores.
+        let g = generators::torus2d(6, 6);
+        let len = 512u64;
+        let k = 8usize;
+        let su = setup(12, true);
+
+        let mut runner_b = Runner::new(&g, EngineConfig::default(), 21);
+        let mut state_b = WalkState::new(g.n());
+        phase1(&mut runner_b, &mut state_b, 4, 12);
+        let mut sched = StitchScheduler::new(&su);
+        for i in 0..k {
+            sched.add_walk((i * 5) % g.n(), len);
+        }
+        let batched = sched.run(&mut runner_b, &mut state_b).expect("batched");
+
+        let mut runner_s = Runner::new(&g, EngineConfig::default(), 21);
+        let mut state_s = WalkState::new(g.n());
+        phase1(&mut runner_s, &mut state_s, 4, 12);
+        let mut sequential_rounds = 0u64;
+        for i in 0..k {
+            let mut one = StitchScheduler::new(&su);
+            one.add_walk((i * 5) % g.n(), len);
+            let out = one.run(&mut runner_s, &mut state_s).expect("sequential");
+            sequential_rounds += out.report.rounds;
+        }
+        assert!(
+            batched.report.rounds * 2 < sequential_rounds,
+            "batched {} vs sequential {}",
+            batched.report.rounds,
+            sequential_rounds
+        );
+    }
+}

@@ -60,8 +60,8 @@ pub use drw_stats as stats;
 pub mod prelude {
     pub use drw_congest::{EngineConfig, Runner};
     pub use drw_core::{
-        many_random_walks, naive_walk, single_random_walk, ManyWalksResult, SingleWalkConfig,
-        SingleWalkResult, WalkError, WalkParams,
+        many_random_walks, many_random_walks_with, naive_walk, single_random_walk, ManyWalksResult,
+        SingleWalkConfig, SingleWalkResult, StitchScheduler, StitchStrategy, WalkError, WalkParams,
     };
     pub use drw_graph::{generators, Graph, GraphBuilder};
     pub use drw_mixing::{estimate_mixing_time, MixingConfig};

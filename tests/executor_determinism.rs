@@ -136,6 +136,45 @@ fn many_walks_are_identical_across_backends() {
     }
 }
 
+/// Batched `MANY-RANDOM-WALKS` — the one multiplexed Phase-2 run — is
+/// bit-identical between the sequential backend and the parallel
+/// backend at forced worker counts of 2, 4 and 16: destinations, round
+/// and message counts, per-walk stitch traces, connector visits and
+/// the leftover store all agree exactly.
+#[test]
+fn batched_many_walks_identical_across_worker_counts() {
+    for (name, g) in graph_families() {
+        let sources: Vec<usize> = (0..8).map(|i| (i * 11) % g.n()).collect();
+        let base = many_random_walks(
+            &g,
+            &sources,
+            1024,
+            &config_with(ExecutorKind::Sequential, false),
+            13,
+        )
+        .expect("sequential");
+        assert!(!base.used_naive_fallback, "{name}: want the stitched path");
+        for workers in [2usize, 4, 16] {
+            let cfg = SingleWalkConfig {
+                engine: EngineConfig::default().with_workers(workers),
+                ..SingleWalkConfig::default()
+            };
+            let par = many_random_walks(&g, &sources, 1024, &cfg, 13).expect("parallel");
+            let tag = format!("{name}, {workers} workers");
+            assert_eq!(base.destinations, par.destinations, "{tag}: destinations");
+            assert_eq!(base.rounds, par.rounds, "{tag}: rounds");
+            assert_eq!(base.messages, par.messages, "{tag}: messages");
+            assert_eq!(base.stitches, par.stitches, "{tag}: stitches");
+            assert_eq!(base.segments, par.segments, "{tag}: stitch traces");
+            assert_eq!(
+                base.connector_visits, par.connector_visits,
+                "{tag}: connector visits"
+            );
+            assert_states_match(&tag, &base.state, &par.state);
+        }
+    }
+}
+
 /// The applications on top (random spanning trees) inherit determinism.
 #[test]
 fn spanning_trees_are_identical_across_backends() {

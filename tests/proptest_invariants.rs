@@ -162,4 +162,72 @@ proptest! {
         let r = single_random_walk(&g, 0, len, &SingleWalkConfig::default(), seed).unwrap();
         prop_assert_eq!(r.destination % 2, 0);
     }
+
+    /// The batched Phase-2 scheduler's bookkeeping invariants, on
+    /// arbitrary connected graphs:
+    ///
+    /// - every walk's segments chain head-to-tail from its source with
+    ///   lengths in `[lambda, 2*lambda)`, and the unstitched remainder
+    ///   is a legal tail (`< 2*lambda`), so each walk's total length is
+    ///   exactly `len`;
+    /// - no short-walk segment is consumed by two walks: replayable
+    ///   segment ids are globally unique, and the store balances
+    ///   exactly (initial + GET-MORE-WALKS creations - consumptions);
+    /// - the reported phase round counters sum to the engine's total.
+    #[test]
+    fn batched_many_walks_invariants(
+        g in connected_graph(12),
+        seed in 0u64..400,
+    ) {
+        let len = 180u64;
+        let cfg = SingleWalkConfig {
+            params: WalkParams { lambda_scale: 0.3, eta: 1.0 },
+            // DRW_EXECUTOR-aware: CI's executor matrix runs these
+            // invariants on both engine backends.
+            engine: drw_experiments::engine_config_from_env(),
+            ..SingleWalkConfig::default()
+        };
+        let sources: Vec<usize> = (0..3).map(|i| (seed as usize + i * 5) % g.n()).collect();
+        let r = many_random_walks(&g, &sources, len, &cfg, seed).unwrap();
+        prop_assert_eq!(r.rounds_bfs + r.rounds_phase1 + r.rounds_phase2, r.rounds);
+        prop_assert_eq!(r.destinations.len(), sources.len());
+        // Tiny graphs may legitimately take the k + l naive branch, in
+        // which case there is nothing stitched to check.
+        if !r.used_naive_fallback {
+            let lambda = r.lambda as u64;
+            let mut replayable_ids = std::collections::HashSet::new();
+            let mut consumed = 0u64;
+            for (w, segs) in r.segments.iter().enumerate() {
+                let mut at = sources[w];
+                let mut pos = 0u64;
+                for seg in segs {
+                    prop_assert_eq!(seg.connector, at, "walk {} chain break", w);
+                    prop_assert_eq!(seg.start_pos, pos, "walk {} position gap", w);
+                    prop_assert!(u64::from(seg.len) >= lambda && u64::from(seg.len) < 2 * lambda);
+                    if seg.replayable {
+                        prop_assert!(
+                            replayable_ids.insert(seg.id),
+                            "segment {:?} consumed twice", seg.id
+                        );
+                    }
+                    at = seg.owner;
+                    pos += u64::from(seg.len);
+                }
+                prop_assert!(len - pos < 2 * lambda, "walk {} tail too long", w);
+                consumed += segs.len() as u64;
+            }
+            prop_assert_eq!(r.stitches, consumed);
+            // Store conservation: Phase 1 created ceil(eta * deg(v))
+            // tokens per node, every GET-MORE-WALKS added gmw_count
+            // more, and every stitch consumed exactly one.
+            let initial: u64 = (0..g.n())
+                .map(|v| cfg.params.walks_for_degree(g.degree(v)) as u64)
+                .sum();
+            let gmw_count = (len / lambda).max(1);
+            prop_assert_eq!(
+                r.state.total_stored() as u64,
+                initial + r.gmw_invocations * gmw_count - consumed
+            );
+        }
+    }
 }
