@@ -33,6 +33,12 @@
 //!   into *one* engine run, so concurrent stitches share CONGEST rounds
 //!   instead of summing them (the `sqrt(k l D) + k` regime of
 //!   Theorem 2.8).
+//! - **Sessions** ([`session`]): applications that issue many requests
+//!   (the doubling loops of the spanning-tree sampler and the mixing
+//!   estimator) hold a [`WalkSession`] — one BFS/diameter estimate, one
+//!   persistent short-walk store with deficit-only top-up, and walk
+//!   extension across requests — converting repeated setup into
+//!   pay-as-you-go.
 //!
 //! The implementation is **Las Vegas** exactly as the paper's: any
 //! parameter choice yields an exact sample; parameters only affect the
@@ -67,6 +73,7 @@ pub mod params;
 pub mod podc09;
 pub mod regenerate;
 pub mod sample_destination;
+pub mod session;
 pub mod short_walks;
 pub mod single_walk;
 pub mod state;
@@ -76,6 +83,7 @@ pub mod visit_stats;
 pub use many_walks::{many_random_walks, many_random_walks_with, ManyWalksResult, StitchStrategy};
 pub use naive::naive_walk;
 pub use params::{Podc09Params, WalkParams};
+pub use session::{RecordedExtension, SessionManyOutcome, SessionWalkOutcome, WalkSession};
 pub use short_walks::ShortWalksProtocol;
 pub use single_walk::{
     single_random_walk, Segment, SingleWalkConfig, SingleWalkResult, StitchSetup, WalkAction,

@@ -52,7 +52,13 @@ pub struct ManyWalksResult {
     pub rounds: u64,
     /// Total messages delivered.
     pub messages: u64,
-    /// The `lambda` used (0 in the naive-fallback regime).
+    /// The `lambda` computed for the Theorem 2.8 regime decision. In
+    /// the stitched regime this is the base length Phase 1 used; under
+    /// the naive fallback it is the (clamped) `lambda_many` whose
+    /// comparison against `l` *triggered* the fallback — no stitching
+    /// consumed it, which [`ManyWalksResult::used_naive_fallback`]
+    /// discriminates. Only the degenerate `k = 0` call reports 0 (no
+    /// regime decision was made).
     pub lambda: u32,
     /// Whether the `k + l` naive branch was taken.
     pub used_naive_fallback: bool,
@@ -73,8 +79,10 @@ pub struct ManyWalksResult {
     /// fallback regime, the simultaneous naive walks). The three phase
     /// counters always sum to `rounds`.
     pub rounds_phase2: u64,
-    /// The Phase-2 strategy that ran (meaningless under the fallback).
-    pub strategy: StitchStrategy,
+    /// The Phase-2 strategy that actually ran: `None` when no stitching
+    /// happened at all (the naive fallback, or an empty source list),
+    /// `Some(..)` otherwise.
+    pub strategy: Option<StitchStrategy>,
     /// Final walk state: the leftover short-walk store and forwarding
     /// logs (empty in the naive-fallback regime).
     pub state: WalkState,
@@ -147,7 +155,7 @@ pub fn many_random_walks_with(
             rounds_bfs: 0,
             rounds_phase1: 0,
             rounds_phase2: 0,
-            strategy,
+            strategy: None,
             state: WalkState::new(g.n()),
         });
     }
@@ -174,11 +182,11 @@ pub fn many_random_walks_with(
             .collect();
         let mut naive = NaiveWalkProtocol::new(specs, None);
         runner.run(&mut naive)?;
-        return Ok(ManyWalksResult {
+        let result = ManyWalksResult {
             destinations: naive.destinations(),
             rounds: runner.total_rounds(),
             messages: runner.total_messages(),
-            lambda: 0,
+            lambda,
             used_naive_fallback: true,
             stitches: 0,
             gmw_invocations: 0,
@@ -187,9 +195,15 @@ pub fn many_random_walks_with(
             rounds_bfs,
             rounds_phase1: 0,
             rounds_phase2: runner.total_rounds() - rounds_bfs,
-            strategy,
+            strategy: None,
             state: WalkState::new(g.n()),
-        });
+        };
+        debug_assert_eq!(
+            result.rounds_bfs + result.rounds_phase1 + result.rounds_phase2,
+            result.rounds,
+            "fallback phase counters must reconcile"
+        );
+        return Ok(result);
     }
 
     // Phase 1 once, shared by all k walks.
@@ -294,7 +308,7 @@ pub fn many_random_walks_with(
         rounds_bfs,
         rounds_phase1,
         rounds_phase2: runner.total_rounds() - phase2_start,
-        strategy,
+        strategy: Some(strategy),
         state,
     })
 }
@@ -331,6 +345,14 @@ mod tests {
         assert!(r.used_naive_fallback);
         assert_eq!(r.stitches, 0);
         assert_eq!(r.destinations.len(), 16);
+        // The regime decision's lambda is reported even though no
+        // stitching used it (lambda_many clamps at l here), and no
+        // strategy ran.
+        assert_eq!(r.lambda, 8);
+        assert_eq!(r.strategy, None);
+        // The phase counters reconcile in the fallback too.
+        assert_eq!(r.rounds_bfs + r.rounds_phase1 + r.rounds_phase2, r.rounds);
+        assert_eq!(r.rounds_phase1, 0);
     }
 
     #[test]
@@ -374,7 +396,7 @@ mod tests {
                 r.rounds,
                 "{strategy:?}"
             );
-            assert_eq!(r.strategy, strategy);
+            assert_eq!(r.strategy, Some(strategy));
         }
     }
 

@@ -1,0 +1,734 @@
+//! A persistent walk session: one BFS, one short-walk store, many walks.
+//!
+//! The paper's applications drive the walk machinery through *doubling
+//! loops* — the spanning-tree sampler doubles segment lengths until
+//! coverage, the mixing estimator doubles its probe length and then
+//! binary-searches — and a naive embedding pays a fresh BFS, a fresh
+//! diameter estimate and a full Phase-1 rebuild for every iteration,
+//! even though Phase 1 is the algorithm's reusable asset: its short
+//! walks are independent of everything stitched so far, so whatever the
+//! previous request left unused extends the next request exactly. The
+//! follow-up work ("Near-Optimal Random Walk Sampling in Distributed
+//! Networks", arXiv:1201.1363) makes precisely this amortization its
+//! headline — regenerate and reuse prepared short walks across
+//! successive requests.
+//!
+//! [`WalkSession`] is that amortization as a subsystem. It owns one
+//! [`Runner`] (a single CONGEST round/message bill), the BFS tree and
+//! diameter estimate of an anchor node, and a persistent [`WalkState`]
+//! short-walk store. Every entry point reuses the cached diameter,
+//! recomputes `lambda` per call, and *tops the store up* instead of
+//! rebuilding it:
+//!
+//! - **Deficit-only Phase 1** ([`ShortWalksProtocol::top_up`]): node `v`
+//!   launches only `target(v) - outstanding(v)` fresh walks, and only
+//!   once the store-wide deficit is worth a launch wave (a wave costs
+//!   `~2 * lambda` rounds however few walks ride it, so small deficits
+//!   are cheaper to leave to `GET-MORE-WALKS`). In steady state most
+//!   calls pay zero Phase-1 rounds; a rebuild never recurs.
+//! - **Regime upgrades**: the store's base length
+//!   ([`WalkSession::store_lambda`]) only grows. Calls whose computed
+//!   `lambda` stays within a factor 2 of the store's stitch at the
+//!   store's regime — exact for any `lambda`, at worst 2x more stitches
+//!   — and a call demanding at least twice the store's `lambda`
+//!   triggers an upgrade: stale short walks are discarded (free, local,
+//!   and exact — the decision reads lengths, never trajectories) and
+//!   the store relaunches in the longer regime. Without the discard the
+//!   store would never drain and every future stitch would stay pinned
+//!   to the first request's short segments. The effective stitch
+//!   `lambda` is always the store's, which keeps every stored length
+//!   below `2 * lambda` so no segment can overshoot a walk's remaining
+//!   budget.
+//! - **Walk extension** ([`WalkSession::extend_recorded`]): continue a
+//!   completed walk from its destination for `extra_len` more steps
+//!   through the batched [`StitchScheduler`] without re-entering setup.
+//!   Walks are memoryless, so the continuation is exact; visits are
+//!   recorded at `pos_offset + local position` and the extension never
+//!   records its own start — the hand-off position was already recorded
+//!   as the previous segment's endpoint, which makes the
+//!   segment-boundary accounting explicit instead of accidental.
+//!
+//! Correctness is unchanged from the one-shot drivers (Theorem 2.5's
+//! argument never cares *when* a short walk was generated, only that it
+//! is unused and independent); only the round bill changes, from
+//! `O(phases x full rebuild)` to pay-as-you-go.
+
+use crate::naive::{NaiveWalkProtocol, NaiveWalkSpec};
+use crate::regenerate::{ReplayProtocol, ReplaySegment};
+use crate::short_walks::ShortWalksProtocol;
+use crate::single_walk::{Segment, SingleWalkConfig, StitchSetup, WalkError};
+use crate::state::{Visit, WalkState};
+use crate::stitch_scheduler::StitchScheduler;
+use drw_congest::primitives::{BfsTree, BfsTreeProtocol};
+use drw_congest::Runner;
+use drw_graph::{traversal, Graph, NodeId};
+
+/// Replenishment hysteresis: the store is topped up once its deficit
+/// reaches `1/TOPUP_DEFICIT_DENOM` of the target size (see
+/// `WalkSession::ensure_store`).
+const TOPUP_DEFICIT_DENOM: usize = 4;
+
+/// Result of [`WalkSession::single_walk`].
+#[derive(Debug, Clone)]
+pub struct SessionWalkOutcome {
+    /// The walk's destination — an exact `len`-step walk sample.
+    pub destination: NodeId,
+    /// Rounds consumed by this call (top-up + stitching + tail).
+    pub rounds: u64,
+    /// The effective stitch `lambda` governing this call.
+    pub lambda: u32,
+    /// Stitches performed.
+    pub stitches: u64,
+    /// `GET-MORE-WALKS` invocations.
+    pub gmw_invocations: u64,
+    /// The stitch trace.
+    pub segments: Vec<Segment>,
+}
+
+/// Result of [`WalkSession::many_walks`].
+#[derive(Debug, Clone)]
+pub struct SessionManyOutcome {
+    /// Destination of each walk, in source order.
+    pub destinations: Vec<NodeId>,
+    /// Rounds consumed by this call (top-up + Phase 2, or the naive
+    /// fallback).
+    pub rounds: u64,
+    /// Rounds of this call spent topping up the store (0 when the store
+    /// already covered the demand, or under the fallback).
+    pub rounds_topup: u64,
+    /// The `lambda` governing this call: the effective stitch `lambda`
+    /// in the stitched regime, or the computed `lambda_many` that
+    /// triggered the fallback.
+    pub lambda: u32,
+    /// Whether the `k + l` naive branch was taken (Theorem 2.8's regime
+    /// rule, evaluated exactly as in [`crate::many_random_walks`]).
+    pub used_naive_fallback: bool,
+    /// Total stitches across all walks.
+    pub stitches: u64,
+    /// Total `GET-MORE-WALKS` invocations.
+    pub gmw_invocations: u64,
+}
+
+/// Result of [`WalkSession::extend_recorded`].
+#[derive(Debug, Clone)]
+pub struct RecordedExtension {
+    /// Where the extended walk now stands.
+    pub destination: NodeId,
+    /// Rounds consumed by this call (top-up + stitching + tail +
+    /// replay).
+    pub rounds: u64,
+    /// The effective stitch `lambda` governing this call.
+    pub lambda: u32,
+    /// Stitches performed.
+    pub stitches: u64,
+    /// `GET-MORE-WALKS` invocations.
+    pub gmw_invocations: u64,
+    /// Every visit this extension recorded, as `(node, visit)` pairs
+    /// with *global* positions `pos_offset + 1 ..= pos_offset +
+    /// extra_len`. The start (`pos_offset` itself) is deliberately not
+    /// recorded: it is the previous extension's endpoint (or the
+    /// caller's position 0), so each global position is recorded exactly
+    /// once and every recorded visit carries a predecessor.
+    pub visits: Vec<(NodeId, Visit)>,
+}
+
+/// A long-lived walk session over one graph: cached BFS/diameter, a
+/// persistent short-walk store with deficit-only top-up, and
+/// session-aware walk entry points (see the module docs).
+///
+/// # Example
+///
+/// ```
+/// use drw_core::{SingleWalkConfig, WalkSession};
+/// use drw_graph::generators;
+///
+/// # fn main() -> Result<(), drw_core::WalkError> {
+/// let g = generators::torus2d(6, 6);
+/// let mut session = WalkSession::new(&g, 0, &SingleWalkConfig::default(), 7)?;
+/// let a = session.single_walk(0, 512)?; // builds the store
+/// let b = session.single_walk(a.destination, 512)?; // mostly reuses it
+/// assert!(b.destination < g.n());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct WalkSession<'g> {
+    g: &'g Graph,
+    cfg: SingleWalkConfig,
+    runner: Runner<'g>,
+    state: WalkState,
+    tree: BfsTree,
+    anchor: NodeId,
+    d_est: u32,
+    record: bool,
+    store_lambda: u32,
+    rounds_bfs: u64,
+    rounds_topup: u64,
+    topups: u64,
+    walks_added: u64,
+    walks_discarded: u64,
+}
+
+impl<'g> WalkSession<'g> {
+    /// Opens a session anchored at `anchor`: checks the graph, runs the
+    /// one BFS (diameter estimate + the tree later reused by
+    /// convergecasts), and starts with an empty store.
+    ///
+    /// When `cfg.record_walk` is set the session runs in *record* mode:
+    /// [`WalkSession::extend_recorded`] becomes available, and every
+    /// store operation stays replayable (per-token `GET-MORE-WALKS` is
+    /// forced, as in [`crate::single_random_walk`]).
+    ///
+    /// # Errors
+    ///
+    /// [`WalkError::Disconnected`] / [`WalkError::SourceOutOfRange`] on
+    /// bad inputs, or an engine error from the BFS.
+    pub fn new(
+        g: &'g Graph,
+        anchor: NodeId,
+        cfg: &SingleWalkConfig,
+        seed: u64,
+    ) -> Result<Self, WalkError> {
+        if anchor >= g.n() {
+            return Err(WalkError::SourceOutOfRange(anchor));
+        }
+        if !traversal::is_connected(g) {
+            return Err(WalkError::Disconnected);
+        }
+        let mut runner = Runner::new(g, cfg.engine.clone(), seed);
+        let mut bfs = BfsTreeProtocol::new(anchor);
+        runner.run(&mut bfs)?;
+        let tree = bfs.into_tree();
+        let d_est = tree.depth().max(1);
+        let rounds_bfs = runner.total_rounds();
+        Ok(WalkSession {
+            g,
+            record: cfg.record_walk,
+            cfg: cfg.clone(),
+            runner,
+            state: WalkState::new(g.n()),
+            tree,
+            anchor,
+            d_est,
+            store_lambda: 0,
+            rounds_bfs,
+            rounds_topup: 0,
+            topups: 0,
+            walks_added: 0,
+            walks_discarded: 0,
+        })
+    }
+
+    /// The graph under simulation.
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// The session's anchor node (BFS root).
+    pub fn anchor(&self) -> NodeId {
+        self.anchor
+    }
+
+    /// The cached diameter estimate (the anchor's eccentricity).
+    pub fn diameter_estimate(&self) -> u32 {
+        self.d_est
+    }
+
+    /// The cached BFS tree rooted at the anchor, for callers composing
+    /// their own convergecasts/broadcasts over the session.
+    pub fn tree(&self) -> &BfsTree {
+        &self.tree
+    }
+
+    /// The session's runner, for composing further sub-protocols onto
+    /// the same round bill (cover checks, histogram upcasts, ...).
+    pub fn runner_mut(&mut self) -> &mut Runner<'g> {
+        &mut self.runner
+    }
+
+    /// The persistent walk state (store + forwarding logs).
+    pub fn state(&self) -> &WalkState {
+        &self.state
+    }
+
+    /// The store's current short-walk base length (0 before the first
+    /// top-up). Non-decreasing: see the module docs on regime upgrades.
+    pub fn store_lambda(&self) -> u32 {
+        self.store_lambda
+    }
+
+    /// Total rounds across the whole session (BFS + every call).
+    pub fn total_rounds(&self) -> u64 {
+        self.runner.total_rounds()
+    }
+
+    /// Rounds spent on the one anchor BFS.
+    pub fn rounds_bfs(&self) -> u64 {
+        self.rounds_bfs
+    }
+
+    /// Cumulative rounds spent topping up the store (the session's
+    /// entire Phase-1 bill).
+    pub fn rounds_topup(&self) -> u64 {
+        self.rounds_topup
+    }
+
+    /// Number of top-ups that actually launched walks.
+    pub fn topups(&self) -> u64 {
+        self.topups
+    }
+
+    /// Total short walks launched by top-ups so far.
+    pub fn walks_added(&self) -> u64 {
+        self.walks_added
+    }
+
+    /// Total stale short walks discarded by regime upgrades so far.
+    pub fn walks_discarded(&self) -> u64 {
+        self.walks_discarded
+    }
+
+    /// The Phase-1 targets: `ceil(eta * deg(v))` walks per node (or flat
+    /// counts under the ablation), as in the one-shot drivers.
+    fn targets(&self) -> Vec<usize> {
+        (0..self.g.n())
+            .map(|v| {
+                if self.cfg.degree_proportional {
+                    self.cfg.params.walks_for_degree(self.g.degree(v))
+                } else {
+                    self.cfg.params.walks_for_degree(1)
+                }
+            })
+            .collect()
+    }
+
+    /// The per-node launch deficits against [`WalkSession::targets`]
+    /// (the counts a [`ShortWalksProtocol::top_up`] wave would launch),
+    /// plus the total target size for the hysteresis test.
+    fn deficit_counts(&self) -> (Vec<usize>, usize) {
+        let targets = self.targets();
+        let target_total = targets.iter().sum();
+        let outstanding = self.state.outstanding_by_source();
+        let counts = targets
+            .iter()
+            .zip(&outstanding)
+            .map(|(&t, &o)| t.saturating_sub(o))
+            .collect();
+        (counts, target_total)
+    }
+
+    /// Launches one top-up wave with the given per-node deficit counts
+    /// at `lambda`, billing its rounds to the session's Phase-1 account.
+    fn run_topup(&mut self, counts: Vec<usize>, lambda: u32) -> Result<(), WalkError> {
+        let added: usize = counts.iter().sum();
+        if added == 0 {
+            return Ok(());
+        }
+        let before = self.runner.total_rounds();
+        let mut p1 =
+            ShortWalksProtocol::new(&mut self.state, counts, lambda, self.cfg.randomize_len);
+        self.runner.run_local(&mut p1)?;
+        self.topups += 1;
+        self.walks_added += added as u64;
+        self.rounds_topup += self.runner.total_rounds() - before;
+        Ok(())
+    }
+
+    /// Ensures the store can serve a `len`-step request whose computed
+    /// base length is `lambda_call`, and returns the effective stitch
+    /// `lambda` for the call.
+    ///
+    /// - **Regime upgrade** (`lambda_call >= 2 * store_lambda`, and the
+    ///   request would actually stitch there): stale short walks would
+    ///   otherwise pin every future stitch to the old `lambda` — the
+    ///   store never drains by itself — so they are discarded (free,
+    ///   local and exact: the decision reads lengths, never
+    ///   trajectories) and the store is relaunched in the new regime.
+    /// - **Within-regime** (`lambda_call < 2 * store_lambda`): stitch at
+    ///   the store's `lambda` (at most 2x finer than requested) and top
+    ///   up only the deficit, with hysteresis — a launch wave costs
+    ///   `~2 * lambda` rounds however few walks ride it, so small
+    ///   deficits are cheaper to leave to `GET-MORE-WALKS`, and most
+    ///   steady-state calls pay zero Phase-1 rounds.
+    /// - **Pure tail**: requests too short to stitch never touch the
+    ///   store.
+    fn ensure_store(&mut self, lambda_call: u32, len: u64) -> Result<u32, WalkError> {
+        let lambda_call = lambda_call.max(1);
+        let upgrade = u64::from(lambda_call) >= 2 * u64::from(self.store_lambda)
+            && len >= 2 * u64::from(lambda_call);
+        if upgrade {
+            self.walks_discarded += self.state.discard_shorter_than(lambda_call) as u64;
+            self.store_lambda = lambda_call;
+            let (counts, _) = self.deficit_counts();
+            self.run_topup(counts, lambda_call)?;
+            return Ok(lambda_call);
+        }
+        if self.store_lambda == 0 {
+            // Nothing stored and the request is too short to justify a
+            // build: serve it as a pure naive tail.
+            return Ok(lambda_call);
+        }
+        let lambda_eff = self.store_lambda;
+        if len < 2 * u64::from(lambda_eff) {
+            // Pure-tail request: no stitching, leave the store alone.
+            return Ok(lambda_eff);
+        }
+        let (counts, target_total) = self.deficit_counts();
+        let deficit: usize = counts.iter().sum();
+        if deficit * TOPUP_DEFICIT_DENOM >= target_total.max(1) {
+            self.run_topup(counts, lambda_eff)?;
+        }
+        Ok(lambda_eff)
+    }
+
+    fn setup_for(&self, lambda: u32, len: u64, record: bool) -> StitchSetup {
+        StitchSetup {
+            lambda,
+            randomize_len: self.cfg.randomize_len,
+            aggregated_gmw: self.cfg.aggregated_gmw && !self.record,
+            gmw_count: (len / u64::from(lambda.max(1))).max(1),
+            record,
+        }
+    }
+
+    /// One `len`-step walk from `source` over the session store: an
+    /// exact sample, priced at top-up deficit plus Phase 2.
+    ///
+    /// # Errors
+    ///
+    /// [`WalkError::SourceOutOfRange`] or an engine error.
+    pub fn single_walk(
+        &mut self,
+        source: NodeId,
+        len: u64,
+    ) -> Result<SessionWalkOutcome, WalkError> {
+        if source >= self.g.n() {
+            return Err(WalkError::SourceOutOfRange(source));
+        }
+        let start = self.runner.total_rounds();
+        let lambda_call = self.cfg.params.lambda(len, u64::from(self.d_est));
+        let lambda = self.ensure_store(lambda_call, len)?;
+        let mut sched = StitchScheduler::new(&self.setup_for(lambda, len, false));
+        sched.add_walk(source, len);
+        let out = sched.run(&mut self.runner, &mut self.state)?;
+        let walk = out.walks.into_iter().next().expect("one walk queued");
+        Ok(SessionWalkOutcome {
+            destination: walk.destination,
+            rounds: self.runner.total_rounds() - start,
+            lambda,
+            stitches: out.stitches,
+            gmw_invocations: out.gmw_invocations,
+            segments: walk.segments,
+        })
+    }
+
+    /// `k` walks of `len` steps from `sources` over the session store
+    /// (the session-aware `MANY-RANDOM-WALKS`). The Theorem 2.8 regime
+    /// rule is evaluated exactly as in [`crate::many_random_walks`] —
+    /// `lambda_many >= l` takes the `k + l` simultaneous-naive branch —
+    /// but the stitched branch pays only the store deficit instead of a
+    /// full Phase 1.
+    ///
+    /// # Errors
+    ///
+    /// [`WalkError::SourceOutOfRange`] or an engine error.
+    pub fn many_walks(
+        &mut self,
+        sources: &[NodeId],
+        len: u64,
+    ) -> Result<SessionManyOutcome, WalkError> {
+        for &s in sources {
+            if s >= self.g.n() {
+                return Err(WalkError::SourceOutOfRange(s));
+            }
+        }
+        let start = self.runner.total_rounds();
+        if sources.is_empty() {
+            return Ok(SessionManyOutcome {
+                destinations: Vec::new(),
+                rounds: 0,
+                rounds_topup: 0,
+                lambda: 0,
+                used_naive_fallback: false,
+                stitches: 0,
+                gmw_invocations: 0,
+            });
+        }
+        let k = sources.len() as u64;
+        let lambda_call = self.cfg.params.lambda_many(k, len, u64::from(self.d_est));
+        if u64::from(lambda_call) >= len.max(1) {
+            let specs: Vec<NaiveWalkSpec> = sources
+                .iter()
+                .map(|&source| NaiveWalkSpec {
+                    source,
+                    len,
+                    start_pos: 0,
+                    record_start: false,
+                })
+                .collect();
+            let mut naive = NaiveWalkProtocol::new(specs, None);
+            self.runner.run(&mut naive)?;
+            return Ok(SessionManyOutcome {
+                destinations: naive.destinations(),
+                rounds: self.runner.total_rounds() - start,
+                rounds_topup: 0,
+                lambda: lambda_call,
+                used_naive_fallback: true,
+                stitches: 0,
+                gmw_invocations: 0,
+            });
+        }
+        let lambda = self.ensure_store(lambda_call, len)?;
+        let rounds_topup = self.runner.total_rounds() - start;
+        let mut sched = StitchScheduler::new(&self.setup_for(lambda, len, false));
+        for &source in sources {
+            sched.add_walk(source, len);
+        }
+        let out = sched.run(&mut self.runner, &mut self.state)?;
+        Ok(SessionManyOutcome {
+            destinations: out.walks.iter().map(|w| w.destination).collect(),
+            rounds: self.runner.total_rounds() - start,
+            rounds_topup,
+            lambda,
+            used_naive_fallback: false,
+            stitches: out.stitches,
+            gmw_invocations: out.gmw_invocations,
+        })
+    }
+
+    /// Continues a (recorded) walk standing at `from` with global
+    /// position `pos_offset` for `extra_len` more steps, through the
+    /// batched scheduler and over the session store. Every visited node
+    /// records its global position(s) and predecessor: tail hops record
+    /// inline, stitched segments are replayed afterwards
+    /// ([`crate::regenerate`]). The returned
+    /// [`RecordedExtension::visits`] are drained from the shared state,
+    /// so consecutive extensions never accumulate or double-record.
+    ///
+    /// # Errors
+    ///
+    /// [`WalkError::SourceOutOfRange`] or an engine error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session was not opened with `record_walk` set
+    /// (non-recorded stores may hold non-replayable segments).
+    pub fn extend_recorded(
+        &mut self,
+        from: NodeId,
+        extra_len: u64,
+        pos_offset: u64,
+    ) -> Result<RecordedExtension, WalkError> {
+        assert!(
+            self.record,
+            "extend_recorded requires a session opened with record_walk"
+        );
+        if from >= self.g.n() {
+            return Err(WalkError::SourceOutOfRange(from));
+        }
+        let start = self.runner.total_rounds();
+        if extra_len == 0 {
+            return Ok(RecordedExtension {
+                destination: from,
+                rounds: 0,
+                lambda: self.store_lambda,
+                stitches: 0,
+                gmw_invocations: 0,
+                visits: Vec::new(),
+            });
+        }
+        let lambda_call = self.cfg.params.lambda(extra_len, u64::from(self.d_est));
+        let lambda = self.ensure_store(lambda_call, extra_len)?;
+        let mut sched = StitchScheduler::new(&self.setup_for(lambda, extra_len, true));
+        sched.add_walk_at(from, extra_len, pos_offset);
+        let out = sched.run(&mut self.runner, &mut self.state)?;
+        let walk = out.walks.into_iter().next().expect("one walk queued");
+        if !walk.segments.is_empty() {
+            let replays: Vec<ReplaySegment> = walk
+                .segments
+                .iter()
+                .map(|s| {
+                    assert!(
+                        s.replayable,
+                        "recorded sessions stitch replayable walks only"
+                    );
+                    ReplaySegment {
+                        connector: s.connector,
+                        id: s.id,
+                        start_pos: pos_offset + s.start_pos,
+                    }
+                })
+                .collect();
+            let mut replay = ReplayProtocol::new(&mut self.state, replays);
+            self.runner.run_local(&mut replay)?;
+        }
+        let visits = self.state.drain_visits();
+        debug_assert_eq!(
+            visits.len() as u64,
+            extra_len,
+            "an extension records exactly (pos_offset, pos_offset + extra_len]"
+        );
+        Ok(RecordedExtension {
+            destination: walk.destination,
+            rounds: self.runner.total_rounds() - start,
+            lambda,
+            stitches: out.stitches,
+            gmw_invocations: out.gmw_invocations,
+            visits,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drw_graph::generators;
+
+    fn parity(v: usize, cols: usize) -> usize {
+        (v / cols + v % cols) % 2
+    }
+
+    #[test]
+    fn session_single_walks_preserve_parity() {
+        let g = generators::torus2d(4, 4);
+        let mut s = WalkSession::new(&g, 0, &SingleWalkConfig::default(), 3).unwrap();
+        let mut at = 0usize;
+        for _ in 0..4 {
+            let r = s.single_walk(at, 64).unwrap();
+            assert_eq!(parity(at, 4), parity(r.destination, 4));
+            at = r.destination;
+        }
+    }
+
+    #[test]
+    fn second_call_pays_less_phase1_than_the_first() {
+        let g = generators::torus2d(6, 6);
+        let mut s = WalkSession::new(&g, 0, &SingleWalkConfig::default(), 5).unwrap();
+        let sources = [0usize, 9, 20];
+        let a = s.many_walks(&sources, 1024).unwrap();
+        assert!(!a.used_naive_fallback);
+        assert!(a.rounds_topup > 0, "first call must build the store");
+        let b = s.many_walks(&sources, 1024).unwrap();
+        assert!(!b.used_naive_fallback);
+        assert_eq!(
+            b.rounds_topup, 0,
+            "a lightly-consumed store is not replenished (hysteresis)"
+        );
+        assert_eq!(s.topups(), 1);
+        assert!(b.rounds < a.rounds, "reuse must beat the build call");
+    }
+
+    #[test]
+    fn fallback_regime_leaves_the_store_alone() {
+        let g = generators::torus2d(4, 4);
+        let mut s = WalkSession::new(&g, 0, &SingleWalkConfig::default(), 7).unwrap();
+        let sources: Vec<usize> = (0..16).collect();
+        let r = s.many_walks(&sources, 8).unwrap();
+        assert!(r.used_naive_fallback);
+        assert!(r.lambda >= 1, "fallback must report the computed lambda");
+        assert_eq!(r.stitches, 0);
+        assert_eq!(s.state().total_stored(), 0, "no store for naive walks");
+        for (&src, &d) in sources.iter().zip(&r.destinations) {
+            assert_eq!(parity(src, 4), parity(d, 4));
+        }
+    }
+
+    #[test]
+    fn store_lambda_only_grows_across_regimes() {
+        let g = generators::torus2d(6, 6);
+        let mut s = WalkSession::new(&g, 0, &SingleWalkConfig::default(), 11).unwrap();
+        s.single_walk(0, 256).unwrap();
+        let small = s.store_lambda();
+        assert!(small >= 1);
+        s.single_walk(0, 4096).unwrap();
+        let big = s.store_lambda();
+        assert!(big > small, "longer request must upgrade the regime");
+        let r = s.single_walk(0, 300).unwrap();
+        assert_eq!(s.store_lambda(), big, "short request keeps the regime");
+        assert_eq!(parity(0, 6), parity(r.destination, 6));
+    }
+
+    #[test]
+    fn recorded_extensions_chain_into_one_valid_walk() {
+        let g = generators::torus2d(5, 5);
+        let cfg = SingleWalkConfig {
+            record_walk: true,
+            ..SingleWalkConfig::default()
+        };
+        let mut s = WalkSession::new(&g, 0, &cfg, 13).unwrap();
+        let (l1, l2) = (300u64, 500u64);
+        let e1 = s.extend_recorded(0, l1, 0).unwrap();
+        let e2 = s.extend_recorded(e1.destination, l2, l1).unwrap();
+        assert!(e1.stitches > 0 || e2.stitches > 0, "long walks must stitch");
+
+        // Assemble: the caller records position 0; each extension
+        // records exactly (pos_offset, pos_offset + extra_len].
+        let mut state = WalkState::new(g.n());
+        state.record_visit(0, 0, None);
+        assert_eq!(e1.visits.len() as u64, l1);
+        assert_eq!(e2.visits.len() as u64, l2);
+        for (node, v) in e1.visits.iter().chain(&e2.visits) {
+            assert!(v.pos >= 1, "extensions never record their start");
+            assert!(v.pred.is_some(), "every extension visit has a pred");
+            state.record_visit(*node, v.pos, v.pred);
+        }
+        let walk = state.reconstruct_walk(l1 + l2);
+        assert_eq!(walk[0], 0);
+        assert_eq!(walk[l1 as usize], e1.destination, "hand-off is explicit");
+        assert_eq!(*walk.last().unwrap(), e2.destination);
+        for w in walk.windows(2) {
+            assert!(g.has_edge(w[0], w[1]), "non-edge {}-{}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn zero_length_extension_is_free() {
+        let g = generators::path(5);
+        let cfg = SingleWalkConfig {
+            record_walk: true,
+            ..SingleWalkConfig::default()
+        };
+        let mut s = WalkSession::new(&g, 2, &cfg, 17).unwrap();
+        let before = s.total_rounds();
+        let e = s.extend_recorded(3, 0, 44).unwrap();
+        assert_eq!(e.destination, 3);
+        assert_eq!(e.rounds, 0);
+        assert!(e.visits.is_empty());
+        assert_eq!(s.total_rounds(), before);
+    }
+
+    #[test]
+    fn deterministic_in_the_seed() {
+        let g = generators::torus2d(5, 5);
+        let run = || {
+            let mut s = WalkSession::new(&g, 0, &SingleWalkConfig::default(), 99).unwrap();
+            let a = s.many_walks(&[0, 6, 13], 512).unwrap();
+            let b = s.single_walk(7, 700).unwrap();
+            (a.destinations, b.destination, s.total_rounds())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let g = generators::path(4);
+        assert!(matches!(
+            WalkSession::new(&g, 9, &SingleWalkConfig::default(), 1),
+            Err(WalkError::SourceOutOfRange(9))
+        ));
+        let disconnected = drw_graph::Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(matches!(
+            WalkSession::new(&disconnected, 0, &SingleWalkConfig::default(), 1),
+            Err(WalkError::Disconnected)
+        ));
+        let mut s = WalkSession::new(&g, 0, &SingleWalkConfig::default(), 1).unwrap();
+        assert!(matches!(
+            s.single_walk(9, 8),
+            Err(WalkError::SourceOutOfRange(9))
+        ));
+        assert!(matches!(
+            s.many_walks(&[0, 9], 8),
+            Err(WalkError::SourceOutOfRange(9))
+        ));
+    }
+}

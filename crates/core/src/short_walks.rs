@@ -80,6 +80,40 @@ impl<'s> ShortWalksProtocol<'s> {
             randomize_len,
         }
     }
+
+    /// Deficit-only replenishment mode: node `v` launches only
+    /// `max(0, targets[v] - outstanding[v])` fresh walks, where
+    /// `outstanding[v]` counts `v`-launched walks still unused anywhere
+    /// in the store ([`WalkState::outstanding_by_source`]). Existing
+    /// per-node stores are *extended*, never rebuilt, so a top-up over a
+    /// full store launches nothing and costs zero rounds — the session's
+    /// amortization primitive (walks are priced only when actually
+    /// added).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda == 0` or `targets.len()` mismatches the state.
+    pub fn top_up(
+        state: &'s mut WalkState,
+        targets: &[usize],
+        lambda: u32,
+        randomize_len: bool,
+    ) -> Self {
+        assert_eq!(targets.len(), state.nodes.len(), "one target per node");
+        let outstanding = state.outstanding_by_source();
+        let counts: Vec<usize> = targets
+            .iter()
+            .zip(&outstanding)
+            .map(|(&t, &o)| t.saturating_sub(o))
+            .collect();
+        Self::new(state, counts, lambda, randomize_len)
+    }
+
+    /// Number of walks this run will launch (after any deficit
+    /// computation).
+    pub fn planned(&self) -> usize {
+        self.counts.iter().sum()
+    }
 }
 
 impl NodeLocalProtocol for ShortWalksProtocol<'_> {
@@ -259,6 +293,42 @@ mod tests {
         // With one walk per node on a regular graph congestion is mild:
         // rounds should be O(lambda * polylog), far below lambda * n.
         assert!(r2 < 32 * 20, "rounds = {r2}");
+    }
+
+    #[test]
+    fn top_up_launches_only_the_deficit() {
+        let g = generators::torus2d(4, 4);
+        let targets = vec![3usize; g.n()];
+        let mut state = WalkState::new(g.n());
+        // First top-up over an empty store: launches everything.
+        let mut p = ShortWalksProtocol::top_up(&mut state, &targets, 6, true);
+        assert_eq!(p.planned(), 3 * g.n());
+        run_node_local(&g, &EngineConfig::default(), 2, &mut p).unwrap();
+        assert_eq!(state.total_stored(), 3 * g.n());
+
+        // Full store: deficit is zero everywhere, zero rounds.
+        let mut p = ShortWalksProtocol::top_up(&mut state, &targets, 6, true);
+        assert_eq!(p.planned(), 0);
+        let report = run_node_local(&g, &EngineConfig::default(), 3, &mut p).unwrap();
+        assert_eq!(report.rounds, 0);
+        assert_eq!(state.total_stored(), 3 * g.n());
+
+        // Consume two walks launched by node 5; only node 5 replenishes.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut taken = 0;
+        for v in 0..g.n() {
+            while taken < 2 && state.nodes[v].count_from(5) > 0 {
+                state.nodes[v].take_uniform_from(5, &mut rng).unwrap();
+                taken += 1;
+            }
+        }
+        assert_eq!(taken, 2);
+        let mut p = ShortWalksProtocol::top_up(&mut state, &targets, 6, true);
+        assert_eq!(p.planned(), 2);
+        run_node_local(&g, &EngineConfig::default(), 4, &mut p).unwrap();
+        assert_eq!(state.total_stored(), 3 * g.n());
+        assert_eq!(state.outstanding_by_source(), vec![3; g.n()]);
     }
 
     #[test]

@@ -250,6 +250,55 @@ impl WalkState {
         self.nodes[v].record_visit(pos, pred);
     }
 
+    /// Per-source census of the unused store: `out[v]` is the number of
+    /// stored (unused) walks anywhere in the network that were launched
+    /// by `v`. This is node-local knowledge in the distributed sense —
+    /// `v` launched its walks and is the connector whenever one of them
+    /// is consumed — collected here centrally for the session's
+    /// deficit-only Phase-1 top-up.
+    pub fn outstanding_by_source(&self) -> Vec<usize> {
+        let mut out = vec![0usize; self.nodes.len()];
+        for ns in &self.nodes {
+            for w in &ns.store {
+                let s = w.id.source as usize;
+                if s < out.len() {
+                    out[s] += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Discards every stored (unused) walk shorter than `min_len`
+    /// steps, returning how many were dropped. Used by the session on a
+    /// regime upgrade: stale short walks would pin stitching to the old
+    /// `lambda` forever (the store never drains naturally), and
+    /// forgetting *unused* walks is free and exact — the decision looks
+    /// only at recorded lengths, never at trajectories, so the
+    /// remaining walks stay fresh independent samples.
+    pub fn discard_shorter_than(&mut self, min_len: u32) -> usize {
+        let mut dropped = 0;
+        for ns in &mut self.nodes {
+            let before = ns.store.len();
+            ns.store.retain(|w| w.len >= min_len);
+            dropped += before - ns.store.len();
+        }
+        dropped
+    }
+
+    /// Removes and returns every recorded visit as `(node, visit)`
+    /// pairs, leaving the per-node visit lists empty. Used by the
+    /// session's recorded walk extension so each extension's visits can
+    /// be consumed without clearing the (persistent) store and
+    /// forwarding logs.
+    pub fn drain_visits(&mut self) -> Vec<(NodeId, Visit)> {
+        let mut out = Vec::new();
+        for (v, ns) in self.nodes.iter_mut().enumerate() {
+            out.extend(ns.visits.drain(..).map(|visit| (v, visit)));
+        }
+        out
+    }
+
     /// Reconstructs the full walk `positions -> node` from the recorded
     /// per-node visits.
     ///
@@ -339,6 +388,40 @@ mod tests {
     fn taking_missing_walk_panics() {
         let mut s = WalkState::new(1);
         s.take_walk(0, 3);
+    }
+
+    #[test]
+    fn outstanding_census_counts_by_source() {
+        let mut s = WalkState::new(3);
+        s.store_walk(1, WalkId { source: 0, seq: 0 }, 4, true);
+        s.store_walk(2, WalkId { source: 0, seq: 1 }, 4, true);
+        s.store_walk(0, WalkId { source: 2, seq: 0 }, 4, true);
+        assert_eq!(s.outstanding_by_source(), vec![2, 0, 1]);
+        s.take_walk(1, 0);
+        assert_eq!(s.outstanding_by_source(), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn drain_visits_empties_and_returns_everything() {
+        let mut s = WalkState::new(3);
+        s.record_visit(0, 0, None);
+        s.record_visit(2, 1, Some(0));
+        s.record_visit(2, 3, Some(1));
+        let mut drained = s.drain_visits();
+        drained.sort_unstable_by_key(|(_, v)| v.pos);
+        assert_eq!(drained.len(), 3);
+        assert_eq!(
+            drained[1],
+            (
+                2,
+                Visit {
+                    pos: 1,
+                    pred: Some(0)
+                }
+            )
+        );
+        assert!(s.nodes.iter().all(|ns| ns.visits.is_empty()));
+        assert!(s.drain_visits().is_empty());
     }
 
     #[test]

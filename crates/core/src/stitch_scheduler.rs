@@ -71,6 +71,12 @@ pub struct StitchSpec {
     pub source: NodeId,
     /// Number of steps.
     pub len: u64,
+    /// Global position of `source` within a larger stitched walk (0 for
+    /// a standalone walk). Only consulted in record mode: tail visits
+    /// are recorded at `pos_offset + local position`, which is how a
+    /// session extends an already-recorded walk without re-entering
+    /// setup.
+    pub pos_offset: u64,
 }
 
 /// One walk's message within the multiplexed Phase-2 run. The walk id
@@ -126,6 +132,11 @@ struct SharedCfg {
     randomize_len: bool,
     aggregated_gmw: bool,
     gmw_count: u64,
+    /// Record naive-tail visits (position + predecessor) into the
+    /// per-node state. Stitched segments are *not* recorded here — the
+    /// caller replays them afterwards ([`crate::regenerate`]), exactly
+    /// as the sequential driver does.
+    record: bool,
     walks: Vec<StitchSpec>,
 }
 
@@ -541,6 +552,16 @@ impl NodeLocalProtocol for BatchedStitchProtocol {
                     push_ack(&mut acks, lane_idx, count);
                 }
                 StitchMsg::Tail { left } => {
+                    if shared.record {
+                        // The receiver is the `len - left`-th node of
+                        // its walk; `pos_offset` lifts that to the
+                        // global position within a session-extended
+                        // walk. The tail start itself is never recorded
+                        // (it is the endpoint of the last replayed
+                        // segment, or the caller's hand-off position).
+                        let spec = shared.walks[lane_idx as usize];
+                        ws.record_visit(spec.pos_offset + spec.len - left, Some(env.from));
+                    }
                     if left == 0 {
                         finished.push(lane_idx);
                     } else {
@@ -873,14 +894,23 @@ pub struct StitchScheduler {
 impl StitchScheduler {
     /// Creates an empty scheduler for the given stitching parameters.
     ///
+    /// With `setup.record` set, naive-tail hops record their visits
+    /// (position + predecessor) into the shared state; stitched
+    /// segments still have to be replayed by the caller afterwards
+    /// ([`crate::regenerate`]) for the recording to be complete, so
+    /// record mode requires the per-token (replayable)
+    /// `GET-MORE-WALKS`.
+    ///
     /// # Panics
     ///
-    /// Panics if `setup.record` is set: visit recording replays walks
-    /// one at a time and belongs to the sequential driver.
+    /// Panics if `setup.record` is combined with
+    /// `setup.aggregated_gmw`: aggregated replenishment stores
+    /// non-replayable walks, which would leave every stitched position
+    /// silently missing from the recording.
     pub fn new(setup: &StitchSetup) -> Self {
         assert!(
-            !setup.record,
-            "the batched scheduler does not record visits"
+            !(setup.record && setup.aggregated_gmw),
+            "record mode requires per-token (replayable) GET-MORE-WALKS"
         );
         StitchScheduler {
             setup: *setup,
@@ -890,7 +920,19 @@ impl StitchScheduler {
 
     /// Queues a `len`-step walk from `source`.
     pub fn add_walk(&mut self, source: NodeId, len: u64) -> &mut Self {
-        self.specs.push(StitchSpec { source, len });
+        self.add_walk_at(source, len, 0)
+    }
+
+    /// Queues a `len`-step walk from `source` whose start sits at global
+    /// position `pos_offset` of a larger recorded walk (a session
+    /// extension): in record mode, tail visits are recorded at
+    /// `pos_offset + local position`.
+    pub fn add_walk_at(&mut self, source: NodeId, len: u64, pos_offset: u64) -> &mut Self {
+        self.specs.push(StitchSpec {
+            source,
+            len,
+            pos_offset,
+        });
         self
     }
 
@@ -927,6 +969,7 @@ impl StitchScheduler {
             randomize_len: self.setup.randomize_len,
             aggregated_gmw: self.setup.aggregated_gmw,
             gmw_count: self.setup.gmw_count.max(1),
+            record: self.setup.record,
             walks: self.specs,
         };
         let lambda = shared.lambda;
@@ -1109,6 +1152,31 @@ mod tests {
         assert_eq!(out.stitches, 0);
         // Parity of the 5-step tail on a path.
         assert_eq!((out.walks[1].destination + 2) % 2, 1);
+    }
+
+    #[test]
+    fn record_mode_records_tail_visits_at_offset() {
+        // A pure-tail walk (len < 2*lambda) in record mode: every hop is
+        // recorded at pos_offset + local position with its predecessor;
+        // the hand-off position (pos_offset itself) is never recorded.
+        let g = generators::path(8);
+        let mut runner = Runner::new(&g, EngineConfig::default(), 13);
+        let mut state = WalkState::new(g.n());
+        let mut su = setup(16, false);
+        su.record = true;
+        let mut sched = StitchScheduler::new(&su);
+        sched.add_walk_at(3, 5, 100);
+        let out = sched.run(&mut runner, &mut state).expect("tail walk");
+        let visits = state.drain_visits();
+        assert_eq!(visits.len(), 5);
+        let mut poss: Vec<u64> = visits.iter().map(|(_, v)| v.pos).collect();
+        poss.sort_unstable();
+        assert_eq!(poss, vec![101, 102, 103, 104, 105]);
+        let (last_node, _) = *visits.iter().find(|(_, v)| v.pos == 105).unwrap();
+        assert_eq!(last_node, out.walks[0].destination);
+        for (node, v) in &visits {
+            assert!(g.has_edge(v.pred.expect("tail visits carry preds"), *node));
+        }
     }
 
     #[test]

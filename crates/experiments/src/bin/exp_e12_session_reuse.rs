@@ -1,0 +1,165 @@
+//! E12: session reuse (ISSUE 3's acceptance workload) — the doubling
+//! loops of both applications over one persistent `WalkSession` vs
+//! per-phase / per-probe rebuilds.
+//!
+//! **RST** (`distributed_rst`, extend mode): the session pays one BFS
+//! and carries the Phase-1 store across doubling phases; the baseline
+//! rebuilds BFS + Phase 1 inside every phase's `single_random_walk`.
+//! A small `initial_len` forces many phases, which is exactly where the
+//! amortization shows.
+//!
+//! **Mixing** (`estimate_mixing_time`): a stitched-regime configuration
+//! (`lambda_scale = 0.15`, `eta = 2`) so the long probes of the doubling
+//! scan actually exercise Phase 1; the session tops the shared store up
+//! only for the deficit, the baseline rebuilds it per probe.
+//!
+//! Acceptance (ISSUE 3): on the 32x32 torus the session estimator's
+//! total rounds drop >= 25% vs the rebuild baseline, and session RST
+//! performs exactly one BFS per call.
+
+use drw_core::WalkParams;
+use drw_experiments::{executor_from_env, table::f3, walk_config_from_env, workloads, Table};
+use drw_mixing::{estimate_mixing_time, MixingConfig};
+use drw_spanning::{distributed_rst, RstConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let side = if quick { 16 } else { 32 };
+    let trials: u64 = if quick { 1 } else { 3 };
+    let w = workloads::torus(side);
+    let g = &w.graph;
+
+    // --- RST: session vs rebuild-per-phase ---------------------------
+    let mut t1 = Table::new(
+        &format!(
+            "E12 RST doubling loop on {side}x{side} {} — session vs rebuild (executor={})",
+            w.name,
+            executor_from_env()
+        ),
+        &[
+            "mode",
+            "rounds",
+            "bfs runs",
+            "phases",
+            "attempts",
+            "vs rebuild",
+        ],
+    );
+    let rst_cfg = RstConfig {
+        walk: walk_config_from_env(),
+        // A deliberately small first guess so the doubling loop runs
+        // several phases — the regime the session amortizes.
+        initial_len: (g.n() / 8) as u64,
+        ..RstConfig::default()
+    };
+    let mut rst_rounds = [0.0f64; 2];
+    let mut rst_rows: Vec<Vec<String>> = Vec::new();
+    for (i, reuse_session) in [true, false].into_iter().enumerate() {
+        let cfg = RstConfig {
+            reuse_session,
+            ..rst_cfg.clone()
+        };
+        let (mut rounds, mut bfs, mut phases, mut attempts) = (0.0, 0.0, 0.0, 0.0);
+        for s in 0..trials {
+            let r = distributed_rst(g, 0, &cfg, 500 + s).expect("rst");
+            rounds += r.rounds as f64;
+            bfs += r.bfs_runs as f64;
+            phases += r.phases as f64;
+            attempts += r.attempts as f64;
+        }
+        let n = trials as f64;
+        rst_rounds[i] = rounds / n;
+        rst_rows.push(vec![
+            if reuse_session { "session" } else { "rebuild" }.to_string(),
+            f3(rounds / n),
+            f3(bfs / n),
+            f3(phases / n),
+            f3(attempts / n),
+            String::new(), // filled once both modes ran
+        ]);
+    }
+    rst_rows[0][5] = f3(rst_rounds[0] / rst_rounds[1].max(1.0));
+    rst_rows[1][5] = f3(1.0);
+    for row in &rst_rows {
+        t1.row(row);
+    }
+    t1.emit();
+
+    // --- Mixing: session vs rebuild-per-probe ------------------------
+    let mut t2 = Table::new(
+        &format!(
+            "E12 mixing estimator on {side}x{side} {} — session vs rebuild (executor={})",
+            w.name,
+            executor_from_env()
+        ),
+        &[
+            "mode",
+            "rounds",
+            "probes",
+            "tau",
+            "max probe len",
+            "vs rebuild",
+        ],
+    );
+    // Stitched-regime configuration: lambda_scale 0.15 keeps the long
+    // probes out of the `k + l` fallback (so they exercise Phase 1),
+    // eta = 2 provisions the shared store for k = 8*sqrt(n) contending
+    // walks, and the tight l2 threshold makes the bipartite torus's
+    // cap-scan verdicts deterministic (no spurious collision-noise
+    // passes).
+    let mix_cfg = MixingConfig {
+        l2_threshold: 0.1,
+        max_len: 1 << 12,
+        walk: drw_core::SingleWalkConfig {
+            params: WalkParams {
+                lambda_scale: 0.15,
+                eta: 2.0,
+            },
+            ..walk_config_from_env()
+        },
+        ..MixingConfig::default()
+    };
+    let mut mix_rounds = [0.0f64; 2];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (i, reuse_session) in [true, false].into_iter().enumerate() {
+        let cfg = MixingConfig {
+            reuse_session,
+            ..mix_cfg.clone()
+        };
+        let (mut rounds, mut probes, mut tau, mut max_len) = (0.0, 0.0, 0.0, 0u64);
+        for s in 0..trials {
+            let est = estimate_mixing_time(g, 0, &cfg, 900 + s).expect("estimate");
+            rounds += est.rounds as f64;
+            probes += est.probes.len() as f64;
+            tau += est.tau_estimate as f64;
+            max_len = max_len.max(est.probes.iter().map(|p| p.len).max().unwrap_or(0));
+        }
+        let n = trials as f64;
+        mix_rounds[i] = rounds / n;
+        rows.push(vec![
+            if reuse_session { "session" } else { "rebuild" }.to_string(),
+            f3(rounds / n),
+            f3(probes / n),
+            f3(tau / n),
+            max_len.to_string(),
+            String::new(), // filled once both modes ran
+        ]);
+    }
+    let ratio = mix_rounds[0] / mix_rounds[1].max(1.0);
+    rows[0][5] = f3(ratio);
+    rows[1][5] = f3(1.0);
+    for row in &rows {
+        t2.row(row);
+    }
+    t2.emit();
+
+    println!(
+        "session/rebuild mixing-round ratio: {}{}",
+        f3(ratio),
+        if quick {
+            " (16x16 smoke; the >= 25% acceptance bar applies to the full 32x32 run)"
+        } else {
+            " (acceptance: <= 0.75)"
+        }
+    );
+}

@@ -13,14 +13,22 @@
 //! `l` doubles until the first PASS; a binary search then pins the
 //! smallest passing length, leaning on the monotonicity of
 //! `||pi_x(t) - pi||_1` (Lemma 4.4).
+//!
+//! Every probe — the doubling scan and every binary-search midpoint —
+//! runs against one persistent [`WalkSession`]: the source's BFS tree
+//! and diameter estimate are computed once and reused by every probe's
+//! walks *and* upcasts, and probes in the stitched regime top up the
+//! shared short-walk store instead of rebuilding Phase 1 from scratch.
+//! `MixingConfig::reuse_session = false` restores the per-probe-rebuild
+//! baseline (each probe pays its own BFS + Phase 1 inside
+//! [`many_random_walks`]) — the comparison measured by experiment E12.
 
 use crate::bucket_test::{BucketTest, SampleStats};
+use drw_congest::derive_seed;
 use drw_congest::primitives::{
-    AggOp, BfsTree, BfsTreeProtocol, BroadcastProtocol, ConvergecastProtocol, UpcastProtocol,
-    VectorSumProtocol,
+    AggOp, BfsTree, BroadcastProtocol, ConvergecastProtocol, UpcastProtocol, VectorSumProtocol,
 };
-use drw_congest::{derive_seed, Runner};
-use drw_core::{many_random_walks, SingleWalkConfig, WalkError};
+use drw_core::{many_random_walks, SingleWalkConfig, WalkError, WalkSession};
 use drw_graph::{traversal, Graph, NodeId};
 
 /// Configuration of [`estimate_mixing_time`].
@@ -46,6 +54,11 @@ pub struct MixingConfig {
     pub max_len: u64,
     /// Refine with binary search after the first PASS.
     pub refine: bool,
+    /// Run all probes over one persistent [`WalkSession`] (one BFS, one
+    /// short-walk store; the default). `false` restores the
+    /// per-probe-rebuild baseline: each probe's `MANY-RANDOM-WALKS`
+    /// pays its own BFS and Phase 1.
+    pub reuse_session: bool,
 }
 
 impl Default for MixingConfig {
@@ -58,6 +71,7 @@ impl Default for MixingConfig {
             walk: SingleWalkConfig::default(),
             max_len: 1 << 20,
             refine: true,
+            reuse_session: true,
         }
     }
 }
@@ -114,29 +128,29 @@ pub fn estimate_mixing_time(
     let k = ((g.n() as f64).sqrt() * cfg.samples_scale).ceil() as usize;
     let bucket_test = BucketTest::new(g, cfg.bucket_base);
 
-    // Setup at the source: BFS tree, degree sum (2m) + max degree
-    // broadcasts (so every node knows its own bucket), then the exact
-    // bucket masses by pipelined vector convergecast — O(D + B) rounds.
-    let mut runner = Runner::new(g, cfg.walk.engine.clone(), derive_seed(seed, 0xB00));
-    let mut bfs = BfsTreeProtocol::new(source);
-    runner.run(&mut bfs)?;
-    let tree: BfsTree = bfs.into_tree();
+    // The session runs the one BFS from the source; its tree and
+    // diameter estimate serve every aggregation, upcast and probe below.
+    let mut session = WalkSession::new(g, source, &cfg.walk, derive_seed(seed, 0xB00))?;
+    let tree: BfsTree = session.tree().clone();
 
+    // Setup at the source: degree sum (2m) + max degree broadcasts (so
+    // every node knows its own bucket), then the exact bucket masses by
+    // pipelined vector convergecast — O(D + B) rounds, once.
     let degrees: Vec<u64> = (0..g.n()).map(|v| g.degree(v) as u64).collect();
     let squares: Vec<u64> = degrees.iter().map(|&d| d * d).collect();
     let mut sum_deg = ConvergecastProtocol::new(tree.clone(), AggOp::Sum, degrees.clone());
-    runner.run(&mut sum_deg)?;
+    session.runner_mut().run(&mut sum_deg)?;
     let mut max_deg = ConvergecastProtocol::new(tree.clone(), AggOp::Max, degrees);
-    runner.run(&mut max_deg)?;
+    session.runner_mut().run(&mut max_deg)?;
     let mut sq_deg = ConvergecastProtocol::new(tree.clone(), AggOp::Sum, squares);
-    runner.run(&mut sq_deg)?;
+    session.runner_mut().run(&mut sq_deg)?;
     let two_m = sum_deg.result();
     let sum_deg_sq = sq_deg.result();
     let mut announce = BroadcastProtocol::new(tree.clone(), vec![two_m, max_deg.result()]);
-    runner.run(&mut announce)?;
+    session.runner_mut().run(&mut announce)?;
 
     let mut masses = VectorSumProtocol::new(tree.clone(), bucket_test.mass_numerators(g));
-    runner.run(&mut masses)?;
+    session.runner_mut().run(&mut masses)?;
     debug_assert_eq!(
         masses.result().iter().sum::<u64>(),
         2 * g.m() as u64,
@@ -145,19 +159,29 @@ pub fn estimate_mixing_time(
 
     let mut probes = Vec::new();
     let mut probe_seq = 0u64;
-    let mut probe = |len: u64, runner: &mut Runner<'_>| -> Result<ProbeRecord, WalkError> {
-        probe_seq += 1;
-        let walk_seed = derive_seed(seed, probe_seq);
+    let mut probe = |len: u64, session: &mut WalkSession<'_>| -> Result<ProbeRecord, WalkError> {
         let sources = vec![source; k];
-        let walks = many_random_walks(g, &sources, len, &cfg.walk, walk_seed)?;
-        runner.charge_rounds(walks.rounds);
+        let destinations = if cfg.reuse_session {
+            // Session probe: reuse the cached diameter, top the shared
+            // store up only for the deficit, stitch (or fall back to
+            // simultaneous naive walks per Theorem 2.8's regime rule).
+            session.many_walks(&sources, len)?.destinations
+        } else {
+            // Per-probe-rebuild baseline: a full MANY-RANDOM-WALKS call
+            // with its own BFS and Phase 1, billed onto the same total.
+            probe_seq += 1;
+            let walk_seed = derive_seed(seed, probe_seq);
+            let walks = many_random_walks(g, &sources, len, &cfg.walk, walk_seed)?;
+            session.runner_mut().charge_rounds(walks.rounds);
+            walks.destinations
+        };
 
         // Each endpoint node v with c_v samples ships two node-local
         // pairs to the source — two pipelined upcasts, O(D + K) rounds:
         // (bucket_of(v), c_v) for the histogram, and
         // (c_v * deg(v), c_v * (c_v - 1)) for the collision moments.
         let mut c = vec![0u64; g.n()];
-        for &d in &walks.destinations {
+        for &d in &destinations {
             c[d] += 1;
         }
         let mut hist_items: Vec<Vec<(u64, u64)>> = vec![Vec::new(); g.n()];
@@ -170,9 +194,9 @@ pub fn estimate_mixing_time(
             moment_items[v].push((c[v] * g.degree(v) as u64, c[v] * (c[v] - 1)));
         }
         let mut up_hist = UpcastProtocol::new(tree.clone(), hist_items);
-        runner.run(&mut up_hist)?;
+        session.runner_mut().run(&mut up_hist)?;
         let mut up_moments = UpcastProtocol::new(tree.clone(), moment_items);
-        runner.run(&mut up_moments)?;
+        session.runner_mut().run(&mut up_moments)?;
 
         let mut stats = SampleStats {
             bucket_hist: vec![0u64; bucket_test.buckets()],
@@ -199,22 +223,27 @@ pub fn estimate_mixing_time(
     let mut first_pass: Option<u64> = None;
     let mut last_fail = 0u64;
     while len <= cfg.max_len {
-        let rec = probe(len, &mut runner)?;
+        let rec = probe(len, &mut session)?;
         probes.push(rec);
         if rec.pass {
             first_pass = Some(len);
             break;
         }
         last_fail = len;
-        len *= 2;
+        len = match len.checked_mul(2) {
+            Some(next) => next,
+            None => break, // cap the scan rather than wrap around
+        };
     }
 
-    // Binary-search refinement (Lemma 4.4 monotonicity).
+    // Binary-search refinement (Lemma 4.4 monotonicity). A PASS at the
+    // very first probe leaves `last_fail = 0` and `lo + 1 == hi`, so the
+    // search body never runs — there is no probe below length 1.
     if let (Some(mut hi), true) = (first_pass, cfg.refine) {
         let mut lo = last_fail;
         while lo + 1 < hi {
             let mid = lo + (hi - lo) / 2;
-            let rec = probe(mid, &mut runner)?;
+            let rec = probe(mid, &mut session)?;
             probes.push(rec);
             if rec.pass {
                 hi = mid;
@@ -228,7 +257,7 @@ pub fn estimate_mixing_time(
     Ok(MixingEstimate {
         tau_estimate: first_pass.unwrap_or(cfg.max_len),
         converged: first_pass.is_some(),
-        rounds: runner.total_rounds(),
+        rounds: session.total_rounds(),
         samples_per_probe: k,
         buckets: bucket_test.buckets(),
         probes,
@@ -297,6 +326,111 @@ mod tests {
         let est = estimate_mixing_time(&g, 0, &cfg, 6).unwrap();
         assert!(!est.converged);
         assert_eq!(est.tau_estimate, 512);
+    }
+
+    #[test]
+    fn pass_at_length_one_skips_refinement() {
+        // On a complete graph a single step is already near-stationary:
+        // the very first probe PASSes, `last_fail` stays 0, and the
+        // binary search must not run (there is no probe below 1, and no
+        // `lo = 0` artifact may surface).
+        let g = generators::complete(32);
+        for reuse_session in [true, false] {
+            let cfg = MixingConfig {
+                reuse_session,
+                ..small_cfg()
+            };
+            let est = estimate_mixing_time(&g, 0, &cfg, 8).unwrap();
+            assert!(est.converged, "session={reuse_session}");
+            assert_eq!(est.tau_estimate, 1, "session={reuse_session}");
+            assert_eq!(est.probes.len(), 1, "no refinement probes may run");
+            assert!(est.probes[0].pass);
+        }
+    }
+
+    #[test]
+    fn no_pass_terminates_cleanly_at_the_cap() {
+        // Nothing ever passes on a bipartite graph: the scan must visit
+        // exactly the doubling lengths up to the cap — no infinite loop,
+        // no refinement — and report the cap without a converged claim.
+        let g = generators::cycle(16);
+        for reuse_session in [true, false] {
+            let cfg = MixingConfig {
+                max_len: 256,
+                reuse_session,
+                ..small_cfg()
+            };
+            let est = estimate_mixing_time(&g, 0, &cfg, 9).unwrap();
+            assert!(!est.converged, "session={reuse_session}");
+            assert_eq!(est.tau_estimate, 256);
+            let lens: Vec<u64> = est.probes.iter().map(|p| p.len).collect();
+            assert_eq!(lens, vec![1, 2, 4, 8, 16, 32, 64, 128, 256]);
+            assert!(est.probes.iter().all(|p| !p.pass));
+        }
+    }
+
+    #[test]
+    fn session_probes_match_rebuild_verdicts() {
+        // The session reuses randomness differently, but at fixed seeds
+        // on decisively-mixing / decisively-unmixed graphs the PASS/FAIL
+        // sequence — and hence the estimate — must agree with the
+        // per-probe-rebuild baseline.
+        for (g, seed) in [
+            (generators::complete(33), 12u64),
+            (generators::cycle(16), 13u64),
+        ] {
+            let session_cfg = MixingConfig {
+                max_len: 1 << 12,
+                ..small_cfg()
+            };
+            let rebuild_cfg = MixingConfig {
+                reuse_session: false,
+                ..session_cfg.clone()
+            };
+            let s = estimate_mixing_time(&g, 0, &session_cfg, seed).unwrap();
+            let r = estimate_mixing_time(&g, 0, &rebuild_cfg, seed).unwrap();
+            assert_eq!(s.converged, r.converged);
+            let sv: Vec<(u64, bool)> = s.probes.iter().map(|p| (p.len, p.pass)).collect();
+            let rv: Vec<(u64, bool)> = r.probes.iter().map(|p| (p.len, p.pass)).collect();
+            assert_eq!(sv, rv, "verdict sequences diverged");
+            assert_eq!(s.tau_estimate, r.tau_estimate);
+        }
+
+        // Borderline graph: probes right at the mixing boundary may flip
+        // under different (equally exact) randomness, but the doubling
+        // scan must agree and the refined estimates must land in the
+        // same narrow band.
+        let g = generators::cycle(33);
+        let session_cfg = MixingConfig {
+            max_len: 1 << 12,
+            ..small_cfg()
+        };
+        let rebuild_cfg = MixingConfig {
+            reuse_session: false,
+            ..session_cfg.clone()
+        };
+        let s = estimate_mixing_time(&g, 0, &session_cfg, 14).unwrap();
+        let r = estimate_mixing_time(&g, 0, &rebuild_cfg, 14).unwrap();
+        assert!(s.converged && r.converged);
+        let scan = |e: &MixingEstimate| -> Vec<(u64, bool)> {
+            let mut out = Vec::new();
+            for p in &e.probes {
+                out.push((p.len, p.pass));
+                if p.pass {
+                    break; // end of the doubling scan
+                }
+            }
+            out
+        };
+        assert_eq!(scan(&s), scan(&r), "doubling-scan verdicts diverged");
+        let (lo, hi) = (
+            s.tau_estimate.min(r.tau_estimate),
+            s.tau_estimate.max(r.tau_estimate),
+        );
+        assert!(
+            hi as f64 <= lo as f64 * 1.25,
+            "estimates too far apart: {lo} vs {hi}"
+        );
     }
 
     #[test]

@@ -8,6 +8,14 @@
 //! (Aleliunas et al.) and a walk of a constant multiple of the cover time
 //! covers w.h.p.
 //!
+//! The doubling loop runs over one persistent [`WalkSession`]: a single
+//! BFS/diameter estimate serves every phase's walk *and* every cover
+//! check, and the Phase-1 short-walk store carries across phases with
+//! deficit-only top-up — phase `p + 1` extends the walk from phase `p`'s
+//! destination ([`WalkSession::extend_recorded`]) instead of rebuilding
+//! the world. `RstConfig::reuse_session = false` keeps the
+//! rebuild-per-phase driver as the measurable baseline (experiment E12).
+//!
 //! # A reproduction finding: restart bias
 //!
 //! The paper's phase structure *restarts*: "perform again log n walks of
@@ -22,13 +30,44 @@
 //! is unconditioned, so the tree is *exactly* uniform, with the same
 //! asymptotic round bound. [`RstMode::RestartPhases`] keeps the literal
 //! scheme for the bias-demonstration ablation.
+//!
+//! # The segment boundary
+//!
+//! The start of phase `p + 1`'s segment is the same global position as
+//! phase `p`'s destination. That hand-off is explicit: an extension
+//! records positions `offset + 1 ..= offset + seg_len` only (never its
+//! own start), so the boundary position is recorded exactly once — by
+//! phase `p`, *with* its predecessor. No first-visit extraction can ever
+//! pick up a predecessor-less continuation start (the bug class where a
+//! `(0, None)` start visit either panics the tree assembly or smuggles a
+//! spurious edge into the tree).
 
 use drw_congest::primitives::{AggOp, BfsTreeProtocol, ConvergecastProtocol};
 use drw_congest::{derive_seed, Runner};
-use drw_core::{single_random_walk, SingleWalkConfig, WalkError};
+use drw_core::{single_random_walk, SingleWalkConfig, WalkError, WalkSession};
 use drw_graph::matrix_tree::{canonical_tree_key, is_spanning_tree, TreeKey};
 use drw_graph::{Graph, NodeId};
 use std::fmt;
+
+/// Cap on the cumulative walked length of the doubling schedule. Far
+/// beyond any simulable cover time; exists so a runaway doubling
+/// surfaces as [`RstError::LengthOverflow`] instead of `u64` wraparound
+/// (which would silently reset segment lengths and break the doubling
+/// invariant).
+const MAX_TOTAL_WALK_LEN: u64 = 1 << 62;
+
+/// The doubling schedule with overflow accounting: segment length
+/// `initial_len * 2^(phase - 1)` for 1-based `phase`, and the cumulative
+/// total after walking it from `walked`. `None` when the shift, the
+/// multiply or the running total would overflow `u64`, or when the total
+/// would pass [`MAX_TOTAL_WALK_LEN`].
+fn doubling_step(initial_len: u64, phase: u32, walked: u64) -> Option<(u64, u64)> {
+    let seg_len = 1u64
+        .checked_shl(phase - 1)
+        .and_then(|m| initial_len.checked_mul(m))?;
+    let total = walked.checked_add(seg_len)?;
+    (total <= MAX_TOTAL_WALK_LEN).then_some((seg_len, total))
+}
 
 /// Errors from [`distributed_rst`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +81,15 @@ pub enum RstError {
         /// Final walk length tried.
         final_len: u64,
     },
+    /// The doubling schedule hit the total-length cap (or would have
+    /// overflowed `u64`) before coverage — detected *before* walking the
+    /// offending segment.
+    LengthOverflow {
+        /// Phases completed before the overflow.
+        phases: u32,
+        /// Total length walked so far.
+        walked: u64,
+    },
 }
 
 impl fmt::Display for RstError {
@@ -51,6 +99,11 @@ impl fmt::Display for RstError {
             RstError::NotCovered { phases, final_len } => write!(
                 f,
                 "no covering walk after {phases} phases (final length {final_len})"
+            ),
+            RstError::LengthOverflow { phases, walked } => write!(
+                f,
+                "doubling schedule overflowed the total-length cap after \
+                 {phases} phases ({walked} steps walked)"
             ),
         }
     }
@@ -92,6 +145,11 @@ pub struct RstConfig {
     pub initial_len: u64,
     /// Phase budget before giving up (lengths double each phase).
     pub max_phases: u32,
+    /// Drive all phases over one persistent [`WalkSession`] (one BFS,
+    /// one short-walk store; the default). `false` restores the
+    /// rebuild-per-phase baseline: every phase pays its own BFS,
+    /// diameter estimate and full Phase 1.
+    pub reuse_session: bool,
 }
 
 impl Default for RstConfig {
@@ -102,6 +160,7 @@ impl Default for RstConfig {
             walks_per_phase: 0,
             initial_len: 0,
             max_phases: 40,
+            reuse_session: true,
         }
     }
 }
@@ -119,6 +178,18 @@ pub struct RstResult {
     pub attempts: u64,
     /// Total walked length until coverage.
     pub cover_len: u64,
+    /// BFS constructions this call paid for: 1 with a session (the
+    /// regression-tested amortization claim), `1 + attempts` in the
+    /// rebuild-per-phase baseline.
+    pub bfs_runs: u64,
+}
+
+fn walks_per_phase(n: usize, configured: usize) -> usize {
+    if configured == 0 {
+        (n as f64).log2().ceil().max(1.0) as usize
+    } else {
+        configured
+    }
 }
 
 /// Samples a random spanning tree of `g` with the distributed algorithm
@@ -128,7 +199,8 @@ pub struct RstResult {
 ///
 /// [`RstError::Walk`] on walk failures, [`RstError::NotCovered`] if the
 /// phase budget is exhausted (astronomically unlikely at the defaults on
-/// a connected graph).
+/// a connected graph), [`RstError::LengthOverflow`] if the doubling
+/// schedule runs past the total-length cap first.
 pub fn distributed_rst(
     g: &Graph,
     root: NodeId,
@@ -144,13 +216,28 @@ pub fn distributed_rst(
         record_walk: true,
         ..cfg.walk.clone()
     };
-    // BFS tree at the root, reused by every cover check (O(D) once).
+    if cfg.reuse_session {
+        let mut run = SessionRstRun {
+            g,
+            cfg,
+            session: WalkSession::new(g, root, &walk_cfg, derive_seed(seed, 0xC0FE))?,
+            attempts: 0,
+        };
+        return match cfg.mode {
+            RstMode::ExtendWalk => run.run_extend(root, initial_len),
+            RstMode::RestartPhases => run.run_restart(root, initial_len),
+        };
+    }
+
+    // Rebuild-per-phase baseline: a BFS tree at the root for the cover
+    // checks, plus one full `single_random_walk` (own BFS + Phase 1)
+    // per phase.
     let mut runner = Runner::new(g, walk_cfg.engine.clone(), derive_seed(seed, 0xC0FE));
     let mut bfs = BfsTreeProtocol::new(root);
     runner.run(&mut bfs).map_err(WalkError::from)?;
     let tree = bfs.into_tree();
 
-    let mut ctx = RstRun {
+    let mut ctx = RebuildRstRun {
         g,
         cfg,
         walk_cfg,
@@ -166,7 +253,172 @@ pub fn distributed_rst(
     }
 }
 
-struct RstRun<'g, 'c> {
+/// Assembles the tree from per-node first visits (root excluded).
+///
+/// # Panics
+///
+/// Panics (via `expect`) if a non-root node's first visit carries no
+/// predecessor — structurally impossible for session extensions (every
+/// extension visit has a predecessor) and for covering one-shot walks.
+fn tree_from_first_visits(
+    g: &Graph,
+    root: NodeId,
+    first: &[Option<(u64, Option<NodeId>)>],
+) -> TreeKey {
+    let edges = (0..g.n()).filter(|&v| v != root).map(|v| {
+        let (_, pred) = first[v].expect("covered");
+        (pred.expect("non-root first visits have predecessors"), v)
+    });
+    let key = canonical_tree_key(edges);
+    debug_assert!(is_spanning_tree(g, &key));
+    key
+}
+
+/// Merges one extension visit into the accumulated first-visit table,
+/// returning whether `v` was newly covered. Entries from earlier phases
+/// carry positions at or below the current extension's offset while
+/// extension visits sit strictly above it, so an overwrite (a smaller
+/// position for an already-seen node) can only come from this very
+/// extension's unsorted visit list — the boundary accounting the module
+/// docs describe lives here, in exactly one place.
+fn merge_first_visit(
+    first: &mut [Option<(u64, Option<NodeId>)>],
+    v: NodeId,
+    pos: u64,
+    pred: NodeId,
+) -> bool {
+    match &mut first[v] {
+        None => {
+            first[v] = Some((pos, Some(pred)));
+            true
+        }
+        Some((p, q)) if *p > pos => {
+            *p = pos;
+            *q = Some(pred);
+            false
+        }
+        Some(_) => false,
+    }
+}
+
+/// Session-backed driver: one BFS, one store, walk extension per phase.
+struct SessionRstRun<'g, 'c> {
+    g: &'g Graph,
+    cfg: &'c RstConfig,
+    session: WalkSession<'g>,
+    attempts: u64,
+}
+
+impl SessionRstRun<'_, '_> {
+    /// Distributed cover check: AND over node-local "was I visited?",
+    /// convergecast over the session's cached BFS tree.
+    fn check_cover(&mut self, visited: &[bool]) -> Result<bool, RstError> {
+        let values: Vec<u64> = visited.iter().map(|&v| u64::from(v)).collect();
+        let mut cc = ConvergecastProtocol::new(self.session.tree().clone(), AggOp::Min, values);
+        self.session
+            .runner_mut()
+            .run(&mut cc)
+            .map_err(WalkError::from)?;
+        Ok(cc.result() == 1)
+    }
+
+    fn result(&self, edges: TreeKey, phases: u32, cover_len: u64) -> RstResult {
+        RstResult {
+            edges,
+            rounds: self.session.total_rounds(),
+            phases,
+            attempts: self.attempts,
+            cover_len,
+            bfs_runs: 1,
+        }
+    }
+
+    /// Exact mode: one continuous walk, extended with doubling segment
+    /// lengths over the session until it covers.
+    fn run_extend(&mut self, root: NodeId, initial_len: u64) -> Result<RstResult, RstError> {
+        let n = self.g.n();
+        // first[v] = (global first-visit position, predecessor) — local
+        // knowledge of v, accumulated across extensions.
+        let mut first: Vec<Option<(u64, Option<NodeId>)>> = vec![None; n];
+        first[root] = Some((0, None));
+        let mut covered_count = 1usize;
+        let mut offset = 0u64;
+        let mut current = root;
+        for phase in 1..=self.cfg.max_phases {
+            let (seg_len, new_offset) =
+                doubling_step(initial_len, phase, offset).ok_or(RstError::LengthOverflow {
+                    phases: phase - 1,
+                    walked: offset,
+                })?;
+            self.attempts += 1;
+            let ext = self.session.extend_recorded(current, seg_len, offset)?;
+            for &(v, visit) in &ext.visits {
+                // Extension visits cover (offset, offset + seg_len] and
+                // always carry a predecessor — the boundary position
+                // `offset` itself belongs to the previous phase (module
+                // docs, "The segment boundary").
+                debug_assert!(visit.pos > offset && visit.pos <= new_offset);
+                let pred = visit.pred.expect("extension visits carry predecessors");
+                if merge_first_visit(&mut first, v, visit.pos, pred) {
+                    covered_count += 1;
+                }
+            }
+            offset = new_offset;
+            current = ext.destination;
+            let covered =
+                self.check_cover(&first.iter().map(|f| f.is_some()).collect::<Vec<_>>())?;
+            debug_assert_eq!(covered, covered_count == n);
+            if covered {
+                let key = tree_from_first_visits(self.g, root, &first);
+                return Ok(self.result(key, phase, offset));
+            }
+        }
+        Err(RstError::NotCovered {
+            phases: self.cfg.max_phases,
+            final_len: offset,
+        })
+    }
+
+    /// Paper-literal mode: fresh walks of doubling length (all drawn
+    /// over the shared session store — each is still an independent
+    /// exact walk); accept the first that covers (biased; see module
+    /// docs).
+    fn run_restart(&mut self, root: NodeId, initial_len: u64) -> Result<RstResult, RstError> {
+        let n = self.g.n();
+        let per_phase = walks_per_phase(n, self.cfg.walks_per_phase);
+        let mut len = initial_len;
+        for phase in 1..=self.cfg.max_phases {
+            len = doubling_step(initial_len, phase, 0)
+                .ok_or(RstError::LengthOverflow {
+                    phases: phase - 1,
+                    walked: 0,
+                })?
+                .0;
+            for _ in 0..per_phase {
+                self.attempts += 1;
+                let ext = self.session.extend_recorded(root, len, 0)?;
+                let mut first: Vec<Option<(u64, Option<NodeId>)>> = vec![None; n];
+                first[root] = Some((0, None));
+                for &(v, visit) in &ext.visits {
+                    let pred = visit.pred.expect("extension visits carry predecessors");
+                    merge_first_visit(&mut first, v, visit.pos, pred);
+                }
+                if !self.check_cover(&first.iter().map(|f| f.is_some()).collect::<Vec<_>>())? {
+                    continue;
+                }
+                let key = tree_from_first_visits(self.g, root, &first);
+                return Ok(self.result(key, phase, len));
+            }
+        }
+        Err(RstError::NotCovered {
+            phases: self.cfg.max_phases,
+            final_len: len,
+        })
+    }
+}
+
+/// Rebuild-per-phase baseline driver (`reuse_session = false`).
+struct RebuildRstRun<'g, 'c> {
     g: &'g Graph,
     cfg: &'c RstConfig,
     walk_cfg: SingleWalkConfig,
@@ -177,7 +429,7 @@ struct RstRun<'g, 'c> {
     seed: u64,
 }
 
-impl RstRun<'_, '_> {
+impl RebuildRstRun<'_, '_> {
     /// Distributed cover check: AND over node-local "was I visited?".
     fn check_cover(&mut self, visited: &[bool]) -> Result<bool, RstError> {
         let values: Vec<u64> = visited.iter().map(|&v| u64::from(v)).collect();
@@ -186,23 +438,34 @@ impl RstRun<'_, '_> {
         Ok(cc.result() == 1)
     }
 
-    fn total_rounds(&self) -> u64 {
-        self.walk_rounds + self.runner.total_rounds()
+    fn result(&self, edges: TreeKey, phases: u32, cover_len: u64) -> RstResult {
+        RstResult {
+            edges,
+            rounds: self.walk_rounds + self.runner.total_rounds(),
+            phases,
+            attempts: self.attempts,
+            cover_len,
+            // The cover-check tree plus one internal BFS per
+            // `single_random_walk` invocation.
+            bfs_runs: 1 + self.attempts,
+        }
     }
 
     /// Exact mode: one continuous walk, extended with doubling segment
-    /// lengths until it covers.
+    /// lengths until it covers; every phase rebuilds BFS + Phase 1.
     fn run_extend(&mut self, root: NodeId, initial_len: u64) -> Result<RstResult, RstError> {
         let n = self.g.n();
-        // first[v] = (global first-visit position, predecessor) — local
-        // knowledge of v, accumulated across segments.
         let mut first: Vec<Option<(u64, Option<NodeId>)>> = vec![None; n];
         first[root] = Some((0, None));
         let mut covered_count = 1usize;
         let mut offset = 0u64;
         let mut current = root;
         for phase in 1..=self.cfg.max_phases {
-            let seg_len = initial_len << (phase - 1).min(30);
+            let (seg_len, new_offset) =
+                doubling_step(initial_len, phase, offset).ok_or(RstError::LengthOverflow {
+                    phases: phase - 1,
+                    walked: offset,
+                })?;
             self.attempts += 1;
             let walk_seed = derive_seed(self.seed, self.attempts);
             let r = single_random_walk(self.g, current, seg_len, &self.walk_cfg, walk_seed)?;
@@ -210,31 +473,30 @@ impl RstRun<'_, '_> {
             #[allow(clippy::needless_range_loop)]
             for v in 0..n {
                 if first[v].is_none() {
-                    if let Some(visit) = r.state.nodes[v].visits.iter().min_by_key(|x| x.pos) {
+                    // Explicit boundary: the continuation start's
+                    // `(0, None)` visit is phase `p - 1`'s destination
+                    // hand-off, never a first visit of this phase —
+                    // without the filter it could hand the tree assembly
+                    // a predecessor-less first visit.
+                    if let Some(visit) = r.state.nodes[v]
+                        .visits
+                        .iter()
+                        .filter(|x| !(x.pos == 0 && x.pred.is_none()))
+                        .min_by_key(|x| x.pos)
+                    {
                         first[v] = Some((offset + visit.pos, visit.pred));
                         covered_count += 1;
                     }
                 }
             }
-            offset += seg_len;
+            offset = new_offset;
             current = r.destination;
             let covered =
                 self.check_cover(&first.iter().map(|f| f.is_some()).collect::<Vec<_>>())?;
             debug_assert_eq!(covered, covered_count == n);
             if covered {
-                let edges = (0..n).filter(|&v| v != root).map(|v| {
-                    let (_, pred) = first[v].expect("covered");
-                    (pred.expect("non-root first visits have predecessors"), v)
-                });
-                let key = canonical_tree_key(edges);
-                debug_assert!(is_spanning_tree(self.g, &key));
-                return Ok(RstResult {
-                    edges: key,
-                    rounds: self.total_rounds(),
-                    phases: phase,
-                    attempts: self.attempts,
-                    cover_len: offset,
-                });
+                let key = tree_from_first_visits(self.g, root, &first);
+                return Ok(self.result(key, phase, offset));
             }
         }
         Err(RstError::NotCovered {
@@ -247,14 +509,16 @@ impl RstRun<'_, '_> {
     /// first that covers (biased; see module docs).
     fn run_restart(&mut self, root: NodeId, initial_len: u64) -> Result<RstResult, RstError> {
         let n = self.g.n();
-        let walks_per_phase = if self.cfg.walks_per_phase == 0 {
-            (n as f64).log2().ceil().max(1.0) as usize
-        } else {
-            self.cfg.walks_per_phase
-        };
+        let per_phase = walks_per_phase(n, self.cfg.walks_per_phase);
         let mut len = initial_len;
         for phase in 1..=self.cfg.max_phases {
-            for _ in 0..walks_per_phase {
+            len = doubling_step(initial_len, phase, 0)
+                .ok_or(RstError::LengthOverflow {
+                    phases: phase - 1,
+                    walked: 0,
+                })?
+                .0;
+            for _ in 0..per_phase {
                 self.attempts += 1;
                 let walk_seed = derive_seed(self.seed, self.attempts);
                 let r = single_random_walk(self.g, root, len, &self.walk_cfg, walk_seed)?;
@@ -265,28 +529,22 @@ impl RstRun<'_, '_> {
                 if !self.check_cover(&visited)? {
                     continue;
                 }
-                let edges = (0..n).filter(|&v| v != root).map(|v| {
+                let mut first: Vec<Option<(u64, Option<NodeId>)>> = vec![None; n];
+                first[root] = Some((0, None));
+                for (v, f) in first.iter_mut().enumerate() {
+                    if v == root {
+                        continue;
+                    }
                     let visit = r.state.nodes[v]
                         .visits
                         .iter()
                         .min_by_key(|x| x.pos)
                         .expect("covered walk visits every node");
-                    (
-                        visit.pred.expect("non-root first visits have predecessors"),
-                        v,
-                    )
-                });
-                let key = canonical_tree_key(edges);
-                debug_assert!(is_spanning_tree(self.g, &key));
-                return Ok(RstResult {
-                    edges: key,
-                    rounds: self.total_rounds(),
-                    phases: phase,
-                    attempts: self.attempts,
-                    cover_len: len,
-                });
+                    *f = Some((visit.pos, visit.pred));
+                }
+                let key = tree_from_first_visits(self.g, root, &first);
+                return Ok(self.result(key, phase, len));
             }
-            len *= 2;
         }
         Err(RstError::NotCovered {
             phases: self.cfg.max_phases,
@@ -301,23 +559,29 @@ mod tests {
     use drw_graph::{generators, matrix_tree};
 
     #[test]
-    fn produces_a_spanning_tree_in_both_modes() {
-        for mode in [RstMode::ExtendWalk, RstMode::RestartPhases] {
-            for (i, g) in [
-                generators::torus2d(4, 4),
-                generators::complete(8),
-                generators::lollipop(5, 5),
-            ]
-            .iter()
-            .enumerate()
-            {
-                let cfg = RstConfig {
-                    mode,
-                    ..RstConfig::default()
-                };
-                let r = distributed_rst(g, 0, &cfg, 100 + i as u64).unwrap();
-                assert!(matrix_tree::is_spanning_tree(g, &r.edges), "{mode:?}");
-                assert!(r.attempts >= 1);
+    fn produces_a_spanning_tree_in_all_modes() {
+        for reuse_session in [true, false] {
+            for mode in [RstMode::ExtendWalk, RstMode::RestartPhases] {
+                for (i, g) in [
+                    generators::torus2d(4, 4),
+                    generators::complete(8),
+                    generators::lollipop(5, 5),
+                ]
+                .iter()
+                .enumerate()
+                {
+                    let cfg = RstConfig {
+                        mode,
+                        reuse_session,
+                        ..RstConfig::default()
+                    };
+                    let r = distributed_rst(g, 0, &cfg, 100 + i as u64).unwrap();
+                    assert!(
+                        matrix_tree::is_spanning_tree(g, &r.edges),
+                        "{mode:?} session={reuse_session}"
+                    );
+                    assert!(r.attempts >= 1);
+                }
             }
         }
     }
@@ -342,17 +606,124 @@ mod tests {
     #[test]
     fn phase_budget_error_surfaces() {
         let g = generators::lollipop(6, 6);
-        let cfg = RstConfig {
-            initial_len: 1,
-            max_phases: 1,
-            walks_per_phase: 1,
-            mode: RstMode::RestartPhases,
+        for reuse_session in [true, false] {
+            let cfg = RstConfig {
+                initial_len: 1,
+                max_phases: 1,
+                walks_per_phase: 1,
+                mode: RstMode::RestartPhases,
+                reuse_session,
+                ..RstConfig::default()
+            };
+            let err = distributed_rst(&g, 0, &cfg, 1).unwrap_err();
+            assert!(
+                matches!(err, RstError::NotCovered { phases: 1, .. }),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn session_pays_exactly_one_bfs_and_beats_the_rebuild() {
+        // The amortization claim of ISSUE 3, regression-tested: a
+        // multi-phase extend run performs one BFS for the whole call
+        // and, at a size where per-phase setup is non-trivial, costs
+        // fewer rounds than the rebuild-per-phase baseline on the same
+        // workload. (On toy graphs the session can lose — its upgrade
+        // relaunches are priced against setups that cost almost
+        // nothing; this is E12's --quick workload, full numbers in
+        // EXPERIMENTS.md.)
+        let g = generators::torus2d(16, 16);
+        let session_cfg = RstConfig {
+            initial_len: 32,
             ..RstConfig::default()
         };
-        let err = distributed_rst(&g, 0, &cfg, 1).unwrap_err();
+        let rebuild_cfg = RstConfig {
+            reuse_session: false,
+            ..session_cfg.clone()
+        };
+        let s = distributed_rst(&g, 0, &session_cfg, 21).unwrap();
+        let r = distributed_rst(&g, 0, &rebuild_cfg, 21).unwrap();
+        assert!(s.phases > 3, "initial_len 32 must take several phases");
+        assert_eq!(s.bfs_runs, 1, "one BFS per RST call with the session");
+        assert_eq!(r.bfs_runs, 1 + r.attempts, "baseline rebuilds per phase");
         assert!(
-            matches!(err, RstError::NotCovered { phases: 1, .. }),
-            "{err}"
+            s.rounds < r.rounds,
+            "session {} rounds vs rebuild {}",
+            s.rounds,
+            r.rounds
+        );
+        assert!(matrix_tree::is_spanning_tree(&g, &s.edges));
+    }
+
+    #[test]
+    fn path_graph_with_unit_initial_len_regression() {
+        // The segment-boundary regression of ISSUE 3: initial_len 1
+        // maximizes phase count and hand-off positions; the boundary
+        // visit must never surface as a predecessor-less first visit
+        // (panic) or smuggle a non-edge into the tree. A path has only
+        // one spanning tree — itself — so corruption is unambiguous.
+        let g = generators::path(8);
+        let expected: TreeKey = canonical_tree_key(g.edges());
+        for reuse_session in [true, false] {
+            let cfg = RstConfig {
+                initial_len: 1,
+                max_phases: 60,
+                reuse_session,
+                ..RstConfig::default()
+            };
+            for seed in 0..10u64 {
+                let r = distributed_rst(&g, 0, &cfg, 3000 + seed).unwrap();
+                assert_eq!(r.edges, expected, "session={reuse_session} seed={seed}");
+                assert!(r.phases > 1, "unit initial length must take phases");
+            }
+        }
+    }
+
+    #[test]
+    fn doubling_overflow_is_a_capped_error() {
+        // The cap path of ISSUE 3's overflow fix: a first segment past
+        // the total-length cap errors out before walking anything, in
+        // both modes and drivers.
+        let g = generators::complete(4);
+        for reuse_session in [true, false] {
+            for mode in [RstMode::ExtendWalk, RstMode::RestartPhases] {
+                let cfg = RstConfig {
+                    initial_len: MAX_TOTAL_WALK_LEN + 1,
+                    max_phases: 3,
+                    mode,
+                    reuse_session,
+                    ..RstConfig::default()
+                };
+                let err = distributed_rst(&g, 0, &cfg, 1).unwrap_err();
+                assert_eq!(
+                    err,
+                    RstError::LengthOverflow {
+                        phases: 0,
+                        walked: 0
+                    },
+                    "{mode:?} session={reuse_session}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn doubling_step_arithmetic() {
+        // Plain doubling.
+        assert_eq!(doubling_step(16, 1, 0), Some((16, 16)));
+        assert_eq!(doubling_step(16, 3, 48), Some((64, 112)));
+        // Shift overflow (phase - 1 >= 64).
+        assert_eq!(doubling_step(1, 70, 0), None);
+        // Multiply overflow.
+        assert_eq!(doubling_step(u64::MAX / 2, 3, 0), None);
+        // Accumulation overflow.
+        assert_eq!(doubling_step(u64::MAX / 2, 1, u64::MAX / 2 + 2), None);
+        // Total-length cap.
+        assert_eq!(doubling_step(MAX_TOTAL_WALK_LEN, 2, 0), None);
+        assert_eq!(
+            doubling_step(MAX_TOTAL_WALK_LEN, 1, 0),
+            Some((MAX_TOTAL_WALK_LEN, MAX_TOTAL_WALK_LEN))
         );
     }
 

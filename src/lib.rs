@@ -62,6 +62,7 @@ pub mod prelude {
     pub use drw_core::{
         many_random_walks, many_random_walks_with, naive_walk, single_random_walk, ManyWalksResult,
         SingleWalkConfig, SingleWalkResult, StitchScheduler, StitchStrategy, WalkError, WalkParams,
+        WalkSession,
     };
     pub use drw_graph::{generators, Graph, GraphBuilder};
     pub use drw_mixing::{estimate_mixing_time, MixingConfig};

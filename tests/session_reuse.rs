@@ -1,0 +1,171 @@
+//! ISSUE 3 acceptance: session reuse is measured and wins.
+//!
+//! - On the 32x32 torus, `estimate_mixing_time` over one persistent
+//!   `WalkSession` must cost >= 25% fewer total rounds than the
+//!   per-probe-rebuild baseline (in a stitched-regime configuration, so
+//!   the probes actually exercise Phase 1).
+//! - `distributed_rst` must perform exactly one BFS per call with the
+//!   session, across a multi-phase doubling run.
+//! - Statistical conformance is preserved: session-backed RST trees are
+//!   still exactly uniform (the E9 harness's chi-square on K4 lives in
+//!   `drw-spanning`; here we check the session/rebuild samplers agree in
+//!   distribution on the cycle), and session mixing verdicts match the
+//!   rebuild baseline at fixed seeds.
+//!
+//! `DRW_EXECUTOR` selects the engine backend, so the CI matrix runs
+//! this under both the sequential and the parallel executor.
+
+use distributed_random_walks::prelude::*;
+use drw_experiments::engine_config_from_env;
+use drw_mixing::MixingConfig as Mix;
+use drw_spanning::distributed::{RstConfig as Rst, RstMode};
+
+fn walk_cfg() -> SingleWalkConfig {
+    SingleWalkConfig {
+        engine: engine_config_from_env(),
+        ..SingleWalkConfig::default()
+    }
+}
+
+/// The stitched-regime mixing configuration of experiment E12:
+/// `lambda_scale 0.15` keeps the long probes out of the `k + l`
+/// fallback (so they exercise Phase 1), `eta = 2` provisions the
+/// shared store for `k = 8*sqrt(n)` contending walks, and the tight
+/// l2 threshold makes the bipartite 32x32 torus's cap-scan verdicts
+/// deterministic (no spurious collision-noise passes).
+fn stitched_mixing_cfg() -> Mix {
+    Mix {
+        l2_threshold: 0.1,
+        max_len: 1 << 12,
+        walk: SingleWalkConfig {
+            params: WalkParams {
+                lambda_scale: 0.15,
+                eta: 2.0,
+            },
+            ..walk_cfg()
+        },
+        ..Mix::default()
+    }
+}
+
+#[test]
+fn mixing_session_drops_rounds_by_a_quarter_on_the_torus() {
+    let g = generators::torus2d(32, 32);
+    let session_cfg = stitched_mixing_cfg();
+    let rebuild_cfg = Mix {
+        reuse_session: false,
+        ..session_cfg.clone()
+    };
+    let s = estimate_mixing_time(&g, 0, &session_cfg, 900).expect("session estimate");
+    let r = estimate_mixing_time(&g, 0, &rebuild_cfg, 900).expect("rebuild estimate");
+    // The acceptance bar: >= 25% fewer rounds with the session.
+    assert!(
+        4 * s.rounds <= 3 * r.rounds,
+        "session {} rounds vs rebuild {} — drop below 25%",
+        s.rounds,
+        r.rounds
+    );
+    // Verdicts unchanged: the even torus is bipartite, so the simple
+    // walk never mixes — both modes must march the identical doubling
+    // schedule to the cap and fail every probe.
+    assert!(!s.converged && !r.converged);
+    assert_eq!(s.tau_estimate, r.tau_estimate);
+    let sv: Vec<(u64, bool)> = s.probes.iter().map(|p| (p.len, p.pass)).collect();
+    let rv: Vec<(u64, bool)> = r.probes.iter().map(|p| (p.len, p.pass)).collect();
+    assert_eq!(sv, rv, "cap-scan verdicts diverged");
+}
+
+#[test]
+fn rst_session_pays_one_bfs_across_many_phases() {
+    let g = generators::torus2d(8, 8);
+    let session_cfg = Rst {
+        walk: walk_cfg(),
+        initial_len: 4, // force a long doubling loop
+        ..Rst::default()
+    };
+    let rebuild_cfg = Rst {
+        reuse_session: false,
+        ..session_cfg.clone()
+    };
+    for seed in 0..3u64 {
+        let s = distributed_rst(&g, 0, &session_cfg, 60 + seed).expect("session rst");
+        assert!(s.phases >= 4, "initial_len 4 must take several phases");
+        assert_eq!(s.bfs_runs, 1, "exactly one BFS per session RST call");
+        assert!(drw_graph::matrix_tree::is_spanning_tree(&g, &s.edges));
+
+        let r = distributed_rst(&g, 0, &rebuild_cfg, 60 + seed).expect("rebuild rst");
+        assert_eq!(r.bfs_runs, 1 + r.attempts, "baseline pays a BFS per phase");
+        assert!(drw_graph::matrix_tree::is_spanning_tree(&g, &r.edges));
+    }
+}
+
+#[test]
+fn session_and_rebuild_rst_agree_in_distribution_on_the_cycle() {
+    // On C5 every spanning tree is "drop one edge": chi-square both
+    // samplers' dropped-edge histograms against uniform. Conformance of
+    // the session path at the distribution level (the K4 exact-uniform
+    // chi-square lives in drw-spanning's tests).
+    let n = 5;
+    let g = generators::cycle(n);
+    let dropped_edge = |tree: &Vec<(usize, usize)>| -> usize {
+        (0..n)
+            .find(|&i| !tree.contains(&(i.min((i + 1) % n), i.max((i + 1) % n))))
+            .expect("exactly one cycle edge missing")
+    };
+    for reuse_session in [true, false] {
+        let cfg = Rst {
+            walk: walk_cfg(),
+            reuse_session,
+            ..Rst::default()
+        };
+        let mut counts = vec![0u64; n];
+        for seed in 0..300u64 {
+            let r = distributed_rst(&g, 0, &cfg, 4000 + seed).expect("rst");
+            counts[dropped_edge(&r.edges)] += 1;
+        }
+        let t = drw_stats::chi_square_uniform(&counts);
+        assert!(t.passes(0.001), "session={reuse_session}: {t:?} {counts:?}");
+    }
+}
+
+#[test]
+fn restart_mode_works_over_a_session() {
+    // The paper-literal ablation still runs (and still restarts) on the
+    // shared store.
+    let g = generators::torus2d(4, 4);
+    let cfg = Rst {
+        walk: walk_cfg(),
+        mode: RstMode::RestartPhases,
+        ..Rst::default()
+    };
+    let r = distributed_rst(&g, 0, &cfg, 77).expect("restart rst");
+    assert!(drw_graph::matrix_tree::is_spanning_tree(&g, &r.edges));
+    assert_eq!(r.bfs_runs, 1);
+}
+
+#[test]
+fn mixing_session_verdicts_match_rebuild_at_fixed_seeds() {
+    // Decisive graphs: the full PASS/FAIL sequence must agree between
+    // the session and the per-probe-rebuild baseline.
+    for (g, seed) in [
+        (generators::complete(32), 5u64),
+        (generators::cycle(16), 6u64),
+    ] {
+        let session_cfg = Mix {
+            max_len: 512,
+            walk: walk_cfg(),
+            ..Mix::default()
+        };
+        let rebuild_cfg = Mix {
+            reuse_session: false,
+            ..session_cfg.clone()
+        };
+        let s = estimate_mixing_time(&g, 0, &session_cfg, seed).expect("session");
+        let r = estimate_mixing_time(&g, 0, &rebuild_cfg, seed).expect("rebuild");
+        let sv: Vec<(u64, bool)> = s.probes.iter().map(|p| (p.len, p.pass)).collect();
+        let rv: Vec<(u64, bool)> = r.probes.iter().map(|p| (p.len, p.pass)).collect();
+        assert_eq!(sv, rv);
+        assert_eq!(s.tau_estimate, r.tau_estimate);
+        assert_eq!(s.converged, r.converged);
+    }
+}
