@@ -15,7 +15,7 @@
 //! [`ExecutorKind`] on [`crate::EngineConfig`] and go through
 //! [`crate::run_protocol`] / [`crate::run_node_local`] (or
 //! [`crate::Runner`]), which dispatch here. Both backends share the
-//! [`queue::FlatQueue`] flat bucketed message queue — a CSR-style
+//! `queue::FlatQueue` flat bucketed message queue — a CSR-style
 //! single-backing-`Vec` structure that replaced the seed engine's
 //! per-edge `VecDeque`s.
 

@@ -92,7 +92,7 @@ mod runner;
 pub use engine::{run_node_local, run_protocol, EngineConfig, RunError, RunReport};
 pub use executor::{ExecutorKind, ParallelExecutor, RoundExecutor, SequentialExecutor};
 pub use message::{Envelope, Message};
-pub use multiplex::Mux;
+pub use multiplex::{Mux, Mux2};
 pub use node_local::{NodeCtx, NodeLocalAdapter, NodeLocalProtocol};
 pub use protocol::{Ctx, Protocol};
 pub use rng::{derive_seed, NodeRngs};

@@ -1,0 +1,133 @@
+//! The unified error type of the [`crate::Network`] facade.
+//!
+//! Every request kind used to surface its own error enum —
+//! [`WalkError`] from the walk drivers, `RstError` from the spanning
+//! crate, plain [`WalkError`] again from the mixing estimator — which
+//! forced callers juggling heterogeneous requests to juggle
+//! heterogeneous `Result` types too. [`Error`] is the single type
+//! `Network::run` / `Network::run_batch` return; the legacy enums
+//! remain as *sources* (every variant embeds or maps onto one, and the
+//! application crates provide `From` impls in the other direction).
+
+use crate::single_walk::WalkError;
+use drw_congest::RunError;
+use std::fmt;
+
+/// Any failure of a [`crate::Network`] request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The walk machinery failed (engine error, disconnected graph, or
+    /// an out-of-range source).
+    Walk(WalkError),
+    /// A spanning-tree request found no covering walk within its phase
+    /// budget.
+    NotCovered {
+        /// Phases attempted.
+        phases: u32,
+        /// Final walk length tried.
+        final_len: u64,
+    },
+    /// A spanning-tree request's doubling schedule hit the total-length
+    /// cap (or would have overflowed `u64`) before coverage.
+    LengthOverflow {
+        /// Phases completed before the overflow.
+        phases: u32,
+        /// Total length walked so far.
+        walked: u64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Walk(e) => write!(f, "walk error: {e}"),
+            Error::NotCovered { phases, final_len } => write!(
+                f,
+                "no covering walk after {phases} phases (final length {final_len})"
+            ),
+            Error::LengthOverflow { phases, walked } => write!(
+                f,
+                "doubling schedule overflowed the total-length cap after \
+                 {phases} phases ({walked} steps walked)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Walk(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WalkError> for Error {
+    fn from(e: WalkError) -> Self {
+        Error::Walk(e)
+    }
+}
+
+impl From<RunError> for Error {
+    fn from(e: RunError) -> Self {
+        Error::Walk(WalkError::Engine(e))
+    }
+}
+
+impl Error {
+    /// Unwraps the [`Error::Walk`] variant — the only variant walk-only
+    /// request kinds can produce. Used by the legacy free-function
+    /// shims, whose signatures still promise a bare [`WalkError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on the spanning-tree-only variants.
+    pub fn expect_walk(self) -> WalkError {
+        match self {
+            Error::Walk(e) => e,
+            other => panic!("walk request produced a non-walk error: {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = Error::from(WalkError::Disconnected);
+        assert!(e.to_string().contains("connected"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = Error::NotCovered {
+            phases: 3,
+            final_len: 64,
+        };
+        assert!(e.to_string().contains("3 phases"));
+        assert!(std::error::Error::source(&e).is_none());
+        let e = Error::LengthOverflow {
+            phases: 2,
+            walked: 99,
+        };
+        assert!(e.to_string().contains("99 steps"));
+    }
+
+    #[test]
+    fn expect_walk_unwraps() {
+        assert_eq!(
+            Error::Walk(WalkError::SourceOutOfRange(7)).expect_walk(),
+            WalkError::SourceOutOfRange(7)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-walk error")]
+    fn expect_walk_rejects_tree_errors() {
+        let _ = Error::NotCovered {
+            phases: 1,
+            final_len: 1,
+        }
+        .expect_walk();
+    }
+}

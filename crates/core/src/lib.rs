@@ -64,14 +64,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bucket;
+pub mod error;
 pub mod exact;
 pub mod get_more_walks;
 pub mod many_walks;
 pub mod metropolis;
 pub mod naive;
+pub mod network;
 pub mod params;
 pub mod podc09;
 pub mod regenerate;
+pub mod request;
 pub mod sample_destination;
 pub mod session;
 pub mod short_walks;
@@ -80,10 +84,19 @@ pub mod state;
 pub mod stitch_scheduler;
 pub mod visit_stats;
 
+pub use bucket::{sum_deg_sq, BucketTest, BucketTestResult, SampleStats};
+pub use error::Error;
 pub use many_walks::{many_random_walks, many_random_walks_with, ManyWalksResult, StitchStrategy};
 pub use naive::naive_walk;
+pub use network::{Network, NetworkBuilder};
 pub use params::{Podc09Params, WalkParams};
-pub use session::{RecordedExtension, SessionManyOutcome, SessionWalkOutcome, WalkSession};
+pub use request::{
+    MixingProbe, MixingReport, MixingRequest, Request, Response, TreeMode, TreeRequest, TreeSample,
+};
+pub use session::{
+    RecordedExtension, SessionManyOutcome, SessionWalkOutcome, WalkSession, WaveOutcome, WaveSpec,
+    WaveWalk,
+};
 pub use short_walks::ShortWalksProtocol;
 pub use single_walk::{
     single_random_walk, Segment, SingleWalkConfig, SingleWalkResult, StitchSetup, WalkAction,

@@ -45,6 +45,7 @@ pub enum StitchStrategy {
 
 /// Result of [`many_random_walks`].
 #[derive(Debug, Clone)]
+#[must_use = "a many-walks result carries the sampled destinations and round bill"]
 pub struct ManyWalksResult {
     /// Destination of each walk, in source order.
     pub destinations: Vec<NodeId>,
@@ -88,6 +89,21 @@ pub struct ManyWalksResult {
     pub state: WalkState,
 }
 
+impl ManyWalksResult {
+    /// The Phase-2 strategy that actually ran.
+    ///
+    /// `None` means **no stitching happened at all** — either the
+    /// Theorem 2.8 regime rule took the `k + l` simultaneous-naive
+    /// branch (check [`ManyWalksResult::used_naive_fallback`]) or the
+    /// source list was empty — so no strategy was ever exercised and
+    /// `lambda` reports the regime-*decision* value rather than a
+    /// stitching base length. `Some(strategy)` is the strategy whose
+    /// stitching produced [`ManyWalksResult::segments`].
+    pub fn strategy(&self) -> Option<StitchStrategy> {
+        self.strategy
+    }
+}
+
 /// Performs `k` random walks of `len` steps from `sources` with the
 /// default (batched) Phase-2 strategy.
 ///
@@ -120,10 +136,45 @@ pub fn many_random_walks(
 
 /// [`many_random_walks`] with an explicit Phase-2 strategy.
 ///
+/// Like [`crate::single_random_walk`], this is a thin shim over a
+/// throwaway [`crate::Network`] (the [`crate::Request::ManyWalks`]
+/// path), seed-for-seed identical to the pre-facade driver.
+///
 /// # Errors
 ///
 /// Same as [`crate::single_random_walk`].
+///
+/// # Panics
+///
+/// The batched strategy multiplexes walks over [`drw_congest::Mux2`]'s
+/// 16-bit lane ids, so a stitched-regime call with `k >= 2^16` sources
+/// panics (such a run would need `~n * k` lane states anyway — far
+/// beyond what the simulator can host).
 pub fn many_random_walks_with(
+    g: &Graph,
+    sources: &[NodeId],
+    len: u64,
+    cfg: &SingleWalkConfig,
+    seed: u64,
+    strategy: StitchStrategy,
+) -> Result<ManyWalksResult, WalkError> {
+    let mut net = crate::network::Network::builder(g)
+        .config(cfg.clone())
+        .seed(seed)
+        .build();
+    net.run(crate::request::Request::ManyWalks {
+        sources: sources.to_vec(),
+        len,
+        strategy,
+    })
+    .map(crate::request::Response::into_many_walks)
+    .map_err(crate::error::Error::expect_walk)
+}
+
+/// The one-shot `MANY-RANDOM-WALKS` kernel behind
+/// [`crate::Request::ManyWalks`] (and hence [`many_random_walks`]):
+/// own runner, own BFS, one shared Phase 1 for the `k` walks.
+pub(crate) fn many_walks_one_shot(
     g: &Graph,
     sources: &[NodeId],
     len: u64,

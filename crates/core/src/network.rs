@@ -1,0 +1,1134 @@
+//! The unified `Network` service facade: typed requests, one handle,
+//! and a heterogeneous request scheduler.
+//!
+//! The paper's primitive is a *service* — a network that answers
+//! walk-sample requests in `~O(sqrt(l * D))` rounds — and its
+//! applications are clients of that service (the follow-up
+//! "Near-Optimal Random Walk Sampling in Distributed Networks",
+//! arXiv:1201.1363, makes the serving problem explicit). [`Network`] is
+//! that service as an API: build a long-lived handle with
+//! [`Network::builder`], submit typed [`Request`]s one-shot with
+//! [`Network::run`], or submit a *batch* with [`Network::run_batch`],
+//! where the request scheduler lowers every request into walk/stitch
+//! work items and advances them through **shared** engine runs — four
+//! walk requests from different sources plus a mixing probe share BFS
+//! waves and Phase-1 launches instead of serializing.
+//!
+//! # One-shot vs batched
+//!
+//! - [`Network::run`] executes the request exactly as the legacy free
+//!   functions did (`single_random_walk`, `many_random_walks`,
+//!   `distributed_rst`, `estimate_mixing_time` are now thin shims over
+//!   a throwaway `Network`): each request pays its own setup and is
+//!   seed-for-seed identical to the pre-facade drivers. The first
+//!   request uses the builder seed verbatim; request `i > 0` uses
+//!   `derive_seed(seed, i)`.
+//! - [`Network::run_batch`] owns one persistent [`WalkSession`]
+//!   (created lazily on the first batch: one BFS, one shared short-walk
+//!   store) and advances all requests concurrently in *super-steps*:
+//!   each step collects every active request's next walk work items —
+//!   plain walks, `MANY-RANDOM-WALKS` cohorts (or their Theorem 2.8
+//!   `k + l` naive-fallback tokens), a spanning-tree request's next
+//!   doubling extension, a mixing request's next probe cohort — and
+//!   runs them in **one** multiplexed engine run
+//!   ([`WalkSession::run_wave`], request-tagged via
+//!   [`drw_congest::Mux2`]). Private per-request protocols (cover-check
+//!   convergecasts, histogram upcasts) run between waves on the same
+//!   session runner and are billed to their request alone.
+//!
+//! # Round accounting in batches
+//!
+//! A wave's rounds are genuinely shared, so they cannot be attributed
+//! exclusively: every response reports the full rounds of the waves its
+//! request rode plus its private inter-wave rounds. The *batch total*
+//! ([`Network::session_rounds`]) is the real shared bill — the quantity
+//! experiment E13 compares against sequential execution. Batched
+//! responses leave one-shot-only fields at their neutral values
+//! (`rounds_bfs = 0` — the session BFS is shared, `connector_visits`
+//! all zero, an empty final `state`; `TreeSample::bfs_runs = 0`).
+
+mod mixing;
+mod spanning;
+
+pub use spanning::MAX_TOTAL_WALK_LEN;
+
+use crate::bucket::BucketTest;
+use crate::error::Error;
+use crate::many_walks::{many_walks_one_shot, ManyWalksResult, StitchStrategy};
+use crate::request::{
+    MixingProbe, MixingReport, MixingRequest, Request, Response, TreeMode, TreeRequest, TreeSample,
+};
+use crate::session::{WalkSession, WaveSpec, WaveWalk};
+use crate::single_walk::{single_walk_one_shot, SingleWalkConfig, SingleWalkResult, WalkError};
+use crate::state::WalkState;
+use drw_congest::primitives::{AggOp, BfsTree, ConvergecastProtocol};
+use drw_congest::{derive_seed, EngineConfig, ExecutorKind};
+use drw_graph::{Graph, NodeId};
+
+use crate::params::WalkParams;
+
+/// Seed tag for the network's shared batch session (one-shot requests
+/// derive their own seeds; see the module docs).
+const SESSION_SEED_TAG: u64 = 0x5E55;
+
+/// Builder for a [`Network`] handle.
+///
+/// | method | configures | default |
+/// |---|---|---|
+/// | [`executor`](NetworkBuilder::executor) | round-executor backend | sequential |
+/// | [`engine`](NetworkBuilder::engine) | full engine config (bandwidth, caps) | [`EngineConfig::default`] |
+/// | [`params`](NetworkBuilder::params) | `lambda` / `eta` selection | [`WalkParams::default`] |
+/// | [`config`](NetworkBuilder::config) | the whole walk config at once | [`SingleWalkConfig::default`] |
+/// | [`seed`](NetworkBuilder::seed) | deterministic RNG seed | 0 |
+/// | [`anchor`](NetworkBuilder::anchor) | batch session's BFS anchor | node 0 |
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder<'g> {
+    g: &'g Graph,
+    cfg: SingleWalkConfig,
+    seed: u64,
+    anchor: NodeId,
+}
+
+impl<'g> NetworkBuilder<'g> {
+    /// Selects the round-executor backend (results are bit-identical
+    /// across backends; only wall-clock time changes).
+    pub fn executor(mut self, kind: ExecutorKind) -> Self {
+        self.cfg.engine = self.cfg.engine.with_executor(kind);
+        self
+    }
+
+    /// Replaces the engine configuration (bandwidth, round caps,
+    /// executor).
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
+        self.cfg.engine = engine;
+        self
+    }
+
+    /// Sets the walk parameters (`lambda` scale, `eta`).
+    pub fn params(mut self, params: WalkParams) -> Self {
+        self.cfg.params = params;
+        self
+    }
+
+    /// Replaces the whole walk configuration (parameters, ablation
+    /// toggles, engine) at once — what the legacy free-function shims
+    /// use to forward their config structs.
+    pub fn config(mut self, cfg: SingleWalkConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the deterministic seed (request `i` derives its seed from
+    /// it; see the module docs).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the batch session's BFS anchor (default: node 0). One-shot
+    /// requests root their own setup at their sources, as the legacy
+    /// drivers did.
+    pub fn anchor(mut self, anchor: NodeId) -> Self {
+        self.anchor = anchor;
+        self
+    }
+
+    /// Builds the handle. Cheap: no BFS, no connectivity check — setup
+    /// is paid by the first request (one-shot) or the first batch (the
+    /// shared session), and input validation happens per request, which
+    /// is what keeps the legacy shims zero-overhead.
+    pub fn build(self) -> Network<'g> {
+        Network {
+            g: self.g,
+            cfg: self.cfg,
+            base_seed: self.seed,
+            requests_issued: 0,
+            anchor: self.anchor,
+            session: None,
+        }
+    }
+}
+
+/// A long-lived handle to the walk service over one graph (see the
+/// module docs).
+///
+/// # Example
+///
+/// ```
+/// use drw_core::network::Network;
+/// use drw_core::request::{Request, Response};
+/// use drw_graph::generators;
+///
+/// # fn main() -> Result<(), drw_core::Error> {
+/// let g = generators::torus2d(8, 8);
+/// let mut net = Network::builder(&g).seed(7).build();
+/// // One-shot: identical to the legacy single_random_walk.
+/// let walk = net.run(Request::walk(0, 1024))?.into_walk();
+/// assert!(walk.rounds < 1024, "sublinear in the walk length");
+/// // Batched: heterogeneous requests share engine runs.
+/// let responses = net.run_batch(vec![
+///     Request::walk(0, 512),
+///     Request::walk(21, 512),
+/// ])?;
+/// assert_eq!(responses.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Network<'g> {
+    g: &'g Graph,
+    cfg: SingleWalkConfig,
+    base_seed: u64,
+    requests_issued: u64,
+    anchor: NodeId,
+    session: Option<WalkSession<'g>>,
+}
+
+impl<'g> Network<'g> {
+    /// Starts building a network handle over `g`.
+    pub fn builder(g: &'g Graph) -> NetworkBuilder<'g> {
+        NetworkBuilder {
+            g,
+            cfg: SingleWalkConfig::default(),
+            seed: 0,
+            anchor: 0,
+        }
+    }
+
+    /// The graph this network serves.
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// The walk configuration every request runs under.
+    pub fn config(&self) -> &SingleWalkConfig {
+        &self.cfg
+    }
+
+    /// Total CONGEST rounds billed to the shared batch session so far
+    /// (0 before the first [`Network::run_batch`]): the real shared
+    /// cost of all batches, including the one session BFS. One-shot
+    /// requests bill their own private runners instead (reported in
+    /// their responses).
+    pub fn session_rounds(&self) -> u64 {
+        self.session.as_ref().map_or(0, |s| s.total_rounds())
+    }
+
+    /// The shared batch session, if one was created.
+    pub fn session(&self) -> Option<&WalkSession<'g>> {
+        self.session.as_ref()
+    }
+
+    /// The seed for the next request: the base seed verbatim for
+    /// request 0 (which is what makes one-request throwaway networks —
+    /// the legacy shims — seed-for-seed identical to the pre-facade
+    /// free functions), derived for every later request.
+    fn next_seed(&mut self) -> u64 {
+        let i = self.requests_issued;
+        self.requests_issued += 1;
+        if i == 0 {
+            self.base_seed
+        } else {
+            derive_seed(self.base_seed, i)
+        }
+    }
+
+    /// Serves one request with its own setup — exactly the legacy
+    /// drivers' behavior (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Walk`] for walk failures (bad sources, disconnected
+    /// graphs, engine errors), [`Error::NotCovered`] /
+    /// [`Error::LengthOverflow`] for spanning-tree requests.
+    pub fn run(&mut self, request: Request) -> Result<Response, Error> {
+        let seed = self.next_seed();
+        match request {
+            Request::Walk {
+                source,
+                len,
+                record,
+            } => {
+                let cfg = SingleWalkConfig {
+                    record_walk: record,
+                    ..self.cfg.clone()
+                };
+                Ok(Response::Walk(single_walk_one_shot(
+                    self.g, source, len, &cfg, seed,
+                )?))
+            }
+            Request::ManyWalks {
+                sources,
+                len,
+                strategy,
+            } => Ok(Response::ManyWalks(many_walks_one_shot(
+                self.g, &sources, len, &self.cfg, seed, strategy,
+            )?)),
+            Request::SpanningTree(req) => Ok(Response::SpanningTree(spanning::sample_tree(
+                self.g, &req, &self.cfg, seed,
+            )?)),
+            Request::MixingTime(req) => Ok(Response::MixingTime(mixing::estimate_mixing(
+                self.g, &req, &self.cfg, seed,
+            )?)),
+        }
+    }
+
+    /// Serves a batch of heterogeneous requests over the network's
+    /// shared session, multiplexing their walk work into shared engine
+    /// runs (see the module docs; responses come back in request
+    /// order).
+    ///
+    /// Execution-mode fields inside batched requests are ignored where
+    /// batching supersedes them: `ManyWalks::strategy` (batches always
+    /// multiplex) and the `reuse_session` baselines of tree/mixing
+    /// requests (batches always ride the shared session).
+    ///
+    /// # Errors
+    ///
+    /// As [`Network::run`]; the first failing request aborts the batch.
+    pub fn run_batch(&mut self, requests: Vec<Request>) -> Result<Vec<Response>, Error> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.requests_issued += requests.len() as u64;
+        if self.session.is_none() {
+            let cfg = SingleWalkConfig {
+                record_walk: true,
+                ..self.cfg.clone()
+            };
+            self.session = Some(WalkSession::new(
+                self.g,
+                self.anchor,
+                &cfg,
+                derive_seed(self.base_seed, SESSION_SEED_TAG),
+            )?);
+        }
+        let cfg = self.cfg.clone();
+        let session = self.session.as_mut().expect("session just ensured");
+        run_batch_on(session, &cfg, requests)
+    }
+}
+
+/// One request's contribution to the next wave.
+struct WavePlan {
+    specs: Vec<WaveSpec>,
+    /// `(lambda_call, len)` of the stitch-eligible work, if any.
+    regime: Option<(u32, u64)>,
+}
+
+/// The per-request state machines of a batch.
+enum Driver {
+    Walk {
+        source: NodeId,
+        len: u64,
+        record: bool,
+    },
+    Many {
+        sources: Vec<NodeId>,
+        len: u64,
+        /// Set at plan time: the Theorem 2.8 regime decision.
+        fallback_lambda: Option<u32>,
+    },
+    Tree(TreeDriver),
+    Mixing(Box<MixingDriver>),
+}
+
+/// Batch state of one spanning-tree request (both modes).
+struct TreeDriver {
+    req: TreeRequest,
+    initial_len: u64,
+    first: Vec<Option<(u64, Option<NodeId>)>>,
+    offset: u64,
+    current: NodeId,
+    phase: u32,
+    walk_in_phase: usize,
+    attempts: u64,
+}
+
+/// Batch state of one mixing-time request.
+struct MixingDriver {
+    req: MixingRequest,
+    k: usize,
+    bucket: BucketTest,
+    /// `(tree, network constants)` once the one-time setup ran — the
+    /// exact protocol sequence of the one-shot driver
+    /// ([`mixing::run_probe_setup`]), billed to this request.
+    setup: Option<(BfsTree, mixing::ProbeSetup)>,
+    len: u64,
+    last_fail: u64,
+    refine_bounds: Option<(u64, u64)>, // (lo, hi) once refining
+    probes: Vec<MixingProbe>,
+    done_estimate: Option<Option<u64>>, // Some(first_pass) once finished
+}
+
+/// One entry of the batch scheduler: a request's driver plus its
+/// accumulators and (eventually) its response.
+struct Slot {
+    driver: Driver,
+    rounds: u64,
+    response: Option<Response>,
+}
+
+fn run_batch_on(
+    session: &mut WalkSession<'_>,
+    cfg: &SingleWalkConfig,
+    requests: Vec<Request>,
+) -> Result<Vec<Response>, Error> {
+    let g = session.graph();
+    let n = g.n();
+    let d_est = u64::from(session.diameter_estimate());
+
+    // Validate every request up front so a bad source late in the batch
+    // cannot waste the whole run.
+    for request in &requests {
+        let check = |s: NodeId| -> Result<(), Error> {
+            if s >= n {
+                Err(WalkError::SourceOutOfRange(s).into())
+            } else {
+                Ok(())
+            }
+        };
+        match request {
+            Request::Walk { source, .. } => check(*source)?,
+            Request::ManyWalks { sources, .. } => {
+                sources.iter().try_for_each(|&s| check(s))?;
+            }
+            Request::SpanningTree(t) => check(t.root)?,
+            Request::MixingTime(m) => check(m.source)?,
+        }
+    }
+
+    let mut slots: Vec<Slot> = requests
+        .into_iter()
+        .map(|request| new_slot(request, g, n))
+        .collect();
+
+    // Round-robin pointer for the recording slot: when several
+    // requests want to record in the same wave, the grant rotates so
+    // concurrent tree requests genuinely alternate waves instead of
+    // the lowest index monopolizing the ledger until it completes.
+    let mut last_recorder: usize = slots.len().saturating_sub(1);
+    loop {
+        // Collect the wave: every unfinished request's next work items.
+        // Planning is deferral-safe (`plan_wave` mutates nothing a
+        // repeat call would get wrong), so plans are gathered first and
+        // membership decided after.
+        let mut plans: Vec<(usize, WavePlan)> = Vec::new();
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if slot.response.is_some() {
+                continue;
+            }
+            plans.push((i, plan_wave(slot, i as u16, session, cfg, d_est)?));
+        }
+        // At most one *recorded* plan may ride a wave (the per-node
+        // visit ledger is not lane-tagged). The grant rotates cyclically
+        // from the previous grantee; deferred recorders still share the
+        // next wave's rounds with everything else, just not this one's.
+        let recorders: Vec<usize> = plans
+            .iter()
+            .filter(|(_, p)| p.specs.iter().any(|s| s.record))
+            .map(|&(i, _)| i)
+            .collect();
+        let granted = recorders
+            .iter()
+            .copied()
+            .find(|&i| i > last_recorder)
+            .or_else(|| recorders.first().copied());
+        if let Some(i) = granted {
+            last_recorder = i;
+        }
+
+        let mut specs: Vec<WaveSpec> = Vec::new();
+        let mut members: Vec<(usize, usize)> = Vec::new(); // (slot, spec count)
+        let mut lambda_call = 0u32;
+        let mut stitch_len = 0u64;
+        for (i, plan) in plans {
+            let records = plan.specs.iter().any(|s| s.record);
+            if records && granted != Some(i) {
+                continue; // defer this recorder to a later wave
+            }
+            if let Some((lc, sl)) = plan.regime {
+                lambda_call = lambda_call.max(lc);
+                stitch_len = stitch_len.max(sl);
+            }
+            members.push((i, plan.specs.len()));
+            specs.extend(plan.specs);
+        }
+        if specs.is_empty() {
+            break;
+        }
+
+        let wave = session.run_wave(lambda_call, stitch_len, &specs)?;
+
+        // Distribute the wave's walks back to their requests and let
+        // each driver absorb them (possibly running private follow-up
+        // protocols on the session).
+        let mut walks = wave.walks.into_iter();
+        let mut gmw = wave.gmw_by_walk.iter().copied();
+        for (i, count) in members {
+            let mine: Vec<WaveWalk> = walks.by_ref().take(count).collect();
+            let my_gmw: u64 = gmw.by_ref().take(count).sum();
+            slots[i].rounds += wave.rounds;
+            let ctx = WaveContext {
+                rounds: wave.rounds,
+                messages: wave.messages,
+                rounds_topup: wave.rounds_topup,
+                lambda: wave.lambda,
+                gmw: my_gmw,
+            };
+            absorb(&mut slots[i], mine, &ctx, session, cfg, d_est)?;
+        }
+    }
+
+    Ok(slots
+        .into_iter()
+        .map(|s| s.response.expect("every request resolved"))
+        .collect())
+}
+
+/// Shared facts of one wave, handed to every participant's absorb step.
+struct WaveContext {
+    rounds: u64,
+    messages: u64,
+    rounds_topup: u64,
+    lambda: u32,
+    gmw: u64,
+}
+
+fn new_slot(request: Request, g: &Graph, n: usize) -> Slot {
+    match request {
+        Request::Walk {
+            source,
+            len,
+            record,
+        } => Slot {
+            driver: Driver::Walk {
+                source,
+                len,
+                record,
+            },
+            rounds: 0,
+            response: None,
+        },
+        Request::ManyWalks { sources, len, .. } => {
+            let empty = sources.is_empty();
+            let mut slot = Slot {
+                driver: Driver::Many {
+                    sources,
+                    len,
+                    fallback_lambda: None,
+                },
+                rounds: 0,
+                response: None,
+            };
+            if empty {
+                slot.response = Some(Response::ManyWalks(empty_many_result(n)));
+            }
+            slot
+        }
+        Request::SpanningTree(req) => {
+            let initial_len = if req.initial_len == 0 {
+                g.n() as u64
+            } else {
+                req.initial_len
+            };
+            let mut first = vec![None; n];
+            first[req.root] = Some((0, None));
+            Slot {
+                driver: Driver::Tree(TreeDriver {
+                    current: req.root,
+                    req,
+                    initial_len,
+                    first,
+                    offset: 0,
+                    phase: 0,
+                    walk_in_phase: 0,
+                    attempts: 0,
+                }),
+                rounds: 0,
+                response: None,
+            }
+        }
+        Request::MixingTime(req) => {
+            let k = ((n as f64).sqrt() * req.samples_scale).ceil() as usize;
+            // The collision estimator needs pairs; a zero-sample probe
+            // would also contribute no work items and stall the batch.
+            assert!(k >= 2, "mixing requests need samples_scale * sqrt(n) >= 2");
+            let bucket = BucketTest::new(g, req.bucket_base);
+            Slot {
+                driver: Driver::Mixing(Box::new(MixingDriver {
+                    len: req.start_len.max(1),
+                    req,
+                    k,
+                    bucket,
+                    setup: None,
+                    last_fail: 0,
+                    refine_bounds: None,
+                    probes: Vec::new(),
+                    done_estimate: None,
+                })),
+                rounds: 0,
+                response: None,
+            }
+        }
+    }
+}
+
+fn empty_many_result(n: usize) -> ManyWalksResult {
+    ManyWalksResult {
+        destinations: Vec::new(),
+        rounds: 0,
+        messages: 0,
+        lambda: 0,
+        used_naive_fallback: false,
+        stitches: 0,
+        gmw_invocations: 0,
+        connector_visits: vec![0; n],
+        segments: Vec::new(),
+        rounds_bfs: 0,
+        rounds_phase1: 0,
+        rounds_phase2: 0,
+        strategy: None,
+        state: WalkState::new(n),
+    }
+}
+
+/// Computes a request's next work items. May run private setup
+/// protocols on the session (billed to the request); must be safe to
+/// call again on the same state if the request is deferred from this
+/// wave.
+fn plan_wave(
+    slot: &mut Slot,
+    req_id: u16,
+    session: &mut WalkSession<'_>,
+    cfg: &SingleWalkConfig,
+    d_est: u64,
+) -> Result<WavePlan, Error> {
+    match &mut slot.driver {
+        Driver::Walk {
+            source,
+            len,
+            record,
+        } => {
+            let lambda = cfg.params.lambda(*len, d_est);
+            Ok(WavePlan {
+                specs: vec![WaveSpec {
+                    req: req_id,
+                    source: *source,
+                    len: *len,
+                    pos_offset: 0,
+                    record: *record,
+                    naive: false,
+                }],
+                regime: Some((lambda, *len)),
+            })
+        }
+        Driver::Many {
+            sources,
+            len,
+            fallback_lambda,
+        } => {
+            let k = sources.len() as u64;
+            let lambda = cfg.params.lambda_many(k, *len, d_est);
+            // Theorem 2.8's regime rule: lambda >= l takes the `k + l`
+            // simultaneous-naive branch — lowered as naive tokens into
+            // the same shared run.
+            let naive = u64::from(lambda) >= (*len).max(1);
+            *fallback_lambda = naive.then_some(lambda);
+            Ok(WavePlan {
+                specs: sources
+                    .iter()
+                    .map(|&source| WaveSpec {
+                        req: req_id,
+                        source,
+                        len: *len,
+                        pos_offset: 0,
+                        record: false,
+                        naive,
+                    })
+                    .collect(),
+                regime: (!naive).then_some((lambda, *len)),
+            })
+        }
+        Driver::Tree(t) => {
+            let phase = t.phase + 1;
+            if phase > t.req.max_phases {
+                return Err(Error::NotCovered {
+                    phases: t.req.max_phases,
+                    final_len: match t.req.mode {
+                        TreeMode::ExtendWalk => t.offset,
+                        TreeMode::RestartPhases => {
+                            spanning::doubling_step(t.initial_len, t.phase.max(1), 0)
+                                .map_or(0, |(l, _)| l)
+                        }
+                    },
+                });
+            }
+            let (seg_len, source, pos_offset, walked) = match t.req.mode {
+                TreeMode::ExtendWalk => {
+                    let (seg_len, _) = spanning::doubling_step(t.initial_len, phase, t.offset)
+                        .ok_or(Error::LengthOverflow {
+                            phases: t.phase,
+                            walked: t.offset,
+                        })?;
+                    (seg_len, t.current, t.offset, t.offset)
+                }
+                TreeMode::RestartPhases => {
+                    let (seg_len, _) = spanning::doubling_step(t.initial_len, phase, 0).ok_or(
+                        Error::LengthOverflow {
+                            phases: t.phase,
+                            walked: 0,
+                        },
+                    )?;
+                    (seg_len, t.req.root, 0, 0)
+                }
+            };
+            let _ = walked;
+            let lambda = cfg.params.lambda(seg_len, d_est);
+            Ok(WavePlan {
+                specs: vec![WaveSpec {
+                    req: req_id,
+                    source,
+                    len: seg_len,
+                    pos_offset,
+                    record: true,
+                    naive: false,
+                }],
+                regime: Some((lambda, seg_len)),
+            })
+        }
+        Driver::Mixing(m) => {
+            if m.setup.is_none() {
+                // The one-shot driver's setup protocols, verbatim, over
+                // the shared session tree — billed to this request.
+                let before = session.total_rounds();
+                let tree = session.tree().clone();
+                let setup = mixing::run_probe_setup(
+                    session.graph(),
+                    &m.bucket,
+                    &tree,
+                    session.runner_mut(),
+                )?;
+                slot.rounds += session.total_rounds() - before;
+                m.setup = Some((tree, setup));
+            }
+            let len = m.len;
+            let k = m.k as u64;
+            let lambda = cfg.params.lambda_many(k, len, d_est);
+            let naive = u64::from(lambda) >= len.max(1);
+            let source = m.req.source;
+            Ok(WavePlan {
+                specs: (0..m.k)
+                    .map(|_| WaveSpec {
+                        req: req_id,
+                        source,
+                        len,
+                        pos_offset: 0,
+                        record: false,
+                        naive,
+                    })
+                    .collect(),
+                regime: (!naive).then_some((lambda, len)),
+            })
+        }
+    }
+}
+
+/// Absorbs a wave's results into a request's state machine, running any
+/// private follow-up protocols, and resolves the response once the
+/// request completes.
+fn absorb(
+    slot: &mut Slot,
+    walks: Vec<WaveWalk>,
+    ctx: &WaveContext,
+    session: &mut WalkSession<'_>,
+    cfg: &SingleWalkConfig,
+    d_est: u64,
+) -> Result<(), Error> {
+    let n = session.graph().n();
+    match &mut slot.driver {
+        Driver::Walk {
+            source,
+            len,
+            record,
+        } => {
+            let walk = walks.into_iter().next().expect("one spec per walk");
+            let mut state = WalkState::new(n);
+            if *record {
+                state.record_visit(*source, 0, None);
+                for (v, visit) in &walk.visits {
+                    state.record_visit(*v, visit.pos, visit.pred);
+                }
+            }
+            slot.response = Some(Response::Walk(SingleWalkResult {
+                destination: walk.destination,
+                rounds: ctx.rounds,
+                messages: ctx.messages,
+                rounds_bfs: 0,
+                rounds_phase1: ctx.rounds_topup,
+                rounds_stitch: ctx.rounds - ctx.rounds_topup,
+                rounds_tail: 0,
+                rounds_replay: 0,
+                stitches: walk.segments.len() as u64,
+                gmw_invocations: ctx.gmw,
+                lambda: ctx.lambda,
+                diameter_estimate: d_est as u32,
+                connector_visits: vec![0; n],
+                segments: walk.segments,
+                state,
+            }));
+            let _ = len;
+        }
+        Driver::Many {
+            fallback_lambda, ..
+        } => {
+            let fallback = *fallback_lambda;
+            let mut destinations = Vec::with_capacity(walks.len());
+            let mut segments = Vec::with_capacity(walks.len());
+            let mut stitches = 0u64;
+            for w in walks {
+                destinations.push(w.destination);
+                stitches += w.segments.len() as u64;
+                segments.push(w.segments);
+            }
+            slot.response = Some(Response::ManyWalks(ManyWalksResult {
+                destinations,
+                rounds: ctx.rounds,
+                messages: ctx.messages,
+                lambda: fallback.unwrap_or(ctx.lambda),
+                used_naive_fallback: fallback.is_some(),
+                stitches,
+                gmw_invocations: ctx.gmw,
+                connector_visits: vec![0; n],
+                segments,
+                rounds_bfs: 0,
+                rounds_phase1: ctx.rounds_topup,
+                rounds_phase2: ctx.rounds - ctx.rounds_topup,
+                strategy: (fallback.is_none()).then_some(StitchStrategy::Batched),
+                state: WalkState::new(n),
+            }));
+        }
+        Driver::Tree(t) => {
+            let walk = walks.into_iter().next().expect("one extension per wave");
+            t.phase += 1;
+            t.attempts += 1;
+            let g = session.graph();
+            // `restart_first` only exists in restart mode (fresh table
+            // per walk); extend mode reads the accumulated `t.first` by
+            // reference — no per-phase O(n) copy.
+            let mut restart_first: Vec<Option<(u64, Option<NodeId>)>>;
+            let (covered_first, phase_for_result, cover_len): (&[_], u32, u64) = match t.req.mode {
+                TreeMode::ExtendWalk => {
+                    let seg_len = spanning::doubling_step(t.initial_len, t.phase, t.offset)
+                        .expect("planned step was valid")
+                        .0;
+                    for (v, visit) in &walk.visits {
+                        debug_assert!(visit.pos > t.offset && visit.pos <= t.offset + seg_len);
+                        let pred = visit.pred.expect("extension visits carry predecessors");
+                        spanning::merge_first_visit(&mut t.first, *v, visit.pos, pred);
+                    }
+                    t.offset += seg_len;
+                    t.current = walk.destination;
+                    (t.first.as_slice(), t.phase, t.offset)
+                }
+                TreeMode::RestartPhases => {
+                    let seg_len = spanning::doubling_step(t.initial_len, t.phase, 0)
+                        .expect("planned step was valid")
+                        .0;
+                    restart_first = vec![None; n];
+                    restart_first[t.req.root] = Some((0, None));
+                    for (v, visit) in &walk.visits {
+                        let pred = visit.pred.expect("extension visits carry predecessors");
+                        spanning::merge_first_visit(&mut restart_first, *v, visit.pos, pred);
+                    }
+                    (restart_first.as_slice(), t.phase, seg_len)
+                }
+            };
+            // Private cover check over the shared tree, billed to this
+            // request alone.
+            let before = session.total_rounds();
+            let values: Vec<u64> = covered_first
+                .iter()
+                .map(|f| u64::from(f.is_some()))
+                .collect();
+            let mut cc = ConvergecastProtocol::new(session.tree().clone(), AggOp::Min, values);
+            session.runner_mut().run(&mut cc).map_err(WalkError::from)?;
+            slot.rounds += session.total_rounds() - before;
+            if cc.result() == 1 {
+                let key = spanning::tree_from_first_visits(g, t.req.root, covered_first);
+                slot.response = Some(Response::SpanningTree(TreeSample {
+                    edges: key,
+                    rounds: slot.rounds,
+                    phases: phase_for_result,
+                    attempts: t.attempts,
+                    cover_len,
+                    bfs_runs: 0,
+                }));
+            } else if let TreeMode::RestartPhases = t.req.mode {
+                // Phase bookkeeping for restart mode: `walks_per_phase`
+                // walks before the length doubles.
+                let per_phase = spanning::walks_per_phase(n, t.req.walks_per_phase);
+                t.walk_in_phase += 1;
+                if t.walk_in_phase < per_phase {
+                    t.phase -= 1; // same length again next wave
+                } else {
+                    t.walk_in_phase = 0;
+                }
+            }
+        }
+        Driver::Mixing(m) => {
+            let destinations: Vec<NodeId> = walks.iter().map(|w| w.destination).collect();
+            let before = session.total_rounds();
+            let (tree, setup) = m.setup.as_ref().expect("setup ran at plan time");
+            let probe = mixing::evaluate_probe(
+                session.graph(),
+                &m.bucket,
+                tree,
+                session.runner_mut(),
+                &destinations,
+                setup,
+                m.len,
+                m.req.threshold,
+                m.req.l2_threshold,
+            )?;
+            slot.rounds += session.total_rounds() - before;
+            m.probes.push(probe);
+            advance_mixing(m, probe);
+            if let Some(first_pass) = m.done_estimate {
+                slot.response = Some(Response::MixingTime(MixingReport {
+                    tau_estimate: first_pass.unwrap_or(m.req.max_len),
+                    converged: first_pass.is_some(),
+                    rounds: slot.rounds,
+                    samples_per_probe: m.k,
+                    buckets: m.bucket.buckets(),
+                    probes: std::mem::take(&mut m.probes),
+                }));
+            }
+        }
+    }
+    let _ = (cfg, d_est);
+    Ok(())
+}
+
+/// Advances the mixing scan/refinement state machine after one probe.
+fn advance_mixing(m: &mut MixingDriver, probe: MixingProbe) {
+    match m.refine_bounds {
+        None => {
+            // Doubling scan.
+            if probe.pass {
+                if m.req.refine && m.last_fail + 1 < m.len {
+                    m.refine_bounds = Some((m.last_fail, m.len));
+                    let (lo, hi) = m.refine_bounds.expect("just set");
+                    m.len = lo + (hi - lo) / 2;
+                } else {
+                    m.done_estimate = Some(Some(m.len));
+                }
+            } else {
+                m.last_fail = m.len;
+                match m.len.checked_mul(2) {
+                    Some(next) if next <= m.req.max_len => m.len = next,
+                    _ => m.done_estimate = Some(None), // cap reached
+                }
+            }
+        }
+        Some((lo, hi)) => {
+            // Binary-search refinement (Lemma 4.4 monotonicity).
+            let (lo, hi) = if probe.pass { (lo, m.len) } else { (m.len, hi) };
+            if lo + 1 < hi {
+                m.refine_bounds = Some((lo, hi));
+                m.len = lo + (hi - lo) / 2;
+            } else {
+                m.done_estimate = Some(Some(hi));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drw_graph::generators;
+
+    #[test]
+    fn builder_configures_the_handle() {
+        let g = generators::torus2d(4, 4);
+        let net = Network::builder(&g)
+            .executor(ExecutorKind::Parallel)
+            .params(WalkParams {
+                lambda_scale: 0.5,
+                eta: 2.0,
+            })
+            .seed(9)
+            .anchor(3)
+            .build();
+        assert_eq!(net.config().engine.executor, ExecutorKind::Parallel);
+        assert_eq!(net.config().params.eta, 2.0);
+        assert_eq!(net.graph().n(), 16);
+        assert_eq!(net.session_rounds(), 0, "no session before the first batch");
+    }
+
+    #[test]
+    fn one_shot_requests_resolve_every_kind() {
+        let g = generators::torus2d(4, 4);
+        let mut net = Network::builder(&g).seed(5).build();
+        let walk = net.run(Request::walk(0, 64)).unwrap().into_walk();
+        assert_eq!((walk.destination / 4 + walk.destination % 4) % 2, 0);
+        let many = net
+            .run(Request::many_walks(vec![0, 5], 64))
+            .unwrap()
+            .into_many_walks();
+        assert_eq!(many.destinations.len(), 2);
+        let tree = net.run(Request::spanning_tree(0)).unwrap().into_tree();
+        assert_eq!(tree.edges.len(), g.n() - 1);
+        let mix = net
+            .run(Request::MixingTime(MixingRequest {
+                max_len: 64,
+                ..MixingRequest::full_estimate(0)
+            }))
+            .unwrap()
+            .into_mixing();
+        assert!(!mix.probes.is_empty());
+        assert_eq!(net.session_rounds(), 0, "one-shot requests bill privately");
+    }
+
+    #[test]
+    fn distinct_requests_draw_distinct_seeds() {
+        let g = generators::torus2d(6, 6);
+        let mut net = Network::builder(&g).seed(11).build();
+        let a = net.run(Request::walk(0, 512)).unwrap().into_walk();
+        let b = net.run(Request::walk(0, 512)).unwrap().into_walk();
+        // Same request twice must explore differently (different derived
+        // seeds), yet a fresh network with the same base seed reproduces
+        // the same sequence.
+        let mut net2 = Network::builder(&g).seed(11).build();
+        let a2 = net2.run(Request::walk(0, 512)).unwrap().into_walk();
+        let b2 = net2.run(Request::walk(0, 512)).unwrap().into_walk();
+        assert_eq!(a.destination, a2.destination);
+        assert_eq!(b.destination, b2.destination);
+        assert!(
+            a.destination != b.destination || a.segments != b.segments,
+            "request seeds must differ"
+        );
+    }
+
+    #[test]
+    fn batch_serves_heterogeneous_requests() {
+        let g = generators::torus2d(6, 6);
+        let mut net = Network::builder(&g).seed(31).build();
+        let responses = net
+            .run_batch(vec![
+                Request::walk(0, 512),
+                Request::walk(21, 512),
+                Request::SpanningTree(TreeRequest {
+                    initial_len: 4 * g.n() as u64,
+                    ..TreeRequest::new(0)
+                }),
+                Request::mixing_probe(0, 64),
+            ])
+            .unwrap();
+        assert_eq!(responses.len(), 4);
+        let parity = |v: usize| (v / 6 + v % 6) % 2;
+        match (&responses[0], &responses[1]) {
+            (Response::Walk(a), Response::Walk(b)) => {
+                assert_eq!(parity(a.destination), 0);
+                assert_eq!(parity(b.destination), parity(21));
+                assert!(a.rounds > 0);
+            }
+            other => panic!(
+                "wrong response kinds: {:?}",
+                (other.0.kind(), other.1.kind())
+            ),
+        }
+        let tree = responses[2].clone().into_tree();
+        assert_eq!(tree.edges.len(), g.n() - 1);
+        assert!(tree.phases >= 1);
+        let mix = responses[3].clone().into_mixing();
+        assert_eq!(mix.probes.len(), 1);
+        assert_eq!(mix.probes[0].len, 64);
+        assert!(net.session_rounds() > 0, "batches bill the shared session");
+    }
+
+    #[test]
+    fn batch_matches_sequential_semantics_for_many_walks_fallback() {
+        // Theorem 2.8 regime rule inside a batch: large k, tiny l means
+        // the naive branch, flagged exactly as the one-shot driver does.
+        let g = generators::torus2d(4, 4);
+        let mut net = Network::builder(&g).seed(3).build();
+        let sources: Vec<NodeId> = (0..16).collect();
+        let r = net
+            .run_batch(vec![Request::many_walks(sources.clone(), 8)])
+            .unwrap()
+            .remove(0)
+            .into_many_walks();
+        assert!(r.used_naive_fallback);
+        assert_eq!(r.strategy(), None);
+        assert_eq!(r.stitches, 0);
+        assert_eq!(r.destinations.len(), 16);
+        for (&s, &d) in sources.iter().zip(&r.destinations) {
+            assert_eq!((s / 4 + s % 4) % 2, (d / 4 + d % 4) % 2);
+        }
+    }
+
+    #[test]
+    fn two_tree_requests_alternate_recording_waves() {
+        // Two spanning-tree requests in one batch: the recording slot
+        // serializes their extensions across waves, but both finish and
+        // both trees are valid.
+        let g = generators::torus2d(4, 4);
+        let mut net = Network::builder(&g).seed(77).build();
+        let responses = net
+            .run_batch(vec![
+                Request::spanning_tree(0),
+                Request::spanning_tree(5),
+                Request::walk(3, 256),
+            ])
+            .unwrap();
+        let t0 = responses[0].clone().into_tree();
+        let t1 = responses[1].clone().into_tree();
+        assert_eq!(t0.edges.len(), g.n() - 1);
+        assert_eq!(t1.edges.len(), g.n() - 1);
+        assert!(drw_graph::matrix_tree::is_spanning_tree(&g, &t0.edges));
+        assert!(drw_graph::matrix_tree::is_spanning_tree(&g, &t1.edges));
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let g = generators::path(4);
+        let mut net = Network::builder(&g).seed(1).build();
+        assert!(net.run_batch(Vec::new()).unwrap().is_empty());
+        assert!(net.session().is_none());
+    }
+
+    #[test]
+    fn batch_rejects_bad_sources_before_running() {
+        let g = generators::path(4);
+        let mut net = Network::builder(&g).seed(1).build();
+        let err = net
+            .run_batch(vec![Request::walk(0, 8), Request::walk(9, 8)])
+            .unwrap_err();
+        assert_eq!(err, Error::Walk(WalkError::SourceOutOfRange(9)));
+    }
+
+    #[test]
+    fn batch_determinism() {
+        let g = generators::torus2d(5, 5);
+        let run = || {
+            let mut net = Network::builder(&g).seed(13).build();
+            let rs = net
+                .run_batch(vec![
+                    Request::walk(0, 300),
+                    Request::many_walks(vec![3, 8], 200),
+                    Request::spanning_tree(0),
+                ])
+                .unwrap();
+            let rounds = net.session_rounds();
+            (
+                rs[0].clone().into_walk().destination,
+                rs[1].clone().into_many_walks().destinations,
+                rs[2].clone().into_tree().edges,
+                rounds,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

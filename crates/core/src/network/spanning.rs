@@ -1,0 +1,441 @@
+//! One-shot execution of [`Request::SpanningTree`] — the distributed
+//! random-spanning-tree algorithm (Theorem 4.1), hosted in `drw-core`
+//! so the [`crate::Network`] facade can serve tree requests directly.
+//!
+//! This is the algorithm formerly driven by `drw_spanning::distributed`
+//! (which now shims onto the facade), moved verbatim so legacy callers
+//! stay seed-for-seed identical: Aldous-Broder simulated with the fast
+//! walk machinery, doubling cover-time guesses, regenerated walks,
+//! `O(D)` convergecast cover checks and node-local first-visit-edge
+//! extraction. See `drw-spanning`'s module docs for the reproduction
+//! finding on restart bias ([`TreeMode::RestartPhases`] conditions the
+//! walk law on fast coverage and is measurably biased; the default
+//! [`TreeMode::ExtendWalk`] extends one continuous walk and is exactly
+//! uniform) and for the segment-boundary accounting.
+
+use crate::error::Error;
+use crate::request::{TreeMode, TreeRequest, TreeSample};
+use crate::session::WalkSession;
+use crate::single_walk::{single_walk_one_shot, SingleWalkConfig, WalkError};
+use drw_congest::primitives::{AggOp, BfsTreeProtocol, ConvergecastProtocol};
+use drw_congest::{derive_seed, Runner};
+use drw_graph::matrix_tree::{canonical_tree_key, is_spanning_tree, TreeKey};
+use drw_graph::{Graph, NodeId};
+
+/// Cap on the cumulative walked length of the doubling schedule. Far
+/// beyond any simulable cover time; exists so a runaway doubling
+/// surfaces as [`Error::LengthOverflow`] instead of `u64` wraparound
+/// (which would silently reset segment lengths and break the doubling
+/// invariant).
+pub const MAX_TOTAL_WALK_LEN: u64 = 1 << 62;
+
+/// The doubling schedule with overflow accounting: segment length
+/// `initial_len * 2^(phase - 1)` for 1-based `phase`, and the cumulative
+/// total after walking it from `walked`. `None` when the shift, the
+/// multiply or the running total would overflow `u64`, or when the total
+/// would pass [`MAX_TOTAL_WALK_LEN`].
+pub(crate) fn doubling_step(initial_len: u64, phase: u32, walked: u64) -> Option<(u64, u64)> {
+    let seg_len = 1u64
+        .checked_shl(phase - 1)
+        .and_then(|m| initial_len.checked_mul(m))?;
+    let total = walked.checked_add(seg_len)?;
+    (total <= MAX_TOTAL_WALK_LEN).then_some((seg_len, total))
+}
+
+/// Walks per phase in restart mode: `ceil(log2 n)` as in the paper when
+/// unconfigured.
+pub(crate) fn walks_per_phase(n: usize, configured: usize) -> usize {
+    if configured == 0 {
+        (n as f64).log2().ceil().max(1.0) as usize
+    } else {
+        configured
+    }
+}
+
+/// Assembles the tree from per-node first visits (root excluded).
+///
+/// # Panics
+///
+/// Panics (via `expect`) if a non-root node's first visit carries no
+/// predecessor — structurally impossible for session extensions (every
+/// extension visit has a predecessor) and for covering one-shot walks.
+pub(crate) fn tree_from_first_visits(
+    g: &Graph,
+    root: NodeId,
+    first: &[Option<(u64, Option<NodeId>)>],
+) -> TreeKey {
+    let edges = (0..g.n()).filter(|&v| v != root).map(|v| {
+        let (_, pred) = first[v].expect("covered");
+        (pred.expect("non-root first visits have predecessors"), v)
+    });
+    let key = canonical_tree_key(edges);
+    debug_assert!(is_spanning_tree(g, &key));
+    key
+}
+
+/// Merges one extension visit into the accumulated first-visit table,
+/// returning whether `v` was newly covered. Entries from earlier phases
+/// carry positions at or below the current extension's offset while
+/// extension visits sit strictly above it, so an overwrite (a smaller
+/// position for an already-seen node) can only come from this very
+/// extension's unsorted visit list.
+pub(crate) fn merge_first_visit(
+    first: &mut [Option<(u64, Option<NodeId>)>],
+    v: NodeId,
+    pos: u64,
+    pred: NodeId,
+) -> bool {
+    match &mut first[v] {
+        None => {
+            first[v] = Some((pos, Some(pred)));
+            true
+        }
+        Some((p, q)) if *p > pos => {
+            *p = pos;
+            *q = Some(pred);
+            false
+        }
+        Some(_) => false,
+    }
+}
+
+/// Executes one [`Request::SpanningTree`] with its own setup — the
+/// one-shot path behind [`crate::Network::run`] and the legacy
+/// `distributed_rst` shim. `reuse_session` selects the amortized
+/// single-session driver or the rebuild-per-phase baseline, exactly as
+/// before the facade redesign.
+pub(crate) fn sample_tree(
+    g: &Graph,
+    req: &TreeRequest,
+    walk_cfg: &SingleWalkConfig,
+    seed: u64,
+) -> Result<TreeSample, Error> {
+    let initial_len = if req.initial_len == 0 {
+        g.n() as u64
+    } else {
+        req.initial_len
+    };
+    let walk_cfg = SingleWalkConfig {
+        record_walk: true,
+        ..walk_cfg.clone()
+    };
+    if req.reuse_session {
+        let mut run = SessionRstRun {
+            g,
+            req,
+            session: WalkSession::new(g, req.root, &walk_cfg, derive_seed(seed, 0xC0FE))?,
+            attempts: 0,
+        };
+        return match req.mode {
+            TreeMode::ExtendWalk => run.run_extend(req.root, initial_len),
+            TreeMode::RestartPhases => run.run_restart(req.root, initial_len),
+        };
+    }
+
+    // Rebuild-per-phase baseline: a BFS tree at the root for the cover
+    // checks, plus one full `SINGLE-RANDOM-WALK` (own BFS + Phase 1)
+    // per phase.
+    let mut runner = Runner::new(g, walk_cfg.engine.clone(), derive_seed(seed, 0xC0FE));
+    let mut bfs = BfsTreeProtocol::new(req.root);
+    runner.run(&mut bfs).map_err(WalkError::from)?;
+    let tree = bfs.into_tree();
+
+    let mut ctx = RebuildRstRun {
+        g,
+        req,
+        walk_cfg,
+        runner,
+        tree,
+        walk_rounds: 0,
+        attempts: 0,
+        seed,
+    };
+    match req.mode {
+        TreeMode::ExtendWalk => ctx.run_extend(req.root, initial_len),
+        TreeMode::RestartPhases => ctx.run_restart(req.root, initial_len),
+    }
+}
+
+/// Session-backed driver: one BFS, one store, walk extension per phase.
+struct SessionRstRun<'g, 'c> {
+    g: &'g Graph,
+    req: &'c TreeRequest,
+    session: WalkSession<'g>,
+    attempts: u64,
+}
+
+impl SessionRstRun<'_, '_> {
+    /// Distributed cover check: AND over node-local "was I visited?",
+    /// convergecast over the session's cached BFS tree.
+    fn check_cover(&mut self, visited: &[bool]) -> Result<bool, Error> {
+        let values: Vec<u64> = visited.iter().map(|&v| u64::from(v)).collect();
+        let mut cc = ConvergecastProtocol::new(self.session.tree().clone(), AggOp::Min, values);
+        self.session
+            .runner_mut()
+            .run(&mut cc)
+            .map_err(WalkError::from)?;
+        Ok(cc.result() == 1)
+    }
+
+    fn result(&self, edges: TreeKey, phases: u32, cover_len: u64) -> TreeSample {
+        TreeSample {
+            edges,
+            rounds: self.session.total_rounds(),
+            phases,
+            attempts: self.attempts,
+            cover_len,
+            bfs_runs: 1,
+        }
+    }
+
+    /// Exact mode: one continuous walk, extended with doubling segment
+    /// lengths over the session until it covers.
+    fn run_extend(&mut self, root: NodeId, initial_len: u64) -> Result<TreeSample, Error> {
+        let n = self.g.n();
+        // first[v] = (global first-visit position, predecessor) — local
+        // knowledge of v, accumulated across extensions.
+        let mut first: Vec<Option<(u64, Option<NodeId>)>> = vec![None; n];
+        first[root] = Some((0, None));
+        let mut covered_count = 1usize;
+        let mut offset = 0u64;
+        let mut current = root;
+        for phase in 1..=self.req.max_phases {
+            let (seg_len, new_offset) =
+                doubling_step(initial_len, phase, offset).ok_or(Error::LengthOverflow {
+                    phases: phase - 1,
+                    walked: offset,
+                })?;
+            self.attempts += 1;
+            let ext = self.session.extend_recorded(current, seg_len, offset)?;
+            for &(v, visit) in &ext.visits {
+                // Extension visits cover (offset, offset + seg_len] and
+                // always carry a predecessor — the boundary position
+                // `offset` itself belongs to the previous phase.
+                debug_assert!(visit.pos > offset && visit.pos <= new_offset);
+                let pred = visit.pred.expect("extension visits carry predecessors");
+                if merge_first_visit(&mut first, v, visit.pos, pred) {
+                    covered_count += 1;
+                }
+            }
+            offset = new_offset;
+            current = ext.destination;
+            let covered =
+                self.check_cover(&first.iter().map(|f| f.is_some()).collect::<Vec<_>>())?;
+            debug_assert_eq!(covered, covered_count == n);
+            if covered {
+                let key = tree_from_first_visits(self.g, root, &first);
+                return Ok(self.result(key, phase, offset));
+            }
+        }
+        Err(Error::NotCovered {
+            phases: self.req.max_phases,
+            final_len: offset,
+        })
+    }
+
+    /// Paper-literal mode: fresh walks of doubling length (all drawn
+    /// over the shared session store — each is still an independent
+    /// exact walk); accept the first that covers (biased).
+    fn run_restart(&mut self, root: NodeId, initial_len: u64) -> Result<TreeSample, Error> {
+        let n = self.g.n();
+        let per_phase = walks_per_phase(n, self.req.walks_per_phase);
+        let mut len = initial_len;
+        for phase in 1..=self.req.max_phases {
+            len = doubling_step(initial_len, phase, 0)
+                .ok_or(Error::LengthOverflow {
+                    phases: phase - 1,
+                    walked: 0,
+                })?
+                .0;
+            for _ in 0..per_phase {
+                self.attempts += 1;
+                let ext = self.session.extend_recorded(root, len, 0)?;
+                let mut first: Vec<Option<(u64, Option<NodeId>)>> = vec![None; n];
+                first[root] = Some((0, None));
+                for &(v, visit) in &ext.visits {
+                    let pred = visit.pred.expect("extension visits carry predecessors");
+                    merge_first_visit(&mut first, v, visit.pos, pred);
+                }
+                if !self.check_cover(&first.iter().map(|f| f.is_some()).collect::<Vec<_>>())? {
+                    continue;
+                }
+                let key = tree_from_first_visits(self.g, root, &first);
+                return Ok(self.result(key, phase, len));
+            }
+        }
+        Err(Error::NotCovered {
+            phases: self.req.max_phases,
+            final_len: len,
+        })
+    }
+}
+
+/// Rebuild-per-phase baseline driver (`reuse_session = false`).
+struct RebuildRstRun<'g, 'c> {
+    g: &'g Graph,
+    req: &'c TreeRequest,
+    walk_cfg: SingleWalkConfig,
+    runner: Runner<'g>,
+    tree: drw_congest::primitives::BfsTree,
+    walk_rounds: u64,
+    attempts: u64,
+    seed: u64,
+}
+
+impl RebuildRstRun<'_, '_> {
+    /// Distributed cover check: AND over node-local "was I visited?".
+    fn check_cover(&mut self, visited: &[bool]) -> Result<bool, Error> {
+        let values: Vec<u64> = visited.iter().map(|&v| u64::from(v)).collect();
+        let mut cc = ConvergecastProtocol::new(self.tree.clone(), AggOp::Min, values);
+        self.runner.run(&mut cc).map_err(WalkError::from)?;
+        Ok(cc.result() == 1)
+    }
+
+    fn result(&self, edges: TreeKey, phases: u32, cover_len: u64) -> TreeSample {
+        TreeSample {
+            edges,
+            rounds: self.walk_rounds + self.runner.total_rounds(),
+            phases,
+            attempts: self.attempts,
+            cover_len,
+            // The cover-check tree plus one internal BFS per
+            // `SINGLE-RANDOM-WALK` invocation.
+            bfs_runs: 1 + self.attempts,
+        }
+    }
+
+    /// Exact mode: one continuous walk, extended with doubling segment
+    /// lengths until it covers; every phase rebuilds BFS + Phase 1.
+    fn run_extend(&mut self, root: NodeId, initial_len: u64) -> Result<TreeSample, Error> {
+        let n = self.g.n();
+        let mut first: Vec<Option<(u64, Option<NodeId>)>> = vec![None; n];
+        first[root] = Some((0, None));
+        let mut covered_count = 1usize;
+        let mut offset = 0u64;
+        let mut current = root;
+        for phase in 1..=self.req.max_phases {
+            let (seg_len, new_offset) =
+                doubling_step(initial_len, phase, offset).ok_or(Error::LengthOverflow {
+                    phases: phase - 1,
+                    walked: offset,
+                })?;
+            self.attempts += 1;
+            let walk_seed = derive_seed(self.seed, self.attempts);
+            let r = single_walk_one_shot(self.g, current, seg_len, &self.walk_cfg, walk_seed)?;
+            self.walk_rounds += r.rounds;
+            #[allow(clippy::needless_range_loop)]
+            for v in 0..n {
+                if first[v].is_none() {
+                    // Explicit boundary: the continuation start's
+                    // `(0, None)` visit is phase `p - 1`'s destination
+                    // hand-off, never a first visit of this phase —
+                    // without the filter it could hand the tree assembly
+                    // a predecessor-less first visit.
+                    if let Some(visit) = r.state.nodes[v]
+                        .visits
+                        .iter()
+                        .filter(|x| !(x.pos == 0 && x.pred.is_none()))
+                        .min_by_key(|x| x.pos)
+                    {
+                        first[v] = Some((offset + visit.pos, visit.pred));
+                        covered_count += 1;
+                    }
+                }
+            }
+            offset = new_offset;
+            current = r.destination;
+            let covered =
+                self.check_cover(&first.iter().map(|f| f.is_some()).collect::<Vec<_>>())?;
+            debug_assert_eq!(covered, covered_count == n);
+            if covered {
+                let key = tree_from_first_visits(self.g, root, &first);
+                return Ok(self.result(key, phase, offset));
+            }
+        }
+        Err(Error::NotCovered {
+            phases: self.req.max_phases,
+            final_len: offset,
+        })
+    }
+
+    /// Paper-literal mode: fresh walks of doubling length; accept the
+    /// first that covers (biased).
+    fn run_restart(&mut self, root: NodeId, initial_len: u64) -> Result<TreeSample, Error> {
+        let n = self.g.n();
+        let per_phase = walks_per_phase(n, self.req.walks_per_phase);
+        let mut len = initial_len;
+        for phase in 1..=self.req.max_phases {
+            len = doubling_step(initial_len, phase, 0)
+                .ok_or(Error::LengthOverflow {
+                    phases: phase - 1,
+                    walked: 0,
+                })?
+                .0;
+            for _ in 0..per_phase {
+                self.attempts += 1;
+                let walk_seed = derive_seed(self.seed, self.attempts);
+                let r = single_walk_one_shot(self.g, root, len, &self.walk_cfg, walk_seed)?;
+                self.walk_rounds += r.rounds;
+                let visited: Vec<bool> = (0..n)
+                    .map(|v| !r.state.nodes[v].visits.is_empty())
+                    .collect();
+                if !self.check_cover(&visited)? {
+                    continue;
+                }
+                let mut first: Vec<Option<(u64, Option<NodeId>)>> = vec![None; n];
+                first[root] = Some((0, None));
+                for (v, f) in first.iter_mut().enumerate() {
+                    if v == root {
+                        continue;
+                    }
+                    let visit = r.state.nodes[v]
+                        .visits
+                        .iter()
+                        .min_by_key(|x| x.pos)
+                        .expect("covered walk visits every node");
+                    *f = Some((visit.pos, visit.pred));
+                }
+                let key = tree_from_first_visits(self.g, root, &first);
+                return Ok(self.result(key, phase, len));
+            }
+        }
+        Err(Error::NotCovered {
+            phases: self.req.max_phases,
+            final_len: len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubling_step_arithmetic() {
+        // Plain doubling.
+        assert_eq!(doubling_step(16, 1, 0), Some((16, 16)));
+        assert_eq!(doubling_step(16, 3, 48), Some((64, 112)));
+        // Shift overflow (phase - 1 >= 64).
+        assert_eq!(doubling_step(1, 70, 0), None);
+        // Multiply overflow.
+        assert_eq!(doubling_step(u64::MAX / 2, 3, 0), None);
+        // Accumulation overflow.
+        assert_eq!(doubling_step(u64::MAX / 2, 1, u64::MAX / 2 + 2), None);
+        // Total-length cap.
+        assert_eq!(doubling_step(MAX_TOTAL_WALK_LEN, 2, 0), None);
+        assert_eq!(
+            doubling_step(MAX_TOTAL_WALK_LEN, 1, 0),
+            Some((MAX_TOTAL_WALK_LEN, MAX_TOTAL_WALK_LEN))
+        );
+    }
+
+    #[test]
+    fn merge_prefers_smaller_positions() {
+        let mut first = vec![None; 3];
+        assert!(merge_first_visit(&mut first, 1, 10, 0));
+        assert!(!merge_first_visit(&mut first, 1, 5, 2));
+        assert_eq!(first[1], Some((5, Some(2))));
+        assert!(!merge_first_visit(&mut first, 1, 7, 0));
+        assert_eq!(first[1], Some((5, Some(2))));
+    }
+}

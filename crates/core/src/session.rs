@@ -58,7 +58,7 @@ use crate::regenerate::{ReplayProtocol, ReplaySegment};
 use crate::short_walks::ShortWalksProtocol;
 use crate::single_walk::{Segment, SingleWalkConfig, StitchSetup, WalkError};
 use crate::state::{Visit, WalkState};
-use crate::stitch_scheduler::StitchScheduler;
+use crate::stitch_scheduler::{StitchScheduler, StitchSpec};
 use drw_congest::primitives::{BfsTree, BfsTreeProtocol};
 use drw_congest::Runner;
 use drw_graph::{traversal, Graph, NodeId};
@@ -130,6 +130,69 @@ pub struct RecordedExtension {
     /// caller's position 0), so each global position is recorded exactly
     /// once and every recorded visit carries a predecessor.
     pub visits: Vec<(NodeId, Visit)>,
+}
+
+/// One work item of a heterogeneous request wave
+/// ([`WalkSession::run_wave`]): a walk owned by request `req`, possibly
+/// recorded (a spanning-tree extension) or forced naive (the
+/// Theorem 2.8 `k + l` fallback regime of a many-walks request).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaveSpec {
+    /// The owning request's id within the batch (the [`drw_congest::Mux2`]
+    /// tag its messages ride).
+    pub req: u16,
+    /// Starting node.
+    pub source: NodeId,
+    /// Number of steps.
+    pub len: u64,
+    /// Global position of `source` within a larger recorded walk (0 for
+    /// standalone walks).
+    pub pos_offset: u64,
+    /// Record visits (tail inline, stitched segments replayed after the
+    /// run). At most one recorded spec may ride a wave — the per-node
+    /// visit ledger is not lane-tagged.
+    pub record: bool,
+    /// Force the pure naive token walk regardless of the store's
+    /// `lambda`.
+    pub naive: bool,
+}
+
+/// One walk's outcome within a [`WalkSession::run_wave`] run.
+#[derive(Debug, Clone)]
+pub struct WaveWalk {
+    /// The walk's destination — an exact `len`-step sample.
+    pub destination: NodeId,
+    /// The stitch trace, in position order (empty for naive/tail-only
+    /// walks).
+    pub segments: Vec<Segment>,
+    /// For a recorded spec: every visit of the extension, as
+    /// `(node, visit)` pairs with global positions
+    /// `pos_offset + 1 ..= pos_offset + len` (the start is never
+    /// recorded — see [`WalkSession::extend_recorded`]). Empty for
+    /// unrecorded specs.
+    pub visits: Vec<(NodeId, Visit)>,
+}
+
+/// Result of one [`WalkSession::run_wave`] call.
+#[derive(Debug, Clone)]
+pub struct WaveOutcome {
+    /// Per-spec outcomes, in spec order.
+    pub walks: Vec<WaveWalk>,
+    /// Rounds consumed by the whole wave (top-up + the shared
+    /// multiplexed run + replay).
+    pub rounds: u64,
+    /// Messages delivered by the whole wave.
+    pub messages: u64,
+    /// Rounds of this wave spent topping up the store.
+    pub rounds_topup: u64,
+    /// The effective stitch `lambda` that governed the wave.
+    pub lambda: u32,
+    /// Total stitches across all walks.
+    pub stitches: u64,
+    /// Total `GET-MORE-WALKS` invocations.
+    pub gmw_invocations: u64,
+    /// `GET-MORE-WALKS` invocations per spec, in spec order.
+    pub gmw_by_walk: Vec<u64>,
 }
 
 /// A long-lived walk session over one graph: cached BFS/diameter, a
@@ -577,6 +640,137 @@ impl<'g> WalkSession<'g> {
             visits,
         })
     }
+
+    /// Runs one heterogeneous *wave*: the walk work items of several
+    /// requests — plain walks, recorded spanning-tree extensions,
+    /// forced-naive fallback walks — in **one** multiplexed engine run
+    /// over the session store, sharing CONGEST rounds across requests.
+    ///
+    /// `lambda_call` and `stitch_len` drive the store regime for the
+    /// whole wave: the caller passes the *largest* per-request computed
+    /// `lambda` among stitch-eligible items and the longest
+    /// stitch-eligible length (the regime decisions themselves —
+    /// Theorem 2.8's `k + l` fallback, per-request `lambda` formulas —
+    /// belong to the request scheduler, which lowers fallback items
+    /// with [`WaveSpec::naive`] set).
+    ///
+    /// # Errors
+    ///
+    /// [`WalkError::SourceOutOfRange`] or an engine error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than one spec records (the visit ledger is not
+    /// lane-tagged), or if a spec records on a session opened without
+    /// `record_walk`.
+    pub fn run_wave(
+        &mut self,
+        lambda_call: u32,
+        stitch_len: u64,
+        specs: &[WaveSpec],
+    ) -> Result<WaveOutcome, WalkError> {
+        for spec in specs {
+            if spec.source >= self.g.n() {
+                return Err(WalkError::SourceOutOfRange(spec.source));
+            }
+        }
+        let recorded: Vec<usize> = specs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.record)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            recorded.len() <= 1,
+            "at most one recorded spec per wave (the visit ledger is shared)"
+        );
+        assert!(
+            recorded.is_empty() || self.record,
+            "recorded wave specs require a session opened with record_walk"
+        );
+        let start = self.runner.total_rounds();
+        let start_messages = self.runner.total_messages();
+        if specs.is_empty() {
+            return Ok(WaveOutcome {
+                walks: Vec::new(),
+                rounds: 0,
+                messages: 0,
+                rounds_topup: 0,
+                lambda: self.store_lambda,
+                stitches: 0,
+                gmw_invocations: 0,
+                gmw_by_walk: Vec::new(),
+            });
+        }
+        let lambda = self.ensure_store(lambda_call, stitch_len)?;
+        let rounds_topup = self.runner.total_rounds() - start;
+        let mut sched = StitchScheduler::new(&self.setup_for(lambda, stitch_len.max(1), false));
+        for spec in specs {
+            sched.add_spec(StitchSpec {
+                source: spec.source,
+                len: spec.len,
+                pos_offset: spec.pos_offset,
+                req: spec.req,
+                record: spec.record,
+                naive: spec.naive,
+            });
+        }
+        let out = sched.run(&mut self.runner, &mut self.state)?;
+
+        // Replay the recorded spec's stitched segments so its visits are
+        // complete, then drain them out of the shared ledger.
+        let mut visits = Vec::new();
+        if let Some(&r) = recorded.first() {
+            let spec = specs[r];
+            let segs = &out.walks[r].segments;
+            if !segs.is_empty() {
+                let replays: Vec<ReplaySegment> = segs
+                    .iter()
+                    .map(|s| {
+                        assert!(s.replayable, "recorded waves stitch replayable walks only");
+                        ReplaySegment {
+                            connector: s.connector,
+                            id: s.id,
+                            start_pos: spec.pos_offset + s.start_pos,
+                        }
+                    })
+                    .collect();
+                let mut replay = ReplayProtocol::new(&mut self.state, replays);
+                self.runner.run_local(&mut replay)?;
+            }
+            visits = self.state.drain_visits();
+            debug_assert_eq!(
+                visits.len() as u64,
+                spec.len,
+                "a recorded wave item records exactly (pos_offset, pos_offset + len]"
+            );
+        }
+
+        let walks = out
+            .walks
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| WaveWalk {
+                destination: w.destination,
+                segments: w.segments,
+                visits: if recorded.first() == Some(&i) {
+                    std::mem::take(&mut visits)
+                } else {
+                    Vec::new()
+                },
+            })
+            .collect();
+        Ok(WaveOutcome {
+            walks,
+            rounds: self.runner.total_rounds() - start,
+            messages: self.runner.total_messages() - start_messages,
+            rounds_topup,
+            lambda,
+            stitches: out.stitches,
+            gmw_invocations: out.gmw_invocations,
+            gmw_by_walk: out.gmw_by_walk,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -707,6 +901,92 @@ mod tests {
             (a.destinations, b.destination, s.total_rounds())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn wave_mixes_requests_over_one_run() {
+        // One wave hosting three requests: a plain walk, a recorded
+        // extension standing at global position 10, and two forced-naive
+        // fallback walks — all sharing one engine run over the session
+        // store.
+        let g = generators::torus2d(6, 6);
+        let cfg = SingleWalkConfig {
+            record_walk: true,
+            ..SingleWalkConfig::default()
+        };
+        let mut s = WalkSession::new(&g, 0, &cfg, 23).unwrap();
+        let lambda_call = cfg.params.lambda(400, u64::from(s.diameter_estimate()));
+        let specs = [
+            WaveSpec {
+                req: 0,
+                source: 0,
+                len: 400,
+                pos_offset: 0,
+                record: false,
+                naive: false,
+            },
+            WaveSpec {
+                req: 1,
+                source: 7,
+                len: 300,
+                pos_offset: 10,
+                record: true,
+                naive: false,
+            },
+            WaveSpec {
+                req: 2,
+                source: 12,
+                len: 16,
+                pos_offset: 0,
+                record: false,
+                naive: true,
+            },
+            WaveSpec {
+                req: 2,
+                source: 13,
+                len: 16,
+                pos_offset: 0,
+                record: false,
+                naive: true,
+            },
+        ];
+        let out = s.run_wave(lambda_call, 400, &specs).unwrap();
+        assert_eq!(out.walks.len(), 4);
+        let parity = |v: usize| (v / 6 + v % 6) % 2;
+        for (spec, walk) in specs.iter().zip(&out.walks) {
+            assert_eq!(
+                (parity(spec.source) + spec.len as usize) % 2,
+                parity(walk.destination),
+                "walk law broken for req {}",
+                spec.req
+            );
+        }
+        // Naive items never stitch; the long walks did.
+        assert!(out.walks[2].segments.is_empty());
+        assert!(out.walks[3].segments.is_empty());
+        assert!(out.stitches > 0, "length-400 walks must stitch");
+        // Only the recorded item carries visits: exactly its length, all
+        // above its hand-off position, all with predecessors.
+        assert_eq!(out.walks[1].visits.len(), 300);
+        for (_, v) in &out.walks[1].visits {
+            assert!(v.pos > 10 && v.pos <= 310);
+            assert!(v.pred.is_some());
+        }
+        assert!(out.walks[0].visits.is_empty());
+        // The wave's bill is one shared run, not a sum of four.
+        assert!(out.rounds > 0);
+        assert_eq!(out.rounds, s.total_rounds() - s.rounds_bfs());
+    }
+
+    #[test]
+    fn empty_wave_is_free() {
+        let g = generators::path(4);
+        let mut s = WalkSession::new(&g, 0, &SingleWalkConfig::default(), 1).unwrap();
+        let before = s.total_rounds();
+        let out = s.run_wave(4, 0, &[]).unwrap();
+        assert!(out.walks.is_empty());
+        assert_eq!(out.rounds, 0);
+        assert_eq!(s.total_rounds(), before);
     }
 
     #[test]

@@ -131,6 +131,7 @@ pub struct Segment {
 
 /// Result of [`single_random_walk`].
 #[derive(Debug, Clone)]
+#[must_use = "a walk result carries the sampled destination and round bill"]
 pub struct SingleWalkResult {
     /// The sampled destination — distributed exactly as the `l`-step walk
     /// from the source.
@@ -448,6 +449,12 @@ pub fn stitch_walk(
 /// an exact sample of the destination in `~O(sqrt(len * D))` rounds
 /// w.h.p. (Theorem 2.5).
 ///
+/// This is a thin shim over a throwaway [`crate::Network`] — the
+/// facade's [`crate::Request::Walk`] path — kept for the familiar
+/// free-function surface and regression-tested to stay seed-for-seed
+/// identical to the pre-facade driver. Long-lived callers should hold a
+/// [`crate::Network`] (or a [`crate::WalkSession`]) instead.
+///
 /// # Errors
 ///
 /// [`WalkError::Disconnected`] if the graph is not connected,
@@ -467,6 +474,29 @@ pub fn stitch_walk(
 /// # }
 /// ```
 pub fn single_random_walk(
+    g: &Graph,
+    source: NodeId,
+    len: u64,
+    cfg: &SingleWalkConfig,
+    seed: u64,
+) -> Result<SingleWalkResult, WalkError> {
+    let mut net = crate::network::Network::builder(g)
+        .config(cfg.clone())
+        .seed(seed)
+        .build();
+    net.run(crate::request::Request::Walk {
+        source,
+        len,
+        record: cfg.record_walk,
+    })
+    .map(crate::request::Response::into_walk)
+    .map_err(crate::error::Error::expect_walk)
+}
+
+/// The one-shot `SINGLE-RANDOM-WALK` kernel behind
+/// [`crate::Request::Walk`] (and hence [`single_random_walk`]): own
+/// runner, own BFS, own Phase 1.
+pub(crate) fn single_walk_one_shot(
     g: &Graph,
     source: NodeId,
     len: u64,

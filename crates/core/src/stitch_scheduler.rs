@@ -13,7 +13,8 @@
 //! Theorem 2.8's `sqrt(k l D) + k` term prices in.
 //!
 //! [`StitchScheduler`] realizes that interleaving. Every sub-protocol
-//! message is tagged with its walk id ([`drw_congest::Mux`]), each node
+//! message is tagged with its owning request and walk id
+//! ([`drw_congest::Mux2`] — one packed word on the wire), each node
 //! keeps one [`SdLaneSlot`] per walk, and a single engine run hosts,
 //! *simultaneously and asynchronously per walk*:
 //!
@@ -61,7 +62,7 @@ use crate::get_more_walks::{reservoir_split, scatter_counts, AGGREGATED_SEQ};
 use crate::sample_destination::SdLaneSlot;
 use crate::single_walk::{Segment, StitchSetup, WalkAction, WalkDriver, WalkError};
 use crate::state::{NodeWalkState, StoredWalk, WalkId, WalkState};
-use drw_congest::{Ctx, Envelope, Message, Mux, NodeCtx, NodeLocalProtocol, RunReport, Runner};
+use drw_congest::{Ctx, Envelope, Message, Mux2, NodeCtx, NodeLocalProtocol, RunReport, Runner};
 use drw_graph::NodeId;
 
 /// One walk to stitch: `len` steps from `source`.
@@ -77,6 +78,36 @@ pub struct StitchSpec {
     /// session extends an already-recorded walk without re-entering
     /// setup.
     pub pos_offset: u64,
+    /// The request this walk belongs to within a heterogeneous batch
+    /// (0 for standalone schedulers). Rides every message as the outer
+    /// [`Mux2`] tag; the facade's request scheduler uses it to group
+    /// work items back into responses.
+    pub req: u16,
+    /// Record this walk's tail visits (position + predecessor) into the
+    /// per-node state. Per-walk, so one batch can mix recorded
+    /// spanning-tree extensions with plain walk requests.
+    pub record: bool,
+    /// Force the pure naive token walk for this spec regardless of
+    /// `lambda` — the Theorem 2.8 `k + l` fallback regime, lowered into
+    /// the same multiplexed run as the stitched walks so both share
+    /// rounds.
+    pub naive: bool,
+}
+
+impl StitchSpec {
+    /// What this walk does when it stands at `completed` steps.
+    fn action_at(&self, completed: u64, lambda: u32) -> WalkAction {
+        if self.naive {
+            let remaining = self.len - completed;
+            if remaining > 0 {
+                WalkAction::Tail(remaining)
+            } else {
+                WalkAction::Done
+            }
+        } else {
+            WalkDriver::action_at(self.len, completed, lambda)
+        }
+    }
 }
 
 /// One walk's message within the multiplexed Phase-2 run. The walk id
@@ -123,7 +154,7 @@ impl Message for StitchMsg {
     }
 }
 
-type BatchMsg = Mux<StitchMsg>;
+type BatchMsg = Mux2<StitchMsg>;
 
 /// Immutable per-run configuration, readable by every node handler.
 #[derive(Debug)]
@@ -132,12 +163,14 @@ struct SharedCfg {
     randomize_len: bool,
     aggregated_gmw: bool,
     gmw_count: u64,
-    /// Record naive-tail visits (position + predecessor) into the
-    /// per-node state. Stitched segments are *not* recorded here — the
-    /// caller replays them afterwards ([`crate::regenerate`]), exactly
-    /// as the sequential driver does.
-    record: bool,
     walks: Vec<StitchSpec>,
+}
+
+impl SharedCfg {
+    /// Wraps a lane's message with its `(req, lane)` [`Mux2`] tags.
+    fn mux(&self, lane_idx: u32, msg: StitchMsg) -> BatchMsg {
+        Mux2::new(self.walks[lane_idx as usize].req, lane_idx as u16, msg)
+    }
 }
 
 /// One node's view of one walk ("lane"): the lane's current sampling
@@ -186,8 +219,10 @@ struct BatchNode {
     segments: Vec<(u32, Segment)>,
     /// Times this node served as a connector (Lemma 2.7's quantity).
     connector_visits: u32,
-    /// `GET-MORE-WALKS` invocations launched here.
-    gmw_events: u64,
+    /// `GET-MORE-WALKS` invocations launched here, per lane (so the
+    /// facade's request scheduler can bill replenishment to the request
+    /// that caused it).
+    gmw_events: Vec<u64>,
 }
 
 /// Begins a sampling epoch at `node` for the walk standing at
@@ -235,6 +270,7 @@ fn restart_epoch(
     completed: u64,
     count_visit: bool,
     connector_visits: &mut u32,
+    req: u16,
     lane_idx: u32,
     ctx: &mut NodeCtx<'_, BatchMsg>,
 ) {
@@ -249,7 +285,7 @@ fn restart_epoch(
         count_visit,
         connector_visits,
         &neighbors,
-        &mut |to, m| ctx.send(to, Mux::new(lane_idx, m)),
+        &mut |to, m| ctx.send(to, Mux2::new(req, lane_idx as u16, m)),
     );
 }
 
@@ -260,6 +296,7 @@ fn restart_epoch(
 /// subsequent diffusion hop.
 fn scatter_gmw(
     node: NodeId,
+    req: u16,
     lane_idx: u32,
     step: u32,
     count: u64,
@@ -270,7 +307,10 @@ fn scatter_gmw(
     for (idx, &c) in per_neighbor.iter().enumerate() {
         if c > 0 {
             let to = ctx.graph().edge_target(ctx.graph().nth_edge_id(node, idx));
-            ctx.send(to, Mux::new(lane_idx, StitchMsg::Gmw { step, count: c }));
+            ctx.send(
+                to,
+                Mux2::new(req, lane_idx as u16, StitchMsg::Gmw { step, count: c }),
+            );
         }
     }
 }
@@ -290,6 +330,7 @@ impl BatchedStitchProtocol {
             .map(|ws| BatchNode {
                 ws,
                 lanes: vec![LaneState::default(); k],
+                gmw_events: vec![0; k],
                 ..BatchNode::default()
             })
             .collect();
@@ -325,7 +366,7 @@ fn advance_walk(
     segments.push((lane_idx, seg));
     let completed = completed + u64::from(walk.len);
     let spec = shared.walks[lane_idx as usize];
-    match WalkDriver::action_at(spec.len, completed, shared.lambda) {
+    match spec.action_at(completed, shared.lambda) {
         WalkAction::Stitch => {
             restart_epoch(
                 lane,
@@ -334,13 +375,14 @@ fn advance_walk(
                 completed,
                 true,
                 connector_visits,
+                spec.req,
                 lane_idx,
                 ctx,
             );
         }
         WalkAction::Tail(steps) => {
             lane.hosted = None;
-            ctx.send_random_neighbor(Mux::new(lane_idx, StitchMsg::Tail { left: steps - 1 }));
+            ctx.send_random_neighbor(shared.mux(lane_idx, StitchMsg::Tail { left: steps - 1 }));
         }
         WalkAction::Done => finished.push(lane_idx),
     }
@@ -357,12 +399,12 @@ impl NodeLocalProtocol for BatchedStitchProtocol {
         for w in 0..self.shared.walks.len() {
             let spec = self.shared.walks[w];
             assert!(spec.source < n, "walk source out of range");
-            match WalkDriver::action_at(spec.len, 0, self.shared.lambda) {
+            match spec.action_at(0, self.shared.lambda) {
                 WalkAction::Done => self.nodes[spec.source].finished.push(w as u32),
                 WalkAction::Tail(steps) => {
                     ctx.send_random_neighbor(
                         spec.source,
-                        Mux::new(w as u32, StitchMsg::Tail { left: steps - 1 }),
+                        Mux2::new(spec.req, w as u16, StitchMsg::Tail { left: steps - 1 }),
                     );
                 }
                 WalkAction::Stitch => {
@@ -377,7 +419,7 @@ impl NodeLocalProtocol for BatchedStitchProtocol {
                         true,
                         &mut node.connector_visits,
                         &neighbors,
-                        &mut |to, m| ctx.send(spec.source, to, Mux::new(w as u32, m)),
+                        &mut |to, m| ctx.send(spec.source, to, Mux2::new(spec.req, w as u16, m)),
                     );
                 }
             }
@@ -425,7 +467,11 @@ impl NodeLocalProtocol for BatchedStitchProtocol {
         let mut gmw_in: Vec<(u32, u32, u64)> = Vec::new();
 
         for env in inbox {
-            let lane_idx = env.msg.lane;
+            let lane_idx = u32::from(env.msg.lane);
+            debug_assert_eq!(
+                env.msg.req, shared.walks[lane_idx as usize].req,
+                "request tag must match the lane's owning request"
+            );
             let lane = &mut lanes[lane_idx as usize];
             match env.msg.msg {
                 StitchMsg::Wave { epoch, root, child } => {
@@ -480,14 +526,14 @@ impl NodeLocalProtocol for BatchedStitchProtocol {
                                 // A rival consumed the pool since the
                                 // snapshot; ask the root to resample.
                                 let p = lane.slot.parent.expect("chosen owner is not the root");
-                                ctx.send(p, Mux::new(lane_idx, StitchMsg::Retry { epoch }));
+                                ctx.send(p, shared.mux(lane_idx, StitchMsg::Retry { epoch }));
                             }
                         }
                     } else {
                         for c in lane.slot.children.clone() {
                             ctx.send(
                                 c,
-                                Mux::new(
+                                shared.mux(
                                     lane_idx,
                                     StitchMsg::Chosen {
                                         epoch,
@@ -512,11 +558,12 @@ impl NodeLocalProtocol for BatchedStitchProtocol {
                             completed,
                             false,
                             connector_visits,
+                            shared.walks[lane_idx as usize].req,
                             lane_idx,
                             ctx,
                         );
                     } else if let Some(p) = lane.slot.parent {
-                        ctx.send(p, Mux::new(lane_idx, StitchMsg::Retry { epoch }));
+                        ctx.send(p, shared.mux(lane_idx, StitchMsg::Retry { epoch }));
                     }
                 }
                 StitchMsg::Gmw { step, count } => {
@@ -537,7 +584,7 @@ impl NodeLocalProtocol for BatchedStitchProtocol {
                         );
                         push_ack(&mut acks, lane_idx, 1);
                     } else {
-                        let next = ctx.send_random_neighbor(Mux::new(
+                        let next = ctx.send_random_neighbor(shared.mux(
                             lane_idx,
                             StitchMsg::Swk {
                                 seq,
@@ -552,23 +599,22 @@ impl NodeLocalProtocol for BatchedStitchProtocol {
                     push_ack(&mut acks, lane_idx, count);
                 }
                 StitchMsg::Tail { left } => {
-                    if shared.record {
+                    let spec = shared.walks[lane_idx as usize];
+                    if spec.record {
                         // The receiver is the `len - left`-th node of
                         // its walk; `pos_offset` lifts that to the
                         // global position within a session-extended
                         // walk. The tail start itself is never recorded
                         // (it is the endpoint of the last replayed
                         // segment, or the caller's hand-off position).
-                        let spec = shared.walks[lane_idx as usize];
                         ws.record_visit(spec.pos_offset + spec.len - left, Some(env.from));
                     }
                     if left == 0 {
                         finished.push(lane_idx);
                     } else {
-                        ctx.send_random_neighbor(Mux::new(
-                            lane_idx,
-                            StitchMsg::Tail { left: left - 1 },
-                        ));
+                        ctx.send_random_neighbor(
+                            shared.mux(lane_idx, StitchMsg::Tail { left: left - 1 }),
+                        );
                     }
                 }
             }
@@ -601,7 +647,8 @@ impl NodeLocalProtocol for BatchedStitchProtocol {
                 push_ack(&mut acks, lane_idx, stopped);
             }
             if moving > 0 {
-                scatter_gmw(node, lane_idx, step + 1, moving, ctx);
+                let req = shared.walks[lane_idx as usize].req;
+                scatter_gmw(node, req, lane_idx, step + 1, moving, ctx);
             }
         }
 
@@ -634,7 +681,7 @@ impl NodeLocalProtocol for BatchedStitchProtocol {
             for v in neighbors {
                 ctx.send(
                     v,
-                    Mux::new(
+                    shared.mux(
                         lane_idx,
                         StitchMsg::Wave {
                             epoch,
@@ -660,7 +707,7 @@ impl NodeLocalProtocol for BatchedStitchProtocol {
                 Some(p) => {
                     ctx.send(
                         p,
-                        Mux::new(
+                        shared.mux(
                             lane_idx,
                             StitchMsg::Agg {
                                 owner: lane.slot.cand_owner.unwrap_or(0),
@@ -697,7 +744,7 @@ fn finalize_at_root(
     segments: &mut Vec<(u32, Segment)>,
     finished: &mut Vec<u32>,
     connector_visits: &mut u32,
-    gmw_events: &mut u64,
+    gmw_events: &mut [u64],
     node: NodeId,
     lane_idx: u32,
     ctx: &mut NodeCtx<'_, BatchMsg>,
@@ -705,11 +752,12 @@ fn finalize_at_root(
     let completed = lane.hosted.expect("the epoch root hosts the walk token");
     if lane.slot.count == 0 {
         // Drained connector: GET-MORE-WALKS (Algorithm 1, lines 7-10).
-        *gmw_events += 1;
+        gmw_events[lane_idx as usize] += 1;
         lane.gmw_active = true;
         lane.gmw_acked = 0;
         if shared.aggregated_gmw {
-            scatter_gmw(node, lane_idx, 1, shared.gmw_count, ctx);
+            let req = shared.walks[lane_idx as usize].req;
+            scatter_gmw(node, req, lane_idx, 1, shared.gmw_count, ctx);
         } else {
             let first = ws.alloc_seqs(shared.gmw_count as usize);
             for i in 0..shared.gmw_count {
@@ -721,7 +769,7 @@ fn finalize_at_root(
                     0
                 };
                 let total = shared.lambda + r;
-                let next = ctx.send_random_neighbor(Mux::new(
+                let next = ctx.send_random_neighbor(shared.mux(
                     lane_idx,
                     StitchMsg::Swk {
                         seq,
@@ -760,6 +808,7 @@ fn finalize_at_root(
                     completed,
                     false,
                     connector_visits,
+                    shared.walks[lane_idx as usize].req,
                     lane_idx,
                     ctx,
                 );
@@ -770,7 +819,7 @@ fn finalize_at_root(
         for c in lane.slot.children.clone() {
             ctx.send(
                 c,
-                Mux::new(
+                shared.mux(
                     lane_idx,
                     StitchMsg::Chosen {
                         epoch,
@@ -808,12 +857,13 @@ fn acknowledge_gmw(
                 completed,
                 false,
                 connector_visits,
+                shared.walks[lane_idx as usize].req,
                 lane_idx,
                 ctx,
             );
         }
     } else if let Some(p) = lane.slot.parent {
-        ctx.send(p, Mux::new(lane_idx, StitchMsg::GmwAck { count }));
+        ctx.send(p, shared.mux(lane_idx, StitchMsg::GmwAck { count }));
     }
 }
 
@@ -844,6 +894,8 @@ pub struct BatchedStitchOutcome {
     pub stitches: u64,
     /// Total `GET-MORE-WALKS` invocations across all walks.
     pub gmw_invocations: u64,
+    /// `GET-MORE-WALKS` invocations per walk, in spec order.
+    pub gmw_by_walk: Vec<u64>,
     /// How many times each node served as a connector.
     pub connector_visits: Vec<u32>,
     /// The engine report of the single multiplexed run — Phase 2's
@@ -928,11 +980,38 @@ impl StitchScheduler {
     /// extension): in record mode, tail visits are recorded at
     /// `pos_offset + local position`.
     pub fn add_walk_at(&mut self, source: NodeId, len: u64, pos_offset: u64) -> &mut Self {
-        self.specs.push(StitchSpec {
+        self.add_spec(StitchSpec {
             source,
             len,
             pos_offset,
-        });
+            req: 0,
+            record: self.setup.record,
+            naive: false,
+        })
+    }
+
+    /// Queues an explicit [`StitchSpec`] — the request-scheduler entry
+    /// point, where specs of *different requests* (tagged by
+    /// [`StitchSpec::req`]) with per-spec record/naive flags share one
+    /// multiplexed run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recorded spec is combined with aggregated
+    /// `GET-MORE-WALKS` (whose stored walks are not replayable — any
+    /// lane could consume them, leaving recorded positions silently
+    /// missing), or if the scheduler already holds 2^16 walks (the
+    /// [`Mux2`] lane width).
+    pub fn add_spec(&mut self, spec: StitchSpec) -> &mut Self {
+        assert!(
+            !(spec.record && self.setup.aggregated_gmw),
+            "recorded specs require per-token (replayable) GET-MORE-WALKS"
+        );
+        assert!(
+            self.specs.len() < usize::from(u16::MAX),
+            "a multiplexed run is limited to 2^16 walk lanes"
+        );
+        self.specs.push(spec);
         self
     }
 
@@ -969,7 +1048,6 @@ impl StitchScheduler {
             randomize_len: self.setup.randomize_len,
             aggregated_gmw: self.setup.aggregated_gmw,
             gmw_count: self.setup.gmw_count.max(1),
-            record: self.setup.record,
             walks: self.specs,
         };
         let lambda = shared.lambda;
@@ -982,11 +1060,13 @@ impl StitchScheduler {
         let mut destinations: Vec<Option<NodeId>> = vec![None; walks.len()];
         let mut segments: Vec<Vec<Segment>> = vec![Vec::new(); walks.len()];
         let mut connector_visits = vec![0u32; n];
-        let mut gmw_invocations = 0u64;
+        let mut gmw_by_walk = vec![0u64; walks.len()];
         for (v, node) in protocol.nodes.iter_mut().enumerate() {
             state.nodes[v] = std::mem::take(&mut node.ws);
             connector_visits[v] = node.connector_visits;
-            gmw_invocations += node.gmw_events;
+            for (w, &e) in node.gmw_events.iter().enumerate() {
+                gmw_by_walk[w] += e;
+            }
             for &w in &node.finished {
                 assert!(
                     destinations[w as usize].replace(v).is_none(),
@@ -1004,17 +1084,21 @@ impl StitchScheduler {
         for (w, spec) in walks.iter().enumerate() {
             let mut segs = std::mem::take(&mut segments[w]);
             segs.sort_unstable_by_key(|s| s.start_pos);
-            // Replay the trace through the walk's state machine: panics
-            // on any gap, overlap or broken connector chain.
-            let mut driver = WalkDriver::new(spec.source, spec.len);
-            for &seg in &segs {
-                driver.apply_segment(seg);
+            if spec.naive {
+                assert!(segs.is_empty(), "naive walk {w} must never stitch");
+            } else {
+                // Replay the trace through the walk's state machine:
+                // panics on any gap, overlap or broken connector chain.
+                let mut driver = WalkDriver::new(spec.source, spec.len);
+                for &seg in &segs {
+                    driver.apply_segment(seg);
+                }
+                assert!(
+                    !matches!(driver.next_action(lambda), WalkAction::Stitch),
+                    "walk {w} stopped stitching early"
+                );
+                stitches += driver.stitches();
             }
-            assert!(
-                !matches!(driver.next_action(lambda), WalkAction::Stitch),
-                "walk {w} stopped stitching early"
-            );
-            stitches += driver.stitches();
             out.push(BatchedWalk {
                 destination: destinations[w].unwrap_or_else(|| panic!("walk {w} never completed")),
                 segments: segs,
@@ -1023,7 +1107,8 @@ impl StitchScheduler {
         Ok(BatchedStitchOutcome {
             walks: out,
             stitches,
-            gmw_invocations,
+            gmw_invocations: gmw_by_walk.iter().sum(),
+            gmw_by_walk,
             connector_visits,
             report,
         })
@@ -1177,6 +1262,82 @@ mod tests {
         for (node, v) in &visits {
             assert!(g.has_edge(v.pred.expect("tail visits carry preds"), *node));
         }
+    }
+
+    #[test]
+    fn heterogeneous_specs_mix_record_naive_and_plain() {
+        // One multiplexed run hosting three *requests*: a plain stitched
+        // walk (req 0), a recorded extension at a position offset
+        // (req 1), and a forced-naive fallback walk longer than
+        // 2*lambda (req 2). Per-spec flags must not bleed across lanes.
+        let g = generators::torus2d(4, 4);
+        let mut runner = Runner::new(&g, EngineConfig::default(), 17);
+        let mut state = WalkState::new(g.n());
+        phase1(&mut runner, &mut state, 3, 8);
+        let mut su = setup(8, false); // per-token GMW (a spec records)
+        su.record = false;
+        let mut sched = StitchScheduler::new(&su);
+        sched
+            .add_spec(StitchSpec {
+                source: 0,
+                len: 200,
+                pos_offset: 0,
+                req: 0,
+                record: false,
+                naive: false,
+            })
+            .add_spec(StitchSpec {
+                source: 5,
+                len: 150,
+                pos_offset: 40,
+                req: 1,
+                record: true,
+                naive: false,
+            })
+            .add_spec(StitchSpec {
+                source: 10,
+                len: 64,
+                pos_offset: 0,
+                req: 2,
+                record: false,
+                naive: true,
+            });
+        let out = sched.run(&mut runner, &mut state).expect("mixed batch");
+        assert_eq!(out.walks.len(), 3);
+        // The naive lane walked all 64 steps as a tail: no segments,
+        // parity preserved on the bipartite torus.
+        assert!(out.walks[2].segments.is_empty());
+        let parity = |v: usize| (v / 4 + v % 4) % 2;
+        assert_eq!(parity(10), parity(out.walks[2].destination));
+        assert_eq!(parity(0), parity(out.walks[0].destination));
+        // Only the recorded lane's *tail* visits landed in the state
+        // (its stitched segments are replayed by the caller), at global
+        // positions above its offset.
+        let visits = state.drain_visits();
+        let stitched: u64 = out.walks[1].segments.iter().map(|s| u64::from(s.len)).sum();
+        assert_eq!(visits.len() as u64, 150 - stitched);
+        for (_, v) in &visits {
+            assert!(v.pos > 40 && v.pos <= 40 + 150, "pos {}", v.pos);
+            assert!(v.pred.is_some());
+        }
+        // The recorded lane's segments are replayable (per-token GMW).
+        for seg in &out.walks[1].segments {
+            assert!(seg.replayable);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "replayable")]
+    fn recorded_spec_rejects_aggregated_gmw() {
+        let mut sched = StitchScheduler::new(&setup(8, true));
+        sched.add_spec(StitchSpec {
+            source: 0,
+            len: 100,
+            pos_offset: 0,
+            req: 0,
+            record: true,
+            naive: false,
+        });
     }
 
     #[test]

@@ -1,35 +1,34 @@
-//! The decentralized mixing-time estimator (Theorem 4.6).
+//! The decentralized mixing-time estimator (Theorem 4.6), as a client
+//! of the [`drw_core::Network`] facade.
 //!
-//! Per probe length `l`:
+//! The execution engine — `K = ceil(c * sqrt(n))` walk samples per
+//! probe via `MANY-RANDOM-WALKS`, pipelined upcasts of endpoint bucket
+//! statistics, the bucketed PASS/FAIL stationarity test, the doubling
+//! scan and the binary-search refinement (Lemma 4.4 monotonicity) —
+//! lives in `drw-core` behind [`drw_core::Request::MixingTime`]
+//! (estimating the mixing time is just *serving a stream of walk
+//! requests*, which is the whole point of the facade). This module
+//! keeps the familiar [`estimate_mixing_time`] entry point as a thin
+//! shim over a throwaway [`Network`], seed-for-seed identical to the
+//! pre-facade driver, plus the legacy configuration type.
 //!
-//! 1. `K = ceil(c * sqrt(n))` walks of length `l` from the source via
-//!    `MANY-RANDOM-WALKS` (`~O(sqrt(K l D) + K)` rounds);
-//! 2. endpoints ship their bucket ids to the source by pipelined upcast
-//!    over the source's BFS tree (`O(D + K)` rounds);
-//! 3. the source compares the sample's bucket histogram against the
-//!    exact bucket masses (collected once by a pipelined vector
-//!    convergecast, `O(D + B)` rounds) and outputs PASS/FAIL.
-//!
-//! `l` doubles until the first PASS; a binary search then pins the
-//! smallest passing length, leaning on the monotonicity of
-//! `||pi_x(t) - pi||_1` (Lemma 4.4).
-//!
-//! Every probe — the doubling scan and every binary-search midpoint —
-//! runs against one persistent [`WalkSession`]: the source's BFS tree
-//! and diameter estimate are computed once and reused by every probe's
-//! walks *and* upcasts, and probes in the stitched regime top up the
-//! shared short-walk store instead of rebuilding Phase 1 from scratch.
-//! `MixingConfig::reuse_session = false` restores the per-probe-rebuild
-//! baseline (each probe pays its own BFS + Phase 1 inside
-//! [`many_random_walks`]) — the comparison measured by experiment E12.
+//! Every probe of a session run (`reuse_session = true`, the default)
+//! rides one persistent walk session: one BFS/diameter estimate serves
+//! every probe's walks *and* upcasts, and probes in the stitched regime
+//! top up the shared short-walk store instead of rebuilding Phase 1.
+//! `reuse_session = false` restores the per-probe-rebuild baseline —
+//! the comparison measured by experiment E12.
 
-use crate::bucket_test::{BucketTest, SampleStats};
-use drw_congest::derive_seed;
-use drw_congest::primitives::{
-    AggOp, BfsTree, BroadcastProtocol, ConvergecastProtocol, UpcastProtocol, VectorSumProtocol,
-};
-use drw_core::{many_random_walks, SingleWalkConfig, WalkError, WalkSession};
-use drw_graph::{traversal, Graph, NodeId};
+use drw_core::{Error, MixingRequest, Network, Request, SingleWalkConfig, WalkError};
+use drw_graph::{Graph, NodeId};
+
+/// One probe's record (the facade's probe type under its historical
+/// name).
+pub use drw_core::MixingProbe as ProbeRecord;
+
+/// Result of [`estimate_mixing_time`] (the facade's mixing report under
+/// its historical name).
+pub use drw_core::MixingReport as MixingEstimate;
 
 /// Configuration of [`estimate_mixing_time`].
 #[derive(Debug, Clone)]
@@ -54,7 +53,7 @@ pub struct MixingConfig {
     pub max_len: u64,
     /// Refine with binary search after the first PASS.
     pub refine: bool,
-    /// Run all probes over one persistent [`WalkSession`] (one BFS, one
+    /// Run all probes over one persistent walk session (one BFS, one
     /// short-walk store; the default). `false` restores the
     /// per-probe-rebuild baseline: each probe's `MANY-RANDOM-WALKS`
     /// pays its own BFS and Phase 1.
@@ -76,39 +75,31 @@ impl Default for MixingConfig {
     }
 }
 
-/// One probe's record.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ProbeRecord {
-    /// Probed walk length.
-    pub len: u64,
-    /// Bucketed TV discrepancy measured.
-    pub discrepancy: f64,
-    /// Collision `||p - pi||_2^2 / ||pi||_2^2` measured.
-    pub l2_ratio: f64,
-    /// PASS/FAIL.
-    pub pass: bool,
-}
-
-/// Result of [`estimate_mixing_time`].
-#[derive(Debug, Clone)]
-pub struct MixingEstimate {
-    /// Smallest probed length that PASSed (the `tau~_mix^x` estimate).
-    /// Equal to `max_len` if nothing passed (e.g. bipartite graphs).
-    pub tau_estimate: u64,
-    /// Whether any probe passed at all.
-    pub converged: bool,
-    /// Total CONGEST rounds (setup + all probes).
-    pub rounds: u64,
-    /// Samples per probe (`K`).
-    pub samples_per_probe: usize,
-    /// Number of stationary-mass buckets (`B`).
-    pub buckets: usize,
-    /// All probes, in execution order.
-    pub probes: Vec<ProbeRecord>,
+impl MixingConfig {
+    /// The facade request this configuration describes (a full
+    /// doubling-scan estimate from `source`).
+    pub fn to_request(&self, source: NodeId) -> MixingRequest {
+        MixingRequest {
+            source,
+            threshold: self.threshold,
+            l2_threshold: self.l2_threshold,
+            samples_scale: self.samples_scale,
+            bucket_base: self.bucket_base,
+            start_len: 1,
+            max_len: self.max_len,
+            refine: self.refine,
+            reuse_session: self.reuse_session,
+        }
+    }
 }
 
 /// Estimates `tau_mix` from `source` with the decentralized algorithm of
 /// Section 4.2.
+///
+/// A thin shim over a throwaway [`Network`] issuing one
+/// [`Request::MixingTime`]; regression-tested to stay seed-for-seed
+/// identical to the pre-facade driver. Callers composing mixing probes
+/// with other traffic should hold a [`Network`] and batch them instead.
 ///
 /// # Errors
 ///
@@ -119,149 +110,13 @@ pub fn estimate_mixing_time(
     cfg: &MixingConfig,
     seed: u64,
 ) -> Result<MixingEstimate, WalkError> {
-    if source >= g.n() {
-        return Err(WalkError::SourceOutOfRange(source));
-    }
-    if !traversal::is_connected(g) {
-        return Err(WalkError::Disconnected);
-    }
-    let k = ((g.n() as f64).sqrt() * cfg.samples_scale).ceil() as usize;
-    let bucket_test = BucketTest::new(g, cfg.bucket_base);
-
-    // The session runs the one BFS from the source; its tree and
-    // diameter estimate serve every aggregation, upcast and probe below.
-    let mut session = WalkSession::new(g, source, &cfg.walk, derive_seed(seed, 0xB00))?;
-    let tree: BfsTree = session.tree().clone();
-
-    // Setup at the source: degree sum (2m) + max degree broadcasts (so
-    // every node knows its own bucket), then the exact bucket masses by
-    // pipelined vector convergecast — O(D + B) rounds, once.
-    let degrees: Vec<u64> = (0..g.n()).map(|v| g.degree(v) as u64).collect();
-    let squares: Vec<u64> = degrees.iter().map(|&d| d * d).collect();
-    let mut sum_deg = ConvergecastProtocol::new(tree.clone(), AggOp::Sum, degrees.clone());
-    session.runner_mut().run(&mut sum_deg)?;
-    let mut max_deg = ConvergecastProtocol::new(tree.clone(), AggOp::Max, degrees);
-    session.runner_mut().run(&mut max_deg)?;
-    let mut sq_deg = ConvergecastProtocol::new(tree.clone(), AggOp::Sum, squares);
-    session.runner_mut().run(&mut sq_deg)?;
-    let two_m = sum_deg.result();
-    let sum_deg_sq = sq_deg.result();
-    let mut announce = BroadcastProtocol::new(tree.clone(), vec![two_m, max_deg.result()]);
-    session.runner_mut().run(&mut announce)?;
-
-    let mut masses = VectorSumProtocol::new(tree.clone(), bucket_test.mass_numerators(g));
-    session.runner_mut().run(&mut masses)?;
-    debug_assert_eq!(
-        masses.result().iter().sum::<u64>(),
-        2 * g.m() as u64,
-        "collected numerators must sum to 2m"
-    );
-
-    let mut probes = Vec::new();
-    let mut probe_seq = 0u64;
-    let mut probe = |len: u64, session: &mut WalkSession<'_>| -> Result<ProbeRecord, WalkError> {
-        let sources = vec![source; k];
-        let destinations = if cfg.reuse_session {
-            // Session probe: reuse the cached diameter, top the shared
-            // store up only for the deficit, stitch (or fall back to
-            // simultaneous naive walks per Theorem 2.8's regime rule).
-            session.many_walks(&sources, len)?.destinations
-        } else {
-            // Per-probe-rebuild baseline: a full MANY-RANDOM-WALKS call
-            // with its own BFS and Phase 1, billed onto the same total.
-            probe_seq += 1;
-            let walk_seed = derive_seed(seed, probe_seq);
-            let walks = many_random_walks(g, &sources, len, &cfg.walk, walk_seed)?;
-            session.runner_mut().charge_rounds(walks.rounds);
-            walks.destinations
-        };
-
-        // Each endpoint node v with c_v samples ships two node-local
-        // pairs to the source — two pipelined upcasts, O(D + K) rounds:
-        // (bucket_of(v), c_v) for the histogram, and
-        // (c_v * deg(v), c_v * (c_v - 1)) for the collision moments.
-        let mut c = vec![0u64; g.n()];
-        for &d in &destinations {
-            c[d] += 1;
-        }
-        let mut hist_items: Vec<Vec<(u64, u64)>> = vec![Vec::new(); g.n()];
-        let mut moment_items: Vec<Vec<(u64, u64)>> = vec![Vec::new(); g.n()];
-        for v in 0..g.n() {
-            if c[v] == 0 {
-                continue;
-            }
-            hist_items[v].push((bucket_test.bucket_of(v) as u64, c[v]));
-            moment_items[v].push((c[v] * g.degree(v) as u64, c[v] * (c[v] - 1)));
-        }
-        let mut up_hist = UpcastProtocol::new(tree.clone(), hist_items);
-        session.runner_mut().run(&mut up_hist)?;
-        let mut up_moments = UpcastProtocol::new(tree.clone(), moment_items);
-        session.runner_mut().run(&mut up_moments)?;
-
-        let mut stats = SampleStats {
-            bucket_hist: vec![0u64; bucket_test.buckets()],
-            ..SampleStats::default()
-        };
-        for &(bucket, count) in up_hist.collected() {
-            stats.bucket_hist[bucket as usize] += count;
-        }
-        for &(c_deg, collisions) in up_moments.collected() {
-            stats.sum_c_deg += c_deg;
-            stats.sum_collisions += collisions;
-        }
-        let r = bucket_test.evaluate(&stats, two_m, sum_deg_sq, cfg.threshold, cfg.l2_threshold);
-        Ok(ProbeRecord {
-            len,
-            discrepancy: r.discrepancy,
-            l2_ratio: r.l2_ratio,
-            pass: r.pass,
-        })
-    };
-
-    // Doubling scan.
-    let mut len = 1u64;
-    let mut first_pass: Option<u64> = None;
-    let mut last_fail = 0u64;
-    while len <= cfg.max_len {
-        let rec = probe(len, &mut session)?;
-        probes.push(rec);
-        if rec.pass {
-            first_pass = Some(len);
-            break;
-        }
-        last_fail = len;
-        len = match len.checked_mul(2) {
-            Some(next) => next,
-            None => break, // cap the scan rather than wrap around
-        };
-    }
-
-    // Binary-search refinement (Lemma 4.4 monotonicity). A PASS at the
-    // very first probe leaves `last_fail = 0` and `lo + 1 == hi`, so the
-    // search body never runs — there is no probe below length 1.
-    if let (Some(mut hi), true) = (first_pass, cfg.refine) {
-        let mut lo = last_fail;
-        while lo + 1 < hi {
-            let mid = lo + (hi - lo) / 2;
-            let rec = probe(mid, &mut session)?;
-            probes.push(rec);
-            if rec.pass {
-                hi = mid;
-            } else {
-                lo = mid;
-            }
-        }
-        first_pass = Some(hi);
-    }
-
-    Ok(MixingEstimate {
-        tau_estimate: first_pass.unwrap_or(cfg.max_len),
-        converged: first_pass.is_some(),
-        rounds: session.total_rounds(),
-        samples_per_probe: k,
-        buckets: bucket_test.buckets(),
-        probes,
-    })
+    let mut net = Network::builder(g)
+        .config(cfg.walk.clone())
+        .seed(seed)
+        .build();
+    net.run(Request::MixingTime(cfg.to_request(source)))
+        .map(drw_core::Response::into_mixing)
+        .map_err(Error::expect_walk)
 }
 
 #[cfg(test)]

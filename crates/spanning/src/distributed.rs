@@ -1,20 +1,15 @@
-//! The distributed random-spanning-tree algorithm (Theorem 4.1).
+//! The distributed random-spanning-tree algorithm (Theorem 4.1), as a
+//! client of the [`drw_core::Network`] facade.
 //!
-//! Simulates Aldous-Broder with the fast walk machinery: doubling guesses
-//! of the cover time, regenerated walks so every node knows its visit
-//! positions and first-visit predecessor, an `O(D)` convergecast cover
-//! check, and node-local extraction of first-visit edges. Runs in
-//! `~O(sqrt(m * D))` rounds w.h.p. because the cover time is `O(m * D)`
-//! (Aleliunas et al.) and a walk of a constant multiple of the cover time
-//! covers w.h.p.
-//!
-//! The doubling loop runs over one persistent [`WalkSession`]: a single
-//! BFS/diameter estimate serves every phase's walk *and* every cover
-//! check, and the Phase-1 short-walk store carries across phases with
-//! deficit-only top-up — phase `p + 1` extends the walk from phase `p`'s
-//! destination ([`WalkSession::extend_recorded`]) instead of rebuilding
-//! the world. `RstConfig::reuse_session = false` keeps the
-//! rebuild-per-phase driver as the measurable baseline (experiment E12).
+//! The execution engine — Aldous-Broder simulated with the fast walk
+//! machinery, doubling cover-time guesses, regenerated walks, `O(D)`
+//! convergecast cover checks, node-local first-visit-edge extraction —
+//! lives in `drw-core` behind [`drw_core::Request::SpanningTree`]
+//! (sampling a tree is just *serving a walk request*, which is the
+//! whole point of the facade). This module keeps the familiar
+//! [`distributed_rst`] entry point as a thin shim over a throwaway
+//! [`Network`], seed-for-seed identical to the pre-facade driver, plus
+//! the legacy configuration/error types.
 //!
 //! # A reproduction finding: restart bias
 //!
@@ -25,51 +20,28 @@
 //! cover speed — so the literal scheme is *measurably biased* at small
 //! lengths (our experiment E9 detects it at p < 1e-9 on `K_4`; the
 //! paper's w.h.p. guarantee hides the bias only because its constants
-//! make non-coverage astronomically rare). The default mode here instead
+//! make non-coverage astronomically rare). The default mode instead
 //! **extends one continuous walk** across phases: a prefix-covering walk
 //! is unconditioned, so the tree is *exactly* uniform, with the same
 //! asymptotic round bound. [`RstMode::RestartPhases`] keeps the literal
 //! scheme for the bias-demonstration ablation.
-//!
-//! # The segment boundary
-//!
-//! The start of phase `p + 1`'s segment is the same global position as
-//! phase `p`'s destination. That hand-off is explicit: an extension
-//! records positions `offset + 1 ..= offset + seg_len` only (never its
-//! own start), so the boundary position is recorded exactly once — by
-//! phase `p`, *with* its predecessor. No first-visit extraction can ever
-//! pick up a predecessor-less continuation start (the bug class where a
-//! `(0, None)` start visit either panics the tree assembly or smuggles a
-//! spurious edge into the tree).
 
-use drw_congest::primitives::{AggOp, BfsTreeProtocol, ConvergecastProtocol};
-use drw_congest::{derive_seed, Runner};
-use drw_core::{single_random_walk, SingleWalkConfig, WalkError, WalkSession};
-use drw_graph::matrix_tree::{canonical_tree_key, is_spanning_tree, TreeKey};
+use drw_core::{Error, Network, Request, SingleWalkConfig, TreeMode, TreeRequest, WalkError};
 use drw_graph::{Graph, NodeId};
 use std::fmt;
 
-/// Cap on the cumulative walked length of the doubling schedule. Far
-/// beyond any simulable cover time; exists so a runaway doubling
-/// surfaces as [`RstError::LengthOverflow`] instead of `u64` wraparound
-/// (which would silently reset segment lengths and break the doubling
-/// invariant).
-const MAX_TOTAL_WALK_LEN: u64 = 1 << 62;
+/// The total-length cap of the doubling schedule (re-exported from the
+/// core engine): exceeding it surfaces as [`RstError::LengthOverflow`].
+pub use drw_core::network::MAX_TOTAL_WALK_LEN;
 
-/// The doubling schedule with overflow accounting: segment length
-/// `initial_len * 2^(phase - 1)` for 1-based `phase`, and the cumulative
-/// total after walking it from `walked`. `None` when the shift, the
-/// multiply or the running total would overflow `u64`, or when the total
-/// would pass [`MAX_TOTAL_WALK_LEN`].
-fn doubling_step(initial_len: u64, phase: u32, walked: u64) -> Option<(u64, u64)> {
-    let seg_len = 1u64
-        .checked_shl(phase - 1)
-        .and_then(|m| initial_len.checked_mul(m))?;
-    let total = walked.checked_add(seg_len)?;
-    (total <= MAX_TOTAL_WALK_LEN).then_some((seg_len, total))
-}
+/// Result of [`distributed_rst`] — the facade's tree-sample response
+/// under its historical name.
+pub use drw_core::TreeSample as RstResult;
 
 /// Errors from [`distributed_rst`].
+///
+/// Kept as the legacy error surface; the facade's unified
+/// [`drw_core::Error`] converts losslessly in both directions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RstError {
     /// The underlying walk failed.
@@ -117,6 +89,28 @@ impl From<WalkError> for RstError {
     }
 }
 
+/// Lossless mapping onto the facade's unified error (the satellite
+/// direction: legacy enums remain as *sources* of [`drw_core::Error`]).
+impl From<RstError> for Error {
+    fn from(e: RstError) -> Self {
+        match e {
+            RstError::Walk(w) => Error::Walk(w),
+            RstError::NotCovered { phases, final_len } => Error::NotCovered { phases, final_len },
+            RstError::LengthOverflow { phases, walked } => Error::LengthOverflow { phases, walked },
+        }
+    }
+}
+
+impl From<Error> for RstError {
+    fn from(e: Error) -> Self {
+        match e {
+            Error::Walk(w) => RstError::Walk(w),
+            Error::NotCovered { phases, final_len } => RstError::NotCovered { phases, final_len },
+            Error::LengthOverflow { phases, walked } => RstError::LengthOverflow { phases, walked },
+        }
+    }
+}
+
 /// How phases relate to the walk (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RstMode {
@@ -128,6 +122,15 @@ pub enum RstMode {
     /// first that covers. Biased toward fast-covering trees; kept for the
     /// ablation that demonstrates the bias.
     RestartPhases,
+}
+
+impl From<RstMode> for TreeMode {
+    fn from(mode: RstMode) -> Self {
+        match mode {
+            RstMode::ExtendWalk => TreeMode::ExtendWalk,
+            RstMode::RestartPhases => TreeMode::RestartPhases,
+        }
+    }
 }
 
 /// Configuration of [`distributed_rst`].
@@ -145,7 +148,7 @@ pub struct RstConfig {
     pub initial_len: u64,
     /// Phase budget before giving up (lengths double each phase).
     pub max_phases: u32,
-    /// Drive all phases over one persistent [`WalkSession`] (one BFS,
+    /// Drive all phases over one persistent walk session (one BFS,
     /// one short-walk store; the default). `false` restores the
     /// rebuild-per-phase baseline: every phase pays its own BFS,
     /// diameter estimate and full Phase 1.
@@ -165,35 +168,27 @@ impl Default for RstConfig {
     }
 }
 
-/// Result of [`distributed_rst`].
-#[derive(Debug, Clone)]
-pub struct RstResult {
-    /// The sampled spanning tree.
-    pub edges: TreeKey,
-    /// Total CONGEST rounds across all phases.
-    pub rounds: u64,
-    /// Phases executed.
-    pub phases: u32,
-    /// Total walk invocations.
-    pub attempts: u64,
-    /// Total walked length until coverage.
-    pub cover_len: u64,
-    /// BFS constructions this call paid for: 1 with a session (the
-    /// regression-tested amortization claim), `1 + attempts` in the
-    /// rebuild-per-phase baseline.
-    pub bfs_runs: u64,
-}
-
-fn walks_per_phase(n: usize, configured: usize) -> usize {
-    if configured == 0 {
-        (n as f64).log2().ceil().max(1.0) as usize
-    } else {
-        configured
+impl RstConfig {
+    /// The facade request this configuration describes.
+    pub fn to_request(&self, root: NodeId) -> TreeRequest {
+        TreeRequest {
+            root,
+            mode: self.mode.into(),
+            walks_per_phase: self.walks_per_phase,
+            initial_len: self.initial_len,
+            max_phases: self.max_phases,
+            reuse_session: self.reuse_session,
+        }
     }
 }
 
 /// Samples a random spanning tree of `g` with the distributed algorithm
 /// of Section 4.1 (exactly uniform in the default [`RstMode::ExtendWalk`]).
+///
+/// A thin shim over a throwaway [`Network`] issuing one
+/// [`Request::SpanningTree`]; regression-tested to stay seed-for-seed
+/// identical to the pre-facade driver. Callers composing tree requests
+/// with other traffic should hold a [`Network`] and batch them instead.
 ///
 /// # Errors
 ///
@@ -207,355 +202,19 @@ pub fn distributed_rst(
     cfg: &RstConfig,
     seed: u64,
 ) -> Result<RstResult, RstError> {
-    let initial_len = if cfg.initial_len == 0 {
-        g.n() as u64
-    } else {
-        cfg.initial_len
-    };
-    let walk_cfg = SingleWalkConfig {
-        record_walk: true,
-        ..cfg.walk.clone()
-    };
-    if cfg.reuse_session {
-        let mut run = SessionRstRun {
-            g,
-            cfg,
-            session: WalkSession::new(g, root, &walk_cfg, derive_seed(seed, 0xC0FE))?,
-            attempts: 0,
-        };
-        return match cfg.mode {
-            RstMode::ExtendWalk => run.run_extend(root, initial_len),
-            RstMode::RestartPhases => run.run_restart(root, initial_len),
-        };
-    }
-
-    // Rebuild-per-phase baseline: a BFS tree at the root for the cover
-    // checks, plus one full `single_random_walk` (own BFS + Phase 1)
-    // per phase.
-    let mut runner = Runner::new(g, walk_cfg.engine.clone(), derive_seed(seed, 0xC0FE));
-    let mut bfs = BfsTreeProtocol::new(root);
-    runner.run(&mut bfs).map_err(WalkError::from)?;
-    let tree = bfs.into_tree();
-
-    let mut ctx = RebuildRstRun {
-        g,
-        cfg,
-        walk_cfg,
-        runner,
-        tree,
-        walk_rounds: 0,
-        attempts: 0,
-        seed,
-    };
-    match cfg.mode {
-        RstMode::ExtendWalk => ctx.run_extend(root, initial_len),
-        RstMode::RestartPhases => ctx.run_restart(root, initial_len),
-    }
-}
-
-/// Assembles the tree from per-node first visits (root excluded).
-///
-/// # Panics
-///
-/// Panics (via `expect`) if a non-root node's first visit carries no
-/// predecessor — structurally impossible for session extensions (every
-/// extension visit has a predecessor) and for covering one-shot walks.
-fn tree_from_first_visits(
-    g: &Graph,
-    root: NodeId,
-    first: &[Option<(u64, Option<NodeId>)>],
-) -> TreeKey {
-    let edges = (0..g.n()).filter(|&v| v != root).map(|v| {
-        let (_, pred) = first[v].expect("covered");
-        (pred.expect("non-root first visits have predecessors"), v)
-    });
-    let key = canonical_tree_key(edges);
-    debug_assert!(is_spanning_tree(g, &key));
-    key
-}
-
-/// Merges one extension visit into the accumulated first-visit table,
-/// returning whether `v` was newly covered. Entries from earlier phases
-/// carry positions at or below the current extension's offset while
-/// extension visits sit strictly above it, so an overwrite (a smaller
-/// position for an already-seen node) can only come from this very
-/// extension's unsorted visit list — the boundary accounting the module
-/// docs describe lives here, in exactly one place.
-fn merge_first_visit(
-    first: &mut [Option<(u64, Option<NodeId>)>],
-    v: NodeId,
-    pos: u64,
-    pred: NodeId,
-) -> bool {
-    match &mut first[v] {
-        None => {
-            first[v] = Some((pos, Some(pred)));
-            true
-        }
-        Some((p, q)) if *p > pos => {
-            *p = pos;
-            *q = Some(pred);
-            false
-        }
-        Some(_) => false,
-    }
-}
-
-/// Session-backed driver: one BFS, one store, walk extension per phase.
-struct SessionRstRun<'g, 'c> {
-    g: &'g Graph,
-    cfg: &'c RstConfig,
-    session: WalkSession<'g>,
-    attempts: u64,
-}
-
-impl SessionRstRun<'_, '_> {
-    /// Distributed cover check: AND over node-local "was I visited?",
-    /// convergecast over the session's cached BFS tree.
-    fn check_cover(&mut self, visited: &[bool]) -> Result<bool, RstError> {
-        let values: Vec<u64> = visited.iter().map(|&v| u64::from(v)).collect();
-        let mut cc = ConvergecastProtocol::new(self.session.tree().clone(), AggOp::Min, values);
-        self.session
-            .runner_mut()
-            .run(&mut cc)
-            .map_err(WalkError::from)?;
-        Ok(cc.result() == 1)
-    }
-
-    fn result(&self, edges: TreeKey, phases: u32, cover_len: u64) -> RstResult {
-        RstResult {
-            edges,
-            rounds: self.session.total_rounds(),
-            phases,
-            attempts: self.attempts,
-            cover_len,
-            bfs_runs: 1,
-        }
-    }
-
-    /// Exact mode: one continuous walk, extended with doubling segment
-    /// lengths over the session until it covers.
-    fn run_extend(&mut self, root: NodeId, initial_len: u64) -> Result<RstResult, RstError> {
-        let n = self.g.n();
-        // first[v] = (global first-visit position, predecessor) — local
-        // knowledge of v, accumulated across extensions.
-        let mut first: Vec<Option<(u64, Option<NodeId>)>> = vec![None; n];
-        first[root] = Some((0, None));
-        let mut covered_count = 1usize;
-        let mut offset = 0u64;
-        let mut current = root;
-        for phase in 1..=self.cfg.max_phases {
-            let (seg_len, new_offset) =
-                doubling_step(initial_len, phase, offset).ok_or(RstError::LengthOverflow {
-                    phases: phase - 1,
-                    walked: offset,
-                })?;
-            self.attempts += 1;
-            let ext = self.session.extend_recorded(current, seg_len, offset)?;
-            for &(v, visit) in &ext.visits {
-                // Extension visits cover (offset, offset + seg_len] and
-                // always carry a predecessor — the boundary position
-                // `offset` itself belongs to the previous phase (module
-                // docs, "The segment boundary").
-                debug_assert!(visit.pos > offset && visit.pos <= new_offset);
-                let pred = visit.pred.expect("extension visits carry predecessors");
-                if merge_first_visit(&mut first, v, visit.pos, pred) {
-                    covered_count += 1;
-                }
-            }
-            offset = new_offset;
-            current = ext.destination;
-            let covered =
-                self.check_cover(&first.iter().map(|f| f.is_some()).collect::<Vec<_>>())?;
-            debug_assert_eq!(covered, covered_count == n);
-            if covered {
-                let key = tree_from_first_visits(self.g, root, &first);
-                return Ok(self.result(key, phase, offset));
-            }
-        }
-        Err(RstError::NotCovered {
-            phases: self.cfg.max_phases,
-            final_len: offset,
-        })
-    }
-
-    /// Paper-literal mode: fresh walks of doubling length (all drawn
-    /// over the shared session store — each is still an independent
-    /// exact walk); accept the first that covers (biased; see module
-    /// docs).
-    fn run_restart(&mut self, root: NodeId, initial_len: u64) -> Result<RstResult, RstError> {
-        let n = self.g.n();
-        let per_phase = walks_per_phase(n, self.cfg.walks_per_phase);
-        let mut len = initial_len;
-        for phase in 1..=self.cfg.max_phases {
-            len = doubling_step(initial_len, phase, 0)
-                .ok_or(RstError::LengthOverflow {
-                    phases: phase - 1,
-                    walked: 0,
-                })?
-                .0;
-            for _ in 0..per_phase {
-                self.attempts += 1;
-                let ext = self.session.extend_recorded(root, len, 0)?;
-                let mut first: Vec<Option<(u64, Option<NodeId>)>> = vec![None; n];
-                first[root] = Some((0, None));
-                for &(v, visit) in &ext.visits {
-                    let pred = visit.pred.expect("extension visits carry predecessors");
-                    merge_first_visit(&mut first, v, visit.pos, pred);
-                }
-                if !self.check_cover(&first.iter().map(|f| f.is_some()).collect::<Vec<_>>())? {
-                    continue;
-                }
-                let key = tree_from_first_visits(self.g, root, &first);
-                return Ok(self.result(key, phase, len));
-            }
-        }
-        Err(RstError::NotCovered {
-            phases: self.cfg.max_phases,
-            final_len: len,
-        })
-    }
-}
-
-/// Rebuild-per-phase baseline driver (`reuse_session = false`).
-struct RebuildRstRun<'g, 'c> {
-    g: &'g Graph,
-    cfg: &'c RstConfig,
-    walk_cfg: SingleWalkConfig,
-    runner: Runner<'g>,
-    tree: drw_congest::primitives::BfsTree,
-    walk_rounds: u64,
-    attempts: u64,
-    seed: u64,
-}
-
-impl RebuildRstRun<'_, '_> {
-    /// Distributed cover check: AND over node-local "was I visited?".
-    fn check_cover(&mut self, visited: &[bool]) -> Result<bool, RstError> {
-        let values: Vec<u64> = visited.iter().map(|&v| u64::from(v)).collect();
-        let mut cc = ConvergecastProtocol::new(self.tree.clone(), AggOp::Min, values);
-        self.runner.run(&mut cc).map_err(WalkError::from)?;
-        Ok(cc.result() == 1)
-    }
-
-    fn result(&self, edges: TreeKey, phases: u32, cover_len: u64) -> RstResult {
-        RstResult {
-            edges,
-            rounds: self.walk_rounds + self.runner.total_rounds(),
-            phases,
-            attempts: self.attempts,
-            cover_len,
-            // The cover-check tree plus one internal BFS per
-            // `single_random_walk` invocation.
-            bfs_runs: 1 + self.attempts,
-        }
-    }
-
-    /// Exact mode: one continuous walk, extended with doubling segment
-    /// lengths until it covers; every phase rebuilds BFS + Phase 1.
-    fn run_extend(&mut self, root: NodeId, initial_len: u64) -> Result<RstResult, RstError> {
-        let n = self.g.n();
-        let mut first: Vec<Option<(u64, Option<NodeId>)>> = vec![None; n];
-        first[root] = Some((0, None));
-        let mut covered_count = 1usize;
-        let mut offset = 0u64;
-        let mut current = root;
-        for phase in 1..=self.cfg.max_phases {
-            let (seg_len, new_offset) =
-                doubling_step(initial_len, phase, offset).ok_or(RstError::LengthOverflow {
-                    phases: phase - 1,
-                    walked: offset,
-                })?;
-            self.attempts += 1;
-            let walk_seed = derive_seed(self.seed, self.attempts);
-            let r = single_random_walk(self.g, current, seg_len, &self.walk_cfg, walk_seed)?;
-            self.walk_rounds += r.rounds;
-            #[allow(clippy::needless_range_loop)]
-            for v in 0..n {
-                if first[v].is_none() {
-                    // Explicit boundary: the continuation start's
-                    // `(0, None)` visit is phase `p - 1`'s destination
-                    // hand-off, never a first visit of this phase —
-                    // without the filter it could hand the tree assembly
-                    // a predecessor-less first visit.
-                    if let Some(visit) = r.state.nodes[v]
-                        .visits
-                        .iter()
-                        .filter(|x| !(x.pos == 0 && x.pred.is_none()))
-                        .min_by_key(|x| x.pos)
-                    {
-                        first[v] = Some((offset + visit.pos, visit.pred));
-                        covered_count += 1;
-                    }
-                }
-            }
-            offset = new_offset;
-            current = r.destination;
-            let covered =
-                self.check_cover(&first.iter().map(|f| f.is_some()).collect::<Vec<_>>())?;
-            debug_assert_eq!(covered, covered_count == n);
-            if covered {
-                let key = tree_from_first_visits(self.g, root, &first);
-                return Ok(self.result(key, phase, offset));
-            }
-        }
-        Err(RstError::NotCovered {
-            phases: self.cfg.max_phases,
-            final_len: offset,
-        })
-    }
-
-    /// Paper-literal mode: fresh walks of doubling length; accept the
-    /// first that covers (biased; see module docs).
-    fn run_restart(&mut self, root: NodeId, initial_len: u64) -> Result<RstResult, RstError> {
-        let n = self.g.n();
-        let per_phase = walks_per_phase(n, self.cfg.walks_per_phase);
-        let mut len = initial_len;
-        for phase in 1..=self.cfg.max_phases {
-            len = doubling_step(initial_len, phase, 0)
-                .ok_or(RstError::LengthOverflow {
-                    phases: phase - 1,
-                    walked: 0,
-                })?
-                .0;
-            for _ in 0..per_phase {
-                self.attempts += 1;
-                let walk_seed = derive_seed(self.seed, self.attempts);
-                let r = single_random_walk(self.g, root, len, &self.walk_cfg, walk_seed)?;
-                self.walk_rounds += r.rounds;
-                let visited: Vec<bool> = (0..n)
-                    .map(|v| !r.state.nodes[v].visits.is_empty())
-                    .collect();
-                if !self.check_cover(&visited)? {
-                    continue;
-                }
-                let mut first: Vec<Option<(u64, Option<NodeId>)>> = vec![None; n];
-                first[root] = Some((0, None));
-                for (v, f) in first.iter_mut().enumerate() {
-                    if v == root {
-                        continue;
-                    }
-                    let visit = r.state.nodes[v]
-                        .visits
-                        .iter()
-                        .min_by_key(|x| x.pos)
-                        .expect("covered walk visits every node");
-                    *f = Some((visit.pos, visit.pred));
-                }
-                let key = tree_from_first_visits(self.g, root, &first);
-                return Ok(self.result(key, phase, len));
-            }
-        }
-        Err(RstError::NotCovered {
-            phases: self.cfg.max_phases,
-            final_len: len,
-        })
-    }
+    let mut net = Network::builder(g)
+        .config(cfg.walk.clone())
+        .seed(seed)
+        .build();
+    net.run(Request::SpanningTree(cfg.to_request(root)))
+        .map(drw_core::Response::into_tree)
+        .map_err(RstError::from)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use drw_graph::matrix_tree::{canonical_tree_key, TreeKey};
     use drw_graph::{generators, matrix_tree};
 
     #[test]
@@ -682,9 +341,8 @@ mod tests {
 
     #[test]
     fn doubling_overflow_is_a_capped_error() {
-        // The cap path of ISSUE 3's overflow fix: a first segment past
-        // the total-length cap errors out before walking anything, in
-        // both modes and drivers.
+        // A first segment past the total-length cap errors out before
+        // walking anything, in both modes and drivers.
         let g = generators::complete(4);
         for reuse_session in [true, false] {
             for mode in [RstMode::ExtendWalk, RstMode::RestartPhases] {
@@ -709,22 +367,23 @@ mod tests {
     }
 
     #[test]
-    fn doubling_step_arithmetic() {
-        // Plain doubling.
-        assert_eq!(doubling_step(16, 1, 0), Some((16, 16)));
-        assert_eq!(doubling_step(16, 3, 48), Some((64, 112)));
-        // Shift overflow (phase - 1 >= 64).
-        assert_eq!(doubling_step(1, 70, 0), None);
-        // Multiply overflow.
-        assert_eq!(doubling_step(u64::MAX / 2, 3, 0), None);
-        // Accumulation overflow.
-        assert_eq!(doubling_step(u64::MAX / 2, 1, u64::MAX / 2 + 2), None);
-        // Total-length cap.
-        assert_eq!(doubling_step(MAX_TOTAL_WALK_LEN, 2, 0), None);
-        assert_eq!(
-            doubling_step(MAX_TOTAL_WALK_LEN, 1, 0),
-            Some((MAX_TOTAL_WALK_LEN, MAX_TOTAL_WALK_LEN))
-        );
+    fn errors_convert_losslessly_between_surfaces() {
+        let cases = [
+            RstError::Walk(WalkError::Disconnected),
+            RstError::NotCovered {
+                phases: 4,
+                final_len: 99,
+            },
+            RstError::LengthOverflow {
+                phases: 2,
+                walked: 7,
+            },
+        ];
+        for e in cases {
+            let unified: Error = e.clone().into();
+            let back: RstError = unified.into();
+            assert_eq!(back, e);
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Decentralized mixing-time estimation (Section 4.2): a network
 //! monitors its own expansion, the paper's "topologically self-aware
-//! networks" motivation.
+//! networks" motivation — served as a typed `MixingTime` request.
 //!
 //! Run with: `cargo run --release --example mixing_time`
 
@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("6-regular expander (n=64)", &expander),
         ("cycle (n=65)", &ring),
     ] {
-        let est = estimate_mixing_time(g, 0, &cfg, 17)?;
+        let mut net = Network::builder(g).seed(17).build();
+        let est = net
+            .run(Request::MixingTime(cfg.to_request(0)))?
+            .into_mixing();
         let exact = ground_truth::exact_tau_mix(g, 0, 1 << 18);
         let gap = spectral_gap_interval(est.tau_estimate.max(1), g.n());
         let phi = conductance_interval(gap);

@@ -4,10 +4,10 @@
 //! directory.
 //!
 //! A random geometric graph models the ad-hoc topology (the paper's
-//! reference [27]); `MANY-RANDOM-WALKS` draws `k` independent samples of
-//! walks long enough to pass the network's mixing time, and the sample
-//! quality is checked against the stationary (degree-proportional)
-//! distribution.
+//! reference [27]); a `Network` handle serves a `MANY-RANDOM-WALKS`
+//! request of walks long enough to pass the network's mixing time, and
+//! the sample quality is checked against the stationary
+//! (degree-proportional) distribution.
 //!
 //! Run with: `cargo run --release --example p2p_sampling`
 
@@ -39,10 +39,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let len = (2 * tau) as u64;
     println!("sampling walk length: {len} (2x the eps=0.2 mixing time)\n");
 
-    // k independent samples from one requesting peer.
+    // k independent samples from one requesting peer, served by the
+    // walk service.
     let k = 400;
-    let sources = vec![0usize; k];
-    let r = many_random_walks(&g, &sources, len, &SingleWalkConfig::default(), 4)?;
+    let mut net = Network::builder(&g).seed(4).build();
+    let r = net
+        .run(Request::many_walks(vec![0usize; k], len))?
+        .into_many_walks();
     println!(
         "drew {k} peer samples in {} rounds ({} stitches, naive fallback: {})",
         r.rounds, r.stitches, r.used_naive_fallback

@@ -1,19 +1,16 @@
-//! Quick wall-clock probe of one long walk per executor backend (dev tool).
+//! Quick wall-clock probe of one long walk per executor backend (dev
+//! tool), driven through the `Network` facade's executor builder knob.
 
 use distributed_random_walks::prelude::*;
-use drw_congest::ExecutorKind;
 use std::time::Instant;
 
 fn main() {
     let g = generators::torus2d(64, 64);
-    let mk = |kind| SingleWalkConfig {
-        engine: EngineConfig::default().with_executor(kind),
-        ..SingleWalkConfig::default()
-    };
     for round in 0..2 {
         for kind in [ExecutorKind::Parallel, ExecutorKind::Sequential] {
+            let mut net = Network::builder(&g).executor(kind).seed(1).build();
             let t0 = Instant::now();
-            let r = single_random_walk(&g, 0, 8192, &mk(kind), 1).unwrap();
+            let r = net.run(Request::walk(0, 8192)).unwrap().into_walk();
             println!(
                 "pass {round} {kind:10}: {:?} (rounds {}, msgs {})",
                 t0.elapsed(),

@@ -1,4 +1,6 @@
-//! Quickstart: one distributed random-walk sample, three ways.
+//! Quickstart: one distributed random-walk sample, three ways — plus
+//! the two API styles (the `Network` facade and the legacy free
+//! functions, which are seed-for-seed identical shims over it).
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -27,8 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         r09.destination, r09.rounds, r09.lambda, r09.eta
     );
 
-    // 3. This paper's algorithm: ~O(sqrt(l D)) rounds.
-    let r10 = single_random_walk(&g, source, len, &SingleWalkConfig::default(), 3)?;
+    // 3. This paper's algorithm, via the service facade: build a
+    //    `Network` handle, submit a typed request.
+    let mut net = Network::builder(&g).seed(3).build();
+    let r10 = net.run(Request::walk(source, len))?.into_walk();
     println!(
         "podc10:  destination {:3}, rounds {} (lambda={}, {} stitches, {} GET-MORE-WALKS)",
         r10.destination, r10.rounds, r10.lambda, r10.stitches, r10.gmw_invocations
@@ -37,6 +41,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nbreakdown: BFS {} + phase1 {} + stitching {} + tail {}",
         r10.rounds_bfs, r10.rounds_phase1, r10.rounds_stitch, r10.rounds_tail
     );
+
+    // The legacy free-function style still works and is seed-for-seed
+    // identical — it is a thin shim over a throwaway `Network`.
+    let legacy = single_random_walk(&g, source, len, &SingleWalkConfig::default(), 3)?;
+    assert_eq!(legacy.destination, r10.destination);
+    assert_eq!(legacy.rounds, r10.rounds);
+    println!("legacy free function: identical destination and rounds ✓");
 
     // The stitch trace (the paper's Figure 2).
     println!("\nstitch trace (first 5 segments):");
@@ -50,6 +61,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seg.owner,
             seg.start_pos,
             seg.start_pos + seg.len as u64
+        );
+    }
+
+    // Heterogeneous traffic batches into shared engine runs: the two
+    // walks, the spanning tree's doubling phases and the mixing probe
+    // multiplex their work items instead of serializing.
+    let batch = net.run_batch(vec![
+        Request::walk(source, 1024),
+        Request::walk(137, 1024),
+        Request::spanning_tree(0),
+        Request::mixing_probe(0, 256),
+    ])?;
+    println!(
+        "\nbatched {} heterogeneous requests in {} shared session rounds:",
+        batch.len(),
+        net.session_rounds()
+    );
+    for (i, resp) in batch.iter().enumerate() {
+        println!(
+            "  request {i}: {} (rounds billed {})",
+            resp.kind(),
+            resp.rounds()
         );
     }
     Ok(())

@@ -1,6 +1,7 @@
 //! Random spanning trees of a grid, sampled by the distributed
-//! Aldous-Broder algorithm (Section 4.1 of the paper), with an ASCII
-//! rendering and a uniformity sanity check on a small graph.
+//! Aldous-Broder algorithm (Section 4.1 of the paper) via typed
+//! `SpanningTree` requests, with an ASCII rendering and a uniformity
+//! sanity check on a small graph.
 //!
 //! Run with: `cargo run --release --example spanning_tree`
 
@@ -12,7 +13,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Sample a uniform spanning tree of a 6x6 grid.
     let (rows, cols) = (6usize, 6usize);
     let g = generators::grid2d(rows, cols);
-    let r = distributed_rst(&g, 0, &RstConfig::default(), 7)?;
+    let mut net = Network::builder(&g).seed(7).build();
+    let r = net.run(Request::spanning_tree(0))?.into_tree();
     println!(
         "sampled a uniform spanning tree of the {rows}x{cols} grid in {} rounds \
          ({} phases, covering walk length {})\n",
@@ -46,7 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Uniformity sanity check on K4 (16 spanning trees, exactly counted
-    // by Kirchhoff's theorem).
+    // by Kirchhoff's theorem). Each sample is one request on its own
+    // throwaway network — the legacy shim — so the check exercises the
+    // same path the regression tests pin.
     let k4 = generators::complete(4);
     println!(
         "\nK4 has {} spanning trees (matrix-tree theorem); sampling 600...",

@@ -19,7 +19,7 @@
 //! |---|---|---|
 //! | [`graph`] | `drw-graph` | CSR graphs, generators, traversal, spectral ground truth, matrix-tree |
 //! | [`congest`] | `drw-congest` | the CONGEST simulator: engine, protocols, BFS/broadcast/convergecast/upcast |
-//! | [`core`] | `drw-core` | the paper's algorithms: naive, PODC'09, `SINGLE-RANDOM-WALK`, `MANY-RANDOM-WALKS` |
+//! | [`core`] | `drw-core` | the `Network` service facade, the paper's algorithms, `WalkSession` |
 //! | [`spanning`] | `drw-spanning` | distributed Aldous-Broder random spanning trees |
 //! | [`mixing`] | `drw-mixing` | decentralized mixing-time / spectral-gap / conductance estimation |
 //! | [`lowerbound`] | `drw-lowerbound` | `G_n`, PATH-VERIFICATION and the reduction |
@@ -27,20 +27,41 @@
 //!
 //! # Quickstart
 //!
+//! The network is a *service*: build one [`Network`](prelude::Network)
+//! handle, then submit typed requests — one-shot or batched.
+//!
 //! ```
 //! use distributed_random_walks::prelude::*;
 //!
-//! # fn main() -> Result<(), drw_core::WalkError> {
+//! # fn main() -> Result<(), DrwError> {
 //! // A 16x16 torus: n = 256 nodes, diameter 16.
 //! let g = drw_graph::generators::torus2d(16, 16);
+//! let mut net = Network::builder(&g).seed(42).build();
 //!
 //! // One exact 4096-step walk sample, distributed, in far fewer than
 //! // 4096 rounds.
-//! let walk = single_random_walk(&g, 0, 4096, &SingleWalkConfig::default(), 42)?;
+//! let walk = net.run(Request::walk(0, 4096))?.into_walk();
 //! assert!(walk.rounds < 4096);
+//!
+//! // Heterogeneous traffic batches into *shared* engine runs: the
+//! // walks, the spanning tree's doubling phases and the mixing probe
+//! // multiplex their work items instead of serializing.
+//! let responses = net.run_batch(vec![
+//!     Request::walk(0, 1024),
+//!     Request::walk(137, 1024),
+//!     Request::spanning_tree(0),
+//!     Request::mixing_probe(0, 256),
+//! ])?;
+//! assert_eq!(responses.len(), 4);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The pre-facade free functions (`single_random_walk`,
+//! `many_random_walks`, `distributed_rst`, `estimate_mixing_time`)
+//! remain available as thin shims over a throwaway `Network`,
+//! seed-for-seed identical to their historical outputs — see the
+//! migration notes in `DESIGN.md`.
 //!
 //! See `DESIGN.md` for the system inventory and the per-experiment
 //! index, and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -58,11 +79,12 @@ pub use drw_stats as stats;
 
 /// The most commonly used items in one import.
 pub mod prelude {
-    pub use drw_congest::{EngineConfig, Runner};
+    pub use drw_congest::{EngineConfig, ExecutorKind, Runner};
     pub use drw_core::{
-        many_random_walks, many_random_walks_with, naive_walk, single_random_walk, ManyWalksResult,
-        SingleWalkConfig, SingleWalkResult, StitchScheduler, StitchStrategy, WalkError, WalkParams,
-        WalkSession,
+        many_random_walks, many_random_walks_with, naive_walk, single_random_walk,
+        Error as DrwError, ManyWalksResult, MixingProbe, MixingReport, MixingRequest, Network,
+        NetworkBuilder, Request, Response, SingleWalkConfig, SingleWalkResult, StitchScheduler,
+        StitchStrategy, TreeMode, TreeRequest, TreeSample, WalkError, WalkParams, WalkSession,
     };
     pub use drw_graph::{generators, Graph, GraphBuilder};
     pub use drw_mixing::{estimate_mixing_time, MixingConfig};

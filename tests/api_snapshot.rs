@@ -1,0 +1,63 @@
+//! Public-API snapshot: the facade's `prelude` surface, pinned against
+//! a golden file.
+//!
+//! The prelude *is* the public API most users see; this test turns any
+//! addition, removal or rename into an explicit, reviewable diff (CI
+//! runs the test suite, so the gate needs no extra tooling). To accept
+//! an intentional change, update `tests/snapshots/prelude_api.txt` to
+//! the `actual` list printed on failure.
+
+/// Extracts the `pub use` items of the `prelude` module from the
+/// facade crate's source, normalized to one `path::Item` per line.
+fn prelude_items(source: &str) -> Vec<String> {
+    let start = source
+        .find("pub mod prelude {")
+        .expect("src/lib.rs must define the prelude");
+    let body = &source[start..];
+    let end = body.find("\n}").expect("prelude must close");
+    let body = &body[..end];
+
+    let mut items = Vec::new();
+    for stmt in body.split(';') {
+        let stmt: String = stmt.split_whitespace().collect::<Vec<_>>().join(" ");
+        let Some(rest) = stmt
+            .strip_prefix("pub use ")
+            .or_else(|| stmt.find("pub use ").map(|i| &stmt[i + "pub use ".len()..]))
+        else {
+            continue;
+        };
+        if let Some(brace) = rest.find('{') {
+            let prefix = rest[..brace].trim();
+            let inner = rest[brace + 1..].trim_end().trim_end_matches('}').trim();
+            for item in inner.split(',') {
+                let item = item.trim();
+                if !item.is_empty() {
+                    items.push(format!("{prefix}{item}"));
+                }
+            }
+        } else {
+            items.push(rest.trim().to_string());
+        }
+    }
+    items.sort();
+    items
+}
+
+#[test]
+fn prelude_matches_the_golden_snapshot() {
+    let source = include_str!("../src/lib.rs");
+    let actual = prelude_items(source);
+    let golden: Vec<String> = include_str!("snapshots/prelude_api.txt")
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect();
+    assert_eq!(
+        actual,
+        golden,
+        "\nThe prelude's public API changed. If intentional, update \
+         tests/snapshots/prelude_api.txt to:\n\n{}\n",
+        actual.join("\n")
+    );
+}
