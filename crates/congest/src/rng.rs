@@ -20,6 +20,13 @@ pub fn derive_seed(seed: u64, stream: u64) -> u64 {
 }
 
 /// A pool of per-node RNGs for one protocol run.
+///
+/// Streams are keyed by *node id*, not by pool size: node `v`'s stream
+/// is `derive_seed(seed, v)` whatever `n` is. This is the epoch-
+/// determinism contract dynamic topologies rely on — growing the
+/// network (a node-add delta) extends the pool with fresh streams while
+/// every pre-existing node's stream stays bit-identical, so a delta can
+/// never perturb the randomness of nodes it did not touch.
 #[derive(Debug)]
 pub struct NodeRngs {
     rngs: Vec<StdRng>,
@@ -74,6 +81,23 @@ mod tests {
     #[test]
     fn derivation_is_deterministic() {
         assert_eq!(derive_seed(7, 3), derive_seed(7, 3));
+    }
+
+    #[test]
+    fn streams_are_prefix_stable_under_growth() {
+        // The node-add epoch-determinism regression: a pool over a grown
+        // network must give every pre-existing node the exact stream it
+        // had before the growth, because streams are keyed by node id
+        // via derive_seed(seed, node) — never by pool size.
+        for seed in [0u64, 7, 0xDEAD_BEEF] {
+            let mut small = NodeRngs::new(seed, 5);
+            let mut grown = NodeRngs::new(seed, 9);
+            for v in 0..5 {
+                let a: [u64; 4] = std::array::from_fn(|_| small.node(v).random());
+                let b: [u64; 4] = std::array::from_fn(|_| grown.node(v).random());
+                assert_eq!(a, b, "node {v} stream changed under growth (seed {seed})");
+            }
+        }
     }
 
     #[test]

@@ -12,9 +12,19 @@ use crate::node_local::NodeLocalProtocol;
 use crate::protocol::Protocol;
 use crate::rng::derive_seed;
 use drw_graph::Graph;
+use std::sync::Arc;
 
-/// Runs sub-protocols on a shared graph, accumulating round/message
-/// totals.
+/// Runs sub-protocols on a shared graph snapshot, accumulating
+/// round/message totals.
+///
+/// The runner owns an `Arc<Graph>` snapshot rather than a borrow, so a
+/// long-lived runner can follow a versioned [`drw_graph::Topology`]
+/// across epochs: [`Runner::rebind`] swaps in a newer snapshot without
+/// disturbing the accumulated totals or the sub-protocol seed sequence.
+/// Per-node RNG streams are derived per run as `derive_seed(run_seed,
+/// node)` (see [`crate::NodeRngs`]), so rebinding to a snapshot with
+/// *more* nodes extends the pool while keeping every pre-existing
+/// node's stream bit-identical.
 ///
 /// # Example
 ///
@@ -34,8 +44,8 @@ use drw_graph::Graph;
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct Runner<'g> {
-    graph: &'g Graph,
+pub struct Runner {
+    graph: Arc<Graph>,
     cfg: EngineConfig,
     seed: u64,
     seq: u64,
@@ -45,10 +55,17 @@ pub struct Runner<'g> {
     runs: u64,
 }
 
-impl<'g> Runner<'g> {
-    /// Creates a runner over `graph` with the given engine configuration
-    /// and master seed.
-    pub fn new(graph: &'g Graph, cfg: EngineConfig, seed: u64) -> Self {
+impl Runner {
+    /// Creates a runner over a private snapshot of `graph` (cloned into
+    /// an `Arc`) with the given engine configuration and master seed.
+    pub fn new(graph: &Graph, cfg: EngineConfig, seed: u64) -> Self {
+        Runner::on(Arc::new(graph.clone()), cfg, seed)
+    }
+
+    /// Creates a runner over an existing shared snapshot — what
+    /// session-level callers use so the runner and the session observe
+    /// the same [`drw_graph::Topology`] epoch without copying the CSR.
+    pub fn on(graph: Arc<Graph>, cfg: EngineConfig, seed: u64) -> Self {
         Runner {
             graph,
             cfg,
@@ -61,6 +78,14 @@ impl<'g> Runner<'g> {
         }
     }
 
+    /// Swaps the graph snapshot this runner simulates on (a topology
+    /// epoch change). Totals and the sub-protocol seed sequence are
+    /// preserved; subsequent runs size their per-node RNG pool from the
+    /// new snapshot, with pre-existing nodes' streams unchanged.
+    pub fn rebind(&mut self, graph: Arc<Graph>) {
+        self.graph = graph;
+    }
+
     /// Runs one sub-protocol to completion and accumulates its statistics.
     ///
     /// # Errors
@@ -69,7 +94,7 @@ impl<'g> Runner<'g> {
     pub fn run<P: Protocol>(&mut self, protocol: &mut P) -> Result<RunReport, RunError> {
         let seed = derive_seed(self.seed, self.seq);
         self.seq += 1;
-        let report = run_protocol(self.graph, &self.cfg, seed, protocol)?;
+        let report = run_protocol(&self.graph, &self.cfg, seed, protocol)?;
         self.accumulate(&report);
         Ok(report)
     }
@@ -88,7 +113,7 @@ impl<'g> Runner<'g> {
     ) -> Result<RunReport, RunError> {
         let seed = derive_seed(self.seed, self.seq);
         self.seq += 1;
-        let report = run_node_local(self.graph, &self.cfg, seed, protocol)?;
+        let report = run_node_local(&self.graph, &self.cfg, seed, protocol)?;
         self.accumulate(&report);
         Ok(report)
     }
@@ -106,9 +131,14 @@ impl<'g> Runner<'g> {
         self.total_rounds += rounds;
     }
 
-    /// The graph under simulation.
-    pub fn graph(&self) -> &'g Graph {
-        self.graph
+    /// The graph snapshot under simulation.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// A shared handle to the graph snapshot under simulation.
+    pub fn graph_arc(&self) -> Arc<Graph> {
+        self.graph.clone()
     }
 
     /// Engine configuration used for each sub-protocol.
@@ -162,6 +192,29 @@ mod tests {
         let mut runner = Runner::new(&g, EngineConfig::default(), 3);
         runner.charge_rounds(17);
         assert_eq!(runner.total_rounds(), 17);
+    }
+
+    #[test]
+    fn rebind_preserves_totals_and_seed_sequence() {
+        use drw_graph::{Topology, TopologyDelta};
+        let topo = Topology::new(generators::torus2d(4, 4));
+        let mut runner = Runner::on(topo.snapshot(), EngineConfig::default(), 5);
+        let mut bfs = BfsTreeProtocol::new(0);
+        runner.run(&mut bfs).unwrap();
+        let rounds_before = runner.total_rounds();
+        assert!(rounds_before > 0);
+
+        // Mutate the topology, rebind, and keep running: totals
+        // accumulate across the epoch boundary and the new snapshot is
+        // what later runs observe.
+        let report = topo.apply(&TopologyDelta::new().add_edge(0, 5)).unwrap();
+        assert_eq!(report.epoch, 1);
+        runner.rebind(topo.snapshot());
+        assert!(runner.graph().has_edge(0, 5));
+        let mut bfs = BfsTreeProtocol::new(0);
+        runner.run(&mut bfs).unwrap();
+        assert!(runner.total_rounds() > rounds_before);
+        assert_eq!(runner.runs(), 2);
     }
 
     #[test]

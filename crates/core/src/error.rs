@@ -11,6 +11,7 @@
 
 use crate::single_walk::WalkError;
 use drw_congest::RunError;
+use drw_graph::GraphError;
 use std::fmt;
 
 /// Any failure of a [`crate::Network`] request.
@@ -19,6 +20,10 @@ pub enum Error {
     /// The walk machinery failed (engine error, disconnected graph, or
     /// an out-of-range source).
     Walk(WalkError),
+    /// A topology delta was rejected (duplicate/missing edge, invalid
+    /// node removal, or the delta would disconnect the graph). The
+    /// topology is unchanged.
+    Graph(GraphError),
     /// A spanning-tree request found no covering walk within its phase
     /// budget.
     NotCovered {
@@ -41,6 +46,7 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Walk(e) => write!(f, "walk error: {e}"),
+            Error::Graph(e) => write!(f, "topology delta rejected: {e}"),
             Error::NotCovered { phases, final_len } => write!(
                 f,
                 "no covering walk after {phases} phases (final length {final_len})"
@@ -58,6 +64,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Walk(e) => Some(e),
+            Error::Graph(e) => Some(e),
             _ => None,
         }
     }
@@ -72,6 +79,12 @@ impl From<WalkError> for Error {
 impl From<RunError> for Error {
     fn from(e: RunError) -> Self {
         Error::Walk(WalkError::Engine(e))
+    }
+}
+
+impl From<GraphError> for Error {
+    fn from(e: GraphError) -> Self {
+        Error::Graph(e)
     }
 }
 

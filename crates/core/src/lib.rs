@@ -94,8 +94,8 @@ pub use request::{
     MixingProbe, MixingReport, MixingRequest, Request, Response, TreeMode, TreeRequest, TreeSample,
 };
 pub use session::{
-    RecordedExtension, SessionManyOutcome, SessionWalkOutcome, WalkSession, WaveOutcome, WaveSpec,
-    WaveWalk,
+    RecordedExtension, RepairReport, SessionManyOutcome, SessionWalkOutcome, WalkSession,
+    WaveOutcome, WaveSpec, WaveWalk,
 };
 pub use short_walks::ShortWalksProtocol;
 pub use single_walk::{

@@ -30,6 +30,7 @@ use crate::stitch_scheduler::StitchScheduler;
 use drw_congest::primitives::BfsTreeProtocol;
 use drw_congest::Runner;
 use drw_graph::{traversal, Graph, NodeId};
+use std::sync::Arc;
 
 /// How Phase 2 advances the `k` walk tokens.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -175,7 +176,7 @@ pub fn many_random_walks_with(
 /// [`crate::Request::ManyWalks`] (and hence [`many_random_walks`]):
 /// own runner, own BFS, one shared Phase 1 for the `k` walks.
 pub(crate) fn many_walks_one_shot(
-    g: &Graph,
+    g: &Arc<Graph>,
     sources: &[NodeId],
     len: u64,
     cfg: &SingleWalkConfig,
@@ -191,7 +192,7 @@ pub(crate) fn many_walks_one_shot(
         return Err(WalkError::Disconnected);
     }
     let k = sources.len() as u64;
-    let mut runner = Runner::new(g, cfg.engine.clone(), seed);
+    let mut runner = Runner::on(g.clone(), cfg.engine.clone(), seed);
     if sources.is_empty() {
         return Ok(ManyWalksResult {
             destinations: Vec::new(),

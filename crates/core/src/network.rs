@@ -63,7 +63,8 @@ use crate::single_walk::{single_walk_one_shot, SingleWalkConfig, SingleWalkResul
 use crate::state::WalkState;
 use drw_congest::primitives::{AggOp, BfsTree, ConvergecastProtocol};
 use drw_congest::{derive_seed, EngineConfig, ExecutorKind};
-use drw_graph::{Graph, NodeId};
+use drw_graph::{EpochReport, Graph, NodeId, Topology, TopologyDelta};
+use std::sync::Arc;
 
 use crate::params::WalkParams;
 
@@ -83,10 +84,19 @@ const SESSION_SEED_TAG: u64 = 0x5E55;
 /// | [`anchor`](NetworkBuilder::anchor) | batch session's BFS anchor | node 0 |
 #[derive(Debug, Clone)]
 pub struct NetworkBuilder<'g> {
-    g: &'g Graph,
+    src: BuilderSource<'g>,
     cfg: SingleWalkConfig,
     seed: u64,
     anchor: NodeId,
+}
+
+/// Where a builder gets its topology from: a borrowed static graph
+/// (wrapped into a private [`Topology`] at build time) or a shared
+/// versioned handle.
+#[derive(Debug, Clone)]
+enum BuilderSource<'g> {
+    Graph(&'g Graph),
+    Topo(Topology),
 }
 
 impl<'g> NetworkBuilder<'g> {
@@ -136,10 +146,16 @@ impl<'g> NetworkBuilder<'g> {
     /// Builds the handle. Cheap: no BFS, no connectivity check — setup
     /// is paid by the first request (one-shot) or the first batch (the
     /// shared session), and input validation happens per request, which
-    /// is what keeps the legacy shims zero-overhead.
-    pub fn build(self) -> Network<'g> {
+    /// is what keeps the legacy shims zero-overhead. A borrowed static
+    /// graph is wrapped into a private [`Topology`] (epoch 0); a shared
+    /// handle ([`Network::over`]) is observed live.
+    pub fn build(self) -> Network {
+        let topo = match self.src {
+            BuilderSource::Graph(g) => Topology::new(g.clone()),
+            BuilderSource::Topo(t) => t,
+        };
         Network {
-            g: self.g,
+            topo,
             cfg: self.cfg,
             base_seed: self.seed,
             requests_issued: 0,
@@ -175,29 +191,62 @@ impl<'g> NetworkBuilder<'g> {
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct Network<'g> {
-    g: &'g Graph,
+pub struct Network {
+    topo: Topology,
     cfg: SingleWalkConfig,
     base_seed: u64,
     requests_issued: u64,
     anchor: NodeId,
-    session: Option<WalkSession<'g>>,
+    session: Option<WalkSession>,
 }
 
-impl<'g> Network<'g> {
-    /// Starts building a network handle over `g`.
-    pub fn builder(g: &'g Graph) -> NetworkBuilder<'g> {
+impl Network {
+    /// Starts building a network handle over a static graph `g` (the
+    /// handle wraps a private versioned [`Topology`] around a clone of
+    /// it, so [`Network::apply_delta`] works on any network).
+    pub fn builder(g: &Graph) -> NetworkBuilder<'_> {
         NetworkBuilder {
-            g,
+            src: BuilderSource::Graph(g),
             cfg: SingleWalkConfig::default(),
             seed: 0,
             anchor: 0,
         }
     }
 
-    /// The graph this network serves.
-    pub fn graph(&self) -> &'g Graph {
-        self.g
+    /// Starts building a network handle over a *shared* versioned
+    /// [`Topology`]: deltas applied through any clone of the handle
+    /// (including by other components) are observed live, and the
+    /// shared session repairs incrementally on its next use.
+    pub fn over(topo: Topology) -> NetworkBuilder<'static> {
+        NetworkBuilder {
+            src: BuilderSource::Topo(topo),
+            cfg: SingleWalkConfig::default(),
+            seed: 0,
+            anchor: 0,
+        }
+    }
+
+    /// The current graph snapshot this network serves.
+    pub fn graph(&self) -> Arc<Graph> {
+        self.topo.snapshot()
+    }
+
+    /// The versioned topology behind this network.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Applies a topology delta (validated, transactional; see
+    /// [`Topology::apply`]). The shared batch session is *not* repaired
+    /// here — it repairs itself incrementally at its next use, so churn
+    /// between batches costs nothing until traffic actually arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Graph`] when the delta is rejected; the topology is
+    /// unchanged.
+    pub fn apply_delta(&mut self, delta: &TopologyDelta) -> Result<EpochReport, Error> {
+        Ok(self.topo.apply(delta)?)
     }
 
     /// The walk configuration every request runs under.
@@ -215,7 +264,7 @@ impl<'g> Network<'g> {
     }
 
     /// The shared batch session, if one was created.
-    pub fn session(&self) -> Option<&WalkSession<'g>> {
+    pub fn session(&self) -> Option<&WalkSession> {
         self.session.as_ref()
     }
 
@@ -242,7 +291,14 @@ impl<'g> Network<'g> {
     /// graphs, engine errors), [`Error::NotCovered`] /
     /// [`Error::LengthOverflow`] for spanning-tree requests.
     pub fn run(&mut self, request: Request) -> Result<Response, Error> {
+        // Mutations consume no seed (they run no protocol), so a
+        // request stream with interleaved churn derives the same walk
+        // seeds as the same stream without it.
+        if let Request::Mutate(delta) = request {
+            return self.apply_delta(&delta).map(Response::Epoch);
+        }
         let seed = self.next_seed();
+        let g = self.topo.snapshot();
         match request {
             Request::Walk {
                 source,
@@ -254,7 +310,7 @@ impl<'g> Network<'g> {
                     ..self.cfg.clone()
                 };
                 Ok(Response::Walk(single_walk_one_shot(
-                    self.g, source, len, &cfg, seed,
+                    &g, source, len, &cfg, seed,
                 )?))
             }
             Request::ManyWalks {
@@ -262,14 +318,15 @@ impl<'g> Network<'g> {
                 len,
                 strategy,
             } => Ok(Response::ManyWalks(many_walks_one_shot(
-                self.g, &sources, len, &self.cfg, seed, strategy,
+                &g, &sources, len, &self.cfg, seed, strategy,
             )?)),
             Request::SpanningTree(req) => Ok(Response::SpanningTree(spanning::sample_tree(
-                self.g, &req, &self.cfg, seed,
+                &g, &req, &self.cfg, seed,
             )?)),
             Request::MixingTime(req) => Ok(Response::MixingTime(mixing::estimate_mixing(
-                self.g, &req, &self.cfg, seed,
+                &g, &req, &self.cfg, seed,
             )?)),
+            Request::Mutate(_) => unreachable!("handled above"),
         }
     }
 
@@ -283,29 +340,70 @@ impl<'g> Network<'g> {
     /// multiplex) and the `reuse_session` baselines of tree/mixing
     /// requests (batches always ride the shared session).
     ///
+    /// [`Request::Mutate`] entries act as barriers: the requests before
+    /// one complete on the old epoch, the delta applies, and the
+    /// requests after it are served on the mutated graph by the
+    /// incrementally repaired session (repair rounds appear in
+    /// [`Network::session_rounds`]).
+    ///
     /// # Errors
     ///
-    /// As [`Network::run`]; the first failing request aborts the batch.
+    /// As [`Network::run`]; the first failing request (or rejected
+    /// delta) aborts the rest of the batch.
     pub fn run_batch(&mut self, requests: Vec<Request>) -> Result<Vec<Response>, Error> {
         if requests.is_empty() {
             return Ok(Vec::new());
         }
-        self.requests_issued += requests.len() as u64;
+        // Mutations consume no request seed (they run no protocol), in
+        // batches exactly as in `run` — interleaved churn must not
+        // shift the seed stream of the surrounding requests.
+        self.requests_issued += requests
+            .iter()
+            .filter(|r| !matches!(r, Request::Mutate(_)))
+            .count() as u64;
+        let cfg = self.cfg.clone();
+        let mut responses = Vec::with_capacity(requests.len());
+        let mut segment: Vec<Request> = Vec::new();
+        for request in requests {
+            match request {
+                Request::Mutate(delta) => {
+                    if !segment.is_empty() {
+                        let session = self.ensure_session()?;
+                        responses.extend(run_batch_on(
+                            session,
+                            &cfg,
+                            std::mem::take(&mut segment),
+                        )?);
+                    }
+                    responses.push(Response::Epoch(self.topo.apply(&delta)?));
+                }
+                other => segment.push(other),
+            }
+        }
+        if !segment.is_empty() {
+            let session = self.ensure_session()?;
+            responses.extend(run_batch_on(session, &cfg, segment)?);
+        }
+        Ok(responses)
+    }
+
+    /// Lazily creates the shared batch session. Deferred to the first
+    /// walk-bearing segment so a leading (or lone) [`Request::Mutate`]
+    /// never pays a BFS on an epoch about to be superseded.
+    fn ensure_session(&mut self) -> Result<&mut WalkSession, Error> {
         if self.session.is_none() {
             let cfg = SingleWalkConfig {
                 record_walk: true,
                 ..self.cfg.clone()
             };
-            self.session = Some(WalkSession::new(
-                self.g,
+            self.session = Some(WalkSession::attach(
+                &self.topo,
                 self.anchor,
                 &cfg,
                 derive_seed(self.base_seed, SESSION_SEED_TAG),
             )?);
         }
-        let cfg = self.cfg.clone();
-        let session = self.session.as_mut().expect("session just ensured");
-        run_batch_on(session, &cfg, requests)
+        Ok(self.session.as_mut().expect("session just ensured"))
     }
 }
 
@@ -370,10 +468,13 @@ struct Slot {
 }
 
 fn run_batch_on(
-    session: &mut WalkSession<'_>,
+    session: &mut WalkSession,
     cfg: &SingleWalkConfig,
     requests: Vec<Request>,
 ) -> Result<Vec<Response>, Error> {
+    // Repair first, so the node count, tree and diameter estimate below
+    // describe the epoch this segment will be served on.
+    let _ = session.sync()?;
     let g = session.graph();
     let n = g.n();
     let d_est = u64::from(session.diameter_estimate());
@@ -395,12 +496,13 @@ fn run_batch_on(
             }
             Request::SpanningTree(t) => check(t.root)?,
             Request::MixingTime(m) => check(m.source)?,
+            Request::Mutate(_) => unreachable!("mutations are split off by run_batch"),
         }
     }
 
     let mut slots: Vec<Slot> = requests
         .into_iter()
-        .map(|request| new_slot(request, g, n))
+        .map(|request| new_slot(request, &g, n))
         .collect();
 
     // Round-robin pointer for the recording slot: when several
@@ -497,6 +599,7 @@ struct WaveContext {
 
 fn new_slot(request: Request, g: &Graph, n: usize) -> Slot {
     match request {
+        Request::Mutate(_) => unreachable!("mutations are split off by run_batch"),
         Request::Walk {
             source,
             len,
@@ -600,7 +703,7 @@ fn empty_many_result(n: usize) -> ManyWalksResult {
 fn plan_wave(
     slot: &mut Slot,
     req_id: u16,
-    session: &mut WalkSession<'_>,
+    session: &mut WalkSession,
     cfg: &SingleWalkConfig,
     d_est: u64,
 ) -> Result<WavePlan, Error> {
@@ -703,12 +806,8 @@ fn plan_wave(
                 // the shared session tree — billed to this request.
                 let before = session.total_rounds();
                 let tree = session.tree().clone();
-                let setup = mixing::run_probe_setup(
-                    session.graph(),
-                    &m.bucket,
-                    &tree,
-                    session.runner_mut(),
-                )?;
+                let g = session.graph();
+                let setup = mixing::run_probe_setup(&g, &m.bucket, &tree, session.runner_mut())?;
                 slot.rounds += session.total_rounds() - before;
                 m.setup = Some((tree, setup));
             }
@@ -741,7 +840,7 @@ fn absorb(
     slot: &mut Slot,
     walks: Vec<WaveWalk>,
     ctx: &WaveContext,
-    session: &mut WalkSession<'_>,
+    session: &mut WalkSession,
     cfg: &SingleWalkConfig,
     d_est: u64,
 ) -> Result<(), Error> {
@@ -855,7 +954,7 @@ fn absorb(
             session.runner_mut().run(&mut cc).map_err(WalkError::from)?;
             slot.rounds += session.total_rounds() - before;
             if cc.result() == 1 {
-                let key = spanning::tree_from_first_visits(g, t.req.root, covered_first);
+                let key = spanning::tree_from_first_visits(&g, t.req.root, covered_first);
                 slot.response = Some(Response::SpanningTree(TreeSample {
                     edges: key,
                     rounds: slot.rounds,
@@ -880,8 +979,9 @@ fn absorb(
             let destinations: Vec<NodeId> = walks.iter().map(|w| w.destination).collect();
             let before = session.total_rounds();
             let (tree, setup) = m.setup.as_ref().expect("setup ran at plan time");
+            let g = session.graph();
             let probe = mixing::evaluate_probe(
-                session.graph(),
+                &g,
                 &m.bucket,
                 tree,
                 session.runner_mut(),
@@ -1089,6 +1189,126 @@ mod tests {
         assert_eq!(t1.edges.len(), g.n() - 1);
         assert!(drw_graph::matrix_tree::is_spanning_tree(&g, &t0.edges));
         assert!(drw_graph::matrix_tree::is_spanning_tree(&g, &t1.edges));
+    }
+
+    #[test]
+    fn apply_delta_repairs_the_session_on_next_use() {
+        let g = generators::torus2d(6, 6);
+        let mut net = Network::builder(&g).seed(17).build();
+        let r1 = net
+            .run_batch(vec![Request::many_walks(vec![0, 9], 512)])
+            .unwrap()
+            .remove(0)
+            .into_many_walks();
+        assert_eq!(r1.destinations.len(), 2);
+        let report = net
+            .apply_delta(&TopologyDelta::new().add_edge(0, 14))
+            .unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(net.topology().epoch(), 1);
+        // The session lags until traffic arrives, then repairs once.
+        assert_eq!(net.session().unwrap().epoch(), 0);
+        let r2 = net
+            .run_batch(vec![Request::many_walks(vec![0, 9], 512)])
+            .unwrap()
+            .remove(0)
+            .into_many_walks();
+        assert_eq!(r2.destinations.len(), 2);
+        let session = net.session().unwrap();
+        assert_eq!(session.epoch(), 1);
+        assert_eq!(session.repairs(), 1);
+        assert!(session.graph().has_edge(0, 14));
+    }
+
+    #[test]
+    fn interleaved_mutations_act_as_batch_barriers() {
+        let g = generators::torus2d(5, 5);
+        let mut net = Network::builder(&g).seed(23).build();
+        let responses = net
+            .run_batch(vec![
+                Request::walk(0, 256),
+                Request::mutate(TopologyDelta::new().add_edge(0, 12)),
+                Request::walk(12, 256),
+            ])
+            .unwrap();
+        assert_eq!(responses.len(), 3);
+        assert_eq!(responses[0].kind(), "walk");
+        let epoch = responses[1].clone().into_epoch();
+        assert_eq!(epoch.epoch, 1);
+        assert_eq!(epoch.touched, vec![0, 12]);
+        assert_eq!(responses[2].kind(), "walk");
+        // The second walk was served post-delta by the repaired session.
+        assert_eq!(net.session().unwrap().epoch(), 1);
+        assert_eq!(net.session().unwrap().repairs(), 1);
+    }
+
+    #[test]
+    fn rejected_delta_aborts_the_batch_atomically() {
+        let g = generators::path(4);
+        let mut net = Network::builder(&g).seed(1).build();
+        let err = net
+            .run_batch(vec![
+                Request::walk(0, 8),
+                Request::mutate(TopologyDelta::new().remove_edge(1, 2)),
+                Request::walk(0, 8),
+            ])
+            .unwrap_err();
+        assert_eq!(err, Error::Graph(drw_graph::GraphError::Disconnects));
+        assert_eq!(net.topology().epoch(), 0, "rejected deltas change nothing");
+    }
+
+    #[test]
+    fn batched_mutate_consumes_no_seed_either() {
+        // The batch path's counterpart of the one-shot invariant: a
+        // mutate-only batch must not shift the seed of a later one-shot
+        // request.
+        let g = generators::torus2d(5, 5);
+        let mut plain = Network::builder(&g).seed(19).build();
+        let a = plain.run(Request::walk(0, 300)).unwrap().into_walk();
+        let mut churned = Network::builder(&g).seed(19).build();
+        let rs = churned
+            .run_batch(vec![Request::mutate(TopologyDelta::new())])
+            .unwrap();
+        assert_eq!(rs[0].clone().into_epoch().epoch, 1);
+        let b = churned.run(Request::walk(0, 300)).unwrap().into_walk();
+        assert_eq!(a.destination, b.destination);
+        assert_eq!(a.segments, b.segments);
+        assert!(
+            churned.session().is_none(),
+            "a mutate-only batch must not pay a session build"
+        );
+    }
+
+    #[test]
+    fn one_shot_mutate_consumes_no_seed() {
+        let g = generators::torus2d(5, 5);
+        // Interleaving a (trivial) mutation must not perturb the walk
+        // seeds of the surrounding one-shot requests.
+        let mut plain = Network::builder(&g).seed(9).build();
+        let a1 = plain.run(Request::walk(0, 300)).unwrap().into_walk();
+        let a2 = plain.run(Request::walk(0, 300)).unwrap().into_walk();
+        let mut churned = Network::builder(&g).seed(9).build();
+        let b1 = churned.run(Request::walk(0, 300)).unwrap().into_walk();
+        let epoch = churned
+            .run(Request::mutate(TopologyDelta::new()))
+            .unwrap()
+            .into_epoch();
+        assert_eq!(epoch.epoch, 1);
+        let b2 = churned.run(Request::walk(0, 300)).unwrap().into_walk();
+        assert_eq!(a1.destination, b1.destination);
+        assert_eq!(a2.destination, b2.destination);
+        assert_eq!(a2.segments, b2.segments);
+    }
+
+    #[test]
+    fn network_over_shared_topology_observes_external_churn() {
+        let topo = Topology::new(generators::torus2d(4, 4));
+        let mut net = Network::over(topo.clone()).seed(3).build();
+        // Churn applied by another component (a clone of the handle).
+        let _ = topo.apply(&TopologyDelta::new().add_edge(0, 10)).unwrap();
+        assert!(net.graph().has_edge(0, 10));
+        let walk = net.run(Request::walk(0, 64)).unwrap().into_walk();
+        assert!(walk.destination < 16);
     }
 
     #[test]

@@ -24,7 +24,8 @@ use drw_congest::derive_seed;
 use drw_congest::primitives::{
     AggOp, BfsTree, BroadcastProtocol, ConvergecastProtocol, UpcastProtocol, VectorSumProtocol,
 };
-use drw_graph::{traversal, Graph};
+use drw_graph::{traversal, Graph, Topology};
+use std::sync::Arc;
 
 /// The network constants the setup phase collects at the source.
 #[derive(Debug, Clone, Copy)]
@@ -45,7 +46,7 @@ pub(crate) fn run_probe_setup(
     g: &Graph,
     bucket_test: &BucketTest,
     tree: &BfsTree,
-    runner: &mut drw_congest::Runner<'_>,
+    runner: &mut drw_congest::Runner,
 ) -> Result<ProbeSetup, WalkError> {
     let degrees: Vec<u64> = (0..g.n()).map(|v| g.degree(v) as u64).collect();
     let squares: Vec<u64> = degrees.iter().map(|&d| d * d).collect();
@@ -82,7 +83,7 @@ pub(crate) fn evaluate_probe(
     g: &Graph,
     bucket_test: &BucketTest,
     tree: &BfsTree,
-    runner: &mut drw_congest::Runner<'_>,
+    runner: &mut drw_congest::Runner,
     destinations: &[drw_graph::NodeId],
     setup: &ProbeSetup,
     len: u64,
@@ -139,7 +140,7 @@ pub(crate) fn evaluate_probe(
 /// single-session driver or the per-probe-rebuild baseline, exactly as
 /// before the facade redesign.
 pub(crate) fn estimate_mixing(
-    g: &Graph,
+    g: &Arc<Graph>,
     req: &MixingRequest,
     walk_cfg: &SingleWalkConfig,
     seed: u64,
@@ -156,13 +157,18 @@ pub(crate) fn estimate_mixing(
 
     // The session runs the one BFS from the source; its tree and
     // diameter estimate serve every aggregation, upcast and probe below.
-    let mut session = WalkSession::new(g, source, walk_cfg, derive_seed(seed, 0xB00))?;
+    let mut session = WalkSession::attach(
+        &Topology::from_shared(g.clone()),
+        source,
+        walk_cfg,
+        derive_seed(seed, 0xB00),
+    )?;
     let tree: BfsTree = session.tree().clone();
     let setup = run_probe_setup(g, &bucket_test, &tree, session.runner_mut())?;
 
     let mut probes = Vec::new();
     let mut probe_seq = 0u64;
-    let mut probe = |len: u64, session: &mut WalkSession<'_>| -> Result<MixingProbe, WalkError> {
+    let mut probe = |len: u64, session: &mut WalkSession| -> Result<MixingProbe, WalkError> {
         let sources = vec![source; k];
         let destinations = if req.reuse_session {
             // Session probe: reuse the cached diameter, top the shared

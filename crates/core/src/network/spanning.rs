@@ -20,7 +20,8 @@ use crate::single_walk::{single_walk_one_shot, SingleWalkConfig, WalkError};
 use drw_congest::primitives::{AggOp, BfsTreeProtocol, ConvergecastProtocol};
 use drw_congest::{derive_seed, Runner};
 use drw_graph::matrix_tree::{canonical_tree_key, is_spanning_tree, TreeKey};
-use drw_graph::{Graph, NodeId};
+use drw_graph::{Graph, NodeId, Topology};
+use std::sync::Arc;
 
 /// Cap on the cumulative walked length of the doubling schedule. Far
 /// beyond any simulable cover time; exists so a runaway doubling
@@ -105,7 +106,7 @@ pub(crate) fn merge_first_visit(
 /// single-session driver or the rebuild-per-phase baseline, exactly as
 /// before the facade redesign.
 pub(crate) fn sample_tree(
-    g: &Graph,
+    g: &Arc<Graph>,
     req: &TreeRequest,
     walk_cfg: &SingleWalkConfig,
     seed: u64,
@@ -123,7 +124,12 @@ pub(crate) fn sample_tree(
         let mut run = SessionRstRun {
             g,
             req,
-            session: WalkSession::new(g, req.root, &walk_cfg, derive_seed(seed, 0xC0FE))?,
+            session: WalkSession::attach(
+                &Topology::from_shared(g.clone()),
+                req.root,
+                &walk_cfg,
+                derive_seed(seed, 0xC0FE),
+            )?,
             attempts: 0,
         };
         return match req.mode {
@@ -135,7 +141,11 @@ pub(crate) fn sample_tree(
     // Rebuild-per-phase baseline: a BFS tree at the root for the cover
     // checks, plus one full `SINGLE-RANDOM-WALK` (own BFS + Phase 1)
     // per phase.
-    let mut runner = Runner::new(g, walk_cfg.engine.clone(), derive_seed(seed, 0xC0FE));
+    let mut runner = Runner::on(
+        g.clone(),
+        walk_cfg.engine.clone(),
+        derive_seed(seed, 0xC0FE),
+    );
     let mut bfs = BfsTreeProtocol::new(req.root);
     runner.run(&mut bfs).map_err(WalkError::from)?;
     let tree = bfs.into_tree();
@@ -158,9 +168,9 @@ pub(crate) fn sample_tree(
 
 /// Session-backed driver: one BFS, one store, walk extension per phase.
 struct SessionRstRun<'g, 'c> {
-    g: &'g Graph,
+    g: &'g Arc<Graph>,
     req: &'c TreeRequest,
-    session: WalkSession<'g>,
+    session: WalkSession,
     attempts: u64,
 }
 
@@ -272,10 +282,10 @@ impl SessionRstRun<'_, '_> {
 
 /// Rebuild-per-phase baseline driver (`reuse_session = false`).
 struct RebuildRstRun<'g, 'c> {
-    g: &'g Graph,
+    g: &'g Arc<Graph>,
     req: &'c TreeRequest,
     walk_cfg: SingleWalkConfig,
-    runner: Runner<'g>,
+    runner: Runner,
     tree: drw_congest::primitives::BfsTree,
     walk_rounds: u64,
     attempts: u64,

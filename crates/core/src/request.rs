@@ -14,7 +14,7 @@
 use crate::many_walks::{ManyWalksResult, StitchStrategy};
 use crate::single_walk::SingleWalkResult;
 use drw_graph::matrix_tree::TreeKey;
-use drw_graph::NodeId;
+use drw_graph::{EpochReport, NodeId, TopologyDelta};
 
 /// How a spanning-tree request relates its phases to the walk (the
 /// reproduction finding documented in `drw-spanning`: the paper-literal
@@ -166,6 +166,11 @@ pub enum Request {
     SpanningTree(TreeRequest),
     /// A decentralized mixing-time estimate (Section 4.2).
     MixingTime(MixingRequest),
+    /// A topology mutation (dynamic-network churn). In a batch it acts
+    /// as a barrier: requests before it complete on the old epoch,
+    /// requests after it are served on the mutated graph by the
+    /// *incrementally repaired* session.
+    Mutate(TopologyDelta),
 }
 
 impl Request {
@@ -198,6 +203,11 @@ impl Request {
         Request::MixingTime(MixingRequest::probe_at(source, len))
     }
 
+    /// A topology-mutation request (see [`Request::Mutate`]).
+    pub fn mutate(delta: TopologyDelta) -> Self {
+        Request::Mutate(delta)
+    }
+
     /// Short label for tables and progress output.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -205,6 +215,7 @@ impl Request {
             Request::ManyWalks { .. } => "many-walks",
             Request::SpanningTree(_) => "spanning-tree",
             Request::MixingTime(_) => "mixing-time",
+            Request::Mutate(_) => "mutate",
         }
     }
 }
@@ -274,6 +285,9 @@ pub enum Response {
     SpanningTree(TreeSample),
     /// Answer to [`Request::MixingTime`].
     MixingTime(MixingReport),
+    /// Answer to [`Request::Mutate`]: the new epoch and its touched
+    /// nodes.
+    Epoch(EpochReport),
 }
 
 impl Response {
@@ -287,6 +301,10 @@ impl Response {
             Response::ManyWalks(r) => r.rounds,
             Response::SpanningTree(r) => r.rounds,
             Response::MixingTime(r) => r.rounds,
+            // Delta application itself is free in CONGEST terms; the
+            // repair rounds are billed to the requests that ride the
+            // repaired session.
+            Response::Epoch(_) => 0,
         }
     }
 
@@ -297,6 +315,7 @@ impl Response {
             Response::ManyWalks(_) => "many-walks",
             Response::SpanningTree(_) => "spanning-tree",
             Response::MixingTime(_) => "mixing-time",
+            Response::Epoch(_) => "mutate",
         }
     }
 
@@ -345,6 +364,18 @@ impl Response {
         match self {
             Response::MixingTime(r) => r,
             other => panic!("expected a mixing-time response, got {}", other.kind()),
+        }
+    }
+
+    /// Unwraps a [`Response::Epoch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other variant.
+    pub fn into_epoch(self) -> EpochReport {
+        match self {
+            Response::Epoch(r) => r,
+            other => panic!("expected an epoch response, got {}", other.kind()),
         }
     }
 }

@@ -48,6 +48,23 @@
 //!   as the previous segment's endpoint, which makes the
 //!   segment-boundary accounting explicit instead of accidental.
 //!
+//! - **Incremental topology repair** ([`WalkSession::sync`]): a session
+//!   attached to a versioned [`Topology`] follows deltas without
+//!   rebuilding. Eviction is surgical — only short walks whose
+//!   recorded trajectories visit a *touched* node are discarded
+//!   (path probabilities factor over visited nodes' neighbor sets,
+//!   which only change at touched nodes) — and the anchor BFS re-runs
+//!   only when a delta actually broke the tree. Everything else
+//!   (degree-proportional targets, reservoir weights) reads the live
+//!   snapshot and refreshes lazily. Surgical eviction is
+//!   *approximately* exact: survivors are samples of the new law
+//!   conditioned on avoiding the touched set, a per-segment bias
+//!   bounded by the touched-hit mass (see
+//!   [`WalkState::evict_touched`]); conformance is pinned empirically
+//!   by the chi-square suites, and
+//!   [`WalkSession::set_strict_repair`] buys measure-exactness back
+//!   at full-relaunch cost.
+//!
 //! Correctness is unchanged from the one-shot drivers (Theorem 2.5's
 //! argument never cares *when* a short walk was generated, only that it
 //! is unused and independent); only the round bill changes, from
@@ -61,12 +78,32 @@ use crate::state::{Visit, WalkState};
 use crate::stitch_scheduler::{StitchScheduler, StitchSpec};
 use drw_congest::primitives::{BfsTree, BfsTreeProtocol};
 use drw_congest::Runner;
-use drw_graph::{traversal, Graph, NodeId};
+use drw_graph::{traversal, Graph, NodeId, Topology};
+use std::sync::Arc;
 
 /// Replenishment hysteresis: the store is topped up once its deficit
 /// reaches `1/TOPUP_DEFICIT_DENOM` of the target size (see
 /// `WalkSession::ensure_store`).
 const TOPUP_DEFICIT_DENOM: usize = 4;
+
+/// What one [`WalkSession::sync`] repair did (all zero when the session
+/// was already at the topology's epoch).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Epochs the session advanced by (0 = already current).
+    pub epochs: u64,
+    /// Size of the touched-node union repaired against.
+    pub touched: usize,
+    /// Stored short walks evicted because their trajectories visited
+    /// touched nodes (plus conservatively evicted non-replayable ones).
+    pub walks_evicted: usize,
+    /// Whether the anchor BFS had to be re-run (only when a delta broke
+    /// a tree edge or changed the node count).
+    pub bfs_rerun: bool,
+    /// Rounds the repair itself consumed (the BFS re-run; eviction and
+    /// rebinding are local and free).
+    pub rounds: u64,
+}
 
 /// Result of [`WalkSession::single_walk`].
 #[derive(Debug, Clone)]
@@ -215,27 +252,34 @@ pub struct WaveOutcome {
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct WalkSession<'g> {
-    g: &'g Graph,
+pub struct WalkSession {
+    topo: Topology,
+    g: Arc<Graph>,
+    epoch: u64,
     cfg: SingleWalkConfig,
-    runner: Runner<'g>,
+    runner: Runner,
     state: WalkState,
     tree: BfsTree,
     anchor: NodeId,
     d_est: u32,
     record: bool,
     store_lambda: u32,
+    strict_repair: bool,
     rounds_bfs: u64,
     rounds_topup: u64,
     topups: u64,
     walks_added: u64,
     walks_discarded: u64,
+    repairs: u64,
+    repair_bfs_reruns: u64,
+    walks_evicted: u64,
 }
 
-impl<'g> WalkSession<'g> {
-    /// Opens a session anchored at `anchor`: checks the graph, runs the
-    /// one BFS (diameter estimate + the tree later reused by
-    /// convergecasts), and starts with an empty store.
+impl WalkSession {
+    /// Opens a session over a *private* topology wrapping a clone of
+    /// `g` — the static-graph entry point, seed-for-seed identical to
+    /// the pre-versioning constructor. Sessions that must observe live
+    /// deltas attach to a shared handle with [`WalkSession::attach`].
     ///
     /// When `cfg.record_walk` is set the session runs in *record* mode:
     /// [`WalkSession::extend_recorded`] becomes available, and every
@@ -247,44 +291,205 @@ impl<'g> WalkSession<'g> {
     /// [`WalkError::Disconnected`] / [`WalkError::SourceOutOfRange`] on
     /// bad inputs, or an engine error from the BFS.
     pub fn new(
-        g: &'g Graph,
+        g: &Graph,
         anchor: NodeId,
         cfg: &SingleWalkConfig,
         seed: u64,
     ) -> Result<Self, WalkError> {
+        Self::attach(&Topology::new(g.clone()), anchor, cfg, seed)
+    }
+
+    /// Opens a session attached to a shared versioned [`Topology`]:
+    /// checks the current snapshot, runs the one BFS (diameter estimate
+    /// plus the tree later reused by convergecasts), and starts with an
+    /// empty store synced to the topology's current epoch. Later deltas
+    /// applied through any clone of the handle are picked up lazily:
+    /// every entry point first runs [`WalkSession::sync`], which
+    /// repairs the session *incrementally* against the touched-node
+    /// union instead of rebuilding.
+    ///
+    /// # Errors
+    ///
+    /// [`WalkError::Disconnected`] / [`WalkError::SourceOutOfRange`] on
+    /// bad inputs, or an engine error from the BFS.
+    pub fn attach(
+        topo: &Topology,
+        anchor: NodeId,
+        cfg: &SingleWalkConfig,
+        seed: u64,
+    ) -> Result<Self, WalkError> {
+        let epoch = topo.epoch();
+        let g = topo.snapshot();
         if anchor >= g.n() {
             return Err(WalkError::SourceOutOfRange(anchor));
         }
-        if !traversal::is_connected(g) {
+        if !traversal::is_connected(&g) {
             return Err(WalkError::Disconnected);
         }
-        let mut runner = Runner::new(g, cfg.engine.clone(), seed);
+        let mut runner = Runner::on(g.clone(), cfg.engine.clone(), seed);
         let mut bfs = BfsTreeProtocol::new(anchor);
         runner.run(&mut bfs)?;
         let tree = bfs.into_tree();
         let d_est = tree.depth().max(1);
         let rounds_bfs = runner.total_rounds();
+        let n = g.n();
         Ok(WalkSession {
+            topo: topo.clone(),
             g,
+            epoch,
             record: cfg.record_walk,
             cfg: cfg.clone(),
             runner,
-            state: WalkState::new(g.n()),
+            state: WalkState::new(n),
             tree,
             anchor,
             d_est,
             store_lambda: 0,
+            strict_repair: false,
             rounds_bfs,
             rounds_topup: 0,
             topups: 0,
             walks_added: 0,
             walks_discarded: 0,
+            repairs: 0,
+            repair_bfs_reruns: 0,
+            walks_evicted: 0,
         })
     }
 
-    /// The graph under simulation.
-    pub fn graph(&self) -> &'g Graph {
-        self.g
+    /// Brings the session up to the topology's current epoch by
+    /// *incremental repair* (a no-op when already current; every entry
+    /// point calls this first, so explicit calls are only needed to
+    /// observe the [`RepairReport`]):
+    ///
+    /// 1. **Store eviction** — by default only short walks whose
+    ///    recorded trajectories visit a touched node are discarded
+    ///    ([`WalkState::evict_touched`]; survivors are conditioned on
+    ///    avoiding the touched set — approximately exact, see that
+    ///    method's fine print — or the whole store under
+    ///    [`WalkSession::set_strict_repair`]); the resulting
+    ///    per-source deficits feed the next deficit-only top-up wave.
+    /// 2. **BFS repair** — the anchor tree is re-run *only when broken*
+    ///    (a removed edge was a tree edge, or the node count changed);
+    ///    edge additions and non-tree removals keep the tree a valid
+    ///    spanning tree and its depth a valid distance bound, so the
+    ///    cached tree and diameter estimate survive.
+    /// 3. **Lazy weights** — degree-dependent Phase-1 targets and the
+    ///    reservoir weights inside sampling protocols always read the
+    ///    live snapshot, so they refresh by rebinding alone.
+    ///
+    /// Retired node ids (node removals) additionally purge their
+    /// forwarding-log entries network-wide, so a later re-issue of the
+    /// same id can never alias a dead walk during replay.
+    ///
+    /// # Errors
+    ///
+    /// [`WalkError::SourceOutOfRange`] if a delta removed the session's
+    /// anchor, or an engine error from the BFS re-run.
+    pub fn sync(&mut self) -> Result<RepairReport, WalkError> {
+        // One atomic view: a delta applied concurrently with this read
+        // can never slip between the touched union and the snapshot
+        // (either both see it, or neither does and the next sync will).
+        let (current, snapshot, touched) = self.topo.sync_view(self.epoch);
+        if current == self.epoch {
+            return Ok(RepairReport::default());
+        }
+        let epochs = current - self.epoch;
+        let n = snapshot.n();
+        if self.anchor >= n {
+            return Err(WalkError::SourceOutOfRange(self.anchor));
+        }
+        // Evict against the *old* state: a removed node's forwarding log
+        // is the only record of the walks that visited it. Everything up
+        // to the BFS is infallible and idempotent, and the epoch only
+        // commits after the one fallible step (the repair BFS) succeeds
+        // — a failed sync leaves the session retryable, never torn
+        // (`self.tree` still names its own size, so the retry sees the
+        // breakage again).
+        let walks_evicted = if self.strict_repair {
+            self.state.evict_all_stored()
+        } else {
+            self.state.evict_touched(&touched)
+        };
+        if n < self.state.nodes.len() {
+            self.state.purge_sources_at_or_above(n as u32);
+        }
+        self.state.resize(n);
+        self.g = snapshot.clone();
+        self.runner.rebind(snapshot);
+
+        // The tree is broken iff the node set changed or a touched
+        // node's parent edge no longer exists (both endpoints of every
+        // removed edge are touched, so a child-side check covers the
+        // parent side too). Compared against the tree itself, not a
+        // cached node count, so a retried sync re-detects the breakage.
+        let broken = n != self.tree.parent.len()
+            || touched.iter().any(|&u| {
+                u < self.tree.parent.len()
+                    && self.tree.parent[u].is_some_and(|p| !self.g.has_edge(u, p))
+            });
+        let mut rounds = 0;
+        if broken {
+            let before = self.runner.total_rounds();
+            let mut bfs = BfsTreeProtocol::new(self.anchor);
+            self.runner.run(&mut bfs)?;
+            self.tree = bfs.into_tree();
+            self.d_est = self.tree.depth().max(1);
+            rounds = self.runner.total_rounds() - before;
+            self.rounds_bfs += rounds;
+            self.repair_bfs_reruns += 1;
+        }
+        self.epoch = current;
+        self.repairs += 1;
+        self.walks_evicted += walks_evicted as u64;
+        Ok(RepairReport {
+            epochs,
+            touched: touched.len(),
+            walks_evicted,
+            bfs_rerun: broken,
+            rounds,
+        })
+    }
+
+    /// Selects the repair invalidation policy. `false` (default):
+    /// surgical trajectory-based eviction — cheap, approximately exact
+    /// (survivors are conditioned on avoiding the touched set; bias
+    /// bounded by the touched-hit mass). `true`: every stored walk is
+    /// discarded on any epoch change — measure-exact by construction,
+    /// at full Phase-1 relaunch cost (what the rebuild baseline pays).
+    pub fn set_strict_repair(&mut self, strict: bool) {
+        self.strict_repair = strict;
+    }
+
+    /// The shared versioned topology this session observes.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The topology epoch the session is synced to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of repairs ([`WalkSession::sync`] calls that found a
+    /// newer epoch).
+    pub fn repairs(&self) -> u64 {
+        self.repairs
+    }
+
+    /// Number of repairs that had to re-run the anchor BFS.
+    pub fn repair_bfs_reruns(&self) -> u64 {
+        self.repair_bfs_reruns
+    }
+
+    /// Total stored walks evicted by topology repairs so far.
+    pub fn walks_evicted(&self) -> u64 {
+        self.walks_evicted
+    }
+
+    /// The graph snapshot of the epoch the session is synced to.
+    pub fn graph(&self) -> Arc<Graph> {
+        self.g.clone()
     }
 
     /// The session's anchor node (BFS root).
@@ -305,7 +510,7 @@ impl<'g> WalkSession<'g> {
 
     /// The session's runner, for composing further sub-protocols onto
     /// the same round bill (cover checks, histogram upcasts, ...).
-    pub fn runner_mut(&mut self) -> &mut Runner<'g> {
+    pub fn runner_mut(&mut self) -> &mut Runner {
         &mut self.runner
     }
 
@@ -465,6 +670,7 @@ impl<'g> WalkSession<'g> {
         source: NodeId,
         len: u64,
     ) -> Result<SessionWalkOutcome, WalkError> {
+        let _ = self.sync()?;
         if source >= self.g.n() {
             return Err(WalkError::SourceOutOfRange(source));
         }
@@ -500,6 +706,7 @@ impl<'g> WalkSession<'g> {
         sources: &[NodeId],
         len: u64,
     ) -> Result<SessionManyOutcome, WalkError> {
+        let _ = self.sync()?;
         for &s in sources {
             if s >= self.g.n() {
                 return Err(WalkError::SourceOutOfRange(s));
@@ -586,6 +793,7 @@ impl<'g> WalkSession<'g> {
             self.record,
             "extend_recorded requires a session opened with record_walk"
         );
+        let _ = self.sync()?;
         if from >= self.g.n() {
             return Err(WalkError::SourceOutOfRange(from));
         }
@@ -669,6 +877,7 @@ impl<'g> WalkSession<'g> {
         stitch_len: u64,
         specs: &[WaveSpec],
     ) -> Result<WaveOutcome, WalkError> {
+        let _ = self.sync()?;
         for spec in specs {
             if spec.source >= self.g.n() {
                 return Err(WalkError::SourceOutOfRange(spec.source));
@@ -987,6 +1196,188 @@ mod tests {
         assert!(out.walks.is_empty());
         assert_eq!(out.rounds, 0);
         assert_eq!(s.total_rounds(), before);
+    }
+
+    #[test]
+    fn add_only_delta_repairs_without_bfs_rerun() {
+        use crate::params::WalkParams;
+        use drw_graph::{Topology, TopologyDelta};
+        let topo = Topology::new(generators::torus2d(8, 8));
+        // A small lambda keeps short-walk trajectories local, so most of
+        // the store survives a two-node touch.
+        let cfg = SingleWalkConfig {
+            params: WalkParams {
+                lambda_scale: 0.1,
+                eta: 1.0,
+            },
+            ..SingleWalkConfig::default()
+        };
+        let mut s = WalkSession::attach(&topo, 0, &cfg, 5).unwrap();
+        let a = s.many_walks(&[9, 20, 35], 1024).unwrap();
+        assert!(!a.used_naive_fallback);
+        assert!(a.rounds_topup > 0, "first call builds the store");
+        let stored_before = s.state().total_stored();
+        let lambda_before = s.store_lambda();
+
+        // An added chord touches only its endpoints: the BFS tree stays
+        // a valid spanning tree (no repair BFS), and only the walks
+        // whose recorded trajectories visited 0 or 27 are evicted.
+        let report = topo.apply(&TopologyDelta::new().add_edge(0, 27)).unwrap();
+        assert_eq!(report.touched, vec![0, 27]);
+        let repair = s.sync().unwrap();
+        assert_eq!(repair.epochs, 1);
+        assert_eq!(repair.touched, 2);
+        assert!(!repair.bfs_rerun, "additions never break the tree");
+        assert_eq!(repair.rounds, 0);
+        assert!(repair.walks_evicted > 0, "walks through node 0 are stale");
+        assert!(
+            repair.walks_evicted < stored_before,
+            "eviction is surgical ({} of {stored_before})",
+            repair.walks_evicted
+        );
+        assert_eq!(s.store_lambda(), lambda_before, "regime survives churn");
+        assert_eq!(s.epoch(), 1);
+        assert_eq!(s.repair_bfs_reruns(), 0);
+
+        // The next call serves on the mutated snapshot; its top-up only
+        // covers the eviction deficit, never a rebuild.
+        let b = s.many_walks(&[9, 20, 35], 1024).unwrap();
+        assert!(!b.used_naive_fallback);
+        assert!(
+            b.rounds_topup <= a.rounds_topup,
+            "deficit top-up must not exceed the cold build"
+        );
+    }
+
+    #[test]
+    fn strict_repair_wipes_the_store() {
+        use drw_graph::{Topology, TopologyDelta};
+        let topo = Topology::new(generators::torus2d(6, 6));
+        let mut s = WalkSession::attach(&topo, 0, &SingleWalkConfig::default(), 5).unwrap();
+        s.set_strict_repair(true);
+        s.many_walks(&[0, 9], 512).unwrap();
+        let stored = s.state().total_stored();
+        assert!(stored > 0);
+        let _ = topo.apply(&TopologyDelta::new().add_edge(14, 27)).unwrap();
+        let repair = s.sync().unwrap();
+        assert_eq!(repair.walks_evicted, stored, "strict repair keeps nothing");
+        assert_eq!(s.state().total_stored(), 0);
+        // The next serving relaunches from scratch — exact by
+        // construction, priced like the rebuild baseline's Phase 1.
+        let r = s.many_walks(&[0, 9], 512).unwrap();
+        assert!(r.rounds_topup > 0);
+    }
+
+    #[test]
+    fn tree_edge_removal_forces_bfs_rerun() {
+        use drw_graph::{Topology, TopologyDelta};
+        let topo = Topology::new(generators::torus2d(6, 6));
+        let mut s = WalkSession::attach(&topo, 0, &SingleWalkConfig::default(), 7).unwrap();
+        s.single_walk(0, 512).unwrap();
+        // Node 1's BFS parent is the anchor 0 (distance 1), so removing
+        // {0, 1} breaks a tree edge; the torus minus one edge stays
+        // connected.
+        assert_eq!(s.tree().parent[1], Some(0));
+        let _ = topo.apply(&TopologyDelta::new().remove_edge(0, 1)).unwrap();
+        let repair = s.sync().unwrap();
+        assert!(repair.bfs_rerun, "a broken tree edge must re-run BFS");
+        assert!(repair.rounds > 0, "the repair BFS is billed");
+        assert_eq!(s.repair_bfs_reruns(), 1);
+        assert!(!s.graph().has_edge(0, 1));
+        // Walks still work on the mutated graph and never use the
+        // removed edge: removal-only deltas keep the torus bipartite,
+        // so the parity law still holds.
+        let r = s.single_walk(0, 512).unwrap();
+        assert_eq!(parity(0, 6), parity(r.destination, 6));
+    }
+
+    #[test]
+    fn recorded_walks_respect_the_mutated_edge_set() {
+        use drw_graph::{Topology, TopologyDelta};
+        let topo = Topology::new(generators::torus2d(5, 5));
+        let cfg = SingleWalkConfig {
+            record_walk: true,
+            ..SingleWalkConfig::default()
+        };
+        let mut s = WalkSession::attach(&topo, 0, &cfg, 13).unwrap();
+        let e1 = s.extend_recorded(0, 300, 0).unwrap();
+        let _ = topo
+            .apply(&TopologyDelta::new().remove_edge(0, 1).add_edge(0, 12))
+            .unwrap();
+        let e2 = s.extend_recorded(e1.destination, 300, 300).unwrap();
+        // Reconstruct the post-delta extension and check every hop is an
+        // edge of the *new* snapshot.
+        let g = s.graph();
+        let mut state = WalkState::new(g.n());
+        state.record_visit(0, 0, None);
+        for (node, v) in e1.visits.iter().chain(&e2.visits) {
+            state.record_visit(*node, v.pos, v.pred);
+        }
+        let walk = state.reconstruct_walk(600);
+        // Only the post-delta extension must respect the new edge set
+        // (the first extension legitimately walked the old graph).
+        for w in walk[300..].windows(2) {
+            assert!(g.has_edge(w[0], w[1]), "non-edge {}-{}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn node_join_and_leave_through_the_session() {
+        use drw_graph::{Topology, TopologyDelta};
+        let topo = Topology::new(generators::cycle(6));
+        let mut s = WalkSession::attach(&topo, 0, &SingleWalkConfig::default(), 3).unwrap();
+        s.single_walk(0, 64).unwrap();
+
+        // Join: node 6 arrives with two links.
+        let _ = topo
+            .apply(
+                &TopologyDelta::new()
+                    .add_node()
+                    .add_edge(6, 0)
+                    .add_edge(6, 3),
+            )
+            .unwrap();
+        let repair = s.sync().unwrap();
+        assert!(repair.bfs_rerun, "node count changed");
+        assert_eq!(s.state().nodes.len(), 7);
+        let r = s.single_walk(6, 65).unwrap();
+        assert!(r.destination < 7);
+
+        // Leave: strip node 6 and remove it; the session shrinks back.
+        let _ = topo
+            .apply(
+                &TopologyDelta::new()
+                    .remove_edge(6, 0)
+                    .remove_edge(6, 3)
+                    .remove_node(6),
+            )
+            .unwrap();
+        let repair = s.sync().unwrap();
+        assert!(repair.bfs_rerun);
+        assert_eq!(s.state().nodes.len(), 6);
+        let r = s.single_walk(0, 64).unwrap();
+        assert!(r.destination < 6);
+        assert!(
+            matches!(s.single_walk(6, 8), Err(WalkError::SourceOutOfRange(6))),
+            "requests naming the departed node are rejected"
+        );
+    }
+
+    #[test]
+    fn anchor_removal_is_a_typed_error() {
+        use drw_graph::{Topology, TopologyDelta};
+        let topo = Topology::new(generators::cycle(4));
+        let mut s = WalkSession::attach(&topo, 3, &SingleWalkConfig::default(), 1).unwrap();
+        let _ = topo
+            .apply(
+                &TopologyDelta::new()
+                    .add_edge(0, 2)
+                    .remove_edge(2, 3)
+                    .remove_edge(3, 0)
+                    .remove_node(3),
+            )
+            .unwrap();
+        assert!(matches!(s.sync(), Err(WalkError::SourceOutOfRange(3))));
     }
 
     #[test]

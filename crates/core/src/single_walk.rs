@@ -32,6 +32,7 @@ use drw_congest::primitives::BfsTreeProtocol;
 use drw_congest::{EngineConfig, RunError, Runner};
 use drw_graph::{traversal, Graph, NodeId};
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors from the walk drivers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -333,7 +334,7 @@ pub struct StitchPrefix {
 ///
 /// Propagates engine errors.
 pub fn stitch_prefix(
-    runner: &mut Runner<'_>,
+    runner: &mut Runner,
     state: &mut WalkState,
     source: NodeId,
     len: u64,
@@ -402,7 +403,7 @@ pub fn stitch_prefix(
 ///
 /// Propagates engine errors.
 pub fn stitch_walk(
-    runner: &mut Runner<'_>,
+    runner: &mut Runner,
     state: &mut WalkState,
     source: NodeId,
     len: u64,
@@ -497,7 +498,7 @@ pub fn single_random_walk(
 /// [`crate::Request::Walk`] (and hence [`single_random_walk`]): own
 /// runner, own BFS, own Phase 1.
 pub(crate) fn single_walk_one_shot(
-    g: &Graph,
+    g: &Arc<Graph>,
     source: NodeId,
     len: u64,
     cfg: &SingleWalkConfig,
@@ -509,7 +510,7 @@ pub(crate) fn single_walk_one_shot(
     if !traversal::is_connected(g) {
         return Err(WalkError::Disconnected);
     }
-    let mut runner = Runner::new(g, cfg.engine.clone(), seed);
+    let mut runner = Runner::on(g.clone(), cfg.engine.clone(), seed);
     let mut state = WalkState::new(g.n());
     let mut connector_visits = vec![0u32; g.n()];
 

@@ -80,6 +80,25 @@ impl ForwardLog {
             .map(|&(_, _, _, next)| next)
     }
 
+    /// Iterator over the identities `(source, seq)` of every walk this
+    /// node ever forwarded — how topology repair discovers which stored
+    /// walks' trajectories visited a touched node (duplicates possible:
+    /// a walk may revisit).
+    pub fn logged_walks(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.entries.iter().map(|&(s, q, _, _)| (s, q))
+    }
+
+    /// Removes every entry logged for walks launched by sources with id
+    /// `>= first_retired` — one pass for an entire block of retired
+    /// nodes. Needed when node ids are retired and later reissued by
+    /// the versioned topology: a reissued node restarts its sequence
+    /// numbers at 0, and a stale `(source, seq, step)` entry from the
+    /// retired node would otherwise shadow the new walk's during replay
+    /// (lookups return the first match).
+    pub fn purge_sources_at_or_above(&mut self, first_retired: u32) {
+        self.entries.retain(|&(s, _, _, _)| s < first_retired);
+    }
+
     /// Number of logged decisions.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -286,6 +305,92 @@ impl WalkState {
         dropped
     }
 
+    /// Resizes the per-node state to an `n`-node network after a
+    /// topology delta: added nodes get fresh empty state (their RNG
+    /// streams and sequence counters start untouched), removed nodes'
+    /// state is dropped. Callers must evict touched walks *before*
+    /// truncating (a removed node's forwarding log is the only record
+    /// of which stored walks visited it) — see
+    /// [`WalkState::evict_touched`].
+    pub fn resize(&mut self, n: usize) {
+        self.nodes.resize_with(n, NodeWalkState::default);
+    }
+
+    /// Evicts every stored (unused) walk whose recorded trajectory
+    /// visits a node in `touched`, returning how many were dropped.
+    ///
+    /// This is the default store-repair rule for topology deltas: a
+    /// walk's path probability factors over the nodes it visited, and
+    /// transitions at untouched nodes are unchanged, so a surviving
+    /// walk's path has the same probability under the new graph's law.
+    /// Walks through touched nodes are unconditionally stale and must
+    /// go. Note the statistical fine print, though: *selecting* on the
+    /// trajectory conditions the pool — survivors are distributed as
+    /// the new law **conditioned on avoiding the touched set**, so a
+    /// uniform draw from a store mixing survivors with fresh
+    /// (unconditioned) walks carries a per-segment bias of at most the
+    /// law's touched-hit mass in total variation. The bias vanishes as
+    /// the delta's footprint shrinks relative to the short-walk range
+    /// and is diluted by every fresh top-up/`GET-MORE-WALKS` launch;
+    /// callers that need measure-exact post-churn sampling use
+    /// [`WalkState::evict_all_stored`] instead (the session's strict
+    /// repair mode), paying a full relaunch.
+    ///
+    /// Trajectories are recovered locally: a touched node's forwarding
+    /// log names every walk that passed through it (the source logs
+    /// step 0, every intermediate holder logs its hop), and walks
+    /// *stored at* a touched node visited it as their endpoint.
+    /// Non-replayable walks (aggregated `GET-MORE-WALKS`) carry no
+    /// trajectory record, so they are evicted conservatively whenever
+    /// anything was touched.
+    ///
+    /// Eviction is local and free in CONGEST terms (every decision
+    /// reads state the owning node already holds); the resulting
+    /// per-source deficits feed the session's next
+    /// [`crate::ShortWalksProtocol::top_up`] wave.
+    pub fn evict_touched(&mut self, touched: &[NodeId]) -> usize {
+        if touched.is_empty() {
+            return 0;
+        }
+        let mut doomed: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+        for &t in touched {
+            let Some(ns) = self.nodes.get(t) else {
+                continue; // an added node this state never grew to
+            };
+            doomed.extend(ns.forward.logged_walks());
+            doomed.extend(ns.store.iter().map(|w| (w.id.source, w.id.seq)));
+        }
+        let mut dropped = 0;
+        for ns in &mut self.nodes {
+            let before = ns.store.len();
+            ns.store
+                .retain(|w| w.replayable && !doomed.contains(&(w.id.source, w.id.seq)));
+            dropped += before - ns.store.len();
+        }
+        dropped
+    }
+
+    /// Discards every stored (unused) walk — the strict-repair
+    /// invalidation: unbiased by construction (nothing survives to be
+    /// conditioned on), at the price of a full Phase-1 relaunch.
+    pub fn evict_all_stored(&mut self) -> usize {
+        let mut dropped = 0;
+        for ns in &mut self.nodes {
+            dropped += ns.store.len();
+            ns.store.clear();
+        }
+        dropped
+    }
+
+    /// Removes every forwarding-log entry for walks launched by sources
+    /// `>= first_retired`, network-wide, in one pass (see
+    /// [`ForwardLog::purge_sources_at_or_above`]).
+    pub fn purge_sources_at_or_above(&mut self, first_retired: u32) {
+        for ns in &mut self.nodes {
+            ns.forward.purge_sources_at_or_above(first_retired);
+        }
+    }
+
     /// Removes and returns every recorded visit as `(node, visit)`
     /// pairs, leaving the per-node visit lists empty. Used by the
     /// session's recorded walk extension so each extension's visits can
@@ -399,6 +504,82 @@ mod tests {
         assert_eq!(s.outstanding_by_source(), vec![2, 0, 1]);
         s.take_walk(1, 0);
         assert_eq!(s.outstanding_by_source(), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn evict_touched_drops_exactly_the_walks_through_touched_nodes() {
+        // Three replayable walks with hand-written trajectories on a
+        // 5-node network:
+        //   A = (0, 0): 0 -> 1 -> 2   (stored at 2)
+        //   B = (0, 1): 0 -> 3 -> 4   (stored at 4)
+        //   C = (3, 0): 3 -> 4        (stored at 4)
+        let mut s = WalkState::new(5);
+        s.nodes[0].log_forward(0, 0, 0, 1);
+        s.nodes[1].log_forward(0, 0, 1, 2);
+        s.store_walk(2, WalkId { source: 0, seq: 0 }, 2, true);
+        s.nodes[0].log_forward(0, 1, 0, 3);
+        s.nodes[3].log_forward(0, 1, 1, 4);
+        s.store_walk(4, WalkId { source: 0, seq: 1 }, 2, true);
+        s.nodes[3].log_forward(3, 0, 0, 4);
+        s.store_walk(4, WalkId { source: 3, seq: 0 }, 1, true);
+
+        // Touching node 1 kills only A (B and C never visit it).
+        assert_eq!(s.evict_touched(&[1]), 1);
+        assert_eq!(s.outstanding_by_source(), vec![1, 0, 0, 1, 0]);
+
+        // Touching node 3 kills B (intermediate hop) and C (source).
+        assert_eq!(s.evict_touched(&[3]), 2);
+        assert_eq!(s.total_stored(), 0);
+    }
+
+    #[test]
+    fn evict_touched_is_conservative_for_nonreplayable_walks() {
+        let mut s = WalkState::new(3);
+        s.store_walk(1, WalkId { source: 0, seq: 0 }, 4, false);
+        // Unknown trajectory: any touched node evicts it.
+        assert_eq!(s.evict_touched(&[2]), 1);
+        // An untouched epoch evicts nothing.
+        let mut s = WalkState::new(3);
+        s.store_walk(1, WalkId { source: 0, seq: 0 }, 4, false);
+        assert_eq!(s.evict_touched(&[]), 0);
+        assert_eq!(s.total_stored(), 1);
+    }
+
+    #[test]
+    fn evict_touched_catches_endpoint_only_visits() {
+        // A walk whose only brush with the touched node is being stored
+        // there (the endpoint logs nothing).
+        let mut s = WalkState::new(3);
+        s.nodes[0].log_forward(0, 0, 0, 2);
+        s.store_walk(2, WalkId { source: 0, seq: 0 }, 1, true);
+        assert_eq!(s.evict_touched(&[2]), 1);
+    }
+
+    #[test]
+    fn resize_grows_with_fresh_state_and_truncates() {
+        let mut s = WalkState::new(2);
+        s.store_walk(1, WalkId { source: 0, seq: 0 }, 4, true);
+        s.resize(4);
+        assert_eq!(s.nodes.len(), 4);
+        assert_eq!(s.nodes[3].next_seq, 0);
+        assert_eq!(s.total_stored(), 1);
+        s.resize(1);
+        assert_eq!(s.total_stored(), 0, "stores at removed nodes vanish");
+        assert_eq!(s.outstanding_by_source(), vec![0]);
+    }
+
+    #[test]
+    fn purge_retired_sources_removes_only_the_retired_block() {
+        let mut s = WalkState::new(3);
+        s.nodes[0].log_forward(1, 0, 0, 1);
+        s.nodes[0].log_forward(0, 0, 0, 1);
+        s.nodes[1].log_forward(2, 3, 2, 0);
+        s.purge_sources_at_or_above(1);
+        assert_eq!(s.nodes[0].forward.len(), 1);
+        assert!(s.nodes[1].forward.is_empty());
+        assert_eq!(s.nodes[0].forward.get(0, 0, 0), Some(1));
+        assert_eq!(s.nodes[0].forward.get(1, 0, 0), None);
+        assert_eq!(s.nodes[1].forward.get(2, 3, 2), None);
     }
 
     #[test]

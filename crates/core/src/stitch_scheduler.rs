@@ -1035,7 +1035,7 @@ impl StitchScheduler {
     /// with an unfinished walk (a protocol invariant violation).
     pub fn run(
         self,
-        runner: &mut Runner<'_>,
+        runner: &mut Runner,
         state: &mut WalkState,
     ) -> Result<BatchedStitchOutcome, WalkError> {
         let n = runner.graph().n();
@@ -1122,7 +1122,7 @@ mod tests {
     use drw_congest::{EngineConfig, Runner};
     use drw_graph::generators;
 
-    fn phase1(runner: &mut Runner<'_>, state: &mut WalkState, per_node: usize, lambda: u32) {
+    fn phase1(runner: &mut Runner, state: &mut WalkState, per_node: usize, lambda: u32) {
         let counts = vec![per_node; runner.graph().n()];
         let mut p1 = ShortWalksProtocol::new(state, counts, lambda, true);
         runner.run_local(&mut p1).expect("phase 1");

@@ -22,6 +22,36 @@ pub enum GraphError {
     ),
     /// A graph with zero nodes was requested.
     Empty,
+    /// A topology delta tried to add an edge that already exists.
+    DuplicateEdge {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
+    /// A topology delta tried to remove an edge that does not exist.
+    MissingEdge {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
+    /// A topology delta tried to remove a node that still has edges.
+    NodeNotIsolated(
+        /// The non-isolated node.
+        usize,
+    ),
+    /// A topology delta tried to remove a node other than the
+    /// highest-numbered one (node ids stay dense `0..n`).
+    NodeNotLast {
+        /// The node whose removal was requested.
+        node: usize,
+        /// Node count at the time the op applied.
+        n: usize,
+    },
+    /// A topology delta would leave the graph disconnected — rejected,
+    /// because the walk stack's standing assumption is connectivity.
+    Disconnects,
 }
 
 impl fmt::Display for GraphError {
@@ -32,6 +62,23 @@ impl fmt::Display for GraphError {
             }
             GraphError::SelfLoop(v) => write!(f, "self loop at node {v}"),
             GraphError::Empty => write!(f, "graph must have at least one node"),
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "edge {{{u}, {v}}} already exists")
+            }
+            GraphError::MissingEdge { u, v } => {
+                write!(f, "edge {{{u}, {v}}} does not exist")
+            }
+            GraphError::NodeNotIsolated(v) => {
+                write!(f, "node {v} still has edges and cannot be removed")
+            }
+            GraphError::NodeNotLast { node, n } => write!(
+                f,
+                "only the highest-numbered node ({}) can be removed, not {node}",
+                n - 1
+            ),
+            GraphError::Disconnects => {
+                write!(f, "delta would disconnect the graph")
+            }
         }
     }
 }

@@ -6,6 +6,9 @@
 //! - [`Graph`] — an immutable compressed-sparse-row graph with sorted
 //!   adjacency, O(1) directed-edge indexing and reverse-edge lookup (the
 //!   CONGEST simulator charges bandwidth per *directed* edge);
+//! - [`Topology`] — the versioned, mutable handle over the CSR for
+//!   dynamic-network scenarios: batched [`TopologyDelta`]s, epoch
+//!   stamps, per-epoch touched-node reports ([`EpochReport`]);
 //! - [`generators`] — the graph families used by the paper and its
 //!   experiments: paths, cycles, cliques, stars, binary trees, grids/tori,
 //!   hypercubes, Erdős–Rényi, random regular (expanders), random geometric
@@ -40,6 +43,8 @@ pub mod generators;
 mod graph;
 pub mod matrix_tree;
 pub mod spectral;
+mod topology;
 pub mod traversal;
 
 pub use graph::{Graph, GraphBuilder, GraphError, NodeId};
+pub use topology::{DeltaOp, EpochReport, Topology, TopologyDelta};

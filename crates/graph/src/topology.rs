@@ -1,0 +1,604 @@
+//! The versioned, mutable topology handle over the CSR graph.
+//!
+//! The paper's walk machinery is specified on a static graph, but its
+//! motivating deployments — token management, load balancing, peer
+//! sampling in P2P and ad-hoc overlays — live on networks that *churn*:
+//! peers join, links fail, links form. [`Topology`] is the substrate
+//! for that setting: an epoch-stamped, shareable handle whose current
+//! graph is an immutable CSR snapshot ([`Topology::snapshot`]), mutated
+//! only through batched [`TopologyDelta`]s.
+//!
+//! # Delta lifecycle
+//!
+//! 1. A client builds a [`TopologyDelta`] (any mix of edge additions,
+//!    edge removals, node additions and isolated-node removals; ops
+//!    apply in order).
+//! 2. [`Topology::apply`] validates the whole delta — endpoints in
+//!    range, no self loops, no duplicate additions, no phantom
+//!    removals, node removals only for isolated, highest-numbered nodes
+//!    (node ids stay dense `0..n`), and the resulting graph must remain
+//!    connected ([`GraphError::Disconnects`]). A rejected delta changes
+//!    *nothing*: application is transactional.
+//! 3. On success the epoch advances by one, a fresh CSR snapshot is
+//!    installed, and the [`EpochReport`] names every **touched** node —
+//!    the endpoints of added/removed edges plus added/removed node ids
+//!    (removed ids are relative to the pre-shrink numbering). Touched
+//!    sets are retained per epoch so a consumer that lags several
+//!    epochs can ask for their union ([`Topology::touched_since`]).
+//!
+//! Consumers (the congest `Runner`, `drw-core`'s `WalkSession` and
+//! `Network`) hold a clone of the handle, compare their synced epoch
+//! against [`Topology::epoch`], and repair incrementally from the
+//! touched union instead of rebuilding — see `DESIGN.md`'s "Versioned
+//! topology" section.
+//!
+//! # Example
+//!
+//! ```
+//! use drw_graph::{generators, Topology, TopologyDelta};
+//!
+//! # fn main() -> Result<(), drw_graph::GraphError> {
+//! let topo = Topology::new(generators::cycle(6));
+//! let report = topo.apply(&TopologyDelta::new().add_edge(0, 3))?;
+//! assert_eq!(report.epoch, 1);
+//! assert_eq!(report.touched, vec![0, 3]);
+//! assert_eq!(topo.snapshot().m(), 7);
+//! // Removing a cycle edge of the augmented graph keeps it connected...
+//! topo.apply(&TopologyDelta::new().remove_edge(1, 2))?;
+//! // ...but a delta that would isolate node 1 is rejected atomically.
+//! let err = topo
+//!     .apply(&TopologyDelta::new().remove_edge(0, 1))
+//!     .unwrap_err();
+//! assert_eq!(err, drw_graph::GraphError::Disconnects);
+//! assert_eq!(topo.epoch(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::graph::{Graph, GraphError, NodeId};
+use crate::traversal;
+use std::collections::BTreeSet;
+use std::sync::{Arc, RwLock};
+
+/// One atomic mutation within a [`TopologyDelta`]. Ops apply in order,
+/// so a delta may remove a node's last edges and then the node itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// Add the undirected edge `{u, v}`.
+    AddEdge(NodeId, NodeId),
+    /// Remove the undirected edge `{u, v}`.
+    RemoveEdge(NodeId, NodeId),
+    /// Add a fresh node; it receives the next dense id (`n` at the time
+    /// the op applies). The delta must also connect it, or the final
+    /// connectivity check rejects the whole delta.
+    AddNode,
+    /// Remove node `v`. It must be isolated at the time the op applies
+    /// and must be the highest-numbered node (ids stay dense `0..n`).
+    RemoveNode(NodeId),
+}
+
+/// A batch of topology mutations, applied transactionally by
+/// [`Topology::apply`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TopologyDelta {
+    ops: Vec<DeltaOp>,
+}
+
+impl TopologyDelta {
+    /// An empty delta (applying it advances the epoch but touches
+    /// nothing).
+    pub fn new() -> Self {
+        TopologyDelta::default()
+    }
+
+    /// Appends an edge addition.
+    pub fn add_edge(mut self, u: NodeId, v: NodeId) -> Self {
+        self.ops.push(DeltaOp::AddEdge(u, v));
+        self
+    }
+
+    /// Appends an edge removal.
+    pub fn remove_edge(mut self, u: NodeId, v: NodeId) -> Self {
+        self.ops.push(DeltaOp::RemoveEdge(u, v));
+        self
+    }
+
+    /// Appends a node addition (the new node gets the next dense id).
+    pub fn add_node(mut self) -> Self {
+        self.ops.push(DeltaOp::AddNode);
+        self
+    }
+
+    /// Appends the removal of the isolated, highest-numbered node `v`.
+    pub fn remove_node(mut self, v: NodeId) -> Self {
+        self.ops.push(DeltaOp::RemoveNode(v));
+        self
+    }
+
+    /// Appends an arbitrary op.
+    pub fn push(&mut self, op: DeltaOp) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// The ops, in application order.
+    pub fn ops(&self) -> &[DeltaOp] {
+        &self.ops
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the delta contains no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// What one successful [`Topology::apply`] did. Consumers holding
+/// derived state (BFS trees, walk stores, degree-dependent weights)
+/// must repair against [`EpochReport::touched`] before serving the new
+/// epoch, which is why dropping the report unread is almost always a
+/// bug.
+#[must_use = "the report names the touched nodes sessions must repair against"]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochReport {
+    /// The epoch this delta produced (the first delta produces 1).
+    pub epoch: u64,
+    /// Every node touched by the delta, sorted and deduplicated:
+    /// endpoints of added/removed edges, added node ids, and removed
+    /// node ids (relative to the pre-shrink numbering, so they may be
+    /// `>= n`).
+    pub touched: Vec<NodeId>,
+    /// Edges added.
+    pub edges_added: usize,
+    /// Edges removed.
+    pub edges_removed: usize,
+    /// Nodes added.
+    pub nodes_added: usize,
+    /// Nodes removed.
+    pub nodes_removed: usize,
+    /// Node count after the delta.
+    pub n: usize,
+    /// Undirected edge count after the delta.
+    pub m: usize,
+}
+
+/// How many per-epoch touched sets the handle retains. A consumer that
+/// lags further than this behind the current epoch gets the
+/// conservative "everything touched" union instead — full store
+/// eviction, still correct — which is what keeps a long-lived churning
+/// topology's memory bounded.
+const TOUCHED_LOG_WINDOW: usize = 64;
+
+#[derive(Debug)]
+struct TopoInner {
+    graph: Arc<Graph>,
+    epoch: u64,
+    /// `touched_log[i]` is the touched set of epoch `log_base + i + 1`;
+    /// entries older than [`TOUCHED_LOG_WINDOW`] are compacted away.
+    touched_log: Vec<Vec<NodeId>>,
+    /// Epoch of the entry *before* `touched_log[0]` (0 while nothing
+    /// has been compacted).
+    log_base: u64,
+    /// Largest node count ever reached — the conservative fallback must
+    /// name retired ids too, or consumers holding state keyed by a
+    /// departed id would never purge it.
+    max_n: usize,
+}
+
+impl TopoInner {
+    /// The sorted union of every touched set of epochs strictly after
+    /// `epoch`, falling back to every node id that *ever* existed
+    /// (`0..max_n`) when `epoch` predates the retained window — so even
+    /// the fallback names retired ids, as the per-epoch sets do.
+    fn touched_union(&self, epoch: u64) -> Vec<NodeId> {
+        if epoch >= self.epoch {
+            return Vec::new();
+        }
+        if epoch < self.log_base {
+            return (0..self.max_n.max(self.graph.n())).collect();
+        }
+        let from = (epoch - self.log_base) as usize;
+        let mut set = BTreeSet::new();
+        for touched in &self.touched_log[from..] {
+            set.extend(touched.iter().copied());
+        }
+        set.into_iter().collect()
+    }
+}
+
+/// An epoch-stamped, shareable handle over a mutable graph (see the
+/// module docs). Cloning is cheap and clones observe the same
+/// underlying topology.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    inner: Arc<RwLock<TopoInner>>,
+}
+
+impl Topology {
+    /// Wraps `graph` as epoch 0 of a versioned topology.
+    pub fn new(graph: Graph) -> Self {
+        Topology::from_shared(Arc::new(graph))
+    }
+
+    /// Wraps an already-shared snapshot as epoch 0 — no CSR copy.
+    pub fn from_shared(graph: Arc<Graph>) -> Self {
+        let max_n = graph.n();
+        Topology {
+            inner: Arc::new(RwLock::new(TopoInner {
+                graph,
+                epoch: 0,
+                touched_log: Vec::new(),
+                log_base: 0,
+                max_n,
+            })),
+        }
+    }
+
+    /// Builds epoch 0 from an explicit edge list
+    /// (see [`Graph::from_edges`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Graph::from_edges`].
+    pub fn from_edges<I: IntoIterator<Item = (NodeId, NodeId)>>(
+        n: usize,
+        edges: I,
+    ) -> Result<Self, GraphError> {
+        Ok(Topology::new(Graph::from_edges(n, edges)?))
+    }
+
+    /// The current immutable CSR snapshot. Holding the `Arc` pins this
+    /// epoch's graph; later deltas install fresh snapshots without
+    /// invalidating it.
+    pub fn snapshot(&self) -> Arc<Graph> {
+        self.inner.read().expect("topology lock").graph.clone()
+    }
+
+    /// The current epoch (0 until the first successful delta).
+    pub fn epoch(&self) -> u64 {
+        self.inner.read().expect("topology lock").epoch
+    }
+
+    /// Current node count.
+    pub fn n(&self) -> usize {
+        self.snapshot().n()
+    }
+
+    /// Current undirected edge count.
+    pub fn m(&self) -> usize {
+        self.snapshot().m()
+    }
+
+    /// The sorted union of every touched set of epochs strictly after
+    /// `epoch` — what a consumer synced at `epoch` must repair against.
+    /// Removed-node ids may be `>= n` of the current snapshot (they
+    /// refer to the numbering in force when they were touched). A
+    /// consumer lagging past the retained window (64 epochs) gets every
+    /// current node — conservative, still correct.
+    pub fn touched_since(&self, epoch: u64) -> Vec<NodeId> {
+        self.inner
+            .read()
+            .expect("topology lock")
+            .touched_union(epoch)
+    }
+
+    /// Atomic repair view for a consumer synced at `since_epoch`: the
+    /// current epoch, its snapshot, and the touched union strictly
+    /// after `since_epoch` — read under **one** lock acquisition, so a
+    /// concurrent [`Topology::apply`] can never wedge itself between
+    /// the touched union and the snapshot (which would let a consumer
+    /// serve the new graph without having evicted the new epoch's
+    /// touched walks).
+    pub fn sync_view(&self, since_epoch: u64) -> (u64, Arc<Graph>, Vec<NodeId>) {
+        let inner = self.inner.read().expect("topology lock");
+        (
+            inner.epoch,
+            inner.graph.clone(),
+            inner.touched_union(since_epoch),
+        )
+    }
+
+    /// Applies `delta` transactionally: validates every op in order,
+    /// checks the resulting graph stays connected, and only then
+    /// installs the new snapshot and advances the epoch.
+    ///
+    /// # Errors
+    ///
+    /// - [`GraphError::NodeOutOfRange`] / [`GraphError::SelfLoop`] for
+    ///   malformed edges;
+    /// - [`GraphError::DuplicateEdge`] adding an existing edge;
+    /// - [`GraphError::MissingEdge`] removing a non-edge;
+    /// - [`GraphError::NodeNotIsolated`] / [`GraphError::NodeNotLast`]
+    ///   for invalid node removals, [`GraphError::Empty`] removing the
+    ///   last node;
+    /// - [`GraphError::Disconnects`] if the final graph is
+    ///   disconnected (the walk stack's standing assumption).
+    ///
+    /// On error the topology is unchanged.
+    pub fn apply(&self, delta: &TopologyDelta) -> Result<EpochReport, GraphError> {
+        let mut inner = self.inner.write().expect("topology lock");
+        let mut n = inner.graph.n();
+        // The working edge set, sorted and normalized (`u <= v`), so op
+        // validation is a binary search.
+        let mut edges: Vec<(u32, u32)> = inner
+            .graph
+            .edges()
+            .map(|(u, v)| (u as u32, v as u32))
+            .collect();
+        let mut touched = BTreeSet::new();
+        let (mut ea, mut er, mut na, mut nr) = (0usize, 0usize, 0usize, 0usize);
+        for &op in delta.ops() {
+            match op {
+                DeltaOp::AddEdge(u, v) | DeltaOp::RemoveEdge(u, v) => {
+                    if u >= n {
+                        return Err(GraphError::NodeOutOfRange { node: u, n });
+                    }
+                    if v >= n {
+                        return Err(GraphError::NodeOutOfRange { node: v, n });
+                    }
+                    if u == v {
+                        return Err(GraphError::SelfLoop(u));
+                    }
+                    let key = if u <= v {
+                        (u as u32, v as u32)
+                    } else {
+                        (v as u32, u as u32)
+                    };
+                    match (edges.binary_search(&key), op) {
+                        (Ok(_), DeltaOp::AddEdge(..)) => {
+                            return Err(GraphError::DuplicateEdge { u, v });
+                        }
+                        (Err(idx), DeltaOp::AddEdge(..)) => {
+                            edges.insert(idx, key);
+                            ea += 1;
+                        }
+                        (Ok(idx), DeltaOp::RemoveEdge(..)) => {
+                            edges.remove(idx);
+                            er += 1;
+                        }
+                        (Err(_), DeltaOp::RemoveEdge(..)) => {
+                            return Err(GraphError::MissingEdge { u, v });
+                        }
+                        _ => unreachable!("op is an edge op"),
+                    }
+                    touched.insert(u);
+                    touched.insert(v);
+                }
+                DeltaOp::AddNode => {
+                    touched.insert(n);
+                    n += 1;
+                    na += 1;
+                }
+                DeltaOp::RemoveNode(v) => {
+                    if v >= n {
+                        return Err(GraphError::NodeOutOfRange { node: v, n });
+                    }
+                    if v + 1 != n {
+                        return Err(GraphError::NodeNotLast { node: v, n });
+                    }
+                    if edges
+                        .iter()
+                        .any(|&(a, b)| a as usize == v || b as usize == v)
+                    {
+                        return Err(GraphError::NodeNotIsolated(v));
+                    }
+                    if n == 1 {
+                        return Err(GraphError::Empty);
+                    }
+                    touched.insert(v);
+                    n -= 1;
+                    nr += 1;
+                }
+            }
+        }
+        let graph = Graph::from_edges(n, edges.iter().map(|&(u, v)| (u as usize, v as usize)))?;
+        if !traversal::is_connected(&graph) {
+            return Err(GraphError::Disconnects);
+        }
+        inner.epoch += 1;
+        // Peak node count of the delta: every id in 0..n existed at the
+        // end, and each removal retired the then-highest id, so the peak
+        // is bounded by n + removals.
+        inner.max_n = inner.max_n.max(n + nr);
+        let touched: Vec<NodeId> = touched.into_iter().collect();
+        inner.touched_log.push(touched.clone());
+        if inner.touched_log.len() > TOUCHED_LOG_WINDOW {
+            let excess = inner.touched_log.len() - TOUCHED_LOG_WINDOW;
+            inner.touched_log.drain(..excess);
+            inner.log_base += excess as u64;
+        }
+        inner.graph = Arc::new(graph);
+        Ok(EpochReport {
+            epoch: inner.epoch,
+            touched,
+            edges_added: ea,
+            edges_removed: er,
+            nodes_added: na,
+            nodes_removed: nr,
+            n,
+            m: inner.graph.m(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn edge_churn_round_trips_the_csr() {
+        let topo = Topology::new(generators::torus2d(4, 4));
+        let r = topo
+            .apply(&TopologyDelta::new().add_edge(0, 5).remove_edge(0, 1))
+            .unwrap();
+        assert_eq!(r.epoch, 1);
+        assert_eq!(r.touched, vec![0, 1, 5]);
+        assert_eq!((r.edges_added, r.edges_removed), (1, 1));
+        let g = topo.snapshot();
+        assert!(g.has_edge(0, 5));
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(g.m(), 32);
+        // The snapshot equals a from-scratch build of the same edge set.
+        let scratch = Graph::from_edges(16, g.edges().collect::<Vec<_>>()).unwrap();
+        assert_eq!(*g, scratch);
+    }
+
+    #[test]
+    fn rejected_deltas_change_nothing() {
+        let topo = Topology::new(generators::path(4));
+        let before = topo.snapshot();
+        for (delta, want) in [
+            (
+                TopologyDelta::new().add_edge(0, 1),
+                GraphError::DuplicateEdge { u: 0, v: 1 },
+            ),
+            (
+                TopologyDelta::new().remove_edge(0, 2),
+                GraphError::MissingEdge { u: 0, v: 2 },
+            ),
+            (TopologyDelta::new().add_edge(1, 1), GraphError::SelfLoop(1)),
+            (
+                TopologyDelta::new().add_edge(0, 9),
+                GraphError::NodeOutOfRange { node: 9, n: 4 },
+            ),
+            (
+                TopologyDelta::new().remove_edge(1, 2),
+                GraphError::Disconnects,
+            ),
+            (TopologyDelta::new().add_node(), GraphError::Disconnects),
+            (
+                TopologyDelta::new().remove_node(0),
+                GraphError::NodeNotLast { node: 0, n: 4 },
+            ),
+            (
+                TopologyDelta::new().remove_node(3),
+                GraphError::NodeNotIsolated(3),
+            ),
+        ] {
+            assert_eq!(topo.apply(&delta).unwrap_err(), want);
+            assert_eq!(topo.epoch(), 0, "failed delta must not advance");
+            assert_eq!(*topo.snapshot(), *before);
+        }
+        assert!(topo.touched_since(0).is_empty());
+    }
+
+    #[test]
+    fn node_lifecycle_add_connect_isolate_remove() {
+        let topo = Topology::new(generators::cycle(4));
+        // Join: a new node must arrive connected.
+        let r = topo
+            .apply(
+                &TopologyDelta::new()
+                    .add_node()
+                    .add_edge(4, 0)
+                    .add_edge(4, 2),
+            )
+            .unwrap();
+        assert_eq!((r.nodes_added, r.edges_added), (1, 2));
+        assert_eq!(r.touched, vec![0, 2, 4]);
+        assert_eq!(topo.n(), 5);
+        // Leave: strip its edges and remove it in one delta.
+        let r = topo
+            .apply(
+                &TopologyDelta::new()
+                    .remove_edge(4, 0)
+                    .remove_edge(4, 2)
+                    .remove_node(4),
+            )
+            .unwrap();
+        assert_eq!((r.nodes_removed, r.edges_removed), (1, 2));
+        assert!(r.touched.contains(&4), "removed ids stay in touched");
+        assert_eq!(topo.n(), 4);
+        assert_eq!(*topo.snapshot(), generators::cycle(4));
+    }
+
+    #[test]
+    fn touched_since_unions_epochs() {
+        let topo = Topology::new(generators::cycle(6));
+        let _ = topo.apply(&TopologyDelta::new().add_edge(0, 2)).unwrap();
+        let _ = topo.apply(&TopologyDelta::new().add_edge(3, 5)).unwrap();
+        assert_eq!(topo.touched_since(0), vec![0, 2, 3, 5]);
+        assert_eq!(topo.touched_since(1), vec![3, 5]);
+        assert!(topo.touched_since(2).is_empty());
+        assert!(topo.touched_since(99).is_empty(), "future epochs clamp");
+    }
+
+    #[test]
+    fn touched_log_is_bounded_and_falls_back_conservatively() {
+        // Toggle one chord on and off for many epochs: memory stays
+        // bounded at the window, consumers within the window get exact
+        // unions, and consumers beyond it get every node.
+        let topo = Topology::new(generators::cycle(6));
+        let epochs = 2 * TOUCHED_LOG_WINDOW as u64 + 10;
+        for e in 0..epochs {
+            let delta = if e % 2 == 0 {
+                TopologyDelta::new().add_edge(0, 3)
+            } else {
+                TopologyDelta::new().remove_edge(0, 3)
+            };
+            let _ = topo.apply(&delta).unwrap();
+        }
+        assert_eq!(topo.epoch(), epochs);
+        {
+            let inner = topo.inner.read().unwrap();
+            assert_eq!(inner.touched_log.len(), TOUCHED_LOG_WINDOW);
+            assert_eq!(inner.log_base, epochs - TOUCHED_LOG_WINDOW as u64);
+        }
+        // Within the window: the exact union.
+        assert_eq!(topo.touched_since(epochs - 3), vec![0, 3]);
+        // Beyond the window: everything (correct, just conservative).
+        assert_eq!(topo.touched_since(0), (0..6).collect::<Vec<_>>());
+        // sync_view agrees with the piecewise reads.
+        let (epoch, g, touched) = topo.sync_view(epochs - 1);
+        assert_eq!(epoch, epochs);
+        assert_eq!(g.n(), 6);
+        assert_eq!(touched, vec![0, 3]);
+        assert!(topo.sync_view(epochs).2.is_empty());
+        // The fallback names *retired* ids too: grow to 7 nodes, shrink
+        // back, churn past the window — a consumer lagging from before
+        // the shrink still hears about id 6.
+        let _ = topo
+            .apply(&TopologyDelta::new().add_node().add_edge(6, 0))
+            .unwrap();
+        let _ = topo
+            .apply(&TopologyDelta::new().remove_edge(6, 0).remove_node(6))
+            .unwrap();
+        for _ in 0..TOUCHED_LOG_WINDOW as u64 + 1 {
+            let _ = topo.apply(&TopologyDelta::new()).unwrap();
+        }
+        assert_eq!(topo.touched_since(epochs), (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clones_share_the_underlying_topology() {
+        let topo = Topology::new(generators::cycle(5));
+        let peer = topo.clone();
+        let _ = topo.apply(&TopologyDelta::new().add_edge(0, 2)).unwrap();
+        assert_eq!(peer.epoch(), 1);
+        assert!(peer.snapshot().has_edge(0, 2));
+    }
+
+    #[test]
+    fn empty_delta_advances_but_touches_nothing() {
+        let topo = Topology::new(generators::path(3));
+        let r = topo.apply(&TopologyDelta::new()).unwrap();
+        assert_eq!(r.epoch, 1);
+        assert!(r.touched.is_empty());
+        assert_eq!((r.n, r.m), (3, 2));
+    }
+
+    #[test]
+    fn single_node_graph_cannot_lose_its_node() {
+        let topo = Topology::new(Graph::from_edges(1, []).unwrap());
+        assert_eq!(
+            topo.apply(&TopologyDelta::new().remove_node(0))
+                .unwrap_err(),
+            GraphError::Empty
+        );
+    }
+}

@@ -107,6 +107,9 @@ impl From<Error> for RstError {
             Error::Walk(w) => RstError::Walk(w),
             Error::NotCovered { phases, final_len } => RstError::NotCovered { phases, final_len },
             Error::LengthOverflow { phases, walked } => RstError::LengthOverflow { phases, walked },
+            // Spanning-tree requests never mutate the topology, so a
+            // delta rejection cannot reach this shim.
+            Error::Graph(_) => unreachable!("tree requests apply no topology deltas"),
         }
     }
 }

@@ -1,0 +1,107 @@
+//! Peer sampling under churn — the EcProtocol-style dynamic-overlay
+//! scenario the follow-up work ("Distributed Random Walks",
+//! arXiv:1302.4544) motivates: a random-regular gossip overlay whose
+//! links rewire every epoch, served by one long-lived `Network` whose
+//! session *repairs itself incrementally* instead of rebuilding.
+//!
+//! Each epoch interleaves a small `TopologyDelta` (a link rewire: one
+//! edge out, one edge in) with a `ManyWalks` peer-sampling request in
+//! one `run_batch` — the mutation acts as a barrier, so the samples are
+//! always drawn from the *current* overlay. The loop prints the
+//! rounds-per-epoch bill next to what a rebuild-from-scratch service
+//! would have paid.
+//!
+//! Run with: `cargo run --release --example p2p_churn`
+
+use distributed_random_walks::prelude::*;
+use rand::Rng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+
+    // A 4-regular gossip overlay.
+    let n = 512;
+    let overlay = generators::random_regular(n, 4, &mut rng);
+    let topo = Topology::new(overlay);
+    println!(
+        "overlay: {n} peers, {} links, 4-regular; sampling under churn\n",
+        topo.m()
+    );
+
+    let cfg = SingleWalkConfig {
+        params: WalkParams {
+            lambda_scale: 0.1,
+            eta: 4.0,
+        },
+        ..SingleWalkConfig::default()
+    };
+    let mut net = Network::over(topo.clone())
+        .config(cfg.clone())
+        .seed(6)
+        .build();
+
+    // One warm-up serving builds the session (BFS + short-walk store).
+    let k = 24;
+    let len = 512u64;
+    let sources: Vec<usize> = (0..k).map(|i| (i * 37) % n).collect();
+    net.run_batch(vec![Request::many_walks(sources.clone(), len)])?;
+    println!(
+        "epoch 0 (cold):      {:>6} rounds (session BFS + full store build)",
+        net.session_rounds()
+    );
+
+    let mut last = net.session_rounds();
+    for epoch in 1..=6u64 {
+        // Link churn interleaved with traffic: the rewire rides the
+        // *same batch* as the sampling request, acting as a barrier —
+        // samples are always drawn from the current overlay. A rejected
+        // rewire (duplicate chord or a disconnecting removal) aborts
+        // the batch atomically and is simply retried with a different
+        // edge — exactly what a membership protocol does.
+        let responses = loop {
+            let snapshot = topo.snapshot();
+            let edges: Vec<(usize, usize)> = snapshot.edges().collect();
+            let (a, b) = edges[rng.random_range(0..edges.len())];
+            let (c, d) = (rng.random_range(0..n), rng.random_range(0..n));
+            if c == d || snapshot.has_edge(c, d) {
+                continue;
+            }
+            let rewire = TopologyDelta::new().remove_edge(a, b).add_edge(c, d);
+            match net.run_batch(vec![
+                Request::mutate(rewire),
+                Request::many_walks(sources.clone(), len),
+            ]) {
+                Ok(responses) => break responses,
+                Err(DrwError::Graph(_)) => continue, // disconnecting rewire
+                Err(e) => return Err(e.into()),
+            }
+        };
+        let report = responses[0].clone().into_epoch();
+        let served = responses[1].clone().into_many_walks();
+        let session = net.session().expect("session exists");
+        let rounds = net.session_rounds() - last;
+        last = net.session_rounds();
+        println!(
+            "epoch {epoch} (touched {:?}): {:>6} rounds — {} samples, \
+             {} walks evicted so far, {} repair BFS",
+            report.touched,
+            rounds,
+            served.destinations.len(),
+            session.walks_evicted(),
+            session.repair_bfs_reruns(),
+        );
+    }
+
+    // What the same traffic costs without the versioned session: a
+    // fresh one-shot request (own BFS, full Phase 1) every epoch.
+    let mut rebuild = Network::over(topo.clone()).config(cfg).seed(6).build();
+    let one_shot = rebuild
+        .run(Request::many_walks(sources, len))?
+        .into_many_walks();
+    println!(
+        "\nrebuild-per-epoch baseline would pay {} rounds every epoch",
+        one_shot.rounds
+    );
+    Ok(())
+}

@@ -83,10 +83,13 @@ pub mod prelude {
     pub use drw_core::{
         many_random_walks, many_random_walks_with, naive_walk, single_random_walk,
         Error as DrwError, ManyWalksResult, MixingProbe, MixingReport, MixingRequest, Network,
-        NetworkBuilder, Request, Response, SingleWalkConfig, SingleWalkResult, StitchScheduler,
-        StitchStrategy, TreeMode, TreeRequest, TreeSample, WalkError, WalkParams, WalkSession,
+        NetworkBuilder, RepairReport, Request, Response, SingleWalkConfig, SingleWalkResult,
+        StitchScheduler, StitchStrategy, TreeMode, TreeRequest, TreeSample, WalkError, WalkParams,
+        WalkSession,
     };
-    pub use drw_graph::{generators, Graph, GraphBuilder};
+    pub use drw_graph::{
+        generators, DeltaOp, EpochReport, Graph, GraphBuilder, Topology, TopologyDelta,
+    };
     pub use drw_mixing::{estimate_mixing_time, MixingConfig};
     pub use drw_spanning::{distributed_rst, RstConfig};
 }

@@ -131,6 +131,67 @@ fn mixing_requests_match_the_legacy_free_function() {
     }
 }
 
+/// Static-path equivalence guard (ISSUE 5): with zero deltas applied,
+/// all four request kinds served through the *versioned topology
+/// handle* (`Network::over`) are seed-for-seed identical to the
+/// pre-redesign outputs — pinned here via the legacy free functions,
+/// which the facade-equivalence tests above tie to the historical
+/// drivers — under both executors.
+#[test]
+fn topology_handle_static_path_matches_legacy_outputs() {
+    let g = generators::torus2d(6, 6);
+    for kind in executors() {
+        let cfg = cfg_for(kind);
+        let over = |seed: u64| {
+            Network::over(Topology::new(g.clone()))
+                .config(cfg.clone())
+                .seed(seed)
+                .build()
+        };
+
+        let legacy = single_random_walk(&g, 5, 768, &cfg, 7).unwrap();
+        let routed = over(7).run(Request::walk(5, 768)).unwrap().into_walk();
+        assert_eq!(routed.destination, legacy.destination, "{kind:?} walk");
+        assert_eq!(routed.rounds, legacy.rounds, "{kind:?} walk");
+        assert_eq!(routed.segments, legacy.segments, "{kind:?} walk");
+
+        let sources = vec![0usize, 9, 20];
+        let legacy = many_random_walks(&g, &sources, 512, &cfg, 11).unwrap();
+        let routed = over(11)
+            .run(Request::many_walks(sources.clone(), 512))
+            .unwrap()
+            .into_many_walks();
+        assert_eq!(routed.destinations, legacy.destinations, "{kind:?} many");
+        assert_eq!(routed.rounds, legacy.rounds, "{kind:?} many");
+
+        let rst_cfg = RstConfig {
+            walk: cfg.clone(),
+            ..RstConfig::default()
+        };
+        let legacy = distributed_rst(&g, 0, &rst_cfg, 23).unwrap();
+        let routed = over(23)
+            .run(Request::SpanningTree(rst_cfg.to_request(0)))
+            .unwrap()
+            .into_tree();
+        assert_eq!(routed.edges, legacy.edges, "{kind:?} tree");
+        assert_eq!(routed.rounds, legacy.rounds, "{kind:?} tree");
+
+        let mix_cfg = MixingConfig {
+            max_len: 1 << 10,
+            walk: cfg.clone(),
+            ..MixingConfig::default()
+        };
+        let legacy = estimate_mixing_time(&g, 0, &mix_cfg, 31).unwrap();
+        let routed = over(31)
+            .run(Request::MixingTime(mix_cfg.to_request(0)))
+            .unwrap()
+            .into_mixing();
+        assert_eq!(routed.tau_estimate, legacy.tau_estimate, "{kind:?} mix");
+        assert_eq!(routed.rounds, legacy.rounds, "{kind:?} mix");
+        assert_eq!(routed.probes, legacy.probes, "{kind:?} mix");
+    }
+}
+
 /// The heterogeneous-batching acceptance: 2 walks + 1 spanning tree +
 /// 1 mixing probe, batched, must beat the same four requests run
 /// sequentially (each with its own setup) by >= 1.5x in total rounds —
