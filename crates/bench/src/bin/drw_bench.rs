@@ -1,0 +1,46 @@
+//! `drw_bench` — the repeatable perf harness.
+//!
+//! Runs the fixed scenario matrix from [`drw_bench::harness`] and writes
+//! the machine-readable report (schema `drw-bench-v1`).
+//!
+//! ```text
+//! drw_bench [--smoke] [--out PATH]
+//! ```
+//!
+//! - `--smoke` (or env `DRW_BENCH_SMOKE=1`): cap the matrix at
+//!   n = 10^4 — the CI mode; seconds instead of minutes.
+//! - `--out PATH`: where to write the JSON (default `BENCH_PR6.json`
+//!   in the current directory).
+
+use drw_bench::harness;
+
+fn main() {
+    let mut smoke = std::env::var("DRW_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let mut out = String::from("BENCH_PR6.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: drw_bench [--smoke] [--out PATH]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = harness::run_matrix(smoke);
+    harness::validate_report(&report).expect("emitted report matches the schema");
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, text + "\n").expect("report written");
+    eprintln!("[drw_bench] wrote {out}");
+}

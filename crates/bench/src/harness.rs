@@ -1,0 +1,522 @@
+//! The `drw_bench` perf harness: a fixed scenario matrix producing a
+//! repeatable `BENCH_PR6.json`.
+//!
+//! Criterion tracks *relative* wall-clock drift of small fixtures; this
+//! harness instead documents what the engine does **at scale** — up to
+//! a million nodes — in one machine-readable artifact: rounds, wall
+//! time, per-phase breakdown, state-memory census (compact layout vs
+//! the legacy pricing) and the process peak RSS, per scenario.
+//!
+//! Scenario matrix, per problem size `n`:
+//!
+//! - `generators` — streaming builds of the three huge-graph families
+//!   (random-regular, torus, Chung–Lu power law);
+//! - `single_walk` — `SINGLE-RANDOM-WALK` (l = 256), run on both the
+//!   sequential and the sharded executor and asserted bit-identical;
+//! - `many_walks` — `MANY-RANDOM-WALKS` with k ∈ {4, 16} (the regime
+//!   decision is recorded: at n = 10^6 the theorem itself picks the
+//!   naive fallback);
+//! - `rst` — a uniform spanning tree (skipped above
+//!   [`RST_MAX_N`] with an explicit skip record: the cover-time
+//!   workload is super-linear and not a per-PR bench cost);
+//! - `batched_mix` — a heterogeneous request batch (walks of two
+//!   lengths + a many-walks request) through the `Network` facade's
+//!   scheduler.
+//!
+//! Smoke mode (`--smoke`, used by CI) caps the matrix at n = 10^4 and
+//! exercises every code path in seconds.
+
+use drw_congest::{EngineConfig, ExecutorKind};
+use drw_core::{many_random_walks, single_random_walk, Request, SingleWalkConfig, WalkState};
+use drw_graph::{generators, Graph};
+use drw_spanning::{distributed_rst, RstConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Value;
+use std::time::Instant;
+
+/// Schema tag of the emitted JSON (checked by CI).
+pub const SCHEMA: &str = "drw-bench-v1";
+
+/// Largest `n` the spanning-tree scenario runs at; above this the
+/// cover-time workload (`~n log n` walked steps) is recorded as an
+/// explicit skip instead of burning minutes of bench budget.
+pub const RST_MAX_N: usize = 10_000;
+
+/// Peak-RSS budget for the full matrix (the acceptance bar for the
+/// million-node `ManyWalks(k = 16)` scenario).
+pub const MEMORY_BUDGET_BYTES: u64 = 8 << 30;
+
+/// The problem sizes of the matrix.
+pub fn scenario_sizes(smoke: bool) -> Vec<usize> {
+    if smoke {
+        vec![1_000, 10_000]
+    } else {
+        vec![1_000, 100_000, 1_000_000]
+    }
+}
+
+/// Walk length per problem size, chosen so the small sizes exercise the
+/// stitched regime while the million-node size lands on the theorem's
+/// naive-fallback branch (where `lambda_many >= l`).
+fn walk_len_for(n: usize) -> u64 {
+    match n {
+        0..=1_000 => 1024,
+        1_001..=10_000 => 512,
+        10_001..=100_000 => 256,
+        _ => 64,
+    }
+}
+
+/// The walk configuration every scenario uses: uniform (one short walk
+/// per node) Phase-1 allocation keeps the big sizes inside the memory
+/// budget without touching the algorithms.
+fn bench_walk_cfg(kind: ExecutorKind) -> SingleWalkConfig {
+    SingleWalkConfig {
+        degree_proportional: false,
+        engine: EngineConfig::default().with_executor(kind),
+        ..SingleWalkConfig::default()
+    }
+}
+
+/// Process peak RSS in bytes (`VmHWM` from `/proc/self/status`), or 0
+/// where unavailable. Monotone over the process lifetime, so per-scenario
+/// readings record the running high-water mark.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn ms(t: Instant) -> Value {
+    Value::Float(t.elapsed().as_secs_f64() * 1e3)
+}
+
+fn state_memory_value(state: &WalkState) -> Value {
+    let m = state.memory_report();
+    obj(vec![
+        ("total_bytes", Value::UInt(m.total_bytes() as u64)),
+        ("forward_bytes", Value::UInt(m.forward_bytes as u64)),
+        ("visit_bytes", Value::UInt(m.visit_bytes as u64)),
+        ("store_bytes", Value::UInt(m.store_bytes as u64)),
+        ("overhead_bytes", Value::UInt(m.overhead_bytes as u64)),
+        ("legacy_bytes", Value::UInt(m.legacy_bytes as u64)),
+        ("ratio_vs_legacy", Value::Float(m.ratio_vs_legacy())),
+        ("bytes_per_node", Value::Float(m.bytes_per_node())),
+    ])
+}
+
+fn scenario_record(name: &str, n: usize, body: Vec<(&str, Value)>) -> Value {
+    let mut fields = vec![
+        ("scenario", Value::Str(name.to_string())),
+        ("n", Value::UInt(n as u64)),
+    ];
+    fields.extend(body);
+    fields.push(("peak_rss_bytes", Value::UInt(peak_rss_bytes())));
+    obj(fields)
+}
+
+fn skip_record(name: &str, n: usize, reason: &str) -> Value {
+    scenario_record(
+        name,
+        n,
+        vec![
+            ("skipped", Value::Bool(true)),
+            ("skip_reason", Value::Str(reason.to_string())),
+        ],
+    )
+}
+
+/// Builds the benchmark graph for size `n` (random-regular, d = 4: the
+/// expander family every walk scenario runs on).
+fn bench_graph(n: usize) -> Graph {
+    let mut rng = StdRng::seed_from_u64(0xBEEF ^ n as u64);
+    generators::random_regular(n, 4, &mut rng)
+}
+
+fn run_generators(n: usize) -> Value {
+    let t = Instant::now();
+    let g = bench_graph(n);
+    let rr_ms = ms(t);
+    let rr_edges = g.m();
+    drop(g);
+
+    let side = (n as f64).sqrt().round() as usize;
+    let t = Instant::now();
+    let torus = generators::torus2d(side, side);
+    let torus_ms = ms(t);
+    let torus_edges = torus.m();
+    let torus_n = torus.n();
+    drop(torus);
+
+    let t = Instant::now();
+    let cl = generators::chung_lu(n, 8.0, 2.5, 0xC1);
+    let cl_ms = ms(t);
+    let cl_edges = cl.m();
+    let cl_max_deg = cl.max_degree();
+    drop(cl);
+
+    scenario_record(
+        "generators",
+        n,
+        vec![
+            (
+                "random_regular",
+                obj(vec![
+                    ("edges", Value::UInt(rr_edges as u64)),
+                    ("wall_ms", rr_ms),
+                ]),
+            ),
+            (
+                "torus2d",
+                obj(vec![
+                    ("nodes", Value::UInt(torus_n as u64)),
+                    ("edges", Value::UInt(torus_edges as u64)),
+                    ("wall_ms", torus_ms),
+                ]),
+            ),
+            (
+                "chung_lu",
+                obj(vec![
+                    ("edges", Value::UInt(cl_edges as u64)),
+                    ("max_degree", Value::UInt(cl_max_deg as u64)),
+                    ("wall_ms", cl_ms),
+                ]),
+            ),
+        ],
+    )
+}
+
+/// The single-walk scenario doubles as the executor-identity check: the
+/// sequential and sharded backends must sample the same destination in
+/// the same number of rounds.
+fn run_single_walk(g: &Graph, n: usize) -> Value {
+    let len = 256u64;
+    let t = Instant::now();
+    let seq = single_random_walk(g, 0, len, &bench_walk_cfg(ExecutorKind::Sequential), 7)
+        .expect("single walk (sequential)");
+    let seq_ms = ms(t);
+    let t = Instant::now();
+    let shd = single_random_walk(g, 0, len, &bench_walk_cfg(ExecutorKind::Sharded), 7)
+        .expect("single walk (sharded)");
+    let shd_ms = ms(t);
+    assert_eq!(
+        (seq.destination, seq.rounds, seq.messages),
+        (shd.destination, shd.rounds, shd.messages),
+        "sharded executor must be bit-identical to sequential"
+    );
+    scenario_record(
+        "single_walk",
+        n,
+        vec![
+            ("len", Value::UInt(len)),
+            ("rounds", Value::UInt(seq.rounds)),
+            ("messages", Value::UInt(seq.messages)),
+            ("wall_ms_sequential", seq_ms),
+            ("wall_ms_sharded", shd_ms),
+            ("executors_identical", Value::Bool(true)),
+            (
+                "phase_rounds",
+                obj(vec![
+                    ("bfs", Value::UInt(seq.rounds_bfs)),
+                    ("phase1", Value::UInt(seq.rounds_phase1)),
+                    ("stitch", Value::UInt(seq.rounds_stitch)),
+                    ("tail", Value::UInt(seq.rounds_tail)),
+                ]),
+            ),
+        ],
+    )
+}
+
+fn run_many_walks(g: &Graph, n: usize, k: usize) -> (Value, Option<f64>) {
+    let len = walk_len_for(n);
+    let sources: Vec<usize> = (0..k).map(|i| (i * 97) % g.n()).collect();
+    let t = Instant::now();
+    let r = many_random_walks(
+        g,
+        &sources,
+        len,
+        &bench_walk_cfg(ExecutorKind::Sequential),
+        11,
+    )
+    .expect("many walks");
+    let wall = ms(t);
+    let ratio = if r.used_naive_fallback {
+        None
+    } else {
+        Some(r.state.memory_report().ratio_vs_legacy())
+    };
+    let record = scenario_record(
+        "many_walks",
+        n,
+        vec![
+            ("k", Value::UInt(k as u64)),
+            ("len", Value::UInt(len)),
+            ("rounds", Value::UInt(r.rounds)),
+            ("messages", Value::UInt(r.messages)),
+            ("lambda", Value::UInt(r.lambda as u64)),
+            ("naive_fallback", Value::Bool(r.used_naive_fallback)),
+            ("stitches", Value::UInt(r.stitches)),
+            ("wall_ms", wall),
+            (
+                "phase_rounds",
+                obj(vec![
+                    ("bfs", Value::UInt(r.rounds_bfs)),
+                    ("phase1", Value::UInt(r.rounds_phase1)),
+                    ("phase2", Value::UInt(r.rounds_phase2)),
+                ]),
+            ),
+            ("state_memory", state_memory_value(&r.state)),
+        ],
+    );
+    (record, ratio)
+}
+
+fn run_rst(g: &Graph, n: usize) -> Value {
+    if n > RST_MAX_N {
+        return skip_record(
+            "rst",
+            n,
+            "cover-time workload (~n log n walked steps) exceeds the per-PR bench budget above RST_MAX_N",
+        );
+    }
+    let cfg = RstConfig {
+        walk: bench_walk_cfg(ExecutorKind::Sequential),
+        ..RstConfig::default()
+    };
+    let t = Instant::now();
+    let tree = distributed_rst(g, 0, &cfg, 13).expect("spanning tree");
+    let wall = ms(t);
+    scenario_record(
+        "rst",
+        n,
+        vec![
+            ("rounds", Value::UInt(tree.rounds)),
+            ("phases", Value::UInt(tree.phases as u64)),
+            ("cover_len", Value::UInt(tree.cover_len)),
+            ("bfs_runs", Value::UInt(tree.bfs_runs)),
+            ("tree_edges", Value::UInt(tree.edges.len() as u64)),
+            ("wall_ms", wall),
+        ],
+    )
+}
+
+/// A heterogeneous batch through the `Network` facade: two single walks
+/// of different lengths plus one `MANY-RANDOM-WALKS`, scheduled by the
+/// facade into shared engine runs.
+fn run_batched_mix(g: &Graph, n: usize) -> Value {
+    let len = walk_len_for(n);
+    let sources: Vec<usize> = (0..8).map(|i| (i * 131) % g.n()).collect();
+    let mut net = drw_core::Network::builder(g)
+        .config(bench_walk_cfg(ExecutorKind::Sequential))
+        .seed(17)
+        .build();
+    let t = Instant::now();
+    let responses = net
+        .run_batch(vec![
+            Request::walk(0, len),
+            Request::walk(g.n() / 2, len / 2),
+            Request::many_walks(sources, len / 2),
+        ])
+        .expect("batched mix");
+    let wall = ms(t);
+    let rounds: u64 = responses.iter().map(|r| r.rounds()).sum();
+    scenario_record(
+        "batched_mix",
+        n,
+        vec![
+            ("requests", Value::UInt(responses.len() as u64)),
+            ("len", Value::UInt(len)),
+            ("rounds_billed", Value::UInt(rounds)),
+            ("wall_ms", wall),
+        ],
+    )
+}
+
+/// Runs the full scenario matrix and returns the report as a JSON value.
+///
+/// Embedded acceptance checks (assert, so a regression fails the run):
+/// sequential/sharded bit-identity on every `single_walk` scenario, and
+/// — when a stitched `many_walks` ran at n >= 10^5 — the compact state
+/// layout measuring at most 50% of the legacy layout's bytes.
+pub fn run_matrix(smoke: bool) -> Value {
+    let started = Instant::now();
+    let sizes = scenario_sizes(smoke);
+    let mut records: Vec<Value> = Vec::new();
+    let mut big_ratios: Vec<f64> = Vec::new();
+
+    for &n in &sizes {
+        eprintln!("[drw_bench] n = {n}: generators");
+        records.push(run_generators(n));
+        let g = bench_graph(n);
+        eprintln!("[drw_bench] n = {n}: single walk");
+        records.push(run_single_walk(&g, n));
+        for k in [4usize, 16] {
+            eprintln!("[drw_bench] n = {n}: many walks (k = {k})");
+            let (record, ratio) = run_many_walks(&g, n, k);
+            records.push(record);
+            if n >= 100_000 {
+                big_ratios.extend(ratio);
+            }
+        }
+        eprintln!("[drw_bench] n = {n}: spanning tree");
+        records.push(run_rst(&g, n));
+        eprintln!("[drw_bench] n = {n}: batched mix");
+        records.push(run_batched_mix(&g, n));
+    }
+
+    // Acceptance: the compact hot-path layout must measure at or under
+    // half the legacy layout's bytes wherever a stitched run at scale
+    // produced a state to measure.
+    for &ratio in &big_ratios {
+        assert!(
+            ratio <= 0.50,
+            "state bytes ratio vs legacy layout = {ratio:.3} (> 0.50)"
+        );
+    }
+    let peak = peak_rss_bytes();
+    if !smoke {
+        assert!(
+            peak <= MEMORY_BUDGET_BYTES,
+            "peak RSS {peak} exceeds the harness budget {MEMORY_BUDGET_BYTES}"
+        );
+    }
+
+    obj(vec![
+        ("schema", Value::Str(SCHEMA.to_string())),
+        ("smoke", Value::Bool(smoke)),
+        (
+            "sizes",
+            Value::Array(sizes.iter().map(|&n| Value::UInt(n as u64)).collect()),
+        ),
+        ("scenarios", Value::Array(records)),
+        (
+            "acceptance",
+            obj(vec![
+                (
+                    "memory_ratio_vs_legacy_at_scale",
+                    match big_ratios
+                        .iter()
+                        .cloned()
+                        .fold(None::<f64>, |a, r| Some(a.map_or(r, |a| a.max(r))))
+                    {
+                        Some(r) => Value::Float(r),
+                        None => Value::Null,
+                    },
+                ),
+                ("memory_ratio_bound", Value::Float(0.50)),
+                ("executors_identical", Value::Bool(true)),
+                ("peak_rss_bytes", Value::UInt(peak)),
+                ("memory_budget_bytes", Value::UInt(MEMORY_BUDGET_BYTES)),
+            ]),
+        ),
+        (
+            "total_wall_ms",
+            Value::Float(started.elapsed().as_secs_f64() * 1e3),
+        ),
+    ])
+}
+
+/// Validates the shape of an emitted report (used by CI's schema check
+/// and the unit tests): schema tag, non-empty scenario list, and every
+/// scenario either skipped-with-reason or carrying the common fields.
+pub fn validate_report(report: &Value) -> Result<(), String> {
+    let schema = report
+        .get("schema")
+        .ok_or("missing schema")
+        .and_then(|v| match v {
+            Value::Str(s) => Ok(s.as_str()),
+            _ => Err("schema not a string"),
+        })?;
+    if schema != SCHEMA {
+        return Err(format!("schema {schema:?} != {SCHEMA:?}"));
+    }
+    let Some(Value::Array(scenarios)) = report.get("scenarios") else {
+        return Err("missing scenarios array".to_string());
+    };
+    if scenarios.is_empty() {
+        return Err("empty scenarios".to_string());
+    }
+    for s in scenarios {
+        let name = match s.get("scenario") {
+            Some(Value::Str(name)) => name.clone(),
+            _ => return Err("scenario without a name".to_string()),
+        };
+        if s.get("n").is_none() {
+            return Err(format!("scenario {name} lacks n"));
+        }
+        let skipped = matches!(s.get("skipped"), Some(Value::Bool(true)));
+        if skipped && s.get("skip_reason").is_none() {
+            return Err(format!("skipped scenario {name} lacks a reason"));
+        }
+        if !skipped && s.get("peak_rss_bytes").is_none() {
+            return Err(format!("scenario {name} lacks peak_rss_bytes"));
+        }
+    }
+    report
+        .get("acceptance")
+        .map(|_| ())
+        .ok_or_else(|| "missing acceptance".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sizes_stay_small() {
+        assert!(scenario_sizes(true).iter().all(|&n| n <= 10_000));
+        assert_eq!(scenario_sizes(false).last(), Some(&1_000_000));
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_report(&Value::Null).is_err());
+        assert!(validate_report(&obj(vec![("schema", Value::Str("nope".to_string()))])).is_err());
+    }
+
+    #[test]
+    fn tiny_matrix_round_trips_through_the_validator() {
+        // A miniature end-to-end run: one small size through every
+        // scenario, serialized and validated like CI does.
+        let g = bench_graph(256);
+        let records = vec![
+            run_generators(256),
+            run_single_walk(&g, 256),
+            run_many_walks(&g, 256, 4).0,
+            run_rst(&g, 256),
+            run_batched_mix(&g, 256),
+        ];
+        let report = obj(vec![
+            ("schema", Value::Str(SCHEMA.to_string())),
+            ("smoke", Value::Bool(true)),
+            ("sizes", Value::Array(vec![Value::UInt(256)])),
+            ("scenarios", Value::Array(records)),
+            ("acceptance", obj(vec![])),
+        ]);
+        validate_report(&report).expect("valid report");
+        let text = serde_json::to_string_pretty(&report).expect("serializable");
+        assert!(text.contains("\"scenario\""));
+    }
+}

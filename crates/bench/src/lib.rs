@@ -17,6 +17,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use drw_graph::{generators, Graph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -6,7 +6,9 @@
 //! points that dispatch to the backend selected by
 //! [`EngineConfig::executor`].
 
-use crate::executor::{ExecutorKind, ParallelExecutor, RoundExecutor, SequentialExecutor};
+use crate::executor::{
+    ExecutorKind, ParallelExecutor, RoundExecutor, SequentialExecutor, ShardedExecutor,
+};
 use crate::node_local::NodeLocalProtocol;
 use crate::protocol::Protocol;
 use drw_graph::Graph;
@@ -71,6 +73,14 @@ impl EngineConfig {
         }
     }
 
+    /// Default configuration on the sharded work-stealing backend.
+    pub fn sharded() -> Self {
+        EngineConfig {
+            executor: ExecutorKind::Sharded,
+            ..EngineConfig::default()
+        }
+    }
+
     /// This configuration with the given executor backend.
     pub fn with_executor(mut self, executor: ExecutorKind) -> Self {
         self.executor = executor;
@@ -121,8 +131,60 @@ impl fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
-/// Statistics of one protocol run.
+/// Bytes of backing capacity held by each engine subsystem at the end of
+/// a run. `Vec` capacities never shrink, so an end-of-run scan equals the
+/// run's high-water mark — this *is* the peak, not a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MemoryReport {
+    /// The flat message queue's backing buffers (bucket index + storage).
+    pub queue_bytes: usize,
+    /// Per-node inbox buffers.
+    pub inbox_bytes: usize,
+    /// Per-node RNG streams.
+    pub rng_bytes: usize,
+    /// The recycled staging buffer.
+    pub staging_bytes: usize,
+}
+
+impl MemoryReport {
+    /// Total engine-side bytes (excludes the graph and protocol state,
+    /// which their owners account for).
+    pub fn engine_total(&self) -> usize {
+        self.queue_bytes + self.inbox_bytes + self.rng_bytes + self.staging_bytes
+    }
+}
+
+/// Per-shard work distribution recorded by the sharded executor.
+///
+/// The unit of accounting is the *shard* (a contiguous chunk of
+/// receiving nodes), not the OS thread: which thread ends up running a
+/// shard is a scheduling accident, but the shard loads are a
+/// deterministic function of the round's deliveries — so balance is
+/// measurable (and testable) even on a single CPU.
 #[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WorkBalance {
+    /// Rounds that fanned out into at least two shards (measured).
+    pub rounds_measured: u64,
+    /// Rounds run inline because they delivered too little to shard.
+    pub rounds_inline: u64,
+    /// Worst observed `max / mean` over per-shard message loads across
+    /// all measured rounds (`0.0` if nothing was measured).
+    pub worst_max_over_mean: f64,
+    /// Messages processed per shard slot, summed over measured rounds.
+    pub shard_messages: Vec<u64>,
+}
+
+/// Statistics of one protocol run.
+///
+/// Equality compares the *semantic* fields only — rounds, message
+/// traffic, edge loads. The [`RunReport::memory`] and
+/// [`RunReport::balance`] telemetry legitimately differs across executor
+/// backends (capacities and shard layouts are backend artifacts), and
+/// the bit-identity contract (same protocol results for the same seed on
+/// every backend) is asserted through this semantic equality.
+#[derive(Debug, Clone, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RunReport {
     /// Number of communication rounds executed. This is the paper's
@@ -141,6 +203,22 @@ pub struct RunReport {
     /// that delivered exactly `l` messages (last bucket accumulates
     /// overflow); empty otherwise. Zero-load pairs are not counted.
     pub edge_load_histogram: Vec<u64>,
+    /// Peak bytes held per engine subsystem (telemetry; not compared).
+    pub memory: MemoryReport,
+    /// Shard work distribution, populated by [`ExecutorKind::Sharded`]
+    /// only (telemetry; not compared).
+    pub balance: Option<WorkBalance>,
+}
+
+impl PartialEq for RunReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.rounds == other.rounds
+            && self.messages == other.messages
+            && self.words == other.words
+            && self.max_edge_backlog == other.max_edge_backlog
+            && self.max_edge_load == other.max_edge_load
+            && self.edge_load_histogram == other.edge_load_histogram
+    }
 }
 
 /// Runs `protocol` on `graph` to completion under the backend selected
@@ -171,6 +249,9 @@ pub fn run_protocol<P: Protocol>(
         ExecutorKind::Parallel => {
             ParallelExecutor::new(cfg.parallel_workers).run(graph, cfg, seed, protocol)
         }
+        ExecutorKind::Sharded => {
+            ShardedExecutor::new(cfg.parallel_workers).run(graph, cfg, seed, protocol)
+        }
     }
 }
 
@@ -191,6 +272,9 @@ pub fn run_node_local<P: NodeLocalProtocol>(
         ExecutorKind::Sequential => SequentialExecutor.run_node_local(graph, cfg, seed, protocol),
         ExecutorKind::Parallel => {
             ParallelExecutor::new(cfg.parallel_workers).run_node_local(graph, cfg, seed, protocol)
+        }
+        ExecutorKind::Sharded => {
+            ShardedExecutor::new(cfg.parallel_workers).run_node_local(graph, cfg, seed, protocol)
         }
     }
 }
@@ -447,6 +531,48 @@ mod tests {
     }
 
     #[test]
+    fn report_equality_ignores_telemetry() {
+        // The bit-identity contract is semantic: two backends may hold
+        // different buffer capacities or shard layouts yet still count as
+        // identical runs.
+        let a = RunReport {
+            rounds: 3,
+            messages: 10,
+            ..RunReport::default()
+        };
+        let mut b = a.clone();
+        b.memory.queue_bytes = 4096;
+        b.balance = Some(WorkBalance::default());
+        assert_eq!(a, b);
+        b.messages = 11;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn memory_report_totals() {
+        let m = MemoryReport {
+            queue_bytes: 1,
+            inbox_bytes: 2,
+            rng_bytes: 3,
+            staging_bytes: 4,
+        };
+        assert_eq!(m.engine_total(), 10);
+    }
+
+    #[test]
+    fn runs_populate_memory_telemetry() {
+        let g = generators::torus2d(4, 4);
+        let mut p = Flood {
+            seen: vec![false; g.n()],
+        };
+        let report = run_protocol(&g, &EngineConfig::default(), 1, &mut p).unwrap();
+        assert!(report.memory.queue_bytes > 0, "{:?}", report.memory);
+        assert!(report.memory.inbox_bytes > 0, "{:?}", report.memory);
+        assert!(report.memory.rng_bytes > 0, "{:?}", report.memory);
+        assert!(report.balance.is_none(), "sequential runs have no shards");
+    }
+
+    #[test]
     fn runs_are_deterministic_in_the_seed() {
         // The flood tie-breaks are deterministic; more importantly the
         // engine delivers in sorted edge/node order, so reports match.
@@ -491,11 +617,26 @@ mod tests {
                 max_edge_backlog: 7,
                 max_edge_load: 3,
                 edge_load_histogram: vec![0, 5, 2],
+                memory: MemoryReport {
+                    queue_bytes: 1024,
+                    inbox_bytes: 512,
+                    rng_bytes: 96,
+                    staging_bytes: 64,
+                },
+                balance: Some(WorkBalance {
+                    rounds_measured: 4,
+                    rounds_inline: 8,
+                    worst_max_over_mean: 1.25,
+                    shard_messages: vec![100, 98],
+                }),
             };
             let json = serde_json::to_string(&report).unwrap();
             assert!(json.contains("\"rounds\":12"), "{json}");
+            assert!(json.contains("\"queue_bytes\":1024"), "{json}");
             let back: RunReport = serde_json::from_str(&json).unwrap();
             assert_eq!(back, report);
+            assert_eq!(back.memory, report.memory);
+            assert_eq!(back.balance, report.balance);
         }
 
         #[test]

@@ -3,13 +3,17 @@
 //! The engine's round loop — deliver queued messages, fire the global
 //! `on_round` hook, fire per-node receive handlers, stage the resulting
 //! sends — is a *strategy*, not a hardcoded function. [`RoundExecutor`]
-//! captures it; two backends implement it:
+//! captures it; three backends implement it:
 //!
 //! - [`SequentialExecutor`] — the reference implementation: one thread,
 //!   receiving nodes visited in ascending id order;
 //! - [`ParallelExecutor`] — shards the receive phase of
 //!   [`crate::NodeLocalProtocol`]s across OS threads with a
-//!   deterministic merge, producing bit-identical results.
+//!   deterministic merge, producing bit-identical results;
+//! - [`ShardedExecutor`] — like `ParallelExecutor`, but splits the
+//!   receive phase into load-balanced shards that idle threads *claim*
+//!   (work stealing) instead of pre-assigned chunks, and records the
+//!   per-shard work distribution in the run report.
 //!
 //! Callers normally do not name a backend: they set
 //! [`ExecutorKind`] on [`crate::EngineConfig`] and go through
@@ -23,9 +27,11 @@ pub(crate) mod queue;
 
 mod parallel;
 mod sequential;
+mod sharded;
 
 pub use parallel::ParallelExecutor;
 pub use sequential::SequentialExecutor;
+pub use sharded::ShardedExecutor;
 
 use crate::engine::{EngineConfig, RunError, RunReport};
 use crate::node_local::NodeLocalProtocol;
@@ -46,15 +52,21 @@ pub enum ExecutorKind {
     /// available CPUs; plain protocols fall back to the sequential
     /// discipline.
     Parallel,
+    /// Receive phase split into load-balanced work-stealing shards that
+    /// idle threads claim dynamically; records per-shard work counts in
+    /// [`crate::RunReport`]'s `balance` telemetry. Plain protocols fall
+    /// back to the sequential discipline.
+    Sharded,
 }
 
 impl ExecutorKind {
-    /// Parses `"sequential"` / `"parallel"` (as used by experiment
-    /// harness environment variables).
+    /// Parses `"sequential"` / `"parallel"` / `"sharded"` (as used by
+    /// experiment harness environment variables).
     pub fn from_name(name: &str) -> Option<ExecutorKind> {
         match name.to_ascii_lowercase().as_str() {
             "sequential" | "seq" => Some(ExecutorKind::Sequential),
             "parallel" | "par" => Some(ExecutorKind::Parallel),
+            "sharded" | "shard" => Some(ExecutorKind::Sharded),
             _ => None,
         }
     }
@@ -64,6 +76,7 @@ impl ExecutorKind {
         match self {
             ExecutorKind::Sequential => "sequential",
             ExecutorKind::Parallel => "parallel",
+            ExecutorKind::Sharded => "sharded",
         }
     }
 }

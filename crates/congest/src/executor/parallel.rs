@@ -112,7 +112,7 @@ impl RoundExecutor for ParallelExecutor {
         let n = graph.n();
         let max_threads = self.threads().max(1);
         let mut rngs = NodeRngs::new(seed, n);
-        let mut queue: FlatQueue<P::Msg> = FlatQueue::new();
+        let mut queue: FlatQueue<P::Msg> = FlatQueue::for_graph(graph);
         let mut inbox: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); n];
         let mut active: Vec<usize> = Vec::new();
         let mut report = RunReport::default();
@@ -219,6 +219,12 @@ impl RoundExecutor for ParallelExecutor {
         }
 
         report.rounds = round;
+        report.memory = super::sequential::memory_report(
+            queue.capacity_bytes(),
+            &inbox,
+            rngs.len(),
+            staged_buf.capacity() * std::mem::size_of::<(usize, P::Msg)>(),
+        );
         Ok(report)
     }
 }

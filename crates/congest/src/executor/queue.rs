@@ -35,18 +35,70 @@ pub(crate) struct FlatQueue<M> {
     left_eids: Vec<u32>,
     left_starts: Vec<u32>,
     left_msgs: Vec<M>,
+    /// Reusable `(eid, index)` buffer for the stage sort. `Vec::sort` is
+    /// a stable merge sort that heap-allocates its scratch *every call*
+    /// — one allocation per round, forever, as measured by the
+    /// `alloc_counter` bench. Sorting copyable key pairs with the
+    /// in-place `sort_unstable` instead (the index makes it equivalent
+    /// to a stable sort by eid) keeps steady-state rounds
+    /// allocation-free.
+    sort_keys: Vec<(u32, u32)>,
 }
 
 impl<M: Message> FlatQueue<M> {
-    pub(crate) fn new() -> Self {
+    /// A queue pre-reserved from the graph's degree statistics: the
+    /// bucket index and message storage get capacity for one message per
+    /// directed edge — the flood peak (a BFS wave touches every edge
+    /// once), which is the high-water mark the first big wave would
+    /// otherwise realloc its way up to. Leftover buffers grow organically
+    /// (they hold only backlog, usually a small fraction).
+    pub(crate) fn for_graph(graph: &Graph) -> Self {
+        let peak = graph.dir_edge_count();
         FlatQueue {
-            eids: Vec::new(),
-            starts: vec![0],
-            msgs: Vec::new(),
+            eids: Vec::with_capacity(peak),
+            starts: {
+                let mut s = Vec::with_capacity(peak + 1);
+                s.push(0);
+                s
+            },
+            msgs: Vec::with_capacity(peak),
             left_eids: Vec::new(),
             left_starts: vec![0],
             left_msgs: Vec::new(),
+            sort_keys: Vec::new(),
         }
+    }
+
+    /// Stable-sorts `staged` by edge id without allocating: sorts
+    /// `(eid, original index)` pairs in the reusable key buffer, then
+    /// applies the permutation in place by cycle-chasing swaps.
+    fn sort_staged(&mut self, staged: &mut [(usize, M)]) {
+        self.sort_keys.clear();
+        self.sort_keys.extend(
+            staged
+                .iter()
+                .enumerate()
+                .map(|(i, &(eid, _))| (eid as u32, i as u32)),
+        );
+        self.sort_keys.sort_unstable();
+        for i in 0..staged.len() {
+            let mut j = self.sort_keys[i].1 as usize;
+            while j < i {
+                j = self.sort_keys[j].1 as usize;
+            }
+            staged.swap(i, j);
+        }
+    }
+
+    /// Bytes of backing capacity across all buffers. Since `Vec` never
+    /// shrinks its capacity, sampling this at the end of a run gives the
+    /// run's true high-water mark.
+    pub(crate) fn capacity_bytes(&self) -> usize {
+        let msg = std::mem::size_of::<M>();
+        (self.eids.capacity() + self.left_eids.capacity()) * std::mem::size_of::<u32>()
+            + (self.starts.capacity() + self.left_starts.capacity()) * std::mem::size_of::<u32>()
+            + (self.msgs.capacity() + self.left_msgs.capacity()) * msg
+            + self.sort_keys.capacity() * std::mem::size_of::<(u32, u32)>()
     }
 
     /// Whether any message is queued.
@@ -149,7 +201,7 @@ impl<M: Message> FlatQueue<M> {
         if staged.is_empty() && self.left_msgs.is_empty() {
             return Ok(());
         }
-        staged.sort_by_key(|&(eid, _)| eid); // stable: preserves FIFO within an edge
+        self.sort_staged(staged); // stable by eid: preserves FIFO within an edge
         debug_assert!(self.eids.is_empty(), "stage follows deliver (or round 0)");
         // Merge the two ascending-by-eid runs (leftovers, then staged)
         // bucket by bucket into the main storage.

@@ -2,12 +2,32 @@
 
 use super::queue::FlatQueue;
 use super::RoundExecutor;
-use crate::engine::{EngineConfig, RunError, RunReport};
+use crate::engine::{EngineConfig, MemoryReport, RunError, RunReport};
 use crate::message::Envelope;
 use crate::node_local::{NodeLocalAdapter, NodeLocalProtocol};
 use crate::protocol::{Ctx, Protocol};
 use crate::rng::NodeRngs;
 use drw_graph::Graph;
+
+/// End-of-run capacity scan over the engine's buffers. `Vec` capacities
+/// never shrink, so this is the run's true high-water mark.
+pub(super) fn memory_report<M>(
+    queue_bytes: usize,
+    inbox: &[Vec<Envelope<M>>],
+    rng_count: usize,
+    staging_bytes: usize,
+) -> MemoryReport {
+    MemoryReport {
+        queue_bytes,
+        inbox_bytes: inbox
+            .iter()
+            .map(|b| b.capacity() * std::mem::size_of::<Envelope<M>>())
+            .sum::<usize>()
+            + std::mem::size_of_val(inbox),
+        rng_bytes: rng_count * std::mem::size_of::<rand::rngs::StdRng>(),
+        staging_bytes,
+    }
+}
 
 /// Executes rounds on the calling thread, visiting receiving nodes in
 /// ascending node-id order — the reference semantics every other
@@ -25,7 +45,7 @@ impl RoundExecutor for SequentialExecutor {
     ) -> Result<RunReport, RunError> {
         let n = graph.n();
         let mut rngs = NodeRngs::new(seed, n);
-        let mut queue: FlatQueue<P::Msg> = FlatQueue::new();
+        let mut queue: FlatQueue<P::Msg> = FlatQueue::for_graph(graph);
         let mut inbox: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); n];
         let mut active: Vec<usize> = Vec::new();
         let mut report = RunReport::default();
@@ -64,6 +84,12 @@ impl RoundExecutor for SequentialExecutor {
         }
 
         report.rounds = round;
+        report.memory = memory_report(
+            queue.capacity_bytes(),
+            &inbox,
+            rngs.len(),
+            staged_buf.capacity() * std::mem::size_of::<(usize, P::Msg)>(),
+        );
         Ok(report)
     }
 

@@ -1,0 +1,494 @@
+//! The sharded work-stealing round executor.
+//!
+//! Where [`super::ParallelExecutor`] pre-assigns each worker one
+//! contiguous chunk of the round's receiving nodes, this backend splits
+//! the receive phase into *load-balanced shards* — contiguous runs of
+//! nodes sized by their actual inbox message counts — and lets threads
+//! **claim** shards from a shared atomic cursor as they go idle. A
+//! thread that finishes a cheap shard immediately steals the next
+//! unclaimed one, so a straggler shard never serializes the round behind
+//! it.
+//!
+//! Two properties make this deterministic:
+//!
+//! 1. The shard *partition* depends only on the round's deliveries
+//!    (which are deterministic), never on thread scheduling.
+//! 2. Each shard stages its sends into a private buffer, and the buffers
+//!    are concatenated in shard order — ascending node order, exactly
+//!    the sequential staging order — regardless of which thread ran
+//!    which shard, or in what real-time order shards finished.
+//!
+//! The per-shard message loads are recorded in
+//! [`crate::RunReport`]'s [`crate::WorkBalance`] telemetry. Because the
+//! accounting unit is the shard (deterministic), not the thread (a
+//! scheduling accident), the balance of the work distribution is
+//! measured — and testable — even on a single-CPU machine.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use super::queue::FlatQueue;
+use super::RoundExecutor;
+use crate::engine::{EngineConfig, RunError, RunReport, WorkBalance};
+use crate::message::Envelope;
+use crate::node_local::{NodeCtx, NodeLocalProtocol};
+use crate::protocol::{Ctx, Protocol};
+use crate::rng::NodeRngs;
+use drw_graph::Graph;
+use rand::rngs::StdRng;
+
+/// Target messages of receive work per shard. Shards are the stealing
+/// granule: small enough that a round yields several per thread (so
+/// stealing can equalize), large enough to amortize the claim.
+const MSGS_PER_SHARD: u64 = 256;
+
+/// Upper bound on shards per round; beyond this the per-shard bookkeeping
+/// would outweigh the balance gain.
+const MAX_SHARDS: usize = 64;
+
+/// Executes the receive phase of node-local protocols as load-balanced
+/// work-stealing shards. Plain [`Protocol`]s fall back to the sequential
+/// discipline (their `&mut self` receive hook cannot be sharded).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedExecutor {
+    threads: usize,
+}
+
+impl ShardedExecutor {
+    /// An executor using `threads` worker threads (`0` = one per
+    /// available CPU). The thread count never affects results or the
+    /// recorded shard loads — only wall-clock time.
+    pub fn new(threads: usize) -> Self {
+        ShardedExecutor { threads }
+    }
+
+    /// An executor sized to the machine.
+    pub fn auto() -> Self {
+        ShardedExecutor::new(0)
+    }
+
+    /// The resolved worker count.
+    pub fn threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+impl Default for ShardedExecutor {
+    fn default() -> Self {
+        ShardedExecutor::auto()
+    }
+}
+
+/// One receiving node's slice of the round (see `parallel.rs`).
+struct WorkItem<'a, P: NodeLocalProtocol> {
+    node: usize,
+    state: &'a mut P::NodeState,
+    rng: &'a mut StdRng,
+    inbox: &'a mut Vec<Envelope<P::Msg>>,
+}
+
+/// A claimed unit of receive work: its nodes and its private staging
+/// buffer. Wrapped in a `Mutex` purely to hand exclusive access to
+/// whichever thread claims it — each shard is locked exactly once.
+struct ShardTask<'a, P: NodeLocalProtocol> {
+    items: Vec<WorkItem<'a, P>>,
+    out: Vec<(usize, P::Msg)>,
+}
+
+/// Greedy contiguous partition of per-node loads into at most
+/// `max_shards` shards of roughly `ceil(total / max_shards)` messages
+/// each. Returns (shard sizes in nodes, shard loads in messages).
+fn partition_by_load(counts: &[usize], total: usize, max_shards: usize) -> (Vec<usize>, Vec<u64>) {
+    let target = total.div_ceil(max_shards);
+    let mut sizes = Vec::with_capacity(max_shards);
+    let mut loads = Vec::with_capacity(max_shards);
+    let (mut load, mut size) = (0usize, 0usize);
+    for &c in counts {
+        load += c;
+        size += 1;
+        if load >= target && sizes.len() + 1 < max_shards {
+            sizes.push(size);
+            loads.push(load as u64);
+            load = 0;
+            size = 0;
+        }
+    }
+    if size > 0 {
+        sizes.push(size);
+        loads.push(load as u64);
+    }
+    (sizes, loads)
+}
+
+impl RoundExecutor for ShardedExecutor {
+    fn run<P: Protocol>(
+        &self,
+        graph: &Graph,
+        cfg: &EngineConfig,
+        seed: u64,
+        protocol: &mut P,
+    ) -> Result<RunReport, RunError> {
+        // Same reasoning as the parallel backend: a plain protocol's
+        // receive hook takes `&mut self` and cannot be sharded.
+        super::SequentialExecutor.run(graph, cfg, seed, protocol)
+    }
+
+    fn run_node_local<P: NodeLocalProtocol>(
+        &self,
+        graph: &Graph,
+        cfg: &EngineConfig,
+        seed: u64,
+        protocol: &mut P,
+    ) -> Result<RunReport, RunError> {
+        let n = graph.n();
+        let max_threads = self.threads().max(1);
+        let mut rngs = NodeRngs::new(seed, n);
+        let mut queue: FlatQueue<P::Msg> = FlatQueue::for_graph(graph);
+        let mut inbox: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); n];
+        let mut active: Vec<usize> = Vec::new();
+        let mut report = RunReport::default();
+        let mut balance = WorkBalance::default();
+        if cfg.record_edge_loads {
+            report.edge_load_histogram = vec![0; super::queue::LOAD_HISTOGRAM_BUCKETS];
+        }
+
+        // Round 0 is sequential: `start` sees the full context.
+        let mut ctx = Ctx::new(graph, 0, &mut rngs);
+        protocol.start(&mut ctx);
+        let mut staged_buf = ctx.staged;
+        queue.stage(&mut staged_buf, cfg, &mut report)?;
+
+        let mut round: u64 = 0;
+        while !queue.is_empty() {
+            if protocol.is_done() {
+                break;
+            }
+            round += 1;
+            if round > cfg.max_rounds {
+                return Err(RunError::MaxRoundsExceeded(cfg.max_rounds));
+            }
+
+            active.clear();
+            let delivered = queue.deliver(graph, cfg, &mut report, &mut inbox, &mut active);
+            active.sort_unstable();
+
+            // Global hook first, sequentially, exactly like the
+            // sequential executor; its stages precede all node stages.
+            let mut ctx = Ctx::with_staged(graph, round, &mut rngs, staged_buf);
+            protocol.on_round(&mut ctx);
+            let mut staged = ctx.staged;
+
+            // The shard count is a deterministic function of the round's
+            // delivery volume — never of thread count or scheduling.
+            let want_shards = ((delivered / MSGS_PER_SHARD) as usize)
+                .clamp(1, MAX_SHARDS)
+                .min(active.len().max(1));
+            if want_shards < 2 {
+                // Inline receive phase: identical to the sequential
+                // backend by construction.
+                balance.rounds_inline += 1;
+                let (shared, states) = protocol.parts();
+                for &node in &active {
+                    let mut nctx = NodeCtx::new(graph, round, node, rngs.node(node), &mut staged);
+                    P::on_receive_local(shared, &mut states[node], node, &inbox[node], &mut nctx);
+                    inbox[node].clear(); // keep the allocation for next round
+                }
+            } else {
+                let counts: Vec<usize> = active.iter().map(|&v| inbox[v].len()).collect();
+                let (sizes, loads) = partition_by_load(&counts, delivered as usize, want_shards);
+
+                if sizes.len() >= 2 {
+                    balance.rounds_measured += 1;
+                    let max = *loads.iter().max().expect("at least two shards") as f64;
+                    let mean = delivered as f64 / loads.len() as f64;
+                    balance.worst_max_over_mean = balance.worst_max_over_mean.max(max / mean);
+                    if balance.shard_messages.len() < loads.len() {
+                        balance.shard_messages.resize(loads.len(), 0);
+                    }
+                    for (slot, &l) in balance.shard_messages.iter_mut().zip(&loads) {
+                        *slot += l;
+                    }
+                } else {
+                    balance.rounds_inline += 1;
+                }
+
+                let (shared, states) = protocol.parts();
+                debug_assert_eq!(states.len(), n, "one NodeState per node required");
+
+                // Carve disjoint &mut views for each receiving node (same
+                // split_at_mut walk as the parallel backend).
+                let mut items: Vec<WorkItem<'_, P>> = Vec::with_capacity(active.len());
+                let mut rest_states: &mut [P::NodeState] = states;
+                let mut rest_rngs: &mut [StdRng] = rngs.as_mut_slice();
+                let mut rest_inbox: &mut [Vec<Envelope<P::Msg>>] = &mut inbox;
+                let mut consumed = 0usize;
+                for &node in &active {
+                    let offset = node - consumed;
+                    let (_, tail) = std::mem::take(&mut rest_states).split_at_mut(offset);
+                    let (head, tail) = tail.split_at_mut(1);
+                    rest_states = tail;
+                    let (_, rtail) = std::mem::take(&mut rest_rngs).split_at_mut(offset);
+                    let (rhead, rtail) = rtail.split_at_mut(1);
+                    rest_rngs = rtail;
+                    let (_, itail) = std::mem::take(&mut rest_inbox).split_at_mut(offset);
+                    let (ihead, itail) = itail.split_at_mut(1);
+                    rest_inbox = itail;
+                    consumed = node + 1;
+                    items.push(WorkItem {
+                        node,
+                        state: &mut head[0],
+                        rng: &mut rhead[0],
+                        inbox: &mut ihead[0],
+                    });
+                }
+
+                // Group items into shard tasks (contiguous, so shard
+                // order == ascending node order).
+                let mut item_iter = items.into_iter();
+                let tasks: Vec<Mutex<ShardTask<'_, P>>> = sizes
+                    .iter()
+                    .map(|&sz| {
+                        Mutex::new(ShardTask {
+                            items: item_iter.by_ref().take(sz).collect(),
+                            out: Vec::new(),
+                        })
+                    })
+                    .collect();
+                debug_assert!(item_iter.next().is_none(), "partition covers all items");
+
+                let run_shard = |task: &mut ShardTask<'_, P>| {
+                    let ShardTask { items, out } = task;
+                    for item in items.iter_mut() {
+                        let mut nctx = NodeCtx::new(graph, round, item.node, item.rng, out);
+                        P::on_receive_local(shared, item.state, item.node, item.inbox, &mut nctx);
+                        item.inbox.clear(); // keep the allocation
+                    }
+                };
+
+                let threads = max_threads.min(tasks.len());
+                if threads < 2 {
+                    // One worker: claim shards in order on this thread.
+                    // Loads were still recorded above — balance telemetry
+                    // does not depend on real parallelism.
+                    for task in &tasks {
+                        run_shard(&mut task.lock().expect("shard lock"));
+                    }
+                } else {
+                    let cursor = AtomicUsize::new(0);
+                    std::thread::scope(|scope| {
+                        for _ in 0..threads {
+                            scope.spawn(|| loop {
+                                // Work stealing: each idle thread claims
+                                // the next unclaimed shard.
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(task) = tasks.get(i) else { break };
+                                run_shard(&mut task.lock().expect("shard lock"));
+                            });
+                        }
+                    });
+                }
+                // Concatenate in shard order — the sequential staging
+                // order, whatever the claim interleaving was.
+                for task in tasks {
+                    let mut t = task.into_inner().expect("all shard workers joined");
+                    staged.append(&mut t.out);
+                }
+            }
+            staged_buf = staged;
+            queue.stage(&mut staged_buf, cfg, &mut report)?;
+        }
+
+        report.rounds = round;
+        report.memory = super::sequential::memory_report(
+            queue.capacity_bytes(),
+            &inbox,
+            rngs.len(),
+            staged_buf.capacity() * std::mem::size_of::<(usize, P::Msg)>(),
+        );
+        report.balance = Some(balance);
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::SequentialExecutor;
+    use crate::message::Message;
+    use drw_graph::generators;
+    use rand::Rng;
+
+    /// Same message-dense gossip as the parallel executor's test: every
+    /// round each node broadcasts a private draw to all neighbors, so on
+    /// `complete(48)` every round delivers 2256 messages — enough for
+    /// several shards per round even on one CPU.
+    #[derive(Clone, Debug)]
+    struct Gossip(u64);
+    impl Message for Gossip {}
+
+    #[derive(Default, Clone, PartialEq, Eq, Debug)]
+    struct Digest {
+        folded: u64,
+        received: u64,
+    }
+
+    struct DenseGossip {
+        ttl: u64,
+        nodes: Vec<Digest>,
+    }
+
+    impl NodeLocalProtocol for DenseGossip {
+        type Msg = Gossip;
+        type Shared = u64;
+        type NodeState = Digest;
+
+        fn start(&mut self, ctx: &mut Ctx<'_, Gossip>) {
+            let n = ctx.graph().n();
+            for v in 0..n {
+                let x: u64 = ctx.rng(v).random();
+                for u in ctx.graph().neighbors(v).collect::<Vec<_>>() {
+                    ctx.send(v, u, Gossip(x));
+                }
+            }
+        }
+
+        fn parts(&mut self) -> (&u64, &mut [Digest]) {
+            (&self.ttl, &mut self.nodes)
+        }
+
+        fn on_receive_local(
+            ttl: &u64,
+            state: &mut Digest,
+            _node: usize,
+            inbox: &[crate::Envelope<Gossip>],
+            ctx: &mut crate::NodeCtx<'_, Gossip>,
+        ) {
+            for env in inbox {
+                state.received += 1;
+                state.folded = state.folded.rotate_left(7) ^ env.msg.0;
+            }
+            if ctx.round() < *ttl {
+                let x: u64 = ctx.rng().random();
+                let neighbors: Vec<usize> = ctx.graph().neighbors(ctx.node()).collect();
+                for u in neighbors {
+                    ctx.send(u, Gossip(x));
+                }
+            }
+        }
+    }
+
+    fn mk(n: usize) -> DenseGossip {
+        DenseGossip {
+            ttl: 6,
+            nodes: vec![Digest::default(); n],
+        }
+    }
+
+    #[test]
+    fn sharded_run_matches_sequential_bitwise() {
+        let g = generators::complete(48);
+        let cfg = EngineConfig::default();
+        let mut seq = mk(48);
+        let r_seq = SequentialExecutor
+            .run_node_local(&g, &cfg, 11, &mut seq)
+            .unwrap();
+        for threads in [1, 2, 3, 4, 16] {
+            let mut sha = mk(48);
+            let r_sha = ShardedExecutor::new(threads)
+                .run_node_local(&g, &cfg, 11, &mut sha)
+                .unwrap();
+            assert_eq!(r_seq, r_sha, "{threads} threads: report");
+            assert_eq!(seq.nodes, sha.nodes, "{threads} threads: node digests");
+        }
+    }
+
+    #[test]
+    fn shard_loads_are_thread_independent() {
+        // The recorded balance telemetry is a function of deliveries, not
+        // of the worker count.
+        let g = generators::complete(48);
+        let cfg = EngineConfig::default();
+        let mut p1 = mk(48);
+        let b1 = ShardedExecutor::new(1)
+            .run_node_local(&g, &cfg, 5, &mut p1)
+            .unwrap()
+            .balance
+            .unwrap();
+        let mut p4 = mk(48);
+        let b4 = ShardedExecutor::new(4)
+            .run_node_local(&g, &cfg, 5, &mut p4)
+            .unwrap()
+            .balance
+            .unwrap();
+        assert_eq!(b1, b4);
+        assert!(b1.rounds_measured >= 1, "{b1:?}");
+    }
+
+    #[test]
+    fn dense_rounds_are_balanced() {
+        // Uniform inboxes (complete graph): the greedy partition must
+        // come out nearly flat.
+        let g = generators::complete(48);
+        let mut p = mk(48);
+        let report = ShardedExecutor::new(2)
+            .run_node_local(&g, &EngineConfig::default(), 3, &mut p)
+            .unwrap();
+        let balance = report.balance.expect("sharded runs record balance");
+        assert!(balance.rounds_measured >= 1, "{balance:?}");
+        assert!(
+            balance.worst_max_over_mean <= 1.5,
+            "max/mean {} exceeds the balance bound",
+            balance.worst_max_over_mean
+        );
+        // Every round of the dense gossip delivers 2256 messages, so all
+        // of them shard: the recorded loads account for every delivery.
+        let total: u64 = balance.shard_messages.iter().sum();
+        assert_eq!(total, report.messages);
+    }
+
+    #[test]
+    fn light_rounds_run_inline() {
+        // A path carries one message per round: never enough to shard.
+        let g = generators::path(16);
+        let mut p = DenseGossip {
+            ttl: 3,
+            nodes: vec![Digest::default(); 16],
+        };
+        let report = ShardedExecutor::auto()
+            .run_node_local(&g, &EngineConfig::default(), 1, &mut p)
+            .unwrap();
+        let balance = report.balance.expect("sharded runs record balance");
+        assert_eq!(balance.rounds_measured, 0);
+        assert!(balance.rounds_inline > 0);
+        assert_eq!(balance.worst_max_over_mean, 0.0);
+    }
+
+    #[test]
+    fn partition_by_load_is_balanced_on_uniform_loads() {
+        let counts = vec![4usize; 64];
+        let (sizes, loads) = partition_by_load(&counts, 256, 8);
+        assert_eq!(sizes.iter().sum::<usize>(), 64);
+        assert_eq!(loads.iter().sum::<u64>(), 256);
+        let max = *loads.iter().max().unwrap() as f64;
+        let mean = 256.0 / loads.len() as f64;
+        assert!(max / mean <= 1.5, "{loads:?}");
+    }
+
+    #[test]
+    fn partition_by_load_absorbs_skew() {
+        // One heavy node: it gets its own shard, the rest spread out.
+        let mut counts = vec![1usize; 40];
+        counts[0] = 40;
+        let total = 40 + 39;
+        let (sizes, loads) = partition_by_load(&counts, total, 8);
+        assert_eq!(sizes.iter().sum::<usize>(), 40);
+        assert_eq!(loads.iter().sum::<u64>(), total as u64);
+        assert_eq!(sizes[0], 1, "heavy node isolated in its own shard");
+    }
+}

@@ -89,8 +89,12 @@ mod protocol;
 mod rng;
 mod runner;
 
-pub use engine::{run_node_local, run_protocol, EngineConfig, RunError, RunReport};
-pub use executor::{ExecutorKind, ParallelExecutor, RoundExecutor, SequentialExecutor};
+pub use engine::{
+    run_node_local, run_protocol, EngineConfig, MemoryReport, RunError, RunReport, WorkBalance,
+};
+pub use executor::{
+    ExecutorKind, ParallelExecutor, RoundExecutor, SequentialExecutor, ShardedExecutor,
+};
 pub use message::{Envelope, Message};
 pub use multiplex::{Mux, Mux2};
 pub use node_local::{NodeCtx, NodeLocalAdapter, NodeLocalProtocol};

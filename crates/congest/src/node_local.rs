@@ -71,6 +71,7 @@ impl<'a, M: Message> NodeCtx<'a, M> {
     }
 
     /// The node's private RNG stream.
+    #[inline]
     pub fn rng(&mut self) -> &mut StdRng {
         self.rng
     }
@@ -80,6 +81,7 @@ impl<'a, M: Message> NodeCtx<'a, M> {
     /// # Panics
     ///
     /// Panics if `{node, to}` is not an edge of the graph.
+    #[inline]
     pub fn send(&mut self, to: NodeId, msg: M) {
         let node = self.node;
         let eid = self
@@ -95,7 +97,20 @@ impl<'a, M: Message> NodeCtx<'a, M> {
     /// # Panics
     ///
     /// Panics if the node has no neighbors.
+    #[inline]
     pub fn send_random_neighbor(&mut self, msg: M) -> NodeId {
+        self.send_random_neighbor_hop(msg).1
+    }
+
+    /// Like [`NodeCtx::send_random_neighbor`], but also returns the drawn
+    /// neighbor *index* (the walk's hop) — the compact token forwarding
+    /// logs store instead of a full node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has no neighbors.
+    #[inline]
+    pub fn send_random_neighbor_hop(&mut self, msg: M) -> (u32, NodeId) {
         let node = self.node;
         let deg = self.graph.degree(node);
         assert!(deg > 0, "node {node} has no neighbors");
@@ -103,7 +118,7 @@ impl<'a, M: Message> NodeCtx<'a, M> {
         let eid = self.graph.nth_edge_id(node, idx);
         let to = self.graph.edge_target(eid);
         self.staged.push((eid, msg));
-        to
+        (idx as u32, to)
     }
 }
 

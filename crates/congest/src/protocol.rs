@@ -65,20 +65,31 @@ impl<'a, M: Message> Ctx<'a, M> {
     }
 
     /// The private RNG stream of `node`.
+    #[inline]
     pub fn rng(&mut self, node: NodeId) -> &mut StdRng {
         self.rngs.node(node)
     }
 
     /// Sends `msg` from `node` to a uniformly random neighbor and returns
     /// that neighbor — one step of the simple random walk.
+    #[inline]
     pub fn send_random_neighbor(&mut self, node: NodeId, msg: M) -> NodeId {
+        self.send_random_neighbor_hop(node, msg).1
+    }
+
+    /// Like [`Ctx::send_random_neighbor`], but also returns the drawn
+    /// neighbor *index* (the walk's hop). The index is a by-product of
+    /// the draw and fits in far fewer bits than a node id — it is what
+    /// compact forwarding logs store.
+    #[inline]
+    pub fn send_random_neighbor_hop(&mut self, node: NodeId, msg: M) -> (u32, NodeId) {
         let deg = self.graph.degree(node);
         assert!(deg > 0, "node {node} has no neighbors");
         let idx = self.rngs.node(node).random_range(0..deg);
         let eid = self.graph.nth_edge_id(node, idx);
         let to = self.graph.edge_target(eid);
         self.staged.push((eid, msg));
-        to
+        (idx as u32, to)
     }
 }
 

@@ -102,5 +102,5 @@ pub use single_walk::{
     single_random_walk, Segment, SingleWalkConfig, SingleWalkResult, StitchSetup, WalkAction,
     WalkDriver, WalkError,
 };
-pub use state::{StoredWalk, Visit, WalkId, WalkState};
+pub use state::{StateMemory, StoredWalk, Visit, WalkId, WalkState};
 pub use stitch_scheduler::{BatchedStitchOutcome, BatchedWalk, StitchScheduler, StitchSpec};

@@ -856,7 +856,7 @@ fn absorb(
             if *record {
                 state.record_visit(*source, 0, None);
                 for (v, visit) in &walk.visits {
-                    state.record_visit(*v, visit.pos, visit.pred);
+                    state.record_visit(*v, visit.pos, visit.pred());
                 }
             }
             slot.response = Some(Response::Walk(SingleWalkResult {
@@ -923,7 +923,7 @@ fn absorb(
                         .0;
                     for (v, visit) in &walk.visits {
                         debug_assert!(visit.pos > t.offset && visit.pos <= t.offset + seg_len);
-                        let pred = visit.pred.expect("extension visits carry predecessors");
+                        let pred = visit.pred().expect("extension visits carry predecessors");
                         spanning::merge_first_visit(&mut t.first, *v, visit.pos, pred);
                     }
                     t.offset += seg_len;
@@ -937,7 +937,7 @@ fn absorb(
                     restart_first = vec![None; n];
                     restart_first[t.req.root] = Some((0, None));
                     for (v, visit) in &walk.visits {
-                        let pred = visit.pred.expect("extension visits carry predecessors");
+                        let pred = visit.pred().expect("extension visits carry predecessors");
                         spanning::merge_first_visit(&mut restart_first, *v, visit.pos, pred);
                     }
                     (restart_first.as_slice(), t.phase, seg_len)

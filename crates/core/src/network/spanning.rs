@@ -222,7 +222,7 @@ impl SessionRstRun<'_, '_> {
                 // always carry a predecessor — the boundary position
                 // `offset` itself belongs to the previous phase.
                 debug_assert!(visit.pos > offset && visit.pos <= new_offset);
-                let pred = visit.pred.expect("extension visits carry predecessors");
+                let pred = visit.pred().expect("extension visits carry predecessors");
                 if merge_first_visit(&mut first, v, visit.pos, pred) {
                     covered_count += 1;
                 }
@@ -263,7 +263,7 @@ impl SessionRstRun<'_, '_> {
                 let mut first: Vec<Option<(u64, Option<NodeId>)>> = vec![None; n];
                 first[root] = Some((0, None));
                 for &(v, visit) in &ext.visits {
-                    let pred = visit.pred.expect("extension visits carry predecessors");
+                    let pred = visit.pred().expect("extension visits carry predecessors");
                     merge_first_visit(&mut first, v, visit.pos, pred);
                 }
                 if !self.check_cover(&first.iter().map(|f| f.is_some()).collect::<Vec<_>>())? {
@@ -344,10 +344,10 @@ impl RebuildRstRun<'_, '_> {
                     if let Some(visit) = r.state.nodes[v]
                         .visits
                         .iter()
-                        .filter(|x| !(x.pos == 0 && x.pred.is_none()))
+                        .filter(|x| !(x.pos == 0 && x.pred().is_none()))
                         .min_by_key(|x| x.pos)
                     {
-                        first[v] = Some((offset + visit.pos, visit.pred));
+                        first[v] = Some((offset + visit.pos, visit.pred()));
                         covered_count += 1;
                     }
                 }
@@ -403,7 +403,7 @@ impl RebuildRstRun<'_, '_> {
                         .iter()
                         .min_by_key(|x| x.pos)
                         .expect("covered walk visits every node");
-                    *f = Some((visit.pos, visit.pred));
+                    *f = Some((visit.pos, visit.pred()));
                 }
                 let key = tree_from_first_visits(self.g, root, &first);
                 return Ok(self.result(key, phase, len));

@@ -84,18 +84,19 @@ impl NodeLocalProtocol for ReplayProtocol<'_> {
             // The connector's own position is recorded as the *endpoint*
             // of the previous segment (or pos 0 by the driver), so replay
             // starts at step 1.
-            let next = self.state.nodes[seg.connector]
+            let hop = self.state.nodes[seg.connector]
                 .forward
-                .get(seg.id.source, seg.id.seq, 0)
+                .hop(seg.id.source, seg.id.seq, 0)
                 .unwrap_or_else(|| {
                     panic!(
                         "walk ({}, {}) has no forwarding log at its source — not replayable",
                         seg.id.source, seg.id.seq
                     )
                 });
+            let next = ctx.graph().neighbor_at(seg.connector, hop as usize);
             ctx.send(
                 seg.connector,
-                next as usize,
+                next,
                 ReplayMsg {
                     source: seg.id.source,
                     seq: seg.id.seq,
@@ -120,9 +121,10 @@ impl NodeLocalProtocol for ReplayProtocol<'_> {
         for env in inbox {
             let m = &env.msg;
             state.record_visit(m.pos, Some(env.from));
-            if let Some(next) = state.forward.get(m.source, m.seq, m.step) {
+            if let Some(hop) = state.forward.hop(m.source, m.seq, m.step) {
+                let next = ctx.graph().neighbor_at(ctx.node(), hop as usize);
                 ctx.send(
-                    next as usize,
+                    next,
                     ReplayMsg {
                         source: m.source,
                         seq: m.seq,
@@ -173,7 +175,7 @@ mod tests {
         let mut recorded: Vec<(u64, usize, Option<usize>)> = Vec::new();
         for (v, ns) in state.nodes.iter().enumerate() {
             for visit in &ns.visits {
-                recorded.push((visit.pos, v, visit.pred));
+                recorded.push((visit.pos, v, visit.pred()));
             }
         }
         recorded.sort_unstable();

@@ -1072,8 +1072,8 @@ mod tests {
         assert_eq!(e2.visits.len() as u64, l2);
         for (node, v) in e1.visits.iter().chain(&e2.visits) {
             assert!(v.pos >= 1, "extensions never record their start");
-            assert!(v.pred.is_some(), "every extension visit has a pred");
-            state.record_visit(*node, v.pos, v.pred);
+            assert!(v.pred().is_some(), "every extension visit has a pred");
+            state.record_visit(*node, v.pos, v.pred());
         }
         let walk = state.reconstruct_walk(l1 + l2);
         assert_eq!(walk[0], 0);
@@ -1179,7 +1179,7 @@ mod tests {
         assert_eq!(out.walks[1].visits.len(), 300);
         for (_, v) in &out.walks[1].visits {
             assert!(v.pos > 10 && v.pos <= 310);
-            assert!(v.pred.is_some());
+            assert!(v.pred().is_some());
         }
         assert!(out.walks[0].visits.is_empty());
         // The wave's bill is one shared run, not a sum of four.
@@ -1311,7 +1311,7 @@ mod tests {
         let mut state = WalkState::new(g.n());
         state.record_visit(0, 0, None);
         for (node, v) in e1.visits.iter().chain(&e2.visits) {
-            state.record_visit(*node, v.pos, v.pred);
+            state.record_visit(*node, v.pos, v.pred());
         }
         let walk = state.reconstruct_walk(600);
         // Only the post-delta extension must respect the new edge set

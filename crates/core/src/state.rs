@@ -41,15 +41,80 @@ pub struct StoredWalk {
 }
 
 /// One recorded visit of the length-`l` walk at a node.
+///
+/// 16 bytes: the predecessor is stored as a `u32` with a sentinel for
+/// "none" instead of an `Option<usize>`, which alone cuts the visit
+/// record from 24 to 16 bytes (visits are recorded once per walk step,
+/// so this is a hot-path allocation at scale).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Visit {
     /// Global position in `0..=l` (position 0 is the source).
     pub pos: u64,
-    /// The node the walk arrived from (`None` only at position 0).
-    pub pred: Option<NodeId>,
+    /// The node the walk arrived from, or [`NO_PRED`] at position 0.
+    pred: u32,
 }
 
-/// One node's forwarding log: `(source, seq, step) -> next hop`.
+/// Sentinel predecessor: "this visit has no predecessor" (position 0).
+/// Reserves one node id; the engine's compact layout caps ids below
+/// `2^26` anyway (see [`ForwardLog`]).
+const NO_PRED: u32 = u32::MAX;
+
+impl Visit {
+    /// A visit at `pos` arrived-from `pred` (`None` only at position 0).
+    #[inline]
+    pub fn new(pos: u64, pred: Option<NodeId>) -> Self {
+        let pred = match pred {
+            Some(p) => {
+                debug_assert!(
+                    (p as u64) < NO_PRED as u64,
+                    "node id collides with sentinel"
+                );
+                p as u32
+            }
+            None => NO_PRED,
+        };
+        Visit { pos, pred }
+    }
+
+    /// The node the walk arrived from (`None` only at position 0).
+    #[inline]
+    pub fn pred(&self) -> Option<NodeId> {
+        if self.pred == NO_PRED {
+            None
+        } else {
+            Some(self.pred as NodeId)
+        }
+    }
+}
+
+/// Bit budget of the packed forwarding-log entry
+/// `[source:26 | seq:12 | step:14 | hop:12]`.
+///
+/// - `source < 2^26`: 67M nodes — the "million-node engine" with 64x
+///   headroom;
+/// - `seq < 2^12`: 4096 walks launched per source (Phase 1 launches
+///   `eta = O(deg)` per node; `GET-MORE-WALKS` adds few);
+/// - `step < 2^14`: short walks run `lambda..2*lambda` steps with
+///   `lambda = O(sqrt(l log n))`, comfortably under 16384;
+/// - `hop < 2^12`: the *neighbor index* drawn at this step fits 12 bits
+///   for every node of degree <= 4096.
+const SOURCE_BITS: u32 = 26;
+const SEQ_BITS: u32 = 12;
+const STEP_BITS: u32 = 14;
+const HOP_BITS: u32 = 12;
+
+#[inline]
+fn pack_key(source: u32, seq: u32, step: u32) -> Option<u64> {
+    if source < (1 << SOURCE_BITS) && seq < (1 << SEQ_BITS) && step < (1 << STEP_BITS) {
+        Some(
+            ((source as u64) << (SEQ_BITS + STEP_BITS)) | ((seq as u64) << STEP_BITS) | step as u64,
+        )
+    } else {
+        None
+    }
+}
+
+/// One node's forwarding log: `(source, seq, step) -> hop index`.
 ///
 /// Phase 1 appends one entry per token step — tens of millions on long
 /// walks — while replay reads back only the stitched segments
@@ -58,26 +123,65 @@ pub struct Visit {
 /// slower per insert at this scale, dominated by scattered rehashing
 /// across thousands of per-node maps). Lookups scan linearly; they are
 /// off the hot path by construction.
+///
+/// Two compactions over the naive `Vec<(u32, u32, u32, u32)>`:
+///
+/// 1. the value is the drawn **neighbor index** (the walk's hop), not
+///    the neighbor's node id — a free by-product of the random draw
+///    that fits 12 bits and decodes via
+///    [`drw_graph::Graph::neighbor_at`];
+/// 2. `(source, seq, step, hop)` packs into one `u64`
+///    (`[source:26 | seq:12 | step:14 | hop:12]`), halving the entry to
+///    8 bytes. Entries whose fields exceed their budgets (hub nodes of
+///    degree > 4096, pathological walk lengths) spill into a boxed
+///    overflow vector — correctness never depends on the bit budget,
+///    only compactness does. The box costs one pointer per node when
+///    unused.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ForwardLog {
-    entries: Vec<(u32, u32, u32, u32)>, // (source, seq, step, next)
+    packed: Vec<u64>,
+    overflow: Option<Box<WideEntries>>,
 }
+
+/// Unpacked `(source, seq, step, hop)` entries — the overflow store for
+/// the rare decision whose fields exceed the packed bit budgets.
+type WideEntries = Vec<(u32, u32, u32, u32)>;
 
 impl ForwardLog {
     /// Appends the decision: this node forwarded walk `(source, seq)`
-    /// to `next` when holding it at `step`. Keys are never re-inserted
-    /// (each node holds a given walk step exactly once).
-    pub fn log(&mut self, source: u32, seq: u32, step: u32, next: u32) {
-        self.entries.push((source, seq, step, next));
+    /// along its `hop`-th incident edge when holding it at `step`. Keys
+    /// are never re-inserted (each node holds a given walk step exactly
+    /// once).
+    #[inline]
+    pub fn log_hop(&mut self, source: u32, seq: u32, step: u32, hop: u32) {
+        match pack_key(source, seq, step) {
+            Some(key) if hop < (1 << HOP_BITS) => {
+                self.packed.push((key << HOP_BITS) | hop as u64);
+            }
+            _ => self
+                .overflow
+                .get_or_insert_with(Default::default)
+                .push((source, seq, step, hop)),
+        }
     }
 
-    /// The next hop this node forwarded walk `(source, seq)` to at
-    /// `step`, if it ever held it.
-    pub fn get(&self, source: u32, seq: u32, step: u32) -> Option<u32> {
-        self.entries
-            .iter()
-            .find(|&&(s, q, t, _)| s == source && q == seq && t == step)
-            .map(|&(_, _, _, next)| next)
+    /// The hop index (`0..degree`) this node forwarded walk
+    /// `(source, seq)` along at `step`, if it ever held it. Decode with
+    /// [`drw_graph::Graph::neighbor_at`] at the holding node.
+    pub fn hop(&self, source: u32, seq: u32, step: u32) -> Option<u32> {
+        // An entry lives in exactly one store, but a key whose fields
+        // all fit may still sit in the overflow (its *hop* overflowed),
+        // so both are consulted.
+        if let Some(key) = pack_key(source, seq, step) {
+            if let Some(&e) = self.packed.iter().find(|&&e| (e >> HOP_BITS) == key) {
+                return Some((e & ((1 << HOP_BITS) - 1)) as u32);
+            }
+        }
+        self.overflow.as_ref().and_then(|o| {
+            o.iter()
+                .find(|&&(s, q, t, _)| s == source && q == seq && t == step)
+                .map(|&(_, _, _, hop)| hop)
+        })
     }
 
     /// Iterator over the identities `(source, seq)` of every walk this
@@ -85,7 +189,21 @@ impl ForwardLog {
     /// walks' trajectories visited a touched node (duplicates possible:
     /// a walk may revisit).
     pub fn logged_walks(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        self.entries.iter().map(|&(s, q, _, _)| (s, q))
+        let seq_mask = (1u64 << SEQ_BITS) - 1;
+        self.packed
+            .iter()
+            .map(move |&e| {
+                let key = e >> HOP_BITS;
+                (
+                    (key >> (SEQ_BITS + STEP_BITS)) as u32,
+                    ((key >> STEP_BITS) & seq_mask) as u32,
+                )
+            })
+            .chain(
+                self.overflow
+                    .iter()
+                    .flat_map(|o| o.iter().map(|&(s, q, _, _)| (s, q))),
+            )
     }
 
     /// Removes every entry logged for walks launched by sources with id
@@ -96,17 +214,41 @@ impl ForwardLog {
     /// retired node would otherwise shadow the new walk's during replay
     /// (lookups return the first match).
     pub fn purge_sources_at_or_above(&mut self, first_retired: u32) {
-        self.entries.retain(|&(s, _, _, _)| s < first_retired);
+        let cut = (first_retired as u64) << (SEQ_BITS + STEP_BITS + HOP_BITS);
+        self.packed.retain(|&e| e < cut);
+        if let Some(o) = &mut self.overflow {
+            o.retain(|&(s, _, _, _)| s < first_retired);
+        }
     }
 
     /// Number of logged decisions.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.packed.len() + self.overflow.as_ref().map_or(0, |o| o.len())
     }
 
     /// Whether the log is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
+    }
+
+    /// Pre-reserves room for `additional` packed entries beyond the
+    /// current length — the runner's degree-proportional capacity hint,
+    /// which replaces doubling growth (worst-case 2x slack) with a
+    /// near-exact allocation.
+    pub fn reserve(&mut self, additional: usize) {
+        self.packed.reserve(additional);
+    }
+
+    /// Heap bytes held by this log (capacities, not lengths — `Vec`
+    /// never shrinks, so this is the high-water mark).
+    pub fn capacity_bytes(&self) -> usize {
+        self.packed.capacity() * std::mem::size_of::<u64>()
+            + self.overflow.as_ref().map_or(0, |o| {
+                std::mem::size_of::<Vec<(u32, u32, u32, u32)>>()
+                    + o.capacity() * std::mem::size_of::<(u32, u32, u32, u32)>()
+            })
     }
 }
 
@@ -204,14 +346,74 @@ impl NodeWalkState {
     }
 
     /// Records one visit of the global walk at this node.
+    #[inline]
     pub fn record_visit(&mut self, pos: u64, pred: Option<NodeId>) {
-        self.visits.push(Visit { pos, pred });
+        self.visits.push(Visit::new(pos, pred));
     }
 
-    /// Logs that this node forwarded walk `(source, seq)` to `next` when
-    /// holding it at `step`.
-    pub fn log_forward(&mut self, source: u32, seq: u32, step: u32, next: u32) {
-        self.forward.log(source, seq, step, next);
+    /// Logs that this node forwarded walk `(source, seq)` along its
+    /// `hop`-th incident edge when holding it at `step`.
+    #[inline]
+    pub fn log_forward_hop(&mut self, source: u32, seq: u32, step: u32, hop: u32) {
+        self.forward.log_hop(source, seq, step, hop);
+    }
+
+    /// Pre-reserves forwarding-log capacity (see [`ForwardLog::reserve`]).
+    pub fn reserve_forward(&mut self, additional: usize) {
+        self.forward.reserve(additional);
+    }
+}
+
+/// Byte census of a [`WalkState`], by subsystem, plus what the same
+/// logical content would cost under the pre-compaction layout.
+///
+/// Actual bytes are capacity-based (a `Vec`'s capacity never shrinks,
+/// so end-of-run capacities are true high-water marks). The legacy
+/// model prices the old field sizes (16-byte forward entries holding
+/// node ids, 24-byte visits with `Option<usize>` predecessors, 80-byte
+/// per-node struct) at doubling-growth capacities
+/// (`max(4, next_power_of_two(len))`) — exactly what the old layout,
+/// which never pre-reserved, allocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StateMemory {
+    /// Nodes in the census.
+    pub nodes: usize,
+    /// Bytes in the per-node `NodeWalkState` structs themselves.
+    pub overhead_bytes: usize,
+    /// Bytes in the stored-walk vectors.
+    pub store_bytes: usize,
+    /// Bytes in the forwarding logs (packed + overflow).
+    pub forward_bytes: usize,
+    /// Bytes in the visit records.
+    pub visit_bytes: usize,
+    /// What the same lengths would cost under the pre-compaction layout.
+    pub legacy_bytes: usize,
+}
+
+impl StateMemory {
+    /// Total bytes of the compact layout.
+    pub fn total_bytes(&self) -> usize {
+        self.overhead_bytes + self.store_bytes + self.forward_bytes + self.visit_bytes
+    }
+
+    /// Compact-layout bytes as a fraction of the legacy layout's.
+    pub fn ratio_vs_legacy(&self) -> f64 {
+        self.total_bytes() as f64 / self.legacy_bytes.max(1) as f64
+    }
+
+    /// Compact-layout bytes per node.
+    pub fn bytes_per_node(&self) -> f64 {
+        self.total_bytes() as f64 / self.nodes.max(1) as f64
+    }
+}
+
+/// Doubling-growth capacity the legacy layout would have reached for
+/// `len` elements (it never pre-reserved).
+fn legacy_cap(len: usize) -> usize {
+    if len == 0 {
+        0
+    } else {
+        len.next_power_of_two().max(4)
     }
 }
 
@@ -391,6 +593,31 @@ impl WalkState {
         }
     }
 
+    /// Byte census of this state, by subsystem, against the legacy
+    /// layout's pricing — the measurement behind the engine's
+    /// "bytes per node at scale" acceptance bar.
+    pub fn memory_report(&self) -> StateMemory {
+        const LEGACY_NODE_BYTES: usize = 80; // 3 Vecs + ForwardLog Vec shared 24B each + counters
+        const LEGACY_STORE_ENTRY: usize = 20; // WalkId(8) + len(4) + tag(4) + bool, padded
+        const LEGACY_FORWARD_ENTRY: usize = 16; // (u32, u32, u32, u32) holding a node id
+        const LEGACY_VISIT_ENTRY: usize = 24; // pos: u64 + pred: Option<usize>
+        let mut m = StateMemory {
+            nodes: self.nodes.len(),
+            overhead_bytes: self.nodes.len() * std::mem::size_of::<NodeWalkState>(),
+            legacy_bytes: self.nodes.len() * LEGACY_NODE_BYTES,
+            ..StateMemory::default()
+        };
+        for ns in &self.nodes {
+            m.store_bytes += ns.store.capacity() * std::mem::size_of::<StoredWalk>();
+            m.forward_bytes += ns.forward.capacity_bytes();
+            m.visit_bytes += ns.visits.capacity() * std::mem::size_of::<Visit>();
+            m.legacy_bytes += legacy_cap(ns.store.len()) * LEGACY_STORE_ENTRY
+                + legacy_cap(ns.forward.len()) * LEGACY_FORWARD_ENTRY
+                + legacy_cap(ns.visits.len()) * LEGACY_VISIT_ENTRY;
+        }
+        m
+    }
+
     /// Removes and returns every recorded visit as `(node, visit)`
     /// pairs, leaving the per-node visit lists empty. Used by the
     /// session's recorded walk extension so each extension's visits can
@@ -514,13 +741,13 @@ mod tests {
         //   B = (0, 1): 0 -> 3 -> 4   (stored at 4)
         //   C = (3, 0): 3 -> 4        (stored at 4)
         let mut s = WalkState::new(5);
-        s.nodes[0].log_forward(0, 0, 0, 1);
-        s.nodes[1].log_forward(0, 0, 1, 2);
+        s.nodes[0].log_forward_hop(0, 0, 0, 1);
+        s.nodes[1].log_forward_hop(0, 0, 1, 2);
         s.store_walk(2, WalkId { source: 0, seq: 0 }, 2, true);
-        s.nodes[0].log_forward(0, 1, 0, 3);
-        s.nodes[3].log_forward(0, 1, 1, 4);
+        s.nodes[0].log_forward_hop(0, 1, 0, 3);
+        s.nodes[3].log_forward_hop(0, 1, 1, 4);
         s.store_walk(4, WalkId { source: 0, seq: 1 }, 2, true);
-        s.nodes[3].log_forward(3, 0, 0, 4);
+        s.nodes[3].log_forward_hop(3, 0, 0, 4);
         s.store_walk(4, WalkId { source: 3, seq: 0 }, 1, true);
 
         // Touching node 1 kills only A (B and C never visit it).
@@ -550,7 +777,7 @@ mod tests {
         // A walk whose only brush with the touched node is being stored
         // there (the endpoint logs nothing).
         let mut s = WalkState::new(3);
-        s.nodes[0].log_forward(0, 0, 0, 2);
+        s.nodes[0].log_forward_hop(0, 0, 0, 2);
         s.store_walk(2, WalkId { source: 0, seq: 0 }, 1, true);
         assert_eq!(s.evict_touched(&[2]), 1);
     }
@@ -571,15 +798,15 @@ mod tests {
     #[test]
     fn purge_retired_sources_removes_only_the_retired_block() {
         let mut s = WalkState::new(3);
-        s.nodes[0].log_forward(1, 0, 0, 1);
-        s.nodes[0].log_forward(0, 0, 0, 1);
-        s.nodes[1].log_forward(2, 3, 2, 0);
+        s.nodes[0].log_forward_hop(1, 0, 0, 1);
+        s.nodes[0].log_forward_hop(0, 0, 0, 1);
+        s.nodes[1].log_forward_hop(2, 3, 2, 0);
         s.purge_sources_at_or_above(1);
         assert_eq!(s.nodes[0].forward.len(), 1);
         assert!(s.nodes[1].forward.is_empty());
-        assert_eq!(s.nodes[0].forward.get(0, 0, 0), Some(1));
-        assert_eq!(s.nodes[0].forward.get(1, 0, 0), None);
-        assert_eq!(s.nodes[1].forward.get(2, 3, 2), None);
+        assert_eq!(s.nodes[0].forward.hop(0, 0, 0), Some(1));
+        assert_eq!(s.nodes[0].forward.hop(1, 0, 0), None);
+        assert_eq!(s.nodes[1].forward.hop(2, 3, 2), None);
     }
 
     #[test]
@@ -591,16 +818,7 @@ mod tests {
         let mut drained = s.drain_visits();
         drained.sort_unstable_by_key(|(_, v)| v.pos);
         assert_eq!(drained.len(), 3);
-        assert_eq!(
-            drained[1],
-            (
-                2,
-                Visit {
-                    pos: 1,
-                    pred: Some(0)
-                }
-            )
-        );
+        assert_eq!(drained[1], (2, Visit::new(1, Some(0))));
         assert!(s.nodes.iter().all(|ns| ns.visits.is_empty()));
         assert!(s.drain_visits().is_empty());
     }
@@ -639,5 +857,127 @@ mod tests {
         s.record_visit(0, 0, None);
         s.record_visit(1, 0, None);
         let _ = s.reconstruct_walk(0);
+    }
+
+    #[test]
+    fn compact_layouts_have_the_advertised_sizes() {
+        assert_eq!(
+            std::mem::size_of::<Visit>(),
+            16,
+            "Visit must pack to 16 bytes"
+        );
+        assert_eq!(
+            SOURCE_BITS + SEQ_BITS + STEP_BITS + HOP_BITS,
+            64,
+            "packed entry must fill exactly one u64"
+        );
+    }
+
+    #[test]
+    fn visit_pred_round_trips_through_the_sentinel() {
+        assert_eq!(Visit::new(0, None).pred(), None);
+        assert_eq!(Visit::new(7, Some(0)).pred(), Some(0));
+        let big = (NO_PRED - 1) as usize;
+        assert_eq!(Visit::new(7, Some(big)).pred(), Some(big));
+    }
+
+    #[test]
+    fn packed_forward_log_round_trips_field_extremes() {
+        let mut log = ForwardLog::default();
+        let max_s = (1u32 << SOURCE_BITS) - 1;
+        let max_q = (1u32 << SEQ_BITS) - 1;
+        let max_t = (1u32 << STEP_BITS) - 1;
+        let max_h = (1u32 << HOP_BITS) - 1;
+        let cases = [
+            (0, 0, 0, 0),
+            (max_s, 0, 0, max_h),
+            (0, max_q, max_t, 0),
+            (max_s, max_q, max_t, max_h),
+            (123_456, 7, 300, 11),
+        ];
+        for &(s, q, t, h) in &cases {
+            log.log_hop(s, q, t, h);
+        }
+        for &(s, q, t, h) in &cases {
+            assert_eq!(log.hop(s, q, t), Some(h), "({s}, {q}, {t})");
+        }
+        assert!(log.overflow.is_none(), "in-budget entries stay packed");
+        assert_eq!(log.len(), cases.len());
+    }
+
+    #[test]
+    fn oversized_fields_spill_to_overflow_and_stay_findable() {
+        let mut log = ForwardLog::default();
+        // One overflow per exceeded field, plus a packed control entry.
+        log.log_hop(1 << SOURCE_BITS, 0, 0, 0);
+        log.log_hop(0, 1 << SEQ_BITS, 0, 1);
+        log.log_hop(0, 0, 1 << STEP_BITS, 2);
+        log.log_hop(3, 3, 3, 1 << HOP_BITS); // key fits, hop does not
+        log.log_hop(5, 5, 5, 5);
+        assert_eq!(log.packed.len(), 1);
+        assert_eq!(log.overflow.as_ref().unwrap().len(), 4);
+        assert_eq!(log.len(), 5);
+        assert_eq!(log.hop(1 << SOURCE_BITS, 0, 0), Some(0));
+        assert_eq!(log.hop(0, 1 << SEQ_BITS, 0), Some(1));
+        assert_eq!(log.hop(0, 0, 1 << STEP_BITS), Some(2));
+        assert_eq!(log.hop(3, 3, 3), Some(1 << HOP_BITS));
+        assert_eq!(log.hop(5, 5, 5), Some(5));
+        assert_eq!(log.hop(9, 9, 9), None);
+        // logged_walks sees both stores.
+        let ids: Vec<(u32, u32)> = log.logged_walks().collect();
+        assert_eq!(ids.len(), 5);
+        assert!(ids.contains(&(5, 5)));
+        assert!(ids.contains(&(3, 3)));
+        assert!(ids.contains(&(1 << SOURCE_BITS, 0)));
+        // Purging spans both stores too.
+        log.purge_sources_at_or_above(4);
+        assert_eq!(log.len(), 3, "sources 5 and 2^26 purged from both stores");
+        assert_eq!(log.hop(3, 3, 3), Some(1 << HOP_BITS));
+        assert_eq!(log.hop(5, 5, 5), None);
+        assert_eq!(log.hop(1 << SOURCE_BITS, 0, 0), None);
+    }
+
+    #[test]
+    fn memory_report_prices_the_compaction() {
+        let mut s = WalkState::new(4);
+        // A forward-heavy state: packed entries cost 8 bytes against the
+        // legacy 16, so the ratio must land well under 1 even with the
+        // legacy model's doubling capacities matched by our own growth.
+        for i in 0..1000u32 {
+            s.nodes[(i % 4) as usize].log_forward_hop(i % 4, i / 4, 0, 1);
+        }
+        for i in 0..100 {
+            s.record_visit(i % 4, i as u64, if i == 0 { None } else { Some(i % 4) });
+        }
+        s.store_walk(0, WalkId { source: 1, seq: 0 }, 4, true);
+        let m = s.memory_report();
+        assert_eq!(m.nodes, 4);
+        assert!(m.forward_bytes > 0 && m.visit_bytes > 0 && m.store_bytes > 0);
+        assert_eq!(
+            m.total_bytes(),
+            m.overhead_bytes + m.store_bytes + m.forward_bytes + m.visit_bytes
+        );
+        assert!(
+            m.ratio_vs_legacy() < 0.75,
+            "ratio = {} (compact layout must beat legacy)",
+            m.ratio_vs_legacy()
+        );
+        assert!(m.bytes_per_node() > 0.0);
+    }
+
+    #[test]
+    fn reserve_forward_sets_capacity_up_front() {
+        let mut s = WalkState::new(1);
+        s.nodes[0].reserve_forward(1000);
+        let cap = s.nodes[0].forward.capacity_bytes();
+        assert!(cap >= 8000, "reserved {cap} bytes");
+        for i in 0..1000 {
+            s.nodes[0].log_forward_hop(0, i, 0, 0);
+        }
+        assert_eq!(
+            s.nodes[0].forward.capacity_bytes(),
+            cap,
+            "no reallocation within the reserved budget"
+        );
     }
 }

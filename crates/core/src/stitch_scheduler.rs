@@ -584,7 +584,7 @@ impl NodeLocalProtocol for BatchedStitchProtocol {
                         );
                         push_ack(&mut acks, lane_idx, 1);
                     } else {
-                        let next = ctx.send_random_neighbor(shared.mux(
+                        let (hop, _) = ctx.send_random_neighbor_hop(shared.mux(
                             lane_idx,
                             StitchMsg::Swk {
                                 seq,
@@ -592,7 +592,7 @@ impl NodeLocalProtocol for BatchedStitchProtocol {
                                 total,
                             },
                         ));
-                        ws.log_forward(lane.root, seq, step, next as u32);
+                        ws.log_forward_hop(lane.root, seq, step, hop);
                     }
                 }
                 StitchMsg::GmwAck { count } => {
@@ -769,7 +769,7 @@ fn finalize_at_root(
                     0
                 };
                 let total = shared.lambda + r;
-                let next = ctx.send_random_neighbor(shared.mux(
+                let (hop, _) = ctx.send_random_neighbor_hop(shared.mux(
                     lane_idx,
                     StitchMsg::Swk {
                         seq,
@@ -777,7 +777,7 @@ fn finalize_at_root(
                         total,
                     },
                 ));
-                ws.log_forward(node as u32, seq, 0, next as u32);
+                ws.log_forward_hop(node as u32, seq, 0, hop);
             }
         }
         return;
@@ -1260,7 +1260,7 @@ mod tests {
         let (last_node, _) = *visits.iter().find(|(_, v)| v.pos == 105).unwrap();
         assert_eq!(last_node, out.walks[0].destination);
         for (node, v) in &visits {
-            assert!(g.has_edge(v.pred.expect("tail visits carry preds"), *node));
+            assert!(g.has_edge(v.pred().expect("tail visits carry preds"), *node));
         }
     }
 
@@ -1318,7 +1318,7 @@ mod tests {
         assert_eq!(visits.len() as u64, 150 - stitched);
         for (_, v) in &visits {
             assert!(v.pos > 40 && v.pos <= 40 + 150, "pos {}", v.pos);
-            assert!(v.pred.is_some());
+            assert!(v.pred().is_some());
         }
         // The recorded lane's segments are replayable (per-token GMW).
         for seg in &out.walks[1].segments {

@@ -1,10 +1,10 @@
 //! Run-time configuration of the experiment binaries via environment
 //! variables.
 //!
-//! - `DRW_EXECUTOR=sequential|parallel` selects the engine's round
-//!   executor backend for every simulation an experiment runs. Results
-//!   are bit-identical between backends (the engine guarantees it);
-//!   parallel only changes how long the wall clock says it took.
+//! - `DRW_EXECUTOR=sequential|parallel|sharded` selects the engine's
+//!   round executor backend for every simulation an experiment runs.
+//!   Results are bit-identical between backends (the engine guarantees
+//!   it); the backend only changes how long the wall clock says it took.
 //! - `DRW_CSV_DIR=<dir>` additionally writes every emitted table as CSV.
 //! - `DRW_JSON_DIR=<dir>` additionally writes every emitted table as
 //!   JSON (machine-readable, schema: `{title, headers, rows}`).
@@ -18,7 +18,9 @@ use drw_core::SingleWalkConfig;
 pub fn executor_from_env() -> ExecutorKind {
     match std::env::var("DRW_EXECUTOR") {
         Ok(name) => ExecutorKind::from_name(&name).unwrap_or_else(|| {
-            panic!("DRW_EXECUTOR={name:?} is not a backend (try \"sequential\" or \"parallel\")")
+            panic!(
+                "DRW_EXECUTOR={name:?} is not a backend (try \"sequential\", \"parallel\" or \"sharded\")"
+            )
         }),
         Err(_) => ExecutorKind::Sequential,
     }
@@ -52,6 +54,10 @@ mod tests {
             Some(ExecutorKind::Sequential)
         );
         assert_eq!(ExecutorKind::from_name("PAR"), Some(ExecutorKind::Parallel));
+        assert_eq!(
+            ExecutorKind::from_name("sharded"),
+            Some(ExecutorKind::Sharded)
+        );
         assert_eq!(ExecutorKind::from_name("gpu"), None);
     }
 

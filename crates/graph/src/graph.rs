@@ -235,18 +235,139 @@ impl Graph {
             src,
             rev: Vec::new(),
         };
+        g.fill_reverse_ids();
+        g
+    }
+
+    /// Streaming CSR construction: calls `stream` twice with an `emit(u, v)`
+    /// sink that must produce the same undirected edge sequence on both
+    /// passes (each edge exactly once, either endpoint order). The first
+    /// pass counts degrees, the second writes adjacency directly into the
+    /// final `Vec`s — no intermediate edge list or adjacency map, so the
+    /// transient memory is just the degree array. This is the constructor
+    /// for `10^6+`-node generators.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::Empty`] for `n == 0`, [`GraphError::NodeOutOfRange`] /
+    /// [`GraphError::SelfLoop`] on a bad emission, and
+    /// [`GraphError::DuplicateEdge`] when an edge is emitted twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two passes emit different edge sequences.
+    pub fn from_stream<F>(n: usize, mut stream: F) -> Result<Graph, GraphError>
+    where
+        F: FnMut(&mut dyn FnMut(NodeId, NodeId)),
+    {
+        if n == 0 {
+            return Err(GraphError::Empty);
+        }
+        // Pass 1: count degrees, validating and latching the first error
+        // (the sink cannot return one).
+        let mut deg = vec![0u32; n];
+        let mut err: Option<GraphError> = None;
+        stream(&mut |u, v| {
+            if err.is_some() {
+                return;
+            }
+            if u >= n {
+                err = Some(GraphError::NodeOutOfRange { node: u, n });
+            } else if v >= n {
+                err = Some(GraphError::NodeOutOfRange { node: v, n });
+            } else if u == v {
+                err = Some(GraphError::SelfLoop(u));
+            } else {
+                deg[u] += 1;
+                deg[v] += 1;
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + deg[v] as usize;
+        }
+        drop(deg);
+        // Pass 2: place both directions straight into the final arrays.
+        let total = offsets[n];
+        let mut adj = vec![0u32; total];
+        let mut src = vec![0u32; total];
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        stream(&mut |u, v| {
+            let cu = cursor[u];
+            let cv = cursor[v];
+            assert!(
+                cu < offsets[u + 1] && cv < offsets[v + 1],
+                "from_stream: second pass emitted edges the first did not"
+            );
+            adj[cu] = v as u32;
+            src[cu] = u as u32;
+            cursor[u] = cu + 1;
+            adj[cv] = u as u32;
+            src[cv] = v as u32;
+            cursor[v] = cv + 1;
+        });
+        assert!(
+            cursor.iter().zip(&offsets[1..]).all(|(c, o)| c == o),
+            "from_stream: second pass emitted fewer edges than the first"
+        );
+        drop(cursor);
+        // Adjacency runs arrive in emission order; sort each run (src is
+        // constant within a run) and reject duplicates.
+        for v in 0..n {
+            let run = &mut adj[offsets[v]..offsets[v + 1]];
+            run.sort_unstable();
+            if let Some(w) = run.windows(2).find(|w| w[0] == w[1]) {
+                return Err(GraphError::DuplicateEdge {
+                    u: v,
+                    v: w[0] as usize,
+                });
+            }
+        }
+        let mut g = Graph {
+            offsets,
+            adj,
+            src,
+            rev: Vec::new(),
+        };
+        g.fill_reverse_ids();
+        Ok(g)
+    }
+
+    /// Builds a graph from a slice of endpoint pairs via [`Graph::from_stream`].
+    ///
+    /// Unlike [`GraphBuilder`] this never clones or sorts the edge list, but
+    /// the pairs must therefore already describe a simple graph.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Graph::from_stream`]; duplicate pairs are an error here,
+    /// not deduplicated.
+    pub fn from_pairs(n: usize, pairs: &[(u32, u32)]) -> Result<Graph, GraphError> {
+        Graph::from_stream(n, |emit| {
+            for &(u, v) in pairs {
+                emit(u as NodeId, v as NodeId);
+            }
+        })
+    }
+
+    /// Computes `rev` from `offsets`/`adj`/`src` by binary search. Runs
+    /// must already be sorted.
+    fn fill_reverse_ids(&mut self) {
+        let total = self.adj.len();
         let mut rev = vec![0u32; total];
         #[allow(clippy::needless_range_loop)]
         for eid in 0..total {
-            let u = g.src[eid] as usize;
-            let v = g.adj[eid] as usize;
-            let back = g
+            let u = self.src[eid] as usize;
+            let v = self.adj[eid] as usize;
+            let back = self
                 .edge_id(v, u)
                 .expect("reverse edge must exist in an undirected graph");
             rev[eid] = back as u32;
         }
-        g.rev = rev;
-        g
+        self.rev = rev;
     }
 
     /// Number of nodes.
@@ -269,6 +390,7 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `v >= n`.
+    #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
         self.offsets[v + 1] - self.offsets[v]
     }
@@ -284,8 +406,22 @@ impl Graph {
     }
 
     /// Sorted neighbor slice of `v` (raw `u32` storage, for hot paths).
+    #[inline]
     pub fn neighbor_slice(&self, v: NodeId) -> &[u32] {
         &self.adj[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// The `i`-th neighbor of `v` (ascending order) — the decode side of
+    /// a stored neighbor index, pairing with [`Graph::nth_edge_id`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= degree(v)`.
+    #[inline]
+    pub fn neighbor_at(&self, v: NodeId, i: usize) -> NodeId {
+        let slice = self.neighbor_slice(v);
+        assert!(i < slice.len(), "neighbor index out of range");
+        slice[i] as NodeId
     }
 
     /// Iterator over the neighbors of `v` in ascending order.
@@ -312,17 +448,20 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `i >= degree(u)`.
+    #[inline]
     pub fn nth_edge_id(&self, u: NodeId, i: usize) -> usize {
         assert!(i < self.degree(u), "neighbor index out of range");
         self.offsets[u] + i
     }
 
     /// Source node of a directed edge id.
+    #[inline]
     pub fn edge_source(&self, eid: usize) -> NodeId {
         self.src[eid] as NodeId
     }
 
     /// Target node of a directed edge id.
+    #[inline]
     pub fn edge_target(&self, eid: usize) -> NodeId {
         self.adj[eid] as NodeId
     }
@@ -460,5 +599,72 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert_eq!(format!("{}", triangle()), "Graph(n=3, m=3)");
+    }
+
+    #[test]
+    fn from_stream_matches_builder() {
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 4)];
+        let legacy = Graph::from_edges(5, edges).unwrap();
+        let streamed = Graph::from_stream(5, |emit| {
+            // Reversed order and flipped endpoints: the CSR must come out
+            // identical anyway.
+            for &(u, v) in edges.iter().rev() {
+                emit(v, u);
+            }
+        })
+        .unwrap();
+        assert_eq!(legacy, streamed);
+    }
+
+    #[test]
+    fn from_pairs_matches_builder() {
+        let pairs: [(u32, u32); 4] = [(3, 1), (0, 1), (2, 0), (3, 2)];
+        let legacy =
+            Graph::from_edges(4, pairs.iter().map(|&(u, v)| (u as usize, v as usize))).unwrap();
+        let streamed = Graph::from_pairs(4, &pairs).unwrap();
+        assert_eq!(legacy, streamed);
+    }
+
+    #[test]
+    fn from_stream_rejects_bad_edges() {
+        let self_loop = Graph::from_stream(3, |emit| emit(1, 1)).unwrap_err();
+        assert_eq!(self_loop, GraphError::SelfLoop(1));
+        let oob = Graph::from_stream(3, |emit| emit(0, 3)).unwrap_err();
+        assert_eq!(oob, GraphError::NodeOutOfRange { node: 3, n: 3 });
+        let dup = Graph::from_stream(3, |emit| {
+            emit(0, 1);
+            emit(1, 0);
+        })
+        .unwrap_err();
+        assert!(matches!(dup, GraphError::DuplicateEdge { .. }));
+        assert_eq!(
+            Graph::from_stream(0, |_| {}).unwrap_err(),
+            GraphError::Empty
+        );
+    }
+
+    #[test]
+    fn from_stream_reverse_edges_are_involutive() {
+        let g = Graph::from_stream(5, |emit| {
+            for (u, v) in [(4, 0), (1, 2), (0, 2), (2, 3), (3, 4), (0, 1)] {
+                emit(u, v);
+            }
+        })
+        .unwrap();
+        for eid in 0..g.dir_edge_count() {
+            let r = g.reverse_edge(eid);
+            assert_eq!(g.reverse_edge(r), eid);
+            assert_eq!(g.edge_source(eid), g.edge_target(r));
+        }
+    }
+
+    #[test]
+    fn neighbor_at_matches_edge_decoding() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 3), (0, 4), (2, 0)]).unwrap();
+        for i in 0..g.degree(0) {
+            assert_eq!(g.neighbor_at(0, i), g.edge_target(g.nth_edge_id(0, i)));
+        }
+        assert_eq!(g.neighbor_at(0, 0), 1);
+        assert_eq!(g.neighbor_at(0, 3), 4);
     }
 }

@@ -1,7 +1,8 @@
 //! Acceptance test for the pluggable round-executor architecture: the
-//! sequential and parallel backends must produce **bit-identical**
-//! results — identical run statistics, identical walk outputs, identical
-//! per-node state — for the same graph and seed, across graph families.
+//! parallel and sharded work-stealing backends must produce results
+//! **bit-identical** to the sequential reference — identical run
+//! statistics, identical walk outputs, identical per-node state — for
+//! the same graph and seed, across graph families.
 
 use distributed_random_walks::prelude::*;
 use drw_congest::ExecutorKind;
@@ -28,6 +29,9 @@ fn graph_families() -> Vec<(&'static str, Graph)> {
         ("er_gnp(80,0.08)", er),
     ]
 }
+
+/// The backends that must reproduce the sequential reference.
+const ALT_BACKENDS: [ExecutorKind; 2] = [ExecutorKind::Parallel, ExecutorKind::Sharded];
 
 fn config_with(executor: ExecutorKind, record: bool) -> SingleWalkConfig {
     SingleWalkConfig {
@@ -69,30 +73,21 @@ fn single_walk_is_identical_across_backends() {
                 seed,
             )
             .expect("sequential walk");
-            let par = single_random_walk(
-                &g,
-                0,
-                2048,
-                &config_with(ExecutorKind::Parallel, false),
-                seed,
-            )
-            .expect("parallel walk");
-            assert_eq!(
-                seq.destination, par.destination,
-                "{name} seed {seed}: destination"
-            );
-            assert_eq!(seq.rounds, par.rounds, "{name} seed {seed}: rounds");
-            assert_eq!(seq.messages, par.messages, "{name} seed {seed}: messages");
-            assert_eq!(
-                seq.segments, par.segments,
-                "{name} seed {seed}: stitch trace"
-            );
-            assert_eq!(seq.stitches, par.stitches, "{name} seed {seed}: stitches");
-            assert_eq!(
-                seq.connector_visits, par.connector_visits,
-                "{name} seed {seed}: connector visits"
-            );
-            assert_states_match(name, &seq.state, &par.state);
+            for alt in ALT_BACKENDS {
+                let par = single_random_walk(&g, 0, 2048, &config_with(alt, false), seed)
+                    .expect("alternate-backend walk");
+                let tag = format!("{name} seed {seed} vs {}", alt.name());
+                assert_eq!(seq.destination, par.destination, "{tag}: destination");
+                assert_eq!(seq.rounds, par.rounds, "{tag}: rounds");
+                assert_eq!(seq.messages, par.messages, "{tag}: messages");
+                assert_eq!(seq.segments, par.segments, "{tag}: stitch trace");
+                assert_eq!(seq.stitches, par.stitches, "{tag}: stitches");
+                assert_eq!(
+                    seq.connector_visits, par.connector_visits,
+                    "{tag}: connector visits"
+                );
+                assert_states_match(&tag, &seq.state, &par.state);
+            }
         }
     }
 }
@@ -105,13 +100,20 @@ fn recorded_trajectories_are_identical_across_backends() {
         let len = 1024u64;
         let seq = single_random_walk(&g, 1, len, &config_with(ExecutorKind::Sequential, true), 99)
             .expect("sequential walk");
-        let par = single_random_walk(&g, 1, len, &config_with(ExecutorKind::Parallel, true), 99)
-            .expect("parallel walk");
         let walk_seq = seq.state.reconstruct_walk(len);
-        let walk_par = par.state.reconstruct_walk(len);
-        assert_eq!(walk_seq, walk_par, "{name}: full trajectory");
         assert_eq!(walk_seq[0], 1);
         assert_eq!(*walk_seq.last().unwrap(), seq.destination);
+        for alt in ALT_BACKENDS {
+            let par = single_random_walk(&g, 1, len, &config_with(alt, true), 99)
+                .expect("alternate-backend walk");
+            let walk_par = par.state.reconstruct_walk(len);
+            assert_eq!(
+                walk_seq,
+                walk_par,
+                "{name} vs {}: full trajectory",
+                alt.name()
+            );
+        }
     }
 }
 
@@ -122,17 +124,20 @@ fn many_walks_are_identical_across_backends() {
     for (name, g) in graph_families() {
         let sources: Vec<usize> = vec![0, 3, g.n() / 2, g.n() - 1];
         let seq_cfg = config_with(ExecutorKind::Sequential, false);
-        let par_cfg = config_with(ExecutorKind::Parallel, false);
         let seq = many_random_walks(&g, &sources, 1024, &seq_cfg, 7).expect("sequential");
-        let par = many_random_walks(&g, &sources, 1024, &par_cfg, 7).expect("parallel");
-        assert_eq!(seq.destinations, par.destinations, "{name}: destinations");
-        assert_eq!(seq.rounds, par.rounds, "{name}: rounds");
-        assert_eq!(seq.messages, par.messages, "{name}: messages");
-        assert_eq!(seq.stitches, par.stitches, "{name}: stitches");
-        assert_eq!(
-            seq.connector_visits, par.connector_visits,
-            "{name}: connector visits"
-        );
+        for alt in ALT_BACKENDS {
+            let par = many_random_walks(&g, &sources, 1024, &config_with(alt, false), 7)
+                .expect("alternate backend");
+            let tag = format!("{name} vs {}", alt.name());
+            assert_eq!(seq.destinations, par.destinations, "{tag}: destinations");
+            assert_eq!(seq.rounds, par.rounds, "{tag}: rounds");
+            assert_eq!(seq.messages, par.messages, "{tag}: messages");
+            assert_eq!(seq.stitches, par.stitches, "{tag}: stitches");
+            assert_eq!(
+                seq.connector_visits, par.connector_visits,
+                "{tag}: connector visits"
+            );
+        }
     }
 }
 
@@ -181,10 +186,12 @@ fn spanning_trees_are_identical_across_backends() {
     let g = generators::torus2d(5, 5);
     let mut seq_cfg = RstConfig::default();
     seq_cfg.walk.engine = EngineConfig::default().with_executor(ExecutorKind::Sequential);
-    let mut par_cfg = RstConfig::default();
-    par_cfg.walk.engine = EngineConfig::default().with_executor(ExecutorKind::Parallel);
     let seq = distributed_rst(&g, 0, &seq_cfg, 31).expect("sequential RST");
-    let par = distributed_rst(&g, 0, &par_cfg, 31).expect("parallel RST");
-    assert_eq!(seq.edges, par.edges, "tree edges");
-    assert_eq!(seq.rounds, par.rounds, "rounds");
+    for alt in ALT_BACKENDS {
+        let mut alt_cfg = RstConfig::default();
+        alt_cfg.walk.engine = EngineConfig::default().with_executor(alt);
+        let par = distributed_rst(&g, 0, &alt_cfg, 31).expect("alternate-backend RST");
+        assert_eq!(seq.edges, par.edges, "{}: tree edges", alt.name());
+        assert_eq!(seq.rounds, par.rounds, "{}: rounds", alt.name());
+    }
 }
