@@ -9,6 +9,7 @@
 use crate::executor::{
     ExecutorKind, ParallelExecutor, RoundExecutor, SequentialExecutor, ShardedExecutor,
 };
+use crate::fault::{FaultCounters, FaultPlan};
 use crate::node_local::NodeLocalProtocol;
 use crate::protocol::Protocol;
 use drw_graph::Graph;
@@ -39,6 +40,11 @@ pub struct EngineConfig {
     /// available CPU). Results never depend on it — the determinism test
     /// suite forces several counts and asserts bit-identical runs.
     pub parallel_workers: usize,
+    /// Seeded fault schedule applied at delivery time (`None` = the
+    /// perfect network). Faulty runs stay deterministic and
+    /// backend-independent: the schedule is a pure function of the
+    /// plan seed and each delivery attempt's logical identity.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for EngineConfig {
@@ -50,6 +56,7 @@ impl Default for EngineConfig {
             record_edge_loads: false,
             executor: ExecutorKind::Sequential,
             parallel_workers: 0,
+            faults: None,
         }
     }
 }
@@ -92,6 +99,12 @@ impl EngineConfig {
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.executor = ExecutorKind::Parallel;
         self.parallel_workers = workers;
+        self
+    }
+
+    /// This configuration with the given fault schedule.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 }
@@ -203,6 +216,10 @@ pub struct RunReport {
     /// that delivered exactly `l` messages (last bucket accumulates
     /// overflow); empty otherwise. Zero-load pairs are not counted.
     pub edge_load_histogram: Vec<u64>,
+    /// Faults injected by the configured [`FaultPlan`] (all-zero on a
+    /// perfect network). Semantic: the schedule is deterministic, so
+    /// every backend must inject exactly the same faults.
+    pub faults: FaultCounters,
     /// Peak bytes held per engine subsystem (telemetry; not compared).
     pub memory: MemoryReport,
     /// Shard work distribution, populated by [`ExecutorKind::Sharded`]
@@ -218,6 +235,7 @@ impl PartialEq for RunReport {
             && self.max_edge_backlog == other.max_edge_backlog
             && self.max_edge_load == other.max_edge_load
             && self.edge_load_histogram == other.edge_load_histogram
+            && self.faults == other.faults
     }
 }
 
@@ -531,6 +549,147 @@ mod tests {
     }
 
     #[test]
+    fn healed_drops_deliver_everything_with_a_round_penalty() {
+        // Stop-and-wait ARQ: a 20% drop rate on the burst edge loses
+        // slots, but every message is eventually delivered exactly once.
+        let g = generators::path(2);
+        let mut p = Burst { k: 10, received: 0 };
+        let cfg = EngineConfig::default().with_faults(FaultPlan::drops(3, 200));
+        let report = run_protocol(&g, &cfg, 1, &mut p).unwrap();
+        assert_eq!(p.received, 10, "ARQ must recover every drop");
+        assert_eq!(report.messages, 10, "each message billed once");
+        assert!(report.faults.dropped > 0, "20% of 10+ attempts must drop");
+        assert_eq!(report.faults.retransmitted, report.faults.dropped);
+        assert_eq!(report.faults.ack_words, report.faults.dropped);
+        assert!(
+            report.rounds > 10,
+            "drops cost rounds (got {})",
+            report.rounds
+        );
+    }
+
+    #[test]
+    fn unhealed_drops_are_permanent() {
+        let g = generators::path(2);
+        let mut p = Burst { k: 50, received: 0 };
+        let cfg = EngineConfig::default().with_faults(FaultPlan::drops(3, 200).lossy());
+        let report = run_protocol(&g, &cfg, 1, &mut p).unwrap();
+        assert!(report.faults.dropped > 0);
+        assert_eq!(report.faults.retransmitted, 0);
+        assert_eq!(p.received as u64 + report.faults.dropped, 50);
+        assert_eq!(report.rounds, 50, "every slot was spent, delivered or not");
+    }
+
+    #[test]
+    fn quiescence_waits_for_delayed_messages() {
+        // Regression: with a delay-only plan, the queue can be *empty*
+        // while messages are parked for future rounds. Declaring the
+        // run quiet then would silently lose them; the engine must spin
+        // empty rounds until they come due.
+        let g = generators::path(2);
+        // A seed where the single message is delayed at least once (so
+        // the queue really does go empty mid-run).
+        let seed_with_delay = (0..64)
+            .find(|&s| {
+                let mut p = Burst { k: 1, received: 0 };
+                let cfg = EngineConfig::default()
+                    .with_faults(FaultPlan::new(s).with_delays(700, 5).lossy());
+                let r = run_protocol(&g, &cfg, 1, &mut p).unwrap();
+                r.faults.delayed > 0
+            })
+            .expect("a 70% delay rate must fire within 64 schedules");
+        for exec in [
+            ExecutorKind::Sequential,
+            ExecutorKind::Parallel,
+            ExecutorKind::Sharded,
+        ] {
+            let mut p = Burst { k: 1, received: 0 };
+            let cfg = EngineConfig::default()
+                .with_executor(exec)
+                .with_faults(FaultPlan::new(seed_with_delay).with_delays(700, 5).lossy());
+            let report = run_protocol(&g, &cfg, 1, &mut p).unwrap();
+            assert_eq!(
+                p.received, 1,
+                "{exec:?}: delayed message lost at quiescence"
+            );
+            assert!(report.faults.delayed > 0, "{exec:?}");
+            assert!(
+                report.rounds >= 6,
+                "{exec:?}: a 5-round delay must cost at least 5 extra rounds (got {})",
+                report.rounds
+            );
+        }
+    }
+
+    #[test]
+    fn reordering_permutes_arrivals_without_losing_any() {
+        let g = generators::path(2);
+        let cfg = EngineConfig {
+            edge_capacity: Some(9),
+            ..EngineConfig::default()
+        }
+        .with_faults(FaultPlan::new(5).with_reorder(400));
+        let mut p = OrderedBurst {
+            k: 9,
+            arrivals: Vec::new(),
+        };
+        let report = run_protocol(&g, &cfg, 1, &mut p).unwrap();
+        assert!(report.faults.reordered > 0, "40% of 9 attempts must fire");
+        assert_eq!(report.faults.dropped + report.faults.delayed, 0);
+        let mut sorted = p.arrivals.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..9).collect::<Vec<_>>(), "nothing lost");
+        assert_ne!(p.arrivals, sorted, "order must actually change");
+    }
+
+    #[test]
+    fn faulty_runs_are_identical_across_backends() {
+        // The fault schedule is keyed by logical message identity, so
+        // every backend injects exactly the same faults — protocol
+        // results and fault counters included.
+        let g = generators::torus2d(4, 5);
+        let plan = FaultPlan::new(11).with_drops(80).with_delays(50, 3);
+        let run = |exec: ExecutorKind| {
+            let mut p = Flood {
+                seen: vec![false; g.n()],
+            };
+            let cfg = EngineConfig::default()
+                .with_executor(exec)
+                .with_faults(plan);
+            let report = run_protocol(&g, &cfg, 9, &mut p).unwrap();
+            (report, p.seen)
+        };
+        let (seq_report, seq_seen) = run(ExecutorKind::Sequential);
+        assert!(seq_report.faults.total() > 0, "{:?}", seq_report.faults);
+        assert!(seq_seen.iter().all(|&s| s), "healed flood reaches everyone");
+        for exec in [ExecutorKind::Parallel, ExecutorKind::Sharded] {
+            let (report, seen) = run(exec);
+            assert_eq!(report, seq_report, "{exec:?}");
+            assert_eq!(report.faults, seq_report.faults, "{exec:?}");
+            assert_eq!(seen, seq_seen, "{exec:?}");
+        }
+    }
+
+    #[test]
+    fn fault_free_plan_changes_nothing() {
+        // An all-zero plan must leave the run bit-identical to no plan
+        // at all (the engine keeps its fast path).
+        let g = generators::torus2d(4, 4);
+        let mut p1 = Flood {
+            seen: vec![false; g.n()],
+        };
+        let r1 = run_protocol(&g, &EngineConfig::default(), 7, &mut p1).unwrap();
+        let mut p2 = Flood {
+            seen: vec![false; g.n()],
+        };
+        let cfg = EngineConfig::default().with_faults(FaultPlan::new(99));
+        let r2 = run_protocol(&g, &cfg, 7, &mut p2).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(p1.seen, p2.seen);
+        assert_eq!(r2.faults, FaultCounters::default());
+    }
+
+    #[test]
     fn report_equality_ignores_telemetry() {
         // The bit-identity contract is semantic: two backends may hold
         // different buffer capacities or shard layouts yet still count as
@@ -617,6 +776,13 @@ mod tests {
                 max_edge_backlog: 7,
                 max_edge_load: 3,
                 edge_load_histogram: vec![0, 5, 2],
+                faults: FaultCounters {
+                    dropped: 6,
+                    delayed: 2,
+                    reordered: 1,
+                    retransmitted: 6,
+                    ack_words: 6,
+                },
                 memory: MemoryReport {
                     queue_bytes: 1024,
                     inbox_bytes: 512,
@@ -633,6 +799,7 @@ mod tests {
             let json = serde_json::to_string(&report).unwrap();
             assert!(json.contains("\"rounds\":12"), "{json}");
             assert!(json.contains("\"queue_bytes\":1024"), "{json}");
+            assert!(json.contains("\"dropped\":6"), "{json}");
             let back: RunReport = serde_json::from_str(&json).unwrap();
             assert_eq!(back, report);
             assert_eq!(back.memory, report.memory);
@@ -644,11 +811,13 @@ mod tests {
             let cfg = EngineConfig {
                 edge_capacity: None,
                 executor: crate::ExecutorKind::Parallel,
+                faults: Some(FaultPlan::drops(3, 50)),
                 ..EngineConfig::default()
             };
             let json = serde_json::to_string(&cfg).unwrap();
             assert!(json.contains("\"executor\":\"parallel\""), "{json}");
             assert!(json.contains("\"edge_capacity\":null"), "{json}");
+            assert!(json.contains("\"drop_per_mille\":50"), "{json}");
             let back: EngineConfig = serde_json::from_str(&json).unwrap();
             assert_eq!(back, cfg);
         }

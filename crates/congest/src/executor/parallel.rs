@@ -124,10 +124,13 @@ impl RoundExecutor for ParallelExecutor {
         let mut ctx = Ctx::new(graph, 0, &mut rngs);
         protocol.start(&mut ctx);
         let mut staged_buf = ctx.staged;
-        queue.stage(&mut staged_buf, cfg, &mut report)?;
+        queue.stage(&mut staged_buf, cfg, 1, &mut report)?;
 
         let mut round: u64 = 0;
-        while !queue.is_empty() {
+        // `is_idle`, not emptiness: fault-delayed messages parked for
+        // future rounds must keep the loop alive (see the sequential
+        // reference executor).
+        while !queue.is_idle() {
             if protocol.is_done() {
                 break;
             }
@@ -137,7 +140,7 @@ impl RoundExecutor for ParallelExecutor {
             }
 
             active.clear();
-            let delivered = queue.deliver(graph, cfg, &mut report, &mut inbox, &mut active);
+            let delivered = queue.deliver(graph, cfg, round, &mut report, &mut inbox, &mut active);
             active.sort_unstable();
 
             // Global hook first, sequentially, exactly like the
@@ -215,7 +218,7 @@ impl RoundExecutor for ParallelExecutor {
                 }
             }
             staged_buf = staged;
-            queue.stage(&mut staged_buf, cfg, &mut report)?;
+            queue.stage(&mut staged_buf, cfg, round + 1, &mut report)?;
         }
 
         report.rounds = round;

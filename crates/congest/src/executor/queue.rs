@@ -17,6 +17,7 @@
 //! backend.
 
 use crate::engine::{EngineConfig, RunError, RunReport};
+use crate::fault::FaultDecision;
 use crate::message::{Envelope, Message};
 use drw_graph::Graph;
 
@@ -43,6 +44,12 @@ pub(crate) struct FlatQueue<M> {
     /// to a stable sort by eid) keeps steady-state rounds
     /// allocation-free.
     sort_keys: Vec<(u32, u32)>,
+    /// Messages parked by the fault layer as `(due round, eid, msg)`:
+    /// delayed deliveries and ARQ retransmissions of healed drops. Due
+    /// entries re-enter their edge queue during the `stage` call that
+    /// feeds their due round, ahead of that round's fresh sends.
+    /// Always empty on a perfect network.
+    future: Vec<(u64, u32, M)>,
 }
 
 impl<M: Message> FlatQueue<M> {
@@ -66,6 +73,7 @@ impl<M: Message> FlatQueue<M> {
             left_starts: vec![0],
             left_msgs: Vec::new(),
             sort_keys: Vec::new(),
+            future: Vec::new(),
         }
     }
 
@@ -99,11 +107,16 @@ impl<M: Message> FlatQueue<M> {
             + (self.starts.capacity() + self.left_starts.capacity()) * std::mem::size_of::<u32>()
             + (self.msgs.capacity() + self.left_msgs.capacity()) * msg
             + self.sort_keys.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.future.capacity() * std::mem::size_of::<(u64, u32, M)>()
     }
 
-    /// Whether any message is queued.
-    pub(crate) fn is_empty(&self) -> bool {
-        self.msgs.is_empty()
+    /// Whether nothing remains in flight: no queued message *and* no
+    /// delayed/retransmitted message parked for a future round. This —
+    /// not mere queue emptiness — is the executors' quiescence test: a
+    /// round may deliver nothing while the fault layer still holds
+    /// messages that will come due later.
+    pub(crate) fn is_idle(&self) -> bool {
+        self.msgs.is_empty() && self.future.is_empty()
     }
 
     /// Delivers up to `edge_capacity` messages per busy edge into
@@ -112,16 +125,32 @@ impl<M: Message> FlatQueue<M> {
     /// least one message are appended to `active` (ascending, since
     /// multiple edges into one node are visited in ascending order but
     /// each node is pushed only on its first delivery — callers sort).
+    ///
+    /// When the engine carries an active [`crate::FaultPlan`], each
+    /// delivery attempt is first submitted to the plan, keyed by
+    /// `(round, eid, in-bucket index)` — its logical identity, which is
+    /// executor-independent because queue contents are. Faulted
+    /// messages still consume their capacity slot (the bandwidth was
+    /// spent) but only actual deliveries are billed to
+    /// `report.messages`/`words`; dropped-and-healed or delayed
+    /// messages are parked in `future`, reordered ones are appended
+    /// behind every ordinary delivery of the round.
     pub(crate) fn deliver(
         &mut self,
         graph: &Graph,
         cfg: &EngineConfig,
+        round: u64,
         report: &mut RunReport,
         inbox: &mut [Vec<Envelope<M>>],
         active: &mut Vec<usize>,
     ) -> u64 {
+        let plan = cfg.faults.filter(|p| p.is_active());
         let cap = cfg.edge_capacity.unwrap_or(usize::MAX);
         let mut delivered_total = 0u64;
+        // Envelopes diverted by reorder faults; flushed after the main
+        // scan (no allocation on the fault-free path: an empty `Vec`
+        // holds no buffer).
+        let mut reordered: Vec<(usize, usize, M)> = Vec::new();
         self.left_eids.clear();
         self.left_starts.clear();
         self.left_starts.push(0);
@@ -136,16 +165,52 @@ impl<M: Message> FlatQueue<M> {
             let take = bucket_len.min(cap);
             let from = graph.edge_source(eid);
             let to = graph.edge_target(eid);
-            for _ in 0..take {
+            for k in 0..take {
                 let msg = stream.next().expect("bucket index matches storage");
+                if let Some(plan) = plan {
+                    match plan.decide(round, eid, k) {
+                        FaultDecision::Deliver => {}
+                        FaultDecision::Drop => {
+                            report.faults.dropped += 1;
+                            if plan.heal {
+                                // Stop-and-wait ARQ: the sender learns of
+                                // the loss and retransmits `rto` rounds
+                                // later; the ack word rides the reverse
+                                // edge and is billed separately.
+                                report.faults.retransmitted += 1;
+                                report.faults.ack_words += 1;
+                                self.future.push((
+                                    round + u64::from(plan.rto.max(1)),
+                                    eid as u32,
+                                    msg,
+                                ));
+                            }
+                            continue;
+                        }
+                        FaultDecision::Delay => {
+                            report.faults.delayed += 1;
+                            self.future.push((
+                                round + u64::from(plan.delay_rounds.max(1)),
+                                eid as u32,
+                                msg,
+                            ));
+                            continue;
+                        }
+                        FaultDecision::Reorder => {
+                            report.faults.reordered += 1;
+                            reordered.push((from, to, msg));
+                            continue;
+                        }
+                    }
+                }
                 report.messages += 1;
                 report.words += msg.size_words() as u64;
                 if inbox[to].is_empty() {
                     active.push(to);
                 }
                 inbox[to].push(Envelope { from, to, msg });
+                delivered_total += 1;
             }
-            delivered_total += take as u64;
             report.max_edge_load = report.max_edge_load.max(take);
             if cfg.record_edge_loads && take > 0 {
                 let bucket = take.min(LOAD_HISTOGRAM_BUCKETS - 1);
@@ -166,6 +231,18 @@ impl<M: Message> FlatQueue<M> {
         self.eids.clear();
         self.starts.clear();
         self.starts.push(0);
+        // Reordered envelopes land behind every ordinary delivery of
+        // the round, in (edge, slot) scan order — a deterministic
+        // cross-edge reordering of the receiver's inbox.
+        for (from, to, msg) in reordered {
+            report.messages += 1;
+            report.words += msg.size_words() as u64;
+            if inbox[to].is_empty() {
+                active.push(to);
+            }
+            inbox[to].push(Envelope { from, to, msg });
+            delivered_total += 1;
+        }
         delivered_total
     }
 
@@ -177,6 +254,12 @@ impl<M: Message> FlatQueue<M> {
     /// gathered the stages — as long as it presents them in the agreed
     /// deterministic (node, stage order) sequence.
     ///
+    /// `next_round` is the round whose `deliver` will consume what this
+    /// call enqueues: fault-parked messages whose due round has arrived
+    /// re-enter here, *ahead* of the round's fresh sends on the same
+    /// edge (retransmissions don't queue-jump behind new traffic) but
+    /// still behind this round's leftovers.
+    ///
     /// # Errors
     ///
     /// [`RunError::OversizedMessage`] for the first staged message (in
@@ -185,10 +268,12 @@ impl<M: Message> FlatQueue<M> {
         &mut self,
         staged: &mut Vec<(usize, M)>,
         cfg: &EngineConfig,
+        next_round: u64,
         report: &mut RunReport,
     ) -> Result<(), RunError> {
         // Validate in staging order so the reported offender is
-        // deterministic and independent of edge grouping.
+        // deterministic and independent of edge grouping. Fault-parked
+        // messages were validated when first staged.
         for (_, msg) in staged.iter() {
             let words = msg.size_words();
             if words > cfg.max_message_words {
@@ -196,6 +281,24 @@ impl<M: Message> FlatQueue<M> {
                     words,
                     cap: cfg.max_message_words,
                 });
+            }
+        }
+        if !self.future.is_empty() {
+            // Stable partition: due entries keep their park order and
+            // are spliced in front of the fresh sends, so the stable
+            // sort below puts them first within each edge bucket.
+            let mut due: Vec<(usize, M)> = Vec::new();
+            let mut kept: Vec<(u64, u32, M)> = Vec::with_capacity(self.future.len());
+            for (when, eid, msg) in self.future.drain(..) {
+                if when <= next_round {
+                    due.push((eid as usize, msg));
+                } else {
+                    kept.push((when, eid, msg));
+                }
+            }
+            self.future = kept;
+            if !due.is_empty() {
+                staged.splice(0..0, due);
             }
         }
         if staged.is_empty() && self.left_msgs.is_empty() {

@@ -57,10 +57,14 @@ impl RoundExecutor for SequentialExecutor {
         let mut ctx = Ctx::new(graph, 0, &mut rngs);
         protocol.start(&mut ctx);
         let mut staged_buf = ctx.staged;
-        queue.stage(&mut staged_buf, cfg, &mut report)?;
+        queue.stage(&mut staged_buf, cfg, 1, &mut report)?;
 
         let mut round: u64 = 0;
-        while !queue.is_empty() {
+        // Quiescence is `is_idle`, not queue emptiness: the fault layer
+        // may hold delayed/retransmitted messages for future rounds
+        // while the current queue is empty — such rounds deliver
+        // nothing but still pass (and are billed).
+        while !queue.is_idle() {
             if protocol.is_done() {
                 break;
             }
@@ -70,7 +74,7 @@ impl RoundExecutor for SequentialExecutor {
             }
 
             active.clear();
-            queue.deliver(graph, cfg, &mut report, &mut inbox, &mut active);
+            queue.deliver(graph, cfg, round, &mut report, &mut inbox, &mut active);
             active.sort_unstable();
 
             let mut ctx = Ctx::with_staged(graph, round, &mut rngs, staged_buf);
@@ -80,7 +84,7 @@ impl RoundExecutor for SequentialExecutor {
                 inbox[node].clear(); // keep the allocation for next round
             }
             staged_buf = ctx.staged;
-            queue.stage(&mut staged_buf, cfg, &mut report)?;
+            queue.stage(&mut staged_buf, cfg, round + 1, &mut report)?;
         }
 
         report.rounds = round;

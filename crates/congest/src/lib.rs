@@ -81,6 +81,7 @@
 
 mod engine;
 pub mod executor;
+mod fault;
 mod message;
 mod multiplex;
 mod node_local;
@@ -95,6 +96,7 @@ pub use engine::{
 pub use executor::{
     ExecutorKind, ParallelExecutor, RoundExecutor, SequentialExecutor, ShardedExecutor,
 };
+pub use fault::{FaultCounters, FaultPlan};
 pub use message::{Envelope, Message};
 pub use multiplex::{Mux, Mux2};
 pub use node_local::{NodeCtx, NodeLocalAdapter, NodeLocalProtocol};

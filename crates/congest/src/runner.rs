@@ -8,6 +8,7 @@
 //! stream per part.
 
 use crate::engine::{run_node_local, run_protocol, EngineConfig, RunError, RunReport};
+use crate::fault::FaultCounters;
 use crate::node_local::NodeLocalProtocol;
 use crate::protocol::Protocol;
 use crate::rng::derive_seed;
@@ -52,6 +53,7 @@ pub struct Runner {
     total_rounds: u64,
     total_messages: u64,
     total_words: u64,
+    total_faults: FaultCounters,
     runs: u64,
 }
 
@@ -74,6 +76,7 @@ impl Runner {
             total_rounds: 0,
             total_messages: 0,
             total_words: 0,
+            total_faults: FaultCounters::default(),
             runs: 0,
         }
     }
@@ -93,8 +96,9 @@ impl Runner {
     /// Propagates [`RunError`] from the engine.
     pub fn run<P: Protocol>(&mut self, protocol: &mut P) -> Result<RunReport, RunError> {
         let seed = derive_seed(self.seed, self.seq);
+        let cfg = self.run_cfg();
         self.seq += 1;
-        let report = run_protocol(&self.graph, &self.cfg, seed, protocol)?;
+        let report = run_protocol(&self.graph, &cfg, seed, protocol)?;
         self.accumulate(&report);
         Ok(report)
     }
@@ -112,16 +116,34 @@ impl Runner {
         protocol: &mut P,
     ) -> Result<RunReport, RunError> {
         let seed = derive_seed(self.seed, self.seq);
+        let cfg = self.run_cfg();
         self.seq += 1;
-        let report = run_node_local(&self.graph, &self.cfg, seed, protocol)?;
+        let report = run_node_local(&self.graph, &cfg, seed, protocol)?;
         self.accumulate(&report);
         Ok(report)
+    }
+
+    /// The engine configuration for the next sub-protocol run. A fault
+    /// plan's schedule seed is re-derived per run: each run simulates a
+    /// later window of wall-clock time, so a protocol retried in a
+    /// follow-up run must *not* deterministically re-hit the very same
+    /// fault at the same `(round, edge, slot)` — that would turn every
+    /// checkpoint-and-retry scheme into a livelock. Still a pure
+    /// function of `(plan seed, run index)`, so replays and
+    /// cross-executor comparisons stay bit-identical.
+    fn run_cfg(&self) -> EngineConfig {
+        let mut cfg = self.cfg.clone();
+        if let Some(plan) = &mut cfg.faults {
+            plan.seed = derive_seed(plan.seed, self.seq);
+        }
+        cfg
     }
 
     fn accumulate(&mut self, report: &RunReport) {
         self.total_rounds += report.rounds;
         self.total_messages += report.messages;
         self.total_words += report.words;
+        self.total_faults.accumulate(&report.faults);
         self.runs += 1;
     }
 
@@ -159,6 +181,13 @@ impl Runner {
     /// Total delivered words across all sub-protocols so far.
     pub fn total_words(&self) -> u64 {
         self.total_words
+    }
+
+    /// Total faults injected across all sub-protocols so far (all-zero
+    /// unless the engine configuration carries an active
+    /// [`crate::FaultPlan`]).
+    pub fn total_faults(&self) -> FaultCounters {
+        self.total_faults
     }
 
     /// Number of sub-protocols executed.

@@ -103,4 +103,6 @@ pub use single_walk::{
     WalkDriver, WalkError,
 };
 pub use state::{StateMemory, StoredWalk, Visit, WalkId, WalkState};
-pub use stitch_scheduler::{BatchedStitchOutcome, BatchedWalk, StitchScheduler, StitchSpec};
+pub use stitch_scheduler::{
+    BatchedStitchOutcome, BatchedWalk, StitchScheduler, StitchSpec, MAX_REISSUE_PASSES,
+};

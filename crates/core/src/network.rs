@@ -249,6 +249,53 @@ impl Network {
         Ok(self.topo.apply(delta)?)
     }
 
+    /// Crashes the highest-numbered node: one forced [`TopologyDelta`]
+    /// that detaches all of its edges and retires the node, expressed
+    /// through the ordinary [`Network::apply_delta`] path so the shared
+    /// session heals it exactly like any other churn (stored walks on
+    /// the crashed node are evicted at the next repair; in-flight work
+    /// re-routes on the shrunken epoch).
+    ///
+    /// The dense-id contract only permits retiring the *last* node —
+    /// the fault suites crash recently joined nodes, which is also the
+    /// realistic churn shape (the long-lived core stays, the newest
+    /// arrival fails).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Graph`] when the crash would disconnect the survivors
+    /// (the partition case: the delta is rejected atomically and the
+    /// topology is unchanged) or when the network has a single node.
+    pub fn crash_last_node(&mut self) -> Result<EpochReport, Error> {
+        let g = self.topo.snapshot();
+        let v = g.n() - 1;
+        let mut delta = TopologyDelta::new();
+        for u in g.neighbors(v) {
+            delta = delta.remove_edge(u, v);
+        }
+        self.apply_delta(&delta.remove_node(v))
+    }
+
+    /// Rejoins a crashed (or brand-new) node with the given attachment
+    /// edges: one forced [`TopologyDelta`] that appends a node — it
+    /// gets the next dense id, returned in the report's `touched` set —
+    /// and wires it to `neighbors`. The session picks the newcomer up
+    /// at its next incremental repair.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Graph`] when `neighbors` is empty (the newcomer would
+    /// be disconnected) or names an unknown node; the delta is rejected
+    /// atomically.
+    pub fn rejoin_node(&mut self, neighbors: &[NodeId]) -> Result<EpochReport, Error> {
+        let v = self.topo.snapshot().n();
+        let mut delta = TopologyDelta::new().add_node();
+        for &u in neighbors {
+            delta = delta.add_edge(u, v);
+        }
+        self.apply_delta(&delta)
+    }
+
     /// The walk configuration every request runs under.
     pub fn config(&self) -> &SingleWalkConfig {
         &self.cfg
@@ -1327,6 +1374,113 @@ mod tests {
             .run_batch(vec![Request::walk(0, 8), Request::walk(9, 8)])
             .unwrap_err();
         assert_eq!(err, Error::Walk(WalkError::SourceOutOfRange(9)));
+    }
+
+    #[test]
+    fn crash_and_rejoin_heal_through_the_session() {
+        // Crash + rejoin as forced deltas: the shared session must
+        // survive both (evicting the crashed node's stored walks,
+        // adopting the rejoined id) and keep serving correct walks.
+        let g = generators::torus2d(4, 4);
+        let mut net = Network::builder(&g).seed(41).build();
+        let r1 = net
+            .run_batch(vec![Request::many_walks(vec![0, 5], 128)])
+            .unwrap()
+            .remove(0)
+            .into_many_walks();
+        assert_eq!(r1.destinations.len(), 2);
+
+        let crash = net.crash_last_node().unwrap();
+        assert_eq!(crash.epoch, 1);
+        assert_eq!(net.graph().n(), 15);
+        // Node 15's walks are gone from the repaired session.
+        let r2 = net
+            .run_batch(vec![Request::many_walks(vec![0, 5], 128)])
+            .unwrap()
+            .remove(0)
+            .into_many_walks();
+        for &d in &r2.destinations {
+            assert!(d < 15, "walk landed on the crashed node");
+        }
+        assert_eq!(net.session().unwrap().epoch(), 1);
+
+        let rejoin = net.rejoin_node(&[0, 3, 12]).unwrap();
+        assert_eq!(rejoin.epoch, 2);
+        assert_eq!(net.graph().n(), 16);
+        assert!(net.graph().has_edge(15, 12));
+        // The rejoined node serves as a source straight away.
+        let r3 = net
+            .run_batch(vec![Request::many_walks(vec![15, 0], 128)])
+            .unwrap()
+            .remove(0)
+            .into_many_walks();
+        assert_eq!(r3.destinations.len(), 2);
+        assert_eq!(net.session().unwrap().epoch(), 2);
+        assert_eq!(net.session().unwrap().repairs(), 2);
+    }
+
+    #[test]
+    fn crash_that_partitions_is_rejected_atomically() {
+        // The single-node floor: crashing down to one node works, but
+        // crashing the last survivor must fail loudly and leave the
+        // topology untouched (the same atomic-rejection path a
+        // disconnecting crash takes).
+        let g = generators::path(2);
+        let mut net = Network::builder(&g).seed(1).build();
+        let report = net.crash_last_node().unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(net.graph().n(), 1);
+        let err = net.crash_last_node().unwrap_err();
+        assert!(matches!(err, Error::Graph(_)), "{err:?}");
+        assert_eq!(net.graph().n(), 1, "rejected crash changed the topology");
+        assert_eq!(net.topology().epoch(), 1);
+    }
+
+    #[test]
+    fn rejoin_requires_an_attachment_edge() {
+        let g = generators::path(3);
+        let mut net = Network::builder(&g).seed(1).build();
+        let err = net.rejoin_node(&[]).unwrap_err();
+        assert!(matches!(err, Error::Graph(_)), "{err:?}");
+        assert_eq!(net.graph().n(), 3);
+        assert_eq!(net.topology().epoch(), 0);
+    }
+
+    #[test]
+    fn crashes_under_faulty_transport_still_serve_walks() {
+        // The combined story: ARQ-healed lossy links *and* node churn
+        // in one request stream, mid-batch via Mutate barriers.
+        use drw_congest::FaultPlan;
+        let g = generators::torus2d(4, 4);
+        let mut net = Network::builder(&g)
+            .engine(EngineConfig::default().with_faults(FaultPlan::drops(11, 50)))
+            .seed(29)
+            .build();
+        let responses = net
+            .run_batch(vec![
+                Request::walk(0, 128),
+                Request::mutate(
+                    TopologyDelta::new()
+                        .add_node()
+                        .add_edge(5, 16)
+                        .add_edge(10, 16),
+                ),
+                Request::walk(16, 128),
+            ])
+            .unwrap();
+        assert_eq!(responses.len(), 3);
+        assert_eq!(responses[1].clone().into_epoch().epoch, 1);
+        let w = responses[2].clone().into_walk();
+        assert!(w.destination < 17);
+        let crash = net.crash_last_node().unwrap();
+        assert_eq!(crash.epoch, 2);
+        let w2 = net
+            .run_batch(vec![Request::walk(0, 128)])
+            .unwrap()
+            .remove(0)
+            .into_walk();
+        assert!(w2.destination < 16);
+        assert_eq!((w2.destination / 4 + w2.destination % 4) % 2, 0);
     }
 
     #[test]

@@ -530,6 +530,14 @@ impl WalkSession {
         self.runner.total_rounds()
     }
 
+    /// Total injected faults across the whole session — all-zero unless
+    /// the engine configuration carries an active
+    /// [`drw_congest::FaultPlan`]. What experiment E16 reads to report
+    /// drop/retransmission volume alongside the round bill.
+    pub fn total_faults(&self) -> drw_congest::FaultCounters {
+        self.runner.total_faults()
+    }
+
     /// Rounds spent on the one anchor BFS.
     pub fn rounds_bfs(&self) -> u64 {
         self.rounds_bfs

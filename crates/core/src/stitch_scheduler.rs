@@ -898,9 +898,40 @@ pub struct BatchedStitchOutcome {
     pub gmw_by_walk: Vec<u64>,
     /// How many times each node served as a connector.
     pub connector_visits: Vec<u32>,
-    /// The engine report of the single multiplexed run — Phase 2's
-    /// entire round/message bill.
+    /// Walk re-issues performed by the self-healing pass: on an
+    /// unhealed (fail-silent) network, walks whose token was lost are
+    /// relaunched from their last stitched checkpoint once the run goes
+    /// quiescent. Always 0 on perfect or ARQ-healed networks.
+    pub reissues: u64,
+    /// The engine report of the multiplexed run (summed over re-issue
+    /// passes, if any) — Phase 2's entire round/message bill.
     pub report: RunReport,
+}
+
+/// Folds a re-issue pass's engine report into the outcome's running
+/// total: additive traffic, max-composed extremes, summed fault
+/// counters (telemetry keeps the last pass's values).
+fn merge_report(total: &mut RunReport, pass: RunReport) {
+    total.rounds += pass.rounds;
+    total.messages += pass.messages;
+    total.words += pass.words;
+    total.max_edge_backlog = total.max_edge_backlog.max(pass.max_edge_backlog);
+    total.max_edge_load = total.max_edge_load.max(pass.max_edge_load);
+    if total.edge_load_histogram.len() < pass.edge_load_histogram.len() {
+        total
+            .edge_load_histogram
+            .resize(pass.edge_load_histogram.len(), 0);
+    }
+    for (slot, v) in total
+        .edge_load_histogram
+        .iter_mut()
+        .zip(&pass.edge_load_histogram)
+    {
+        *slot += v;
+    }
+    total.faults.accumulate(&pass.faults);
+    total.memory = pass.memory;
+    total.balance = pass.balance;
 }
 
 /// The batched Phase-2 scheduler: stitches `k` walks over a shared
@@ -942,6 +973,13 @@ pub struct StitchScheduler {
     setup: StitchSetup,
     specs: Vec<StitchSpec>,
 }
+
+/// Upper bound on self-healing re-issue passes in
+/// [`StitchScheduler::run`]. Each pass restarts only the walks that
+/// stalled, so under any sub-partition fault rate the expected number of
+/// passes is O(1); hitting this bound means the plan is pathological
+/// (e.g. dropping essentially every message).
+pub const MAX_REISSUE_PASSES: usize = 16;
 
 impl StitchScheduler {
     /// Creates an empty scheduler for the given stitching parameters.
@@ -1025,14 +1063,35 @@ impl StitchScheduler {
     /// prepared by Phase 1 on the same `state`, or be deliberately empty
     /// to exercise pure `GET-MORE-WALKS` stitching).
     ///
+    /// # Self-healing under message loss
+    ///
+    /// On a fail-silent network (an active unhealed
+    /// [`drw_congest::FaultPlan`] on the runner's engine), a walk's
+    /// token or one of its epoch handshakes can be lost outright, in
+    /// which case the multiplexed run goes quiescent with the walk
+    /// unfinished. Quiescence *is* the timeout — nothing is in flight,
+    /// so no retransmission can arrive — and the scheduler then
+    /// re-issues every unfinished walk from its last stitched
+    /// checkpoint in a follow-up pass (walks are memoryless, so
+    /// re-drawing the lost suffix with fresh randomness leaves the
+    /// endpoint distribution exact). Passes repeat until every walk
+    /// lands; the count is surfaced as
+    /// [`BatchedStitchOutcome::reissues`] and the summed engine bill as
+    /// its `report`.
+    ///
     /// # Errors
     ///
     /// Propagates engine errors; `state` is restored either way.
     ///
     /// # Panics
     ///
-    /// Panics if a queued source is out of range or if the run ends
-    /// with an unfinished walk (a protocol invariant violation).
+    /// Panics if a queued source is out of range, if a run on a
+    /// *perfect or ARQ-healed* network ends with an unfinished walk (a
+    /// protocol invariant violation — loss-free runs may not stall), if
+    /// a *recorded* walk needs re-issue (recording requires the healed
+    /// transport: partially recorded visits cannot be rolled back), or
+    /// if walks still stall after [`MAX_REISSUE_PASSES`] passes (the
+    /// fault rate is above the partition threshold).
     pub fn run(
         self,
         runner: &mut Runner,
@@ -1043,52 +1102,129 @@ impl StitchScheduler {
         for spec in &self.specs {
             assert!(spec.source < n, "source {} out of range", spec.source);
         }
-        let shared = SharedCfg {
-            lambda: self.setup.lambda.max(1),
-            randomize_len: self.setup.randomize_len,
-            aggregated_gmw: self.setup.aggregated_gmw,
-            gmw_count: self.setup.gmw_count.max(1),
-            walks: self.specs,
-        };
-        let lambda = shared.lambda;
-        let stores: Vec<NodeWalkState> = state.nodes.iter_mut().map(std::mem::take).collect();
-        let mut protocol = BatchedStitchProtocol::new(shared, stores);
-        let result = runner.run_local(&mut protocol);
+        let setup = self.setup;
+        let lambda = setup.lambda.max(1);
+        let can_reissue = runner
+            .config()
+            .faults
+            .is_some_and(|p| p.is_active() && !p.heal);
+        let total = self.specs.len();
+        let specs = self.specs;
 
-        // Always hand the per-node stores back, even on engine errors.
-        let walks = std::mem::take(&mut protocol.shared.walks);
-        let mut destinations: Vec<Option<NodeId>> = vec![None; walks.len()];
-        let mut segments: Vec<Vec<Segment>> = vec![Vec::new(); walks.len()];
+        // Accumulators in original walk coordinates, folded over passes.
+        let mut destinations: Vec<Option<NodeId>> = vec![None; total];
+        let mut segments: Vec<Vec<Segment>> = vec![Vec::new(); total];
         let mut connector_visits = vec![0u32; n];
-        let mut gmw_by_walk = vec![0u64; walks.len()];
-        for (v, node) in protocol.nodes.iter_mut().enumerate() {
-            state.nodes[v] = std::mem::take(&mut node.ws);
-            connector_visits[v] = node.connector_visits;
-            for (w, &e) in node.gmw_events.iter().enumerate() {
-                gmw_by_walk[w] += e;
+        let mut gmw_by_walk = vec![0u64; total];
+        let mut report = RunReport::default();
+        let mut reissues = 0u64;
+        // The walks this pass runs: (original index, spec, steps already
+        // banked by earlier passes). Pass 0 is the full batch.
+        let mut pending: Vec<(usize, StitchSpec, u64)> =
+            specs.iter().enumerate().map(|(w, &s)| (w, s, 0)).collect();
+
+        for pass in 0.. {
+            let shared = SharedCfg {
+                lambda,
+                randomize_len: setup.randomize_len,
+                aggregated_gmw: setup.aggregated_gmw,
+                gmw_count: setup.gmw_count.max(1),
+                walks: pending.iter().map(|&(_, s, _)| s).collect(),
+            };
+            let stores: Vec<NodeWalkState> = state.nodes.iter_mut().map(std::mem::take).collect();
+            let mut protocol = BatchedStitchProtocol::new(shared, stores);
+            let result = runner.run_local(&mut protocol);
+
+            // Always hand the per-node stores back, even on engine
+            // errors; merge this pass's results into original walk
+            // coordinates (segment positions shift by the banked steps).
+            let mut finished_here: Vec<bool> = vec![false; pending.len()];
+            for (v, node) in protocol.nodes.iter_mut().enumerate() {
+                state.nodes[v] = std::mem::take(&mut node.ws);
+                connector_visits[v] += node.connector_visits;
+                for (j, &e) in node.gmw_events.iter().enumerate() {
+                    gmw_by_walk[pending[j].0] += e;
+                }
+                for &j in &node.finished {
+                    let (w, _, _) = pending[j as usize];
+                    assert!(!finished_here[j as usize], "walk {w} finished twice");
+                    finished_here[j as usize] = true;
+                    assert!(
+                        destinations[w].replace(v).is_none(),
+                        "walk {w} finished twice"
+                    );
+                }
+                for (j, mut seg) in node.segments.drain(..) {
+                    let (w, _, banked) = pending[j as usize];
+                    seg.start_pos += banked;
+                    segments[w].push(seg);
+                }
             }
-            for &w in &node.finished {
-                assert!(
-                    destinations[w as usize].replace(v).is_none(),
-                    "walk {w} finished twice"
-                );
+            merge_report(&mut report, result?);
+
+            let unfinished: Vec<(usize, StitchSpec, u64)> = pending
+                .iter()
+                .zip(&finished_here)
+                .filter(|&(_, &f)| !f)
+                .map(|(&p, _)| p)
+                .collect();
+            if unfinished.is_empty() {
+                break;
             }
-            for (w, seg) in node.segments.drain(..) {
-                segments[w as usize].push(seg);
-            }
+            assert!(
+                can_reissue,
+                "walk {} never completed (loss-free runs may not stall)",
+                unfinished[0].0
+            );
+            assert!(
+                pass + 1 < MAX_REISSUE_PASSES,
+                "{} walks still unfinished after {MAX_REISSUE_PASSES} re-issue passes \
+                 (fault rate above the partition threshold?)",
+                unfinished.len()
+            );
+            // Relaunch each lost walk from its last stitched checkpoint
+            // with fresh randomness (the next engine run derives a new
+            // seed). Naive walks carry no trace, so they restart whole.
+            pending = unfinished
+                .into_iter()
+                .map(|(w, spec, _)| {
+                    assert!(
+                        !spec.record,
+                        "walk {w}: recorded walks cannot be re-issued (use a healed fault plan)"
+                    );
+                    reissues += 1;
+                    if spec.naive {
+                        (w, specs[w], 0)
+                    } else {
+                        let mut segs = segments[w].clone();
+                        segs.sort_unstable_by_key(|s| s.start_pos);
+                        let mut driver = WalkDriver::new(specs[w].source, specs[w].len);
+                        for &seg in &segs {
+                            driver.apply_segment(seg);
+                        }
+                        let respec = StitchSpec {
+                            source: driver.current,
+                            len: specs[w].len - driver.completed,
+                            pos_offset: specs[w].pos_offset + driver.completed,
+                            ..specs[w]
+                        };
+                        (w, respec, driver.completed)
+                    }
+                })
+                .collect();
         }
-        let report = result?;
 
         let mut stitches = 0u64;
-        let mut out = Vec::with_capacity(walks.len());
-        for (w, spec) in walks.iter().enumerate() {
+        let mut out = Vec::with_capacity(total);
+        for (w, spec) in specs.iter().enumerate() {
             let mut segs = std::mem::take(&mut segments[w]);
             segs.sort_unstable_by_key(|s| s.start_pos);
             if spec.naive {
                 assert!(segs.is_empty(), "naive walk {w} must never stitch");
             } else {
                 // Replay the trace through the walk's state machine:
-                // panics on any gap, overlap or broken connector chain.
+                // panics on any gap, overlap or broken connector chain
+                // (re-issued suffixes chain onto their checkpoint).
                 let mut driver = WalkDriver::new(spec.source, spec.len);
                 for &seg in &segs {
                     driver.apply_segment(seg);
@@ -1110,6 +1246,7 @@ impl StitchScheduler {
             gmw_invocations: gmw_by_walk.iter().sum(),
             gmw_by_walk,
             connector_visits,
+            reissues,
             report,
         })
     }
@@ -1375,5 +1512,134 @@ mod tests {
             batched.report.rounds,
             sequential_rounds
         );
+    }
+
+    #[test]
+    fn lossy_links_trigger_reissue_and_walks_still_land() {
+        use drw_congest::FaultPlan;
+        // Fail-silent 0.5% drop — below the unhealed partition
+        // threshold (every epoch handshake must cross the whole graph
+        // losslessly, so high rates deadlock every pass; see DESIGN.md).
+        // The scheduler must notice quiescent stalls and relaunch lost
+        // walks from their checkpoints. Scan fault seeds for a schedule
+        // that actually stalls something, so the test pins the re-issue
+        // path and not just lucky delivery.
+        let g = generators::torus2d(4, 4);
+        let sources = [0usize, 10];
+        let mut exercised = false;
+        for fault_seed in 0..64 {
+            let cfg = EngineConfig::default().with_faults(FaultPlan::drops(fault_seed, 5).lossy());
+            let mut runner = Runner::new(&g, cfg, 5);
+            let mut state = WalkState::new(g.n());
+            phase1(&mut runner, &mut state, 4, 8);
+            let mut sched = StitchScheduler::new(&setup(8, true));
+            for &source in &sources {
+                sched.add_walk(source, 64);
+            }
+            let out = sched.run(&mut runner, &mut state).expect("lossy run");
+            assert_eq!(out.walks.len(), sources.len());
+            let parity = |v: usize| (v / 4 + v % 4) % 2;
+            for (walk, &source) in out.walks.iter().zip(&sources) {
+                // Re-drawn suffixes still make exact 64-step walks:
+                // even length preserves parity on the bipartite torus.
+                assert_eq!(parity(source), parity(walk.destination));
+            }
+            assert_eq!(
+                out.report.faults.retransmitted, 0,
+                "fail-silent links must not ARQ"
+            );
+            if out.reissues > 0 {
+                assert!(out.report.faults.dropped > 0, "re-issue without a drop");
+                exercised = true;
+                break;
+            }
+        }
+        assert!(exercised, "no fault seed in 0..64 stalled a walk");
+    }
+
+    #[test]
+    fn naive_lane_reissues_from_scratch_on_lossy_links() {
+        use drw_congest::FaultPlan;
+        // A forced-naive walk has no checkpoints: losing its tail token
+        // restarts the whole walk (memoryless, so still unbiased). 5%
+        // drop over a 16-hop token loses one run in two, while a fresh
+        // pass completes just as often — stall and recovery are both
+        // likely within the seed scan.
+        let g = generators::path(4);
+        let mut exercised = false;
+        for fault_seed in 0..64 {
+            let cfg = EngineConfig::default().with_faults(FaultPlan::drops(fault_seed, 50).lossy());
+            let mut runner = Runner::new(&g, cfg, 7);
+            let mut state = WalkState::new(g.n());
+            let mut sched = StitchScheduler::new(&setup(8, true));
+            sched.add_spec(StitchSpec {
+                source: 1,
+                len: 16,
+                pos_offset: 0,
+                req: 0,
+                record: false,
+                naive: true,
+            });
+            let out = sched.run(&mut runner, &mut state).expect("naive lossy");
+            assert!(out.walks[0].segments.is_empty());
+            assert_eq!(out.walks[0].destination % 2, 1, "16-step parity on a path");
+            if out.reissues > 0 {
+                exercised = true;
+                break;
+            }
+        }
+        assert!(exercised, "no fault seed in 0..64 lost the naive token");
+    }
+
+    #[test]
+    fn healed_faults_never_reissue() {
+        use drw_congest::FaultPlan;
+        // ARQ-healed drops are the transport's problem: the scheduler
+        // must see a loss-free protocol and take the single-pass path.
+        let g = generators::torus2d(4, 4);
+        let cfg = EngineConfig::default().with_faults(FaultPlan::drops(3, 100));
+        let mut runner = Runner::new(&g, cfg, 5);
+        let mut state = WalkState::new(g.n());
+        phase1(&mut runner, &mut state, 4, 8);
+        let mut sched = StitchScheduler::new(&setup(8, true));
+        sched.add_walk(0, 192).add_walk(9, 192);
+        let out = sched.run(&mut runner, &mut state).expect("healed run");
+        assert_eq!(out.reissues, 0);
+        assert!(out.report.faults.dropped > 0);
+        assert_eq!(out.report.faults.dropped, out.report.faults.retransmitted);
+    }
+
+    #[test]
+    #[should_panic(expected = "recorded walks cannot be re-issued")]
+    fn recorded_walks_refuse_lossy_reissue() {
+        use drw_congest::FaultPlan;
+        // Drop *everything*, fail-silent: the recorded walk stalls on
+        // its first message and the re-issue pass must refuse it
+        // (partially recorded visits cannot be rolled back).
+        let g = generators::path(6);
+        let cfg = EngineConfig::default().with_faults(FaultPlan::drops(1, 1000).lossy());
+        let mut runner = Runner::new(&g, cfg, 9);
+        let mut state = WalkState::new(g.n());
+        let mut su = setup(4, false);
+        su.record = true;
+        let mut sched = StitchScheduler::new(&su);
+        sched.add_walk(2, 32);
+        let _ = sched.run(&mut runner, &mut state);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-issue passes")]
+    fn total_loss_exhausts_reissue_budget() {
+        use drw_congest::FaultPlan;
+        // A plan above the partition threshold (100% drop) can never
+        // finish: the bounded retry loop must give up loudly instead of
+        // spinning forever.
+        let g = generators::path(6);
+        let cfg = EngineConfig::default().with_faults(FaultPlan::drops(1, 1000).lossy());
+        let mut runner = Runner::new(&g, cfg, 9);
+        let mut state = WalkState::new(g.n());
+        let mut sched = StitchScheduler::new(&setup(4, true));
+        sched.add_walk(2, 32);
+        let _ = sched.run(&mut runner, &mut state);
     }
 }

@@ -180,6 +180,52 @@ fn batched_many_walks_identical_across_worker_counts() {
     }
 }
 
+/// Fault injection lives in the executors' *shared* delivery path, so a
+/// faulty run — drops, delays and reorders all active — must stay
+/// bit-identical across every backend and forced worker count:
+/// identical destinations, rounds, messages, stitch traces and per-node
+/// state. The fault schedule is part of the determinism contract.
+#[test]
+fn faulty_runs_are_identical_across_backends_and_worker_counts() {
+    use drw_congest::FaultPlan;
+    let plan = FaultPlan::new(0xFA17)
+        .with_drops(40)
+        .with_delays(30, 3)
+        .with_reorder(50);
+    for (name, g) in graph_families() {
+        let sources: Vec<usize> = (0..6).map(|i| (i * 13) % g.n()).collect();
+        let mut seq_cfg = config_with(ExecutorKind::Sequential, false);
+        seq_cfg.engine = seq_cfg.engine.with_faults(plan);
+        let base = many_random_walks(&g, &sources, 768, &seq_cfg, 23).expect("sequential faulty");
+        for alt in ALT_BACKENDS {
+            let mut cfg = config_with(alt, false);
+            cfg.engine = cfg.engine.with_faults(plan);
+            let par = many_random_walks(&g, &sources, 768, &cfg, 23).expect("faulty alternate");
+            let tag = format!("{name} under faults vs {}", alt.name());
+            assert_eq!(base.destinations, par.destinations, "{tag}: destinations");
+            assert_eq!(base.rounds, par.rounds, "{tag}: rounds");
+            assert_eq!(base.messages, par.messages, "{tag}: messages");
+            assert_eq!(base.segments, par.segments, "{tag}: stitch traces");
+            assert_states_match(&tag, &base.state, &par.state);
+        }
+        for workers in [2usize, 4, 16] {
+            let cfg = SingleWalkConfig {
+                engine: EngineConfig::default()
+                    .with_workers(workers)
+                    .with_faults(plan),
+                ..SingleWalkConfig::default()
+            };
+            let par = many_random_walks(&g, &sources, 768, &cfg, 23).expect("faulty workers");
+            let tag = format!("{name} under faults, {workers} workers");
+            assert_eq!(base.destinations, par.destinations, "{tag}: destinations");
+            assert_eq!(base.rounds, par.rounds, "{tag}: rounds");
+            assert_eq!(base.messages, par.messages, "{tag}: messages");
+            assert_eq!(base.segments, par.segments, "{tag}: stitch traces");
+            assert_states_match(&tag, &base.state, &par.state);
+        }
+    }
+}
+
 /// The applications on top (random spanning trees) inherit determinism.
 #[test]
 fn spanning_trees_are_identical_across_backends() {

@@ -163,6 +163,103 @@ proptest! {
         prop_assert_eq!(r.destination % 2, 0);
     }
 
+    /// ARQ-healed faults never lose a message for good: a BFS wave
+    /// under an arbitrary seeded drop+delay+reorder plan still reaches
+    /// every node (eventual delivery — `into_tree` panics otherwise)
+    /// with a structurally valid tree, and the fault ledger balances:
+    /// every drop was retransmitted and billed exactly one ack word.
+    ///
+    /// Distances are *not* compared against centralized BFS here:
+    /// delays legally let a longer path's wave arrive first, which
+    /// costs tree depth, never correctness.
+    #[test]
+    fn healed_faults_eventually_deliver_every_message(
+        g in connected_graph(16),
+        seed in 0u64..200,
+        drop_pm in 0u16..200,
+        delay_pm in 0u16..200,
+        reorder_pm in 0u16..200,
+    ) {
+        use drw_congest::primitives::BfsTreeProtocol;
+        use drw_congest::FaultPlan;
+        let plan = FaultPlan::new(seed)
+            .with_drops(drop_pm)
+            .with_delays(delay_pm, 2)
+            .with_reorder(reorder_pm);
+        let cfg = EngineConfig::default().with_faults(plan);
+        let root = seed as usize % g.n();
+        let mut p = BfsTreeProtocol::new(root);
+        let report = drw_congest::run_protocol(&g, &cfg, seed, &mut p).unwrap();
+        let tree = p.into_tree();
+        prop_assert_eq!(tree.dist[root], 0);
+        for v in 0..g.n() {
+            if v == root {
+                prop_assert!(tree.parent[v].is_none());
+                continue;
+            }
+            let parent = tree.parent[v].expect("non-root nodes have parents");
+            prop_assert!(g.has_edge(parent, v), "parent link {parent}-{v} not an edge");
+            prop_assert_eq!(tree.dist[v], tree.dist[parent] + 1);
+        }
+        prop_assert_eq!(report.faults.dropped, report.faults.retransmitted);
+        prop_assert_eq!(report.faults.dropped, report.faults.ack_words);
+        if !plan.is_active() {
+            prop_assert_eq!(report.faults.total(), 0);
+        }
+    }
+
+    /// The full walk pipeline under seeded drop+delay+reorder plans
+    /// (ARQ-healed): every walk token is eventually delivered — the
+    /// batched driver terminates with exactly-`len` walks whose
+    /// segments chain head-to-tail — and the short-walk store balances
+    /// exactly (initial + GET-MORE-WALKS creations - consumptions).
+    #[test]
+    fn walks_survive_seeded_fault_plans_with_store_conservation(
+        g in connected_graph(12),
+        seed in 0u64..300,
+        drop_pm in 0u16..100,
+        delay_pm in 0u16..100,
+    ) {
+        use drw_congest::FaultPlan;
+        let len = 160u64;
+        let plan = FaultPlan::new(seed ^ 0xFA)
+            .with_drops(drop_pm)
+            .with_delays(delay_pm, 3)
+            .with_reorder(60);
+        let cfg = SingleWalkConfig {
+            params: WalkParams { lambda_scale: 0.3, eta: 1.0 },
+            engine: EngineConfig::default().with_faults(plan),
+            ..SingleWalkConfig::default()
+        };
+        let sources: Vec<usize> = (0..3).map(|i| (seed as usize + i * 5) % g.n()).collect();
+        let r = many_random_walks(&g, &sources, len, &cfg, seed).unwrap();
+        prop_assert_eq!(r.destinations.len(), sources.len());
+        if !r.used_naive_fallback {
+            let lambda = r.lambda as u64;
+            let mut consumed = 0u64;
+            for (w, segs) in r.segments.iter().enumerate() {
+                let mut at = sources[w];
+                let mut pos = 0u64;
+                for seg in segs {
+                    prop_assert_eq!(seg.connector, at, "walk {} chain break", w);
+                    prop_assert_eq!(seg.start_pos, pos, "walk {} position gap", w);
+                    at = seg.owner;
+                    pos += u64::from(seg.len);
+                }
+                prop_assert!(len - pos < 2 * lambda, "walk {} tail too long", w);
+                consumed += segs.len() as u64;
+            }
+            let initial: u64 = (0..g.n())
+                .map(|v| cfg.params.walks_for_degree(g.degree(v)) as u64)
+                .sum();
+            let gmw_count = (len / lambda).max(1);
+            prop_assert_eq!(
+                r.state.total_stored() as u64,
+                initial + r.gmw_invocations * gmw_count - consumed
+            );
+        }
+    }
+
     /// The batched Phase-2 scheduler's bookkeeping invariants, on
     /// arbitrary connected graphs:
     ///

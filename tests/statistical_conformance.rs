@@ -65,6 +65,50 @@ fn torus_endpoints_match_exact_distribution() {
     assert_conformance(&g, "torus 4x4", &[0, 0, 5, 10], 64, 400, 10_000);
 }
 
+/// The fault-layer conformance claim (PR-7 tentpole): 5% uniform
+/// ARQ-healed message drop on the 32x32 torus must not bias walk
+/// endpoints. Retransmission reshuffles *which* RNG draw each token
+/// meets, never the transition law, so the chi-square against the exact
+/// `P^l` row distribution (1024 cells aggregated to the 32 torus rows,
+/// keeping expected counts well above 5) must still pass.
+#[test]
+fn torus_endpoints_match_exact_distribution_at_five_percent_drop() {
+    use drw_congest::FaultPlan;
+    let g = generators::torus2d(32, 32);
+    let len = 256u64;
+    let source = 0usize;
+    let cfg = SingleWalkConfig {
+        params: WalkParams {
+            lambda_scale: 0.25,
+            eta: 1.0,
+        },
+        engine: engine_config_from_env().with_faults(FaultPlan::drops(4, 50)),
+        ..SingleWalkConfig::default()
+    };
+    let sources = vec![source; 16];
+    let mut row_counts = vec![0u64; 32];
+    for t in 0..16 {
+        let r = many_random_walks(&g, &sources, len, &cfg, 60_000 + t).expect("faulty many walks");
+        assert!(
+            !r.used_naive_fallback,
+            "conformance needs the stitched regime"
+        );
+        for &d in &r.destinations {
+            row_counts[d / 32] += 1;
+        }
+    }
+    let probs = exact_distribution(&g, source, len);
+    let mut row_probs = vec![0f64; 32];
+    for (v, p) in probs.iter().enumerate() {
+        row_probs[v / 32] += p;
+    }
+    let test = chi_square_against_probs(&row_counts, &row_probs);
+    assert!(
+        test.passes(0.001),
+        "faulty 32x32 torus diverges from the exact distribution: {test:?}"
+    );
+}
+
 #[test]
 fn erdos_renyi_endpoints_match_exact_distribution() {
     // G(n, p) above the connectivity threshold; deterministic seed scan
