@@ -1,0 +1,62 @@
+//! Fixture: every way a `Message` impl can lie about its wire size.
+//! Never compiled — scanned by drw-analyze's self-tests, which assert
+//! that each deliberate defect below is caught (and that `Fine` is
+//! not). Kept out of workspace scans by the `fixtures` path filter.
+
+/// Defect 1: compound payload silently inheriting the 1-word default.
+pub struct Compound {
+    pub a: u64,
+    pub b: u64,
+}
+impl Message for Compound {}
+
+/// Defect 2: under-declared constant (payload needs 3 words).
+pub struct Under {
+    pub a: u64,
+    pub b: u64,
+    pub c: u32,
+}
+impl Message for Under {
+    fn size_words(&self) -> usize {
+        2
+    }
+}
+
+/// Defect 3: dynamically sized payload behind a constant declaration.
+pub struct Dynamic(pub Vec<u64>);
+impl Message for Dynamic {
+    fn size_words(&self) -> usize {
+        3
+    }
+}
+
+/// Defect 4: generic inner payload without delegation.
+pub struct Wrap<M> {
+    pub lane: u32,
+    pub msg: M,
+}
+impl<M: Message> Message for Wrap<M> {
+    fn size_words(&self) -> usize {
+        2
+    }
+}
+
+/// Defect 5: a match arm under-declaring its variant.
+pub enum Two {
+    Big { x: u64, y: u64 },
+    Small,
+}
+impl Message for Two {
+    fn size_words(&self) -> usize {
+        match self {
+            Two::Big { .. } => 1,
+            Two::Small => 1,
+        }
+    }
+}
+
+/// Control: a one-word payload on the default is correct.
+pub struct Fine {
+    pub a: u32,
+}
+impl Message for Fine {}

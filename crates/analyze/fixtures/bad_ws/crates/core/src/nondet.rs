@@ -1,0 +1,11 @@
+//! Fixture: determinism-rule violations in a protocol-crate path.
+//! Never compiled — scanned by drw-analyze's self-tests.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn racy() {
+    let t = Instant::now();
+    let r = thread_rng();
+    unsafe { launch(t, r) }
+}

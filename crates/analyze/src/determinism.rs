@@ -1,0 +1,266 @@
+//! Pass 2 — determinism lint and SAFETY audit.
+//!
+//! The repeatability contract (same graph, same seed, same report on
+//! every executor) only holds if protocol code never consults ambient
+//! nondeterminism. This pass bans the usual suspects at the token
+//! level in the protocol crates (`drw-congest`, `drw-core`,
+//! `drw-graph`):
+//!
+//! * `hash-collections` — `HashMap`/`HashSet`: iteration order is
+//!   randomized per process, the classic verdict-divergence bug; use
+//!   `BTreeMap`/`BTreeSet` or sorted vectors.
+//! * `wall-clock` — `Instant`/`SystemTime`: time must never influence
+//!   protocol behaviour; rounds are the only clock.
+//! * `unseeded-rng` — `thread_rng`/`from_entropy`/`OsRng`: every RNG
+//!   must derive from the run seed (`seed_from_u64`/`from_seed`).
+//!
+//! Workspace-wide, independent of crate:
+//!
+//! * `safety-comment` — every `unsafe` token must carry a `// SAFETY:`
+//!   comment on the same line or within the three lines above it.
+//!
+//! Escape hatch: a finding on line `L` is suppressed by a comment
+//! `// drw-analyze: allow(rule-name, reason)` on line `L` or `L-1`.
+//! The reason is mandatory; an allow without one is itself a finding
+//! (`allow-without-reason`). The CLI reports how many allowlist
+//! entries were consumed — the workspace target is zero.
+
+use crate::lexer::Lexed;
+use crate::Finding;
+use std::path::Path;
+
+/// How many lines above an `unsafe` token a `// SAFETY:` comment may
+/// sit (inclusive window `[line - SAFETY_WINDOW, line]`).
+const SAFETY_WINDOW: usize = 3;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Line the comment sits on.
+    pub line: usize,
+    /// Rule name being suppressed.
+    pub rule: String,
+    /// Whether a non-empty reason follows the rule name.
+    pub has_reason: bool,
+    /// Set once the entry suppresses a finding.
+    pub used: std::cell::Cell<bool>,
+}
+
+/// Parses every `drw-analyze: allow(...)` comment in a file.
+pub fn parse_allows(lexed: &Lexed) -> Vec<AllowEntry> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        // Allow entries are code annotations, not documentation: a doc
+        // comment describing the syntax must not create one.
+        if ["///", "//!", "/**", "/*!"]
+            .iter()
+            .any(|p| c.text.starts_with(p))
+        {
+            continue;
+        }
+        let mut rest = c.text.as_str();
+        while let Some(pos) = rest.find("drw-analyze: allow(") {
+            let args = &rest[pos + "drw-analyze: allow(".len()..];
+            let close = args.find(')').unwrap_or(args.len());
+            let inside = &args[..close];
+            let (rule, reason) = match inside.split_once(',') {
+                Some((r, why)) => (r.trim(), !why.trim().is_empty()),
+                None => (inside.trim(), false),
+            };
+            out.push(AllowEntry {
+                line: c.line,
+                rule: rule.to_string(),
+                has_reason: reason,
+                used: std::cell::Cell::new(false),
+            });
+            rest = &args[close..];
+        }
+    }
+    // A multi-line block comment records its text on every spanned
+    // line, which would duplicate entries; keep one per (line, rule).
+    out.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
+    out
+}
+
+/// True iff `rule` at `line` is covered by an allow entry (same line or
+/// the line above). Marks the entry used.
+fn allowed(allows: &[AllowEntry], rule: &str, line: usize) -> bool {
+    for a in allows {
+        if a.rule == rule && a.has_reason && (a.line == line || a.line + 1 == line) {
+            a.used.set(true);
+            return true;
+        }
+    }
+    false
+}
+
+/// Identifier → rule it violates, for the protocol-crate rules.
+fn ident_rule(ident: &str) -> Option<(&'static str, &'static str)> {
+    match ident {
+        "HashMap" | "HashSet" => Some((
+            "hash-collections",
+            "randomized iteration order breaks run repeatability; use BTreeMap/BTreeSet \
+             or a sorted Vec",
+        )),
+        "Instant" | "SystemTime" => Some((
+            "wall-clock",
+            "wall-clock time must not influence protocol behaviour; rounds are the only \
+             clock",
+        )),
+        "thread_rng" | "from_entropy" | "OsRng" => Some((
+            "unseeded-rng",
+            "all randomness must derive from the run seed via seed_from_u64/from_seed",
+        )),
+        _ => None,
+    }
+}
+
+/// Runs the determinism rules over one lexed file.
+///
+/// `protocol_scope` enables the hash/clock/rng rules (the caller turns
+/// it on for the protocol crates); the SAFETY rule always runs.
+pub fn lint_file(
+    lexed: &Lexed,
+    file: &Path,
+    protocol_scope: bool,
+    allows: &[AllowEntry],
+    findings: &mut Vec<Finding>,
+) {
+    for tok in &lexed.tokens {
+        let Some(ident) = tok.ident() else { continue };
+        if protocol_scope {
+            if let Some((rule, why)) = ident_rule(ident) {
+                if !allowed(allows, rule, tok.line) {
+                    findings.push(Finding::new(
+                        rule,
+                        file,
+                        tok.line,
+                        format!("`{ident}` in a protocol crate: {why}"),
+                    ));
+                }
+            }
+        }
+        if ident == "unsafe" {
+            let lo = tok.line.saturating_sub(SAFETY_WINDOW);
+            let justified = lexed.comment_in_range_contains(lo, tok.line, "SAFETY:");
+            if !justified && !allowed(allows, "safety-comment", tok.line) {
+                findings.push(Finding::new(
+                    "safety-comment",
+                    file,
+                    tok.line,
+                    "`unsafe` without a `// SAFETY:` comment on the same line or the three \
+                     lines above it"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    // Allows that carry no reason are findings in their own right, and
+    // so are allows that never fired (stale suppressions).
+    for a in allows {
+        if !a.has_reason {
+            findings.push(Finding::new(
+                "allow-without-reason",
+                file,
+                a.line,
+                format!(
+                    "drw-analyze: allow({}) has no reason — write \
+                     `allow({}, <why this is sound>)`",
+                    a.rule, a.rule
+                ),
+            ));
+        } else if !a.used.get() {
+            findings.push(Finding::new(
+                "allow-unused",
+                file,
+                a.line,
+                format!(
+                    "drw-analyze: allow({}) suppresses nothing — remove the stale entry",
+                    a.rule
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use std::path::PathBuf;
+
+    fn lint(src: &str, protocol_scope: bool) -> Vec<Finding> {
+        let lexed = lex(src);
+        let allows = parse_allows(&lexed);
+        let mut out = Vec::new();
+        lint_file(
+            &lexed,
+            &PathBuf::from("mem.rs"),
+            protocol_scope,
+            &allows,
+            &mut out,
+        );
+        out
+    }
+
+    #[test]
+    fn hash_collections_flagged_in_scope_only() {
+        let src = "use std::collections::HashMap;\nlet m: HashMap<u32, u32> = HashMap::new();";
+        assert_eq!(lint(src, true).len(), 3);
+        assert!(lint(src, false).is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_trip_rules() {
+        let src = "// HashMap would break determinism\nlet s = \"Instant::now\";";
+        assert!(lint(src, true).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_and_rng() {
+        let f = lint("let t = Instant::now();\nlet r = thread_rng();", true);
+        let rules: Vec<&str> = f.iter().map(|x| x.rule.as_str()).collect();
+        assert_eq!(rules, ["wall-clock", "unseeded-rng"]);
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let src = "// drw-analyze: allow(hash-collections, test-only histogram)\n\
+                   let m = HashMap::new();";
+        assert!(lint(src, true).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_finding() {
+        let src = "// drw-analyze: allow(hash-collections)\nlet m = HashMap::new();";
+        let f = lint(src, true);
+        let rules: Vec<&str> = f.iter().map(|x| x.rule.as_str()).collect();
+        assert!(rules.contains(&"hash-collections"));
+        assert!(rules.contains(&"allow-without-reason"));
+    }
+
+    #[test]
+    fn unsafe_needs_safety_comment() {
+        let f = lint("unsafe { do_it() }", false);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "safety-comment");
+        let ok = lint(
+            "// SAFETY: contract upheld by caller\nunsafe { do_it() }",
+            false,
+        );
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn safety_window_is_three_lines() {
+        let ok = lint("// SAFETY: x\n//\n//\nunsafe { f() }", false);
+        assert!(ok.is_empty());
+        let far = lint("// SAFETY: x\n//\n//\n//\nunsafe { f() }", false);
+        assert_eq!(far.len(), 1);
+    }
+
+    #[test]
+    fn forbid_unsafe_code_attribute_is_not_unsafe() {
+        assert!(lint("#![forbid(unsafe_code)]", false).is_empty());
+    }
+}

@@ -1,0 +1,344 @@
+//! Pass 3 — exhaustive interleaving checker (a miniature loom).
+//!
+//! The sharded executor's one nondeterministic degree of freedom is
+//! the order in which worker threads claim shards off the atomic
+//! cursor. The executor contract says results never depend on it:
+//! staging buffers are merged in *shard* order, not claim order, so
+//! every interleaving is observationally sequential.
+//!
+//! This pass turns that contract into a bounded model check. It runs a
+//! real protocol (Phase-1 short walks) on a small torus through
+//! [`ShardedExecutor::run_node_local_scripted`], enumerating distinct
+//! shard-claim schedules and asserting each run's [`RunReport`] and
+//! final walk-state digest are identical to the sequential reference
+//! executor's.
+//!
+//! ## Schedule enumeration
+//!
+//! Round `r` with `s_r` shards has `s_r!` claim orders, so a whole run
+//! has `Π s_r!` schedules. Schedule `i < Π s_r!` decodes positionally:
+//! at each sharded round take `perm = unrank(i mod s_r!)` and divide
+//! `i` by `s_r!`. Distinct indices yield distinct schedules by
+//! construction, so "the checker exhausted `k` schedules" is a real
+//! coverage count, not a sample with collisions. The budget caps `i`;
+//! on the default 4×4 torus the space is astronomically larger than
+//! any budget, so every budgeted index runs.
+//!
+//! The checker also validates *itself*: with the executor's
+//! `merge_in_claim_order` bug-injection knob it reintroduces the
+//! classic staging-merge race and must observe a divergence — proof
+//! that the harness can detect the failure class it guards against.
+
+use drw_congest::{
+    run_node_local, EngineConfig, ParallelExecutor, RoundExecutor, RunReport, ShardedExecutor,
+};
+use drw_core::{ShortWalksProtocol, WalkState};
+use drw_graph::generators;
+
+/// Parameters of one checker invocation.
+#[derive(Debug, Clone)]
+pub struct InterleaveParams {
+    /// Torus side lengths (`rows * cols` nodes).
+    pub rows: usize,
+    /// Torus column count.
+    pub cols: usize,
+    /// Walks started per node.
+    pub walks_per_node: usize,
+    /// Short-walk length λ.
+    pub lambda: u32,
+    /// Run seed.
+    pub seed: u64,
+    /// Maximum number of distinct schedules to execute.
+    pub budget: u64,
+    /// Shard-sizing override so small graphs still fan out into many
+    /// shards per round (production uses 256 messages per shard).
+    pub msgs_per_shard: u64,
+}
+
+impl Default for InterleaveParams {
+    fn default() -> Self {
+        InterleaveParams {
+            rows: 4,
+            cols: 4,
+            walks_per_node: 2,
+            lambda: 16,
+            seed: 0xD5,
+            budget: 1024,
+            msgs_per_shard: 1,
+        }
+    }
+}
+
+/// What one checker invocation observed.
+#[derive(Debug)]
+pub struct InterleaveOutcome {
+    /// Distinct schedules executed (including the identity schedule).
+    pub schedules_run: u64,
+    /// Size of the full schedule space `Π s_r!` (saturating).
+    pub schedule_space: u128,
+    /// Rounds that actually sharded (where a claim order existed).
+    pub sharded_rounds: usize,
+    /// Largest shard count of any round.
+    pub max_shards: usize,
+    /// Schedules whose report or walk-state digest diverged from the
+    /// sequential reference. Zero on a healthy executor.
+    pub divergent: u64,
+}
+
+/// One run's observable result: the engine report plus a digest of the
+/// final walk state (per-node, per-source stored-walk counts), so a
+/// divergence in protocol outcome is caught even if the report fields
+/// happen to collide.
+#[derive(PartialEq)]
+struct Observed {
+    report: RunReport,
+    digest: Vec<usize>,
+}
+
+fn run_sequential(p: &InterleaveParams) -> Result<Observed, String> {
+    let g = generators::torus2d(p.rows, p.cols);
+    let cfg = EngineConfig::default();
+    let mut state = WalkState::new(g.n());
+    let report = {
+        let mut proto =
+            ShortWalksProtocol::new(&mut state, vec![p.walks_per_node; g.n()], p.lambda, false);
+        run_node_local(&g, &cfg, p.seed, &mut proto).map_err(|e| e.to_string())?
+    };
+    Ok(Observed {
+        report,
+        digest: digest(&state, g.n()),
+    })
+}
+
+/// One run on the thread-pool parallel executor — the backend whose
+/// *live* claim interleavings the scripted schedules model.
+fn run_parallel(p: &InterleaveParams) -> Result<Observed, String> {
+    let g = generators::torus2d(p.rows, p.cols);
+    let cfg = EngineConfig::default();
+    let mut state = WalkState::new(g.n());
+    let report = {
+        let mut proto =
+            ShortWalksProtocol::new(&mut state, vec![p.walks_per_node; g.n()], p.lambda, false);
+        ParallelExecutor::default()
+            .run_node_local(&g, &cfg, p.seed, &mut proto)
+            .map_err(|e| e.to_string())?
+    };
+    Ok(Observed {
+        report,
+        digest: digest(&state, g.n()),
+    })
+}
+
+fn run_scripted(
+    p: &InterleaveParams,
+    merge_in_claim_order: bool,
+    order: &mut dyn FnMut(u64, usize) -> Vec<usize>,
+) -> Result<Observed, String> {
+    let g = generators::torus2d(p.rows, p.cols);
+    let cfg = EngineConfig::default();
+    let mut state = WalkState::new(g.n());
+    let report = {
+        let mut proto =
+            ShortWalksProtocol::new(&mut state, vec![p.walks_per_node; g.n()], p.lambda, false);
+        ShardedExecutor::run_node_local_scripted(
+            &g,
+            &cfg,
+            p.seed,
+            &mut proto,
+            p.msgs_per_shard,
+            merge_in_claim_order,
+            order,
+        )
+        .map_err(|e| e.to_string())?
+    };
+    Ok(Observed {
+        report,
+        digest: digest(&state, g.n()),
+    })
+}
+
+/// Per-(node, source) stored-walk counts — the protocol's observable
+/// outcome.
+fn digest(state: &WalkState, n: usize) -> Vec<usize> {
+    let mut d = Vec::with_capacity(n * n);
+    for v in 0..n {
+        for s in 0..n {
+            d.push(state.stored_from(v, s));
+        }
+    }
+    d
+}
+
+/// `s!` as a saturating u128.
+fn factorial(s: usize) -> u128 {
+    let mut f: u128 = 1;
+    for k in 2..=s as u128 {
+        f = f.saturating_mul(k);
+    }
+    f
+}
+
+/// The `k`-th permutation of `0..s` in the factorial number system.
+fn unrank(mut k: u128, s: usize) -> Vec<usize> {
+    let mut items: Vec<usize> = (0..s).collect();
+    let mut perm = Vec::with_capacity(s);
+    for pos in 0..s {
+        let f = factorial(s - 1 - pos);
+        let idx = if f == u128::MAX {
+            0 // saturated radix: only tiny k reach here, prefix stays identity
+        } else {
+            (k / f) as usize
+        };
+        k %= f;
+        perm.push(items.remove(idx.min(items.len() - 1)));
+    }
+    perm
+}
+
+/// Runs the exhaustive check. Errors describe a divergence or an
+/// engine failure; `Ok` carries the coverage statistics (with
+/// `divergent == 0`).
+pub fn exhaustive_check(p: &InterleaveParams) -> Result<InterleaveOutcome, String> {
+    let baseline = run_sequential(p)?;
+
+    // The parallel (thread-pool) executor under whatever live
+    // interleaving this machine produces: one more backend that must
+    // land on the sequential result.
+    let par = run_parallel(p)?;
+    if par != baseline {
+        return Err(format!(
+            "parallel executor diverged from the sequential reference: \
+             sequential report {:?} vs parallel {:?}",
+            baseline.report, par.report
+        ));
+    }
+
+    // Probe pass: identity schedule, recording each round's shard
+    // count. Doubles as the cross-executor conformance check.
+    let mut shard_counts: Vec<usize> = Vec::new();
+    let probe = run_scripted(p, false, &mut |_round, s| {
+        shard_counts.push(s);
+        (0..s).collect()
+    })?;
+    if probe != baseline {
+        return Err(format!(
+            "sharded executor (identity schedule) diverged from the sequential \
+             reference: sequential report {:?} vs sharded {:?}",
+            baseline.report, probe.report
+        ));
+    }
+
+    let schedule_space = shard_counts
+        .iter()
+        .fold(1u128, |acc, &s| acc.saturating_mul(factorial(s)));
+    let sharded_rounds = shard_counts.len();
+    let max_shards = shard_counts.iter().copied().max().unwrap_or(0);
+
+    let mut divergent = 0u64;
+    let mut schedules_run = 1u64; // the identity probe
+    let mut first_divergence: Option<String> = None;
+    for i in 1..p.budget {
+        if (i as u128) >= schedule_space {
+            break; // space exhausted: every schedule has been run
+        }
+        let mut rem: u128 = i as u128;
+        let outcome = run_scripted(p, false, &mut |_round, s| {
+            let f = factorial(s);
+            let k = rem % f;
+            rem /= f;
+            unrank(k, s)
+        })?;
+        schedules_run += 1;
+        if outcome != baseline {
+            divergent += 1;
+            first_divergence.get_or_insert_with(|| {
+                format!(
+                    "schedule #{i} diverged: report {:?} vs baseline {:?}",
+                    outcome.report, baseline.report
+                )
+            });
+        }
+    }
+    if let Some(msg) = first_divergence {
+        return Err(format!(
+            "{divergent} of {schedules_run} schedules diverged from the sequential \
+             reference — first: {msg}"
+        ));
+    }
+    Ok(InterleaveOutcome {
+        schedules_run,
+        schedule_space,
+        sharded_rounds,
+        max_shards,
+        divergent,
+    })
+}
+
+/// Self-validation: with the merge-order bug injected, some schedule
+/// must produce a different result — otherwise the checker could not
+/// detect the race class it exists for. Returns the number of
+/// schedules tried and whether a divergence was observed.
+pub fn bug_injection_detects(p: &InterleaveParams, tries: u64) -> Result<(u64, bool), String> {
+    let baseline = run_sequential(p)?;
+    let mut tried = 0u64;
+    for i in 0..tries {
+        // Walk the schedule space from the far end: reversed-ish
+        // permutations maximally disturb the merge order.
+        let mut rem: u128 = i as u128;
+        let outcome = run_scripted(p, true, &mut |_round, s| {
+            let f = factorial(s);
+            let k = rem % f;
+            rem /= f;
+            let mut perm = unrank(k, s);
+            perm.reverse();
+            perm
+        })?;
+        tried += 1;
+        if outcome != baseline {
+            return Ok((tried, true));
+        }
+    }
+    Ok((tried, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unrank_is_a_permutation_enumeration() {
+        let mut seen: Vec<Vec<usize>> = Vec::new();
+        for k in 0..24u128 {
+            let p = unrank(k, 4);
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, [0, 1, 2, 3]);
+            assert!(!seen.contains(&p), "rank {k} repeated {p:?}");
+            seen.push(p);
+        }
+    }
+
+    #[test]
+    fn identity_is_rank_zero() {
+        assert_eq!(unrank(0, 5), [0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn factorial_saturates() {
+        assert_eq!(factorial(0), 1);
+        assert_eq!(factorial(4), 24);
+        assert_eq!(factorial(64), u128::MAX); // saturated
+    }
+
+    #[test]
+    fn small_exhaustive_check_passes() {
+        let p = InterleaveParams {
+            budget: 40,
+            ..InterleaveParams::default()
+        };
+        let out = exhaustive_check(&p).expect("no divergence");
+        assert_eq!(out.schedules_run, 40);
+        assert_eq!(out.divergent, 0);
+        assert!(out.max_shards >= 2, "graph too small to shard: {out:?}");
+    }
+}

@@ -1,0 +1,166 @@
+//! CLI entry point: `cargo run -p drw-analyze -- [options]`.
+//!
+//! Runs the static passes (CONGEST word accounting, determinism lint,
+//! SAFETY audit) over the workspace and, unless told otherwise, the
+//! exhaustive interleaving check. Exits non-zero when `--deny-warnings`
+//! is set and anything was found — the CI gate.
+//!
+//! Options:
+//!
+//! * `--root <path>` — source tree to analyze (default: the workspace
+//!   root the binary was built in, else the current directory).
+//! * `--deny-warnings` — exit 1 on any finding (CI mode).
+//! * `--expect-findings <n>` — exit 0 iff exactly `n` findings were
+//!   produced; used to verify the gate *fails* on bad fixtures.
+//! * `--skip-interleave` / `--only-interleave` — select passes.
+//! * `--interleave-budget <n>` — schedule budget (default 1024).
+//! * `--torus <rows>x<cols>` — interleaving-checker graph (default 4x4).
+
+use drw_analyze::interleave::{InterleaveOutcome, InterleaveParams};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    root: PathBuf,
+    deny_warnings: bool,
+    expect_findings: Option<usize>,
+    skip_interleave: bool,
+    only_interleave: bool,
+    interleave: InterleaveParams,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let default_root = std::env::var("DRW_ANALYZE_ROOT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            // The manifest dir is crates/analyze; the workspace root is
+            // two levels up. Fall back to the current directory when
+            // the binary runs outside its build tree.
+            let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            here.parent()
+                .and_then(|p| p.parent())
+                .map(PathBuf::from)
+                .filter(|p| p.join("Cargo.toml").exists())
+                .unwrap_or_else(|| PathBuf::from("."))
+        });
+    let mut o = Opts {
+        root: default_root,
+        deny_warnings: false,
+        expect_findings: None,
+        skip_interleave: false,
+        only_interleave: false,
+        interleave: InterleaveParams::default(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--root" => o.root = PathBuf::from(value("--root")?),
+            "--deny-warnings" => o.deny_warnings = true,
+            "--expect-findings" => {
+                o.expect_findings = Some(
+                    value("--expect-findings")?
+                        .parse()
+                        .map_err(|e| format!("--expect-findings: {e}"))?,
+                )
+            }
+            "--skip-interleave" => o.skip_interleave = true,
+            "--only-interleave" => o.only_interleave = true,
+            "--interleave-budget" => {
+                o.interleave.budget = value("--interleave-budget")?
+                    .parse()
+                    .map_err(|e| format!("--interleave-budget: {e}"))?
+            }
+            "--torus" => {
+                let v = value("--torus")?;
+                let (r, c) = v
+                    .split_once('x')
+                    .ok_or_else(|| format!("--torus expects <rows>x<cols>, got `{v}`"))?;
+                o.interleave.rows = r.parse().map_err(|e| format!("--torus rows: {e}"))?;
+                o.interleave.cols = c.parse().map_err(|e| format!("--torus cols: {e}"))?;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(o)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("drw-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut findings = 0usize;
+
+    if !opts.only_interleave {
+        let report = match drw_analyze::run_static_passes(&opts.root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("drw-analyze: cannot scan {}: {e}", opts.root.display());
+                return ExitCode::from(2);
+            }
+        };
+        for f in &report.findings {
+            println!("{f}");
+        }
+        findings += report.findings.len();
+        println!(
+            "drw-analyze: static passes: {} files scanned, {} Message impls audited, \
+             {} findings, {} allowlist entries in effect",
+            report.files_scanned,
+            report.impls_audited,
+            report.findings.len(),
+            report.allows_used,
+        );
+    }
+
+    if !opts.skip_interleave {
+        match drw_analyze::interleave::exhaustive_check(&opts.interleave) {
+            Ok(InterleaveOutcome {
+                schedules_run,
+                schedule_space,
+                sharded_rounds,
+                max_shards,
+                divergent: _,
+            }) => {
+                let space = if schedule_space == u128::MAX {
+                    ">= 2^128".to_string()
+                } else {
+                    schedule_space.to_string()
+                };
+                println!(
+                    "drw-analyze: interleaving check: {schedules_run} distinct shard-claim \
+                     schedules on a {}x{} torus (space {space}, {sharded_rounds} sharded \
+                     rounds, up to {max_shards} shards/round), all bit-identical to the \
+                     sequential reference",
+                    opts.interleave.rows, opts.interleave.cols,
+                );
+            }
+            Err(e) => {
+                println!("drw-analyze: interleaving check FAILED: {e}");
+                findings += 1;
+            }
+        }
+    }
+
+    if let Some(expected) = opts.expect_findings {
+        if findings == expected {
+            println!("drw-analyze: found the expected {expected} findings");
+            return ExitCode::SUCCESS;
+        }
+        eprintln!("drw-analyze: expected {expected} findings, got {findings}");
+        return ExitCode::FAILURE;
+    }
+    if findings > 0 && opts.deny_warnings {
+        eprintln!("drw-analyze: {findings} findings (deny-warnings)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -24,17 +24,27 @@ struct CountingAlloc;
 // SAFETY: pure delegation to `System`; the counter is a relaxed atomic
 // with no effect on allocation behavior.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds `GlobalAlloc`'s contract for `layout`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `layout` is forwarded unchanged to `System`.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller passes a pointer this allocator returned, with its
+    // original layout.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: every pointer we hand out comes from `System`, so it
+        // is valid to return there with the same layout.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: caller upholds `GlobalAlloc`'s contract for `ptr`,
+    // `layout` and `new_size`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: arguments are forwarded unchanged; `ptr` originally
+        // came from `System.alloc`/`System.realloc`.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

@@ -212,6 +212,13 @@ pub struct RunReport {
     /// Largest number of messages delivered over a single directed edge in
     /// a single round (interesting when `edge_capacity` is `None`).
     pub max_edge_load: usize,
+    /// Largest number of `O(log n)`-bit words that crossed a single
+    /// directed edge in a single round — the run's measured CONGEST
+    /// bandwidth peak. Counts every message that consumed a capacity
+    /// slot (dropped, delayed or reordered messages spent the edge's
+    /// bandwidth too). Under the default config (`edge_capacity = 1`)
+    /// model conformance means this never exceeds `max_message_words`.
+    pub max_edge_words_per_round: usize,
     /// If requested, `edge_load_histogram[l]` counts (edge, round) pairs
     /// that delivered exactly `l` messages (last bucket accumulates
     /// overflow); empty otherwise. Zero-load pairs are not counted.
@@ -234,6 +241,7 @@ impl PartialEq for RunReport {
             && self.words == other.words
             && self.max_edge_backlog == other.max_edge_backlog
             && self.max_edge_load == other.max_edge_load
+            && self.max_edge_words_per_round == other.max_edge_words_per_round
             && self.edge_load_histogram == other.edge_load_histogram
             && self.faults == other.faults
     }
@@ -775,6 +783,7 @@ mod tests {
                 words: 900,
                 max_edge_backlog: 7,
                 max_edge_load: 3,
+                max_edge_words_per_round: 4,
                 edge_load_histogram: vec![0, 5, 2],
                 faults: FaultCounters {
                     dropped: 6,

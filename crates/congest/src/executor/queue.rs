@@ -165,8 +165,13 @@ impl<M: Message> FlatQueue<M> {
             let take = bucket_len.min(cap);
             let from = graph.edge_source(eid);
             let to = graph.edge_target(eid);
+            let mut bucket_words = 0usize;
             for k in 0..take {
                 let msg = stream.next().expect("bucket index matches storage");
+                // Bandwidth is spent the moment the slot is consumed:
+                // faulted messages count toward the edge's word load even
+                // though only actual deliveries are billed below.
+                bucket_words += msg.size_words();
                 if let Some(plan) = plan {
                     match plan.decide(round, eid, k) {
                         FaultDecision::Deliver => {}
@@ -212,6 +217,7 @@ impl<M: Message> FlatQueue<M> {
                 delivered_total += 1;
             }
             report.max_edge_load = report.max_edge_load.max(take);
+            report.max_edge_words_per_round = report.max_edge_words_per_round.max(bucket_words);
             if cfg.record_edge_loads && take > 0 {
                 let bucket = take.min(LOAD_HISTOGRAM_BUCKETS - 1);
                 report.edge_load_histogram[bucket] += 1;

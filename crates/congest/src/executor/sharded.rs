@@ -85,6 +85,36 @@ impl Default for ShardedExecutor {
     }
 }
 
+/// How a round's shard tasks are claimed by execution contexts.
+enum ClaimMode<'a> {
+    /// Production: up to `n` OS threads race on an atomic cursor.
+    Threads(usize),
+    /// Interleaving-checker mode: shards execute one at a time in a
+    /// scripted claim order (see
+    /// [`ShardedExecutor::run_node_local_scripted`]).
+    Scripted {
+        /// Overrides [`MSGS_PER_SHARD`] so small checker graphs still
+        /// fan out into several shards per round.
+        msgs_per_shard: u64,
+        /// Bug injection for harness self-validation: concatenate the
+        /// staging buffers in *claim* order instead of shard order —
+        /// the classic merge race a correct executor must not have.
+        merge_in_claim_order: bool,
+        /// Yields the claim order for `(round, shard_count)`; must
+        /// return a permutation of `0..shard_count`.
+        order: &'a mut dyn FnMut(u64, usize) -> Vec<usize>,
+    },
+}
+
+impl ClaimMode<'_> {
+    fn msgs_per_shard(&self) -> u64 {
+        match self {
+            ClaimMode::Threads(_) => MSGS_PER_SHARD,
+            ClaimMode::Scripted { msgs_per_shard, .. } => (*msgs_per_shard).max(1),
+        }
+    }
+}
+
 /// One receiving node's slice of the round (see `parallel.rs`).
 struct WorkItem<'a, P: NodeLocalProtocol> {
     node: usize,
@@ -146,177 +176,306 @@ impl RoundExecutor for ShardedExecutor {
         seed: u64,
         protocol: &mut P,
     ) -> Result<RunReport, RunError> {
-        let n = graph.n();
-        let max_threads = self.threads().max(1);
-        let mut rngs = NodeRngs::new(seed, n);
-        let mut queue: FlatQueue<P::Msg> = FlatQueue::for_graph(graph);
-        let mut inbox: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); n];
-        let mut active: Vec<usize> = Vec::new();
-        let mut report = RunReport::default();
-        let mut balance = WorkBalance::default();
-        if cfg.record_edge_loads {
-            report.edge_load_histogram = vec![0; super::queue::LOAD_HISTOGRAM_BUCKETS];
+        run_impl(
+            graph,
+            cfg,
+            seed,
+            protocol,
+            &mut ClaimMode::Threads(self.threads().max(1)),
+        )
+    }
+}
+
+impl ShardedExecutor {
+    /// Runs a node-local protocol through the sharded receive path with
+    /// a **scripted** shard-claim order — the hook behind `drw-analyze`'s
+    /// exhaustive interleaving checker.
+    ///
+    /// Production runs let idle threads claim shards off an atomic
+    /// cursor, so the claim interleaving is a scheduling accident the
+    /// executor must be insensitive to. This entry point replays the
+    /// *same* shard construction and merge code single-threaded, but
+    /// executes the shards of every round in the order `order(round,
+    /// shard_count)` dictates (any permutation of `0..shard_count`).
+    /// Enumerating those permutations and asserting bit-identical
+    /// results against [`super::SequentialExecutor`] turns the executor
+    /// contract into a bounded race check at shard granularity.
+    ///
+    /// `msgs_per_shard` overrides the production shard sizing (256
+    /// messages per shard) so that small checker graphs still fan out
+    /// into several shards per round. `merge_in_claim_order` injects
+    /// the classic staging-merge race — an *arrival-order* merge, as if
+    /// shard outputs were drained off an unordered channel: outputs are
+    /// concatenated in claim order, and any shard claimed out of its
+    /// staging position lands with its FIFO batch scrambled. The
+    /// identity schedule is unaffected, so the bug manifests only under
+    /// specific interleavings — exactly the race class the
+    /// shard-order-merge contract exists to prevent. The knob lets the
+    /// checker prove it detects that class; it must be `false` for any
+    /// conformance run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` returns anything other than a permutation of
+    /// `0..shard_count`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RoundExecutor::run_node_local`].
+    pub fn run_node_local_scripted<P: NodeLocalProtocol>(
+        graph: &Graph,
+        cfg: &EngineConfig,
+        seed: u64,
+        protocol: &mut P,
+        msgs_per_shard: u64,
+        merge_in_claim_order: bool,
+        order: &mut dyn FnMut(u64, usize) -> Vec<usize>,
+    ) -> Result<RunReport, RunError> {
+        run_impl(
+            graph,
+            cfg,
+            seed,
+            protocol,
+            &mut ClaimMode::Scripted {
+                msgs_per_shard,
+                merge_in_claim_order,
+                order,
+            },
+        )
+    }
+}
+
+fn run_impl<P: NodeLocalProtocol>(
+    graph: &Graph,
+    cfg: &EngineConfig,
+    seed: u64,
+    protocol: &mut P,
+    mode: &mut ClaimMode<'_>,
+) -> Result<RunReport, RunError> {
+    let n = graph.n();
+    let mut rngs = NodeRngs::new(seed, n);
+    let mut queue: FlatQueue<P::Msg> = FlatQueue::for_graph(graph);
+    let mut inbox: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); n];
+    let mut active: Vec<usize> = Vec::new();
+    let mut report = RunReport::default();
+    let mut balance = WorkBalance::default();
+    if cfg.record_edge_loads {
+        report.edge_load_histogram = vec![0; super::queue::LOAD_HISTOGRAM_BUCKETS];
+    }
+
+    // Round 0 is sequential: `start` sees the full context.
+    let mut ctx = Ctx::new(graph, 0, &mut rngs);
+    protocol.start(&mut ctx);
+    let mut staged_buf = ctx.staged;
+    queue.stage(&mut staged_buf, cfg, 1, &mut report)?;
+
+    let mut round: u64 = 0;
+    // `is_idle`, not emptiness: fault-delayed messages parked for
+    // future rounds must keep the loop alive (see the sequential
+    // reference executor).
+    while !queue.is_idle() {
+        if protocol.is_done() {
+            break;
+        }
+        round += 1;
+        if round > cfg.max_rounds {
+            return Err(RunError::MaxRoundsExceeded(cfg.max_rounds));
         }
 
-        // Round 0 is sequential: `start` sees the full context.
-        let mut ctx = Ctx::new(graph, 0, &mut rngs);
-        protocol.start(&mut ctx);
-        let mut staged_buf = ctx.staged;
-        queue.stage(&mut staged_buf, cfg, 1, &mut report)?;
+        active.clear();
+        let delivered = queue.deliver(graph, cfg, round, &mut report, &mut inbox, &mut active);
+        active.sort_unstable();
 
-        let mut round: u64 = 0;
-        // `is_idle`, not emptiness: fault-delayed messages parked for
-        // future rounds must keep the loop alive (see the sequential
-        // reference executor).
-        while !queue.is_idle() {
-            if protocol.is_done() {
-                break;
+        // Global hook first, sequentially, exactly like the
+        // sequential executor; its stages precede all node stages.
+        let mut ctx = Ctx::with_staged(graph, round, &mut rngs, staged_buf);
+        protocol.on_round(&mut ctx);
+        let mut staged = ctx.staged;
+
+        // The shard count is a deterministic function of the round's
+        // delivery volume — never of thread count or scheduling.
+        let want_shards = ((delivered / mode.msgs_per_shard()) as usize)
+            .clamp(1, MAX_SHARDS)
+            .min(active.len().max(1));
+        if want_shards < 2 {
+            // Inline receive phase: identical to the sequential
+            // backend by construction.
+            balance.rounds_inline += 1;
+            let (shared, states) = protocol.parts();
+            for &node in &active {
+                let mut nctx = NodeCtx::new(graph, round, node, rngs.node(node), &mut staged);
+                P::on_receive_local(shared, &mut states[node], node, &inbox[node], &mut nctx);
+                inbox[node].clear(); // keep the allocation for next round
             }
-            round += 1;
-            if round > cfg.max_rounds {
-                return Err(RunError::MaxRoundsExceeded(cfg.max_rounds));
-            }
+        } else {
+            let counts: Vec<usize> = active.iter().map(|&v| inbox[v].len()).collect();
+            let (sizes, loads) = partition_by_load(&counts, delivered as usize, want_shards);
 
-            active.clear();
-            let delivered = queue.deliver(graph, cfg, round, &mut report, &mut inbox, &mut active);
-            active.sort_unstable();
-
-            // Global hook first, sequentially, exactly like the
-            // sequential executor; its stages precede all node stages.
-            let mut ctx = Ctx::with_staged(graph, round, &mut rngs, staged_buf);
-            protocol.on_round(&mut ctx);
-            let mut staged = ctx.staged;
-
-            // The shard count is a deterministic function of the round's
-            // delivery volume — never of thread count or scheduling.
-            let want_shards = ((delivered / MSGS_PER_SHARD) as usize)
-                .clamp(1, MAX_SHARDS)
-                .min(active.len().max(1));
-            if want_shards < 2 {
-                // Inline receive phase: identical to the sequential
-                // backend by construction.
-                balance.rounds_inline += 1;
-                let (shared, states) = protocol.parts();
-                for &node in &active {
-                    let mut nctx = NodeCtx::new(graph, round, node, rngs.node(node), &mut staged);
-                    P::on_receive_local(shared, &mut states[node], node, &inbox[node], &mut nctx);
-                    inbox[node].clear(); // keep the allocation for next round
+            if sizes.len() >= 2 {
+                balance.rounds_measured += 1;
+                let max = *loads.iter().max().expect("at least two shards") as f64;
+                let mean = delivered as f64 / loads.len() as f64;
+                balance.worst_max_over_mean = balance.worst_max_over_mean.max(max / mean);
+                if balance.shard_messages.len() < loads.len() {
+                    balance.shard_messages.resize(loads.len(), 0);
+                }
+                for (slot, &l) in balance.shard_messages.iter_mut().zip(&loads) {
+                    *slot += l;
                 }
             } else {
-                let counts: Vec<usize> = active.iter().map(|&v| inbox[v].len()).collect();
-                let (sizes, loads) = partition_by_load(&counts, delivered as usize, want_shards);
+                balance.rounds_inline += 1;
+            }
 
-                if sizes.len() >= 2 {
-                    balance.rounds_measured += 1;
-                    let max = *loads.iter().max().expect("at least two shards") as f64;
-                    let mean = delivered as f64 / loads.len() as f64;
-                    balance.worst_max_over_mean = balance.worst_max_over_mean.max(max / mean);
-                    if balance.shard_messages.len() < loads.len() {
-                        balance.shard_messages.resize(loads.len(), 0);
-                    }
-                    for (slot, &l) in balance.shard_messages.iter_mut().zip(&loads) {
-                        *slot += l;
-                    }
-                } else {
-                    balance.rounds_inline += 1;
-                }
+            let (shared, states) = protocol.parts();
+            debug_assert_eq!(states.len(), n, "one NodeState per node required");
 
-                let (shared, states) = protocol.parts();
-                debug_assert_eq!(states.len(), n, "one NodeState per node required");
+            // Carve disjoint &mut views for each receiving node (same
+            // split_at_mut walk as the parallel backend).
+            let mut items: Vec<WorkItem<'_, P>> = Vec::with_capacity(active.len());
+            let mut rest_states: &mut [P::NodeState] = states;
+            let mut rest_rngs: &mut [StdRng] = rngs.as_mut_slice();
+            let mut rest_inbox: &mut [Vec<Envelope<P::Msg>>] = &mut inbox;
+            let mut consumed = 0usize;
+            for &node in &active {
+                let offset = node - consumed;
+                let (_, tail) = std::mem::take(&mut rest_states).split_at_mut(offset);
+                let (head, tail) = tail.split_at_mut(1);
+                rest_states = tail;
+                let (_, rtail) = std::mem::take(&mut rest_rngs).split_at_mut(offset);
+                let (rhead, rtail) = rtail.split_at_mut(1);
+                rest_rngs = rtail;
+                let (_, itail) = std::mem::take(&mut rest_inbox).split_at_mut(offset);
+                let (ihead, itail) = itail.split_at_mut(1);
+                rest_inbox = itail;
+                consumed = node + 1;
+                items.push(WorkItem {
+                    node,
+                    state: &mut head[0],
+                    rng: &mut rhead[0],
+                    inbox: &mut ihead[0],
+                });
+            }
 
-                // Carve disjoint &mut views for each receiving node (same
-                // split_at_mut walk as the parallel backend).
-                let mut items: Vec<WorkItem<'_, P>> = Vec::with_capacity(active.len());
-                let mut rest_states: &mut [P::NodeState] = states;
-                let mut rest_rngs: &mut [StdRng] = rngs.as_mut_slice();
-                let mut rest_inbox: &mut [Vec<Envelope<P::Msg>>] = &mut inbox;
-                let mut consumed = 0usize;
-                for &node in &active {
-                    let offset = node - consumed;
-                    let (_, tail) = std::mem::take(&mut rest_states).split_at_mut(offset);
-                    let (head, tail) = tail.split_at_mut(1);
-                    rest_states = tail;
-                    let (_, rtail) = std::mem::take(&mut rest_rngs).split_at_mut(offset);
-                    let (rhead, rtail) = rtail.split_at_mut(1);
-                    rest_rngs = rtail;
-                    let (_, itail) = std::mem::take(&mut rest_inbox).split_at_mut(offset);
-                    let (ihead, itail) = itail.split_at_mut(1);
-                    rest_inbox = itail;
-                    consumed = node + 1;
-                    items.push(WorkItem {
-                        node,
-                        state: &mut head[0],
-                        rng: &mut rhead[0],
-                        inbox: &mut ihead[0],
-                    });
-                }
-
-                // Group items into shard tasks (contiguous, so shard
-                // order == ascending node order).
-                let mut item_iter = items.into_iter();
-                let tasks: Vec<Mutex<ShardTask<'_, P>>> = sizes
-                    .iter()
-                    .map(|&sz| {
-                        Mutex::new(ShardTask {
-                            items: item_iter.by_ref().take(sz).collect(),
-                            out: Vec::new(),
-                        })
+            // Group items into shard tasks (contiguous, so shard
+            // order == ascending node order).
+            let mut item_iter = items.into_iter();
+            let tasks: Vec<Mutex<ShardTask<'_, P>>> = sizes
+                .iter()
+                .map(|&sz| {
+                    Mutex::new(ShardTask {
+                        items: item_iter.by_ref().take(sz).collect(),
+                        out: Vec::new(),
                     })
-                    .collect();
-                debug_assert!(item_iter.next().is_none(), "partition covers all items");
+                })
+                .collect();
+            debug_assert!(item_iter.next().is_none(), "partition covers all items");
 
-                let run_shard = |task: &mut ShardTask<'_, P>| {
-                    let ShardTask { items, out } = task;
-                    for item in items.iter_mut() {
-                        let mut nctx = NodeCtx::new(graph, round, item.node, item.rng, out);
-                        P::on_receive_local(shared, item.state, item.node, item.inbox, &mut nctx);
-                        item.inbox.clear(); // keep the allocation
-                    }
-                };
-
-                let threads = max_threads.min(tasks.len());
-                if threads < 2 {
-                    // One worker: claim shards in order on this thread.
-                    // Loads were still recorded above — balance telemetry
-                    // does not depend on real parallelism.
-                    for task in &tasks {
-                        run_shard(&mut task.lock().expect("shard lock"));
-                    }
-                } else {
-                    let cursor = AtomicUsize::new(0);
-                    std::thread::scope(|scope| {
-                        for _ in 0..threads {
-                            scope.spawn(|| loop {
-                                // Work stealing: each idle thread claims
-                                // the next unclaimed shard.
-                                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                                let Some(task) = tasks.get(i) else { break };
-                                run_shard(&mut task.lock().expect("shard lock"));
-                            });
-                        }
-                    });
+            let run_shard = |task: &mut ShardTask<'_, P>| {
+                let ShardTask { items, out } = task;
+                for item in items.iter_mut() {
+                    let mut nctx = NodeCtx::new(graph, round, item.node, item.rng, out);
+                    P::on_receive_local(shared, item.state, item.node, item.inbox, &mut nctx);
+                    item.inbox.clear(); // keep the allocation
                 }
-                // Concatenate in shard order — the sequential staging
-                // order, whatever the claim interleaving was.
-                for task in tasks {
-                    let mut t = task.into_inner().expect("all shard workers joined");
-                    staged.append(&mut t.out);
+            };
+
+            // Claim order is the executor's one nondeterministic
+            // degree of freedom; results must never depend on it.
+            let mut claim_order: Option<Vec<usize>> = None;
+            match mode {
+                ClaimMode::Threads(max_threads) => {
+                    let threads = (*max_threads).min(tasks.len());
+                    if threads < 2 {
+                        // One worker: claim shards in order on this
+                        // thread. Loads were still recorded above —
+                        // balance telemetry does not depend on real
+                        // parallelism.
+                        for task in &tasks {
+                            run_shard(&mut task.lock().expect("shard lock"));
+                        }
+                    } else {
+                        let cursor = AtomicUsize::new(0);
+                        std::thread::scope(|scope| {
+                            for _ in 0..threads {
+                                scope.spawn(|| loop {
+                                    // Work stealing: each idle thread
+                                    // claims the next unclaimed shard.
+                                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                    let Some(task) = tasks.get(i) else { break };
+                                    run_shard(&mut task.lock().expect("shard lock"));
+                                });
+                            }
+                        });
+                    }
+                }
+                ClaimMode::Scripted { order, .. } => {
+                    let perm = order(round, tasks.len());
+                    let mut seen = vec![false; tasks.len()];
+                    assert_eq!(
+                        perm.len(),
+                        tasks.len(),
+                        "claim order must cover every shard"
+                    );
+                    for &i in &perm {
+                        assert!(
+                            i < tasks.len() && !std::mem::replace(&mut seen[i], true),
+                            "claim order must be a permutation of 0..{}",
+                            tasks.len()
+                        );
+                        run_shard(&mut tasks[i].lock().expect("shard lock"));
+                    }
+                    claim_order = Some(perm);
                 }
             }
-            staged_buf = staged;
-            queue.stage(&mut staged_buf, cfg, round + 1, &mut report)?;
+            // Concatenate in shard order — the sequential staging
+            // order, whatever the claim interleaving was. (The
+            // checker's bug-injection knob merges in claim order
+            // instead, reintroducing the race this merge rule
+            // exists to prevent.)
+            let mut outs: Vec<Vec<(usize, P::Msg)>> = tasks
+                .into_iter()
+                .map(|t| t.into_inner().expect("all shard workers joined").out)
+                .collect();
+            let buggy_merge = matches!(
+                mode,
+                ClaimMode::Scripted {
+                    merge_in_claim_order: true,
+                    ..
+                }
+            );
+            if let (true, Some(perm)) = (buggy_merge, &claim_order) {
+                // Injected race: arrival-order merge. A shard claimed
+                // at its own staging position appends intact; one
+                // claimed out of position lands with its batch
+                // reversed, losing per-edge FIFO order the way an
+                // unordered result channel would. Schedule-dependent
+                // by construction: the identity schedule is benign.
+                for (pos, &i) in perm.iter().enumerate() {
+                    if i == pos {
+                        staged.append(&mut outs[i]);
+                    } else {
+                        staged.extend(outs[i].drain(..).rev());
+                    }
+                }
+            } else {
+                for out in &mut outs {
+                    staged.append(out);
+                }
+            }
         }
-
-        report.rounds = round;
-        report.memory = super::sequential::memory_report(
-            queue.capacity_bytes(),
-            &inbox,
-            rngs.len(),
-            staged_buf.capacity() * std::mem::size_of::<(usize, P::Msg)>(),
-        );
-        report.balance = Some(balance);
-        Ok(report)
+        staged_buf = staged;
+        queue.stage(&mut staged_buf, cfg, round + 1, &mut report)?;
     }
+
+    report.rounds = round;
+    report.memory = super::sequential::memory_report(
+        queue.capacity_bytes(),
+        &inbox,
+        rngs.len(),
+        staged_buf.capacity() * std::mem::size_of::<(usize, P::Msg)>(),
+    );
+    report.balance = Some(balance);
+    Ok(report)
 }
 
 #[cfg(test)]

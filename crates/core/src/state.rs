@@ -554,7 +554,11 @@ impl WalkState {
         if touched.is_empty() {
             return 0;
         }
-        let mut doomed: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+        // BTreeSet, not HashSet: this set is only probed today, but the
+        // determinism linter bans hash collections in protocol crates
+        // outright — if a future refactor iterates it, the order is
+        // already deterministic instead of silently seed-dependent.
+        let mut doomed: std::collections::BTreeSet<(u32, u32)> = std::collections::BTreeSet::new();
         for &t in touched {
             let Some(ns) = self.nodes.get(t) else {
                 continue; // an added node this state never grew to

@@ -917,6 +917,9 @@ fn merge_report(total: &mut RunReport, pass: RunReport) {
     total.words += pass.words;
     total.max_edge_backlog = total.max_edge_backlog.max(pass.max_edge_backlog);
     total.max_edge_load = total.max_edge_load.max(pass.max_edge_load);
+    total.max_edge_words_per_round = total
+        .max_edge_words_per_round
+        .max(pass.max_edge_words_per_round);
     if total.edge_load_histogram.len() < pass.edge_load_histogram.len() {
         total
             .edge_load_histogram

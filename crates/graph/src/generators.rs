@@ -212,7 +212,11 @@ pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph
 /// `false` if it fails to converge (triggering a fresh shuffle upstream).
 fn repair_pairing<R: Rng + ?Sized>(pairs: &mut [(u32, u32)], rng: &mut R) -> bool {
     for _ in 0..200 {
-        let mut seen = std::collections::HashSet::with_capacity(pairs.len());
+        // BTreeSet, not HashSet: only membership is probed (`bad` keeps
+        // deterministic pair order), but the determinism linter bans hash
+        // collections in graph/protocol crates so iteration-order bugs
+        // cannot creep in through later edits.
+        let mut seen = std::collections::BTreeSet::new();
         let mut bad = Vec::new();
         for (i, &(u, v)) in pairs.iter().enumerate() {
             let key = if u < v { (u, v) } else { (v, u) };

@@ -1,9 +1,11 @@
 //! Integration tests of the CONGEST model enforcement across the stack.
 
 use distributed_random_walks::prelude::*;
-use drw_congest::{run_node_local, run_protocol, RunError};
+use drw_congest::primitives::{BfsTreeProtocol, UpcastProtocol, VectorSumProtocol};
+use drw_congest::{run_node_local, run_protocol, FaultPlan, RunError, Runner};
+use drw_core::get_more_walks::GetMoreWalksProtocol;
 use drw_core::short_walks::ShortWalksProtocol;
-use drw_core::WalkState;
+use drw_core::{StitchScheduler, StitchSetup, WalkState};
 
 /// Naive walks cost exactly their length in rounds — the model's
 /// baseline sanity anchor.
@@ -67,6 +69,125 @@ fn congestion_delays_but_never_drops() {
     // maximum walk length.
     assert!(report.rounds > 24, "rounds = {}", report.rounds);
     assert!(report.max_edge_backlog > 1);
+}
+
+// ---------------------------------------------------------------------------
+// Per-protocol word accounting: `RunReport::max_edge_words_per_round` is
+// the runtime complement of drw-analyze's static `size_words` audit. At
+// the default `edge_capacity = Some(1)` each directed edge delivers at
+// most one message per round, so the recorded maximum must equal the
+// protocol's wire-format width exactly — any widening of a message
+// struct shows up here as a changed constant.
+// ---------------------------------------------------------------------------
+
+/// BFS wave messages are 2 words (`Option<u32>` distance + wave flag).
+#[test]
+fn bfs_edge_words_match_wire_format() {
+    let g = generators::torus2d(6, 6);
+    let cfg = EngineConfig::default();
+    let mut p = BfsTreeProtocol::new(0);
+    let report = run_protocol(&g, &cfg, 11, &mut p).unwrap();
+    assert_eq!(report.max_edge_words_per_round, 2);
+    assert!(report.max_edge_words_per_round <= cfg.max_message_words);
+}
+
+/// Upcast items are `(u64, u64)` pairs: 2 words per edge per round, one
+/// item at a time up the tree (the pipelining is in time, not width).
+#[test]
+fn upcast_edge_words_match_wire_format() {
+    let g = generators::torus2d(5, 5);
+    let cfg = EngineConfig::default();
+    let mut bfs = BfsTreeProtocol::new(0);
+    run_protocol(&g, &cfg, 13, &mut bfs).unwrap();
+    let tree = bfs.into_tree();
+    let items: Vec<Vec<(u64, u64)>> = (0..g.n() as u64).map(|v| vec![(v, 3 * v)]).collect();
+    let mut p = UpcastProtocol::new(tree, items);
+    let report = run_protocol(&g, &cfg, 13, &mut p).unwrap();
+    assert_eq!(report.max_edge_words_per_round, 2);
+}
+
+/// Vector-sum convergecast: `(index, partial-sum)` pairs, 2 words.
+#[test]
+fn vecsum_edge_words_match_wire_format() {
+    let g = generators::torus2d(5, 5);
+    let cfg = EngineConfig::default();
+    let mut bfs = BfsTreeProtocol::new(0);
+    run_protocol(&g, &cfg, 17, &mut bfs).unwrap();
+    let tree = bfs.into_tree();
+    let values: Vec<Vec<u64>> = (0..g.n() as u64).map(|v| vec![v, v + 1]).collect();
+    let mut p = VectorSumProtocol::new(tree, values);
+    let report = run_protocol(&g, &cfg, 17, &mut p).unwrap();
+    assert_eq!(report.max_edge_words_per_round, 2);
+}
+
+/// Phase-1 walk tokens are the widest production payload: 4 words
+/// (source, seq, remaining steps, length) — exactly the default cap.
+#[test]
+fn short_walks_edge_words_match_wire_format() {
+    let g = generators::torus2d(4, 4);
+    let cfg = EngineConfig::default();
+    let mut state = WalkState::new(g.n());
+    let mut p = ShortWalksProtocol::new(&mut state, vec![2; g.n()], 8, false);
+    let report = run_node_local(&g, &cfg, 19, &mut p).unwrap();
+    assert_eq!(report.max_edge_words_per_round, 4);
+    assert_eq!(report.max_edge_words_per_round, cfg.max_message_words);
+}
+
+/// Aggregated GET-MORE-WALKS ships one token *count* per edge — 2
+/// words regardless of how many walks it replenishes. That constant is
+/// the whole point of the aggregation (Algorithm 2).
+#[test]
+fn gmw_edge_words_match_wire_format() {
+    let g = generators::torus2d(5, 5);
+    let cfg = EngineConfig::default();
+    let mut state = WalkState::new(g.n());
+    let mut p = GetMoreWalksProtocol::new(&mut state, 7, 64, 6, true);
+    let report = run_protocol(&g, &cfg, 23, &mut p).unwrap();
+    assert_eq!(report.max_edge_words_per_round, 2);
+}
+
+/// The batched Phase-2 scheduler multiplexes every lane over
+/// `Mux2<StitchMsg>`: widest arm (Wave/Chosen/Swk, 3 words) plus the
+/// packed `(req, lane)` word — 4 words, at but never over the cap.
+#[test]
+fn stitch_scheduler_edge_words_match_wire_format() {
+    let g = generators::torus2d(4, 4);
+    let cfg = EngineConfig::default();
+    let mut runner = Runner::new(&g, cfg.clone(), 29);
+    let mut state = WalkState::new(g.n());
+    {
+        let mut p = ShortWalksProtocol::new(&mut state, vec![4; g.n()], 8, true);
+        runner.run_local(&mut p).unwrap();
+    }
+    let setup = StitchSetup {
+        lambda: 8,
+        randomize_len: true,
+        aggregated_gmw: true,
+        gmw_count: 8,
+        record: false,
+    };
+    let mut sched = StitchScheduler::new(&setup);
+    for source in [0usize, 5, 10] {
+        sched.add_walk(source, 128);
+    }
+    let out = sched.run(&mut runner, &mut state).unwrap();
+    assert_eq!(out.report.max_edge_words_per_round, 4);
+    assert!(out.report.max_edge_words_per_round <= cfg.max_message_words);
+}
+
+/// The fault/ARQ lane never widens the wire format: retransmissions
+/// resend the original token through the same capacity-enforced
+/// buckets, so a lossy healed run stays at the 4-word walk-token width.
+#[test]
+fn arq_retransmissions_do_not_widen_edges() {
+    let g = generators::torus2d(4, 4);
+    let cfg = EngineConfig::default().with_faults(FaultPlan::drops(7, 80));
+    let mut state = WalkState::new(g.n());
+    let mut p = ShortWalksProtocol::new(&mut state, vec![2; g.n()], 8, false);
+    let report = run_node_local(&g, &cfg, 31, &mut p).unwrap();
+    assert!(report.faults.dropped > 0, "the plan must actually bite");
+    assert_eq!(report.max_edge_words_per_round, 4);
+    assert!(report.max_edge_words_per_round <= cfg.max_message_words);
 }
 
 /// Message accounting is exact for a single token: one message per round.
