@@ -98,6 +98,31 @@ fn workspace_is_clean_at_zero_allowlist() {
     assert_eq!(report.allows_used, 0, "the workspace target is zero allows");
 }
 
+/// The service subsystem (ISSUE 9) scanned in isolation: the admission
+/// queue, fairness ledger, trace synthesizer and pump loop must hold
+/// every determinism rule — no wall clocks, no unseeded RNG, no hash
+/// iteration — at zero allowlist entries.
+#[test]
+fn service_module_is_clean_at_zero_allowlist() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .join("crates/core/src/service");
+    assert!(root.join("mod.rs").exists());
+    let report = run_static_passes(&root).expect("scan service module");
+    assert_eq!(
+        report.files_scanned, 4,
+        "mod + queue + ledger + trace are the whole module"
+    );
+    assert!(
+        report.findings.is_empty(),
+        "service findings: {:#?}",
+        report.findings
+    );
+    assert_eq!(report.allows_used, 0, "the service target is zero allows");
+}
+
 #[test]
 fn interleave_schedules_are_bit_identical() {
     let p = InterleaveParams {

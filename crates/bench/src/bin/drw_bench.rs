@@ -9,14 +9,14 @@
 //!
 //! - `--smoke` (or env `DRW_BENCH_SMOKE=1`): cap the matrix at
 //!   n = 10^4 — the CI mode; seconds instead of minutes.
-//! - `--out PATH`: where to write the JSON (default `BENCH_PR6.json`
+//! - `--out PATH`: where to write the JSON (default `BENCH_PR9.json`
 //!   in the current directory).
 
 use drw_bench::harness;
 
 fn main() {
     let mut smoke = std::env::var("DRW_BENCH_SMOKE").is_ok_and(|v| v == "1");
-    let mut out = String::from("BENCH_PR6.json");
+    let mut out = String::from("BENCH_PR9.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {

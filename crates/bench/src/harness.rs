@@ -1,5 +1,5 @@
 //! The `drw_bench` perf harness: a fixed scenario matrix producing a
-//! repeatable `BENCH_PR6.json`.
+//! repeatable `BENCH_*.json` (currently `BENCH_PR9.json`).
 //!
 //! Criterion tracks *relative* wall-clock drift of small fixtures; this
 //! harness instead documents what the engine does **at scale** — up to
@@ -21,13 +21,20 @@
 //!   workload is super-linear and not a per-PR bench cost);
 //! - `batched_mix` — a heterogeneous request batch (walks of two
 //!   lengths + a many-walks request) through the `Network` facade's
-//!   scheduler.
+//!   scheduler;
+//! - `service` — a seeded multi-tenant arrival trace through the
+//!   continuous-batching `Service`, served twice (continuous vs the
+//!   wait-for-batch-boundary baseline) with the exact per-tenant
+//!   billing identity asserted in both modes.
 //!
 //! Smoke mode (`--smoke`, used by CI) caps the matrix at n = 10^4 and
 //! exercises every code path in seconds.
 
 use drw_congest::{EngineConfig, ExecutorKind};
-use drw_core::{many_random_walks, single_random_walk, Request, SingleWalkConfig, WalkState};
+use drw_core::{
+    many_random_walks, single_random_walk, ArrivalTrace, MixedTraceSpec, Request, Service,
+    ServiceConfig, SingleWalkConfig, WalkState,
+};
 use drw_graph::{generators, Graph};
 use drw_spanning::{distributed_rst, RstConfig};
 use rand::rngs::StdRng;
@@ -354,6 +361,103 @@ fn run_batched_mix(g: &Graph, n: usize) -> Value {
     )
 }
 
+/// The walk *service* at scale: one seeded multi-tenant arrival trace
+/// served twice — continuous batching vs the wait-for-batch-boundary
+/// baseline — on the same overlay under the same seed. What this
+/// scenario documents is the service's **cost at scale** (waves, engine
+/// rounds, wall time per mode) and the exact billing identity
+/// (`setup + churn + sum(bills) == engine rounds`), asserted in
+/// **both** modes at every size. The *policy gap* between the modes is
+/// E17's job (`exp_e17_service`, with an arrival cadence tuned to keep
+/// requests landing mid-flight); at bench sizes the one-time session
+/// setup dwarfs the trace span, so the two modes may legitimately
+/// coincide — the recorded `late_turnaround_ratio` says whether they
+/// did. Tree / probe traffic is dropped above [`RST_MAX_N`] (same
+/// budget reasoning as the `rst` scenario).
+fn run_service(g: &Graph, n: usize) -> Value {
+    let len = walk_len_for(n);
+    let spec = MixedTraceSpec {
+        mean_gap: len / 8,
+        walk_len_min: len / 2,
+        walk_len_max: len,
+        tree_pct: if n > RST_MAX_N { 0 } else { 8 },
+        mix_pct: if n > RST_MAX_N { 0 } else { 8 },
+        mutate_pct: 0,
+        ..MixedTraceSpec::balanced(g.n(), 3, 16)
+    };
+    let trace = ArrivalTrace::synthesize(&spec, 0xE17);
+    let mean = |xs: &mut dyn Iterator<Item = u64>| {
+        let (mut sum, mut count) = (0u64, 0u64);
+        for x in xs {
+            sum += x;
+            count += 1;
+        }
+        sum as f64 / count.max(1) as f64
+    };
+
+    let mut fields: Vec<(&str, Value)> = vec![("events", Value::UInt(trace.len() as u64))];
+    let mut late_means = Vec::new();
+    for (mode, svc_cfg) in [
+        ("continuous", ServiceConfig::default()),
+        ("boundary", ServiceConfig::boundary()),
+    ] {
+        let mut svc = Service::builder(g)
+            .config(bench_walk_cfg(ExecutorKind::Sequential))
+            .service_config(svc_cfg)
+            .seed(19)
+            .build();
+        let t = Instant::now();
+        let run = svc.serve_trace(&trace).expect("trace serves");
+        let wall = ms(t);
+        let rep = svc.report();
+        assert_eq!(
+            run.completions.len(),
+            trace.len(),
+            "{mode}: every ticket must resolve (n = {n})"
+        );
+        assert!(
+            rep.reconciles(),
+            "{mode}: bills must reconcile exactly (n = {n}): \
+             setup {} + churn {} + billed {} != engine {}",
+            rep.setup_rounds,
+            rep.churn_rounds,
+            rep.billed_total(),
+            rep.engine_rounds
+        );
+        late_means.push(mean(
+            &mut run
+                .completions
+                .iter()
+                .filter(|c| c.submitted_at > 0)
+                .map(|c| c.turnaround()),
+        ));
+        fields.push((
+            mode,
+            obj(vec![
+                ("waves", Value::UInt(rep.waves)),
+                ("engine_rounds", Value::UInt(rep.engine_rounds)),
+                (
+                    "mean_admission_wait",
+                    Value::Float(mean(
+                        &mut run.completions.iter().map(|c| c.admission_latency()),
+                    )),
+                ),
+                (
+                    "mean_late_turnaround",
+                    Value::Float(*late_means.last().expect("just pushed")),
+                ),
+                ("bills_reconcile", Value::Bool(true)),
+                ("wall_ms", wall),
+            ]),
+        ));
+    }
+    fields.push((
+        "late_turnaround_ratio",
+        Value::Float(late_means[1] / late_means[0].max(1.0)),
+    ));
+    scenario_record("service", n, fields)
+}
+
 /// Runs the full scenario matrix and returns the report as a JSON value.
 ///
 /// Embedded acceptance checks (assert, so a regression fails the run):
@@ -384,6 +488,8 @@ pub fn run_matrix(smoke: bool) -> Value {
         records.push(run_rst(&g, n));
         eprintln!("[drw_bench] n = {n}: batched mix");
         records.push(run_batched_mix(&g, n));
+        eprintln!("[drw_bench] n = {n}: walk service");
+        records.push(run_service(&g, n));
     }
 
     // Acceptance: the compact hot-path layout must measure at or under
@@ -507,6 +613,7 @@ mod tests {
             run_many_walks(&g, 256, 4).0,
             run_rst(&g, 256),
             run_batched_mix(&g, 256),
+            run_service(&g, 256),
         ];
         let report = obj(vec![
             ("schema", Value::Str(SCHEMA.to_string())),

@@ -77,6 +77,7 @@ pub mod podc09;
 pub mod regenerate;
 pub mod request;
 pub mod sample_destination;
+pub mod service;
 pub mod session;
 pub mod short_walks;
 pub mod single_walk;
@@ -92,6 +93,10 @@ pub use network::{Network, NetworkBuilder};
 pub use params::{Podc09Params, WalkParams};
 pub use request::{
     MixingProbe, MixingReport, MixingRequest, Request, Response, TreeMode, TreeRequest, TreeSample,
+};
+pub use service::{
+    ArrivalTrace, Completion, MixedTraceSpec, Service, ServiceBuilder, ServiceConfig, ServiceError,
+    ServiceReport, SubmitError, TenantBill, TenantId, Ticket, TicketPoll, TraceEvent, TraceRun,
 };
 pub use session::{
     RecordedExtension, RepairReport, SessionManyOutcome, SessionWalkOutcome, WalkSession,

@@ -47,21 +47,18 @@
 //! (`rounds_bfs = 0` — the session BFS is shared, `connector_visits`
 //! all zero, an empty final `state`; `TreeSample::bfs_runs = 0`).
 
+pub(crate) mod drivers;
 mod mixing;
 mod spanning;
 
 pub use spanning::MAX_TOTAL_WALK_LEN;
 
-use crate::bucket::BucketTest;
 use crate::error::Error;
-use crate::many_walks::{many_walks_one_shot, ManyWalksResult, StitchStrategy};
-use crate::request::{
-    MixingProbe, MixingReport, MixingRequest, Request, Response, TreeMode, TreeRequest, TreeSample,
-};
-use crate::session::{WalkSession, WaveSpec, WaveWalk};
-use crate::single_walk::{single_walk_one_shot, SingleWalkConfig, SingleWalkResult, WalkError};
-use crate::state::WalkState;
-use drw_congest::primitives::{AggOp, BfsTree, ConvergecastProtocol};
+use crate::many_walks::many_walks_one_shot;
+use crate::request::{Request, Response};
+use crate::session::{WalkSession, WaveWalk};
+use crate::single_walk::{single_walk_one_shot, SingleWalkConfig, WalkError};
+use drivers::{Slot, WaveContext, WavePlan};
 use drw_congest::{derive_seed, EngineConfig, ExecutorKind};
 use drw_graph::{EpochReport, Graph, NodeId, Topology, TopologyDelta};
 use std::sync::Arc;
@@ -454,66 +451,6 @@ impl Network {
     }
 }
 
-/// One request's contribution to the next wave.
-struct WavePlan {
-    specs: Vec<WaveSpec>,
-    /// `(lambda_call, len)` of the stitch-eligible work, if any.
-    regime: Option<(u32, u64)>,
-}
-
-/// The per-request state machines of a batch.
-enum Driver {
-    Walk {
-        source: NodeId,
-        len: u64,
-        record: bool,
-    },
-    Many {
-        sources: Vec<NodeId>,
-        len: u64,
-        /// Set at plan time: the Theorem 2.8 regime decision.
-        fallback_lambda: Option<u32>,
-    },
-    Tree(TreeDriver),
-    Mixing(Box<MixingDriver>),
-}
-
-/// Batch state of one spanning-tree request (both modes).
-struct TreeDriver {
-    req: TreeRequest,
-    initial_len: u64,
-    first: Vec<Option<(u64, Option<NodeId>)>>,
-    offset: u64,
-    current: NodeId,
-    phase: u32,
-    walk_in_phase: usize,
-    attempts: u64,
-}
-
-/// Batch state of one mixing-time request.
-struct MixingDriver {
-    req: MixingRequest,
-    k: usize,
-    bucket: BucketTest,
-    /// `(tree, network constants)` once the one-time setup ran — the
-    /// exact protocol sequence of the one-shot driver
-    /// ([`mixing::run_probe_setup`]), billed to this request.
-    setup: Option<(BfsTree, mixing::ProbeSetup)>,
-    len: u64,
-    last_fail: u64,
-    refine_bounds: Option<(u64, u64)>, // (lo, hi) once refining
-    probes: Vec<MixingProbe>,
-    done_estimate: Option<Option<u64>>, // Some(first_pass) once finished
-}
-
-/// One entry of the batch scheduler: a request's driver plus its
-/// accumulators and (eventually) its response.
-struct Slot {
-    driver: Driver,
-    rounds: u64,
-    response: Option<Response>,
-}
-
 fn run_batch_on(
     session: &mut WalkSession,
     cfg: &SingleWalkConfig,
@@ -549,13 +486,12 @@ fn run_batch_on(
 
     let mut slots: Vec<Slot> = requests
         .into_iter()
-        .map(|request| new_slot(request, &g, n))
+        .map(|request| drivers::new_slot(request, &g, n))
         .collect();
 
-    // Round-robin pointer for the recording slot: when several
-    // requests want to record in the same wave, the grant rotates so
-    // concurrent tree requests genuinely alternate waves instead of
-    // the lowest index monopolizing the ledger until it completes.
+    // Round-robin pointer for the recording slot (see
+    // [`drivers::assemble_wave`]): seeded past the last index so the
+    // first grant falls to the lowest-indexed recorder.
     let mut last_recorder: usize = slots.len().saturating_sub(1);
     loop {
         // Collect the wave: every unfinished request's next work items.
@@ -567,54 +503,21 @@ fn run_batch_on(
             if slot.response.is_some() {
                 continue;
             }
-            plans.push((i, plan_wave(slot, i as u16, session, cfg, d_est)?));
+            plans.push((i, drivers::plan_wave(slot, i as u16, session, cfg, d_est)?));
         }
-        // At most one *recorded* plan may ride a wave (the per-node
-        // visit ledger is not lane-tagged). The grant rotates cyclically
-        // from the previous grantee; deferred recorders still share the
-        // next wave's rounds with everything else, just not this one's.
-        let recorders: Vec<usize> = plans
-            .iter()
-            .filter(|(_, p)| p.specs.iter().any(|s| s.record))
-            .map(|&(i, _)| i)
-            .collect();
-        let granted = recorders
-            .iter()
-            .copied()
-            .find(|&i| i > last_recorder)
-            .or_else(|| recorders.first().copied());
-        if let Some(i) = granted {
-            last_recorder = i;
-        }
-
-        let mut specs: Vec<WaveSpec> = Vec::new();
-        let mut members: Vec<(usize, usize)> = Vec::new(); // (slot, spec count)
-        let mut lambda_call = 0u32;
-        let mut stitch_len = 0u64;
-        for (i, plan) in plans {
-            let records = plan.specs.iter().any(|s| s.record);
-            if records && granted != Some(i) {
-                continue; // defer this recorder to a later wave
-            }
-            if let Some((lc, sl)) = plan.regime {
-                lambda_call = lambda_call.max(lc);
-                stitch_len = stitch_len.max(sl);
-            }
-            members.push((i, plan.specs.len()));
-            specs.extend(plan.specs);
-        }
-        if specs.is_empty() {
+        let asm = drivers::assemble_wave(plans, &mut last_recorder);
+        if asm.specs.is_empty() {
             break;
         }
 
-        let wave = session.run_wave(lambda_call, stitch_len, &specs)?;
+        let wave = session.run_wave(asm.lambda_call, asm.stitch_len, &asm.specs)?;
 
         // Distribute the wave's walks back to their requests and let
         // each driver absorb them (possibly running private follow-up
         // protocols on the session).
         let mut walks = wave.walks.into_iter();
         let mut gmw = wave.gmw_by_walk.iter().copied();
-        for (i, count) in members {
+        for (i, count) in asm.members {
             let mine: Vec<WaveWalk> = walks.by_ref().take(count).collect();
             let my_gmw: u64 = gmw.by_ref().take(count).sum();
             slots[i].rounds += wave.rounds;
@@ -625,7 +528,7 @@ fn run_batch_on(
                 lambda: wave.lambda,
                 gmw: my_gmw,
             };
-            absorb(&mut slots[i], mine, &ctx, session, cfg, d_est)?;
+            drivers::absorb(&mut slots[i], mine, &ctx, session, cfg, d_est)?;
         }
     }
 
@@ -635,465 +538,10 @@ fn run_batch_on(
         .collect())
 }
 
-/// Shared facts of one wave, handed to every participant's absorb step.
-struct WaveContext {
-    rounds: u64,
-    messages: u64,
-    rounds_topup: u64,
-    lambda: u32,
-    gmw: u64,
-}
-
-fn new_slot(request: Request, g: &Graph, n: usize) -> Slot {
-    match request {
-        Request::Mutate(_) => unreachable!("mutations are split off by run_batch"),
-        Request::Walk {
-            source,
-            len,
-            record,
-        } => Slot {
-            driver: Driver::Walk {
-                source,
-                len,
-                record,
-            },
-            rounds: 0,
-            response: None,
-        },
-        Request::ManyWalks { sources, len, .. } => {
-            let empty = sources.is_empty();
-            let mut slot = Slot {
-                driver: Driver::Many {
-                    sources,
-                    len,
-                    fallback_lambda: None,
-                },
-                rounds: 0,
-                response: None,
-            };
-            if empty {
-                slot.response = Some(Response::ManyWalks(empty_many_result(n)));
-            }
-            slot
-        }
-        Request::SpanningTree(req) => {
-            let initial_len = if req.initial_len == 0 {
-                g.n() as u64
-            } else {
-                req.initial_len
-            };
-            let mut first = vec![None; n];
-            first[req.root] = Some((0, None));
-            Slot {
-                driver: Driver::Tree(TreeDriver {
-                    current: req.root,
-                    req,
-                    initial_len,
-                    first,
-                    offset: 0,
-                    phase: 0,
-                    walk_in_phase: 0,
-                    attempts: 0,
-                }),
-                rounds: 0,
-                response: None,
-            }
-        }
-        Request::MixingTime(req) => {
-            let k = ((n as f64).sqrt() * req.samples_scale).ceil() as usize;
-            // The collision estimator needs pairs; a zero-sample probe
-            // would also contribute no work items and stall the batch.
-            assert!(k >= 2, "mixing requests need samples_scale * sqrt(n) >= 2");
-            let bucket = BucketTest::new(g, req.bucket_base);
-            Slot {
-                driver: Driver::Mixing(Box::new(MixingDriver {
-                    len: req.start_len.max(1),
-                    req,
-                    k,
-                    bucket,
-                    setup: None,
-                    last_fail: 0,
-                    refine_bounds: None,
-                    probes: Vec::new(),
-                    done_estimate: None,
-                })),
-                rounds: 0,
-                response: None,
-            }
-        }
-    }
-}
-
-fn empty_many_result(n: usize) -> ManyWalksResult {
-    ManyWalksResult {
-        destinations: Vec::new(),
-        rounds: 0,
-        messages: 0,
-        lambda: 0,
-        used_naive_fallback: false,
-        stitches: 0,
-        gmw_invocations: 0,
-        connector_visits: vec![0; n],
-        segments: Vec::new(),
-        rounds_bfs: 0,
-        rounds_phase1: 0,
-        rounds_phase2: 0,
-        strategy: None,
-        state: WalkState::new(n),
-    }
-}
-
-/// Computes a request's next work items. May run private setup
-/// protocols on the session (billed to the request); must be safe to
-/// call again on the same state if the request is deferred from this
-/// wave.
-fn plan_wave(
-    slot: &mut Slot,
-    req_id: u16,
-    session: &mut WalkSession,
-    cfg: &SingleWalkConfig,
-    d_est: u64,
-) -> Result<WavePlan, Error> {
-    match &mut slot.driver {
-        Driver::Walk {
-            source,
-            len,
-            record,
-        } => {
-            let lambda = cfg.params.lambda(*len, d_est);
-            Ok(WavePlan {
-                specs: vec![WaveSpec {
-                    req: req_id,
-                    source: *source,
-                    len: *len,
-                    pos_offset: 0,
-                    record: *record,
-                    naive: false,
-                }],
-                regime: Some((lambda, *len)),
-            })
-        }
-        Driver::Many {
-            sources,
-            len,
-            fallback_lambda,
-        } => {
-            let k = sources.len() as u64;
-            let lambda = cfg.params.lambda_many(k, *len, d_est);
-            // Theorem 2.8's regime rule: lambda >= l takes the `k + l`
-            // simultaneous-naive branch — lowered as naive tokens into
-            // the same shared run.
-            let naive = u64::from(lambda) >= (*len).max(1);
-            *fallback_lambda = naive.then_some(lambda);
-            Ok(WavePlan {
-                specs: sources
-                    .iter()
-                    .map(|&source| WaveSpec {
-                        req: req_id,
-                        source,
-                        len: *len,
-                        pos_offset: 0,
-                        record: false,
-                        naive,
-                    })
-                    .collect(),
-                regime: (!naive).then_some((lambda, *len)),
-            })
-        }
-        Driver::Tree(t) => {
-            let phase = t.phase + 1;
-            if phase > t.req.max_phases {
-                return Err(Error::NotCovered {
-                    phases: t.req.max_phases,
-                    final_len: match t.req.mode {
-                        TreeMode::ExtendWalk => t.offset,
-                        TreeMode::RestartPhases => {
-                            spanning::doubling_step(t.initial_len, t.phase.max(1), 0)
-                                .map_or(0, |(l, _)| l)
-                        }
-                    },
-                });
-            }
-            let (seg_len, source, pos_offset, walked) = match t.req.mode {
-                TreeMode::ExtendWalk => {
-                    let (seg_len, _) = spanning::doubling_step(t.initial_len, phase, t.offset)
-                        .ok_or(Error::LengthOverflow {
-                            phases: t.phase,
-                            walked: t.offset,
-                        })?;
-                    (seg_len, t.current, t.offset, t.offset)
-                }
-                TreeMode::RestartPhases => {
-                    let (seg_len, _) = spanning::doubling_step(t.initial_len, phase, 0).ok_or(
-                        Error::LengthOverflow {
-                            phases: t.phase,
-                            walked: 0,
-                        },
-                    )?;
-                    (seg_len, t.req.root, 0, 0)
-                }
-            };
-            let _ = walked;
-            let lambda = cfg.params.lambda(seg_len, d_est);
-            Ok(WavePlan {
-                specs: vec![WaveSpec {
-                    req: req_id,
-                    source,
-                    len: seg_len,
-                    pos_offset,
-                    record: true,
-                    naive: false,
-                }],
-                regime: Some((lambda, seg_len)),
-            })
-        }
-        Driver::Mixing(m) => {
-            if m.setup.is_none() {
-                // The one-shot driver's setup protocols, verbatim, over
-                // the shared session tree — billed to this request.
-                let before = session.total_rounds();
-                let tree = session.tree().clone();
-                let g = session.graph();
-                let setup = mixing::run_probe_setup(&g, &m.bucket, &tree, session.runner_mut())?;
-                slot.rounds += session.total_rounds() - before;
-                m.setup = Some((tree, setup));
-            }
-            let len = m.len;
-            let k = m.k as u64;
-            let lambda = cfg.params.lambda_many(k, len, d_est);
-            let naive = u64::from(lambda) >= len.max(1);
-            let source = m.req.source;
-            Ok(WavePlan {
-                specs: (0..m.k)
-                    .map(|_| WaveSpec {
-                        req: req_id,
-                        source,
-                        len,
-                        pos_offset: 0,
-                        record: false,
-                        naive,
-                    })
-                    .collect(),
-                regime: (!naive).then_some((lambda, len)),
-            })
-        }
-    }
-}
-
-/// Absorbs a wave's results into a request's state machine, running any
-/// private follow-up protocols, and resolves the response once the
-/// request completes.
-fn absorb(
-    slot: &mut Slot,
-    walks: Vec<WaveWalk>,
-    ctx: &WaveContext,
-    session: &mut WalkSession,
-    cfg: &SingleWalkConfig,
-    d_est: u64,
-) -> Result<(), Error> {
-    let n = session.graph().n();
-    match &mut slot.driver {
-        Driver::Walk {
-            source,
-            len,
-            record,
-        } => {
-            let walk = walks.into_iter().next().expect("one spec per walk");
-            let mut state = WalkState::new(n);
-            if *record {
-                state.record_visit(*source, 0, None);
-                for (v, visit) in &walk.visits {
-                    state.record_visit(*v, visit.pos, visit.pred());
-                }
-            }
-            slot.response = Some(Response::Walk(SingleWalkResult {
-                destination: walk.destination,
-                rounds: ctx.rounds,
-                messages: ctx.messages,
-                rounds_bfs: 0,
-                rounds_phase1: ctx.rounds_topup,
-                rounds_stitch: ctx.rounds - ctx.rounds_topup,
-                rounds_tail: 0,
-                rounds_replay: 0,
-                stitches: walk.segments.len() as u64,
-                gmw_invocations: ctx.gmw,
-                lambda: ctx.lambda,
-                diameter_estimate: d_est as u32,
-                connector_visits: vec![0; n],
-                segments: walk.segments,
-                state,
-            }));
-            let _ = len;
-        }
-        Driver::Many {
-            fallback_lambda, ..
-        } => {
-            let fallback = *fallback_lambda;
-            let mut destinations = Vec::with_capacity(walks.len());
-            let mut segments = Vec::with_capacity(walks.len());
-            let mut stitches = 0u64;
-            for w in walks {
-                destinations.push(w.destination);
-                stitches += w.segments.len() as u64;
-                segments.push(w.segments);
-            }
-            slot.response = Some(Response::ManyWalks(ManyWalksResult {
-                destinations,
-                rounds: ctx.rounds,
-                messages: ctx.messages,
-                lambda: fallback.unwrap_or(ctx.lambda),
-                used_naive_fallback: fallback.is_some(),
-                stitches,
-                gmw_invocations: ctx.gmw,
-                connector_visits: vec![0; n],
-                segments,
-                rounds_bfs: 0,
-                rounds_phase1: ctx.rounds_topup,
-                rounds_phase2: ctx.rounds - ctx.rounds_topup,
-                strategy: (fallback.is_none()).then_some(StitchStrategy::Batched),
-                state: WalkState::new(n),
-            }));
-        }
-        Driver::Tree(t) => {
-            let walk = walks.into_iter().next().expect("one extension per wave");
-            t.phase += 1;
-            t.attempts += 1;
-            let g = session.graph();
-            // `restart_first` only exists in restart mode (fresh table
-            // per walk); extend mode reads the accumulated `t.first` by
-            // reference — no per-phase O(n) copy.
-            let mut restart_first: Vec<Option<(u64, Option<NodeId>)>>;
-            let (covered_first, phase_for_result, cover_len): (&[_], u32, u64) = match t.req.mode {
-                TreeMode::ExtendWalk => {
-                    let seg_len = spanning::doubling_step(t.initial_len, t.phase, t.offset)
-                        .expect("planned step was valid")
-                        .0;
-                    for (v, visit) in &walk.visits {
-                        debug_assert!(visit.pos > t.offset && visit.pos <= t.offset + seg_len);
-                        let pred = visit.pred().expect("extension visits carry predecessors");
-                        spanning::merge_first_visit(&mut t.first, *v, visit.pos, pred);
-                    }
-                    t.offset += seg_len;
-                    t.current = walk.destination;
-                    (t.first.as_slice(), t.phase, t.offset)
-                }
-                TreeMode::RestartPhases => {
-                    let seg_len = spanning::doubling_step(t.initial_len, t.phase, 0)
-                        .expect("planned step was valid")
-                        .0;
-                    restart_first = vec![None; n];
-                    restart_first[t.req.root] = Some((0, None));
-                    for (v, visit) in &walk.visits {
-                        let pred = visit.pred().expect("extension visits carry predecessors");
-                        spanning::merge_first_visit(&mut restart_first, *v, visit.pos, pred);
-                    }
-                    (restart_first.as_slice(), t.phase, seg_len)
-                }
-            };
-            // Private cover check over the shared tree, billed to this
-            // request alone.
-            let before = session.total_rounds();
-            let values: Vec<u64> = covered_first
-                .iter()
-                .map(|f| u64::from(f.is_some()))
-                .collect();
-            let mut cc = ConvergecastProtocol::new(session.tree().clone(), AggOp::Min, values);
-            session.runner_mut().run(&mut cc).map_err(WalkError::from)?;
-            slot.rounds += session.total_rounds() - before;
-            if cc.result() == 1 {
-                let key = spanning::tree_from_first_visits(&g, t.req.root, covered_first);
-                slot.response = Some(Response::SpanningTree(TreeSample {
-                    edges: key,
-                    rounds: slot.rounds,
-                    phases: phase_for_result,
-                    attempts: t.attempts,
-                    cover_len,
-                    bfs_runs: 0,
-                }));
-            } else if let TreeMode::RestartPhases = t.req.mode {
-                // Phase bookkeeping for restart mode: `walks_per_phase`
-                // walks before the length doubles.
-                let per_phase = spanning::walks_per_phase(n, t.req.walks_per_phase);
-                t.walk_in_phase += 1;
-                if t.walk_in_phase < per_phase {
-                    t.phase -= 1; // same length again next wave
-                } else {
-                    t.walk_in_phase = 0;
-                }
-            }
-        }
-        Driver::Mixing(m) => {
-            let destinations: Vec<NodeId> = walks.iter().map(|w| w.destination).collect();
-            let before = session.total_rounds();
-            let (tree, setup) = m.setup.as_ref().expect("setup ran at plan time");
-            let g = session.graph();
-            let probe = mixing::evaluate_probe(
-                &g,
-                &m.bucket,
-                tree,
-                session.runner_mut(),
-                &destinations,
-                setup,
-                m.len,
-                m.req.threshold,
-                m.req.l2_threshold,
-            )?;
-            slot.rounds += session.total_rounds() - before;
-            m.probes.push(probe);
-            advance_mixing(m, probe);
-            if let Some(first_pass) = m.done_estimate {
-                slot.response = Some(Response::MixingTime(MixingReport {
-                    tau_estimate: first_pass.unwrap_or(m.req.max_len),
-                    converged: first_pass.is_some(),
-                    rounds: slot.rounds,
-                    samples_per_probe: m.k,
-                    buckets: m.bucket.buckets(),
-                    probes: std::mem::take(&mut m.probes),
-                }));
-            }
-        }
-    }
-    let _ = (cfg, d_est);
-    Ok(())
-}
-
-/// Advances the mixing scan/refinement state machine after one probe.
-fn advance_mixing(m: &mut MixingDriver, probe: MixingProbe) {
-    match m.refine_bounds {
-        None => {
-            // Doubling scan.
-            if probe.pass {
-                if m.req.refine && m.last_fail + 1 < m.len {
-                    m.refine_bounds = Some((m.last_fail, m.len));
-                    let (lo, hi) = m.refine_bounds.expect("just set");
-                    m.len = lo + (hi - lo) / 2;
-                } else {
-                    m.done_estimate = Some(Some(m.len));
-                }
-            } else {
-                m.last_fail = m.len;
-                match m.len.checked_mul(2) {
-                    Some(next) if next <= m.req.max_len => m.len = next,
-                    _ => m.done_estimate = Some(None), // cap reached
-                }
-            }
-        }
-        Some((lo, hi)) => {
-            // Binary-search refinement (Lemma 4.4 monotonicity).
-            let (lo, hi) = if probe.pass { (lo, m.len) } else { (m.len, hi) };
-            if lo + 1 < hi {
-                m.refine_bounds = Some((lo, hi));
-                m.len = lo + (hi - lo) / 2;
-            } else {
-                m.done_estimate = Some(Some(hi));
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::{MixingRequest, TreeRequest};
     use drw_graph::generators;
 
     #[test]

@@ -1,0 +1,608 @@
+//! Per-request driver state machines, shared by [`Network::run_batch`]
+//! and the continuous-batching [`Service`](crate::service::Service).
+//!
+//! A *driver* is the batch-resident state of one request: what work it
+//! contributes to the next shared wave ([`plan_wave`]) and how it folds
+//! a wave's results back in ([`absorb`]), possibly running private
+//! follow-up protocols on the session (cover-check convergecasts,
+//! histogram upcasts) that are billed to the request alone. The
+//! scheduler loop that strings waves together lives with its caller —
+//! `run_batch` drains a fixed set of slots, the service admits new ones
+//! mid-flight — but the machines themselves, and the wave-assembly
+//! rules (one recorded plan per wave, cyclic recorder rotation, regime
+//! maxima), are defined once, here. `run_batch` outputs are pinned
+//! byte-identical to the pre-extraction code by
+//! `tests/drivers_refactor.rs`.
+//!
+//! [`Network::run_batch`]: crate::network::Network::run_batch
+
+use super::{mixing, spanning};
+use crate::bucket::BucketTest;
+use crate::error::Error;
+use crate::many_walks::{ManyWalksResult, StitchStrategy};
+use crate::request::{
+    MixingProbe, MixingReport, MixingRequest, Request, Response, TreeMode, TreeRequest, TreeSample,
+};
+use crate::session::{WalkSession, WaveSpec, WaveWalk};
+use crate::single_walk::{SingleWalkConfig, SingleWalkResult, WalkError};
+use crate::state::WalkState;
+use drw_congest::primitives::{AggOp, BfsTree, ConvergecastProtocol};
+use drw_graph::{Graph, NodeId};
+
+/// One request's contribution to the next wave.
+pub(crate) struct WavePlan {
+    pub(crate) specs: Vec<WaveSpec>,
+    /// `(lambda_call, len)` of the stitch-eligible work, if any.
+    pub(crate) regime: Option<(u32, u64)>,
+}
+
+/// The per-request state machines of a batch.
+pub(crate) enum Driver {
+    Walk {
+        source: NodeId,
+        len: u64,
+        record: bool,
+    },
+    Many {
+        sources: Vec<NodeId>,
+        len: u64,
+        /// Set at plan time: the Theorem 2.8 regime decision.
+        fallback_lambda: Option<u32>,
+    },
+    Tree(TreeDriver),
+    Mixing(Box<MixingDriver>),
+}
+
+/// Batch state of one spanning-tree request (both modes).
+pub(crate) struct TreeDriver {
+    req: TreeRequest,
+    initial_len: u64,
+    first: Vec<Option<(u64, Option<NodeId>)>>,
+    offset: u64,
+    current: NodeId,
+    phase: u32,
+    walk_in_phase: usize,
+    attempts: u64,
+}
+
+/// Batch state of one mixing-time request.
+pub(crate) struct MixingDriver {
+    req: MixingRequest,
+    k: usize,
+    bucket: BucketTest,
+    /// `(tree, network constants)` once the one-time setup ran — the
+    /// exact protocol sequence of the one-shot driver
+    /// ([`mixing::run_probe_setup`]), billed to this request.
+    setup: Option<(BfsTree, mixing::ProbeSetup)>,
+    len: u64,
+    last_fail: u64,
+    refine_bounds: Option<(u64, u64)>, // (lo, hi) once refining
+    probes: Vec<MixingProbe>,
+    done_estimate: Option<Option<u64>>, // Some(first_pass) once finished
+}
+
+/// One entry of a batch scheduler: a request's driver plus its
+/// accumulators and (eventually) its response.
+pub(crate) struct Slot {
+    pub(crate) driver: Driver,
+    pub(crate) rounds: u64,
+    pub(crate) response: Option<Response>,
+}
+
+/// Shared facts of one wave, handed to every participant's absorb step.
+pub(crate) struct WaveContext {
+    pub(crate) rounds: u64,
+    pub(crate) messages: u64,
+    pub(crate) rounds_topup: u64,
+    pub(crate) lambda: u32,
+    pub(crate) gmw: u64,
+}
+
+/// A wave assembled from the active requests' plans: the specs to hand
+/// [`WalkSession::run_wave`], which request owns which specs, and the
+/// regime maxima across the stitch-eligible participants.
+pub(crate) struct WaveAssembly {
+    pub(crate) specs: Vec<WaveSpec>,
+    /// `(plan key, spec count)` in spec order — the caller maps keys
+    /// back to its slots and slices the wave's walks by count.
+    pub(crate) members: Vec<(usize, usize)>,
+    pub(crate) lambda_call: u32,
+    pub(crate) stitch_len: u64,
+}
+
+/// Selects the wave's membership from the gathered plans.
+///
+/// At most one *recorded* plan may ride a wave (the per-node visit
+/// ledger is not lane-tagged). The grant rotates cyclically from
+/// `*last_recorder` (updated in place) so concurrent tree requests
+/// genuinely alternate waves instead of the lowest key monopolizing the
+/// ledger; deferred recorders still share a later wave's rounds, just
+/// not this one's. Keys must be in increasing order — slot indices for
+/// `run_batch`, admission sequence numbers for the service — and
+/// planning must be deferral-safe ([`plan_wave`] mutates nothing a
+/// repeat call would get wrong).
+pub(crate) fn assemble_wave(
+    plans: Vec<(usize, WavePlan)>,
+    last_recorder: &mut usize,
+) -> WaveAssembly {
+    let recorders: Vec<usize> = plans
+        .iter()
+        .filter(|(_, p)| p.specs.iter().any(|s| s.record))
+        .map(|&(i, _)| i)
+        .collect();
+    let granted = recorders
+        .iter()
+        .copied()
+        .find(|&i| i > *last_recorder)
+        .or_else(|| recorders.first().copied());
+    if let Some(i) = granted {
+        *last_recorder = i;
+    }
+
+    let mut out = WaveAssembly {
+        specs: Vec::new(),
+        members: Vec::new(),
+        lambda_call: 0,
+        stitch_len: 0,
+    };
+    for (i, plan) in plans {
+        let records = plan.specs.iter().any(|s| s.record);
+        if records && granted != Some(i) {
+            continue; // defer this recorder to a later wave
+        }
+        if let Some((lc, sl)) = plan.regime {
+            out.lambda_call = out.lambda_call.max(lc);
+            out.stitch_len = out.stitch_len.max(sl);
+        }
+        out.members.push((i, plan.specs.len()));
+        out.specs.extend(plan.specs);
+    }
+    out
+}
+
+pub(crate) fn new_slot(request: Request, g: &Graph, n: usize) -> Slot {
+    match request {
+        Request::Mutate(_) => unreachable!("mutations are split off by the scheduler"),
+        Request::Walk {
+            source,
+            len,
+            record,
+        } => Slot {
+            driver: Driver::Walk {
+                source,
+                len,
+                record,
+            },
+            rounds: 0,
+            response: None,
+        },
+        Request::ManyWalks { sources, len, .. } => {
+            let empty = sources.is_empty();
+            let mut slot = Slot {
+                driver: Driver::Many {
+                    sources,
+                    len,
+                    fallback_lambda: None,
+                },
+                rounds: 0,
+                response: None,
+            };
+            if empty {
+                slot.response = Some(Response::ManyWalks(empty_many_result(n)));
+            }
+            slot
+        }
+        Request::SpanningTree(req) => {
+            let initial_len = if req.initial_len == 0 {
+                g.n() as u64
+            } else {
+                req.initial_len
+            };
+            let mut first = vec![None; n];
+            first[req.root] = Some((0, None));
+            Slot {
+                driver: Driver::Tree(TreeDriver {
+                    current: req.root,
+                    req,
+                    initial_len,
+                    first,
+                    offset: 0,
+                    phase: 0,
+                    walk_in_phase: 0,
+                    attempts: 0,
+                }),
+                rounds: 0,
+                response: None,
+            }
+        }
+        Request::MixingTime(req) => {
+            let k = ((n as f64).sqrt() * req.samples_scale).ceil() as usize;
+            // The collision estimator needs pairs; a zero-sample probe
+            // would also contribute no work items and stall the batch.
+            assert!(k >= 2, "mixing requests need samples_scale * sqrt(n) >= 2");
+            let bucket = BucketTest::new(g, req.bucket_base);
+            Slot {
+                driver: Driver::Mixing(Box::new(MixingDriver {
+                    len: req.start_len.max(1),
+                    req,
+                    k,
+                    bucket,
+                    setup: None,
+                    last_fail: 0,
+                    refine_bounds: None,
+                    probes: Vec::new(),
+                    done_estimate: None,
+                })),
+                rounds: 0,
+                response: None,
+            }
+        }
+    }
+}
+
+pub(crate) fn empty_many_result(n: usize) -> ManyWalksResult {
+    ManyWalksResult {
+        destinations: Vec::new(),
+        rounds: 0,
+        messages: 0,
+        lambda: 0,
+        used_naive_fallback: false,
+        stitches: 0,
+        gmw_invocations: 0,
+        connector_visits: vec![0; n],
+        segments: Vec::new(),
+        rounds_bfs: 0,
+        rounds_phase1: 0,
+        rounds_phase2: 0,
+        strategy: None,
+        state: WalkState::new(n),
+    }
+}
+
+/// Computes a request's next work items. May run private setup
+/// protocols on the session (billed to the request); must be safe to
+/// call again on the same state if the request is deferred from this
+/// wave.
+pub(crate) fn plan_wave(
+    slot: &mut Slot,
+    req_id: u16,
+    session: &mut WalkSession,
+    cfg: &SingleWalkConfig,
+    d_est: u64,
+) -> Result<WavePlan, Error> {
+    match &mut slot.driver {
+        Driver::Walk {
+            source,
+            len,
+            record,
+        } => {
+            let lambda = cfg.params.lambda(*len, d_est);
+            Ok(WavePlan {
+                specs: vec![WaveSpec {
+                    req: req_id,
+                    source: *source,
+                    len: *len,
+                    pos_offset: 0,
+                    record: *record,
+                    naive: false,
+                }],
+                regime: Some((lambda, *len)),
+            })
+        }
+        Driver::Many {
+            sources,
+            len,
+            fallback_lambda,
+        } => {
+            let k = sources.len() as u64;
+            let lambda = cfg.params.lambda_many(k, *len, d_est);
+            // Theorem 2.8's regime rule: lambda >= l takes the `k + l`
+            // simultaneous-naive branch — lowered as naive tokens into
+            // the same shared run.
+            let naive = u64::from(lambda) >= (*len).max(1);
+            *fallback_lambda = naive.then_some(lambda);
+            Ok(WavePlan {
+                specs: sources
+                    .iter()
+                    .map(|&source| WaveSpec {
+                        req: req_id,
+                        source,
+                        len: *len,
+                        pos_offset: 0,
+                        record: false,
+                        naive,
+                    })
+                    .collect(),
+                regime: (!naive).then_some((lambda, *len)),
+            })
+        }
+        Driver::Tree(t) => {
+            let phase = t.phase + 1;
+            if phase > t.req.max_phases {
+                return Err(Error::NotCovered {
+                    phases: t.req.max_phases,
+                    final_len: match t.req.mode {
+                        TreeMode::ExtendWalk => t.offset,
+                        TreeMode::RestartPhases => {
+                            spanning::doubling_step(t.initial_len, t.phase.max(1), 0)
+                                .map_or(0, |(l, _)| l)
+                        }
+                    },
+                });
+            }
+            let (seg_len, source, pos_offset, walked) = match t.req.mode {
+                TreeMode::ExtendWalk => {
+                    let (seg_len, _) = spanning::doubling_step(t.initial_len, phase, t.offset)
+                        .ok_or(Error::LengthOverflow {
+                            phases: t.phase,
+                            walked: t.offset,
+                        })?;
+                    (seg_len, t.current, t.offset, t.offset)
+                }
+                TreeMode::RestartPhases => {
+                    let (seg_len, _) = spanning::doubling_step(t.initial_len, phase, 0).ok_or(
+                        Error::LengthOverflow {
+                            phases: t.phase,
+                            walked: 0,
+                        },
+                    )?;
+                    (seg_len, t.req.root, 0, 0)
+                }
+            };
+            let _ = walked;
+            let lambda = cfg.params.lambda(seg_len, d_est);
+            Ok(WavePlan {
+                specs: vec![WaveSpec {
+                    req: req_id,
+                    source,
+                    len: seg_len,
+                    pos_offset,
+                    record: true,
+                    naive: false,
+                }],
+                regime: Some((lambda, seg_len)),
+            })
+        }
+        Driver::Mixing(m) => {
+            if m.setup.is_none() {
+                // The one-shot driver's setup protocols, verbatim, over
+                // the shared session tree — billed to this request.
+                let before = session.total_rounds();
+                let tree = session.tree().clone();
+                let g = session.graph();
+                let setup = mixing::run_probe_setup(&g, &m.bucket, &tree, session.runner_mut())?;
+                slot.rounds += session.total_rounds() - before;
+                m.setup = Some((tree, setup));
+            }
+            let len = m.len;
+            let k = m.k as u64;
+            let lambda = cfg.params.lambda_many(k, len, d_est);
+            let naive = u64::from(lambda) >= len.max(1);
+            let source = m.req.source;
+            Ok(WavePlan {
+                specs: (0..m.k)
+                    .map(|_| WaveSpec {
+                        req: req_id,
+                        source,
+                        len,
+                        pos_offset: 0,
+                        record: false,
+                        naive,
+                    })
+                    .collect(),
+                regime: (!naive).then_some((lambda, len)),
+            })
+        }
+    }
+}
+
+/// Absorbs a wave's results into a request's state machine, running any
+/// private follow-up protocols, and resolves the response once the
+/// request completes.
+pub(crate) fn absorb(
+    slot: &mut Slot,
+    walks: Vec<WaveWalk>,
+    ctx: &WaveContext,
+    session: &mut WalkSession,
+    cfg: &SingleWalkConfig,
+    d_est: u64,
+) -> Result<(), Error> {
+    let n = session.graph().n();
+    match &mut slot.driver {
+        Driver::Walk {
+            source,
+            len,
+            record,
+        } => {
+            let walk = walks.into_iter().next().expect("one spec per walk");
+            let mut state = WalkState::new(n);
+            if *record {
+                state.record_visit(*source, 0, None);
+                for (v, visit) in &walk.visits {
+                    state.record_visit(*v, visit.pos, visit.pred());
+                }
+            }
+            slot.response = Some(Response::Walk(SingleWalkResult {
+                destination: walk.destination,
+                rounds: ctx.rounds,
+                messages: ctx.messages,
+                rounds_bfs: 0,
+                rounds_phase1: ctx.rounds_topup,
+                rounds_stitch: ctx.rounds - ctx.rounds_topup,
+                rounds_tail: 0,
+                rounds_replay: 0,
+                stitches: walk.segments.len() as u64,
+                gmw_invocations: ctx.gmw,
+                lambda: ctx.lambda,
+                diameter_estimate: d_est as u32,
+                connector_visits: vec![0; n],
+                segments: walk.segments,
+                state,
+            }));
+            let _ = len;
+        }
+        Driver::Many {
+            fallback_lambda, ..
+        } => {
+            let fallback = *fallback_lambda;
+            let mut destinations = Vec::with_capacity(walks.len());
+            let mut segments = Vec::with_capacity(walks.len());
+            let mut stitches = 0u64;
+            for w in walks {
+                destinations.push(w.destination);
+                stitches += w.segments.len() as u64;
+                segments.push(w.segments);
+            }
+            slot.response = Some(Response::ManyWalks(ManyWalksResult {
+                destinations,
+                rounds: ctx.rounds,
+                messages: ctx.messages,
+                lambda: fallback.unwrap_or(ctx.lambda),
+                used_naive_fallback: fallback.is_some(),
+                stitches,
+                gmw_invocations: ctx.gmw,
+                connector_visits: vec![0; n],
+                segments,
+                rounds_bfs: 0,
+                rounds_phase1: ctx.rounds_topup,
+                rounds_phase2: ctx.rounds - ctx.rounds_topup,
+                strategy: (fallback.is_none()).then_some(StitchStrategy::Batched),
+                state: WalkState::new(n),
+            }));
+        }
+        Driver::Tree(t) => {
+            let walk = walks.into_iter().next().expect("one extension per wave");
+            t.phase += 1;
+            t.attempts += 1;
+            let g = session.graph();
+            // `restart_first` only exists in restart mode (fresh table
+            // per walk); extend mode reads the accumulated `t.first` by
+            // reference — no per-phase O(n) copy.
+            let mut restart_first: Vec<Option<(u64, Option<NodeId>)>>;
+            let (covered_first, phase_for_result, cover_len): (&[_], u32, u64) = match t.req.mode {
+                TreeMode::ExtendWalk => {
+                    let seg_len = spanning::doubling_step(t.initial_len, t.phase, t.offset)
+                        .expect("planned step was valid")
+                        .0;
+                    for (v, visit) in &walk.visits {
+                        debug_assert!(visit.pos > t.offset && visit.pos <= t.offset + seg_len);
+                        let pred = visit.pred().expect("extension visits carry predecessors");
+                        spanning::merge_first_visit(&mut t.first, *v, visit.pos, pred);
+                    }
+                    t.offset += seg_len;
+                    t.current = walk.destination;
+                    (t.first.as_slice(), t.phase, t.offset)
+                }
+                TreeMode::RestartPhases => {
+                    let seg_len = spanning::doubling_step(t.initial_len, t.phase, 0)
+                        .expect("planned step was valid")
+                        .0;
+                    restart_first = vec![None; n];
+                    restart_first[t.req.root] = Some((0, None));
+                    for (v, visit) in &walk.visits {
+                        let pred = visit.pred().expect("extension visits carry predecessors");
+                        spanning::merge_first_visit(&mut restart_first, *v, visit.pos, pred);
+                    }
+                    (restart_first.as_slice(), t.phase, seg_len)
+                }
+            };
+            // Private cover check over the shared tree, billed to this
+            // request alone.
+            let before = session.total_rounds();
+            let values: Vec<u64> = covered_first
+                .iter()
+                .map(|f| u64::from(f.is_some()))
+                .collect();
+            let mut cc = ConvergecastProtocol::new(session.tree().clone(), AggOp::Min, values);
+            session.runner_mut().run(&mut cc).map_err(WalkError::from)?;
+            slot.rounds += session.total_rounds() - before;
+            if cc.result() == 1 {
+                let key = spanning::tree_from_first_visits(&g, t.req.root, covered_first);
+                slot.response = Some(Response::SpanningTree(TreeSample {
+                    edges: key,
+                    rounds: slot.rounds,
+                    phases: phase_for_result,
+                    attempts: t.attempts,
+                    cover_len,
+                    bfs_runs: 0,
+                }));
+            } else if let TreeMode::RestartPhases = t.req.mode {
+                // Phase bookkeeping for restart mode: `walks_per_phase`
+                // walks before the length doubles.
+                let per_phase = spanning::walks_per_phase(n, t.req.walks_per_phase);
+                t.walk_in_phase += 1;
+                if t.walk_in_phase < per_phase {
+                    t.phase -= 1; // same length again next wave
+                } else {
+                    t.walk_in_phase = 0;
+                }
+            }
+        }
+        Driver::Mixing(m) => {
+            let destinations: Vec<NodeId> = walks.iter().map(|w| w.destination).collect();
+            let before = session.total_rounds();
+            let (tree, setup) = m.setup.as_ref().expect("setup ran at plan time");
+            let g = session.graph();
+            let probe = mixing::evaluate_probe(
+                &g,
+                &m.bucket,
+                tree,
+                session.runner_mut(),
+                &destinations,
+                setup,
+                m.len,
+                m.req.threshold,
+                m.req.l2_threshold,
+            )?;
+            slot.rounds += session.total_rounds() - before;
+            m.probes.push(probe);
+            advance_mixing(m, probe);
+            if let Some(first_pass) = m.done_estimate {
+                slot.response = Some(Response::MixingTime(MixingReport {
+                    tau_estimate: first_pass.unwrap_or(m.req.max_len),
+                    converged: first_pass.is_some(),
+                    rounds: slot.rounds,
+                    samples_per_probe: m.k,
+                    buckets: m.bucket.buckets(),
+                    probes: std::mem::take(&mut m.probes),
+                }));
+            }
+        }
+    }
+    let _ = (cfg, d_est);
+    Ok(())
+}
+
+/// Advances the mixing scan/refinement state machine after one probe.
+fn advance_mixing(m: &mut MixingDriver, probe: MixingProbe) {
+    match m.refine_bounds {
+        None => {
+            // Doubling scan.
+            if probe.pass {
+                if m.req.refine && m.last_fail + 1 < m.len {
+                    m.refine_bounds = Some((m.last_fail, m.len));
+                    let (lo, hi) = m.refine_bounds.expect("just set");
+                    m.len = lo + (hi - lo) / 2;
+                } else {
+                    m.done_estimate = Some(Some(m.len));
+                }
+            } else {
+                m.last_fail = m.len;
+                match m.len.checked_mul(2) {
+                    Some(next) if next <= m.req.max_len => m.len = next,
+                    _ => m.done_estimate = Some(None), // cap reached
+                }
+            }
+        }
+        Some((lo, hi)) => {
+            // Binary-search refinement (Lemma 4.4 monotonicity).
+            let (lo, hi) = if probe.pass { (lo, m.len) } else { (m.len, hi) };
+            if lo + 1 < hi {
+                m.refine_bounds = Some((lo, hi));
+                m.len = lo + (hi - lo) / 2;
+            } else {
+                m.done_estimate = Some(Some(hi));
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The per-tenant round-budget ledger: deficit round-robin over CONGEST
+//! rounds.
+//!
+//! Classic DRR schedules packets by byte credits; here the scarce
+//! resource is **engine rounds**. Every wave, each tenant with work
+//! standing (queued or in flight) earns `quantum * weight` credits;
+//! admission requires a positive balance; and every round the engine
+//! actually consumed is billed back against the balances of the tenants
+//! whose specs rode the wave (an *exact* partition — see
+//! `Service::pump` — so the sum of all bills plus the service's own
+//! setup/churn buckets reconciles to the engine's total round count,
+//! not approximately but to the round). A tenant that monopolized a few
+//! expensive waves goes negative and is deferred until its earnings
+//! catch up; it keeps earning every wave, so deferral is temporary and
+//! no tenant starves. Balances are capped at a small multiple of the
+//! quantum so a long-idle tenant cannot hoard credit and then starve
+//! everyone else.
+
+use super::trace::TenantId;
+use std::collections::BTreeMap;
+
+/// How many quanta of credit a tenant may bank while deferred or idle.
+const BALANCE_CAP_QUANTA: u64 = 4;
+
+/// One tenant's standing with the service (exposed read-only through
+/// `Service::report`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantBill {
+    /// Scheduling weight (credits earned per wave = `quantum * weight`).
+    pub weight: u64,
+    /// Current credit balance (negative = over budget, deferred).
+    pub balance: i64,
+    /// Total rounds billed to this tenant: its exact shares of the
+    /// waves its specs rode, plus its private plan/absorb protocols.
+    pub billed_rounds: u64,
+    /// Requests admitted into flight.
+    pub admitted: u64,
+    /// Requests completed (responses delivered, including errors).
+    pub completed: u64,
+    /// Submissions refused by admission control.
+    pub rejected: u64,
+}
+
+/// The ledger over all tenants ever seen.
+#[derive(Debug, Default)]
+pub(crate) struct FairLedger {
+    tenants: BTreeMap<TenantId, TenantBill>,
+}
+
+impl FairLedger {
+    /// Ensures `tenant` has an account, creating it with `weight` on
+    /// first sight (and a starting balance of one quantum so a fresh
+    /// tenant is immediately admissible).
+    pub(crate) fn ensure(&mut self, tenant: TenantId, weight: u64, quantum: u64) {
+        self.tenants.entry(tenant).or_insert(TenantBill {
+            weight: weight.max(1),
+            balance: (quantum * weight.max(1)) as i64,
+            billed_rounds: 0,
+            admitted: 0,
+            completed: 0,
+            rejected: 0,
+        });
+    }
+
+    /// Earns one wave's *baseline* credit for every tenant in `active`
+    /// (tenants with queued or in-flight work), capped — the income
+    /// floor that keeps admission flowing regardless of wave costs.
+    pub(crate) fn credit<I: IntoIterator<Item = TenantId>>(&mut self, active: I, quantum: u64) {
+        for t in active {
+            let bill = self.tenants.get_mut(&t).expect("active tenant has account");
+            let cap = (BALANCE_CAP_QUANTA * quantum * bill.weight) as i64;
+            bill.balance = (bill.balance + (quantum * bill.weight) as i64).min(cap);
+        }
+    }
+
+    /// Redistributes one scheduling step's total billed rounds back to
+    /// the tenants with standing work, proportionally to weight — the
+    /// DRR fair share. Aggregate earnings thereby track aggregate
+    /// billing, so only tenants consuming *more than their share* go
+    /// negative and defer; the budget never throttles total throughput
+    /// (without this, fixed quanta starve everyone whenever waves cost
+    /// more than the active tenants' combined quantum income).
+    pub(crate) fn credit_share(&mut self, active: &[TenantId], total: u64) {
+        let weight_sum: u64 = active
+            .iter()
+            .map(|t| {
+                self.tenants
+                    .get(t)
+                    .expect("active tenant has account")
+                    .weight
+            })
+            .sum();
+        if weight_sum == 0 {
+            return;
+        }
+        for t in active {
+            let bill = self.tenants.get_mut(t).expect("active tenant has account");
+            bill.balance += (total * bill.weight / weight_sum) as i64;
+        }
+    }
+
+    /// Resets every tenant *not* in `active` to its starting balance:
+    /// the classic DRR deficit-counter reset on queue drain. A tenant
+    /// with no standing work neither banks surplus (hoard-then-burst)
+    /// nor carries debt into an uncontended return.
+    pub(crate) fn settle_idle(&mut self, active: &[TenantId], quantum: u64) {
+        for (t, bill) in &mut self.tenants {
+            if !active.contains(t) {
+                bill.balance = (quantum * bill.weight) as i64;
+            }
+        }
+    }
+
+    /// Whether `tenant` may be admitted (positive balance).
+    pub(crate) fn admissible(&self, tenant: TenantId) -> bool {
+        self.tenants
+            .get(&tenant)
+            .is_some_and(|bill| bill.balance > 0)
+    }
+
+    /// Bills `rounds` against `tenant` (balance decreases; totals grow).
+    pub(crate) fn bill(&mut self, tenant: TenantId, rounds: u64) {
+        let bill = self.tenants.get_mut(&tenant).expect("billed tenant exists");
+        bill.billed_rounds += rounds;
+        bill.balance -= rounds as i64;
+    }
+
+    pub(crate) fn note_admitted(&mut self, tenant: TenantId) {
+        self.tenants
+            .get_mut(&tenant)
+            .expect("tenant exists")
+            .admitted += 1;
+    }
+
+    pub(crate) fn note_completed(&mut self, tenant: TenantId) {
+        self.tenants
+            .get_mut(&tenant)
+            .expect("tenant exists")
+            .completed += 1;
+    }
+
+    pub(crate) fn note_rejected(&mut self, tenant: TenantId) {
+        self.tenants
+            .get_mut(&tenant)
+            .expect("tenant exists")
+            .rejected += 1;
+    }
+
+    /// Every account, in tenant-id order.
+    pub(crate) fn bills(&self) -> &BTreeMap<TenantId, TenantBill> {
+        &self.tenants
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn billing_defers_then_credit_recovers() {
+        let mut l = FairLedger::default();
+        l.ensure(0, 1, 100);
+        l.ensure(1, 2, 100);
+        assert!(l.admissible(0) && l.admissible(1));
+        // Tenant 0 rides an expensive wave.
+        l.bill(0, 450);
+        assert!(!l.admissible(0), "over budget after billing");
+        assert!(l.admissible(1));
+        // Earnings accrue every wave; weight 2 earns twice as fast.
+        l.credit([0, 1], 100);
+        l.credit([0, 1], 100);
+        assert!(!l.admissible(0));
+        l.credit([0, 1], 100);
+        l.credit([0, 1], 100);
+        assert!(l.admissible(0), "deferral is temporary");
+        // The cap stops idle hoarding.
+        let b1 = l.bills()[&1].balance;
+        assert_eq!(b1, 4 * 100 * 2, "balance capped at 4 quanta x weight");
+        assert_eq!(l.bills()[&0].billed_rounds, 450);
+    }
+}

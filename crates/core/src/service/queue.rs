@@ -1,0 +1,233 @@
+//! The mempool-style admission queue: FIFO arrival order, global and
+//! per-tenant capacity caps, typed rejection, and `Mutate` barriers.
+//!
+//! The queue is deliberately dumb — it stores arrivals and enforces
+//! *capacity*; *eligibility* (fairness budgets, in-flight caps) is the
+//! service loop's call, passed in as a predicate to
+//! [`AdmissionQueue::drain_admissible`]. The one ordering rule the
+//! queue itself owns is the barrier: a [`Request::Mutate`] entry stops
+//! the admissibility scan, so nothing that arrived after a delta can be
+//! admitted before the delta applies — the continuous-batching
+//! counterpart of `run_batch` splitting segments at mutations.
+
+use super::trace::TenantId;
+use super::Ticket;
+use crate::request::Request;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// Why a submission was refused (typed admission control).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The global queue is at capacity.
+    QueueFull {
+        /// The configured global cap.
+        cap: usize,
+    },
+    /// The tenant's queued share is at capacity.
+    TenantQueueFull {
+        /// The refused tenant.
+        tenant: TenantId,
+        /// The configured per-tenant cap.
+        cap: usize,
+    },
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull { cap } => write!(f, "service queue full (cap {cap})"),
+            SubmitError::TenantQueueFull { tenant, cap } => {
+                write!(f, "tenant {tenant} queue share full (cap {cap})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A queued submission awaiting admission.
+#[derive(Debug, Clone)]
+pub(crate) struct Pending {
+    pub(crate) ticket: Ticket,
+    pub(crate) tenant: TenantId,
+    pub(crate) request: Request,
+    /// Virtual submission time (the service clock at `submit`).
+    pub(crate) submitted_at: u64,
+}
+
+/// FIFO queue with caps (see the module docs).
+#[derive(Debug)]
+pub(crate) struct AdmissionQueue {
+    entries: VecDeque<Pending>,
+    queued_by_tenant: BTreeMap<TenantId, usize>,
+    queue_cap: usize,
+    tenant_queue_cap: usize,
+}
+
+impl AdmissionQueue {
+    pub(crate) fn new(queue_cap: usize, tenant_queue_cap: usize) -> Self {
+        AdmissionQueue {
+            entries: VecDeque::new(),
+            queued_by_tenant: BTreeMap::new(),
+            queue_cap,
+            tenant_queue_cap,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `ticket` is still queued.
+    pub(crate) fn contains(&self, ticket: Ticket) -> bool {
+        self.entries.iter().any(|p| p.ticket == ticket)
+    }
+
+    /// Tenants with at least one queued entry, in id order.
+    pub(crate) fn tenants(&self) -> impl Iterator<Item = TenantId> + '_ {
+        self.queued_by_tenant
+            .iter()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(&t, _)| t)
+    }
+
+    /// Enqueues a submission, enforcing the capacity caps.
+    pub(crate) fn try_push(&mut self, pending: Pending) -> Result<(), SubmitError> {
+        if self.entries.len() >= self.queue_cap {
+            return Err(SubmitError::QueueFull {
+                cap: self.queue_cap,
+            });
+        }
+        let count = self.queued_by_tenant.entry(pending.tenant).or_insert(0);
+        if *count >= self.tenant_queue_cap {
+            return Err(SubmitError::TenantQueueFull {
+                tenant: pending.tenant,
+                cap: self.tenant_queue_cap,
+            });
+        }
+        *count += 1;
+        self.entries.push_back(pending);
+        Ok(())
+    }
+
+    /// Pops the front entry if it is a `Mutate` barrier.
+    pub(crate) fn pop_front_mutate(&mut self) -> Option<Pending> {
+        if matches!(
+            self.entries.front().map(|p| &p.request),
+            Some(Request::Mutate(_))
+        ) {
+            self.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Pops the front entry unconditionally (forced admission — the
+    /// progress guarantee when every queued tenant is over budget and
+    /// nothing is in flight).
+    pub(crate) fn pop_front(&mut self) -> Option<Pending> {
+        let p = self.entries.pop_front()?;
+        *self
+            .queued_by_tenant
+            .get_mut(&p.tenant)
+            .expect("queued tenant is counted") -= 1;
+        Some(p)
+    }
+
+    /// Removes and returns every entry before the first `Mutate`
+    /// barrier that `admit` accepts, preserving the relative order of
+    /// what remains. Entries `admit` declines stay queued (fairness
+    /// deferral keeps them *ahead* of later arrivals); the scan stops
+    /// at the barrier so post-delta arrivals cannot jump it.
+    pub(crate) fn drain_admissible(
+        &mut self,
+        mut admit: impl FnMut(&Pending) -> bool,
+    ) -> Vec<Pending> {
+        let mut taken = Vec::new();
+        let mut i = 0;
+        while i < self.entries.len() {
+            if matches!(self.entries[i].request, Request::Mutate(_)) {
+                break;
+            }
+            if admit(&self.entries[i]) {
+                let p = self.entries.remove(i).expect("index in bounds");
+                *self
+                    .queued_by_tenant
+                    .get_mut(&p.tenant)
+                    .expect("queued tenant is counted") -= 1;
+                taken.push(p);
+            } else {
+                i += 1;
+            }
+        }
+        taken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pending(ticket: u64, tenant: TenantId, request: Request) -> Pending {
+        Pending {
+            ticket: Ticket(ticket),
+            tenant,
+            request,
+            submitted_at: 0,
+        }
+    }
+
+    #[test]
+    fn caps_reject_typed() {
+        let mut q = AdmissionQueue::new(3, 2);
+        q.try_push(pending(0, 0, Request::walk(0, 8))).unwrap();
+        q.try_push(pending(1, 0, Request::walk(0, 8))).unwrap();
+        assert_eq!(
+            q.try_push(pending(2, 0, Request::walk(0, 8))),
+            Err(SubmitError::TenantQueueFull { tenant: 0, cap: 2 })
+        );
+        q.try_push(pending(2, 1, Request::walk(0, 8))).unwrap();
+        assert_eq!(
+            q.try_push(pending(3, 1, Request::walk(0, 8))),
+            Err(SubmitError::QueueFull { cap: 3 })
+        );
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn barrier_stops_the_admissibility_scan() {
+        let mut q = AdmissionQueue::new(16, 16);
+        q.try_push(pending(0, 0, Request::walk(0, 8))).unwrap();
+        q.try_push(pending(1, 1, Request::walk(0, 8))).unwrap();
+        q.try_push(pending(
+            2,
+            0,
+            Request::mutate(drw_graph::TopologyDelta::new()),
+        ))
+        .unwrap();
+        q.try_push(pending(3, 2, Request::walk(0, 8))).unwrap();
+        // Tenant 1 deferred: only ticket 0 comes out; 3 is behind the
+        // barrier and must wait even though its tenant is eligible.
+        let taken = q.drain_admissible(|p| p.tenant != 1);
+        assert_eq!(
+            taken.iter().map(|p| p.ticket.0).collect::<Vec<_>>(),
+            vec![0]
+        );
+        assert_eq!(q.len(), 3);
+        assert!(q.pop_front_mutate().is_none(), "tenant 1 is still ahead");
+        let taken = q.drain_admissible(|_| true);
+        assert_eq!(
+            taken.iter().map(|p| p.ticket.0).collect::<Vec<_>>(),
+            vec![1]
+        );
+        let barrier = q.pop_front_mutate().expect("barrier now at front");
+        assert_eq!(barrier.ticket.0, 2);
+        assert_eq!(q.drain_admissible(|_| true).len(), 1);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! The walk *service* in motion: a peer-to-peer overlay serving three
+//! tenants' mixed traffic — walks, `MANY-RANDOM-WALKS` cohorts, a
+//! spanning-tree build, mixing probes — with churn deltas interleaved
+//! as admission barriers, all under continuous batching: requests that
+//! arrive while a wave train is running ride the next wave instead of
+//! waiting for the batch to drain, and every CONGEST round the engine
+//! spends is billed back to exactly one tenant.
+//!
+//! Run with: `cargo run --release --example walk_service`
+
+use distributed_random_walks::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+
+    // A 4-regular random overlay: 256 peers, diameter ~ log n.
+    let g = generators::random_regular(256, 4, &mut rng);
+    println!("overlay: random-regular n={} d=4\n", g.n());
+
+    // Three tenants: a sampler (cohorts), a monitor (mixing probes +
+    // the spanning tree), and a crawler (long walks), the crawler at
+    // double weight.
+    let mut svc = Service::builder(&g)
+        .service_config(ServiceConfig::default().weight(2, 2))
+        .seed(71)
+        .build();
+
+    // A seeded virtual-time arrival trace: mostly walks and cohorts,
+    // trees and probes sprinkled in, plus churn deltas toggling two
+    // chords of the overlay (each delta is an admission barrier:
+    // everything before it completes on the old epoch, everything
+    // after it waits).
+    let spec = MixedTraceSpec {
+        mean_gap: 128,
+        walk_len_min: 128,
+        walk_len_max: 1024,
+        tree_pct: 5,
+        mix_pct: 10,
+        mutate_pct: 8,
+        churn_pairs: vec![(0, 9), (3, 200)],
+        ..MixedTraceSpec::balanced(g.n(), 3, 36)
+    };
+    let trace = ArrivalTrace::synthesize(&spec, 2014);
+    let run = svc.serve_trace(&trace)?;
+
+    println!(
+        "{:>3}  {:>6}  {:>13} {:>9} {:>9} {:>7}  outcome",
+        "id", "tenant", "kind", "admitted", "waited", "billed"
+    );
+    for c in &run.completions {
+        let (kind, outcome) = match &c.response {
+            Ok(Response::Walk(w)) => ("walk".into(), format!("-> node {}", w.destination)),
+            Ok(Response::ManyWalks(m)) => (
+                format!("cohort[{}]", m.destinations.len()),
+                format!("-> {:?}", m.destinations),
+            ),
+            Ok(Response::SpanningTree(t)) => {
+                ("spanning-tree".into(), format!("{} edges", t.edges.len()))
+            }
+            Ok(Response::MixingTime(m)) => (
+                "mixing-probe".into(),
+                m.probes.last().map_or("no probe".into(), |p| {
+                    format!("len {} {}", p.len, if p.pass { "PASS" } else { "FAIL" })
+                }),
+            ),
+            Ok(Response::Epoch(e)) => ("mutate".into(), format!("epoch -> {}", e.epoch)),
+            Err(e) => ("error".into(), e.to_string()),
+        };
+        println!(
+            "{:>3}  {:>6}  {:>13} {:>9} {:>9} {:>7}  {}",
+            c.ticket.id(),
+            c.tenant,
+            kind,
+            c.admitted_at,
+            c.admission_latency(),
+            c.billed_rounds,
+            outcome
+        );
+    }
+
+    let rep = svc.report();
+    println!("\nper-tenant bills (deficit round-robin over engine rounds):");
+    println!(
+        "{:>6} {:>6} {:>9} {:>9} {:>12} {:>13}",
+        "tenant", "weight", "admitted", "done", "billed", "mean wait"
+    );
+    for (tenant, bill) in &rep.tenants {
+        let waits: Vec<u64> = run
+            .completions
+            .iter()
+            .filter(|c| c.tenant == *tenant)
+            .map(|c| c.admission_latency())
+            .collect();
+        let mean = waits.iter().sum::<u64>() as f64 / waits.len().max(1) as f64;
+        println!(
+            "{:>6} {:>6} {:>9} {:>9} {:>12} {:>13.1}",
+            tenant, bill.weight, bill.admitted, bill.completed, bill.billed_rounds, mean
+        );
+    }
+    println!(
+        "\naccounting: setup {} + churn {} + billed {} = engine total {} (exact: {})",
+        rep.setup_rounds,
+        rep.churn_rounds,
+        rep.billed_total(),
+        rep.engine_rounds,
+        rep.reconciles()
+    );
+    println!(
+        "{} waves, {} deltas applied, final epoch {}",
+        rep.waves,
+        trace
+            .events()
+            .iter()
+            .filter(|e| e.request.kind() == "mutate")
+            .count(),
+        svc.topology().epoch()
+    );
+    assert!(rep.reconciles());
+    Ok(())
+}

@@ -81,10 +81,12 @@ pub use drw_stats as stats;
 pub mod prelude {
     pub use drw_congest::{EngineConfig, ExecutorKind, Runner};
     pub use drw_core::{
-        many_random_walks, many_random_walks_with, naive_walk, single_random_walk,
-        Error as DrwError, ManyWalksResult, MixingProbe, MixingReport, MixingRequest, Network,
-        NetworkBuilder, RepairReport, Request, Response, SingleWalkConfig, SingleWalkResult,
-        StitchScheduler, StitchStrategy, TreeMode, TreeRequest, TreeSample, WalkError, WalkParams,
+        many_random_walks, many_random_walks_with, naive_walk, single_random_walk, ArrivalTrace,
+        Completion, Error as DrwError, ManyWalksResult, MixedTraceSpec, MixingProbe, MixingReport,
+        MixingRequest, Network, NetworkBuilder, RepairReport, Request, Response, Service,
+        ServiceBuilder, ServiceConfig, ServiceReport, SingleWalkConfig, SingleWalkResult,
+        StitchScheduler, StitchStrategy, SubmitError, TenantBill, TenantId, Ticket, TicketPoll,
+        TraceEvent, TraceRun, TreeMode, TreeRequest, TreeSample, WalkError, WalkParams,
         WalkSession,
     };
     pub use drw_graph::{

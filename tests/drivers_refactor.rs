@@ -1,0 +1,177 @@
+//! Fixed-seed regression guard for the driver-extraction refactor
+//! (ISSUE 9 satellite): the per-request driver state machines moved
+//! from `Network::run_batch`'s private internals into the shared
+//! `drw_core::network::drivers` module so the continuous-batching
+//! `Service` can reuse them. The move must not perturb a single byte of
+//! `run_batch` output — these golden values were captured from the
+//! pre-refactor code at the listed seeds and must keep reproducing.
+
+use distributed_random_walks::prelude::*;
+
+/// A stable digest of a byte slice (FNV-1a, 64-bit): enough to pin a
+/// spanning tree's exact edge set without listing 35 edges inline.
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn tree_digest(edges: &[(usize, usize)]) -> u64 {
+    let mut bytes = Vec::with_capacity(edges.len() * 16);
+    for &(u, v) in edges {
+        bytes.extend_from_slice(&(u as u64).to_le_bytes());
+        bytes.extend_from_slice(&(v as u64).to_le_bytes());
+    }
+    fnv(&bytes)
+}
+
+/// The heterogeneous batch the golden values pin: every request kind,
+/// plus a mid-batch `Mutate` barrier.
+fn golden_batch(n: usize) -> Vec<Request> {
+    vec![
+        Request::walk(0, 512),
+        Request::many_walks(vec![3, 8], 300),
+        Request::spanning_tree(0),
+        Request::mixing_probe(0, 64),
+        Request::mutate(TopologyDelta::new().add_edge(0, 14)),
+        Request::walk(n / 2, 256),
+    ]
+}
+
+#[test]
+fn run_batch_outputs_are_byte_identical_to_pre_refactor() {
+    let g = drw_graph::generators::torus2d(6, 6);
+    let mut net = Network::builder(&g).seed(31).build();
+    let rs = net.run_batch(golden_batch(g.n())).expect("golden batch");
+    assert_eq!(rs.len(), 6);
+
+    let walk = rs[0].clone().into_walk();
+    let many = rs[1].clone().into_many_walks();
+    let tree = rs[2].clone().into_tree();
+    let mix = rs[3].clone().into_mixing();
+    let epoch = rs[4].clone().into_epoch();
+    let walk2 = rs[5].clone().into_walk();
+
+    // Golden values captured from the pre-refactor run_batch (seed 31,
+    // 6x6 torus, sequential executor). Any divergence means the driver
+    // extraction changed scheduling or randomness.
+    assert_eq!(
+        (walk.destination, walk.rounds, walk.stitches),
+        (GOLDEN.walk_dest, GOLDEN.walk_rounds, GOLDEN.walk_stitches),
+        "walk response drifted"
+    );
+    assert_eq!(
+        (many.destinations.clone(), many.rounds, many.stitches),
+        (
+            GOLDEN.many_dests.to_vec(),
+            GOLDEN.many_rounds,
+            GOLDEN.many_stitches
+        ),
+        "many-walks response drifted"
+    );
+    assert_eq!(
+        (tree_digest(&tree.edges), tree.rounds, tree.phases),
+        (GOLDEN.tree_digest, GOLDEN.tree_rounds, GOLDEN.tree_phases),
+        "spanning-tree response drifted"
+    );
+    assert_eq!(mix.probes.len(), 1);
+    assert_eq!(
+        (
+            mix.probes[0].discrepancy.to_bits(),
+            mix.probes[0].pass,
+            mix.rounds
+        ),
+        (GOLDEN.mix_disc_bits, GOLDEN.mix_pass, GOLDEN.mix_rounds),
+        "mixing response drifted"
+    );
+    assert_eq!((epoch.epoch, epoch.touched), (1, vec![0, 14]));
+    assert_eq!(
+        (walk2.destination, walk2.rounds),
+        (GOLDEN.walk2_dest, GOLDEN.walk2_rounds),
+        "post-barrier walk drifted"
+    );
+    assert_eq!(
+        net.session_rounds(),
+        GOLDEN.session_rounds,
+        "shared session bill drifted"
+    );
+}
+
+struct Golden {
+    walk_dest: usize,
+    walk_rounds: u64,
+    walk_stitches: u64,
+    many_dests: [usize; 2],
+    many_rounds: u64,
+    many_stitches: u64,
+    tree_digest: u64,
+    tree_rounds: u64,
+    tree_phases: u32,
+    mix_disc_bits: u64,
+    mix_pass: bool,
+    mix_rounds: u64,
+    walk2_dest: usize,
+    walk2_rounds: u64,
+    session_rounds: u64,
+}
+
+const GOLDEN: Golden = Golden {
+    walk_dest: 2,
+    walk_rounds: 386,
+    walk_stitches: 5,
+    many_dests: [20, 10],
+    many_rounds: 386,
+    many_stitches: 5,
+    tree_digest: 0xb3cb5fb743cdbff7,
+    tree_rounds: 636,
+    tree_phases: 3,
+    mix_disc_bits: 0x3ca0000000000000,
+    mix_pass: false,
+    mix_rounds: 432,
+    walk2_dest: 0,
+    walk2_rounds: 274,
+    session_rounds: 963,
+};
+
+/// Prints the actual values in `Golden` literal form (run with
+/// `-- --ignored --nocapture` to re-capture after an *intentional*
+/// semantic change; the default test above must never need it).
+#[test]
+#[ignore = "capture helper, not a gate"]
+fn print_golden_values() {
+    let g = drw_graph::generators::torus2d(6, 6);
+    let mut net = Network::builder(&g).seed(31).build();
+    let rs = net.run_batch(golden_batch(g.n())).expect("golden batch");
+    let walk = rs[0].clone().into_walk();
+    let many = rs[1].clone().into_many_walks();
+    let tree = rs[2].clone().into_tree();
+    let mix = rs[3].clone().into_mixing();
+    let walk2 = rs[5].clone().into_walk();
+    println!(
+        "const GOLDEN: Golden = Golden {{\n    walk_dest: {},\n    walk_rounds: {},\n    \
+         walk_stitches: {},\n    many_dests: [{}, {}],\n    many_rounds: {},\n    \
+         many_stitches: {},\n    tree_digest: 0x{:016x},\n    tree_rounds: {},\n    \
+         tree_phases: {},\n    mix_disc_bits: 0x{:016x},\n    mix_pass: {},\n    \
+         mix_rounds: {},\n    walk2_dest: {},\n    walk2_rounds: {},\n    \
+         session_rounds: {},\n}};",
+        walk.destination,
+        walk.rounds,
+        walk.stitches,
+        many.destinations[0],
+        many.destinations[1],
+        many.rounds,
+        many.stitches,
+        tree_digest(&tree.edges),
+        tree.rounds,
+        tree.phases,
+        mix.probes[0].discrepancy.to_bits(),
+        mix.probes[0].pass,
+        mix.rounds,
+        walk2.destination,
+        walk2.rounds,
+        net.session_rounds(),
+    );
+}
