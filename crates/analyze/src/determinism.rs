@@ -3,8 +3,11 @@
 //! The repeatability contract (same graph, same seed, same report on
 //! every executor) only holds if protocol code never consults ambient
 //! nondeterminism. This pass bans the usual suspects at the token
-//! level in the protocol crates (`drw-congest`, `drw-core`,
-//! `drw-graph`):
+//! level in the protocol and algorithm crates (`drw-congest`,
+//! `drw-core`, `drw-graph`, `drw-spanning`, `drw-mixing`,
+//! `drw-lowerbound`), and all but the wall-clock rule in the
+//! measurement harnesses (`drw-bench`, `drw-experiments`), whose whole
+//! job is timing things:
 //!
 //! * `hash-collections` — `HashMap`/`HashSet`: iteration order is
 //!   randomized per process, the classic verdict-divergence bug; use
@@ -28,6 +31,50 @@
 use crate::lexer::Lexed;
 use crate::Finding;
 use std::path::Path;
+
+/// Which determinism rules apply to one file (the SAFETY rule always
+/// runs, workspace-wide). See [`crate::determinism_scope`] for the
+/// path → ruleset policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleSet {
+    /// Ban `HashMap`/`HashSet` (randomized iteration order).
+    pub hash_collections: bool,
+    /// Ban `Instant`/`SystemTime` (rounds are the only clock).
+    pub wall_clock: bool,
+    /// Ban `thread_rng`/`from_entropy`/`OsRng` (seed-derived RNG only).
+    pub unseeded_rng: bool,
+}
+
+impl RuleSet {
+    /// No determinism rules — only the workspace-wide SAFETY rule runs.
+    pub const NONE: RuleSet = RuleSet {
+        hash_collections: false,
+        wall_clock: false,
+        unseeded_rng: false,
+    };
+    /// The full ruleset of the protocol and algorithm crates.
+    pub const FULL: RuleSet = RuleSet {
+        hash_collections: true,
+        wall_clock: true,
+        unseeded_rng: true,
+    };
+    /// The measurement-harness ruleset: wall-clock reads are these
+    /// crates' purpose, everything else still applies.
+    pub const NO_CLOCK: RuleSet = RuleSet {
+        wall_clock: false,
+        ..RuleSet::FULL
+    };
+
+    /// Whether `rule` is enabled in this set.
+    fn enables(self, rule: &str) -> bool {
+        match rule {
+            "hash-collections" => self.hash_collections,
+            "wall-clock" => self.wall_clock,
+            "unseeded-rng" => self.unseeded_rng,
+            _ => true,
+        }
+    }
+}
 
 /// How many lines above an `unsafe` token a `// SAFETY:` comment may
 /// sit (inclusive window `[line - SAFETY_WINDOW, line]`).
@@ -83,8 +130,10 @@ pub fn parse_allows(lexed: &Lexed) -> Vec<AllowEntry> {
 }
 
 /// True iff `rule` at `line` is covered by an allow entry (same line or
-/// the line above). Marks the entry used.
-fn allowed(allows: &[AllowEntry], rule: &str, line: usize) -> bool {
+/// the line above). Marks the entry used. Shared with the wire-value
+/// audit, whose findings anchor at `impl Message` sites and honour the
+/// same suppression syntax.
+pub(crate) fn allowed(allows: &[AllowEntry], rule: &str, line: usize) -> bool {
     for a in allows {
         if a.rule == rule && a.has_reason && (a.line == line || a.line + 1 == line) {
             a.used.set(true);
@@ -117,27 +166,26 @@ fn ident_rule(ident: &str) -> Option<(&'static str, &'static str)> {
 
 /// Runs the determinism rules over one lexed file.
 ///
-/// `protocol_scope` enables the hash/clock/rng rules (the caller turns
-/// it on for the protocol crates); the SAFETY rule always runs.
+/// `rules` selects which hash/clock/rng rules fire (the caller derives
+/// it from the path, see [`crate::determinism_scope`]); the SAFETY rule
+/// always runs.
 pub fn lint_file(
     lexed: &Lexed,
     file: &Path,
-    protocol_scope: bool,
+    rules: RuleSet,
     allows: &[AllowEntry],
     findings: &mut Vec<Finding>,
 ) {
     for tok in &lexed.tokens {
         let Some(ident) = tok.ident() else { continue };
-        if protocol_scope {
-            if let Some((rule, why)) = ident_rule(ident) {
-                if !allowed(allows, rule, tok.line) {
-                    findings.push(Finding::new(
-                        rule,
-                        file,
-                        tok.line,
-                        format!("`{ident}` in a protocol crate: {why}"),
-                    ));
-                }
+        if let Some((rule, why)) = ident_rule(ident) {
+            if rules.enables(rule) && !allowed(allows, rule, tok.line) {
+                findings.push(Finding::new(
+                    rule,
+                    file,
+                    tok.line,
+                    format!("`{ident}` in a determinism-scoped crate: {why}"),
+                ));
             }
         }
         if ident == "unsafe" {
@@ -169,7 +217,10 @@ pub fn lint_file(
                     a.rule, a.rule
                 ),
             ));
-        } else if !a.used.get() {
+        } else if !a.used.get() && !a.rule.starts_with("wire-") {
+            // Wire-audit allows are consumed by a separate pass that
+            // only runs when a wire report is supplied; a static-only
+            // run must not call them stale.
             findings.push(Finding::new(
                 "allow-unused",
                 file,
@@ -189,18 +240,23 @@ mod tests {
     use crate::lexer::lex;
     use std::path::PathBuf;
 
-    fn lint(src: &str, protocol_scope: bool) -> Vec<Finding> {
+    fn lint_rules(src: &str, rules: RuleSet) -> Vec<Finding> {
         let lexed = lex(src);
         let allows = parse_allows(&lexed);
         let mut out = Vec::new();
-        lint_file(
-            &lexed,
-            &PathBuf::from("mem.rs"),
-            protocol_scope,
-            &allows,
-            &mut out,
-        );
+        lint_file(&lexed, &PathBuf::from("mem.rs"), rules, &allows, &mut out);
         out
+    }
+
+    fn lint(src: &str, protocol_scope: bool) -> Vec<Finding> {
+        lint_rules(
+            src,
+            if protocol_scope {
+                RuleSet::FULL
+            } else {
+                RuleSet::NONE
+            },
+        )
     }
 
     #[test]
@@ -208,6 +264,25 @@ mod tests {
         let src = "use std::collections::HashMap;\nlet m: HashMap<u32, u32> = HashMap::new();";
         assert_eq!(lint(src, true).len(), 3);
         assert!(lint(src, false).is_empty());
+    }
+
+    #[test]
+    fn harness_ruleset_permits_the_clock_but_nothing_else() {
+        let src = "let t = Instant::now();\nlet r = thread_rng();\nlet m = HashMap::new();";
+        let rules: Vec<String> = lint_rules(src, RuleSet::NO_CLOCK)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect();
+        assert_eq!(rules, ["unseeded-rng", "hash-collections"]);
+    }
+
+    #[test]
+    fn unused_wire_allow_is_not_stale() {
+        // Wire rules are consumed by the wire-audit pass, which may not
+        // run; static-only lints must not flag the entry as unused.
+        let src = "// drw-analyze: allow(wire-values, sentinel priced by a separate proof)\n\
+                   let x = 1;";
+        assert!(lint(src, true).is_empty());
     }
 
     #[test]

@@ -30,7 +30,8 @@
 //! that the harness can detect the failure class it guards against.
 
 use drw_congest::{
-    run_node_local, EngineConfig, ParallelExecutor, RoundExecutor, RunReport, ShardedExecutor,
+    run_node_local, EngineConfig, ExecutorKind, FaultPlan, ParallelExecutor, RoundExecutor,
+    RunReport, ScriptedSchedule, ScriptedTiming, ShardedExecutor,
 };
 use drw_core::{ShortWalksProtocol, WalkState};
 use drw_graph::generators;
@@ -134,6 +135,16 @@ fn run_scripted(
     merge_in_claim_order: bool,
     order: &mut dyn FnMut(u64, usize) -> Vec<usize>,
 ) -> Result<Observed, String> {
+    run_scripted_items(p, merge_in_claim_order, false, order, None)
+}
+
+fn run_scripted_items<'a>(
+    p: &InterleaveParams,
+    merge_in_claim_order: bool,
+    scramble_item_order: bool,
+    order: &'a mut dyn FnMut(u64, usize) -> Vec<usize>,
+    item_order: Option<&'a mut dyn FnMut(u64, usize, usize) -> Vec<usize>>,
+) -> Result<Observed, String> {
     let g = generators::torus2d(p.rows, p.cols);
     let cfg = EngineConfig::default();
     let mut state = WalkState::new(g.n());
@@ -145,11 +156,38 @@ fn run_scripted(
             &cfg,
             p.seed,
             &mut proto,
-            p.msgs_per_shard,
-            merge_in_claim_order,
-            order,
+            ScriptedSchedule {
+                msgs_per_shard: p.msgs_per_shard,
+                merge_in_claim_order,
+                scramble_item_order,
+                order,
+                item_order,
+            },
         )
         .map_err(|e| e.to_string())?
+    };
+    Ok(Observed {
+        report,
+        digest: digest(&state, g.n()),
+    })
+}
+
+/// One run of the short-walk workload on a production executor under a
+/// fault plan — the fault-timing sweep's unit of observation.
+fn run_faulty(
+    p: &InterleaveParams,
+    plan: FaultPlan,
+    executor: ExecutorKind,
+) -> Result<Observed, String> {
+    let g = generators::torus2d(p.rows, p.cols);
+    let cfg = EngineConfig::default()
+        .with_executor(executor)
+        .with_faults(plan);
+    let mut state = WalkState::new(g.n());
+    let report = {
+        let mut proto =
+            ShortWalksProtocol::new(&mut state, vec![p.walks_per_node; g.n()], p.lambda, false);
+        run_node_local(&g, &cfg, p.seed, &mut proto).map_err(|e| e.to_string())?
     };
     Ok(Observed {
         report,
@@ -301,6 +339,250 @@ pub fn bug_injection_detects(p: &InterleaveParams, tries: u64) -> Result<(u64, b
     Ok((tried, false))
 }
 
+/// What one item-level checker invocation observed.
+///
+/// The item-level schedule space sits *inside* the claim-level one:
+/// with the shard-claim order pinned to identity, schedule `i` permutes
+/// the order in which work items (receiving nodes) are processed within
+/// each claimed shard. The executor contract says this order is also
+/// unobservable: each item sends only from its own node, so no two
+/// items in a shard share a directed edge, and the staging sort is a
+/// stable per-edge sort — per-edge FIFO cannot depend on item order.
+#[derive(Debug)]
+pub struct ItemInterleaveOutcome {
+    /// Distinct item-order schedules executed (including identity).
+    pub schedules_run: u64,
+    /// Size of the full schedule space `Π c!` over every (round, shard)
+    /// item count `c` (saturating).
+    pub schedule_space: u128,
+    /// Shard visits whose item count was ≥ 2 (where a permutation
+    /// actually existed).
+    pub permutable_shards: usize,
+    /// Largest item count of any shard visit.
+    pub max_items: usize,
+    /// Schedules whose report or digest diverged from the sequential
+    /// reference. Zero on a healthy executor.
+    pub divergent: u64,
+}
+
+/// Runs the item-level exhaustive check: shard-claim order fixed to
+/// identity, message-processing order within each shard swept through
+/// distinct permutations decoded positionally from the schedule index
+/// (factorial number system per shard visit — distinct index ⇒
+/// distinct schedule). Every schedule must be bit-identical to the
+/// sequential reference.
+pub fn item_exhaustive_check(p: &InterleaveParams) -> Result<ItemInterleaveOutcome, String> {
+    let baseline = run_sequential(p)?;
+
+    // Probe pass: identity claim + item orders, recording each shard
+    // visit's item count. Claim order is identity on every run, so the
+    // sequence of (round, shard, item-count) visits is reproducible and
+    // the positional decode below is well-defined.
+    let mut item_counts: Vec<usize> = Vec::new();
+    let probe = run_scripted_items(
+        p,
+        false,
+        false,
+        &mut |_round, s| (0..s).collect(),
+        Some(&mut |_round, _shard, c| {
+            item_counts.push(c);
+            (0..c).collect()
+        }),
+    )?;
+    if probe != baseline {
+        return Err(format!(
+            "sharded executor (identity item schedule) diverged from the \
+             sequential reference: sequential report {:?} vs sharded {:?}",
+            baseline.report, probe.report
+        ));
+    }
+
+    let schedule_space = item_counts
+        .iter()
+        .fold(1u128, |acc, &c| acc.saturating_mul(factorial(c)));
+    let permutable_shards = item_counts.iter().filter(|&&c| c >= 2).count();
+    let max_items = item_counts.iter().copied().max().unwrap_or(0);
+
+    let mut divergent = 0u64;
+    let mut schedules_run = 1u64; // the identity probe
+    let mut first_divergence: Option<String> = None;
+    for i in 1..p.budget {
+        if (i as u128) >= schedule_space {
+            break; // space exhausted: every item schedule has been run
+        }
+        let mut rem: u128 = i as u128;
+        let outcome = run_scripted_items(
+            p,
+            false,
+            false,
+            &mut |_round, s| (0..s).collect(),
+            Some(&mut |_round, _shard, c| {
+                let f = factorial(c);
+                let k = rem % f;
+                rem /= f;
+                unrank(k, c)
+            }),
+        )?;
+        schedules_run += 1;
+        if outcome != baseline {
+            divergent += 1;
+            first_divergence.get_or_insert_with(|| {
+                format!(
+                    "item schedule #{i} diverged: report {:?} vs baseline {:?}",
+                    outcome.report, baseline.report
+                )
+            });
+        }
+    }
+    if let Some(msg) = first_divergence {
+        return Err(format!(
+            "{divergent} of {schedules_run} item schedules diverged from the \
+             sequential reference — first: {msg}"
+        ));
+    }
+    Ok(ItemInterleaveOutcome {
+        schedules_run,
+        schedule_space,
+        permutable_shards,
+        max_items,
+        divergent,
+    })
+}
+
+/// Item-level self-validation: with the executor's
+/// `scramble_item_order` bug knob on (an out-of-position item's staged
+/// sends are reversed), some schedule must diverge — the divergence
+/// needs an item that sends ≥ 2 messages over one edge, which the
+/// short-walk workload produces whenever a node forwards two tokens to
+/// the same neighbour. Returns (schedules tried, divergence seen).
+pub fn item_bug_injection_detects(p: &InterleaveParams, tries: u64) -> Result<(u64, bool), String> {
+    let baseline = run_sequential(p)?;
+    let mut tried = 0u64;
+    for i in 0..tries {
+        // Reversed item permutations put every item of a ≥2-item shard
+        // out of position, arming the scramble on all of them.
+        let mut rem: u128 = i as u128;
+        let outcome = run_scripted_items(
+            p,
+            false,
+            true,
+            &mut |_round, s| (0..s).collect(),
+            Some(&mut |_round, _shard, c| {
+                let f = factorial(c);
+                let k = rem % f;
+                rem /= f;
+                let mut perm = unrank(k, c);
+                perm.reverse();
+                perm
+            }),
+        )?;
+        tried += 1;
+        if outcome != baseline {
+            return Ok((tried, true));
+        }
+    }
+    Ok((tried, false))
+}
+
+/// What one fault-timing sweep observed.
+///
+/// Scripted fault timing ([`ScriptedTiming`]) permutes which of a
+/// round's delivery attempts a fault plan's drop/delay budget lands on,
+/// without changing the per-round fate multiset. Timing index 0 is the
+/// identity (bit-identical to the unscripted plan); every index must be
+/// backend-independent and keep the ARQ ledger conserved
+/// (`dropped == retransmitted` once the run completes).
+#[derive(Debug)]
+pub struct FaultTimingOutcome {
+    /// Distinct timing indices executed (including identity index 0).
+    pub timings_run: u64,
+    /// Distinct end-state digests across the swept timings — evidence
+    /// the schedule knob actually moves faults (≥ 2 on a lossy plan).
+    pub distinct_outcomes: usize,
+    /// Timings where the three backends disagreed or the retransmit
+    /// ledger failed conservation. Zero on a healthy engine.
+    pub divergent: u64,
+}
+
+/// The lossy-but-healing fault plan the timing sweep runs under.
+fn timing_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed).with_drops(80).with_delays(50, 3)
+}
+
+/// Sweeps `count` scripted fault timings. Per timing, the run must be
+/// bit-identical across sequential/parallel/sharded backends and the
+/// retransmit ledger must conserve (`dropped == retransmitted`);
+/// index 0 must reproduce the unscripted baseline exactly.
+pub fn fault_timing_sweep(p: &InterleaveParams, count: u64) -> Result<FaultTimingOutcome, String> {
+    let plan = timing_plan(p.seed ^ 0x5EED_FA17);
+    let baseline = run_faulty(p, plan, ExecutorKind::Sequential)?;
+    if baseline.report.faults.total() == 0 {
+        return Err("fault plan injected nothing; the sweep would be vacuous".into());
+    }
+
+    let mut digests: Vec<Vec<usize>> = Vec::new();
+    let mut timings_run = 0u64;
+    for index in 0..count {
+        let timed = plan.with_timing(ScriptedTiming::new(index));
+        let seq = run_faulty(p, timed, ExecutorKind::Sequential)?;
+        if index == 0 && seq != baseline {
+            return Err(format!(
+                "timing index 0 is not the identity: report {:?} vs baseline {:?}",
+                seq.report, baseline.report
+            ));
+        }
+        let f = &seq.report.faults;
+        if f.dropped != f.retransmitted {
+            return Err(format!(
+                "timing #{index} broke ledger conservation: {} dropped vs {} retransmitted",
+                f.dropped, f.retransmitted
+            ));
+        }
+        for exec in [ExecutorKind::Parallel, ExecutorKind::Sharded] {
+            let got = run_faulty(p, timed, exec)?;
+            if got != seq {
+                return Err(format!(
+                    "timing #{index} diverged on {exec:?}: report {:?} vs sequential {:?}",
+                    got.report, seq.report
+                ));
+            }
+        }
+        if !digests.contains(&seq.digest) {
+            digests.push(seq.digest);
+        }
+        timings_run += 1;
+    }
+    Ok(FaultTimingOutcome {
+        timings_run,
+        distinct_outcomes: digests.len(),
+        divergent: 0,
+    })
+}
+
+/// Fault-timing self-validation: with `ledger_misses_moved` injected
+/// (retransmissions of *moved* drops silently uncounted), some timing
+/// must break the `dropped == retransmitted` conservation check.
+/// Returns (timings tried, bug detected).
+pub fn timing_bug_injection_detects(
+    p: &InterleaveParams,
+    tries: u64,
+) -> Result<(u64, bool), String> {
+    let plan = timing_plan(p.seed ^ 0x5EED_FA17);
+    let mut tried = 0u64;
+    for index in 1..=tries {
+        let timed = plan.with_timing(ScriptedTiming {
+            index,
+            ledger_misses_moved: true,
+        });
+        let got = run_faulty(p, timed, ExecutorKind::Sequential)?;
+        tried += 1;
+        if got.report.faults.retransmitted < got.report.faults.dropped {
+            return Ok((tried, true));
+        }
+    }
+    Ok((tried, false))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,5 +622,58 @@ mod tests {
         assert_eq!(out.schedules_run, 40);
         assert_eq!(out.divergent, 0);
         assert!(out.max_shards >= 2, "graph too small to shard: {out:?}");
+    }
+
+    #[test]
+    fn small_item_exhaustive_check_passes() {
+        let p = InterleaveParams {
+            budget: 40,
+            // Several messages per shard so shards hold ≥ 2 items and
+            // item permutations exist.
+            msgs_per_shard: 4,
+            ..InterleaveParams::default()
+        };
+        let out = item_exhaustive_check(&p).expect("no divergence");
+        assert_eq!(out.schedules_run, 40);
+        assert_eq!(out.divergent, 0);
+        assert!(
+            out.max_items >= 2 && out.permutable_shards > 0,
+            "workload never produced a multi-item shard: {out:?}"
+        );
+    }
+
+    #[test]
+    fn item_bug_injection_is_detected() {
+        let p = InterleaveParams {
+            msgs_per_shard: 4,
+            ..InterleaveParams::default()
+        };
+        let (tried, detected) = item_bug_injection_detects(&p, 24).expect("runs complete");
+        assert!(
+            detected,
+            "scramble_item_order went unnoticed in {tried} schedules"
+        );
+    }
+
+    #[test]
+    fn small_fault_timing_sweep_passes() {
+        let p = InterleaveParams::default();
+        let out = fault_timing_sweep(&p, 12).expect("no divergence");
+        assert_eq!(out.timings_run, 12);
+        assert_eq!(out.divergent, 0);
+        assert!(
+            out.distinct_outcomes >= 2,
+            "timing knob never moved a fault: {out:?}"
+        );
+    }
+
+    #[test]
+    fn timing_bug_injection_is_detected() {
+        let p = InterleaveParams::default();
+        let (tried, detected) = timing_bug_injection_detects(&p, 16).expect("runs complete");
+        assert!(
+            detected,
+            "ledger_misses_moved went unnoticed in {tried} timings"
+        );
     }
 }

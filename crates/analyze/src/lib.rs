@@ -1,7 +1,7 @@
 //! `drw-analyze` — static analysis and model conformance for the DRW
 //! workspace.
 //!
-//! Three passes, one verdict (see DESIGN.md, "Static analysis & model
+//! Four passes, one verdict (see DESIGN.md, "Static analysis & model
 //! conformance"):
 //!
 //! 1. **CONGEST word accounting** ([`words`]): every `impl Message for
@@ -14,8 +14,15 @@
 //!    crates; every `unsafe` block workspace-wide must carry a
 //!    `// SAFETY:` comment.
 //! 3. **Exhaustive interleaving check** ([`interleave`]): the sharded
-//!    executor is replayed under enumerated shard-claim schedules and
-//!    must stay bit-identical to the sequential reference.
+//!    executor is replayed under enumerated shard-claim and
+//!    within-shard item schedules, and fault delivery is replayed under
+//!    enumerated timing permutations — all must stay bit-identical to
+//!    the sequential reference.
+//! 4. **Wire-value audit** ([`wire`]): a recorded run's per-field
+//!    magnitude census is joined against the static pricing table, so
+//!    a one-word field cannot smuggle more than `O(log n)` bits of
+//!    actual value. [`certify`] packages all four into a
+//!    machine-readable CONGEST-conformance certificate.
 //!
 //! The crate is hermetic — the scanner is a purpose-built lexer and
 //! item parser ([`lexer`], [`scan`]), not a `syn` dependency, because
@@ -24,10 +31,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod certify;
 pub mod determinism;
 pub mod interleave;
 pub mod lexer;
 pub mod scan;
+pub mod wire;
 pub mod words;
 
 use std::fmt;
@@ -116,13 +125,28 @@ pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// True iff the determinism rules apply to this path: the protocol
-/// crates, where repeatability is contractual.
-pub fn protocol_scope(path: &Path) -> bool {
+/// The determinism ruleset for a path. Protocol and algorithm crates
+/// get the full set — repeatability there is contractual; the
+/// measurement harnesses get everything except the wall-clock rule
+/// (timing things is their purpose); everything else only the
+/// workspace-wide SAFETY rule.
+pub fn determinism_scope(path: &Path) -> determinism::RuleSet {
     let s = path.to_string_lossy().replace('\\', "/");
-    ["crates/congest/", "crates/core/", "crates/graph/"]
-        .iter()
-        .any(|c| s.contains(c))
+    let any = |roots: &[&str]| roots.iter().any(|c| s.contains(c));
+    if any(&[
+        "crates/congest/",
+        "crates/core/",
+        "crates/graph/",
+        "crates/spanning/",
+        "crates/mixing/",
+        "crates/lowerbound/",
+    ]) {
+        determinism::RuleSet::FULL
+    } else if any(&["crates/bench/", "crates/experiments/"]) {
+        determinism::RuleSet::NO_CLOCK
+    } else {
+        determinism::RuleSet::NONE
+    }
 }
 
 /// True iff the word-accounting pass audits this path. Test harnesses
@@ -172,7 +196,7 @@ pub fn run_static_passes(root: &Path) -> std::io::Result<StaticReport> {
         determinism::lint_file(
             lexed,
             path,
-            protocol_scope(path),
+            determinism_scope(path),
             &allows,
             &mut report.findings,
         );
@@ -183,4 +207,35 @@ pub fn run_static_passes(root: &Path) -> std::io::Result<StaticReport> {
         .findings
         .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(report)
+}
+
+/// Runs the wire-value audit of a recorded census against the static
+/// scan of every word-scoped `.rs` file under `root`. This is the
+/// entry point behind `--wire-report` and the certifier; see
+/// [`wire::audit_wire`] for the law.
+pub fn run_wire_audit(
+    root: &Path,
+    report: &wire::WireReport,
+    report_path: &Path,
+    require_full_coverage: bool,
+) -> std::io::Result<wire::WireAudit> {
+    let files = collect_rs_files(root)?;
+    let mut scans = Vec::new();
+    let mut allows = std::collections::BTreeMap::new();
+    for path in &files {
+        if !words_scope(path) {
+            continue;
+        }
+        let src = std::fs::read_to_string(path)?;
+        let lexed = lexer::lex(&src);
+        allows.insert(path.clone(), determinism::parse_allows(&lexed));
+        scans.push((path.clone(), scan::scan(&lexed)));
+    }
+    Ok(wire::audit_wire(
+        report,
+        report_path,
+        &scans,
+        &allows,
+        require_full_coverage,
+    ))
 }

@@ -1,0 +1,421 @@
+//! Pass 4 — runtime wire-value audit: the dynamic half of CONGEST
+//! pricing.
+//!
+//! The static word pass ([`crate::words`]) checks *declared* sizes
+//! against payload shapes; it cannot see the magnitudes a field
+//! actually carries. A `u64` field priced at one word is only sound
+//! under the standard CONGEST convention that its values stay
+//! `poly(n)` — a field that ships `2^60`-sized values in a 16-node run
+//! is using the word as a covert channel, and no static shape check
+//! will notice.
+//!
+//! This pass closes that gap. A run executed with
+//! [`drw_congest::EngineConfig::record_wire`] produces a
+//! [`WireCensus`]: per `Message` type, the per-field maximum magnitude
+//! that actually crossed an edge. The auditor joins the census against
+//! the static `impl Message` scan and prices every field under the
+//! wire-value law
+//!
+//! ```text
+//! bits(max_value) <= frac_bits + C * ceil(log2 n)
+//! ```
+//!
+//! where `frac_bits` prices fixed-point precision (e.g. `MassMsg`
+//! carries probability mass scaled by `2^40`: 40 bits of precision,
+//! `O(log n)` bits of magnitude) and `C` is the law's leniency
+//! constant ([`DEFAULT_LAW_C`]). Violations are `wire-values`
+//! findings anchored at the impl site.
+//!
+//! The join also cross-checks the two pricing systems against each
+//! other: a type with a static constant declaration (literal, default,
+//! or all-literal match arms) must never be observed occupying more
+//! words than it declares (`wire-words`), and in full-coverage mode
+//! (the certifier) every audited impl must have been measured and
+//! every measured type must resolve to an audited impl
+//! (`wire-coverage`). Findings honour the same mandatory-reason
+//! allowlist syntax as every other pass:
+//! `// drw-analyze: allow(wire-values, <why>)` at the impl site.
+
+use crate::determinism::{allowed, AllowEntry};
+use crate::scan::{MsgImpl, Scan, SizeDecl};
+use crate::Finding;
+use drw_congest::WireCensus;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Schema tag of a wire report file.
+pub const SCHEMA: &str = "drw-wire-v1";
+
+/// Default leniency constant `C` of the wire-value law: a priced field
+/// may use up to `C * ceil(log2 n)` magnitude bits. `C = 2` admits any
+/// `O(n^2)` quantity (edge counts, walk lengths, position products)
+/// while still failing fields that smuggle `poly(n)`-independent
+/// payloads through a single word.
+pub const DEFAULT_LAW_C: u64 = 2;
+
+/// A recorded run's wire census plus the parameters the law needs —
+/// what `--wire-report` files contain and what the certifier produces
+/// in-process.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct WireReport {
+    /// Schema tag ([`SCHEMA`]).
+    pub schema: String,
+    /// Number of nodes of the recorded run (the largest, if censuses of
+    /// several runs were merged).
+    pub n: u64,
+    /// Law constant `C` the run was priced under.
+    pub c: u64,
+    /// The merged per-type, per-field magnitude census.
+    pub census: WireCensus,
+}
+
+impl WireReport {
+    /// Wraps a census recorded on an `n`-node run under the default law
+    /// constant.
+    pub fn new(n: u64, census: WireCensus) -> WireReport {
+        WireReport {
+            schema: SCHEMA.to_string(),
+            n,
+            c: DEFAULT_LAW_C,
+            census,
+        }
+    }
+}
+
+/// Bits needed to represent `v` (`0` for `v == 0`).
+pub fn bits_needed(v: u64) -> u64 {
+    u64::from(64 - v.leading_zeros())
+}
+
+/// `ceil(log2 n)`, floored at 1 so degenerate runs still grant a word.
+pub fn log2_ceil(n: u64) -> u64 {
+    if n <= 2 {
+        1
+    } else {
+        u64::from(64 - (n - 1).leading_zeros())
+    }
+}
+
+/// The law's bit budget for one field on an `n`-node run.
+pub fn field_budget_bits(frac_bits: u64, n: u64, c: u64) -> u64 {
+    frac_bits + c * log2_ceil(n)
+}
+
+/// What the wire audit concluded.
+#[derive(Debug, Default)]
+pub struct WireAudit {
+    /// All findings, in deterministic order.
+    pub findings: Vec<Finding>,
+    /// Census types that resolved to an audited impl.
+    pub types_joined: usize,
+    /// Fields priced under the law.
+    pub fields_priced: usize,
+    /// Audited impls with no census measurement (a `wire-coverage`
+    /// finding each in full-coverage mode, informational otherwise).
+    pub unmeasured: Vec<String>,
+    /// Allowlist entries that suppressed at least one wire finding.
+    pub allows_used: usize,
+}
+
+/// Static word bound of a declaration, when one exists: the default is
+/// 1 word, a literal is itself, and an all-literal match is its worst
+/// arm. Computed bodies have no static constant — the engine's runtime
+/// size check and the census `max_words` are their only bound.
+fn static_words_bound(decl: &SizeDecl) -> Option<u64> {
+    match decl {
+        SizeDecl::Default => Some(1),
+        SizeDecl::Literal(n) => Some(*n),
+        SizeDecl::Match(arms) => {
+            let mut worst = 0u64;
+            for (_, value) in arms {
+                worst = worst.max((*value)?);
+            }
+            Some(worst)
+        }
+        SizeDecl::Computed { .. } => None,
+    }
+}
+
+/// Joins a recorded wire census against the static scan and prices
+/// every field. `allows` carries each scanned file's parsed allowlist;
+/// `report_path` anchors findings that cannot be tied to an impl site.
+/// With `require_full_coverage` (the certifier), an audited impl that
+/// was never measured is itself a finding.
+pub fn audit_wire(
+    report: &WireReport,
+    report_path: &Path,
+    scans: &[(PathBuf, Scan)],
+    allows: &BTreeMap<PathBuf, Vec<AllowEntry>>,
+    require_full_coverage: bool,
+) -> WireAudit {
+    let mut audit = WireAudit::default();
+
+    if report.schema != SCHEMA {
+        audit.findings.push(Finding::new(
+            "wire-schema",
+            report_path,
+            0,
+            format!(
+                "wire report declares schema `{}` but this auditor speaks `{SCHEMA}`",
+                report.schema
+            ),
+        ));
+        return audit;
+    }
+    if report.n < 2 {
+        audit.findings.push(Finding::new(
+            "wire-schema",
+            report_path,
+            0,
+            format!("wire report records n = {} — not a CONGEST run", report.n),
+        ));
+        return audit;
+    }
+
+    // Index the audited impls by payload name. First definition wins,
+    // matching `Defs::collect`.
+    let mut impls: BTreeMap<&str, (&PathBuf, &MsgImpl)> = BTreeMap::new();
+    for (path, s) in scans {
+        for imp in &s.impls {
+            impls.entry(imp.target.as_str()).or_insert((path, imp));
+        }
+    }
+    let no_allows: Vec<AllowEntry> = Vec::new();
+
+    let mut measured: Vec<&str> = Vec::new();
+    for ty in &report.census.types {
+        let Some((path, imp)) = impls.get(ty.type_name.as_str()) else {
+            audit.findings.push(Finding::new(
+                "wire-coverage",
+                report_path,
+                0,
+                format!(
+                    "census records type `{}` but no audited `impl Message` matches it — \
+                     the run put unaudited payloads on the wire",
+                    ty.type_name
+                ),
+            ));
+            continue;
+        };
+        audit.types_joined += 1;
+        measured.push(imp.target.as_str());
+        let file_allows = allows.get(*path).unwrap_or(&no_allows);
+        let mut suppressed = |rule: &str| {
+            let hit = allowed(file_allows, rule, imp.line);
+            if hit {
+                audit.allows_used += 1;
+            }
+            hit
+        };
+
+        // Static and dynamic word pricing must agree.
+        if let Some(bound) = static_words_bound(&imp.decl) {
+            if ty.max_words as u64 > bound && !suppressed("wire-words") {
+                audit.findings.push(Finding::new(
+                    "wire-words",
+                    path,
+                    imp.line,
+                    format!(
+                        "`{}` was observed at {} words on the wire but its static \
+                         declaration prices it at {bound} — static and dynamic \
+                         accounting disagree",
+                        ty.type_name, ty.max_words
+                    ),
+                ));
+            }
+        }
+
+        // Price every recorded field under the wire-value law.
+        for f in &ty.fields {
+            audit.fields_priced += 1;
+            let bits = bits_needed(f.max_value);
+            let budget = field_budget_bits(u64::from(f.frac_bits), report.n, report.c);
+            if bits > budget && !suppressed("wire-values") {
+                audit.findings.push(Finding::new(
+                    "wire-values",
+                    path,
+                    imp.line,
+                    format!(
+                        "`{}.{}` carried max value {} ({bits} bits) on an n = {} run — \
+                         over the O(log n) budget of {budget} bits ({} frac + {}·⌈log2 n⌉); \
+                         the field is not a poly(n) quantity",
+                        ty.type_name, f.field, f.max_value, report.n, f.frac_bits, report.c
+                    ),
+                ));
+            }
+        }
+    }
+
+    for (name, (path, imp)) in &impls {
+        if !measured.contains(name) {
+            audit.unmeasured.push((*name).to_string());
+            if require_full_coverage {
+                audit.findings.push(Finding::new(
+                    "wire-coverage",
+                    path,
+                    imp.line,
+                    format!(
+                        "`{name}` is audited statically but the certification run never \
+                         measured it — extend the certify harness to drive it"
+                    ),
+                ));
+            }
+        }
+    }
+
+    audit
+        .findings
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    audit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scan::scan;
+    use drw_congest::WireCensus;
+
+    fn ws(src: &str) -> Vec<(PathBuf, Scan)> {
+        vec![(PathBuf::from("mem.rs"), scan(&lex(src)))]
+    }
+
+    fn audit(report: &WireReport, src: &str, full: bool) -> WireAudit {
+        let scans = ws(src);
+        let mut allows = BTreeMap::new();
+        for (path, _) in &scans {
+            let text = std::fs::read_to_string(path).unwrap_or_default();
+            allows.insert(path.clone(), crate::determinism::parse_allows(&lex(&text)));
+        }
+        audit_wire(report, Path::new("report.json"), &scans, &allows, full)
+    }
+
+    #[test]
+    fn bit_arithmetic() {
+        assert_eq!(bits_needed(0), 0);
+        assert_eq!(bits_needed(1), 1);
+        assert_eq!(bits_needed(255), 8);
+        assert_eq!(bits_needed(256), 9);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(16), 4);
+        assert_eq!(log2_ceil(17), 5);
+        assert_eq!(field_budget_bits(40, 16, 2), 48);
+    }
+
+    #[test]
+    fn lawful_fields_pass() {
+        let mut c = WireCensus::default();
+        let _ = c.record("M", 1).field("x", 200); // 8 bits <= 2*4 on n=16
+        let a = audit(
+            &WireReport::new(16, c),
+            "struct M(u64);\nimpl Message for M {}",
+            false,
+        );
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+        assert_eq!((a.types_joined, a.fields_priced), (1, 1));
+    }
+
+    #[test]
+    fn oversized_magnitude_is_flagged_at_the_impl() {
+        let mut c = WireCensus::default();
+        let _ = c.record("M", 1).field("x", 1 << 20); // 21 bits > 8
+        let a = audit(
+            &WireReport::new(16, c),
+            "struct M(u64);\nimpl Message for M {}",
+            false,
+        );
+        assert_eq!(a.findings.len(), 1);
+        assert_eq!(a.findings[0].rule, "wire-values");
+        assert_eq!(a.findings[0].line, 2);
+    }
+
+    #[test]
+    fn frac_bits_price_fixed_point_precision() {
+        let mut c = WireCensus::default();
+        let _ = c.record("M", 2).field_fixed("mass", 1 << 40, 40); // 41 <= 48
+        let a = audit(
+            &WireReport::new(16, c),
+            "struct M { a: u64, b: u64 }\n\
+             impl Message for M { fn size_words(&self) -> usize { 2 } }",
+            false,
+        );
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn dynamic_words_over_static_bound_disagree() {
+        let mut c = WireCensus::default();
+        let _ = c.record("M", 3).field("x", 1);
+        let a = audit(
+            &WireReport::new(16, c),
+            "struct M(u64);\nimpl Message for M {}",
+            false,
+        );
+        assert_eq!(a.findings.len(), 1);
+        assert_eq!(a.findings[0].rule, "wire-words");
+    }
+
+    #[test]
+    fn unknown_census_type_is_a_coverage_finding() {
+        let mut c = WireCensus::default();
+        let _ = c.record("Ghost", 1).field("x", 1);
+        let a = audit(
+            &WireReport::new(16, c),
+            "struct M(u64);\nimpl Message for M {}",
+            false,
+        );
+        assert_eq!(a.findings.len(), 1);
+        assert_eq!(a.findings[0].rule, "wire-coverage");
+    }
+
+    #[test]
+    fn full_coverage_mode_requires_every_impl_measured() {
+        let c = WireCensus::default();
+        let src = "struct M(u64);\nimpl Message for M {}";
+        let lax = audit(&WireReport::new(16, c.clone()), src, false);
+        assert!(lax.findings.is_empty());
+        assert_eq!(lax.unmeasured, ["M"]);
+        let strict = audit(&WireReport::new(16, c), src, true);
+        assert_eq!(strict.findings.len(), 1);
+        assert_eq!(strict.findings[0].rule, "wire-coverage");
+    }
+
+    #[test]
+    fn wrong_schema_short_circuits() {
+        let report = WireReport {
+            schema: "drw-wire-v0".to_string(),
+            n: 16,
+            c: 2,
+            census: WireCensus::default(),
+        };
+        let a = audit(&report, "struct M(u64);\nimpl Message for M {}", true);
+        assert_eq!(a.findings.len(), 1);
+        assert_eq!(a.findings[0].rule, "wire-schema");
+    }
+
+    #[test]
+    fn wire_allow_at_the_impl_site_suppresses() {
+        let mut c = WireCensus::default();
+        let _ = c.record("M", 1).field("x", 1 << 20);
+        let src = "struct M(u64);\n\
+                   // drw-analyze: allow(wire-values, magnitude proven poly(n) elsewhere)\n\
+                   impl Message for M {}";
+        // The in-memory test path has no backing file, so parse allows
+        // from the source directly.
+        let scans = ws(src);
+        let mut allows = BTreeMap::new();
+        allows.insert(
+            PathBuf::from("mem.rs"),
+            crate::determinism::parse_allows(&lex(src)),
+        );
+        let a = audit_wire(
+            &WireReport::new(16, c),
+            Path::new("report.json"),
+            &scans,
+            &allows,
+            false,
+        );
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+        assert_eq!(a.allows_used, 1);
+    }
+}

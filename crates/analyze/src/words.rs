@@ -39,7 +39,7 @@ use std::collections::BTreeMap;
 /// Bits per modelled word. The model word is `O(log n)` bits; every
 /// full-word scalar counts exactly one word regardless of its Rust
 /// width (a `u64` holding a `poly(n)` quantity is still one word).
-const WORD_BITS: u64 = 32;
+pub const WORD_BITS: u64 = 32;
 
 /// Cost of a type under the model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,6 +151,10 @@ impl Defs {
                     "u32" | "i32" | "u64" | "i64" | "u128" | "i128" | "usize" | "isize" | "f32"
                     | "f64" | "char" => Cost::Bits(WORD_BITS),
                     "PhantomData" => Cost::Bits(0),
+                    // Fixed-point precision declaration: a static model
+                    // annotation both endpoints already know, not wire
+                    // data (see `drw_congest::FracBits`).
+                    "FracBits" => Cost::Bits(0),
                     "Vec" | "String" | "str" | "VecDeque" | "BTreeMap" | "BTreeSet" | "HashMap"
                     | "HashSet" => Cost::Dynamic,
                     "Option" | "Box" | "Rc" | "Arc" => match args {

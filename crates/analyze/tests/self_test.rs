@@ -4,8 +4,13 @@
 //! both pass on the healthy executor and detect the injected
 //! merge-order race.
 
-use drw_analyze::interleave::{bug_injection_detects, exhaustive_check, InterleaveParams};
-use drw_analyze::{run_static_passes, StaticReport};
+use drw_analyze::certify::run_census;
+use drw_analyze::interleave::{
+    bug_injection_detects, exhaustive_check, fault_timing_sweep, item_bug_injection_detects,
+    item_exhaustive_check, timing_bug_injection_detects, InterleaveParams,
+};
+use drw_analyze::wire::WireReport;
+use drw_analyze::{run_static_passes, run_wire_audit, StaticReport};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
@@ -26,7 +31,10 @@ fn by_rule(report: &StaticReport) -> BTreeMap<String, usize> {
 #[test]
 fn bad_fixture_every_defect_is_caught() {
     let report = run_static_passes(&fixture("bad_ws")).expect("scan fixture");
-    assert_eq!(report.impls_audited, 6, "six Message impls in the fixture");
+    assert_eq!(
+        report.impls_audited, 7,
+        "seven Message impls in the fixture"
+    );
     let rules = by_rule(&report);
     assert_eq!(
         rules.get("congest-words"),
@@ -58,6 +66,10 @@ fn bad_fixture_specific_messages() {
     assert!(
         !has("`Fine`"),
         "the control impl must stay clean: {text:#?}"
+    );
+    assert!(
+        !has("ProbeMsg"),
+        "the wire probe is statically clean — only the joined audit flags it: {text:#?}"
     );
 }
 
@@ -123,6 +135,61 @@ fn service_module_is_clean_at_zero_allowlist() {
     assert_eq!(report.allows_used, 0, "the service target is zero allows");
 }
 
+/// Falsifiability of the wire-value auditor: `ProbeMsg` in the bad
+/// fixture passes every static check, but the recorded census in
+/// `fixtures/bad_wire.json` shows its field carrying `2^40` on an
+/// n = 16 run — far past the `2·⌈log2 n⌉ = 8` bit budget. The joined
+/// audit must produce exactly that one finding, anchored at the impl.
+#[test]
+fn wire_audit_flags_poly_busting_fixture() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/bad_wire.json");
+    let raw = std::fs::read_to_string(&path).expect("read bad_wire.json");
+    let report: WireReport = serde_json::from_str(&raw).expect("parse WireReport");
+    let audit = run_wire_audit(&fixture("bad_ws"), &report, &path, false).expect("scan fixture");
+    assert_eq!(audit.findings.len(), 1, "{:#?}", audit.findings);
+    assert_eq!(audit.findings[0].rule, "wire-values");
+    let text = audit.findings[0].to_string();
+    assert!(
+        text.contains("`ProbeMsg.level` carried max value"),
+        "{text}"
+    );
+    assert!(text.contains("wire_probe.rs"), "{text}");
+    assert_eq!(audit.allows_used, 0);
+}
+
+/// The workspace-level wire bar: a full certification census (every
+/// production protocol driven on a 16-node run) joined against the
+/// static pricing table yields zero findings, zero allows, and leaves
+/// no audited impl unmeasured.
+#[test]
+fn wire_audit_workspace_is_clean_at_full_coverage() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+    let census = run_census().expect("census run");
+    let report = WireReport::new(16, census);
+    let audit =
+        run_wire_audit(&root, &report, Path::new("<census>"), true).expect("scan workspace");
+    assert!(
+        audit.findings.is_empty(),
+        "wire findings: {:#?}",
+        audit.findings
+    );
+    assert!(
+        audit.unmeasured.is_empty(),
+        "unmeasured impls: {:?}",
+        audit.unmeasured
+    );
+    assert_eq!(audit.allows_used, 0, "the wire target is zero allows");
+    assert!(
+        audit.types_joined >= 12,
+        "expected at least 12 measured types, joined {}",
+        audit.types_joined
+    );
+}
+
 #[test]
 fn interleave_schedules_are_bit_identical() {
     let p = InterleaveParams {
@@ -147,6 +214,51 @@ fn interleave_checker_detects_injected_merge_race() {
         detected,
         "merge-in-claim-order bug not detected in {tried} schedules — the checker \
          cannot see the race class it exists for"
+    );
+}
+
+/// The two new schedule axes hold bit-identity on the healthy engine…
+#[test]
+fn item_and_timing_schedules_are_bit_identical() {
+    let p = InterleaveParams {
+        budget: 32,
+        msgs_per_shard: 4,
+        ..InterleaveParams::default()
+    };
+    let out = item_exhaustive_check(&p).expect("healthy executor");
+    assert_eq!(out.divergent, 0, "{out:?}");
+    assert_eq!(out.schedules_run, 32);
+    assert!(
+        out.max_items >= 2,
+        "shards must carry permutable items: {out:?}"
+    );
+
+    let t = fault_timing_sweep(&InterleaveParams::default(), 16).expect("healthy engine");
+    assert_eq!(t.divergent, 0, "{t:?}");
+    assert_eq!(t.timings_run, 16);
+    assert!(
+        t.distinct_outcomes >= 2,
+        "the timing knob must actually move faults: {t:?}"
+    );
+}
+
+/// …and each detects its own planted bug class.
+#[test]
+fn item_and_timing_checkers_detect_injected_bugs() {
+    let p = InterleaveParams {
+        msgs_per_shard: 4,
+        ..InterleaveParams::default()
+    };
+    let (tried, detected) = item_bug_injection_detects(&p, 24).expect("runs complete");
+    assert!(
+        detected,
+        "item-order scramble not detected in {tried} schedules"
+    );
+    let (tried, detected) =
+        timing_bug_injection_detects(&InterleaveParams::default(), 24).expect("runs complete");
+    assert!(
+        detected,
+        "moved-miss retransmit ledger bug not detected in {tried} timings"
     );
 }
 
@@ -179,6 +291,63 @@ fn cli_gate_rejects_bad_fixture() {
         "expected exactly 10 findings; stdout: {} stderr: {}",
         String::from_utf8_lossy(&out.stdout),
         String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// The runtime wire gate through the real binary: the bad fixture's 10
+/// static findings plus the joined `wire-values` finding make 11.
+#[test]
+fn cli_gate_wire_report_rejects_bad_fixture() {
+    let bin = env!("CARGO_BIN_EXE_drw-analyze");
+    let wire = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/bad_wire.json");
+    let out = std::process::Command::new(bin)
+        .args(["--root"])
+        .arg(fixture("bad_ws"))
+        .args(["--skip-interleave", "--wire-report"])
+        .arg(&wire)
+        .args(["--expect-findings", "11"])
+        .output()
+        .expect("run drw-analyze");
+    assert!(
+        out.status.success(),
+        "expected exactly 11 findings; stdout: {} stderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Budget truncation is loud: a deliberately tiny budget must make the
+/// binary report partial coverage of the schedule space instead of
+/// silently truncating the sweep.
+#[test]
+fn cli_reports_budget_truncation() {
+    let bin = env!("CARGO_BIN_EXE_drw-analyze");
+    let out = std::process::Command::new(bin)
+        .args([
+            "--only-interleave",
+            "--interleave-budget",
+            "8",
+            "--item-budget",
+            "8",
+            "--timing-budget",
+            "4",
+        ])
+        .output()
+        .expect("run drw-analyze");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(
+        stdout.contains("8 distinct shard-claim schedules"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("8 distinct within-shard item schedules"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("4 scripted timings swept"), "{stdout}");
+    assert!(
+        stdout.matches("budget-capped, partial coverage").count() >= 2,
+        "both budgeted sweeps must disclose truncation: {stdout}"
     );
 }
 

@@ -10,6 +10,7 @@ use crate::executor::{
     ExecutorKind, ParallelExecutor, RoundExecutor, SequentialExecutor, ShardedExecutor,
 };
 use crate::fault::{FaultCounters, FaultPlan};
+use crate::message::WireCensus;
 use crate::node_local::NodeLocalProtocol;
 use crate::protocol::Protocol;
 use drw_graph::Graph;
@@ -45,6 +46,12 @@ pub struct EngineConfig {
     /// backend-independent: the schedule is a pure function of the
     /// plan seed and each delivery attempt's logical identity.
     pub faults: Option<FaultPlan>,
+    /// If true, the delivery queue records a per-type wire-value census
+    /// ([`RunReport::wire`]): the maximum actual magnitude of every
+    /// priced field, per `Message` type. `drw-analyze --wire-report`
+    /// joins it against the static pricing table. Costs a little time;
+    /// off by default.
+    pub record_wire: bool,
 }
 
 impl Default for EngineConfig {
@@ -57,6 +64,7 @@ impl Default for EngineConfig {
             executor: ExecutorKind::Sequential,
             parallel_workers: 0,
             faults: None,
+            record_wire: false,
         }
     }
 }
@@ -105,6 +113,12 @@ impl EngineConfig {
     /// This configuration with the given fault schedule.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// This configuration with wire-value census recording enabled.
+    pub fn with_wire_census(mut self) -> Self {
+        self.record_wire = true;
         self
     }
 }
@@ -227,6 +241,11 @@ pub struct RunReport {
     /// perfect network). Semantic: the schedule is deterministic, so
     /// every backend must inject exactly the same faults.
     pub faults: FaultCounters,
+    /// Wire-value census, populated when
+    /// [`EngineConfig::record_wire`] is set (empty otherwise).
+    /// Semantic: every backend delivers the same messages, so the
+    /// recorded maxima must be identical too.
+    pub wire: WireCensus,
     /// Peak bytes held per engine subsystem (telemetry; not compared).
     pub memory: MemoryReport,
     /// Shard work distribution, populated by [`ExecutorKind::Sharded`]
@@ -244,6 +263,7 @@ impl PartialEq for RunReport {
             && self.max_edge_words_per_round == other.max_edge_words_per_round
             && self.edge_load_histogram == other.edge_load_histogram
             && self.faults == other.faults
+            && self.wire == other.wire
     }
 }
 
@@ -679,6 +699,81 @@ mod tests {
     }
 
     #[test]
+    fn scripted_fault_timing_is_deterministic_and_identity_at_zero() {
+        use crate::fault::ScriptedTiming;
+        let g = generators::torus2d(4, 5);
+        let run = |plan: FaultPlan, exec: ExecutorKind| {
+            let mut p = Flood {
+                seen: vec![false; g.n()],
+            };
+            let cfg = EngineConfig::default()
+                .with_executor(exec)
+                .with_faults(plan);
+            let report = run_protocol(&g, &cfg, 9, &mut p).unwrap();
+            (report, p.seen)
+        };
+        let plan = FaultPlan::new(11).with_drops(80).with_delays(50, 3);
+
+        // Index 0 is the unpermuted baseline: bit-identical to no
+        // timing mode at all.
+        let baseline = run(plan, ExecutorKind::Sequential);
+        let timed0 = run(
+            plan.with_timing(ScriptedTiming::new(0)),
+            ExecutorKind::Sequential,
+        );
+        assert_eq!(baseline, timed0);
+
+        // Every timing index is deterministic and backend-independent;
+        // the budget moves, the conservation invariant holds.
+        for index in [1u64, 7, 40] {
+            let timed = plan.with_timing(ScriptedTiming::new(index));
+            let (seq_report, seq_seen) = run(timed, ExecutorKind::Sequential);
+            assert!(seq_report.faults.total() > 0);
+            assert_eq!(
+                seq_report.faults.dropped, seq_report.faults.retransmitted,
+                "healed ARQ ledger must balance under timing {index}"
+            );
+            assert!(seq_seen.iter().all(|&s| s), "healed flood reaches everyone");
+            for exec in [ExecutorKind::Parallel, ExecutorKind::Sharded] {
+                let got = run(timed, exec);
+                assert_eq!(got.0, seq_report, "timing {index} on {exec:?}");
+                assert_eq!(got.1, seq_seen, "timing {index} on {exec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn timing_ledger_bug_breaks_conservation_but_not_results() {
+        use crate::fault::ScriptedTiming;
+        let g = generators::torus2d(4, 5);
+        let run = |plan: FaultPlan| {
+            let mut p = Flood {
+                seen: vec![false; g.n()],
+            };
+            let cfg = EngineConfig::default().with_faults(plan);
+            let report = run_protocol(&g, &cfg, 9, &mut p).unwrap();
+            (report, p.seen)
+        };
+        let plan = FaultPlan::new(11).with_drops(120);
+        let (clean, clean_seen) = run(plan.with_timing(ScriptedTiming::new(5)));
+        let (buggy, buggy_seen) = run(plan.with_timing(ScriptedTiming {
+            index: 5,
+            ledger_misses_moved: true,
+        }));
+        // The moved retransmissions still happen on the wire, so
+        // results are unchanged — only the ledger is short.
+        assert_eq!(clean_seen, buggy_seen);
+        assert_eq!(clean.messages, buggy.messages);
+        assert_eq!(clean.faults.dropped, buggy.faults.dropped);
+        assert!(
+            buggy.faults.retransmitted < buggy.faults.dropped,
+            "the injected mismatch must be visible: {:?}",
+            buggy.faults
+        );
+        assert_ne!(clean, buggy, "semantic report equality must catch it");
+    }
+
+    #[test]
     fn fault_free_plan_changes_nothing() {
         // An all-zero plan must leave the run bit-identical to no plan
         // at all (the engine keeps its fast path).
@@ -804,15 +899,26 @@ mod tests {
                     worst_max_over_mean: 1.25,
                     shard_messages: vec![100, 98],
                 }),
+                wire: {
+                    let mut w = WireCensus::default();
+                    let _ =
+                        w.record("Ping", 1)
+                            .field("counter", 8)
+                            .field_fixed("mass", 1 << 40, 40);
+                    w
+                },
             };
             let json = serde_json::to_string(&report).unwrap();
             assert!(json.contains("\"rounds\":12"), "{json}");
             assert!(json.contains("\"queue_bytes\":1024"), "{json}");
             assert!(json.contains("\"dropped\":6"), "{json}");
+            assert!(json.contains("\"type_name\":\"Ping\""), "{json}");
+            assert!(json.contains("\"frac_bits\":40"), "{json}");
             let back: RunReport = serde_json::from_str(&json).unwrap();
             assert_eq!(back, report);
             assert_eq!(back.memory, report.memory);
             assert_eq!(back.balance, report.balance);
+            assert_eq!(back.wire, report.wire);
         }
 
         #[test]

@@ -31,7 +31,7 @@ mod sharded;
 
 pub use parallel::ParallelExecutor;
 pub use sequential::SequentialExecutor;
-pub use sharded::ShardedExecutor;
+pub use sharded::{ScriptedSchedule, ShardedExecutor};
 
 use crate::engine::{EngineConfig, RunError, RunReport};
 use crate::node_local::NodeLocalProtocol;

@@ -146,6 +146,29 @@ impl<M: Message> FlatQueue<M> {
     ) -> u64 {
         let plan = cfg.faults.filter(|p| p.is_active());
         let cap = cfg.edge_capacity.unwrap_or(usize::MAX);
+        // Scripted fault timing (checker mode): precompute the round's
+        // baseline fates in delivery-scan order, then reassign them
+        // through the timing permutation. The multiset of fates — the
+        // round's fault budget — is preserved; only *which* attempt
+        // each fate hits moves. `None` on the production path.
+        let timed_fates: Option<Vec<(FaultDecision, bool)>> = plan.and_then(|p| {
+            p.timing.map(|t| {
+                let mut fates = Vec::new();
+                for i in 0..self.eids.len() {
+                    let eid = self.eids[i] as usize;
+                    let len = (self.starts[i + 1] - self.starts[i]) as usize;
+                    for k in 0..len.min(cap) {
+                        fates.push(p.decide(round, eid, k));
+                    }
+                }
+                let perm = crate::fault::timing_permutation(t.index, round, fates.len());
+                perm.iter()
+                    .enumerate()
+                    .map(|(g, &src)| (fates[src], src != g))
+                    .collect()
+            })
+        });
+        let mut slot = 0usize;
         let mut delivered_total = 0u64;
         // Envelopes diverted by reorder faults; flushed after the main
         // scan (no allocation on the fault-free path: an empty `Vec`
@@ -170,10 +193,20 @@ impl<M: Message> FlatQueue<M> {
                 let msg = stream.next().expect("bucket index matches storage");
                 // Bandwidth is spent the moment the slot is consumed:
                 // faulted messages count toward the edge's word load even
-                // though only actual deliveries are billed below.
+                // though only actual deliveries are billed below. The
+                // wire census follows the same rule — a dropped message
+                // still put its bits on the edge.
                 bucket_words += msg.size_words();
+                if cfg.record_wire {
+                    msg.census(&mut report.wire);
+                }
                 if let Some(plan) = plan {
-                    match plan.decide(round, eid, k) {
+                    let (fate, moved) = match &timed_fates {
+                        Some(fates) => fates[slot],
+                        None => (plan.decide(round, eid, k), false),
+                    };
+                    slot += 1;
+                    match fate {
                         FaultDecision::Deliver => {}
                         FaultDecision::Drop => {
                             report.faults.dropped += 1;
@@ -181,9 +214,15 @@ impl<M: Message> FlatQueue<M> {
                                 // Stop-and-wait ARQ: the sender learns of
                                 // the loss and retransmits `rto` rounds
                                 // later; the ack word rides the reverse
-                                // edge and is billed separately.
-                                report.faults.retransmitted += 1;
-                                report.faults.ack_words += 1;
+                                // edge and is billed separately. The
+                                // injected ledger bug performs the moved
+                                // retransmission but forgets to bill it.
+                                let ledger_bug =
+                                    moved && plan.timing.is_some_and(|t| t.ledger_misses_moved);
+                                if !ledger_bug {
+                                    report.faults.retransmitted += 1;
+                                    report.faults.ack_words += 1;
+                                }
                                 self.future.push((
                                     round + u64::from(plan.rto.max(1)),
                                     eid as u32,

@@ -85,6 +85,55 @@ impl Default for ShardedExecutor {
     }
 }
 
+/// Scripted-mode parameters for the interleaving checker (the
+/// [`ShardedExecutor::run_node_local_scripted`] entry point).
+///
+/// A schedule has two nested degrees of freedom, mirroring the two
+/// scheduling accidents a production run is exposed to: the order in
+/// which idle threads *claim* shards (`order`) and the order in which a
+/// claimed shard's work items are *processed* (`item_order`). The
+/// executor contract says neither may affect results; the two bug knobs
+/// re-introduce exactly the race class each rule exists to prevent, so
+/// the checker can prove it would detect them.
+pub struct ScriptedSchedule<'a> {
+    /// Overrides the production shard sizing (`MSGS_PER_SHARD`) so
+    /// small checker graphs still fan out into several shards per
+    /// round.
+    pub msgs_per_shard: u64,
+    /// Bug injection for harness self-validation: concatenate the
+    /// staging buffers in *claim* order instead of shard order — the
+    /// classic merge race a correct executor must not have.
+    pub merge_in_claim_order: bool,
+    /// Bug injection at item granularity: any work item processed out
+    /// of its node-order position lands with its staged batch reversed
+    /// in the shard's out buffer — an *arrival-order* item merge, as if
+    /// per-item sends were drained off an unordered channel. Only
+    /// schedules whose `item_order` departs from the identity can
+    /// trigger it.
+    pub scramble_item_order: bool,
+    /// Yields the claim order for `(round, shard_count)`; must return a
+    /// permutation of `0..shard_count`.
+    pub order: &'a mut dyn FnMut(u64, usize) -> Vec<usize>,
+    /// Optional within-shard processing order for `(round, shard_index,
+    /// item_count)`; must return a permutation of `0..item_count`.
+    /// `None` processes items in node order, exactly like production.
+    pub item_order: Option<&'a mut dyn FnMut(u64, usize, usize) -> Vec<usize>>,
+}
+
+impl<'a> ScriptedSchedule<'a> {
+    /// A scripted schedule with the given shard sizing and claim order,
+    /// production-faithful otherwise (node-order items, no bug knobs).
+    pub fn new(msgs_per_shard: u64, order: &'a mut dyn FnMut(u64, usize) -> Vec<usize>) -> Self {
+        ScriptedSchedule {
+            msgs_per_shard,
+            merge_in_claim_order: false,
+            scramble_item_order: false,
+            order,
+            item_order: None,
+        }
+    }
+}
+
 /// How a round's shard tasks are claimed by execution contexts.
 enum ClaimMode<'a> {
     /// Production: up to `n` OS threads race on an atomic cursor.
@@ -92,25 +141,14 @@ enum ClaimMode<'a> {
     /// Interleaving-checker mode: shards execute one at a time in a
     /// scripted claim order (see
     /// [`ShardedExecutor::run_node_local_scripted`]).
-    Scripted {
-        /// Overrides [`MSGS_PER_SHARD`] so small checker graphs still
-        /// fan out into several shards per round.
-        msgs_per_shard: u64,
-        /// Bug injection for harness self-validation: concatenate the
-        /// staging buffers in *claim* order instead of shard order —
-        /// the classic merge race a correct executor must not have.
-        merge_in_claim_order: bool,
-        /// Yields the claim order for `(round, shard_count)`; must
-        /// return a permutation of `0..shard_count`.
-        order: &'a mut dyn FnMut(u64, usize) -> Vec<usize>,
-    },
+    Scripted(ScriptedSchedule<'a>),
 }
 
 impl ClaimMode<'_> {
     fn msgs_per_shard(&self) -> u64 {
         match self {
             ClaimMode::Threads(_) => MSGS_PER_SHARD,
-            ClaimMode::Scripted { msgs_per_shard, .. } => (*msgs_per_shard).max(1),
+            ClaimMode::Scripted(s) => s.msgs_per_shard.max(1),
         }
     }
 }
@@ -201,23 +239,29 @@ impl ShardedExecutor {
     /// results against [`super::SequentialExecutor`] turns the executor
     /// contract into a bounded race check at shard granularity.
     ///
-    /// `msgs_per_shard` overrides the production shard sizing (256
-    /// messages per shard) so that small checker graphs still fan out
-    /// into several shards per round. `merge_in_claim_order` injects
-    /// the classic staging-merge race — an *arrival-order* merge, as if
-    /// shard outputs were drained off an unordered channel: outputs are
-    /// concatenated in claim order, and any shard claimed out of its
-    /// staging position lands with its FIFO batch scrambled. The
-    /// identity schedule is unaffected, so the bug manifests only under
-    /// specific interleavings — exactly the race class the
-    /// shard-order-merge contract exists to prevent. The knob lets the
-    /// checker prove it detects that class; it must be `false` for any
-    /// conformance run.
+    /// The schedule's `item_order` extends the scripting *inside* each
+    /// claimed shard: items (receiving nodes) execute in the scripted
+    /// within-shard order. Per-edge FIFO order cannot depend on it —
+    /// each item sends only from its own node, so no two items share a
+    /// directed edge, and the staging sort is stable per edge — but
+    /// that is exactly the kind of argument the checker exists to turn
+    /// into a measurement.
+    ///
+    /// `merge_in_claim_order` injects the classic staging-merge race —
+    /// an *arrival-order* merge, as if shard outputs were drained off
+    /// an unordered channel: outputs are concatenated in claim order,
+    /// and any shard claimed out of its staging position lands with its
+    /// FIFO batch scrambled. `scramble_item_order` is the same race one
+    /// level down, for items within a shard. The identity schedule is
+    /// unaffected by either, so the bugs manifest only under specific
+    /// interleavings — exactly the race classes the merge contracts
+    /// exist to prevent. The knobs let the checker prove it detects
+    /// those classes; both must be `false` for any conformance run.
     ///
     /// # Panics
     ///
-    /// Panics if `order` returns anything other than a permutation of
-    /// `0..shard_count`.
+    /// Panics if `order` (or `item_order`) returns anything other than
+    /// a permutation of `0..shard_count` (resp. `0..item_count`).
     ///
     /// # Errors
     ///
@@ -227,20 +271,14 @@ impl ShardedExecutor {
         cfg: &EngineConfig,
         seed: u64,
         protocol: &mut P,
-        msgs_per_shard: u64,
-        merge_in_claim_order: bool,
-        order: &mut dyn FnMut(u64, usize) -> Vec<usize>,
+        schedule: ScriptedSchedule<'_>,
     ) -> Result<RunReport, RunError> {
         run_impl(
             graph,
             cfg,
             seed,
             protocol,
-            &mut ClaimMode::Scripted {
-                msgs_per_shard,
-                merge_in_claim_order,
-                order,
-            },
+            &mut ClaimMode::Scripted(schedule),
         )
     }
 }
@@ -370,14 +408,43 @@ fn run_impl<P: NodeLocalProtocol>(
                 .collect();
             debug_assert!(item_iter.next().is_none(), "partition covers all items");
 
-            let run_shard = |task: &mut ShardTask<'_, P>| {
-                let ShardTask { items, out } = task;
-                for item in items.iter_mut() {
-                    let mut nctx = NodeCtx::new(graph, round, item.node, item.rng, out);
-                    P::on_receive_local(shared, item.state, item.node, item.inbox, &mut nctx);
-                    item.inbox.clear(); // keep the allocation
-                }
-            };
+            let run_shard =
+                |task: &mut ShardTask<'_, P>, item_perm: Option<&[usize]>, scramble: bool| {
+                    let ShardTask { items, out } = task;
+                    let len = items.len();
+                    let mut run_item = |j: usize, reversed: bool| {
+                        let item = &mut items[j];
+                        let start = out.len();
+                        let mut nctx = NodeCtx::new(graph, round, item.node, item.rng, out);
+                        P::on_receive_local(shared, item.state, item.node, item.inbox, &mut nctx);
+                        item.inbox.clear(); // keep the allocation
+                        if reversed {
+                            // Injected race (`scramble_item_order`): an
+                            // out-of-position item's batch lands reversed,
+                            // losing per-edge FIFO the way an unordered
+                            // per-item result channel would.
+                            out[start..].reverse();
+                        }
+                    };
+                    match item_perm {
+                        None => {
+                            for j in 0..len {
+                                run_item(j, false);
+                            }
+                        }
+                        Some(perm) => {
+                            assert_eq!(perm.len(), len, "item order must cover every item");
+                            let mut seen = vec![false; len];
+                            for (pos, &j) in perm.iter().enumerate() {
+                                assert!(
+                                    j < len && !std::mem::replace(&mut seen[j], true),
+                                    "item order must be a permutation of 0..{len}",
+                                );
+                                run_item(j, scramble && j != pos);
+                            }
+                        }
+                    }
+                };
 
             // Claim order is the executor's one nondeterministic
             // degree of freedom; results must never depend on it.
@@ -391,7 +458,7 @@ fn run_impl<P: NodeLocalProtocol>(
                         // balance telemetry does not depend on real
                         // parallelism.
                         for task in &tasks {
-                            run_shard(&mut task.lock().expect("shard lock"));
+                            run_shard(&mut task.lock().expect("shard lock"), None, false);
                         }
                     } else {
                         let cursor = AtomicUsize::new(0);
@@ -402,14 +469,14 @@ fn run_impl<P: NodeLocalProtocol>(
                                     // claims the next unclaimed shard.
                                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                                     let Some(task) = tasks.get(i) else { break };
-                                    run_shard(&mut task.lock().expect("shard lock"));
+                                    run_shard(&mut task.lock().expect("shard lock"), None, false);
                                 });
                             }
                         });
                     }
                 }
-                ClaimMode::Scripted { order, .. } => {
-                    let perm = order(round, tasks.len());
+                ClaimMode::Scripted(sched) => {
+                    let perm = (sched.order)(round, tasks.len());
                     let mut seen = vec![false; tasks.len()];
                     assert_eq!(
                         perm.len(),
@@ -422,7 +489,12 @@ fn run_impl<P: NodeLocalProtocol>(
                             "claim order must be a permutation of 0..{}",
                             tasks.len()
                         );
-                        run_shard(&mut tasks[i].lock().expect("shard lock"));
+                        let mut task = tasks[i].lock().expect("shard lock");
+                        let item_perm = sched
+                            .item_order
+                            .as_mut()
+                            .map(|f| f(round, i, task.items.len()));
+                        run_shard(&mut task, item_perm.as_deref(), sched.scramble_item_order);
                     }
                     claim_order = Some(perm);
                 }
@@ -436,13 +508,7 @@ fn run_impl<P: NodeLocalProtocol>(
                 .into_iter()
                 .map(|t| t.into_inner().expect("all shard workers joined").out)
                 .collect();
-            let buggy_merge = matches!(
-                mode,
-                ClaimMode::Scripted {
-                    merge_in_claim_order: true,
-                    ..
-                }
-            );
+            let buggy_merge = matches!(mode, ClaimMode::Scripted(s) if s.merge_in_claim_order);
             if let (true, Some(perm)) = (buggy_merge, &claim_order) {
                 // Injected race: arrival-order merge. A shard claimed
                 // at its own staging position appends intact; one

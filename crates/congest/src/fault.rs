@@ -43,6 +43,60 @@ pub(crate) enum FaultDecision {
     Reorder,
 }
 
+/// Scripted fault-timing mode: permutes **which** of a round's delivery
+/// attempts the plan's drop/delay budget hits (see
+/// [`FaultPlan::timing`]). The baseline schedule computes one fate per
+/// delivery attempt; under a timing schedule the round's *multiset* of
+/// fates is preserved — the budget is the budget — but fate `g` is
+/// reassigned to the attempt at position `perm[g]` of the round's
+/// deterministic delivery scan. Index 0 is the identity (bit-identical
+/// to no timing mode at all); every index yields a deterministic,
+/// backend-independent schedule, so the interleaving checker can sweep
+/// indices and assert per-timing bit-identity across executors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ScriptedTiming {
+    /// Timing schedule index; `0` is the unpermuted baseline.
+    pub index: u64,
+    /// Bug injection for harness self-validation: retransmissions of
+    /// drops that the timing permutation *moved* still happen on the
+    /// wire but are not recorded in the ARQ ledger — the classic
+    /// retransmit-ledger mismatch. Under `heal`, `dropped ==
+    /// retransmitted` is a conservation invariant; this knob breaks it
+    /// only on schedules that actually move a drop, which is exactly
+    /// the schedule-dependence the checker must prove it can see.
+    pub ledger_misses_moved: bool,
+}
+
+impl ScriptedTiming {
+    /// The timing schedule with the given index and no bug injection.
+    pub fn new(index: u64) -> Self {
+        ScriptedTiming {
+            index,
+            ledger_misses_moved: false,
+        }
+    }
+}
+
+/// The permutation a timing schedule applies to a round's `len`
+/// delivery attempts: fate `g` of the baseline scan is applied at
+/// attempt `perm[g]`... inverted at the call site as "attempt `g`
+/// receives fate `perm[g]`" — either reading works, the sweep only
+/// needs determinism and index-0 identity. Seeded Fisher–Yates over the
+/// pure [`derive_seed`] hash, so it is executor- and history-independent.
+pub(crate) fn timing_permutation(index: u64, round: u64, len: usize) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..len).collect();
+    if index == 0 {
+        return perm;
+    }
+    let s = derive_seed(derive_seed(0xF417_71A1_D05E_0001, index), round);
+    for i in (1..len).rev() {
+        let j = (derive_seed(s, i as u64) % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
 /// A deterministic, seeded fault schedule applied by the engine at
 /// delivery time. Rates are in **per mille** (`0..=1000`), kept as
 /// integers so [`crate::EngineConfig`] stays `Eq`/hashable and plans
@@ -69,6 +123,10 @@ pub struct FaultPlan {
     pub heal: bool,
     /// Retransmission timeout in rounds for healed drops (minimum 1).
     pub rto: u32,
+    /// Scripted fault-timing schedule (`None` in production): permutes
+    /// which of a round's delivery attempts the drop/delay budget hits,
+    /// preserving the budget itself. The interleaving checker's hook.
+    pub timing: Option<ScriptedTiming>,
 }
 
 impl Default for FaultPlan {
@@ -81,6 +139,7 @@ impl Default for FaultPlan {
             reorder_per_mille: 0,
             heal: true,
             rto: 4,
+            timing: None,
         }
     }
 }
@@ -128,6 +187,13 @@ impl FaultPlan {
     /// This plan with the given retransmission timeout.
     pub fn with_rto(mut self, rounds: u32) -> Self {
         self.rto = rounds;
+        self
+    }
+
+    /// This plan with a scripted fault-timing schedule (index `0` is
+    /// the unpermuted baseline).
+    pub fn with_timing(mut self, timing: ScriptedTiming) -> Self {
+        self.timing = Some(timing);
         self
     }
 

@@ -94,10 +94,13 @@ pub use engine::{
     run_node_local, run_protocol, EngineConfig, MemoryReport, RunError, RunReport, WorkBalance,
 };
 pub use executor::{
-    ExecutorKind, ParallelExecutor, RoundExecutor, SequentialExecutor, ShardedExecutor,
+    ExecutorKind, ParallelExecutor, RoundExecutor, ScriptedSchedule, SequentialExecutor,
+    ShardedExecutor,
 };
-pub use fault::{FaultCounters, FaultPlan};
-pub use message::{Envelope, Message};
+pub use fault::{FaultCounters, FaultPlan, ScriptedTiming};
+pub use message::{
+    wire_type_name, Envelope, FieldCensus, FracBits, Message, TypeCensus, TypeRecorder, WireCensus,
+};
 pub use multiplex::{Mux, Mux2};
 pub use node_local::{NodeCtx, NodeLocalAdapter, NodeLocalProtocol};
 pub use protocol::{Ctx, Protocol};

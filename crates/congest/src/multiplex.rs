@@ -45,6 +45,15 @@ impl<M: Message> Message for Mux<M> {
     fn size_words(&self) -> usize {
         1 + self.msg.size_words()
     }
+
+    /// Records the lane word, then delegates to the inner payload so
+    /// the census sees both the multiplex header and the real message.
+    fn census(&self, census: &mut crate::message::WireCensus) {
+        let _ = census
+            .record("Mux", self.size_words())
+            .field("lane", u64::from(self.lane));
+        self.msg.census(census);
+    }
 }
 
 /// A message of one lane of one *request* within a multiplexed run of
@@ -85,6 +94,16 @@ impl<M: Message> Message for Mux2<M> {
     /// payload.
     fn size_words(&self) -> usize {
         1 + self.msg.size_words()
+    }
+
+    /// Records the packed header word, then delegates to the inner
+    /// payload.
+    fn census(&self, census: &mut crate::message::WireCensus) {
+        let _ = census
+            .record("Mux2", self.size_words())
+            .field("req", u64::from(self.req))
+            .field("lane", u64::from(self.lane));
+        self.msg.census(census);
     }
 }
 

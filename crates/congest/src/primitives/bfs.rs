@@ -27,6 +27,13 @@ impl Message for BfsMsg {
     fn size_words(&self) -> usize {
         2
     }
+
+    fn census(&self, census: &mut crate::message::WireCensus) {
+        let _ = census
+            .record("BfsMsg", self.size_words())
+            .field("level", self.level.map_or(0, u64::from))
+            .field("child_status", self.child_status.map_or(0, u64::from));
+    }
 }
 
 /// The result of a BFS-tree construction: the union of every node's local

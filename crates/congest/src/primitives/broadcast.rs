@@ -13,6 +13,13 @@ impl Message for BroadcastMsg {
     fn size_words(&self) -> usize {
         self.0.len()
     }
+
+    fn census(&self, census: &mut crate::message::WireCensus) {
+        let _ = census
+            .record("BroadcastMsg", self.size_words())
+            .field("len", self.0.len() as u64)
+            .field("item", self.0.iter().copied().max().unwrap_or(0));
+    }
 }
 
 /// Floods `payload` from the tree root down to every node in

@@ -1,7 +1,7 @@
 //! Tree convergecast: aggregate one `u64` per node at the root.
 
 use super::bfs::BfsTree;
-use crate::message::{Envelope, Message};
+use crate::message::{Envelope, FracBits, Message};
 use crate::protocol::{Ctx, Protocol};
 use drw_graph::NodeId;
 
@@ -28,9 +28,23 @@ impl AggOp {
 
 /// A partial aggregate travelling up the tree.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ConvergecastMsg(pub u64);
+pub struct ConvergecastMsg {
+    /// The partial aggregate (one word).
+    pub value: u64,
+    /// Fixed-point precision of `value`, when the instance aggregates
+    /// scaled reals (see [`ConvergecastProtocol::fixed_point`]). A
+    /// [`FracBits`] model annotation: statically known to every node,
+    /// zero wire cost, consumed by the value census.
+    pub frac: FracBits,
+}
 
-impl Message for ConvergecastMsg {}
+impl Message for ConvergecastMsg {
+    fn census(&self, census: &mut crate::message::WireCensus) {
+        let _ = census
+            .record("ConvergecastMsg", self.size_words())
+            .field_fixed("value", self.value, self.frac.0);
+    }
+}
 
 /// Aggregates one `u64` per node at the root of a BFS tree in
 /// `O(depth)` rounds: leaves send immediately; every internal node waits
@@ -62,6 +76,7 @@ pub struct ConvergecastProtocol {
     acc: Vec<u64>,
     waiting: Vec<usize>,
     result: Option<u64>,
+    frac: FracBits,
 }
 
 impl ConvergecastProtocol {
@@ -78,7 +93,19 @@ impl ConvergecastProtocol {
             acc: values,
             waiting: Vec::new(),
             result: None,
+            frac: FracBits(0),
         }
+    }
+
+    /// Declares the aggregated values as fixed-point reals whose low
+    /// `frac_bits` bits are precision, not magnitude. This is a static
+    /// model annotation (both endpoints know the scale; it costs no
+    /// wire words) that the runtime value census uses to price the
+    /// aggregate under the `O(log n)` wire-value law.
+    #[must_use]
+    pub fn fixed_point(mut self, frac_bits: u32) -> Self {
+        self.frac = FracBits(frac_bits);
+        self
     }
 
     /// The aggregate at the root.
@@ -95,7 +122,14 @@ impl ConvergecastProtocol {
             return;
         }
         match self.tree.parent[node] {
-            Some(p) => ctx.send(node, p, ConvergecastMsg(self.acc[node])),
+            Some(p) => ctx.send(
+                node,
+                p,
+                ConvergecastMsg {
+                    value: self.acc[node],
+                    frac: self.frac,
+                },
+            ),
             None => self.result = Some(self.acc[node]),
         }
     }
@@ -121,7 +155,7 @@ impl Protocol for ConvergecastProtocol {
         ctx: &mut Ctx<'_, ConvergecastMsg>,
     ) {
         for env in inbox {
-            self.acc[node] = self.op.combine(self.acc[node], env.msg.0);
+            self.acc[node] = self.op.combine(self.acc[node], env.msg.value);
             self.waiting[node] -= 1;
         }
         self.send_if_ready(node, ctx);

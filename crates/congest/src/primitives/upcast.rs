@@ -20,6 +20,13 @@ pub type UpcastItem = (u64, u64);
 pub struct UpcastMsg(pub UpcastItem);
 
 impl Message for UpcastMsg {
+    fn census(&self, census: &mut crate::message::WireCensus) {
+        let _ = census
+            .record("UpcastMsg", self.size_words())
+            .field("key", self.0 .0)
+            .field("value", self.0 .1);
+    }
+
     fn size_words(&self) -> usize {
         2
     }

@@ -25,6 +25,13 @@ impl Message for VecSumMsg {
     fn size_words(&self) -> usize {
         2
     }
+
+    fn census(&self, census: &mut crate::message::WireCensus) {
+        let _ = census
+            .record("VecSumMsg", self.size_words())
+            .field("bucket", self.bucket)
+            .field("sum", self.sum);
+    }
 }
 
 /// Sums per-node `B`-bucket vectors at the root of a BFS tree, pipelined.

@@ -41,6 +41,12 @@ impl Message for GmwMsg {
     fn size_words(&self) -> usize {
         2 // source id + count, as in the paper
     }
+
+    fn census(&self, census: &mut drw_congest::WireCensus) {
+        let _ = census
+            .record("GmwMsg", self.size_words())
+            .field("count", self.count);
+    }
 }
 
 /// The aggregated `GET-MORE-WALKS` protocol.

@@ -39,6 +39,15 @@ impl Message for MhMsg {
     fn size_words(&self) -> usize {
         2
     }
+
+    fn census(&self, census: &mut drw_congest::WireCensus) {
+        let rec = census.record("MhMsg", self.size_words());
+        if let MhMsg::Token { walk, left } = self {
+            let _ = rec
+                .field("Token.walk", u64::from(*walk))
+                .field("Token.left", *left);
+        }
+    }
 }
 
 /// Naive distributed Metropolis-Hastings walks over target weights `w`.

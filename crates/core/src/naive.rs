@@ -40,6 +40,14 @@ impl Message for NaiveMsg {
     fn size_words(&self) -> usize {
         3
     }
+
+    fn census(&self, census: &mut drw_congest::WireCensus) {
+        let _ = census
+            .record("NaiveMsg", self.size_words())
+            .field("walk", u64::from(self.walk))
+            .field("left", self.left)
+            .field("pos", self.pos);
+    }
 }
 
 /// Walks one or more tokens naively; optionally records visits

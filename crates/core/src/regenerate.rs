@@ -40,6 +40,15 @@ impl Message for ReplayMsg {
     fn size_words(&self) -> usize {
         4
     }
+
+    fn census(&self, census: &mut drw_congest::WireCensus) {
+        let _ = census
+            .record("ReplayMsg", self.size_words())
+            .field("source", u64::from(self.source))
+            .field("seq", u64::from(self.seq))
+            .field("step", u64::from(self.step))
+            .field("pos", self.pos);
+    }
 }
 
 /// One segment to replay: a used short walk and where it sits in the

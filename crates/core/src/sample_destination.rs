@@ -64,6 +64,28 @@ impl Message for SdMsg {
             SdMsg::Chosen { .. } => 2,
         }
     }
+
+    fn census(&self, census: &mut drw_congest::WireCensus) {
+        let rec = census.record("SdMsg", self.size_words());
+        let _ = match self {
+            SdMsg::Wave { level, child } => rec
+                .field("Wave.level", u64::from(*level))
+                .field("Wave.child", u64::from(*child)),
+            SdMsg::Agg {
+                owner,
+                tag,
+                len,
+                count,
+            } => rec
+                .field("Agg.owner", u64::from(*owner))
+                .field("Agg.tag", u64::from(*tag))
+                .field("Agg.len", u64::from(*len))
+                .field("Agg.count", *count),
+            SdMsg::Chosen { owner, tag } => rec
+                .field("Chosen.owner", u64::from(*owner))
+                .field("Chosen.tag", u64::from(*tag)),
+        };
+    }
 }
 
 const UNSET: u32 = u32::MAX;

@@ -45,6 +45,15 @@ impl Message for ShortWalkMsg {
     fn size_words(&self) -> usize {
         4
     }
+
+    fn census(&self, census: &mut drw_congest::WireCensus) {
+        let _ = census
+            .record("ShortWalkMsg", self.size_words())
+            .field("source", u64::from(self.source))
+            .field("seq", u64::from(self.seq))
+            .field("step", u64::from(self.step))
+            .field("total", u64::from(self.total));
+    }
 }
 
 /// Phase-1 protocol: launches `counts[v]` short walks from every node `v`.

@@ -152,6 +152,37 @@ impl Message for StitchMsg {
             StitchMsg::Retry { .. } | StitchMsg::GmwAck { .. } | StitchMsg::Tail { .. } => 1,
         }
     }
+
+    fn census(&self, census: &mut drw_congest::WireCensus) {
+        let rec = census.record("StitchMsg", self.size_words());
+        let _ = match self {
+            StitchMsg::Wave { epoch, root, child } => rec
+                .field("Wave.epoch", u64::from(*epoch))
+                .field("Wave.root", u64::from(*root))
+                .field("Wave.child", u64::from(*child)),
+            StitchMsg::Agg { owner, count } => rec
+                .field("Agg.owner", u64::from(*owner))
+                .field("Agg.count", *count),
+            StitchMsg::Chosen {
+                epoch,
+                owner,
+                completed,
+            } => rec
+                .field("Chosen.epoch", u64::from(*epoch))
+                .field("Chosen.owner", u64::from(*owner))
+                .field("Chosen.completed", *completed),
+            StitchMsg::Retry { epoch } => rec.field("Retry.epoch", u64::from(*epoch)),
+            StitchMsg::Gmw { step, count } => rec
+                .field("Gmw.step", u64::from(*step))
+                .field("Gmw.count", *count),
+            StitchMsg::Swk { seq, step, total } => rec
+                .field("Swk.seq", u64::from(*seq))
+                .field("Swk.step", u64::from(*step))
+                .field("Swk.total", u64::from(*total)),
+            StitchMsg::GmwAck { count } => rec.field("GmwAck.count", *count),
+            StitchMsg::Tail { left } => rec.field("Tail.left", *left),
+        };
+    }
 }
 
 type BatchMsg = Mux2<StitchMsg>;
@@ -933,6 +964,7 @@ fn merge_report(total: &mut RunReport, pass: RunReport) {
         *slot += v;
     }
     total.faults.accumulate(&pass.faults);
+    total.wire.merge(&pass.wire);
     total.memory = pass.memory;
     total.balance = pass.balance;
 }

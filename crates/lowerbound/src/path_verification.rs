@@ -38,6 +38,14 @@ impl Message for SegmentMsg {
     fn size_words(&self) -> usize {
         2
     }
+
+    fn census(&self, census: &mut drw_congest::WireCensus) {
+        let _ = census
+            .record("SegmentMsg", self.size_words())
+            .field("lo", self.lo)
+            .field("hi", self.hi)
+            .field("announce", u64::from(self.announce));
+    }
 }
 
 /// The distributed PATH-VERIFICATION protocol.

@@ -24,7 +24,16 @@ const SCALE: f64 = (1u64 << 40) as f64;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MassMsg(u64);
 
-impl Message for MassMsg {}
+impl Message for MassMsg {
+    fn census(&self, census: &mut drw_congest::WireCensus) {
+        // Fixed-point mass: the low 40 bits (`SCALE = 2^40`) encode
+        // precision, not magnitude — total mass is conserved at 1.0, so
+        // the integer part never exceeds a handful of bits.
+        let _ = census
+            .record("MassMsg", self.size_words())
+            .field_fixed("mass", self.0, 40);
+    }
+}
 
 /// Diffuses mass for a fixed number of rounds: each round, every node
 /// forwards everything it received, split equally among its neighbors.
@@ -128,14 +137,43 @@ pub fn direct_diffusion_mixing(
     cap: u64,
     seed: u64,
 ) -> Result<DiffusionResult, WalkError> {
+    direct_diffusion_mixing_cfg(
+        g,
+        source,
+        eps,
+        cap,
+        seed,
+        drw_congest::EngineConfig::default(),
+    )
+    .map(|(result, _)| result)
+}
+
+/// As [`direct_diffusion_mixing`], under the caller's engine
+/// configuration. Also returns the merged wire census of every
+/// sub-protocol run (empty unless `cfg.record_wire` is set) — the
+/// conformance certifier's entry point for measuring the magnitudes
+/// `MassMsg` actually puts on the wire.
+///
+/// # Errors
+///
+/// Propagates engine failures.
+pub fn direct_diffusion_mixing_cfg(
+    g: &Graph,
+    source: NodeId,
+    eps: f64,
+    cap: u64,
+    seed: u64,
+    cfg: drw_congest::EngineConfig,
+) -> Result<(DiffusionResult, drw_congest::WireCensus), WalkError> {
     assert!(source < g.n(), "source out of range");
     assert!(traversal::is_connected(g), "graph must be connected");
     let pi = spectral::stationary_distribution(g);
-    let mut runner = Runner::new(g, drw_congest::EngineConfig::default(), seed);
+    let mut runner = Runner::new(g, cfg, seed);
+    let mut census = drw_congest::WireCensus::default();
 
     // BFS tree for the periodic checks.
     let mut bfs = BfsTreeProtocol::new(source);
-    runner.run(&mut bfs)?;
+    census.merge(&runner.run(&mut bfs)?.wire);
     let tree = bfs.into_tree();
 
     let mut masses = vec![0.0; g.n()];
@@ -146,7 +184,7 @@ pub fn direct_diffusion_mixing(
     loop {
         let advance = (next_check - t).min(cap - t);
         let mut diff = DiffusionProtocol::new(masses, advance);
-        runner.run(&mut diff)?;
+        census.merge(&runner.run(&mut diff)?.wire);
         masses = diff.final_masses();
         t += advance;
 
@@ -155,23 +193,29 @@ pub fn direct_diffusion_mixing(
         let values: Vec<u64> = (0..g.n())
             .map(|v| ((masses[v] - pi[v]).abs() * SCALE) as u64)
             .collect();
-        let mut cc = ConvergecastProtocol::new(tree.clone(), AggOp::Sum, values);
-        runner.run(&mut cc)?;
+        let mut cc = ConvergecastProtocol::new(tree.clone(), AggOp::Sum, values).fixed_point(40);
+        census.merge(&runner.run(&mut cc)?.wire);
         let l1 = cc.result() as f64 / SCALE;
         checkpoints.push((t, l1));
         if l1 < eps {
-            return Ok(DiffusionResult {
-                tau: Some(t),
-                rounds: runner.total_rounds(),
-                checkpoints,
-            });
+            return Ok((
+                DiffusionResult {
+                    tau: Some(t),
+                    rounds: runner.total_rounds(),
+                    checkpoints,
+                },
+                census,
+            ));
         }
         if t >= cap {
-            return Ok(DiffusionResult {
-                tau: None,
-                rounds: runner.total_rounds(),
-                checkpoints,
-            });
+            return Ok((
+                DiffusionResult {
+                    tau: None,
+                    rounds: runner.total_rounds(),
+                    checkpoints,
+                },
+                census,
+            ));
         }
         next_check = (t * 2).max(1);
     }

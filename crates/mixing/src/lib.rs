@@ -46,7 +46,7 @@ pub mod estimator;
 pub mod ground_truth;
 pub mod spectral_bounds;
 
-pub use baseline::{direct_diffusion_mixing, DiffusionResult};
+pub use baseline::{direct_diffusion_mixing, direct_diffusion_mixing_cfg, DiffusionResult};
 pub use bucket_test::{sum_deg_sq, BucketTest, BucketTestResult, SampleStats};
 pub use estimator::{estimate_mixing_time, MixingConfig, MixingEstimate, ProbeRecord};
 pub use spectral_bounds::{conductance_interval, spectral_gap_interval, Interval};

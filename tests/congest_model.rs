@@ -1,8 +1,12 @@
 //! Integration tests of the CONGEST model enforcement across the stack.
 
 use distributed_random_walks::prelude::*;
-use drw_congest::primitives::{BfsTreeProtocol, UpcastProtocol, VectorSumProtocol};
-use drw_congest::{run_node_local, run_protocol, FaultPlan, RunError, Runner};
+use drw_congest::primitives::{BfsTreeProtocol, UpcastMsg, UpcastProtocol, VectorSumProtocol};
+use drw_congest::{
+    run_node_local, run_protocol, Ctx, Envelope, FaultPlan, Mux2, NodeCtx, NodeLocalProtocol,
+    RoundExecutor, RunError, Runner, ScriptedSchedule, ScriptedTiming, SequentialExecutor,
+    ShardedExecutor,
+};
 use drw_core::get_more_walks::GetMoreWalksProtocol;
 use drw_core::short_walks::ShortWalksProtocol;
 use drw_core::{StitchScheduler, StitchSetup, WalkState};
@@ -188,6 +192,129 @@ fn arq_retransmissions_do_not_widen_edges() {
     assert!(report.faults.dropped > 0, "the plan must actually bite");
     assert_eq!(report.max_edge_words_per_round, 4);
     assert!(report.max_edge_words_per_round <= cfg.max_message_words);
+}
+
+/// The ack/seq (ARQ) lane keeps its word pin under *every* scripted
+/// fault timing: whichever of a round's deliveries the drop/delay
+/// budget lands on, the healed run still stores every token and the
+/// wire never widens past the 4-word walk-token format.
+#[test]
+fn ack_lane_words_pinned_under_scripted_fault_timing() {
+    let g = generators::torus2d(4, 4);
+    let plan = FaultPlan::new(41).with_drops(80).with_delays(50, 3);
+    let total = 2 * g.n();
+    for index in 0..6u64 {
+        let cfg = EngineConfig::default().with_faults(plan.with_timing(ScriptedTiming::new(index)));
+        let mut state = WalkState::new(g.n());
+        let mut p = ShortWalksProtocol::new(&mut state, vec![2; g.n()], 8, true);
+        let report = run_node_local(&g, &cfg, 31, &mut p).unwrap();
+        assert!(
+            report.faults.total() > 0,
+            "timing {index}: the plan must actually bite"
+        );
+        assert_eq!(
+            state.total_stored(),
+            total,
+            "timing {index}: ARQ must heal every token"
+        );
+        assert_eq!(report.max_edge_words_per_round, 4, "timing {index}");
+    }
+}
+
+/// A dense gossip over `Mux2`-multiplexed payloads, for pinning the
+/// two-level multiplex header's word price under scripted within-shard
+/// item schedules.
+struct Mux2Gossip {
+    ttl: u64,
+    nodes: Vec<u64>,
+}
+
+type LaneMsg = Mux2<UpcastMsg>;
+
+impl NodeLocalProtocol for Mux2Gossip {
+    type Msg = LaneMsg;
+    type Shared = u64;
+    type NodeState = u64;
+
+    fn start(&mut self, ctx: &mut Ctx<'_, LaneMsg>) {
+        for v in 0..ctx.graph().n() {
+            for u in ctx.graph().neighbors(v).collect::<Vec<_>>() {
+                let m = UpcastMsg((v as u64, 3 * v as u64));
+                ctx.send(v, u, Mux2::new((v % 3) as u16, (u % 5) as u16, m));
+            }
+        }
+    }
+
+    fn parts(&mut self) -> (&u64, &mut [u64]) {
+        (&self.ttl, &mut self.nodes)
+    }
+
+    fn on_receive_local(
+        ttl: &u64,
+        state: &mut u64,
+        node: usize,
+        inbox: &[Envelope<LaneMsg>],
+        ctx: &mut NodeCtx<'_, LaneMsg>,
+    ) {
+        for env in inbox {
+            *state = state.rotate_left(9)
+                ^ (u64::from(env.msg.req) << 40)
+                ^ (u64::from(env.msg.lane) << 20)
+                ^ env.msg.msg.0 .0
+                ^ env.msg.msg.0 .1;
+        }
+        if ctx.round() < *ttl {
+            let neighbors: Vec<usize> = ctx.graph().neighbors(node).collect();
+            for u in neighbors {
+                let m = UpcastMsg((node as u64, ctx.round()));
+                ctx.send(u, Mux2::new((node % 3) as u16, (u % 5) as u16, m));
+            }
+        }
+    }
+}
+
+/// `Mux2` under item-level schedules: the packed `(req, lane)` header
+/// plus the 2-word inner payload is exactly 3 words, and neither the
+/// word pin nor the results move when each claimed shard processes its
+/// items in scripted (rotated) orders instead of node order.
+#[test]
+fn mux2_words_pinned_under_item_level_schedules() {
+    let g = generators::torus2d(4, 4);
+    let cfg = EngineConfig::default();
+    let mk = || Mux2Gossip {
+        ttl: 5,
+        nodes: vec![0; g.n()],
+    };
+
+    let mut seq = mk();
+    let r_seq = SequentialExecutor
+        .run_node_local(&g, &cfg, 43, &mut seq)
+        .unwrap();
+    assert_eq!(r_seq.max_edge_words_per_round, 3, "header + 2-word payload");
+
+    for rot in 0..6usize {
+        let mut p = mk();
+        let schedule = ScriptedSchedule {
+            msgs_per_shard: 4,
+            merge_in_claim_order: false,
+            scramble_item_order: false,
+            order: &mut |_round, s| (0..s).collect(),
+            item_order: Some(&mut |round, shard, c| {
+                // A rotation keyed off (round, shard, rot): a valid
+                // permutation that departs from node order on every
+                // multi-item shard.
+                let k = (round as usize + shard + rot) % c.max(1);
+                (0..c).map(|i| (i + k) % c).collect()
+            }),
+        };
+        let r = ShardedExecutor::run_node_local_scripted(&g, &cfg, 43, &mut p, schedule).unwrap();
+        assert_eq!(r.max_edge_words_per_round, 3, "rotation {rot}");
+        // Bit-identity: report and per-node digests must not see the
+        // item schedule. (Balance telemetry is executor-specific.)
+        assert_eq!(r.rounds, r_seq.rounds, "rotation {rot}");
+        assert_eq!(r.messages, r_seq.messages, "rotation {rot}");
+        assert_eq!(p.nodes, seq.nodes, "rotation {rot}: node digests");
+    }
 }
 
 /// Message accounting is exact for a single token: one message per round.
